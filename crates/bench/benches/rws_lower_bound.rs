@@ -1,0 +1,31 @@
+//! E9 — the RWS lower bound: cost of refuting the whole family of
+//! round-1-deciding candidates (each refutation is itself an
+//! exhaustive RWS search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_lab::{all_round1_candidates, refute_round1_candidate};
+
+fn bench(c: &mut Criterion) {
+    let candidates = all_round1_candidates(3);
+    assert_eq!(candidates.len(), 100);
+    for cand in &candidates {
+        assert!(refute_round1_candidate(cand, 3).is_some(), "{cand}");
+    }
+    let mut group = c.benchmark_group("rws_lower_bound");
+    group.sample_size(10);
+    group.bench_function("refute_one_a1_alike", |b| {
+        b.iter(|| refute_round1_candidate(&candidates[0], 3).is_some())
+    });
+    group.bench_function("refute_family_of_100", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .filter(|c| refute_round1_candidate(c, 3).is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

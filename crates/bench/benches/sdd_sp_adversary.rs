@@ -1,0 +1,33 @@
+//! E2 — Theorem 3.1: cost of mechanically refuting an SDD candidate in
+//! SP by run surgery, as a function of the candidate's stalling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssp_lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
+use ssp_lab::{refute, SddRefutation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdd_sp_adversary");
+    // Shape: the refutation always lands on Validity.
+    assert!(matches!(
+        refute(&WaitOrSuspect, 1_000).refutation,
+        SddRefutation::Validity { .. }
+    ));
+    group.bench_function("wait_or_suspect", |b| {
+        b.iter(|| refute(&WaitOrSuspect, 1_000))
+    });
+    for patience in [0u64, 10, 100] {
+        assert!(matches!(
+            refute(&PatientWait(patience), 10_000).refutation,
+            SddRefutation::Validity { .. }
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("patient", patience),
+            &patience,
+            |b, &p| b.iter(|| refute(&PatientWait(p), 10_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

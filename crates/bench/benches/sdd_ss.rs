@@ -1,0 +1,35 @@
+//! E1 — SDD in the synchronous model: cost of solving the problem with
+//! the Φ+1+Δ rule, swept over the synchrony bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssp_algos::{SddSender, SsSddReceiver};
+use ssp_model::ProcessId;
+use ssp_sim::{run, BoxedAutomaton, FairAdversary, ModelKind};
+
+fn sdd_run(phi: u64, delta: u64, input: bool) -> Option<bool> {
+    let automata: Vec<BoxedAutomaton<bool, bool>> = vec![
+        Box::new(SddSender::new(ProcessId::new(1), input)),
+        Box::new(SsSddReceiver::new(ProcessId::new(0), phi, delta)),
+    ];
+    let mut adv = FairAdversary::new(2, 4 * (phi + delta + 2));
+    let result = run(ModelKind::ss(phi, delta), automata, &mut adv, 10_000).expect("legal");
+    result.outputs[1]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdd_ss");
+    for (phi, delta) in [(1u64, 1u64), (2, 2), (4, 4), (8, 8)] {
+        // Shape check once per configuration, outside the timing loop.
+        assert_eq!(sdd_run(phi, delta, true), Some(true));
+        assert_eq!(sdd_run(phi, delta, false), Some(false));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("phi{phi}_delta{delta}")),
+            &(phi, delta),
+            |b, &(phi, delta)| b.iter(|| sdd_run(phi, delta, true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

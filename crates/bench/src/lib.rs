@@ -1,0 +1,2 @@
+//! Benchmark-only crate: the targets live in `benches/`, one per
+//! experiment of EXPERIMENTS.md (E1–E16). This library is empty.

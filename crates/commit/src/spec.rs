@@ -1,0 +1,238 @@
+//! Non-blocking atomic commit: specification and checkers.
+//!
+//! Processes vote `Yes`/`No` on a transaction and must uniformly agree
+//! on `Commit` or `Abort`:
+//!
+//! * **Uniform agreement** — no two processes (correct or faulty)
+//!   decide differently;
+//! * **Commit validity** — `Commit` only if every process voted `Yes`;
+//! * **Non-triviality** — aborting must not be free. Two strengths:
+//!   * [`NonTriviality::Classic`]: if all vote `Yes` and there is *no
+//!     failure*, the decision is `Commit`;
+//!   * [`NonTriviality::SddBoosted`] (§3): if all vote `Yes` and no
+//!     process is initially dead — even if some crash later, provided
+//!     each vote reaches some correct process — the decision is
+//!     `Commit`. This is the strengthening the SDD problem buys in
+//!     `SS`, and exactly what `SP` cannot offer;
+//! * **Termination** — every correct process decides.
+//!
+//! A run is summarized as a [`ConsensusOutcome`]`<bool>`: the input is
+//! the vote (`true` = `Yes`), the decision is `true` = `Commit`.
+
+use core::fmt;
+
+use ssp_model::{ConsensusOutcome, ProcessId};
+
+/// Non-triviality strength for [`check_nbac`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonTriviality {
+    /// Commit required only in failure-free all-`Yes` runs.
+    Classic,
+    /// Commit required in all-`Yes` runs where every vote reached some
+    /// correct process (no vote was lost to an initial death or to
+    /// pending messages). The caller reports vote survival via
+    /// [`check_nbac`]'s `votes_all_survived` flag.
+    SddBoosted,
+}
+
+/// Ways a run can violate the atomic commit specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NbacViolation {
+    /// Two deciders disagree.
+    Agreement {
+        /// First decider and its decision.
+        a: (ProcessId, bool),
+        /// Conflicting decider and decision.
+        b: (ProcessId, bool),
+    },
+    /// Commit decided although somebody voted `No`.
+    CommitValidity {
+        /// The offending decider.
+        process: ProcessId,
+        /// A process that voted `No`.
+        no_voter: ProcessId,
+    },
+    /// Abort decided in a run where non-triviality demands commit.
+    NonTriviality {
+        /// The aborting process.
+        process: ProcessId,
+    },
+    /// A correct process never decided.
+    Termination {
+        /// The undecided correct process.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for NbacViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NbacViolation::Agreement { a, b } => write!(
+                f,
+                "commit agreement violated: {} decided {} but {} decided {}",
+                a.0,
+                if a.1 { "Commit" } else { "Abort" },
+                b.0,
+                if b.1 { "Commit" } else { "Abort" },
+            ),
+            NbacViolation::CommitValidity { process, no_voter } => write!(
+                f,
+                "commit validity violated: {process} committed although {no_voter} voted No"
+            ),
+            NbacViolation::NonTriviality { process } => write!(
+                f,
+                "non-triviality violated: {process} aborted a run that must commit"
+            ),
+            NbacViolation::Termination { process } => {
+                write!(f, "termination violated: correct {process} never decided")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NbacViolation {}
+
+/// Checks the atomic commit specification on a run outcome.
+///
+/// `votes_all_survived` reports whether every process's vote reached
+/// some correct process (trivially true in failure-free runs); it
+/// gates the [`NonTriviality::SddBoosted`] obligation.
+///
+/// # Errors
+///
+/// Returns the first violation in the order agreement, commit
+/// validity, non-triviality, termination.
+pub fn check_nbac(
+    run: &ConsensusOutcome<bool>,
+    mode: NonTriviality,
+    votes_all_survived: bool,
+) -> Result<(), NbacViolation> {
+    // Uniform agreement.
+    let mut first: Option<(ProcessId, bool)> = None;
+    for (p, o) in run.iter() {
+        if let Some((d, _)) = o.decision {
+            match first {
+                None => first = Some((p, d)),
+                Some((q, e)) if e != d => {
+                    return Err(NbacViolation::Agreement {
+                        a: (q, e),
+                        b: (p, d),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    // Commit validity.
+    let no_voter = run.iter().find(|(_, o)| !o.input).map(|(p, _)| p);
+    if let Some(no_voter) = no_voter {
+        for (p, o) in run.iter() {
+            if matches!(o.decision, Some((true, _))) {
+                return Err(NbacViolation::CommitValidity {
+                    process: p,
+                    no_voter,
+                });
+            }
+        }
+    }
+    // Non-triviality.
+    let all_yes = no_voter.is_none();
+    let must_commit = match mode {
+        NonTriviality::Classic => all_yes && run.fault_count() == 0,
+        NonTriviality::SddBoosted => all_yes && votes_all_survived,
+    };
+    if must_commit {
+        for (p, o) in run.iter() {
+            if matches!(o.decision, Some((false, _))) {
+                return Err(NbacViolation::NonTriviality { process: p });
+            }
+        }
+    }
+    // Termination.
+    for (p, o) in run.iter() {
+        if o.is_correct() && o.decision.is_none() {
+            return Err(NbacViolation::Termination { process: p });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{ProcessOutcome, Round};
+
+    fn po(vote: bool, decision: Option<bool>, crashed: Option<u32>) -> ProcessOutcome<bool> {
+        ProcessOutcome {
+            input: vote,
+            decision: decision.map(|d| (d, Round::FIRST)),
+            crashed_in: crashed.map(Round::new),
+        }
+    }
+
+    #[test]
+    fn clean_commit_passes() {
+        let run = ConsensusOutcome::new(vec![po(true, Some(true), None); 3]);
+        check_nbac(&run, NonTriviality::Classic, true).unwrap();
+        check_nbac(&run, NonTriviality::SddBoosted, true).unwrap();
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let run = ConsensusOutcome::new(vec![
+            po(true, Some(true), Some(2)),
+            po(true, Some(false), None),
+        ]);
+        assert!(matches!(
+            check_nbac(&run, NonTriviality::Classic, true),
+            Err(NbacViolation::Agreement { .. })
+        ));
+    }
+
+    #[test]
+    fn commit_against_a_no_vote_detected() {
+        let run = ConsensusOutcome::new(vec![
+            po(false, Some(true), None),
+            po(true, Some(true), None),
+        ]);
+        assert!(matches!(
+            check_nbac(&run, NonTriviality::Classic, true),
+            Err(NbacViolation::CommitValidity { .. })
+        ));
+    }
+
+    #[test]
+    fn classic_mode_tolerates_abort_under_failures() {
+        // One crash: aborting an all-Yes run is allowed classically …
+        let run = ConsensusOutcome::new(vec![
+            po(true, None, Some(1)),
+            po(true, Some(false), None),
+        ]);
+        check_nbac(&run, NonTriviality::Classic, true).unwrap();
+        // … but not in SDD-boosted mode when the vote survived.
+        assert!(matches!(
+            check_nbac(&run, NonTriviality::SddBoosted, true),
+            Err(NbacViolation::NonTriviality { .. })
+        ));
+        // If the vote was genuinely lost, aborting is fine even boosted.
+        check_nbac(&run, NonTriviality::SddBoosted, false).unwrap();
+    }
+
+    #[test]
+    fn failure_free_all_yes_must_commit() {
+        let run = ConsensusOutcome::new(vec![po(true, Some(false), None); 2]);
+        assert!(matches!(
+            check_nbac(&run, NonTriviality::Classic, true),
+            Err(NbacViolation::NonTriviality { .. })
+        ));
+    }
+
+    #[test]
+    fn termination_checked_last() {
+        let run = ConsensusOutcome::new(vec![po(true, None, None), po(true, Some(true), None)]);
+        assert!(matches!(
+            check_nbac(&run, NonTriviality::Classic, true),
+            Err(NbacViolation::Termination { .. })
+        ));
+    }
+}

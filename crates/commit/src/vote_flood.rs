@@ -1,0 +1,306 @@
+//! The vote-flooding atomic commit protocol.
+//!
+//! Round 1: everyone floods its vote map (initially just its own
+//! vote); rounds 2..t+1 keep flooding the merged maps. After `t+1`
+//! rounds a process commits iff its map holds a `Yes` from *every*
+//! process. The FloodSet agreement argument carries over verbatim to
+//! maps, so the decision is uniform.
+//!
+//! * [`VoteFlood`] (`RS`): commits whenever every vote *survived*
+//!   (reached some process that lives through the round), which is the
+//!   §3 SDD-boosted non-triviality — crashes that happen after the
+//!   vote got out do not force an abort.
+//! * [`VoteFloodWs`] (`RWS`): adds the FloodSetWS halt mechanism to
+//!   stay uniform under pending messages — and therefore aborts in
+//!   exactly the runs where the adversary made votes pending. The
+//!   measurable commit-rate gap between the two is experiment E10.
+
+use ssp_model::{Decision, ProcessId, ProcessSet, Round};
+use ssp_rounds::{
+    CrashSchedule, PendingChoice, RoundAlgorithm, RoundProcess,
+};
+
+/// A (partial) vote map: `map[i] = Some(vote)` once `p_{i+1}`'s vote is
+/// known.
+pub type VoteMap = Vec<Option<bool>>;
+
+/// Vote-flooding commit for the `RS` model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteFlood;
+
+/// Vote-flooding commit for the `RWS` model (halt mechanism added).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteFloodWs;
+
+/// Per-process state of the vote-flooding protocols.
+#[derive(Debug)]
+pub struct VoteFloodProcess {
+    t: usize,
+    map: VoteMap,
+    halt: Option<ProcessSet>,
+    decision: Decision<bool>,
+}
+
+impl RoundProcess for VoteFloodProcess {
+    type Msg = VoteMap;
+    type Value = bool;
+
+    fn msgs(&self, round: Round, _dst: ProcessId) -> Option<VoteMap> {
+        (round.get() as usize <= self.t + 1).then(|| self.map.clone())
+    }
+
+    fn trans(&mut self, round: Round, received: &[Option<VoteMap>]) {
+        for (j, m) in received.iter().enumerate() {
+            if let Some(m) = m {
+                let halted = self
+                    .halt
+                    .is_some_and(|h| h.contains(ProcessId::new(j)));
+                if !halted {
+                    for (slot, vote) in m.iter().enumerate() {
+                        if let Some(v) = vote {
+                            self.map[slot] = Some(*v);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(halt) = &mut self.halt {
+            for (j, m) in received.iter().enumerate() {
+                if m.is_none() {
+                    halt.insert(ProcessId::new(j));
+                }
+            }
+        }
+        if round.get() as usize == self.t + 1 {
+            let commit = self.map.iter().all(|v| *v == Some(true));
+            self.decision
+                .decide(commit, round)
+                .expect("decides once");
+        }
+    }
+
+    fn decision(&self) -> Option<(bool, Round)> {
+        self.decision.clone().into_inner()
+    }
+}
+
+fn spawn_process(me: ProcessId, n: usize, t: usize, vote: bool, ws: bool) -> VoteFloodProcess {
+    let mut map = vec![None; n];
+    map[me.index()] = Some(vote);
+    VoteFloodProcess {
+        t,
+        map,
+        halt: ws.then(ProcessSet::empty),
+        decision: Decision::unknown(),
+    }
+}
+
+impl RoundAlgorithm<bool> for VoteFlood {
+    type Process = VoteFloodProcess;
+
+    fn name(&self) -> &str {
+        "VoteFlood"
+    }
+
+    fn spawn(&self, me: ProcessId, n: usize, t: usize, vote: bool) -> VoteFloodProcess {
+        spawn_process(me, n, t, vote, false)
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+impl RoundAlgorithm<bool> for VoteFloodWs {
+    type Process = VoteFloodProcess;
+
+    fn name(&self) -> &str {
+        "VoteFloodWS"
+    }
+
+    fn spawn(&self, me: ProcessId, n: usize, t: usize, vote: bool) -> VoteFloodProcess {
+        spawn_process(me, n, t, vote, true)
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+/// Ground truth for the SDD-boosted non-triviality premise: whether
+/// every process's vote reaches a process that survives the whole run,
+/// under unfiltered flooding with the given schedule and pending
+/// choice.
+///
+/// Computed by simulating per-vote holder sets round by round: a
+/// holder's round-`r` flood teaches every destination it actually
+/// reaches (sent, not withheld, and the destination survives the
+/// round).
+#[must_use]
+pub fn votes_all_survive(
+    n: usize,
+    horizon: u32,
+    schedule: &CrashSchedule,
+    pending: &PendingChoice,
+) -> bool {
+    (0..n).all(|origin| {
+        let origin = ProcessId::new(origin);
+        let mut holders = ProcessSet::singleton(origin);
+        for r in (1..=horizon).map(Round::new) {
+            let mut next = holders;
+            for q in holders.iter() {
+                if !schedule.sends_in(q, r) {
+                    continue;
+                }
+                for d in (0..n).map(ProcessId::new) {
+                    if schedule.emits(q, r, d)
+                        && !pending.is_withheld(r, q, d)
+                        && schedule.is_alive_through(d, r)
+                    {
+                        next.insert(d);
+                    }
+                }
+            }
+            // Crashed holders stop counting as holders for later rounds,
+            // but anything they taught stays.
+            holders = next
+                .iter()
+                .filter(|&q| schedule.is_alive_through(q, r))
+                .collect();
+            if holders.is_empty() {
+                return false;
+            }
+        }
+        !holders
+            .intersection(ProcessSet::full(n).difference(fault_set(schedule, n)))
+            .is_empty()
+    })
+}
+
+fn fault_set(schedule: &CrashSchedule, n: usize) -> ProcessSet {
+    (0..n)
+        .map(ProcessId::new)
+        .filter(|&p| schedule.crash_of(p).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{check_nbac, NonTriviality};
+    use ssp_model::InitialConfig;
+    use ssp_rounds::{run_rs, run_rws, RoundCrash};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn all_yes_failure_free_commits() {
+        let config = InitialConfig::new(vec![true; 4]);
+        let out = run_rs(&VoteFlood, &config, 2, &CrashSchedule::none(4));
+        check_nbac(&out, NonTriviality::SddBoosted, true).unwrap();
+        for (_, o) in out.iter() {
+            assert!(o.decision.as_ref().unwrap().0);
+        }
+    }
+
+    #[test]
+    fn one_no_vote_aborts() {
+        let config = InitialConfig::new(vec![true, false, true]);
+        let out = run_rs(&VoteFlood, &config, 1, &CrashSchedule::none(3));
+        check_nbac(&out, NonTriviality::SddBoosted, true).unwrap();
+        for (_, o) in out.iter() {
+            assert!(!o.decision.as_ref().unwrap().0);
+        }
+    }
+
+    #[test]
+    fn crash_after_vote_got_out_still_commits_in_rs() {
+        // The §3 efficiency claim: p1 crashes mid-round-1 but reached
+        // p2, so the vote survives and everyone still commits.
+        let config = InitialConfig::new(vec![true, true, true]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::singleton(p(1)),
+            },
+        );
+        assert!(votes_all_survive(3, 2, &schedule, &PendingChoice::none()));
+        let out = run_rs(&VoteFlood, &config, 1, &schedule);
+        check_nbac(&out, NonTriviality::SddBoosted, true).unwrap();
+        for q in [p(1), p(2)] {
+            assert!(out.outcome(q).decision.as_ref().unwrap().0);
+        }
+    }
+
+    #[test]
+    fn initially_dead_process_forces_abort() {
+        let config = InitialConfig::new(vec![true, true, true]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        assert!(!votes_all_survive(3, 2, &schedule, &PendingChoice::none()));
+        let out = run_rs(&VoteFlood, &config, 1, &schedule);
+        check_nbac(&out, NonTriviality::SddBoosted, false).unwrap();
+        for q in [p(1), p(2)] {
+            assert!(!out.outcome(q).decision.as_ref().unwrap().0);
+        }
+    }
+
+    #[test]
+    fn pending_votes_force_abort_in_rws() {
+        // Same crash as `crash_after_vote_got_out_still_commits_in_rs`,
+        // but the adversary withholds the vote: RWS must abort where RS
+        // committed — the commit-rate gap in one run.
+        let config = InitialConfig::new(vec![true, true, true]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::singleton(p(1)),
+            },
+        );
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, p(0), p(1));
+        assert!(!votes_all_survive(3, 2, &schedule, &pending));
+        let out = run_rws(&VoteFloodWs, &config, 1, &schedule, &pending).unwrap();
+        check_nbac(&out, NonTriviality::Classic, false).unwrap();
+        for q in [p(1), p(2)] {
+            assert!(!out.outcome(q).decision.as_ref().unwrap().0);
+        }
+    }
+
+    #[test]
+    fn ws_variant_stays_uniform_under_pending_leak() {
+        // p1's round-1 map is pending for p3 but delivered to p2 in
+        // round 2 via p1's partial crash send; halt keeps p2 from
+        // acting on it, so p2 and p3 agree.
+        let config = InitialConfig::new(vec![true, true, true]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::singleton(p(1)),
+            },
+        );
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, p(0), p(1));
+        pending.withhold(Round::FIRST, p(0), p(2));
+        let out = run_rws(&VoteFloodWs, &config, 1, &schedule, &pending).unwrap();
+        check_nbac(&out, NonTriviality::Classic, false).unwrap();
+        assert_eq!(
+            out.outcome(p(1)).decision.as_ref().unwrap().0,
+            out.outcome(p(2)).decision.as_ref().unwrap().0,
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Failure detector histories (§2.5).
+//!
+//! A history `H : Π × T → 2^Π` gives, for each observer process and
+//! each time, the set of processes the observer's local failure
+//! detector module currently suspects. [`FdHistory`] stores the
+//! piecewise-constant function as per-observer change points.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ssp_model::{ProcessId, ProcessSet, Time};
+
+/// A concrete failure detector history.
+///
+/// Suspicion sets are piecewise-constant in time: `set` records the
+/// value from a given time onward, `query` reads the value in effect
+/// at a time (empty before the first change point).
+///
+/// # Examples
+///
+/// ```
+/// use ssp_fd::FdHistory;
+/// use ssp_model::{ProcessId, ProcessSet, Time};
+///
+/// let mut h = FdHistory::new(2);
+/// let (p1, p2) = (ProcessId::new(0), ProcessId::new(1));
+/// h.set(p1, Time::new(5), ProcessSet::singleton(p2));
+/// assert!(h.query(p1, Time::new(4)).is_empty());
+/// assert!(h.query(p1, Time::new(5)).contains(p2));
+/// assert!(h.query(p1, Time::new(99)).contains(p2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FdHistory {
+    n: usize,
+    /// Per observer: time → suspicion set from that time on.
+    changes: Vec<BTreeMap<Time, ProcessSet>>,
+}
+
+impl FdHistory {
+    /// Creates the history where nobody ever suspects anybody.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FdHistory {
+            n,
+            changes: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Number of processes in the universe.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    /// Sets observer `p`'s suspicion set from time `t` onward
+    /// (until the next later change point, if any).
+    pub fn set(&mut self, p: ProcessId, t: Time, suspects: ProcessSet) -> &mut Self {
+        self.changes[p.index()].insert(t, suspects);
+        self
+    }
+
+    /// Adds `q` to observer `p`'s suspicion set from time `t` onward,
+    /// preserving all later change points (they also gain `q`).
+    pub fn suspect_from(&mut self, p: ProcessId, q: ProcessId, t: Time) -> &mut Self {
+        let map = &mut self.changes[p.index()];
+        // Value in effect just before t.
+        let mut current = map
+            .range(..=t)
+            .next_back()
+            .map(|(_, s)| *s)
+            .unwrap_or(ProcessSet::empty());
+        current.insert(q);
+        map.insert(t, current);
+        // Propagate to all later change points.
+        let later: Vec<Time> = map.range(t.next()..).map(|(k, _)| *k).collect();
+        for k in later {
+            let mut s = map[&k];
+            s.insert(q);
+            map.insert(k, s);
+        }
+        self
+    }
+
+    /// The value `H(p, t)`.
+    #[must_use]
+    pub fn query(&self, p: ProcessId, t: Time) -> ProcessSet {
+        self.changes[p.index()]
+            .range(..=t)
+            .next_back()
+            .map(|(_, s)| *s)
+            .unwrap_or(ProcessSet::empty())
+    }
+
+    /// All change points of observer `p`, in time order.
+    pub fn change_points(&self, p: ProcessId) -> impl Iterator<Item = (Time, ProcessSet)> + '_ {
+        self.changes[p.index()].iter().map(|(&t, &s)| (t, s))
+    }
+
+    /// The latest change point across all observers, or `Time::ZERO`
+    /// for the empty history. Useful to pick a checking horizon.
+    #[must_use]
+    pub fn last_change(&self) -> Time {
+        self.changes
+            .iter()
+            .filter_map(|m| m.keys().next_back().copied())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+}
+
+impl fmt::Display for FdHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "failure detector history:")?;
+        for i in 0..self.n {
+            let p = ProcessId::new(i);
+            write!(f, "  {p}:")?;
+            if self.changes[i].is_empty() {
+                writeln!(f, " never suspects")?;
+                continue;
+            }
+            for (t, s) in &self.changes[i] {
+                write!(f, " [{}→{s}]", t.tick())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_history_never_suspects() {
+        let h = FdHistory::new(3);
+        for i in 0..3 {
+            assert!(h.query(p(i), Time::new(1000)).is_empty());
+        }
+        assert_eq!(h.last_change(), Time::ZERO);
+    }
+
+    #[test]
+    fn set_is_piecewise_constant() {
+        let mut h = FdHistory::new(2);
+        h.set(p(0), Time::new(3), ProcessSet::singleton(p(1)));
+        h.set(p(0), Time::new(7), ProcessSet::empty());
+        assert!(h.query(p(0), Time::new(2)).is_empty());
+        assert!(h.query(p(0), Time::new(3)).contains(p(1)));
+        assert!(h.query(p(0), Time::new(6)).contains(p(1)));
+        assert!(h.query(p(0), Time::new(7)).is_empty());
+    }
+
+    #[test]
+    fn suspect_from_preserves_later_points() {
+        let mut h = FdHistory::new(3);
+        h.set(p(0), Time::new(10), ProcessSet::singleton(p(1)));
+        h.suspect_from(p(0), p(2), Time::new(5));
+        // From 5: {p3}. From 10: {p2, p3} (later point gains p3).
+        assert_eq!(h.query(p(0), Time::new(5)), ProcessSet::singleton(p(2)));
+        let at10 = h.query(p(0), Time::new(10));
+        assert!(at10.contains(p(1)) && at10.contains(p(2)));
+    }
+
+    #[test]
+    fn change_points_are_ordered() {
+        let mut h = FdHistory::new(1);
+        h.set(p(0), Time::new(9), ProcessSet::empty());
+        h.set(p(0), Time::new(2), ProcessSet::singleton(p(0)));
+        let times: Vec<u64> = h.change_points(p(0)).map(|(t, _)| t.tick()).collect();
+        assert_eq!(times, [2, 9]);
+        assert_eq!(h.last_change(), Time::new(9));
+    }
+
+    #[test]
+    fn display_mentions_observers() {
+        let mut h = FdHistory::new(2);
+        h.set(p(0), Time::new(1), ProcessSet::singleton(p(1)));
+        let s = h.to_string();
+        assert!(s.contains("p1"));
+        assert!(s.contains("never suspects"));
+    }
+}

@@ -1,0 +1,273 @@
+//! History generators ("oracles") for the detector classes.
+//!
+//! Simulated SP executions fix the failure pattern up front, so a
+//! compatible history of the perfect detector `P` can be *generated*:
+//! each observer starts suspecting each crashed process some finite —
+//! but adversary-chosen, unbounded — delay after the crash, and never
+//! before. The unboundedness of that delay is exactly the weakness of
+//! `SP` that Theorem 3.1 exploits.
+
+use rand::Rng;
+
+use ssp_model::{process::all_processes, FailurePattern, ProcessId, Time};
+
+use crate::history::FdHistory;
+
+/// Builder for perfect-detector histories with per-pair detection delays.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_fd::{classify, PerfectOracle};
+/// use ssp_model::{FailurePattern, ProcessId, Time};
+///
+/// let mut pattern = FailurePattern::no_failures(3);
+/// pattern.crash(ProcessId::new(2), Time::new(4));
+///
+/// let history = PerfectOracle::new(&pattern)
+///     .delay(ProcessId::new(0), ProcessId::new(2), 10)
+///     .build();
+/// let props = classify(&pattern, &history, Time::new(100));
+/// assert!(props.is_perfect());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfectOracle<'a> {
+    pattern: &'a FailurePattern,
+    default_delay: u64,
+    delays: Vec<Option<u64>>, // observer-major [observer][target]
+}
+
+impl<'a> PerfectOracle<'a> {
+    /// Creates an oracle for `pattern` with default detection delay 1.
+    #[must_use]
+    pub fn new(pattern: &'a FailurePattern) -> Self {
+        let n = pattern.universe_size();
+        PerfectOracle {
+            pattern,
+            default_delay: 1,
+            delays: vec![None; n * n],
+        }
+    }
+
+    /// Sets the detection delay applied when no per-pair delay is given.
+    #[must_use]
+    pub fn default_delay(mut self, delay: u64) -> Self {
+        self.default_delay = delay;
+        self
+    }
+
+    /// Sets how many ticks after `target`'s crash the `observer` starts
+    /// suspecting it. Finite but arbitrary — the `SP` adversary's knob.
+    #[must_use]
+    pub fn delay(mut self, observer: ProcessId, target: ProcessId, delay: u64) -> Self {
+        let n = self.pattern.universe_size();
+        self.delays[observer.index() * n + target.index()] = Some(delay);
+        self
+    }
+
+    /// Draws every per-pair delay uniformly from `0..=max_delay`.
+    #[must_use]
+    pub fn random_delays<R: Rng>(mut self, rng: &mut R, max_delay: u64) -> Self {
+        for d in &mut self.delays {
+            *d = Some(rng.gen_range(0..=max_delay));
+        }
+        self
+    }
+
+    /// Builds the history: observer `p` suspects target `q` from
+    /// `crash_time(q) + delay(p, q)` onward; never suspects correct
+    /// processes.
+    #[must_use]
+    pub fn build(&self) -> FdHistory {
+        let n = self.pattern.universe_size();
+        let mut h = FdHistory::new(n);
+        for q in self.pattern.faulty().iter() {
+            let crash = self
+                .pattern
+                .crash_time(q)
+                .expect("faulty process has a crash time");
+            for p in all_processes(n) {
+                let delay = self.delays[p.index() * n + q.index()].unwrap_or(self.default_delay);
+                h.suspect_from(p, q, crash + delay);
+            }
+        }
+        h
+    }
+}
+
+/// Convenience: the perfect history where every crash is detected by
+/// everyone exactly `delay` ticks after it happens.
+#[must_use]
+pub fn perfect_history(pattern: &FailurePattern, delay: u64) -> FdHistory {
+    PerfectOracle::new(pattern).default_delay(delay).build()
+}
+
+/// Builds an *eventually perfect* (`◇P`) history: like the perfect one,
+/// but before `stabilization` each observer may wrongly suspect
+/// arbitrary processes; all false suspicions are retracted at
+/// `stabilization`.
+///
+/// Used to test that the class checkers separate `P` from `◇P`.
+#[must_use]
+pub fn eventually_perfect_history<R: Rng>(
+    pattern: &FailurePattern,
+    detection_delay: u64,
+    stabilization: Time,
+    rng: &mut R,
+) -> FdHistory {
+    let n = pattern.universe_size();
+    let mut h = perfect_history(pattern, detection_delay);
+    for p in all_processes(n) {
+        for q in all_processes(n) {
+            if p != q && stabilization > Time::ZERO && rng.gen_bool(0.5) {
+                // False suspicion during [start, end) ⊂ [0, stabilization).
+                let start = rng.gen_range(0..stabilization.tick());
+                let end = rng.gen_range(start + 1..=stabilization.tick());
+                let mut at_start = h.query(p, Time::new(start));
+                at_start.insert(q);
+                h.set(p, Time::new(start), at_start);
+                let mut at_end = h.query(p, Time::new(end));
+                at_end.remove(q);
+                h.set(p, Time::new(end), at_end);
+            }
+        }
+    }
+    // Re-assert the perfect suspicions from stabilization on, in case a
+    // retraction above clobbered one.
+    for q in pattern.faulty().iter() {
+        let crash = pattern.crash_time(q).expect("faulty has crash time");
+        for p in all_processes(n) {
+            h.suspect_from(p, q, (crash + detection_delay).max(stabilization));
+        }
+    }
+    h
+}
+
+/// Builds a *strong* (`S`) history: complete, and accurate only about
+/// one distinguished correct process (`immune`) — every other process
+/// may be wrongly and permanently suspected by anyone.
+///
+/// Separates `S` from `P` in the class checkers: the history below is
+/// complete and weakly accurate but (when any `wrong` pair is given)
+/// not strongly accurate.
+///
+/// # Panics
+///
+/// Panics if `immune` is faulty in `pattern` — weak accuracy needs a
+/// correct never-suspected process.
+#[must_use]
+pub fn strong_history(
+    pattern: &FailurePattern,
+    detection_delay: u64,
+    immune: ProcessId,
+    wrong: &[(ProcessId, ProcessId)],
+) -> FdHistory {
+    assert!(
+        pattern.is_correct(immune),
+        "the immune process must be correct"
+    );
+    let mut h = perfect_history(pattern, detection_delay);
+    for &(observer, target) in wrong {
+        if target != immune {
+            h.suspect_from(observer, target, Time::ZERO);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::classify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn oracle_builds_perfect_histories() {
+        let mut pattern = FailurePattern::no_failures(4);
+        pattern.crash(p(1), Time::new(3));
+        pattern.crash(p(3), Time::new(9));
+        let h = PerfectOracle::new(&pattern)
+            .default_delay(2)
+            .delay(p(0), p(1), 50)
+            .build();
+        // Never before the crash:
+        assert!(!h.query(p(0), Time::new(52)).contains(p(1)));
+        assert!(h.query(p(0), Time::new(53)).contains(p(1)));
+        // Default delay elsewhere:
+        assert!(h.query(p(2), Time::new(5)).contains(p(1)));
+        let props = classify(&pattern, &h, Time::new(200));
+        assert!(props.is_perfect());
+    }
+
+    #[test]
+    fn random_delays_remain_perfect() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..20u64 {
+            let mut pattern = FailurePattern::no_failures(5);
+            pattern.crash(p((seed % 5) as usize), Time::new(seed % 11));
+            let h = PerfectOracle::new(&pattern)
+                .random_delays(&mut rng, 100)
+                .build();
+            let props = classify(&pattern, &h, Time::new(300));
+            assert!(props.is_perfect(), "seed {seed}: {props}");
+        }
+    }
+
+    #[test]
+    fn eventually_perfect_is_diamond_p_not_p() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut pattern = FailurePattern::no_failures(4);
+        pattern.crash(p(2), Time::new(6));
+        let mut found_impure = false;
+        for _ in 0..20 {
+            let h = eventually_perfect_history(&pattern, 1, Time::new(30), &mut rng);
+            let props = classify(&pattern, &h, Time::new(100));
+            assert!(props.is_eventually_perfect());
+            if !props.is_perfect() {
+                found_impure = true;
+            }
+        }
+        assert!(
+            found_impure,
+            "at least one sampled history should make a false suspicion"
+        );
+    }
+
+    #[test]
+    fn strong_history_is_s_but_not_p() {
+        let mut pattern = FailurePattern::no_failures(4);
+        pattern.crash(p(3), Time::new(5));
+        // p2 permanently (and wrongly) suspects the correct p1; p0 is immune.
+        let h = strong_history(&pattern, 1, p(0), &[(p(1), p(2))]);
+        let props = classify(&pattern, &h, Time::new(50));
+        assert!(props.strong_completeness);
+        assert!(props.weak_accuracy, "p1 is never suspected");
+        assert!(!props.strong_accuracy, "p3 is wrongly suspected");
+        assert!(props.is_strong());
+        assert!(!props.is_perfect());
+        // The false suspicion is permanent, so not even ◇P.
+        assert!(!props.is_eventually_perfect());
+        assert!(props.is_eventually_strong());
+    }
+
+    #[test]
+    #[should_panic(expected = "immune process must be correct")]
+    fn strong_history_rejects_faulty_immune() {
+        let mut pattern = FailurePattern::no_failures(2);
+        pattern.crash(p(0), Time::ZERO);
+        let _ = strong_history(&pattern, 1, p(0), &[]);
+    }
+
+    #[test]
+    fn failure_free_pattern_yields_empty_history() {
+        let pattern = FailurePattern::no_failures(3);
+        let h = perfect_history(&pattern, 1);
+        assert_eq!(h.last_change(), Time::ZERO);
+        assert!(classify(&pattern, &h, Time::new(10)).is_perfect());
+    }
+}

@@ -1,0 +1,226 @@
+//! Whole-algorithm verification with counterexample extraction.
+//!
+//! Wraps the exhaustive exploration of [`crate::enumerate`] with the
+//! specification checkers of `ssp-model`: verify an algorithm against
+//! the uniform consensus specification over *every* run of a bounded
+//! space, or get back the exact run that breaks it.
+
+use core::fmt;
+
+use ssp_model::{
+    spec::ConsensusViolation, check_uniform_consensus, check_uniform_consensus_strong,
+    ConsensusOutcome, InitialConfig, Value,
+};
+use ssp_rounds::{CrashSchedule, PendingChoice, RoundAlgorithm};
+
+use crate::enumerate::{explore_rs_until, explore_rws_until};
+
+/// Which validity flavor to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidityMode {
+    /// Only the paper's uniform validity (unanimity ⇒ that value).
+    Uniform,
+    /// Also require decisions to be some process's input.
+    Strong,
+}
+
+/// A complete counterexample: the run inputs plus the violated clause.
+#[derive(Debug, Clone)]
+pub struct Counterexample<V> {
+    /// The initial configuration of the violating run.
+    pub config: InitialConfig<V>,
+    /// Its crash schedule.
+    pub schedule: CrashSchedule,
+    /// Its pending choice (empty for `RS` runs).
+    pub pending: PendingChoice,
+    /// The outcome.
+    pub outcome: ConsensusOutcome<V>,
+    /// The violated specification clause.
+    pub violation: ConsensusViolation<V>,
+}
+
+impl<V: Value> fmt::Display for Counterexample<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample: {}", self.violation)?;
+        writeln!(f, "  config:   {}", self.config)?;
+        writeln!(f, "  schedule: {}", self.schedule)?;
+        if !self.pending.is_empty() {
+            write!(f, "  pending:  ")?;
+            for (r, s, d) in self.pending.triples() {
+                write!(f, "[{s}→{d} @{r}] ")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{}", self.outcome)
+    }
+}
+
+/// The result of a verification sweep.
+#[derive(Debug)]
+pub struct Verification<V> {
+    /// Number of runs explored (the full space when no violation was
+    /// found; the prefix up to and including the counterexample
+    /// otherwise — the sweep stops at the first violation).
+    pub runs: u64,
+    /// The first violation found, if any.
+    pub counterexample: Option<Counterexample<V>>,
+}
+
+impl<V: Value> Verification<V> {
+    /// Whether every explored run satisfied the specification.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.counterexample.is_none()
+    }
+
+    /// Unwraps the success case.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the counterexample's display if a violation exists.
+    pub fn expect_ok(&self) -> u64 {
+        if let Some(cex) = &self.counterexample {
+            panic!("specification violated after {} runs:\n{cex}", self.runs);
+        }
+        self.runs
+    }
+
+    /// Unwraps the failure case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no violation was found.
+    pub fn expect_violation(&self) -> &Counterexample<V> {
+        self.counterexample
+            .as_ref()
+            .expect("expected a specification violation, found none")
+    }
+}
+
+fn check<V: Value>(
+    outcome: &ConsensusOutcome<V>,
+    mode: ValidityMode,
+) -> Result<(), ConsensusViolation<V>> {
+    match mode {
+        ValidityMode::Uniform => check_uniform_consensus(outcome),
+        ValidityMode::Strong => check_uniform_consensus_strong(outcome),
+    }
+}
+
+/// Verifies `algo` against uniform consensus over every `RS` run of the
+/// bounded space (all configs over `domain`, all crash schedules).
+#[must_use]
+pub fn verify_rs<V, A>(algo: &A, n: usize, t: usize, domain: &[V], mode: ValidityMode) -> Verification<V>
+where
+    V: Value,
+    A: RoundAlgorithm<V>,
+{
+    let mut counterexample = None;
+    let runs = explore_rs_until(algo, n, t, domain, |run| {
+        if let Err(violation) = check(&run.outcome, mode) {
+            counterexample = Some(Counterexample {
+                config: run.config.clone(),
+                schedule: run.schedule.clone(),
+                pending: run.pending.clone(),
+                outcome: run.outcome.clone(),
+                violation,
+            });
+            return true;
+        }
+        false
+    });
+    Verification {
+        runs,
+        counterexample,
+    }
+}
+
+/// Verifies `algo` against uniform consensus over every `RWS` run of
+/// the bounded space (configs × crash schedules × pending choices).
+#[must_use]
+pub fn verify_rws<V, A>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[V],
+    mode: ValidityMode,
+) -> Verification<V>
+where
+    V: Value,
+    A: RoundAlgorithm<V>,
+{
+    let mut counterexample = None;
+    let runs = explore_rws_until(algo, n, t, domain, |run| {
+        if let Err(violation) = check(&run.outcome, mode) {
+            counterexample = Some(Counterexample {
+                config: run.config.clone(),
+                schedule: run.schedule.clone(),
+                pending: run.pending.clone(),
+                outcome: run.outcome.clone(),
+                violation,
+            });
+            return true;
+        }
+        false
+    });
+    Verification {
+        runs,
+        counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_algos::{FloodSet, FloodSetWs, A1};
+    use ssp_model::spec::ConsensusViolation;
+
+    #[test]
+    fn floodset_verified_in_rs() {
+        // E3 (small instance): FloodSet solves uniform consensus in RS.
+        let v = verify_rs(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        assert!(v.runs > 500);
+        v.expect_ok();
+    }
+
+    #[test]
+    fn a1_verified_in_rs() {
+        // Theorem 5.2 (exhaustive, n=3): A1 solves uniform consensus.
+        let v = verify_rs(&A1, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        v.expect_ok();
+    }
+
+    #[test]
+    fn floodset_refuted_in_rws_with_t2() {
+        // E4: the checker *finds* the pending-message disagreement.
+        let v = verify_rws(&FloodSet, 3, 2, &[0u64, 1], ValidityMode::Uniform);
+        let cex = v.expect_violation();
+        assert!(matches!(
+            cex.violation,
+            ConsensusViolation::UniformAgreement { .. }
+        ));
+        // The counterexample prints all the forensics.
+        let text = cex.to_string();
+        assert!(text.contains("uniform agreement"));
+        assert!(text.contains("pending"));
+    }
+
+    #[test]
+    fn a1_refuted_in_rws() {
+        // §5.3: A1 is not uniform in RWS; the checker finds the run.
+        let v = verify_rws(&A1, 3, 1, &[0u64, 1], ValidityMode::Uniform);
+        let cex = v.expect_violation();
+        assert!(matches!(
+            cex.violation,
+            ConsensusViolation::UniformAgreement { .. }
+        ));
+    }
+
+    #[test]
+    fn floodset_ws_verified_in_rws() {
+        // E5 (small instance): FloodSetWS survives every pending choice.
+        let v = verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        assert!(v.runs > 1_000);
+        v.expect_ok();
+    }
+}

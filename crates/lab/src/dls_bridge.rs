@@ -1,0 +1,244 @@
+//! The §1 side-claim, executable: *"In the system models of \[12\]
+//! (Dwork–Lynch–Stockmeyer partial synchrony), time-out mechanisms can
+//! be used to implement an eventually perfect failure detector"* — one
+//! of the eight Chandra–Toueg classes, and the natural counterpart to
+//! §3's timeouts-implement-`P`-in-`SS`.
+//!
+//! [`AdaptiveHeartbeatProcess`] runs in the `DLS` executor
+//! ([`ModelKind::Dls`]): it starts with an optimistic silence bound,
+//! suspects peers that exceed it, and — crucially — *retracts and
+//! doubles its bound* when a suspected peer turns out to be alive.
+//! Before the global stabilization time the adversary can starve
+//! processes and force false suspicions; after it, the `SS` bounds
+//! hold, so once the adaptive bound exceeds the true post-`gst`
+//! silence bound there are no further mistakes: strong completeness +
+//! *eventual* strong accuracy = `◇P`. The same construction in plain
+//! `SS` (gst = 0) yields `P` from the start.
+
+use ssp_fd::FdHistory;
+use ssp_model::{FailurePattern, ProcessId, ProcessSet, Time};
+use ssp_sim::{
+    run, BoxedAutomaton, ChainAdversary, DeliveryChoice, Event, FairAdversary, ModelKind,
+    ScriptedAdversary, StepAutomaton, StepContext, TraceEvent,
+};
+
+/// A heartbeat process with an adaptive (doubling) silence bound.
+#[derive(Debug)]
+pub struct AdaptiveHeartbeatProcess {
+    me: ProcessId,
+    n: usize,
+    /// Current per-peer silence bound, in own-steps.
+    bound: Vec<u64>,
+    last_heard: Vec<u64>,
+    suspects: ProcessSet,
+    /// Cumulative count of retractions (false suspicions corrected).
+    retractions: u64,
+}
+
+impl AdaptiveHeartbeatProcess {
+    /// Creates the process with the given initial bound (own-steps of
+    /// silence tolerated before suspecting).
+    #[must_use]
+    pub fn new(me: ProcessId, n: usize, initial_bound: u64) -> Self {
+        AdaptiveHeartbeatProcess {
+            me,
+            n,
+            bound: vec![initial_bound.max(1); n],
+            last_heard: vec![0; n],
+            suspects: ProcessSet::empty(),
+            retractions: 0,
+        }
+    }
+
+    /// The current suspicion set.
+    #[must_use]
+    pub fn suspects(&self) -> ProcessSet {
+        self.suspects
+    }
+
+    /// How many times a suspicion was retracted (evidence of pre-`gst`
+    /// chaos).
+    #[must_use]
+    pub fn retractions(&self) -> u64 {
+        self.retractions
+    }
+}
+
+impl StepAutomaton for AdaptiveHeartbeatProcess {
+    type Msg = ();
+    type Output = ();
+
+    fn step(&mut self, ctx: StepContext<'_, ()>) -> Option<(ProcessId, ())> {
+        for env in ctx.received {
+            let src = env.src;
+            self.last_heard[src.index()] = ctx.own_step;
+            if self.suspects.remove(src) {
+                // False suspicion: adapt.
+                self.retractions += 1;
+                self.bound[src.index()] = self.bound[src.index()].saturating_mul(2);
+            }
+        }
+        for i in 0..self.n {
+            let q = ProcessId::new(i);
+            if q != self.me
+                && ctx.own_step.saturating_sub(self.last_heard[i]) > self.bound[i]
+            {
+                self.suspects.insert(q);
+            }
+        }
+        if self.n <= 1 {
+            return None;
+        }
+        let slot = (ctx.own_step % (self.n as u64 - 1)) as usize;
+        let peer = (self.me.index() + 1 + slot) % self.n;
+        Some((ProcessId::new(peer), ()))
+    }
+
+    fn output(&self) -> Option<()> {
+        None
+    }
+}
+
+/// Result of a `DLS` adaptive-timeout experiment.
+#[derive(Debug)]
+pub struct DlsExperiment {
+    /// The reconstructed suspicion history (global clock).
+    pub history: FdHistory,
+    /// The realized failure pattern.
+    pub pattern: FailurePattern,
+    /// Horizon of the run.
+    pub horizon: Time,
+    /// Total suspicion retractions across observers — nonzero iff the
+    /// pre-`gst` chaos fooled someone.
+    pub retractions: u64,
+}
+
+/// Runs `n` adaptive heartbeat processes under `DLS(phi, delta, gst)`:
+/// a scripted pre-`gst` prefix starves process `starved` (forcing
+/// false suspicions), then a fair tail runs for `tail_events`,
+/// optionally crashing `crash` after its quota of steps.
+///
+/// # Panics
+///
+/// Panics if the executor rejects a generated schedule (cannot happen:
+/// pre-`gst` scheduling is free and the tail is fair).
+#[must_use]
+#[allow(clippy::too_many_arguments)] // an experiment recipe, not an API surface
+pub fn run_adaptive_experiment(
+    n: usize,
+    phi: u64,
+    delta: u64,
+    gst: u64,
+    starved: ProcessId,
+    initial_bound: u64,
+    crash: Option<(ProcessId, u64)>,
+    tail_events: u64,
+) -> DlsExperiment {
+    let automata: Vec<BoxedAutomaton<(), ()>> = (0..n)
+        .map(|i| {
+            Box::new(AdaptiveHeartbeatProcess::new(ProcessId::new(i), n, initial_bound)) as _
+        })
+        .collect();
+    // Pre-gst chaos: everyone except `starved` steps round-robin with
+    // all deliveries withheld.
+    let mut prefix_events = Vec::new();
+    let mut others: Vec<ProcessId> = (0..n)
+        .map(ProcessId::new)
+        .filter(|p| *p != starved)
+        .collect();
+    others.rotate_left(0);
+    let mut i = 0;
+    while (prefix_events.len() as u64) < gst {
+        prefix_events.push(Event::Step(others[i % others.len()]));
+        i += 1;
+    }
+    let deliveries = vec![DeliveryChoice::Nothing; prefix_events.len()];
+    let prefix = ScriptedAdversary::new(prefix_events, deliveries);
+    let mut tail = FairAdversary::new(n, tail_events);
+    if let Some((p, quota)) = crash {
+        tail = tail.with_crash(p, quota);
+    }
+    let mut adversary: ChainAdversary<()> =
+        ChainAdversary::new(vec![Box::new(prefix), Box::new(tail)]);
+    let result = run(
+        ModelKind::dls(phi, delta, gst),
+        automata,
+        &mut adversary,
+        gst + tail_events + 10,
+    )
+    .expect("pre-gst chaos and fair tails are legal in DLS");
+
+    // Shadow-replay to reconstruct suspicion histories.
+    let mut shadows: Vec<AdaptiveHeartbeatProcess> = (0..n)
+        .map(|i| AdaptiveHeartbeatProcess::new(ProcessId::new(i), n, initial_bound))
+        .collect();
+    let mut history = FdHistory::new(n);
+    let mut horizon = Time::ZERO;
+    for ev in result.trace.events() {
+        if let TraceEvent::Step(s) = ev {
+            let shadow = &mut shadows[s.process.index()];
+            let before = shadow.suspects();
+            let _ = shadow.step(StepContext {
+                received: &s.received,
+                suspects: ProcessSet::empty(),
+                own_step: s.own_step,
+            });
+            if shadow.suspects() != before {
+                history.set(s.process, s.time, shadow.suspects());
+            }
+            horizon = horizon.max(s.time);
+        }
+    }
+    DlsExperiment {
+        history,
+        pattern: result.pattern,
+        horizon,
+        retractions: shadows.iter().map(AdaptiveHeartbeatProcess::retractions).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_fd::classify;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn pre_gst_chaos_forces_false_suspicions_yet_diamond_p_holds() {
+        // Starve p1 for 120 pre-gst events with an optimistic bound of
+        // 4: p2/p3 will falsely suspect it. After gst the bounds hold,
+        // the suspicion is retracted, the timeout doubles, and no
+        // further mistakes happen: ◇P but (in this run) not P.
+        let exp = run_adaptive_experiment(3, 1, 1, 120, p(0), 4, None, 3_000);
+        let props = classify(&exp.pattern, &exp.history, exp.horizon);
+        assert!(exp.retractions > 0, "the chaos must actually fool someone");
+        assert!(!props.strong_accuracy, "false suspicion happened: {props}");
+        assert!(props.eventual_strong_accuracy, "{props}");
+        assert!(props.strong_completeness, "{props}");
+        assert!(props.is_eventually_perfect());
+        assert!(!props.is_perfect());
+    }
+
+    #[test]
+    fn crashes_after_stabilization_are_still_caught() {
+        let exp = run_adaptive_experiment(3, 1, 1, 60, p(0), 4, Some((p(2), 40)), 4_000);
+        let props = classify(&exp.pattern, &exp.history, exp.horizon);
+        assert!(props.strong_completeness, "crashed p3 must be suspected: {props}");
+        assert!(props.eventual_strong_accuracy, "{props}");
+        assert!(props.is_eventually_strong());
+    }
+
+    #[test]
+    fn with_gst_zero_the_construction_is_perfect_if_bound_is_sound() {
+        // gst = 0 ⇒ DLS = SS; with an initial bound already above the
+        // true silence bound there is never a false suspicion: P.
+        let sound_bound = crate::fd_bridge::heartbeat_silence_bound(1, 1, 3) + 1;
+        let exp = run_adaptive_experiment(3, 1, 1, 0, p(0), sound_bound, Some((p(1), 7)), 2_000);
+        let props = classify(&exp.pattern, &exp.history, exp.horizon);
+        assert_eq!(exp.retractions, 0);
+        assert!(props.is_perfect(), "{props}");
+    }
+}

@@ -1,0 +1,57 @@
+//! The analysis laboratory: everything that *verifies* the paper's
+//! claims rather than merely running its algorithms.
+//!
+//! * [`enumerate`] — bounded model checking: every configuration,
+//!   crash schedule and pending choice of a small `RS`/`RWS` space;
+//! * [`metrics`] — the latency-degree functionals `lat`, `Lat`, `Λ`
+//!   of §5.2, folded over enumerated spaces;
+//! * [`checker`] — whole-algorithm verification with counterexample
+//!   extraction (uniform consensus over every enumerated run);
+//! * [`impossibility`] — the Theorem 3.1 run-surgery adversary that
+//!   defeats every SDD candidate in `SP`;
+//! * [`lower_bound`] — the §5.3 / \[7\] demonstration that `Λ(A) ≥ 2`
+//!   for uniform consensus in `RWS` (`n ≥ 3`, `t = 1`);
+//! * [`fd_bridge`] — heartbeats + timeouts implement `P` inside `SS`,
+//!   certified by the Chandra–Toueg property checkers;
+//! * [`dls_bridge`] — adaptive timeouts implement `◇P` (not `P`) in
+//!   the partially synchronous model, the §1 side-claim;
+//! * [`sample`] — statistical verification for spaces too large to
+//!   enumerate;
+//! * [`step_explore`] — a step-level model checker over raw §2
+//!   adversaries;
+//! * [`time_free`] — §2.7's time-freeness as an executable property:
+//!   reorder a schedule preserving per-process views and replay;
+//! * [`report`] — plain-text tables for the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checker;
+pub mod dls_bridge;
+pub mod enumerate;
+pub mod fd_bridge;
+pub mod impossibility;
+pub mod lower_bound;
+pub mod metrics;
+pub mod parallel;
+pub mod report;
+pub mod sample;
+pub mod step_explore;
+pub mod time_free;
+
+pub use checker::{verify_rs, verify_rws, Counterexample, ValidityMode, Verification};
+pub use enumerate::{crash_schedules, explore_rs, explore_rs_until, explore_rws, explore_rws_until, pending_choices, EnumeratedRun};
+pub use dls_bridge::{run_adaptive_experiment, AdaptiveHeartbeatProcess, DlsExperiment};
+pub use fd_bridge::{run_heartbeat_experiment, run_heartbeat_experiment_seeded, HeartbeatExperiment, HeartbeatProcess};
+pub use impossibility::{refute, RefutationReport, SddCandidate, SddRefutation};
+pub use lower_bound::{
+    all_round1_candidates, decides_round1_when_failure_free, refute_round1_candidate,
+    Round1Candidate,
+};
+pub use metrics::{worst_case_rs, LatencyAggregator};
+pub use parallel::{verify_rs_parallel, verify_rws_parallel};
+pub use report::Table;
+pub use sample::{sample_verify_rs, sample_verify_rws, SampleSpace, SampleVerification};
+pub use step_explore::{explore_step_runs, StepSpace};
+pub use time_free::reorder_preserving_views;

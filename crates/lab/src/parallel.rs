@@ -1,0 +1,182 @@
+//! Parallel exhaustive verification: the run spaces factor cleanly by
+//! initial configuration, so the sweep shards across OS threads with
+//! plain `std::thread::scope` — no extra dependencies.
+//!
+//! Results are identical to the serial [`crate::checker`] verdicts
+//! except for *which* counterexample is reported when several exist
+//! (the lowest-shard one wins here; the serial order wins there).
+
+use ssp_model::{config::enumerate_configs, InitialConfig, Value};
+use ssp_rounds::{run_rs, run_rws, PendingChoice, RoundAlgorithm};
+
+use crate::checker::{Counterexample, ValidityMode, Verification};
+use crate::enumerate::{crash_schedules, pending_choices};
+
+fn check<V: Value>(
+    outcome: &ssp_model::ConsensusOutcome<V>,
+    mode: ValidityMode,
+) -> Result<(), ssp_model::spec::ConsensusViolation<V>> {
+    match mode {
+        ValidityMode::Uniform => ssp_model::check_uniform_consensus(outcome),
+        ValidityMode::Strong => ssp_model::check_uniform_consensus_strong(outcome),
+    }
+}
+
+/// Shards the configurations of the space across `threads` workers and
+/// verifies every `RS` run, as [`crate::checker::verify_rs`] does.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+#[must_use]
+pub fn verify_rs_parallel<V, A>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[V],
+    mode: ValidityMode,
+    threads: usize,
+) -> Verification<V>
+where
+    V: Value + Sync,
+    A: RoundAlgorithm<V> + Sync,
+{
+    verify_parallel(algo, n, t, domain, mode, threads, false)
+}
+
+/// Shards the configurations across `threads` workers and verifies
+/// every `RWS` run (all pending choices included).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+#[must_use]
+pub fn verify_rws_parallel<V, A>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[V],
+    mode: ValidityMode,
+    threads: usize,
+) -> Verification<V>
+where
+    V: Value + Sync,
+    A: RoundAlgorithm<V> + Sync,
+{
+    verify_parallel(algo, n, t, domain, mode, threads, true)
+}
+
+fn verify_parallel<V, A>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[V],
+    mode: ValidityMode,
+    threads: usize,
+    with_pending: bool,
+) -> Verification<V>
+where
+    V: Value + Sync,
+    A: RoundAlgorithm<V> + Sync,
+{
+    assert!(threads > 0, "at least one worker required");
+    let horizon = algo.round_horizon(n, t);
+    let schedules = crash_schedules(n, t, horizon + 1);
+    let configs: Vec<InitialConfig<V>> = enumerate_configs(n, domain).collect();
+    let chunk = configs.len().div_ceil(threads);
+    let schedules = &schedules;
+    let results: Vec<(u64, Option<Counterexample<V>>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for shard in configs.chunks(chunk.max(1)) {
+            handles.push(scope.spawn(move || {
+                let mut runs = 0u64;
+                for config in shard {
+                    for schedule in schedules {
+                        let pendings = if with_pending {
+                            pending_choices(schedule, horizon)
+                        } else {
+                            vec![PendingChoice::none()]
+                        };
+                        for pending in pendings {
+                            let outcome = if with_pending {
+                                run_rws(algo, config, t, schedule, &pending)
+                                    .expect("enumerated pending choices are valid")
+                            } else {
+                                run_rs(algo, config, t, schedule)
+                            };
+                            runs += 1;
+                            if let Err(violation) = check(&outcome, mode) {
+                                return (
+                                    runs,
+                                    Some(Counterexample {
+                                        config: config.clone(),
+                                        schedule: schedule.clone(),
+                                        pending,
+                                        outcome,
+                                        violation,
+                                    }),
+                                );
+                            }
+                        }
+                    }
+                }
+                (runs, None)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verification worker panicked"))
+            .collect()
+    });
+    let runs = results.iter().map(|(r, _)| r).sum();
+    let counterexample = results.into_iter().find_map(|(_, c)| c);
+    Verification {
+        runs,
+        counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{verify_rs, verify_rws};
+    use ssp_algos::{FloodSet, FloodSetWs};
+
+    #[test]
+    fn parallel_rs_agrees_with_serial() {
+        let serial = verify_rs(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        let parallel = verify_rs_parallel(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong, 4);
+        assert!(serial.is_ok() && parallel.is_ok());
+        assert_eq!(serial.runs, parallel.runs, "clean sweeps cover the same space");
+    }
+
+    #[test]
+    fn parallel_rws_agrees_with_serial_on_violations() {
+        let serial = verify_rws(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Uniform);
+        let parallel =
+            verify_rws_parallel(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Uniform, 4);
+        assert!(!serial.is_ok() && !parallel.is_ok(), "both must find the E4 bug");
+    }
+
+    #[test]
+    fn parallel_rws_clean_sweep_counts_whole_space() {
+        let serial = verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        let parallel =
+            verify_rws_parallel(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong, 3);
+        serial.expect_ok();
+        parallel.expect_ok();
+        assert_eq!(serial.runs, parallel.runs);
+    }
+
+    #[test]
+    fn single_thread_degenerates_to_serial() {
+        let parallel = verify_rs_parallel(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong, 1);
+        parallel.expect_ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = verify_rs_parallel(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The benches and examples regenerate the paper's claims as tables;
+//! [`Table`] keeps their output aligned and diff-friendly
+//! (EXPERIMENTS.md embeds these verbatim).
+
+use core::fmt;
+
+/// A simple left-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_lab::report::Table;
+///
+/// let mut t = Table::new(vec!["algorithm", "lat", "Lat", "Λ"]);
+/// t.row(vec!["C_OptFloodSet".into(), "1".into(), "2".into(), "2".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("C_OptFloodSet"));
+/// assert!(text.starts_with("algorithm"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell}")?;
+                if i + 1 < cells.len() {
+                    for _ in cell.chars().count()..widths[i] {
+                        write!(f, " ")?;
+                    }
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "long-header" and the numbers start at the
+        // same offset in every line.
+        let offset = lines[0].find("long-header").unwrap();
+        assert!(lines[2].ends_with('1'));
+        assert_eq!(&lines[2][offset..offset + 1], "1");
+        assert_eq!(&lines[3][offset..offset + 2], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Initial configurations (§2.2, §5.2).
+//!
+//! An initial configuration assigns each process its input value;
+//! buffers start empty. `lat(A, C)` and `Lat(A)` quantify over the set
+//! `C` of initial configurations, so this module also provides
+//! exhaustive enumeration over small value domains.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::ProcessId;
+use crate::value::Value;
+
+/// The vector of initial values, one per process.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{InitialConfig, ProcessId};
+///
+/// let c = InitialConfig::new(vec![0u64, 1, 0]);
+/// assert_eq!(c.n(), 3);
+/// assert_eq!(*c.input(ProcessId::new(1)), 1);
+/// assert!(!c.is_unanimous());
+/// assert!(InitialConfig::uniform(3, 5u64).is_unanimous());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InitialConfig<V> {
+    inputs: Vec<V>,
+}
+
+impl<V: Value> InitialConfig<V> {
+    /// Creates a configuration from per-process inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    #[must_use]
+    pub fn new(inputs: Vec<V>) -> Self {
+        assert!(!inputs.is_empty(), "at least one process required");
+        InitialConfig { inputs }
+    }
+
+    /// The configuration where every one of `n` processes starts with `v`.
+    #[must_use]
+    pub fn uniform(n: usize, v: V) -> Self {
+        InitialConfig::new(vec![v; n])
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Input value of process `p`.
+    #[must_use]
+    pub fn input(&self, p: ProcessId) -> &V {
+        &self.inputs[p.index()]
+    }
+
+    /// All inputs, indexed by process.
+    #[must_use]
+    pub fn inputs(&self) -> &[V] {
+        &self.inputs
+    }
+
+    /// Whether all processes start with the same value (the premise of
+    /// uniform validity, and the round-1 fast path of `C_OptFloodSet`).
+    #[must_use]
+    pub fn is_unanimous(&self) -> bool {
+        self.inputs.iter().all(|v| *v == self.inputs[0])
+    }
+
+    /// Whether `v` is the input of some process (strong validity).
+    #[must_use]
+    pub fn contains(&self, v: &V) -> bool {
+        self.inputs.contains(v)
+    }
+}
+
+impl<V: fmt::Debug> fmt::Display for InitialConfig<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C0{:?}", self.inputs)
+    }
+}
+
+/// Enumerates every initial configuration of `n` processes over the
+/// given `domain` of input values (`|domain|^n` configurations).
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::config::enumerate_configs;
+///
+/// let all: Vec<_> = enumerate_configs(2, &[0u64, 1]).collect();
+/// assert_eq!(all.len(), 4);
+/// ```
+pub fn enumerate_configs<V: Value>(
+    n: usize,
+    domain: &[V],
+) -> impl Iterator<Item = InitialConfig<V>> + '_ {
+    let total = domain.len().checked_pow(n as u32).expect("domain^n overflow");
+    (0..total).map(move |mut code| {
+        let mut inputs = Vec::with_capacity(n);
+        for _ in 0..n {
+            inputs.push(domain[code % domain.len()].clone());
+            code /= domain.len();
+        }
+        InitialConfig::new(inputs)
+    })
+}
+
+/// Enumerates binary (`{0,1}`) configurations of `n` processes.
+pub fn binary_configs(n: usize) -> impl Iterator<Item = InitialConfig<u64>> {
+    enumerate_configs(n, &[0u64, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_unanimous() {
+        let c = InitialConfig::uniform(4, 9u64);
+        assert!(c.is_unanimous());
+        assert!(c.contains(&9));
+        assert!(!c.contains(&8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_config_rejected() {
+        let _: InitialConfig<u64> = InitialConfig::new(vec![]);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_distinct() {
+        let all: Vec<_> = binary_configs(3).collect();
+        assert_eq!(all.len(), 8);
+        for i in 0..all.len() {
+            for j in 0..i {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+        assert_eq!(all.iter().filter(|c| c.is_unanimous()).count(), 2);
+    }
+
+    #[test]
+    fn enumeration_over_larger_domain() {
+        assert_eq!(enumerate_configs(2, &[1u64, 2, 3]).count(), 9);
+    }
+
+    #[test]
+    fn display_shows_inputs() {
+        let c = InitialConfig::new(vec![1u64, 0]);
+        assert_eq!(c.to_string(), "C0[1, 0]");
+    }
+}

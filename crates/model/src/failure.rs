@@ -1,0 +1,269 @@
+//! Failure patterns (§2.1).
+//!
+//! A failure pattern `F : T → 2^Π` records which processes have crashed
+//! by each time, with `F(t) ⊆ F(t+1)` (no recovery). Because of
+//! monotonicity a pattern is fully described by each process's crash
+//! time, which is how [`FailurePattern`] stores it.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::{all_processes, ProcessId, ProcessSet};
+use crate::time::Time;
+
+/// A crash failure pattern over a universe of `n` processes.
+///
+/// Equivalent to the paper's `F : T → 2^Π` with monotone `F`: process
+/// `p` is *crashed at* every `t ≥ crash_time(p)` and alive before.
+/// A process crashing at `Time::ZERO` is *initially dead* — it never
+/// takes a step (this distinction matters for SDD validity and for
+/// `F_OptFloodSet`'s `t`-initial-crashes scenario).
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{FailurePattern, ProcessId, Time};
+///
+/// let mut f = FailurePattern::no_failures(3);
+/// f.crash(ProcessId::new(1), Time::new(5));
+/// assert!(f.is_alive_at(ProcessId::new(1), Time::new(4)));
+/// assert!(!f.is_alive_at(ProcessId::new(1), Time::new(5)));
+/// assert_eq!(f.faulty().len(), 1);
+/// assert_eq!(f.correct().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FailurePattern {
+    n: usize,
+    crash_times: Vec<Option<Time>>,
+}
+
+impl FailurePattern {
+    /// The failure-free pattern over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`crate::process::MAX_PROCESSES`].
+    #[must_use]
+    pub fn no_failures(n: usize) -> Self {
+        let _ = ProcessSet::full(n); // range check
+        FailurePattern {
+            n,
+            crash_times: vec![None; n],
+        }
+    }
+
+    /// Number of processes in the universe.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    /// Marks `p` as crashing at time `t` (it is crashed at every `t' ≥ t`).
+    ///
+    /// Calling `crash` again with an earlier time moves the crash
+    /// earlier; a later time is ignored, preserving monotonicity.
+    pub fn crash(&mut self, p: ProcessId, t: Time) -> &mut Self {
+        let slot = &mut self.crash_times[p.index()];
+        match slot {
+            Some(existing) if *existing <= t => {}
+            _ => *slot = Some(t),
+        }
+        self
+    }
+
+    /// Crash time of `p`, or `None` if `p` is correct.
+    #[must_use]
+    pub fn crash_time(&self, p: ProcessId) -> Option<Time> {
+        self.crash_times[p.index()]
+    }
+
+    /// Whether `p` is alive at time `t` (i.e. `p ∉ F(t)`).
+    #[must_use]
+    pub fn is_alive_at(&self, p: ProcessId, t: Time) -> bool {
+        match self.crash_times[p.index()] {
+            None => true,
+            Some(ct) => t < ct,
+        }
+    }
+
+    /// Whether `p` is *initially dead*: crashed at `Time::ZERO`, so it
+    /// never takes a step.
+    #[must_use]
+    pub fn is_initially_dead(&self, p: ProcessId) -> bool {
+        self.crash_times[p.index()] == Some(Time::ZERO)
+    }
+
+    /// The set `F(t)` of processes crashed by time `t`.
+    #[must_use]
+    pub fn crashed_at(&self, t: Time) -> ProcessSet {
+        all_processes(self.n)
+            .filter(|&p| !self.is_alive_at(p, t))
+            .collect()
+    }
+
+    /// The set `Faulty(F) = ∪_t F(t)` of processes that ever crash.
+    #[must_use]
+    pub fn faulty(&self) -> ProcessSet {
+        all_processes(self.n)
+            .filter(|&p| self.crash_times[p.index()].is_some())
+            .collect()
+    }
+
+    /// The set `Correct(F) = Π \ Faulty(F)`.
+    #[must_use]
+    pub fn correct(&self) -> ProcessSet {
+        ProcessSet::full(self.n).difference(self.faulty())
+    }
+
+    /// Whether `p` is correct (never crashes).
+    #[must_use]
+    pub fn is_correct(&self, p: ProcessId) -> bool {
+        self.crash_times[p.index()].is_none()
+    }
+
+    /// Number of faulty processes.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.faulty().len()
+    }
+
+    /// Checks the environment bound: at most `t` crashes.
+    #[must_use]
+    pub fn respects_bound(&self, t: usize) -> bool {
+        self.fault_count() <= t
+    }
+}
+
+impl fmt::Display for FailurePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F[")?;
+        let mut first = true;
+        for p in all_processes(self.n) {
+            if let Some(t) = self.crash_times[p.index()] {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}↓@{}", t.tick())?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "no failures")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Enumerates every failure pattern with at most `max_faults` crashes,
+/// with crash times drawn from `0..=horizon` ticks.
+///
+/// Used by exhaustive analyses over step-level models. The number of
+/// patterns grows as `Σ_k C(n,k)·(horizon+1)^k`; keep `n` and `horizon`
+/// small.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::failure::enumerate_patterns;
+///
+/// // 2 processes, ≤1 crash, crash times in {0,1,2}:
+/// // 1 failure-free + 2·3 single-crash patterns.
+/// assert_eq!(enumerate_patterns(2, 1, 2).count(), 7);
+/// ```
+pub fn enumerate_patterns(
+    n: usize,
+    max_faults: usize,
+    horizon: u64,
+) -> impl Iterator<Item = FailurePattern> {
+    let mut out = Vec::new();
+    let mut current = FailurePattern::no_failures(n);
+    fn recurse(
+        n: usize,
+        from: usize,
+        remaining: usize,
+        horizon: u64,
+        current: &mut FailurePattern,
+        out: &mut Vec<FailurePattern>,
+    ) {
+        out.push(current.clone());
+        if remaining == 0 {
+            return;
+        }
+        for i in from..n {
+            for t in 0..=horizon {
+                current.crash_times[i] = Some(Time::new(t));
+                recurse(n, i + 1, remaining - 1, horizon, current, out);
+                current.crash_times[i] = None;
+            }
+        }
+    }
+    recurse(n, 0, max_faults, horizon, &mut current, &mut out);
+    out.into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_everyone_correct() {
+        let f = FailurePattern::no_failures(4);
+        assert_eq!(f.correct(), ProcessSet::full(4));
+        assert!(f.faulty().is_empty());
+        assert!(f.respects_bound(0));
+        assert_eq!(f.to_string(), "F[no failures]");
+    }
+
+    #[test]
+    fn crash_is_monotone() {
+        let mut f = FailurePattern::no_failures(2);
+        let p = ProcessId::new(0);
+        f.crash(p, Time::new(10));
+        f.crash(p, Time::new(20)); // later crash ignored
+        assert_eq!(f.crash_time(p), Some(Time::new(10)));
+        f.crash(p, Time::new(3)); // earlier crash wins
+        assert_eq!(f.crash_time(p), Some(Time::new(3)));
+    }
+
+    #[test]
+    fn crashed_at_grows_with_time() {
+        let mut f = FailurePattern::no_failures(3);
+        f.crash(ProcessId::new(0), Time::new(1));
+        f.crash(ProcessId::new(2), Time::new(4));
+        assert!(f.crashed_at(Time::ZERO).is_empty());
+        assert_eq!(f.crashed_at(Time::new(1)).len(), 1);
+        assert_eq!(f.crashed_at(Time::new(4)).len(), 2);
+        // F(t) ⊆ F(t+1)
+        for t in 0..6 {
+            assert!(f
+                .crashed_at(Time::new(t))
+                .is_subset(f.crashed_at(Time::new(t + 1))));
+        }
+    }
+
+    #[test]
+    fn initially_dead_detection() {
+        let mut f = FailurePattern::no_failures(2);
+        f.crash(ProcessId::new(1), Time::ZERO);
+        assert!(f.is_initially_dead(ProcessId::new(1)));
+        assert!(!f.is_initially_dead(ProcessId::new(0)));
+        assert!(!f.is_alive_at(ProcessId::new(1), Time::ZERO));
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        // n=3, ≤2 faults, horizon 1 (times {0,1}):
+        // C(3,0) + C(3,1)*2 + C(3,2)*4 = 1 + 6 + 12 = 19
+        assert_eq!(enumerate_patterns(3, 2, 1).count(), 19);
+        // all patterns respect the bound
+        assert!(enumerate_patterns(3, 2, 1).all(|f| f.respects_bound(2)));
+    }
+
+    #[test]
+    fn display_shows_crashes() {
+        let mut f = FailurePattern::no_failures(3);
+        f.crash(ProcessId::new(1), Time::new(7));
+        assert_eq!(f.to_string(), "F[p2↓@7]");
+    }
+}

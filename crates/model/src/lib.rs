@@ -1,0 +1,64 @@
+//! Foundational types for the SS/SP model comparison.
+//!
+//! This crate provides the vocabulary shared by every other `ssp`
+//! crate, following §2 of *“Synchronous System and Perfect Failure
+//! Detector: solvability and efficiency issues”* (Charron-Bost,
+//! Guerraoui, Schiper — DSN 2000):
+//!
+//! * [`ProcessId`] / [`ProcessSet`] — the process universe `Π`;
+//! * [`Time`], [`StepIndex`], [`Round`] — the discrete global clock,
+//!   schedule positions, and round numbers;
+//! * [`FailurePattern`] — crash failure patterns `F : T → 2^Π`;
+//! * [`Envelope`] / [`Buffer`] — messages in flight and per-process
+//!   receive buffers;
+//! * [`InitialConfig`] — initial configurations, plus exhaustive
+//!   enumeration for the latency functionals of §5.2;
+//! * [`Decision`] — the `decision ∈ V ∪ {unknown}` register with
+//!   structural integrity (decide at most once);
+//! * [`ConsensusOutcome`] / [`SddOutcome`] and the checkers
+//!   [`check_uniform_consensus`], [`check_uniform_consensus_strong`],
+//!   [`check_sdd`] — problem specifications as executable predicates.
+//!
+//! # Examples
+//!
+//! Build a run outcome by hand and check it against the uniform
+//! consensus specification:
+//!
+//! ```
+//! use ssp_model::{
+//!     check_uniform_consensus, ConsensusOutcome, ProcessOutcome, Round,
+//! };
+//!
+//! let run = ConsensusOutcome::new(vec![
+//!     ProcessOutcome { input: 3u64, decision: Some((3, Round::new(2))), crashed_in: None },
+//!     ProcessOutcome { input: 8, decision: Some((3, Round::new(2))), crashed_in: None },
+//! ]);
+//! check_uniform_consensus(&run)?;
+//! assert_eq!(run.latency_degree(), Some(2));
+//! # Ok::<(), ssp_model::ConsensusViolation<u64>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod failure;
+pub mod message;
+pub mod process;
+pub mod run;
+pub mod spec;
+pub mod time;
+pub mod value;
+
+pub use config::InitialConfig;
+pub use failure::FailurePattern;
+pub use message::{Buffer, Envelope};
+pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
+pub use run::{ConsensusOutcome, ProcessOutcome};
+pub use spec::{
+    check_sdd, check_uniform_consensus, check_uniform_consensus_strong, ConsensusViolation,
+    SddOutcome, SddViolation,
+};
+pub use time::{Round, StepIndex, Time};
+pub use value::{Decision, DoubleDecision, Value};

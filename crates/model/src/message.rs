@@ -1,0 +1,189 @@
+//! Message envelopes and process buffers (§2.2).
+//!
+//! Each process `p_i` owns a buffer of messages "sent to `p_i` but not
+//! yet received". The step-level executors move envelopes between
+//! send events and buffers; delivery choices belong to the adversary,
+//! subject to each model's synchrony conditions.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::ProcessId;
+use crate::time::StepIndex;
+
+/// A message in flight: payload plus routing and provenance metadata.
+///
+/// `sent_at` records the schedule position of the sending step, which
+/// is what the SS message-synchrony condition (`l ≥ k + Δ`) is stated
+/// in terms of.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Envelope<M> {
+    /// The sending process.
+    pub src: ProcessId,
+    /// The destination process.
+    pub dst: ProcessId,
+    /// Index (in the global schedule) of the step that sent this message.
+    pub sent_at: StepIndex,
+    /// The payload.
+    pub payload: M,
+}
+
+impl<M: fmt::Debug> fmt::Display for Envelope<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}→{} [{}] {:?}",
+            self.src, self.dst, self.sent_at, self.payload
+        )
+    }
+}
+
+/// The receive buffer of one process.
+///
+/// Holds envelopes in arrival order; the executor removes an
+/// adversary-chosen subset at each receiving step. Insertion order is
+/// preserved so deterministic replays are stable.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{Buffer, Envelope, ProcessId, StepIndex};
+///
+/// let mut buf = Buffer::new();
+/// buf.push(Envelope { src: ProcessId::new(0), dst: ProcessId::new(1),
+///                     sent_at: StepIndex::FIRST, payload: "hello" });
+/// assert_eq!(buf.len(), 1);
+/// let taken = buf.take_all();
+/// assert_eq!(taken.len(), 1);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Buffer<M> {
+    messages: Vec<Envelope<M>>,
+}
+
+impl<M> Buffer<M> {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Buffer {
+            messages: Vec::new(),
+        }
+    }
+
+    /// Number of buffered messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the buffer holds no message.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Appends an envelope (a send event targeting this buffer's owner).
+    pub fn push(&mut self, env: Envelope<M>) {
+        self.messages.push(env);
+    }
+
+    /// Removes and returns every buffered message, oldest first.
+    #[must_use]
+    pub fn take_all(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.messages)
+    }
+
+    /// Removes and returns the messages selected by `select`, keeping
+    /// the rest in order.
+    pub fn take_where<F: FnMut(&Envelope<M>) -> bool>(&mut self, mut select: F) -> Vec<Envelope<M>> {
+        let mut taken = Vec::new();
+        let mut kept = Vec::new();
+        for env in self.messages.drain(..) {
+            if select(&env) {
+                taken.push(env);
+            } else {
+                kept.push(env);
+            }
+        }
+        self.messages = kept;
+        taken
+    }
+
+    /// Iterates over buffered envelopes, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
+        self.messages.iter()
+    }
+}
+
+impl<M> Default for Buffer<M> {
+    fn default() -> Self {
+        Buffer::new()
+    }
+}
+
+impl<M> FromIterator<Envelope<M>> for Buffer<M> {
+    fn from_iter<I: IntoIterator<Item = Envelope<M>>>(iter: I) -> Self {
+        Buffer {
+            messages: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<M> Extend<Envelope<M>> for Buffer<M> {
+    fn extend<I: IntoIterator<Item = Envelope<M>>>(&mut self, iter: I) {
+        self.messages.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, dst: usize, at: u64, payload: u32) -> Envelope<u32> {
+        Envelope {
+            src: ProcessId::new(src),
+            dst: ProcessId::new(dst),
+            sent_at: StepIndex::new(at),
+            payload,
+        }
+    }
+
+    #[test]
+    fn push_take_all_preserves_order() {
+        let mut buf = Buffer::new();
+        buf.push(env(0, 1, 0, 10));
+        buf.push(env(2, 1, 1, 20));
+        let taken = buf.take_all();
+        assert_eq!(
+            taken.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            [10, 20]
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn take_where_partitions() {
+        let mut buf: Buffer<u32> = [env(0, 1, 0, 1), env(2, 1, 1, 2), env(0, 1, 2, 3)]
+            .into_iter()
+            .collect();
+        let from_p1 = buf.take_where(|e| e.src == ProcessId::new(0));
+        assert_eq!(from_p1.len(), 2);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.iter().next().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut buf = Buffer::new();
+        buf.extend([env(0, 1, 0, 1), env(0, 1, 1, 2)]);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn envelope_display() {
+        let e = env(0, 1, 4, 9);
+        assert_eq!(e.to_string(), "p1→p2 [step#4] 9");
+    }
+}

@@ -1,0 +1,346 @@
+//! Process identifiers and sets of processes.
+//!
+//! The paper considers a fixed universe `Π = {p_1, …, p_n}` of processes
+//! (§2). [`ProcessId`] is a zero-based index into that universe and
+//! [`ProcessSet`] is a compact bitset over it, used pervasively for
+//! failure-detector outputs (`H(p_i, t) ⊆ Π`), `halt` sets
+//! (FloodSetWS), and correct/faulty partitions.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of processes supported by [`ProcessSet`].
+pub const MAX_PROCESSES: usize = 64;
+
+/// Identifier of a process `p_i`.
+///
+/// Internally zero-based: the paper's `p_1` is `ProcessId(0)`. The
+/// `Display` implementation renders the paper's one-based name so that
+/// counterexample reports read like the proofs.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::ProcessId;
+///
+/// let p1 = ProcessId::new(0);
+/// assert_eq!(p1.index(), 0);
+/// assert_eq!(p1.to_string(), "p1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcessId(u8);
+
+impl ProcessId {
+    /// Creates the identifier of the process with zero-based index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PROCESSES`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < MAX_PROCESSES,
+            "process index {index} out of range (max {MAX_PROCESSES})"
+        );
+        ProcessId(index as u8)
+    }
+
+    /// Zero-based index of this process within `Π`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 as usize + 1)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> usize {
+        id.index()
+    }
+}
+
+/// A set of processes, represented as a 64-bit bitset.
+///
+/// Supports the set operations the models need: union, intersection,
+/// difference, complement within a universe of size `n`, and iteration
+/// in increasing index order.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{ProcessId, ProcessSet};
+///
+/// let universe = ProcessSet::full(4);
+/// let mut crashed = ProcessSet::empty();
+/// crashed.insert(ProcessId::new(2));
+/// let alive = universe.difference(crashed);
+/// assert_eq!(alive.len(), 3);
+/// assert!(!alive.contains(ProcessId::new(2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ProcessSet(u64);
+
+impl ProcessSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        ProcessSet(0)
+    }
+
+    /// The full universe `{p_1, …, p_n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCESSES`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_PROCESSES, "universe of {n} exceeds {MAX_PROCESSES}");
+        if n == MAX_PROCESSES {
+            ProcessSet(u64::MAX)
+        } else {
+            ProcessSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton set `{p}`.
+    #[must_use]
+    pub fn singleton(p: ProcessId) -> Self {
+        ProcessSet(1u64 << p.index())
+    }
+
+    /// Constructs a set from a raw bitmask (bit `i` ⇔ process of index `i`).
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        ProcessSet(bits)
+    }
+
+    /// Raw bitmask of the set.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the set contains no process.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of processes in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `p` belongs to the set.
+    #[must_use]
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u64 << p.index()) != 0
+    }
+
+    /// Inserts `p`; returns `true` if it was absent.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let was = self.contains(p);
+        self.0 |= 1u64 << p.index();
+        !was
+    }
+
+    /// Removes `p`; returns `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let was = self.contains(p);
+        self.0 &= !(1u64 << p.index());
+        was
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(self, other: ProcessSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`] in increasing index order.
+#[derive(Debug, Clone)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessId::new(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+/// Iterates over all process identifiers of a universe of size `n`.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::process::all_processes;
+///
+/// let names: Vec<String> = all_processes(3).map(|p| p.to_string()).collect();
+/// assert_eq!(names, ["p1", "p2", "p3"]);
+/// ```
+pub fn all_processes(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+    (0..n).map(ProcessId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_is_one_based() {
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+        assert_eq!(ProcessId::new(5).to_string(), "p6");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn process_id_rejects_out_of_range() {
+        let _ = ProcessId::new(MAX_PROCESSES);
+    }
+
+    #[test]
+    fn full_universe_has_n_members() {
+        for n in 0..=8 {
+            assert_eq!(ProcessSet::full(n).len(), n);
+        }
+        assert_eq!(ProcessSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = ProcessSet::empty();
+        let p = ProcessId::new(3);
+        assert!(s.insert(p));
+        assert!(!s.insert(p));
+        assert!(s.contains(p));
+        assert!(s.remove(p));
+        assert!(!s.remove(p));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ProcessSet = [0, 1, 2].into_iter().map(ProcessId::new).collect();
+        let b: ProcessSet = [2, 3].into_iter().map(ProcessId::new).collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b), ProcessSet::singleton(ProcessId::new(2)));
+        assert_eq!(a.difference(b).len(), 2);
+        assert!(a.intersection(b).is_subset(a));
+        assert!(!a.is_subset(b));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: ProcessSet = [5, 1, 3].into_iter().map(ProcessId::new).collect();
+        let idx: Vec<usize> = s.iter().map(ProcessId::index).collect();
+        assert_eq!(idx, [1, 3, 5]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn display_formats_as_set() {
+        let s: ProcessSet = [0, 2].into_iter().map(ProcessId::new).collect();
+        assert_eq!(s.to_string(), "{p1, p3}");
+        assert_eq!(ProcessSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", ProcessSet::empty()), "{}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Outcome records of executed runs.
+//!
+//! The specification checkers (see [`crate::spec`]) and the latency
+//! metrics (`|r|`, `lat`, `Lat`, `Λ` of §5.2) operate on a compact
+//! summary of a run: who started with what, who decided what and when,
+//! and who crashed. Crucially, decisions made by processes that *later
+//! crash* are retained — uniform agreement quantifies over faulty
+//! deciders too, which is the entire point of the `RWS` counterexamples.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::InitialConfig;
+use crate::process::{ProcessId, ProcessSet};
+use crate::time::Round;
+use crate::value::Value;
+
+/// Per-process summary of a finished run of a round-based algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessOutcome<V> {
+    /// The process's input value.
+    pub input: V,
+    /// Decision and the round it was made in, if the process decided
+    /// (possibly before crashing).
+    pub decision: Option<(V, Round)>,
+    /// The round during which the process crashed, if faulty.
+    pub crashed_in: Option<Round>,
+}
+
+impl<V: Value> ProcessOutcome<V> {
+    /// Outcome of a process that ran to completion without deciding.
+    #[must_use]
+    pub fn undecided(input: V) -> Self {
+        ProcessOutcome {
+            input,
+            decision: None,
+            crashed_in: None,
+        }
+    }
+
+    /// Whether the process is correct in this run.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.crashed_in.is_none()
+    }
+}
+
+/// Summary of one run of a consensus-style algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{ConsensusOutcome, ProcessOutcome, Round};
+///
+/// let run = ConsensusOutcome::new(vec![
+///     ProcessOutcome { input: 0u64, decision: Some((0, Round::new(2))), crashed_in: None },
+///     ProcessOutcome { input: 1, decision: Some((0, Round::new(2))), crashed_in: None },
+/// ]);
+/// assert_eq!(run.latency_degree(), Some(2));
+/// assert!(run.all_correct_decided());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConsensusOutcome<V> {
+    outcomes: Vec<ProcessOutcome<V>>,
+}
+
+impl<V: Value> ConsensusOutcome<V> {
+    /// Creates a run summary from per-process outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    #[must_use]
+    pub fn new(outcomes: Vec<ProcessOutcome<V>>) -> Self {
+        assert!(!outcomes.is_empty(), "at least one process required");
+        ConsensusOutcome { outcomes }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Outcome of process `p`.
+    #[must_use]
+    pub fn outcome(&self, p: ProcessId) -> &ProcessOutcome<V> {
+        &self.outcomes[p.index()]
+    }
+
+    /// Iterates over `(process, outcome)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &ProcessOutcome<V>)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ProcessId::new(i), o))
+    }
+
+    /// The initial configuration this run started from.
+    #[must_use]
+    pub fn initial_config(&self) -> InitialConfig<V> {
+        InitialConfig::new(self.outcomes.iter().map(|o| o.input.clone()).collect())
+    }
+
+    /// The set of correct processes in this run.
+    #[must_use]
+    pub fn correct(&self) -> ProcessSet {
+        self.iter()
+            .filter(|(_, o)| o.is_correct())
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Number of faulty processes in this run (the `f` of `Lat(A, f)`).
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.n() - self.correct().len()
+    }
+
+    /// Whether every correct process decided (termination).
+    #[must_use]
+    pub fn all_correct_decided(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| !o.is_correct() || o.decision.is_some())
+    }
+
+    /// The latency degree `|r|`: the number of rounds until all the
+    /// correct processes decide (§5.2), or `None` if some correct
+    /// process never decided.
+    ///
+    /// In a run with no correct process (impossible when `t < n`) the
+    /// latency degree is 0.
+    #[must_use]
+    pub fn latency_degree(&self) -> Option<u32> {
+        let mut max = 0;
+        for o in &self.outcomes {
+            if o.is_correct() {
+                match &o.decision {
+                    Some((_, r)) => max = max.max(r.get()),
+                    None => return None,
+                }
+            }
+        }
+        Some(max)
+    }
+
+    /// All distinct decided values (across correct *and* faulty
+    /// processes), in first-decider order.
+    #[must_use]
+    pub fn decided_values(&self) -> Vec<V> {
+        let mut vals: Vec<V> = Vec::new();
+        for o in &self.outcomes {
+            if let Some((v, _)) = &o.decision {
+                if !vals.contains(v) {
+                    vals.push(v.clone());
+                }
+            }
+        }
+        vals
+    }
+}
+
+impl<V: fmt::Debug> fmt::Display for ConsensusOutcome<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run outcome:")?;
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let p = ProcessId::new(i);
+            write!(f, "  {p}: input {:?}", o.input)?;
+            match &o.decision {
+                Some((v, r)) => write!(f, ", decided {v:?} at {r}")?,
+                None => write!(f, ", undecided")?,
+            }
+            match o.crashed_in {
+                Some(r) => writeln!(f, ", crashed in {r}")?,
+                None => writeln!(f, ", correct")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(
+        input: u64,
+        decision: Option<(u64, u32)>,
+        crashed_in: Option<u32>,
+    ) -> ProcessOutcome<u64> {
+        ProcessOutcome {
+            input,
+            decision: decision.map(|(v, r)| (v, Round::new(r))),
+            crashed_in: crashed_in.map(Round::new),
+        }
+    }
+
+    #[test]
+    fn latency_is_max_over_correct() {
+        let run = ConsensusOutcome::new(vec![
+            outcome(0, Some((0, 1)), None),
+            outcome(1, Some((0, 3)), None),
+            outcome(1, Some((0, 9)), Some(9)), // faulty decider ignored for latency
+        ]);
+        assert_eq!(run.latency_degree(), Some(3));
+        assert_eq!(run.fault_count(), 1);
+    }
+
+    #[test]
+    fn latency_none_when_correct_undecided() {
+        let run = ConsensusOutcome::new(vec![outcome(0, None, None)]);
+        assert_eq!(run.latency_degree(), None);
+        assert!(!run.all_correct_decided());
+    }
+
+    #[test]
+    fn decided_values_include_faulty_deciders() {
+        let run = ConsensusOutcome::new(vec![
+            outcome(0, Some((0, 1)), Some(1)), // decided then crashed
+            outcome(1, Some((1, 2)), None),
+        ]);
+        assert_eq!(run.decided_values(), vec![0, 1]);
+    }
+
+    #[test]
+    fn initial_config_roundtrip() {
+        let run = ConsensusOutcome::new(vec![outcome(4, None, None), outcome(7, None, None)]);
+        assert_eq!(run.initial_config().inputs(), &[4, 7]);
+    }
+
+    #[test]
+    fn display_mentions_every_process() {
+        let run = ConsensusOutcome::new(vec![outcome(0, Some((0, 1)), None)]);
+        let s = run.to_string();
+        assert!(s.contains("p1"));
+        assert!(s.contains("decided 0"));
+    }
+}

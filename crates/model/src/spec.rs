@@ -1,0 +1,387 @@
+//! Problem specifications (§2.7, §3, §5.1) as executable checkers.
+//!
+//! A problem is a set of (acceptable) runs; here each specification is
+//! a predicate over run *outcomes*, returning a structured violation
+//! when the run is outside the specification. The checkers are used by
+//! the exhaustive analyses in `ssp-lab` and by the integration tests.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::ProcessId;
+use crate::run::ConsensusOutcome;
+use crate::value::Value;
+
+/// Ways a run can violate the uniform consensus specification (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsensusViolation<V> {
+    /// Two processes (correct or faulty) decided differently.
+    UniformAgreement {
+        /// First decider and its value.
+        a: (ProcessId, V),
+        /// Second decider and its conflicting value.
+        b: (ProcessId, V),
+    },
+    /// All processes proposed the same value but someone decided
+    /// something else.
+    UniformValidity {
+        /// The unanimous proposal.
+        proposed: V,
+        /// The offending decider and its decision.
+        decided: (ProcessId, V),
+    },
+    /// A decision is not the input of any process (only reported by
+    /// [`check_uniform_consensus_strong`]).
+    StrongValidity {
+        /// The offending decider and its out-of-thin-air decision.
+        decided: (ProcessId, V),
+    },
+    /// A correct process never decided.
+    Termination {
+        /// The non-deciding correct process.
+        process: ProcessId,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for ConsensusViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusViolation::UniformAgreement { a, b } => write!(
+                f,
+                "uniform agreement violated: {} decided {:?} but {} decided {:?}",
+                a.0, a.1, b.0, b.1
+            ),
+            ConsensusViolation::UniformValidity { proposed, decided } => write!(
+                f,
+                "uniform validity violated: all proposed {:?} but {} decided {:?}",
+                proposed, decided.0, decided.1
+            ),
+            ConsensusViolation::StrongValidity { decided } => write!(
+                f,
+                "strong validity violated: {} decided {:?}, which nobody proposed",
+                decided.0, decided.1
+            ),
+            ConsensusViolation::Termination { process } => {
+                write!(f, "termination violated: correct process {process} never decided")
+            }
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for ConsensusViolation<V> {}
+
+/// Checks the uniform consensus specification on a run outcome:
+/// uniform validity, uniform agreement, and termination.
+///
+/// Uniform agreement quantifies over *all* deciders, including
+/// processes that crashed after deciding — this is what separates
+/// uniform consensus from consensus and what `FloodSet` fails to
+/// guarantee in `RWS`.
+///
+/// # Errors
+///
+/// Returns the first violation found, in the order agreement,
+/// validity, termination.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{check_uniform_consensus, ConsensusOutcome, ProcessOutcome, Round};
+///
+/// let run = ConsensusOutcome::new(vec![
+///     ProcessOutcome { input: 0u64, decision: Some((0, Round::FIRST)), crashed_in: None },
+///     ProcessOutcome { input: 1, decision: Some((1, Round::FIRST)), crashed_in: None },
+/// ]);
+/// assert!(check_uniform_consensus(&run).is_err());
+/// ```
+pub fn check_uniform_consensus<V: Value>(
+    run: &ConsensusOutcome<V>,
+) -> Result<(), ConsensusViolation<V>> {
+    // Uniform agreement.
+    let mut first_decider: Option<(ProcessId, &V)> = None;
+    for (p, o) in run.iter() {
+        if let Some((v, _)) = &o.decision {
+            match first_decider {
+                None => first_decider = Some((p, v)),
+                Some((q, w)) if w != v => {
+                    return Err(ConsensusViolation::UniformAgreement {
+                        a: (q, w.clone()),
+                        b: (p, v.clone()),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    // Uniform validity.
+    let config = run.initial_config();
+    if config.is_unanimous() {
+        let proposed = config.inputs()[0].clone();
+        for (p, o) in run.iter() {
+            if let Some((v, _)) = &o.decision {
+                if *v != proposed {
+                    return Err(ConsensusViolation::UniformValidity {
+                        proposed,
+                        decided: (p, v.clone()),
+                    });
+                }
+            }
+        }
+    }
+    // Termination.
+    for (p, o) in run.iter() {
+        if o.is_correct() && o.decision.is_none() {
+            return Err(ConsensusViolation::Termination { process: p });
+        }
+    }
+    Ok(())
+}
+
+/// Like [`check_uniform_consensus`], but additionally requires *strong
+/// validity*: every decision is the input of some process.
+///
+/// The paper only assumes uniform validity; all FloodSet-family
+/// algorithms actually guarantee the strong form, which this checker
+/// verifies.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_uniform_consensus_strong<V: Value>(
+    run: &ConsensusOutcome<V>,
+) -> Result<(), ConsensusViolation<V>> {
+    check_uniform_consensus(run)?;
+    let config = run.initial_config();
+    for (p, o) in run.iter() {
+        if let Some((v, _)) = &o.decision {
+            if !config.contains(v) {
+                return Err(ConsensusViolation::StrongValidity {
+                    decided: (p, v.clone()),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome record of a Strongly Dependent Decision run (§3).
+///
+/// SDD involves two processes: a *sender* `p_i` holding a binary input
+/// and a *receiver* `p_j` that must decide. Integrity is enforced
+/// structurally ([`crate::Decision`] decides at most once), so the
+/// record carries only what validity and termination need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SddOutcome {
+    /// The sender's binary input value.
+    pub sender_input: bool,
+    /// Whether the sender was initially dead (crashed before taking
+    /// any step). Validity only constrains the decision when it was
+    /// *not*.
+    pub sender_initially_dead: bool,
+    /// Whether the receiver is correct in this run.
+    pub receiver_correct: bool,
+    /// The receiver's decision, if it made one.
+    pub decision: Option<bool>,
+}
+
+/// Ways a run can violate the SDD specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SddViolation {
+    /// The sender took at least one step, yet the receiver decided a
+    /// value different from the sender's input.
+    Validity {
+        /// The sender's input.
+        input: bool,
+        /// The receiver's (wrong) decision.
+        decided: bool,
+    },
+    /// The receiver is correct but never decided.
+    Termination,
+}
+
+impl fmt::Display for SddViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SddViolation::Validity { input, decided } => write!(
+                f,
+                "SDD validity violated: sender was not initially dead with input {}, receiver decided {}",
+                *input as u8, *decided as u8
+            ),
+            SddViolation::Termination => {
+                write!(f, "SDD termination violated: correct receiver never decided")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SddViolation {}
+
+/// Checks the SDD specification on an outcome record.
+///
+/// # Errors
+///
+/// Returns [`SddViolation::Validity`] if the sender took a step but the
+/// decision differs from its input, or [`SddViolation::Termination`] if
+/// a correct receiver never decided.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{check_sdd, SddOutcome};
+///
+/// let run = SddOutcome {
+///     sender_input: true,
+///     sender_initially_dead: false,
+///     receiver_correct: true,
+///     decision: Some(true),
+/// };
+/// assert!(check_sdd(&run).is_ok());
+/// ```
+pub fn check_sdd(run: &SddOutcome) -> Result<(), SddViolation> {
+    if let Some(decided) = run.decision {
+        if !run.sender_initially_dead && decided != run.sender_input {
+            return Err(SddViolation::Validity {
+                input: run.sender_input,
+                decided,
+            });
+        }
+    }
+    if run.receiver_correct && run.decision.is_none() {
+        return Err(SddViolation::Termination);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::ProcessOutcome;
+    use crate::time::Round;
+
+    fn po(input: u64, decision: Option<(u64, u32)>, crashed_in: Option<u32>) -> ProcessOutcome<u64> {
+        ProcessOutcome {
+            input,
+            decision: decision.map(|(v, r)| (v, Round::new(r))),
+            crashed_in: crashed_in.map(Round::new),
+        }
+    }
+
+    #[test]
+    fn accepts_clean_agreement() {
+        let run = ConsensusOutcome::new(vec![
+            po(0, Some((0, 2)), None),
+            po(1, Some((0, 2)), None),
+        ]);
+        assert!(check_uniform_consensus_strong(&run).is_ok());
+    }
+
+    #[test]
+    fn detects_disagreement_with_faulty_decider() {
+        // The RWS counterexample shape: p1 decides then crashes; rest decide differently.
+        let run = ConsensusOutcome::new(vec![
+            po(0, Some((0, 1)), Some(1)),
+            po(1, Some((1, 2)), None),
+            po(1, Some((1, 2)), None),
+        ]);
+        match check_uniform_consensus(&run) {
+            Err(ConsensusViolation::UniformAgreement { a, b }) => {
+                assert_eq!(a.1, 0);
+                assert_eq!(b.1, 1);
+            }
+            other => panic!("expected agreement violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_uniform_validity_breach() {
+        let run = ConsensusOutcome::new(vec![
+            po(5, Some((6, 1)), None),
+            po(5, Some((6, 1)), None),
+        ]);
+        assert!(matches!(
+            check_uniform_consensus(&run),
+            Err(ConsensusViolation::UniformValidity { .. })
+        ));
+    }
+
+    #[test]
+    fn strong_validity_rejects_out_of_thin_air() {
+        let run = ConsensusOutcome::new(vec![
+            po(5, Some((6, 1)), None),
+            po(7, Some((6, 1)), None),
+        ]);
+        // Not unanimous, so plain uniform consensus passes…
+        assert!(check_uniform_consensus(&run).is_ok());
+        // …but the decision 6 was nobody's input.
+        assert!(matches!(
+            check_uniform_consensus_strong(&run),
+            Err(ConsensusViolation::StrongValidity { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_missing_termination() {
+        let run = ConsensusOutcome::new(vec![po(0, None, None), po(0, Some((0, 1)), None)]);
+        assert!(matches!(
+            check_uniform_consensus(&run),
+            Err(ConsensusViolation::Termination { process }) if process == ProcessId::new(0)
+        ));
+    }
+
+    #[test]
+    fn crashed_undecided_process_is_fine() {
+        let run = ConsensusOutcome::new(vec![po(0, None, Some(1)), po(0, Some((0, 1)), None)]);
+        assert!(check_uniform_consensus(&run).is_ok());
+    }
+
+    #[test]
+    fn sdd_validity_only_when_sender_stepped() {
+        // Sender initially dead: receiver may decide anything (the default 0).
+        let run = SddOutcome {
+            sender_input: true,
+            sender_initially_dead: true,
+            receiver_correct: true,
+            decision: Some(false),
+        };
+        assert!(check_sdd(&run).is_ok());
+        // Sender alive: decision must match.
+        let bad = SddOutcome {
+            sender_initially_dead: false,
+            ..run
+        };
+        assert_eq!(
+            check_sdd(&bad),
+            Err(SddViolation::Validity {
+                input: true,
+                decided: false
+            })
+        );
+    }
+
+    #[test]
+    fn sdd_termination_for_correct_receiver() {
+        let run = SddOutcome {
+            sender_input: false,
+            sender_initially_dead: false,
+            receiver_correct: true,
+            decision: None,
+        };
+        assert_eq!(check_sdd(&run), Err(SddViolation::Termination));
+        // A crashed receiver need not decide.
+        let crashed = SddOutcome {
+            receiver_correct: false,
+            ..run
+        };
+        assert!(check_sdd(&crashed).is_ok());
+    }
+
+    #[test]
+    fn violations_display_readably() {
+        let v = ConsensusViolation::Termination::<u64> {
+            process: ProcessId::new(2),
+        };
+        assert!(v.to_string().contains("p3"));
+        assert!(SddViolation::Termination.to_string().contains("receiver"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Discrete time, step indices and round numbers.
+//!
+//! The paper assumes a discrete global clock `T = ℕ` that processes
+//! cannot read (§2). Step-level executions are indexed by [`StepIndex`]
+//! (position in the schedule `S`) and stamped with a [`Time`] (the list
+//! `T` of the run tuple `<F, C0, S, T>`). Round-based executions (§4)
+//! are indexed by [`Round`], starting at round 1 as in the paper.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A tick of the discrete global clock (`t ∈ T`).
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::Time;
+///
+/// let t = Time::ZERO + 3;
+/// assert_eq!(t.tick(), 3);
+/// assert!(t < t + 1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of the global clock.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from a raw tick count.
+    #[must_use]
+    pub fn new(tick: u64) -> Self {
+        Time(tick)
+    }
+
+    /// Raw tick count.
+    #[must_use]
+    pub fn tick(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately following tick.
+    #[must_use]
+    pub fn next(self) -> Time {
+        Time(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+/// Position of a step within a schedule `S` (zero-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct StepIndex(u64);
+
+impl StepIndex {
+    /// First position of a schedule.
+    pub const FIRST: StepIndex = StepIndex(0);
+
+    /// Creates a step index from a raw position.
+    #[must_use]
+    pub fn new(pos: u64) -> Self {
+        StepIndex(pos)
+    }
+
+    /// Raw zero-based position.
+    #[must_use]
+    pub fn position(self) -> u64 {
+        self.0
+    }
+
+    /// The next position.
+    #[must_use]
+    pub fn next(self) -> StepIndex {
+        StepIndex(self.0 + 1)
+    }
+}
+
+impl Add<u64> for StepIndex {
+    type Output = StepIndex;
+    fn add(self, rhs: u64) -> StepIndex {
+        StepIndex(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for StepIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step#{}", self.0)
+    }
+}
+
+/// A round number of the `RS`/`RWS` computational models (§4).
+///
+/// Rounds are one-based: the first exchange is round 1, matching the
+/// paper's `rounds := rounds + 1` convention in the `trans` functions.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::Round;
+///
+/// assert_eq!(Round::FIRST.get(), 1);
+/// assert_eq!(Round::FIRST.next().get(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Round(u32);
+
+impl Round {
+    /// Round 1, the first round of any execution.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`; rounds are one-based.
+    #[must_use]
+    pub fn new(r: u32) -> Self {
+        assert!(r >= 1, "rounds are one-based");
+        Round(r)
+    }
+
+    /// The numeric value (≥ 1).
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The following round.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The preceding round, or `None` for round 1.
+    #[must_use]
+    pub fn prev(self) -> Option<Round> {
+        if self.0 > 1 {
+            Some(Round(self.0 - 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Round {
+    fn default() -> Self {
+        Round::FIRST
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::new(5);
+        assert_eq!(t + 2, Time::new(7));
+        assert_eq!(Time::new(7) - t, 2);
+        assert_eq!(t.next(), Time::new(6));
+        let mut u = t;
+        u += 3;
+        assert_eq!(u.tick(), 8);
+    }
+
+    #[test]
+    fn step_index_order() {
+        assert!(StepIndex::FIRST < StepIndex::new(1));
+        assert_eq!(StepIndex::new(3).next().position(), 4);
+        assert_eq!((StepIndex::new(3) + 4).position(), 7);
+    }
+
+    #[test]
+    fn rounds_are_one_based() {
+        assert_eq!(Round::FIRST.prev(), None);
+        assert_eq!(Round::new(2).prev(), Some(Round::FIRST));
+        assert_eq!(Round::default(), Round::FIRST);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-based")]
+    fn round_zero_is_rejected() {
+        let _ = Round::new(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Time::new(4).to_string(), "t=4");
+        assert_eq!(StepIndex::new(4).to_string(), "step#4");
+        assert_eq!(Round::new(4).to_string(), "round 4");
+    }
+}

@@ -1,0 +1,183 @@
+//! Decision values and the totally ordered value set `V` (§5.1).
+
+use core::fmt;
+use core::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Round;
+
+/// Requirements on the consensus value set `V`.
+///
+/// The paper fixes "a value set `V` that is totally ordered" so that
+/// algorithms may decide `min(W)`. Any owned, ordered, hashable type
+/// qualifies; the blanket impl makes this a trait alias.
+pub trait Value: Clone + Ord + Hash + fmt::Debug + Send + 'static {}
+
+impl<T: Clone + Ord + Hash + fmt::Debug + Send + 'static> Value for T {}
+
+/// The decision register of a process.
+///
+/// Mirrors the paper's `decision ∈ V ∪ {unknown}` variable together
+/// with the *integrity* requirement (a process decides at most once):
+/// [`Decision::decide`] returns an error on a second, different
+/// decision attempt and is idempotent for equal values.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::{Decision, Round};
+///
+/// let mut d: Decision<u64> = Decision::unknown();
+/// assert!(!d.is_decided());
+/// d.decide(7, Round::FIRST)?;
+/// assert_eq!(d.value(), Some(&7));
+/// assert_eq!(d.round(), Some(Round::FIRST));
+/// assert!(d.decide(8, Round::new(2)).is_err());
+/// # Ok::<(), ssp_model::DoubleDecision<u64>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Decision<V> {
+    inner: Option<(V, Round)>,
+}
+
+impl<V> Decision<V> {
+    /// The undecided register (`decision = unknown`).
+    #[must_use]
+    pub fn unknown() -> Self {
+        Decision { inner: None }
+    }
+
+    /// Whether a decision has been made.
+    #[must_use]
+    pub fn is_decided(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The decided value, if any.
+    #[must_use]
+    pub fn value(&self) -> Option<&V> {
+        self.inner.as_ref().map(|(v, _)| v)
+    }
+
+    /// The round at which the decision was made, if any.
+    #[must_use]
+    pub fn round(&self) -> Option<Round> {
+        self.inner.as_ref().map(|&(_, r)| r)
+    }
+
+    /// Consumes the register, returning the decision and its round.
+    #[must_use]
+    pub fn into_inner(self) -> Option<(V, Round)> {
+        self.inner
+    }
+}
+
+impl<V: Value> Decision<V> {
+    /// Records a decision made at `round`.
+    ///
+    /// Re-deciding the same value is a no-op (keeping the earliest
+    /// round); deciding a *different* value violates integrity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoubleDecision`] if a different value was already
+    /// decided.
+    pub fn decide(&mut self, value: V, round: Round) -> Result<(), DoubleDecision<V>> {
+        match &self.inner {
+            None => {
+                self.inner = Some((value, round));
+                Ok(())
+            }
+            Some((prev, _)) if *prev == value => Ok(()),
+            Some((prev, prev_round)) => Err(DoubleDecision {
+                first: prev.clone(),
+                first_round: *prev_round,
+                second: value,
+                second_round: round,
+            }),
+        }
+    }
+}
+
+impl<V> Default for Decision<V> {
+    fn default() -> Self {
+        Decision::unknown()
+    }
+}
+
+impl<V: fmt::Debug> fmt::Display for Decision<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "unknown"),
+            Some((v, r)) => write!(f, "{v:?} (at {r})"),
+        }
+    }
+}
+
+/// Error returned when a process attempts to decide twice with
+/// different values, violating integrity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoubleDecision<V> {
+    /// The value decided first.
+    pub first: V,
+    /// Round of the first decision.
+    pub first_round: Round,
+    /// The conflicting later value.
+    pub second: V,
+    /// Round of the conflicting attempt.
+    pub second_round: Round,
+}
+
+impl<V: fmt::Debug> fmt::Display for DoubleDecision<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "integrity violation: decided {:?} at {} then {:?} at {}",
+            self.first, self.first_round, self.second, self.second_round
+        )
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for DoubleDecision<V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_by_default() {
+        let d: Decision<u64> = Decision::default();
+        assert!(!d.is_decided());
+        assert_eq!(d.value(), None);
+        assert_eq!(d.round(), None);
+        assert_eq!(d.to_string(), "unknown");
+    }
+
+    #[test]
+    fn decide_once() {
+        let mut d = Decision::unknown();
+        d.decide(3u64, Round::new(2)).unwrap();
+        assert_eq!(d.value(), Some(&3));
+        assert_eq!(d.round(), Some(Round::new(2)));
+        assert_eq!(d.into_inner(), Some((3, Round::new(2))));
+    }
+
+    #[test]
+    fn redeciding_same_value_is_idempotent() {
+        let mut d = Decision::unknown();
+        d.decide(3u64, Round::FIRST).unwrap();
+        d.decide(3u64, Round::new(5)).unwrap();
+        assert_eq!(d.round(), Some(Round::FIRST), "earliest round kept");
+    }
+
+    #[test]
+    fn conflicting_decision_is_integrity_violation() {
+        let mut d = Decision::unknown();
+        d.decide(3u64, Round::FIRST).unwrap();
+        let err = d.decide(4u64, Round::new(2)).unwrap_err();
+        assert_eq!(err.first, 3);
+        assert_eq!(err.second, 4);
+        assert!(err.to_string().contains("integrity violation"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The round-based algorithm interface of §4.1.
+//!
+//! An algorithm of the `RS`/`RWS` models is, per process, a state set,
+//! a message-generation function `msgs` and a state-transition function
+//! `trans`. [`RoundProcess`] captures one process's automaton;
+//! [`RoundAlgorithm`] is the factory describing the whole algorithm
+//! (how to instantiate each process for a given `(n, t, input)`),
+//! which lets the analyses of `ssp-lab` treat algorithms generically.
+
+use core::fmt;
+
+use ssp_model::{ProcessId, Round, Value};
+
+/// Messages received by one process in one round, indexed by sender:
+/// `received[q] = Some(m)` iff `q`'s round message arrived.
+///
+/// `None` covers every way of not hearing from `q`: `q` crashed before
+/// sending, sent a null message, or — in `RWS` — its message is
+/// *pending*.
+pub type RoundMsgs<M> = [Option<M>];
+
+/// One process's automaton in the `RS`/`RWS` models.
+///
+/// The executors call [`msgs`](RoundProcess::msgs) once per destination
+/// in the send phase of each round, then
+/// [`trans`](RoundProcess::trans) exactly once with the received
+/// vector — unless the process crashes during the round, in which case
+/// only a prefix-free subset of its messages is delivered and `trans`
+/// is *not* applied (the process stops mid-round).
+pub trait RoundProcess: fmt::Debug {
+    /// Message payload type.
+    type Msg: Clone + fmt::Debug + PartialEq;
+    /// Decision value type.
+    type Value: Value;
+
+    /// The message-generation function `msgs_i` applied to the current
+    /// state: the message for destination `dst` in round `round`, or
+    /// `None` for the null message.
+    fn msgs(&self, round: Round, dst: ProcessId) -> Option<Self::Msg>;
+
+    /// The state-transition function `trans_i`: consumes the messages
+    /// received this round (indexed by sender) and updates the state,
+    /// possibly deciding.
+    fn trans(&mut self, round: Round, received: &RoundMsgs<Self::Msg>);
+
+    /// The decision register: `Some((v, r))` once the process decided
+    /// `v` at round `r`. Must be monotone (never retracted or changed).
+    fn decision(&self) -> Option<(Self::Value, Round)>;
+}
+
+/// An algorithm of the round-based models: a recipe for instantiating
+/// every process, plus metadata the analyses need.
+pub trait RoundAlgorithm<V: Value>: fmt::Debug {
+    /// The per-process automaton type.
+    type Process: RoundProcess<Value = V>;
+
+    /// Human-readable algorithm name (e.g. `"FloodSet"`).
+    fn name(&self) -> &str;
+
+    /// Instantiates the automaton run by process `me` in a system of
+    /// `n` processes tolerating `t` crashes, with input `input`.
+    fn spawn(&self, me: ProcessId, n: usize, t: usize, input: V) -> Self::Process;
+
+    /// An upper bound on the rounds needed for every correct process to
+    /// decide (e.g. `t + 1` for FloodSet, `2` for `A1`). Executors run
+    /// exactly this many rounds.
+    fn round_horizon(&self, n: usize, t: usize) -> u32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::Decision;
+
+    /// Minimal algorithm for exercising the trait machinery: decides
+    /// its own input at round 1 without communicating.
+    #[derive(Debug, Clone)]
+    struct Solipsist;
+
+    #[derive(Debug)]
+    struct SolipsistProcess {
+        input: u64,
+        decision: Decision<u64>,
+    }
+
+    impl RoundProcess for SolipsistProcess {
+        type Msg = ();
+        type Value = u64;
+
+        fn msgs(&self, _round: Round, _dst: ProcessId) -> Option<()> {
+            None
+        }
+
+        fn trans(&mut self, round: Round, _received: &RoundMsgs<()>) {
+            let v = self.input;
+            self.decision.decide(v, round).expect("single decision");
+        }
+
+        fn decision(&self) -> Option<(u64, Round)> {
+            self.decision.clone().into_inner()
+        }
+    }
+
+    impl RoundAlgorithm<u64> for Solipsist {
+        type Process = SolipsistProcess;
+
+        fn name(&self) -> &str {
+            "Solipsist"
+        }
+
+        fn spawn(&self, _me: ProcessId, _n: usize, _t: usize, input: u64) -> SolipsistProcess {
+            SolipsistProcess {
+                input,
+                decision: Decision::unknown(),
+            }
+        }
+
+        fn round_horizon(&self, _n: usize, _t: usize) -> u32 {
+            1
+        }
+    }
+
+    #[test]
+    fn trait_machinery_works() {
+        let algo = Solipsist;
+        assert_eq!(algo.name(), "Solipsist");
+        let mut p = algo.spawn(ProcessId::new(0), 3, 1, 42);
+        assert_eq!(p.msgs(Round::FIRST, ProcessId::new(1)), None);
+        assert_eq!(p.decision(), None);
+        p.trans(Round::FIRST, &[None, None, None]);
+        assert_eq!(p.decision(), Some((42, Round::FIRST)));
+    }
+}

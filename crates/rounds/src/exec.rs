@@ -1,0 +1,382 @@
+//! Executors for the `RS` and `RWS` round-based models (§4).
+//!
+//! Both executors run an algorithm for its declared round horizon
+//! under a [`CrashSchedule`]; the `RWS` executor additionally applies a
+//! [`PendingChoice`] of withheld messages, validated against weak round
+//! synchrony. With an empty pending choice the two coincide — which is
+//! precisely why every `RWS` algorithm also works in `RS` (§4.3), and
+//! is asserted by tests here.
+
+use ssp_model::{
+    process::all_processes, ConsensusOutcome, InitialConfig, ProcessOutcome, Round, Value,
+};
+
+use crate::algorithm::{RoundAlgorithm, RoundProcess};
+use crate::schedule::{validate_pending, CrashSchedule, PendingChoice, PendingError};
+use crate::trace::{RoundRecord, RoundTrace};
+
+/// A run outcome together with its per-round delivery trace.
+pub type TracedOutcome<V, M> = (ssp_model::ConsensusOutcome<V>, RoundTrace<M>);
+
+/// Runs `algo` in the synchronous round model `RS`.
+///
+/// Each round has a send phase (crashing processes deliver only to
+/// their `sends_to` subset) and a transition phase applied to every
+/// process that survives the round. The *round synchrony* property
+/// holds by construction: a missing message means its sender failed
+/// before sending it.
+///
+/// # Panics
+///
+/// Panics if `config`, `schedule` sizes disagree, or if a scheduled
+/// crash round exceeds the algorithm's round horizon (such a crash is
+/// invisible; make the process correct instead).
+///
+/// # Examples
+///
+/// ```
+/// use ssp_rounds::{run_rs, CrashSchedule};
+/// use ssp_model::InitialConfig;
+///
+/// // FloodSet lives in ssp-algos; here we only show the call shape
+/// // with any RoundAlgorithm implementation `algo`:
+/// # fn demo<A: ssp_rounds::RoundAlgorithm<u64>>(algo: &A) {
+/// let config = InitialConfig::new(vec![0u64, 1, 1]);
+/// let outcome = run_rs(algo, &config, 1, &CrashSchedule::none(3));
+/// # let _ = outcome;
+/// # }
+/// ```
+pub fn run_rs<V: Value, A: RoundAlgorithm<V>>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+) -> ConsensusOutcome<V> {
+    run_rounds(algo, config, t, schedule, &PendingChoice::none(), None)
+        .expect("empty pending choice is always valid")
+}
+
+/// Like [`run_rs`], additionally returning the per-round delivery
+/// trace (message complexity, forensics).
+///
+/// # Panics
+///
+/// As for [`run_rs`].
+pub fn run_rs_traced<V: Value, A: RoundAlgorithm<V>>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+) -> TracedOutcome<V, <A::Process as RoundProcess>::Msg> {
+    let mut trace = RoundTrace::new();
+    let outcome = run_rounds(algo, config, t, schedule, &PendingChoice::none(), Some(&mut trace))
+        .expect("empty pending choice is always valid");
+    (outcome, trace)
+}
+
+/// Runs `algo` in the weakly synchronous round model `RWS`.
+///
+/// Like [`run_rs`], but the messages named by `pending` are withheld
+/// from their receivers. The choice must satisfy weak round synchrony
+/// (Lemma 4.1): a round-`r` message may be pending only if its sender
+/// crashes by the end of round `r+1`.
+///
+/// # Errors
+///
+/// Returns a [`PendingError`] if the pending choice is not realizable.
+///
+/// # Panics
+///
+/// As for [`run_rs`].
+pub fn run_rws<V: Value, A: RoundAlgorithm<V>>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+    pending: &PendingChoice,
+) -> Result<ConsensusOutcome<V>, PendingError> {
+    validate_pending(schedule, pending)?;
+    run_rounds(algo, config, t, schedule, pending, None)
+}
+
+/// Like [`run_rws`], additionally returning the per-round delivery
+/// trace.
+///
+/// # Errors
+///
+/// As for [`run_rws`].
+pub fn run_rws_traced<V: Value, A: RoundAlgorithm<V>>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+    pending: &PendingChoice,
+) -> Result<TracedOutcome<V, <A::Process as RoundProcess>::Msg>, PendingError> {
+    validate_pending(schedule, pending)?;
+    let mut trace = RoundTrace::new();
+    let outcome = run_rounds(algo, config, t, schedule, pending, Some(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn run_rounds<V: Value, A: RoundAlgorithm<V>>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+    pending: &PendingChoice,
+    mut trace: Option<&mut RoundTrace<<A::Process as RoundProcess>::Msg>>,
+) -> Result<ConsensusOutcome<V>, PendingError> {
+    let n = config.n();
+    assert_eq!(schedule.n(), n, "schedule size must match configuration");
+    assert!(
+        schedule.fault_count() <= t,
+        "crash schedule exceeds the fault bound t={t}"
+    );
+    let horizon = algo.round_horizon(n, t);
+    // Crashes in round `horizon + 1` are meaningful even though that
+    // round is never executed: the process completes every executed
+    // round (so it may decide!) yet is faulty, and its round-`horizon`
+    // messages may legally be pending (Lemma 4.1 allows withholding a
+    // round-r message when its sender crashes by round r+1). This is
+    // exactly the shape of the FloodSet/A1 disagreement scenarios.
+    for p in all_processes(n) {
+        if let Some(c) = schedule.crash_of(p) {
+            assert!(
+                c.round.get() <= horizon + 1,
+                "{p} crashes at {} beyond round horizon+1 = {}",
+                c.round,
+                horizon + 1
+            );
+        }
+    }
+
+    let mut procs: Vec<A::Process> = all_processes(n)
+        .map(|p| algo.spawn(p, n, t, config.input(p).clone()))
+        .collect();
+
+    for r in (1..=horizon).map(Round::new) {
+        // Send phase: deliveries[q][p] = message from p to q this round.
+        let mut deliveries: Vec<Vec<Option<<A::Process as RoundProcess>::Msg>>> =
+            vec![vec![None; n]; n];
+        for p in all_processes(n) {
+            if !schedule.sends_in(p, r) {
+                continue;
+            }
+            for q in all_processes(n) {
+                // A process that does not survive the round receives
+                // nothing in it (it crashed before its receive phase).
+                if !schedule.is_alive_through(q, r) {
+                    continue;
+                }
+                if !schedule.emits(p, r, q) {
+                    continue;
+                }
+                if pending.is_withheld(r, p, q) {
+                    continue;
+                }
+                deliveries[q.index()][p.index()] = procs[p.index()].msgs(r, q);
+            }
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(RoundRecord {
+                round: r,
+                deliveries: deliveries.clone(),
+            });
+        }
+        // Transition phase: only processes surviving the round.
+        for (q, delivered) in deliveries.into_iter().enumerate() {
+            let q = ssp_model::ProcessId::new(q);
+            if schedule.is_alive_through(q, r) {
+                procs[q.index()].trans(r, &delivered);
+            }
+        }
+    }
+
+    let outcomes = all_processes(n)
+        .map(|p| ProcessOutcome {
+            input: config.input(p).clone(),
+            decision: procs[p.index()].decision(),
+            crashed_in: schedule.crash_of(p).map(|c| c.round),
+        })
+        .collect();
+    Ok(ConsensusOutcome::new(outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::RoundCrash;
+    use ssp_model::{Decision, ProcessId, ProcessSet};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A 2-round echo algorithm for testing the executors: round 1
+    /// everyone broadcasts its input; round 2 everyone decides the
+    /// minimum value heard (including its own).
+    #[derive(Debug, Clone)]
+    struct MinEcho;
+
+    #[derive(Debug)]
+    struct MinEchoProcess {
+        input: u64,
+        best: u64,
+        decision: Decision<u64>,
+    }
+
+    impl RoundProcess for MinEchoProcess {
+        type Msg = u64;
+        type Value = u64;
+
+        fn msgs(&self, round: Round, _dst: ProcessId) -> Option<u64> {
+            (round == Round::FIRST).then_some(self.input)
+        }
+
+        fn trans(&mut self, round: Round, received: &[Option<u64>]) {
+            for v in received.iter().flatten() {
+                self.best = self.best.min(*v);
+            }
+            if round == Round::new(2) {
+                let v = self.best;
+                self.decision.decide(v, round).expect("single decision");
+            }
+        }
+
+        fn decision(&self) -> Option<(u64, Round)> {
+            self.decision.clone().into_inner()
+        }
+    }
+
+    impl RoundAlgorithm<u64> for MinEcho {
+        type Process = MinEchoProcess;
+
+        fn name(&self) -> &str {
+            "MinEcho"
+        }
+
+        fn spawn(&self, _me: ProcessId, _n: usize, _t: usize, input: u64) -> MinEchoProcess {
+            MinEchoProcess {
+                input,
+                best: input,
+                decision: Decision::unknown(),
+            }
+        }
+
+        fn round_horizon(&self, _n: usize, _t: usize) -> u32 {
+            2
+        }
+    }
+
+    #[test]
+    fn failure_free_rs_floods_minimum() {
+        let config = InitialConfig::new(vec![5u64, 3, 9]);
+        let out = run_rs(&MinEcho, &config, 1, &CrashSchedule::none(3));
+        for (_, o) in out.iter() {
+            assert_eq!(o.decision.as_ref().map(|(v, _)| *v), Some(3));
+        }
+        assert_eq!(out.latency_degree(), Some(2));
+    }
+
+    #[test]
+    fn crash_with_partial_send_partitions_knowledge() {
+        let config = InitialConfig::new(vec![1u64, 5, 9]);
+        let mut schedule = CrashSchedule::none(3);
+        // p1 (input 1, the minimum) crashes in round 1, reaching only p2.
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::singleton(p(1)),
+            },
+        );
+        let out = run_rs(&MinEcho, &config, 1, &schedule);
+        // p1 never decides (crashed before its trans).
+        assert_eq!(out.outcome(p(0)).decision, None);
+        assert_eq!(out.outcome(p(0)).crashed_in, Some(Round::FIRST));
+        // p2 saw 1; p3 did not. (MinEcho is *not* a consensus algorithm:
+        // no relay round — this is exactly why FloodSet needs t+1 rounds.)
+        assert_eq!(out.outcome(p(1)).decision.as_ref().unwrap().0, 1);
+        assert_eq!(out.outcome(p(2)).decision.as_ref().unwrap().0, 5);
+    }
+
+    #[test]
+    fn rws_with_empty_pending_equals_rs() {
+        let config = InitialConfig::new(vec![7u64, 2, 4]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(1),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::full(3),
+            },
+        );
+        let rs = run_rs(&MinEcho, &config, 1, &schedule);
+        let rws = run_rws(&MinEcho, &config, 1, &schedule, &PendingChoice::none()).unwrap();
+        assert_eq!(rs, rws);
+    }
+
+    #[test]
+    fn rws_pending_withholds_sent_message() {
+        let config = InitialConfig::new(vec![1u64, 5, 9]);
+        let mut schedule = CrashSchedule::none(3);
+        // p1 broadcasts fully in round 1 but crashes in round 2.
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, p(0), p(2));
+        let out = run_rws(&MinEcho, &config, 1, &schedule, &pending).unwrap();
+        // p2 heard 1; p3's copy of the 1 was pending, so p3 only saw
+        // {5, 9} — the two surviving deciders disagree, the very
+        // anomaly RWS permits.
+        assert_eq!(out.outcome(p(1)).decision.as_ref().unwrap().0, 1);
+        assert_eq!(out.outcome(p(2)).decision.as_ref().unwrap().0, 5);
+    }
+
+    #[test]
+    fn rws_rejects_invalid_pending() {
+        let config = InitialConfig::new(vec![1u64, 5, 9]);
+        let schedule = CrashSchedule::none(3); // nobody crashes
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, p(0), p(2));
+        assert!(matches!(
+            run_rws(&MinEcho, &config, 1, &schedule, &pending),
+            Err(PendingError::SenderOutlivesBound { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the fault bound")]
+    fn too_many_crashes_panics() {
+        let config = InitialConfig::new(vec![1u64, 5]);
+        let mut schedule = CrashSchedule::none(2);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let _ = run_rs(&MinEcho, &config, 0, &schedule);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond round")]
+    fn crash_beyond_horizon_panics() {
+        let config = InitialConfig::new(vec![1u64, 5]);
+        let mut schedule = CrashSchedule::none(2);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(9),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let _ = run_rs(&MinEcho, &config, 1, &schedule);
+    }
+}

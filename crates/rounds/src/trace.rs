@@ -1,0 +1,151 @@
+//! Round-level traces: who heard whom, round by round.
+//!
+//! The bare [`ConsensusOutcome`](ssp_model::ConsensusOutcome) says what
+//! was decided; a [`RoundTrace`] additionally records every delivery,
+//! which powers message-complexity measurements and human-readable
+//! forensics of counterexample runs.
+
+use core::fmt;
+
+use ssp_model::{ProcessId, Round};
+
+/// Deliveries of one round: `deliveries[receiver][sender]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord<M> {
+    /// The round number.
+    pub round: Round,
+    /// The delivery matrix (`None` = nothing arrived on that link).
+    pub deliveries: Vec<Vec<Option<M>>>,
+}
+
+impl<M> RoundRecord<M> {
+    /// Number of messages delivered this round.
+    #[must_use]
+    pub fn delivered(&self) -> usize {
+        self.deliveries
+            .iter()
+            .map(|row| row.iter().filter(|m| m.is_some()).count())
+            .sum()
+    }
+
+    /// Whether `receiver` heard from `sender` this round.
+    #[must_use]
+    pub fn heard(&self, receiver: ProcessId, sender: ProcessId) -> bool {
+        self.deliveries[receiver.index()][sender.index()].is_some()
+    }
+}
+
+/// The full delivery history of a round-model run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTrace<M> {
+    records: Vec<RoundRecord<M>>,
+}
+
+impl<M> RoundTrace<M> {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundTrace {
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a round record.
+    pub fn push(&mut self, record: RoundRecord<M>) {
+        self.records.push(record);
+    }
+
+    /// All rounds in order.
+    #[must_use]
+    pub fn rounds(&self) -> &[RoundRecord<M>] {
+        &self.records
+    }
+
+    /// Number of executed rounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no round was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total messages delivered across the run — the run's message
+    /// complexity as observed at receivers.
+    #[must_use]
+    pub fn total_delivered(&self) -> usize {
+        self.records.iter().map(RoundRecord::delivered).sum()
+    }
+}
+
+impl<M> Default for RoundTrace<M> {
+    fn default() -> Self {
+        RoundTrace::new()
+    }
+}
+
+impl<M> fmt::Display for RoundTrace<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rec in &self.records {
+            writeln!(f, "{}:", rec.round)?;
+            for (i, row) in rec.deliveries.iter().enumerate() {
+                write!(f, "  {} heard from:", ProcessId::new(i))?;
+                let mut any = false;
+                for (j, m) in row.iter().enumerate() {
+                    if m.is_some() {
+                        write!(f, " {}", ProcessId::new(j))?;
+                        any = true;
+                    }
+                }
+                if !any {
+                    write!(f, " (nobody)")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u32, deliveries: Vec<Vec<Option<u8>>>) -> RoundRecord<u8> {
+        RoundRecord {
+            round: Round::new(round),
+            deliveries,
+        }
+    }
+
+    #[test]
+    fn counts_delivered_messages() {
+        let rec = record(1, vec![vec![Some(1), None], vec![Some(2), Some(3)]]);
+        assert_eq!(rec.delivered(), 3);
+        assert!(rec.heard(ProcessId::new(1), ProcessId::new(0)));
+        assert!(!rec.heard(ProcessId::new(0), ProcessId::new(1)));
+    }
+
+    #[test]
+    fn trace_accumulates() {
+        let mut t = RoundTrace::new();
+        assert!(t.is_empty());
+        t.push(record(1, vec![vec![Some(1)]]));
+        t.push(record(2, vec![vec![None]]));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_delivered(), 1);
+    }
+
+    #[test]
+    fn display_readable() {
+        let mut t = RoundTrace::new();
+        t.push(record(1, vec![vec![Some(1), None], vec![None, None]]));
+        let s = t.to_string();
+        assert!(s.contains("round 1"));
+        assert!(s.contains("p1 heard from: p1"));
+        assert!(s.contains("p2 heard from: (nobody)"));
+    }
+}

@@ -1,0 +1,510 @@
+//! The threaded round driver: runs any [`RoundAlgorithm`] with one OS
+//! thread per process over the delay-injecting network of
+//! [`crate::net`], with failure detection from [`crate::fd`].
+//!
+//! The same driver realizes both models:
+//!
+//! * [`SyncPolicy::Rs`] — bounded-delay network + timeout detector +
+//!   a *drain* period after each suspicion, so that in-flight messages
+//!   from a crashed sender still land before the round closes. Under
+//!   the delay bound this yields round synchrony (missing message ⇒
+//!   the sender never sent it to us).
+//! * [`SyncPolicy::Rws`] — the §4.2 rule verbatim: close the round as
+//!   soon as every peer has either delivered or become suspected.
+//!   Messages that arrive after their round closed are *pending*,
+//!   counted in [`ThreadedOutcome::pending_messages`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ssp_model::{
+    process::all_processes, ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, Round,
+    Value,
+};
+use ssp_rounds::{RoundAlgorithm, RoundProcess};
+
+use crate::fd::{FdModule, HeartbeatBoard, Oracle, OracleFd, TimeoutFd};
+use crate::net::{spawn_network, NetConfig, NetReceiver, NetSender};
+
+/// Round-tagged wire format (nulls sent explicitly, as in the §4.2
+/// emulation, so receivers can stop waiting for live-but-silent peers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundWire<M> {
+    round: u32,
+    payload: Option<M>,
+}
+
+/// When a round may close on a missing peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Suspicion + a drain period (realizes `RS` under bounded delays).
+    Rs {
+        /// How long to keep receiving after a peer is first found
+        /// suspected-and-missing. Must exceed the network's maximum
+        /// delay for round synchrony to hold.
+        drain: Duration,
+    },
+    /// Suspicion alone (realizes `RWS`; pending messages possible).
+    Rws,
+}
+
+/// Which perfect-detector implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdFlavor {
+    /// Heartbeats + timeout (the `SS` construction of §3).
+    Timeout {
+        /// Staleness threshold; must exceed the worst heartbeat gap.
+        timeout: Duration,
+    },
+    /// Crash oracle with per-observer notification delays (the `SP`
+    /// abstraction).
+    Oracle {
+        /// Minimum notification delay.
+        min_notify: Duration,
+        /// Maximum notification delay.
+        max_notify: Duration,
+    },
+}
+
+/// A scripted crash: the process stops during `round` after emitting
+/// `after_sends` of its `n` messages (self-delivery counts as a send
+/// slot). A round beyond the horizon makes the process complete every
+/// round — possibly deciding — and *then* crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCrash {
+    /// The round during which the process crashes.
+    pub round: u32,
+    /// Messages it manages to emit in that round before dying.
+    pub after_sends: usize,
+}
+
+/// Full configuration of a threaded execution.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Network delays.
+    pub net: NetConfig,
+    /// Round-closing policy.
+    pub policy: SyncPolicy,
+    /// Failure-detector implementation.
+    pub fd: FdFlavor,
+    /// Per-process crash script.
+    pub crashes: Vec<Option<ThreadCrash>>,
+    /// Hard per-round safety timeout (a liveness bug fails the run
+    /// rather than hanging the test suite).
+    pub round_timeout: Duration,
+}
+
+impl RuntimeConfig {
+    /// An `SS`-flavoured configuration: bounded delays, timeout
+    /// detector, drain long enough for round synchrony.
+    #[must_use]
+    pub fn ss_flavor(n: usize, seed: u64) -> Self {
+        let max_delay = Duration::from_millis(2);
+        RuntimeConfig {
+            net: NetConfig::bounded(max_delay, seed),
+            policy: SyncPolicy::Rs {
+                drain: Duration::from_millis(200),
+            },
+            fd: FdFlavor::Timeout {
+                timeout: Duration::from_millis(100),
+            },
+            crashes: vec![None; n],
+            round_timeout: Duration::from_secs(20),
+        }
+    }
+
+    /// An `SP`-flavoured configuration: oracle detector, suspicion
+    /// closes rounds immediately.
+    #[must_use]
+    pub fn sp_flavor(n: usize, seed: u64) -> Self {
+        RuntimeConfig {
+            net: NetConfig::bounded(Duration::from_millis(2), seed),
+            policy: SyncPolicy::Rws,
+            fd: FdFlavor::Oracle {
+                min_notify: Duration::from_millis(5),
+                max_notify: Duration::from_millis(15),
+            },
+            crashes: vec![None; n],
+            round_timeout: Duration::from_secs(20),
+        }
+    }
+
+    /// Scripts a crash.
+    #[must_use]
+    pub fn with_crash(mut self, p: ProcessId, crash: ThreadCrash) -> Self {
+        self.crashes[p.index()] = Some(crash);
+        self
+    }
+
+    /// Replaces the network configuration.
+    #[must_use]
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+}
+
+/// The result of a threaded execution.
+#[derive(Debug)]
+pub struct ThreadedOutcome<V> {
+    /// Per-process consensus outcome (decisions include those made by
+    /// processes that crashed afterwards).
+    pub outcome: ConsensusOutcome<V>,
+    /// Messages that arrived after their round had already closed at
+    /// the receiver — real pending messages. Always 0 under
+    /// [`SyncPolicy::Rs`] with an adequate drain.
+    pub pending_messages: u64,
+    /// Wall-clock duration of the whole execution.
+    pub elapsed: Duration,
+}
+
+struct ProcessReturn<V> {
+    input: V,
+    decision: Option<(V, Round)>,
+    crashed_in: Option<Round>,
+    pending_seen: u64,
+}
+
+enum AnyFd {
+    Timeout(TimeoutFd),
+    Oracle(OracleFd),
+}
+
+impl AnyFd {
+    fn suspects(&self) -> ssp_model::ProcessSet {
+        match self {
+            AnyFd::Timeout(fd) => fd.suspects(),
+            AnyFd::Oracle(fd) => fd.suspects(),
+        }
+    }
+}
+
+/// Runs `algo` on real threads. Returns the assembled outcome; a
+/// process that exceeds the round timeout gives up undecided (visible
+/// as a termination violation to the specification checkers).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or `config.crashes` has the wrong
+/// length.
+#[must_use]
+pub fn run_threaded<V, A>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    runtime: RuntimeConfig,
+) -> ThreadedOutcome<V>
+where
+    V: Value + Sync,
+    A: RoundAlgorithm<V>,
+    A::Process: Send + 'static,
+    <A::Process as RoundProcess>::Msg: Send + 'static,
+{
+    let n = config.n();
+    assert_eq!(runtime.crashes.len(), n, "one crash slot per process");
+    let horizon = algo.round_horizon(n, t);
+    let (net_tx, net_rxs) = spawn_network::<RoundWire<<A::Process as RoundProcess>::Msg>>(
+        n,
+        runtime.net.clone(),
+    );
+
+    let board = HeartbeatBoard::new(n);
+    let oracle = Oracle::new(
+        n,
+        match runtime.fd {
+            FdFlavor::Oracle { min_notify, .. } => min_notify,
+            _ => Duration::ZERO,
+        },
+        match runtime.fd {
+            FdFlavor::Oracle { max_notify, .. } => max_notify,
+            _ => Duration::ZERO,
+        },
+        runtime.net.seed,
+    );
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for me in all_processes(n) {
+        let proc_ = algo.spawn(me, n, t, config.input(me).clone());
+        let input = config.input(me).clone();
+        let rx = net_rxs[me.index()].clone();
+        let tx = net_tx.clone();
+        let fd = match runtime.fd {
+            FdFlavor::Timeout { timeout } => {
+                AnyFd::Timeout(TimeoutFd::new(Arc::clone(&board), timeout, me))
+            }
+            FdFlavor::Oracle { .. } => AnyFd::Oracle(oracle.module(me)),
+        };
+        let board = Arc::clone(&board);
+        let oracle = Arc::clone(&oracle);
+        let crash = runtime.crashes[me.index()];
+        let policy = runtime.policy;
+        let round_timeout = runtime.round_timeout;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ssp-{me}"))
+                .spawn(move || {
+                    worker(
+                        proc_, input, me, n, horizon, rx, tx, fd, board, oracle, crash, policy,
+                        round_timeout,
+                    )
+                })
+                .expect("spawn worker"),
+        );
+    }
+    drop(net_tx);
+
+    let mut outcomes = Vec::with_capacity(n);
+    let mut pending_total = 0;
+    for h in handles {
+        let r: ProcessReturn<V> = h.join().expect("worker thread panicked");
+        pending_total += r.pending_seen;
+        outcomes.push(ProcessOutcome {
+            input: r.input,
+            decision: r.decision,
+            crashed_in: r.crashed_in,
+        });
+    }
+    ThreadedOutcome {
+        outcome: ConsensusOutcome::new(outcomes),
+        pending_messages: pending_total,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<P>(
+    mut proc_: P,
+    input: P::Value,
+    me: ProcessId,
+    n: usize,
+    horizon: u32,
+    rx: NetReceiver<RoundWire<P::Msg>>,
+    tx: NetSender<RoundWire<P::Msg>>,
+    fd: AnyFd,
+    board: Arc<HeartbeatBoard>,
+    oracle: Arc<Oracle>,
+    crash: Option<ThreadCrash>,
+    policy: SyncPolicy,
+    round_timeout: Duration,
+) -> ProcessReturn<P::Value>
+where
+    P: RoundProcess,
+    P::Msg: Send + 'static,
+{
+    let crash_now = |r: u32| {
+        board.silence(me);
+        oracle.report_crash(me);
+        let _ = r;
+    };
+    let mut future: Vec<(u32, ProcessId, Option<P::Msg>)> = Vec::new();
+    let mut pending_seen = 0u64;
+
+    for r in 1..=horizon {
+        board.beat(me);
+        // --- send phase ---
+        let mut self_payload: Option<Option<P::Msg>> = None;
+        for (slot, q) in all_processes(n).enumerate() {
+            if let Some(c) = crash {
+                if c.round == r && slot >= c.after_sends {
+                    crash_now(r);
+                    return ProcessReturn {
+                        input,
+                        decision: proc_.decision(),
+                        crashed_in: Some(Round::new(r)),
+                        pending_seen,
+                    };
+                }
+            }
+            let payload = proc_.msgs(Round::new(r), q);
+            if q == me {
+                self_payload = Some(payload);
+            } else {
+                tx.send(me, q, RoundWire { round: r, payload });
+            }
+        }
+        if let Some(c) = crash {
+            // `after_sends ≥ n` means "crash during round r after the
+            // full broadcast, before applying trans".
+            if c.round == r && c.after_sends >= n {
+                crash_now(r);
+                return ProcessReturn {
+                    input,
+                    decision: proc_.decision(),
+                    crashed_in: Some(Round::new(r)),
+                    pending_seen,
+                };
+            }
+        }
+        // --- collect phase ---
+        let mut got: Vec<Option<Option<P::Msg>>> = vec![None; n];
+        got[me.index()] = Some(self_payload.unwrap_or(None));
+        // Absorb early arrivals stashed in previous rounds.
+        future.retain(|(fr, src, payload)| {
+            if *fr == r {
+                got[src.index()] = Some(payload.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let deadline = Instant::now() + round_timeout;
+        let mut missing_since: Vec<Option<Instant>> = vec![None; n];
+        loop {
+            board.beat(me);
+            let suspects = fd.suspects();
+            let now = Instant::now();
+            let ready = all_processes(n).all(|q| {
+                if got[q.index()].is_some() {
+                    return true;
+                }
+                if !suspects.contains(q) {
+                    return false;
+                }
+                match policy {
+                    SyncPolicy::Rws => true,
+                    SyncPolicy::Rs { drain } => {
+                        // Keep draining the link for `drain` after the
+                        // suspicion before declaring the message absent.
+                        let since = missing_since[q.index()].get_or_insert(now);
+                        now.saturating_duration_since(*since) >= drain
+                    }
+                }
+            });
+            if ready {
+                break;
+            }
+            if now > deadline {
+                // Liveness failure: give up undecided.
+                return ProcessReturn {
+                    input,
+                    decision: proc_.decision(),
+                    crashed_in: None,
+                    pending_seen,
+                };
+            }
+            if let Ok(env) = rx.recv_timeout(Duration::from_micros(500)) {
+                let wire = env.payload;
+                if wire.round == r {
+                    got[env.src.index()] = Some(wire.payload);
+                } else if wire.round > r {
+                    future.push((wire.round, env.src, wire.payload));
+                } else {
+                    pending_seen += 1; // arrived after its round closed
+                }
+            }
+        }
+        let received: Vec<Option<P::Msg>> = got.into_iter().map(Option::flatten).collect();
+        proc_.trans(Round::new(r), &received);
+    }
+
+    // Post-horizon scripted crash ("decide then crash").
+    let crashed_in = crash.map(|c| {
+        debug_assert!(c.round > horizon, "in-horizon crashes return earlier");
+        crash_now(c.round);
+        Round::new(c.round)
+    });
+    if crashed_in.is_none() {
+        // Keep beating briefly so laggards don't suspect us while they finish.
+        board.beat(me);
+    }
+    ProcessReturn {
+        input,
+        decision: proc_.decision(),
+        crashed_in,
+        pending_seen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_algos::{FloodSet, FloodSetWs, A1};
+    use ssp_model::{check_uniform_consensus, check_uniform_consensus_strong};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn failure_free_a1_decides_round_1_on_threads() {
+        let config = InitialConfig::new(vec![4u64, 9, 2]);
+        let result = run_threaded(&A1, &config, 1, RuntimeConfig::ss_flavor(3, 42));
+        check_uniform_consensus_strong(&result.outcome).unwrap();
+        assert_eq!(result.outcome.latency_degree(), Some(1));
+        assert_eq!(result.pending_messages, 0);
+    }
+
+    #[test]
+    fn floodset_with_mid_round_crash_on_threads() {
+        let config = InitialConfig::new(vec![0u64, 3, 5]);
+        let runtime = RuntimeConfig::ss_flavor(3, 7).with_crash(
+            p(0),
+            ThreadCrash {
+                round: 1,
+                after_sends: 2, // reaches itself and p2, not p3
+            },
+        );
+        let result = run_threaded(&FloodSet, &config, 1, runtime);
+        check_uniform_consensus_strong(&result.outcome).unwrap();
+        assert_eq!(result.outcome.outcome(p(0)).crashed_in, Some(Round::FIRST));
+        // p2 saw the 0 in round 1 and floods it in round 2.
+        for q in [p(1), p(2)] {
+            assert_eq!(result.outcome.outcome(q).decision.as_ref().unwrap().0, 0);
+        }
+    }
+
+    #[test]
+    fn a1_uniformity_breaks_on_threads_under_sp_flavor() {
+        // The §5.3 scenario in real time: p1 broadcasts with its links
+        // slowed to 2s, decides on its own value, crashes; the oracle
+        // tells the others quickly; they decide p2's value. Real
+        // pending messages, real disagreement.
+        let n = 3;
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let net = NetConfig::bounded(Duration::from_millis(2), 9)
+            .with_sender_delay(p(0), n, Duration::from_secs(2));
+        let runtime = RuntimeConfig::sp_flavor(n, 9)
+            .with_net(net)
+            .with_crash(
+                p(0),
+                ThreadCrash {
+                    round: 2,
+                    after_sends: 0,
+                },
+            );
+        let result = run_threaded(&A1, &config, 1, runtime);
+        // p1 decided its own value (self-delivery is internal, instant).
+        assert_eq!(
+            result.outcome.outcome(p(0)).decision.as_ref().map(|d| d.0),
+            Some(10)
+        );
+        // Survivors went with p2's fallback value.
+        for q in [p(1), p(2)] {
+            assert_eq!(
+                result.outcome.outcome(q).decision.as_ref().map(|d| d.0),
+                Some(11)
+            );
+        }
+        assert!(check_uniform_consensus(&result.outcome).is_err());
+    }
+
+    #[test]
+    fn floodset_ws_survives_the_same_sp_adversary() {
+        let n = 3;
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let net = NetConfig::bounded(Duration::from_millis(2), 9)
+            .with_sender_delay(p(0), n, Duration::from_secs(2));
+        let runtime = RuntimeConfig::sp_flavor(n, 9)
+            .with_net(net)
+            .with_crash(
+                p(0),
+                ThreadCrash {
+                    round: 2,
+                    after_sends: 0,
+                },
+            );
+        let result = run_threaded(&FloodSetWs, &config, 1, runtime);
+        check_uniform_consensus(&result.outcome).unwrap();
+    }
+}

@@ -1,0 +1,246 @@
+//! Failure detection for the threaded runtime.
+//!
+//! Two implementations of the perfect detector `P`, mirroring the two
+//! models:
+//!
+//! * [`TimeoutFd`] — the `SS` way (§3): every live process refreshes a
+//!   shared heartbeat timestamp as it runs; an observer suspects a
+//!   peer whose heartbeat is staler than the timeout. Perfect *given*
+//!   the bounded-delay assumption (timeout > max scheduling +
+//!   heartbeat gap) — exactly the synchrony premise of `SS`.
+//! * [`OracleFd`] — the `SP` way: crashes are reported to an oracle,
+//!   which notifies each observer after a finite but arbitrary,
+//!   per-observer delay. Never wrong, always eventually complete, and
+//!   completely silent about in-flight messages — which is why `SP`
+//!   rounds are only *weakly* synchronous.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssp_model::{ProcessId, ProcessSet};
+
+/// A failure-detector module handle: query-able suspicion set.
+pub trait FdModule: Send {
+    /// The current suspicion set, as seen by this observer.
+    fn suspects(&self) -> ProcessSet;
+}
+
+/// Shared heartbeat board for [`TimeoutFd`].
+#[derive(Debug)]
+pub struct HeartbeatBoard {
+    epoch: Instant,
+    /// Last-beat time per process, in microseconds since `epoch`.
+    /// `u64::MAX` marks a process that has announced its own crash
+    /// (stops beating immediately).
+    beats: Vec<AtomicU64>,
+}
+
+impl HeartbeatBoard {
+    /// Creates a board for `n` processes, all freshly beating.
+    #[must_use]
+    pub fn new(n: usize) -> Arc<Self> {
+        Arc::new(HeartbeatBoard {
+            epoch: Instant::now(),
+            beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a heartbeat for `p` (call frequently from `p`'s thread).
+    pub fn beat(&self, p: ProcessId) {
+        let now = self.now_micros();
+        let cell = &self.beats[p.index()];
+        if cell.load(Ordering::Relaxed) != u64::MAX {
+            cell.store(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks `p` as crashed: it stops beating forever.
+    pub fn silence(&self, p: ProcessId) {
+        self.beats[p.index()].store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// Timeout-based perfect failure detection over a [`HeartbeatBoard`].
+#[derive(Debug, Clone)]
+pub struct TimeoutFd {
+    board: Arc<HeartbeatBoard>,
+    timeout: Duration,
+    me: ProcessId,
+}
+
+impl TimeoutFd {
+    /// Creates the module for observer `me` with the given timeout.
+    ///
+    /// The timeout must exceed the worst-case heartbeat gap (beat
+    /// interval + scheduling jitter) for the detector to be accurate —
+    /// this is the `SS` synchrony assumption in wall-clock form.
+    #[must_use]
+    pub fn new(board: Arc<HeartbeatBoard>, timeout: Duration, me: ProcessId) -> Self {
+        TimeoutFd { board, timeout, me }
+    }
+}
+
+impl FdModule for TimeoutFd {
+    fn suspects(&self) -> ProcessSet {
+        let now = self.board.now_micros();
+        let timeout = self.timeout.as_micros() as u64;
+        let mut s = ProcessSet::empty();
+        for (i, beat) in self.board.beats.iter().enumerate() {
+            let p = ProcessId::new(i);
+            if p == self.me {
+                continue;
+            }
+            let b = beat.load(Ordering::Relaxed);
+            if b == u64::MAX || now.saturating_sub(b) > timeout {
+                s.insert(p);
+            }
+        }
+        s
+    }
+}
+
+/// Shared state of the crash oracle.
+#[derive(Debug, Default)]
+struct OracleState {
+    /// For each crashed process: when each observer learns of it.
+    notifications: Vec<(ProcessId, Vec<Instant>)>,
+}
+
+/// The crash oracle backing [`OracleFd`] modules.
+#[derive(Debug)]
+pub struct Oracle {
+    n: usize,
+    state: Mutex<OracleState>,
+    min_notify: Duration,
+    max_notify: Duration,
+    seed: AtomicU64,
+}
+
+impl Oracle {
+    /// Creates an oracle whose per-observer notification delays are
+    /// drawn uniformly from `[min_notify, max_notify]`.
+    #[must_use]
+    pub fn new(n: usize, min_notify: Duration, max_notify: Duration, seed: u64) -> Arc<Self> {
+        Arc::new(Oracle {
+            n,
+            state: Mutex::new(OracleState::default()),
+            min_notify,
+            max_notify,
+            seed: AtomicU64::new(seed),
+        })
+    }
+
+    /// Reports that `p` has crashed; observers will start suspecting it
+    /// after their individual delays.
+    pub fn report_crash(&self, p: ProcessId) {
+        let mut rng = StdRng::seed_from_u64(self.seed.fetch_add(1, Ordering::Relaxed));
+        let span = self
+            .max_notify
+            .saturating_sub(self.min_notify)
+            .as_micros() as u64;
+        let now = Instant::now();
+        let delays: Vec<Instant> = (0..self.n)
+            .map(|_| {
+                let extra = if span == 0 { 0 } else { rng.gen_range(0..=span) };
+                now + self.min_notify + Duration::from_micros(extra)
+            })
+            .collect();
+        self.state.lock().notifications.push((p, delays));
+    }
+
+    /// The module handle for observer `me`.
+    #[must_use]
+    pub fn module(self: &Arc<Self>, me: ProcessId) -> OracleFd {
+        OracleFd {
+            oracle: Arc::clone(self),
+            me,
+        }
+    }
+}
+
+/// Oracle-backed perfect failure detection (the `SP` flavour).
+#[derive(Debug, Clone)]
+pub struct OracleFd {
+    oracle: Arc<Oracle>,
+    me: ProcessId,
+}
+
+impl FdModule for OracleFd {
+    fn suspects(&self) -> ProcessSet {
+        let now = Instant::now();
+        let state = self.oracle.state.lock();
+        let mut s = ProcessSet::empty();
+        for (p, delays) in &state.notifications {
+            if delays[self.me.index()] <= now {
+                s.insert(*p);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn timeout_fd_suspects_silent_process() {
+        let board = HeartbeatBoard::new(2);
+        let fd = TimeoutFd::new(Arc::clone(&board), Duration::from_millis(20), p(0));
+        board.beat(p(1));
+        assert!(fd.suspects().is_empty());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(fd.suspects().contains(p(1)), "stale heartbeat ⇒ suspected");
+        // A fresh beat clears the suspicion (the process was only slow —
+        // which the SS bound forbids, but the module is defensive).
+        board.beat(p(1));
+        assert!(!fd.suspects().contains(p(1)));
+    }
+
+    #[test]
+    fn silence_is_permanent() {
+        let board = HeartbeatBoard::new(2);
+        let fd = TimeoutFd::new(Arc::clone(&board), Duration::from_millis(10), p(0));
+        board.silence(p(1));
+        board.beat(p(1)); // ignored after silence
+        assert!(fd.suspects().contains(p(1)));
+    }
+
+    #[test]
+    fn observer_does_not_suspect_itself() {
+        let board = HeartbeatBoard::new(1);
+        let fd = TimeoutFd::new(board, Duration::from_millis(1), p(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(fd.suspects().is_empty());
+    }
+
+    #[test]
+    fn oracle_notifies_after_delay() {
+        let oracle = Oracle::new(2, Duration::from_millis(30), Duration::from_millis(30), 5);
+        let fd = oracle.module(p(1));
+        oracle.report_crash(p(0));
+        assert!(fd.suspects().is_empty(), "not yet notified");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(fd.suspects().contains(p(0)));
+    }
+
+    #[test]
+    fn oracle_never_suspects_unreported() {
+        let oracle = Oracle::new(3, Duration::ZERO, Duration::ZERO, 5);
+        let fd = oracle.module(p(0));
+        assert!(fd.suspects().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Threaded, channel-based runtime: the paper's models in wall-clock
+//! form.
+//!
+//! One OS thread per process, crossbeam channels for links, and two
+//! flavours of everything:
+//!
+//! * the **`SS` flavour** — a bounded-delay network
+//!   ([`NetConfig::bounded`]), the timeout-based perfect detector
+//!   ([`TimeoutFd`], §3's construction), and a drain period that turns
+//!   suspicion into certainty about in-flight messages: rounds satisfy
+//!   round synchrony;
+//! * the **`SP` flavour** — finite but arbitrary link delays
+//!   ([`NetConfig::with_sender_delay`]), an oracle detector
+//!   ([`OracleFd`]) that knows *that* a process crashed but nothing
+//!   about its in-flight messages, and rounds that close on suspicion:
+//!   weak round synchrony, real pending messages.
+//!
+//! [`run_threaded`] executes any `ssp-rounds` [`RoundAlgorithm`]
+//! unchanged in either flavour; the driver tests reproduce the §5.3
+//! `A1` disagreement with actual threads and delayed packets.
+//!
+//! [`RoundAlgorithm`]: ssp_rounds::RoundAlgorithm
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+pub mod fd;
+pub mod net;
+
+pub use driver::{
+    run_threaded, FdFlavor, RoundWire, RuntimeConfig, SyncPolicy, ThreadCrash, ThreadedOutcome,
+};
+pub use fd::{FdModule, HeartbeatBoard, Oracle, OracleFd, TimeoutFd};
+pub use net::{spawn_network, NetConfig, NetEnvelope, NetReceiver, NetSender};

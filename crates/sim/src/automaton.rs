@@ -1,0 +1,164 @@
+//! Step automata (§2.2).
+//!
+//! An algorithm is a collection of deterministic automata, one per
+//! process. In each step a process atomically (1) receives a possibly
+//! empty set of messages, (2) — in models with failure detectors —
+//! queries its detector module, (3) changes state and (4) may send a
+//! message *to a single process*. [`StepAutomaton`] captures one such
+//! automaton; the executors in [`crate::exec`] drive a vector of them.
+
+use core::fmt;
+
+use ssp_model::{Envelope, ProcessId, ProcessSet};
+
+/// Everything a process observes during one atomic step.
+#[derive(Debug)]
+pub struct StepContext<'a, M> {
+    /// The messages received in this step (delivery chosen by the
+    /// adversary, plus — in `SS` — deliveries forced by `Δ`).
+    pub received: &'a [Envelope<M>],
+    /// The value returned by the failure-detector query phase of this
+    /// step. Always empty in the plain asynchronous and `SS` models;
+    /// the `SP` executor fills it from the perfect detector.
+    pub suspects: ProcessSet,
+    /// How many steps this process has taken before this one.
+    pub own_step: u64,
+}
+
+/// One process's deterministic automaton.
+///
+/// The send phase may address *at most one* process per step, exactly
+/// as in the paper; broadcasting therefore takes `n` steps (see
+/// [`RoundRobinSender`] for the canonical pattern, used by the round
+/// emulations of §4).
+pub trait StepAutomaton: fmt::Debug {
+    /// Payload type of the messages this automaton exchanges.
+    type Msg: Clone + fmt::Debug + PartialEq;
+    /// The externally visible output (e.g. a decision), if any.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Executes one atomic step, returning the (destination, payload)
+    /// of the single message sent in the send phase, if any.
+    fn step(&mut self, ctx: StepContext<'_, Self::Msg>) -> Option<(ProcessId, Self::Msg)>;
+
+    /// The output produced so far (`None` until e.g. a decision is
+    /// made). Once `Some`, it must never change — outputs are
+    /// irrevocable.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Boxed automaton, for heterogeneous systems (e.g. the SDD sender and
+/// receiver run different automata).
+pub type BoxedAutomaton<M, O> = Box<dyn StepAutomaton<Msg = M, Output = O>>;
+
+/// Helper that emits one copy of a fixed payload per step, cycling
+/// through a destination list — the step-level idiom for "broadcast",
+/// which the single-send step rule spreads over `n` steps.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_sim::RoundRobinSender;
+/// use ssp_model::ProcessId;
+///
+/// let mut tx = RoundRobinSender::new(vec![ProcessId::new(1), ProcessId::new(2)], "hi");
+/// assert_eq!(tx.next_send(), Some((ProcessId::new(1), "hi")));
+/// assert_eq!(tx.next_send(), Some((ProcessId::new(2), "hi")));
+/// assert_eq!(tx.next_send(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundRobinSender<M> {
+    destinations: Vec<ProcessId>,
+    payload: M,
+    next: usize,
+}
+
+impl<M: Clone> RoundRobinSender<M> {
+    /// Creates a sender that will address each destination once, in order.
+    #[must_use]
+    pub fn new(destinations: Vec<ProcessId>, payload: M) -> Self {
+        RoundRobinSender {
+            destinations,
+            payload,
+            next: 0,
+        }
+    }
+
+    /// The next `(destination, payload)` pair, or `None` when all
+    /// destinations have been served.
+    pub fn next_send(&mut self) -> Option<(ProcessId, M)> {
+        let dst = *self.destinations.get(self.next)?;
+        self.next += 1;
+        Some((dst, self.payload.clone()))
+    }
+
+    /// Whether every destination has been addressed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next >= self.destinations.len()
+    }
+}
+
+/// The trivial automaton: never sends, never outputs. Useful as a
+/// passive peer in tests and as the "null steps" of §3's SDD receiver.
+#[derive(Debug, Clone, Default)]
+pub struct IdleAutomaton<M, O> {
+    _marker: std::marker::PhantomData<(M, O)>,
+}
+
+impl<M, O> IdleAutomaton<M, O> {
+    /// Creates an idle automaton.
+    #[must_use]
+    pub fn new() -> Self {
+        IdleAutomaton {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, O> StepAutomaton for IdleAutomaton<M, O>
+where
+    M: Clone + fmt::Debug + PartialEq + 'static,
+    O: Clone + fmt::Debug + PartialEq + 'static,
+{
+    type Msg = M;
+    type Output = O;
+
+    fn step(&mut self, _ctx: StepContext<'_, M>) -> Option<(ProcessId, M)> {
+        None
+    }
+
+    fn output(&self) -> Option<O> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_sends_each_destination_once() {
+        let dests: Vec<ProcessId> = (1..4).map(ProcessId::new).collect();
+        let mut tx = RoundRobinSender::new(dests.clone(), 7u32);
+        let mut seen = Vec::new();
+        while let Some((d, v)) = tx.next_send() {
+            assert_eq!(v, 7);
+            seen.push(d);
+        }
+        assert_eq!(seen, dests);
+        assert!(tx.is_done());
+    }
+
+    #[test]
+    fn idle_automaton_does_nothing() {
+        let mut idle: IdleAutomaton<u32, bool> = IdleAutomaton::new();
+        let out = idle.step(StepContext {
+            received: &[],
+            suspects: ProcessSet::empty(),
+            own_step: 0,
+        });
+        assert_eq!(out, None);
+        assert_eq!(idle.output(), None);
+    }
+}

@@ -1,0 +1,355 @@
+//! Run traces: the executable counterpart of the paper's run tuples
+//! `<F, (H,) C0, S, T>`.
+//!
+//! A [`Trace`] records every event of an executed run — steps with
+//! their deliveries, detector values and sends, plus crash events. The
+//! impossibility machinery of `ssp-lab` manipulates traces directly:
+//! Theorem 3.1 is proved by *run surgery*, splicing and replaying
+//! recorded schedules, and refuted candidates are reported as traces.
+
+use core::fmt;
+
+use ssp_model::{Envelope, FailurePattern, ProcessId, ProcessSet, StepIndex, Time};
+
+/// A scheduling event: either a process takes a step or it crashes.
+///
+/// The global clock ticks once per event; the *global step index*
+/// (`S`'s positions, which `Δ` is stated in terms of) counts only
+/// steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// The process takes its next atomic step.
+    Step(ProcessId),
+    /// The process crashes (takes no further steps).
+    Crash(ProcessId),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Step(p) => write!(f, "step({p})"),
+            Event::Crash(p) => write!(f, "crash({p})"),
+        }
+    }
+}
+
+/// Full record of one executed step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord<M> {
+    /// The stepping process.
+    pub process: ProcessId,
+    /// Global clock tick of this event.
+    pub time: Time,
+    /// Position of this step in the schedule `S` (steps only).
+    pub global_step: StepIndex,
+    /// How many steps `process` had taken before this one.
+    pub own_step: u64,
+    /// Messages received in the receive phase.
+    pub received: Vec<Envelope<M>>,
+    /// Failure-detector value of the query phase (empty outside `SP`).
+    pub suspects: ProcessSet,
+    /// The single message sent in the send phase, if any.
+    pub sent: Option<Envelope<M>>,
+}
+
+/// One event of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent<M> {
+    /// A step together with everything observed and produced in it.
+    Step(StepRecord<M>),
+    /// A crash at the given time.
+    Crash {
+        /// The crashing process.
+        process: ProcessId,
+        /// Global clock tick of the crash.
+        time: Time,
+    },
+}
+
+/// What a single process locally observes during one of its steps:
+/// the `(src, payload)` pairs it received and the detector value.
+///
+/// Two runs are *indistinguishable to `p`* up to a point iff `p`'s
+/// sequences of local observations agree up to that point — the notion
+/// the proof of Theorem 3.1 turns on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalObservation<M> {
+    /// Received message payloads with their senders, in delivery order.
+    pub received: Vec<(ProcessId, M)>,
+    /// The failure-detector value at this step.
+    pub suspects: ProcessSet,
+}
+
+/// A finished run's trace.
+#[derive(Debug, Clone)]
+pub struct Trace<M> {
+    n: usize,
+    events: Vec<TraceEvent<M>>,
+}
+
+impl<M: Clone + fmt::Debug + PartialEq> Trace<M> {
+    /// Creates a trace over a universe of `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Trace {
+            n,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    /// Appends an event record.
+    pub fn push(&mut self, ev: TraceEvent<M>) {
+        self.events.push(ev);
+    }
+
+    /// All events in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent<M>] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The schedule skeleton: the bare [`Event`] sequence, suitable for
+    /// replay (optionally after surgery) by a scripted adversary.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<Event> {
+        self.events
+            .iter()
+            .map(|ev| match ev {
+                TraceEvent::Step(s) => Event::Step(s.process),
+                TraceEvent::Crash { process, .. } => Event::Crash(*process),
+            })
+            .collect()
+    }
+
+    /// Per-step delivery keys `(src, sent_at)` actually delivered, in
+    /// schedule order — the second half of what a replay needs.
+    #[must_use]
+    pub fn delivery_script(&self) -> Vec<Vec<(ProcessId, StepIndex)>> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Step(s) => {
+                    Some(s.received.iter().map(|e| (e.src, e.sent_at)).collect())
+                }
+                TraceEvent::Crash { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The failure pattern realized by this trace (crash events mapped
+    /// to their times).
+    #[must_use]
+    pub fn failure_pattern(&self) -> FailurePattern {
+        let mut f = FailurePattern::no_failures(self.n);
+        for ev in &self.events {
+            if let TraceEvent::Crash { process, time } = ev {
+                f.crash(*process, *time);
+            }
+        }
+        f
+    }
+
+    /// The sequence `S_p` of `p`'s local observations, one per step `p`
+    /// took.
+    #[must_use]
+    pub fn local_view(&self, p: ProcessId) -> Vec<LocalObservation<M>> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Step(s) if s.process == p => Some(LocalObservation {
+                    received: s
+                        .received
+                        .iter()
+                        .map(|e| (e.src, e.payload.clone()))
+                        .collect(),
+                    suspects: s.suspects,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of steps taken by `p`.
+    #[must_use]
+    pub fn step_count(&self, p: ProcessId) -> u64 {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::Step(s) if s.process == p))
+            .count() as u64
+    }
+
+    /// All messages sent to `p` that were never delivered by the end of
+    /// the trace. Empty for runs satisfying "every message sent to a
+    /// correct process is eventually received" within the horizon.
+    #[must_use]
+    pub fn undelivered_to(&self, p: ProcessId) -> Vec<Envelope<M>> {
+        let mut sent: Vec<Envelope<M>> = Vec::new();
+        let mut delivered: Vec<(ProcessId, StepIndex)> = Vec::new();
+        for ev in &self.events {
+            if let TraceEvent::Step(s) = ev {
+                if let Some(env) = &s.sent {
+                    if env.dst == p {
+                        sent.push(env.clone());
+                    }
+                }
+                if s.process == p {
+                    delivered.extend(s.received.iter().map(|e| (e.src, e.sent_at)));
+                }
+            }
+        }
+        sent.retain(|e| !delivered.contains(&(e.src, e.sent_at)));
+        sent
+    }
+}
+
+impl<M: Clone + fmt::Debug + PartialEq> fmt::Display for Trace<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace ({} events):", self.events.len())?;
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Step(s) => {
+                    write!(
+                        f,
+                        "  [{}] {} step#{} (own {})",
+                        s.time.tick(),
+                        s.process,
+                        s.global_step.position(),
+                        s.own_step
+                    )?;
+                    if !s.received.is_empty() {
+                        write!(f, " recv {:?}", s.received.iter().map(|e| e.src).collect::<Vec<_>>())?;
+                    }
+                    if !s.suspects.is_empty() {
+                        write!(f, " suspects {}", s.suspects)?;
+                    }
+                    if let Some(env) = &s.sent {
+                        write!(f, " send→{}", env.dst)?;
+                    }
+                    writeln!(f)?;
+                }
+                TraceEvent::Crash { process, time } => {
+                    writeln!(f, "  [{}] {} crashes", time.tick(), process)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn step_rec(
+        proc_: usize,
+        time: u64,
+        gstep: u64,
+        own: u64,
+        recv: Vec<Envelope<u32>>,
+        sent: Option<Envelope<u32>>,
+    ) -> TraceEvent<u32> {
+        TraceEvent::Step(StepRecord {
+            process: p(proc_),
+            time: Time::new(time),
+            global_step: StepIndex::new(gstep),
+            own_step: own,
+            received: recv,
+            suspects: ProcessSet::empty(),
+            sent,
+        })
+    }
+
+    fn env(src: usize, dst: usize, at: u64, v: u32) -> Envelope<u32> {
+        Envelope {
+            src: p(src),
+            dst: p(dst),
+            sent_at: StepIndex::new(at),
+            payload: v,
+        }
+    }
+
+    fn sample_trace() -> Trace<u32> {
+        let mut t = Trace::new(2);
+        t.push(step_rec(0, 0, 0, 0, vec![], Some(env(0, 1, 0, 7))));
+        t.push(TraceEvent::Crash {
+            process: p(0),
+            time: Time::new(1),
+        });
+        t.push(step_rec(1, 2, 1, 0, vec![env(0, 1, 0, 7)], None));
+        t
+    }
+
+    #[test]
+    fn schedule_and_delivery_script_roundtrip() {
+        let t = sample_trace();
+        assert_eq!(
+            t.schedule(),
+            vec![Event::Step(p(0)), Event::Crash(p(0)), Event::Step(p(1))]
+        );
+        assert_eq!(
+            t.delivery_script(),
+            vec![vec![], vec![(p(0), StepIndex::new(0))]]
+        );
+    }
+
+    #[test]
+    fn failure_pattern_from_crash_events() {
+        let t = sample_trace();
+        let f = t.failure_pattern();
+        assert_eq!(f.crash_time(p(0)), Some(Time::new(1)));
+        assert!(f.is_correct(p(1)));
+    }
+
+    #[test]
+    fn local_views_are_per_process() {
+        let t = sample_trace();
+        let v0 = t.local_view(p(0));
+        let v1 = t.local_view(p(1));
+        assert_eq!(v0.len(), 1);
+        assert!(v0[0].received.is_empty());
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v1[0].received, vec![(p(0), 7)]);
+        assert_eq!(t.step_count(p(0)), 1);
+    }
+
+    #[test]
+    fn undelivered_detection() {
+        let mut t = Trace::new(2);
+        t.push(step_rec(0, 0, 0, 0, vec![], Some(env(0, 1, 0, 7))));
+        t.push(step_rec(1, 1, 1, 0, vec![], None)); // p2 steps without the message
+        let undelivered = t.undelivered_to(p(1));
+        assert_eq!(undelivered.len(), 1);
+        assert_eq!(undelivered[0].payload, 7);
+        // And the sample trace delivers everything.
+        assert!(sample_trace().undelivered_to(p(1)).is_empty());
+    }
+
+    #[test]
+    fn display_is_line_per_event() {
+        let s = sample_trace().to_string();
+        assert!(s.contains("p1 crashes"));
+        assert!(s.contains("send→p2"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Post-hoc validators for traces.
+//!
+//! The executor enforces the model online; these independent checkers
+//! re-verify finished traces against the definitions of §2.3–§2.4,
+//! so that tests can cross-check the executor itself and that traces
+//! imported from elsewhere (e.g. hand-written counterexample runs) can
+//! be certified.
+
+use core::fmt;
+
+use ssp_model::{ProcessId, StepIndex};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// A violation found by the trace validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceViolation {
+    /// A process took a step at or after its crash event.
+    StepAfterCrash {
+        /// The offending process.
+        process: ProcessId,
+    },
+    /// Process synchrony: `fast` took `Φ+1` steps in a window in which
+    /// the alive process `starved` took none.
+    ProcessSynchrony {
+        /// The process with `Φ+1` steps in the window.
+        fast: ProcessId,
+        /// The starved process, alive at the window's end.
+        starved: ProcessId,
+    },
+    /// Message synchrony: a message sent at schedule index `sent_at`
+    /// was not received although its destination stepped at index
+    /// `step` with `step ≥ sent_at + Δ`.
+    MessageSynchrony {
+        /// Destination of the overdue message.
+        process: ProcessId,
+        /// Sending process.
+        src: ProcessId,
+        /// Schedule index of the send.
+        sent_at: StepIndex,
+        /// The destination's late step that should have received it.
+        step: StepIndex,
+    },
+    /// A message sent to a process that never crashed was still
+    /// undelivered at the end of the trace.
+    UndeliveredToCorrect {
+        /// The correct destination.
+        process: ProcessId,
+        /// Sending process.
+        src: ProcessId,
+        /// Schedule index of the send.
+        sent_at: StepIndex,
+    },
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceViolation::StepAfterCrash { process } => {
+                write!(f, "{process} stepped after crashing")
+            }
+            TraceViolation::ProcessSynchrony { fast, starved } => write!(
+                f,
+                "process synchrony violated: {fast} took Φ+1 steps while alive {starved} took none"
+            ),
+            TraceViolation::MessageSynchrony {
+                process,
+                src,
+                sent_at,
+                step,
+            } => write!(
+                f,
+                "message synchrony violated: {src}→{process} sent at {sent_at} missing at {process}'s {step}"
+            ),
+            TraceViolation::UndeliveredToCorrect { process, src, sent_at } => write!(
+                f,
+                "eventual delivery violated: {src}→{process} sent at {sent_at} never received"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// Checks the basic asynchronous-model conditions: crashed processes
+/// take no further steps, and every message addressed to a process
+/// that never crashes is delivered by the end of the trace.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_basic<M>(trace: &Trace<M>) -> Result<(), TraceViolation>
+where
+    M: Clone + fmt::Debug + PartialEq,
+{
+    let n = trace.universe_size();
+    let mut crashed = vec![false; n];
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::Crash { process, .. } => crashed[process.index()] = true,
+            TraceEvent::Step(s) => {
+                if crashed[s.process.index()] {
+                    return Err(TraceViolation::StepAfterCrash { process: s.process });
+                }
+            }
+        }
+    }
+    let pattern = trace.failure_pattern();
+    for i in 0..n {
+        let p = ProcessId::new(i);
+        if pattern.is_correct(p) {
+            if let Some(env) = trace.undelivered_to(p).first() {
+                return Err(TraceViolation::UndeliveredToCorrect {
+                    process: p,
+                    src: env.src,
+                    sent_at: env.sent_at,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the two `SS` synchrony conditions of §2.4 on a finished trace.
+///
+/// *Process synchrony*: for every pair of alive processes, between two
+/// consecutive steps of one, the other takes at most `Φ` steps.
+/// *Message synchrony*: a message sent at schedule index `k` is present
+/// in the receiver's deliveries no later than its first step at index
+/// `l ≥ k + Δ`.
+///
+/// # Errors
+///
+/// Returns the first violation found. Run [`validate_basic`] separately
+/// for the model-independent conditions.
+pub fn validate_ss<M>(trace: &Trace<M>, phi: u64, delta: u64) -> Result<(), TraceViolation>
+where
+    M: Clone + fmt::Debug + PartialEq,
+{
+    let n = trace.universe_size();
+    // since[p][q]: steps p has taken since q's last step.
+    let mut since = vec![0u64; n * n];
+    let mut crashed = vec![false; n];
+    // Outstanding sends per destination: (src, sent_at).
+    let mut outstanding: Vec<Vec<(ProcessId, StepIndex)>> = vec![Vec::new(); n];
+
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::Crash { process, .. } => crashed[process.index()] = true,
+            TraceEvent::Step(s) => {
+                let p = s.process;
+                // Process synchrony.
+                for q in 0..n {
+                    if q != p.index() && !crashed[q] && since[p.index() * n + q] >= phi {
+                        return Err(TraceViolation::ProcessSynchrony {
+                            fast: p,
+                            starved: ProcessId::new(q),
+                        });
+                    }
+                }
+                for q in 0..n {
+                    if q != p.index() {
+                        since[p.index() * n + q] += 1;
+                        since[q * n + p.index()] = 0;
+                    }
+                }
+                // Message synchrony: everything overdue must be in `received`.
+                let received: Vec<(ProcessId, StepIndex)> =
+                    s.received.iter().map(|e| (e.src, e.sent_at)).collect();
+                outstanding[p.index()].retain(|&(src, sent_at)| {
+                    !received.contains(&(src, sent_at))
+                });
+                if let Some(&(src, sent_at)) = outstanding[p.index()]
+                    .iter()
+                    .find(|&&(_, sent_at)| sent_at.position() + delta <= s.global_step.position())
+                {
+                    return Err(TraceViolation::MessageSynchrony {
+                        process: p,
+                        src,
+                        sent_at,
+                        step: s.global_step,
+                    });
+                }
+                // Record this step's send.
+                if let Some(env) = &s.sent {
+                    outstanding[env.dst.index()].push((env.src, env.sent_at));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{DeliveryChoice, FairAdversary, ScriptedAdversary};
+    use crate::automaton::{BoxedAutomaton, IdleAutomaton, StepAutomaton, StepContext};
+    use crate::exec::{run, ModelKind};
+    use crate::trace::Event;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[derive(Debug)]
+    struct Chatter {
+        peer: ProcessId,
+    }
+
+    impl StepAutomaton for Chatter {
+        type Msg = u32;
+        type Output = u32;
+        fn step(&mut self, ctx: StepContext<'_, u32>) -> Option<(ProcessId, u32)> {
+            Some((self.peer, ctx.own_step as u32))
+        }
+        fn output(&self) -> Option<u32> {
+            None
+        }
+    }
+
+    fn chatters() -> Vec<BoxedAutomaton<u32, u32>> {
+        vec![
+            Box::new(Chatter { peer: p(1) }),
+            Box::new(Chatter { peer: p(0) }),
+        ]
+    }
+
+    #[test]
+    fn executor_ss_runs_pass_both_validators() {
+        let mut adv = FairAdversary::new(2, 40).with_min_events(40);
+        let result = run(ModelKind::ss(1, 2), chatters(), &mut adv, 1_000).unwrap();
+        validate_ss(&result.trace, 1, 2).unwrap();
+        // Chatters keep sending until the end; the last sends are
+        // legitimately still in flight, so prune: deliver-all fair runs
+        // only leave the final messages. We check the validator's
+        // positive path on a quiescent idle run instead.
+        let idle: Vec<BoxedAutomaton<u32, u32>> =
+            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let mut adv2 = FairAdversary::new(2, 10).with_min_events(10);
+        let r2 = run(ModelKind::ss(1, 2), idle, &mut adv2, 1_000).unwrap();
+        validate_basic(&r2.trace).unwrap();
+    }
+
+    #[test]
+    fn validator_catches_phi_violation() {
+        // Build an illegal trace via the *async* executor (no Φ check),
+        // then validate it as SS.
+        let mut adv = ScriptedAdversary::new(
+            vec![Event::Step(p(0)), Event::Step(p(0))],
+            vec![DeliveryChoice::Nothing; 2],
+        );
+        let idle: Vec<BoxedAutomaton<u32, u32>> =
+            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let result = run(ModelKind::Async, idle, &mut adv, 100).unwrap();
+        let err = validate_ss(&result.trace, 1, 1).unwrap_err();
+        assert!(matches!(err, TraceViolation::ProcessSynchrony { .. }));
+    }
+
+    #[test]
+    fn validator_catches_delta_violation() {
+        // p1 sends at step 0; p2 steps at index 3 without receiving (Δ=2).
+        let mut adv = ScriptedAdversary::new(
+            vec![
+                Event::Step(p(0)),
+                Event::Step(p(1)),
+                Event::Step(p(0)),
+                Event::Step(p(1)),
+            ],
+            vec![DeliveryChoice::Nothing; 4],
+        );
+        let result = run(ModelKind::Async, chatters(), &mut adv, 100).unwrap();
+        let err = validate_ss(&result.trace, 10, 2).unwrap_err();
+        assert!(matches!(err, TraceViolation::MessageSynchrony { .. }));
+    }
+
+    #[test]
+    fn validator_catches_undelivered_to_correct() {
+        let mut adv = ScriptedAdversary::new(
+            vec![Event::Step(p(0)), Event::Step(p(1))],
+            vec![DeliveryChoice::Nothing; 2],
+        );
+        let result = run(ModelKind::Async, chatters(), &mut adv, 100).unwrap();
+        let err = validate_basic(&result.trace).unwrap_err();
+        assert!(matches!(err, TraceViolation::UndeliveredToCorrect { .. }));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = TraceViolation::StepAfterCrash { process: p(0) };
+        assert!(v.to_string().contains("p1"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The failure-detector side of the story: the Chandra–Toueg classes
+//! (§2.5–2.6), the §3 claim that timeouts implement `P` in `SS`, and
+//! the §1 side-claim that in partial synchrony they implement only
+//! `◇P`.
+//!
+//! ```sh
+//! cargo run --release --example fd_hierarchy
+//! ```
+
+use ssp::fd::{classify, eventually_perfect_history, perfect_history, strong_history};
+use ssp::lab::report::Table;
+use ssp::lab::{run_adaptive_experiment, run_heartbeat_experiment};
+use ssp::model::{FailurePattern, ProcessId, Time};
+
+fn main() {
+    let p = ProcessId::new;
+
+    println!("== 1. The classes, on oracle-generated histories ==\n");
+    let mut pattern = FailurePattern::no_failures(4);
+    pattern.crash(p(3), Time::new(6));
+
+    let mut table = Table::new(vec!["history", "P", "◇P", "S", "◇S"]);
+    let mut row = |name: &str, props: ssp::fd::FdProperties| {
+        table.row(vec![
+            name.into(),
+            props.is_perfect().to_string(),
+            props.is_eventually_perfect().to_string(),
+            props.is_strong().to_string(),
+            props.is_eventually_strong().to_string(),
+        ]);
+    };
+
+    let h = perfect_history(&pattern, 3);
+    row("perfect oracle", classify(&pattern, &h, Time::new(100)));
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let h = eventually_perfect_history(&pattern, 3, Time::new(40), &mut rng);
+    row("transient false suspicions", classify(&pattern, &h, Time::new(200)));
+
+    let h = strong_history(&pattern, 3, p(0), &[(p(1), p(2))]);
+    row("permanent false suspicion (p1 immune)", classify(&pattern, &h, Time::new(100)));
+
+    println!("{table}");
+
+    println!("== 2. Timeouts in SS implement P (§3) ==\n");
+    let exp = run_heartbeat_experiment(3, 1, 1, &[None, Some(5), None], 1_000);
+    let props = classify(&exp.pattern, &exp.history, exp.horizon);
+    println!("scenario: {} — classification: {props}\n", exp.pattern);
+
+    println!("== 3. Timeouts in DLS partial synchrony implement ◇P (§1) ==\n");
+    let exp = run_adaptive_experiment(3, 1, 1, 120, p(0), 4, None, 3_000);
+    let props = classify(&exp.pattern, &exp.history, exp.horizon);
+    println!(
+        "pre-gst chaos starves p1; adaptive bound doubles on each retraction ({} retractions)",
+        exp.retractions
+    );
+    println!("classification: {props}");
+    println!("⇒ eventually perfect but not perfect — exactly the SS/SP boundary the paper probes.");
+}

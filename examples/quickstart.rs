@@ -1,0 +1,56 @@
+//! Quickstart: run the paper's algorithms in both round models and
+//! watch the headline phenomena.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ssp::algos::{FloodSet, FloodSetWs, A1};
+use ssp::model::{check_uniform_consensus, InitialConfig, ProcessId, ProcessSet, Round};
+use ssp::rounds::{run_rs, run_rws, CrashSchedule, PendingChoice, RoundCrash};
+
+fn main() {
+    let p = ProcessId::new;
+
+    println!("== 1. FloodSet in RS: uniform consensus in t+1 rounds ==");
+    let config = InitialConfig::new(vec![4u64, 1, 7]);
+    let out = run_rs(&FloodSet, &config, 1, &CrashSchedule::none(3));
+    println!("{out}");
+    println!("latency degree: {:?} (t+1 = 2)\n", out.latency_degree());
+
+    println!("== 2. A1 in RS: failure-free decision at round 1 (Λ(A1) = 1) ==");
+    let config = InitialConfig::new(vec![30u64, 10, 20]);
+    let out = run_rs(&A1, &config, 1, &CrashSchedule::none(3));
+    println!("{out}");
+    println!("latency degree: {:?}\n", out.latency_degree());
+
+    println!("== 3. A1 in RWS: the §5.3 pending-broadcast anomaly ==");
+    // p1 broadcasts, decides on its own copy, crashes in round 2; every
+    // copy of its broadcast is withheld (pending).
+    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let mut schedule = CrashSchedule::none(3);
+    schedule.crash(
+        p(0),
+        RoundCrash {
+            round: Round::new(2),
+            sends_to: ProcessSet::empty(),
+        },
+    );
+    let mut pending = PendingChoice::none();
+    pending.withhold(Round::FIRST, p(0), p(1));
+    pending.withhold(Round::FIRST, p(0), p(2));
+    let out = run_rws(&A1, &config, 1, &schedule, &pending).expect("valid pending choice");
+    println!("{out}");
+    match check_uniform_consensus(&out) {
+        Err(violation) => println!("as the paper predicts: {violation}\n"),
+        Ok(()) => unreachable!("the adversary must defeat A1 in RWS"),
+    }
+
+    println!("== 4. FloodSetWS in RWS: the halt mechanism restores uniformity ==");
+    let out = run_rws(&FloodSetWs, &config, 1, &schedule, &pending).expect("valid pending choice");
+    println!("{out}");
+    match check_uniform_consensus(&out) {
+        Ok(()) => println!("uniform consensus holds (at the price of Λ = 2)."),
+        Err(v) => unreachable!("FloodSetWS must survive this adversary: {v}"),
+    }
+}

@@ -1,0 +1,59 @@
+//! `ssp` — **S**ynchronous **S**ystem vs. asynchronous system with a
+//! **P**erfect failure detector.
+//!
+//! An executable reproduction of *“Synchronous System and Perfect
+//! Failure Detector: solvability and efficiency issues”*
+//! (B. Charron-Bost, R. Guerraoui, A. Schiper — DSN 2000).
+//!
+//! The paper compares the synchronous model `SS` with the asynchronous
+//! model augmented with a perfect failure detector `SP`, and shows the
+//! synchronous model is *strictly stronger* twice over:
+//!
+//! 1. **Solvability** — the Strongly Dependent Decision problem is
+//!    solvable in `SS` ([`algos::SsSddReceiver`]) but in `SP` every
+//!    candidate falls to the Theorem 3.1 run-surgery adversary
+//!    ([`lab::refute`]);
+//! 2. **Efficiency** — in round form (`RS` vs `RWS`), uniform
+//!    consensus decides at round 1 of failure-free runs in `RS`
+//!    ([`algos::A1`], `Λ(A1) = 1`) while every `RWS` algorithm needs
+//!    `Λ ≥ 2` ([`lab::lower_bound`]).
+//!
+//! # Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`model`] | processes, time, failure patterns, problem specs |
+//! | [`fd`] | failure-detector histories, classes, oracles, timeouts |
+//! | [`sim`] | step-level executors for async / `SS` / `SP` |
+//! | [`rounds`] | the `RS` and `RWS` round models + emulations |
+//! | [`algos`] | FloodSet family, `A1`, SDD, early deciding |
+//! | [`lab`] | exhaustive checking, latency metrics, impossibility |
+//! | [`runtime`] | threads + channels: the models in wall-clock form |
+//! | [`commit`] | atomic commit and the commit-rate experiment |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ssp::algos::A1;
+//! use ssp::model::{check_uniform_consensus_strong, InitialConfig};
+//! use ssp::rounds::{run_rs, CrashSchedule};
+//!
+//! // Three processes, one tolerated crash, distinct proposals.
+//! let config = InitialConfig::new(vec![30u64, 10, 20]);
+//! let outcome = run_rs(&A1, &config, 1, &CrashSchedule::none(3));
+//! check_uniform_consensus_strong(&outcome)?;
+//! assert_eq!(outcome.latency_degree(), Some(1)); // Λ(A1) = 1 in RS
+//! # Ok::<(), ssp::model::ConsensusViolation<u64>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ssp_algos as algos;
+pub use ssp_commit as commit;
+pub use ssp_fd as fd;
+pub use ssp_lab as lab;
+pub use ssp_model as model;
+pub use ssp_rounds as rounds;
+pub use ssp_runtime as runtime;
+pub use ssp_sim as sim;

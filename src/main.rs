@@ -1,0 +1,421 @@
+//! `ssp` — command-line front end to the reproduction.
+//!
+//! ```text
+//! ssp latency   [-n N] [-t T]                      lat/Lat/Λ table (§5.2)
+//! ssp verify    <algo> <rs|rws> [-n N] [-t T]      exhaustive verification
+//! ssp sample    <algo> <rs|rws> [-n N] [-t T] [--trials K] [--seed S]
+//! ssp refute-sdd [--patience K]                    Theorem 3.1, mechanized
+//! ssp commit    [--trials K] [--crash-prob P]      §3 commit-rate gap
+//! ssp heartbeat [-n N] [--phi F] [--delta D]       timeouts implement P
+//! ssp emulation [-n N] [--phi F] [--delta D] [-r R] §4.1 step budgets
+//! ```
+//!
+//! Algorithms: `floodset`, `floodset-ws`, `c-opt`, `c-opt-ws`, `f-opt`,
+//! `f-opt-ws`, `a1`, `early`, `early-ws`.
+
+use std::process::ExitCode;
+
+use ssp::algos::{
+    COptFloodSet, COptFloodSetWs, EarlyDeciding, EarlyDecidingWs, FOptFloodSet, FOptFloodSetWs,
+    FloodSet, FloodSetWs, A1,
+};
+use ssp::commit::{commit_rate_experiment, CommitWorkload};
+use ssp::fd::classify;
+use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
+use ssp::lab::report::Table;
+use ssp::lab::{
+    explore_rs, explore_rws, refute, run_heartbeat_experiment, sample_verify_rs,
+    sample_verify_rws, verify_rs, verify_rws, LatencyAggregator, SampleSpace, ValidityMode,
+};
+use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
+
+/// Minimal flag parser: `--key value` / `-k value` pairs after the
+/// positional arguments.
+#[derive(Debug, Default)]
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+fn parse_args(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix('-') {
+            let key = key.strip_prefix('-').unwrap_or(key);
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.pairs.push((key.to_string(), value.clone()));
+        } else {
+            flags.positional.push(arg.clone());
+        }
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        }
+    }
+}
+
+/// Dispatches an algorithm name to a monomorphized callback.
+macro_rules! with_algo {
+    ($name:expr, $algo:ident => $body:expr) => {
+        match $name {
+            "floodset" => {
+                let $algo = FloodSet;
+                Ok($body)
+            }
+            "floodset-ws" => {
+                let $algo = FloodSetWs;
+                Ok($body)
+            }
+            "c-opt" => {
+                let $algo = COptFloodSet;
+                Ok($body)
+            }
+            "c-opt-ws" => {
+                let $algo = COptFloodSetWs;
+                Ok($body)
+            }
+            "f-opt" => {
+                let $algo = FOptFloodSet;
+                Ok($body)
+            }
+            "f-opt-ws" => {
+                let $algo = FOptFloodSetWs;
+                Ok($body)
+            }
+            "a1" => {
+                let $algo = A1;
+                Ok($body)
+            }
+            "early" => {
+                let $algo = EarlyDeciding;
+                Ok($body)
+            }
+            "early-ws" => {
+                let $algo = EarlyDecidingWs;
+                Ok($body)
+            }
+            other => Err(format!(
+                "unknown algorithm {other:?} (try: floodset, floodset-ws, c-opt, c-opt-ws, f-opt, f-opt-ws, a1, early, early-ws)"
+            )),
+        }
+    };
+}
+
+fn cmd_latency(flags: &Flags) -> Result<(), String> {
+    let n = flags.usize_or("n", 3)?;
+    let t = flags.usize_or("t", 1)?;
+    let mut table = Table::new(vec!["algorithm", "model", "runs", "lat", "Lat", "Λ"]);
+    let fmt = |v: Option<u32>| v.map_or("-".into(), |x| x.to_string());
+    macro_rules! rs_row {
+        ($algo:expr) => {{
+            let mut agg = LatencyAggregator::new();
+            explore_rs(&$algo, n, t, &[0u64, 1], |run| agg.add(run));
+            table.row(vec![
+                RoundAlgorithm::<u64>::name(&$algo).to_string(),
+                "RS".into(),
+                agg.runs.to_string(),
+                fmt(agg.lat()),
+                fmt(agg.lat_max_over_configs()),
+                fmt(agg.capital_lambda()),
+            ]);
+        }};
+    }
+    macro_rules! rws_row {
+        ($algo:expr) => {{
+            let mut agg = LatencyAggregator::new();
+            explore_rws(&$algo, n, t, &[0u64, 1], |run| agg.add(run));
+            table.row(vec![
+                RoundAlgorithm::<u64>::name(&$algo).to_string(),
+                "RWS".into(),
+                agg.runs.to_string(),
+                fmt(agg.lat()),
+                fmt(agg.lat_max_over_configs()),
+                fmt(agg.capital_lambda()),
+            ]);
+        }};
+    }
+    rs_row!(FloodSet);
+    rws_row!(FloodSetWs);
+    rs_row!(COptFloodSet);
+    rws_row!(COptFloodSetWs);
+    rs_row!(FOptFloodSet);
+    rws_row!(FOptFloodSetWs);
+    if t == 1 {
+        rs_row!(A1);
+    }
+    rs_row!(EarlyDeciding);
+    rws_row!(EarlyDecidingWs);
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_verify(flags: &Flags) -> Result<(), String> {
+    let algo_name = flags
+        .positional
+        .get(1)
+        .ok_or("usage: ssp verify <algo> <rs|rws> [-n N] [-t T]")?
+        .as_str();
+    let model = flags
+        .positional
+        .get(2)
+        .ok_or("usage: ssp verify <algo> <rs|rws> [-n N] [-t T]")?
+        .as_str();
+    let n = flags.usize_or("n", 3)?;
+    let t = flags.usize_or("t", 1)?;
+    let verification = with_algo!(algo_name, algo => match model {
+        "rs" => verify_rs(&algo, n, t, &[0u64, 1], ValidityMode::Strong),
+        "rws" => verify_rws(&algo, n, t, &[0u64, 1], ValidityMode::Strong),
+        other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    })?;
+    match &verification.counterexample {
+        None => println!(
+            "{algo_name} in {model}: OK over {} exhaustively enumerated runs (n={n}, t={t})",
+            verification.runs
+        ),
+        Some(cex) => {
+            println!(
+                "{algo_name} in {model}: VIOLATION after {} runs (n={n}, t={t})\n\n{cex}",
+                verification.runs
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sample(flags: &Flags) -> Result<(), String> {
+    let algo_name = flags
+        .positional
+        .get(1)
+        .ok_or("usage: ssp sample <algo> <rs|rws> [-n N] [-t T] [--trials K] [--seed S]")?
+        .as_str();
+    let model = flags
+        .positional
+        .get(2)
+        .ok_or("usage: ssp sample <algo> <rs|rws> [-n N] [-t T] [--trials K] [--seed S]")?
+        .as_str();
+    let n = flags.usize_or("n", 5)?;
+    let t = flags.usize_or("t", 2)?;
+    let trials = flags.u64_or("trials", 5_000)?;
+    let seed = flags.u64_or("seed", 42)?;
+    let space = SampleSpace::adversarial(n, t);
+    let v = with_algo!(algo_name, algo => match model {
+        "rs" => sample_verify_rs(&algo, &space, &[0u64, 1, 2], trials, seed, ValidityMode::Strong),
+        "rws" => sample_verify_rws(&algo, &space, &[0u64, 1, 2], trials, seed, ValidityMode::Strong),
+        other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    })?;
+    match &v.counterexample {
+        None => println!(
+            "{algo_name} in {model}: OK over {} sampled runs (n={n}, t={t}, seed {seed}); Λ over samples = {:?}",
+            v.trials,
+            v.latency.capital_lambda()
+        ),
+        Some(cex) => println!(
+            "{algo_name} in {model}: VIOLATION at sampled run #{}\n\n{cex}",
+            v.trials
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_refute_sdd(flags: &Flags) -> Result<(), String> {
+    let patience = flags.u64_or("patience", 0)?;
+    if patience == 0 {
+        println!("{}", refute(&WaitOrSuspect, 10_000));
+    } else {
+        println!("{}", refute(&PatientWait(patience), 100_000));
+    }
+    Ok(())
+}
+
+fn cmd_commit(flags: &Flags) -> Result<(), String> {
+    let n = flags.usize_or("n", 4)?;
+    let t = flags.usize_or("t", 2)?;
+    let trials = flags.u64_or("trials", 2_000)?;
+    let crash_prob = flags.f64_or("crash-prob", 0.5)?;
+    let workload = CommitWorkload::all_yes(n, t, crash_prob);
+    let report = commit_rate_experiment(&workload, trials, 0xC0FFEE);
+    println!(
+        "all-Yes commit rates over {trials} adversarial scenarios (n={n}, t={t}, crash-prob {crash_prob}):"
+    );
+    println!("  RS  (SS side):  {:.3}", report.rs_rate());
+    println!("  RWS (SP side):  {:.3}", report.rws_rate());
+    println!("  gap runs (RS committed, RWS aborted): {}", report.gap_runs);
+    Ok(())
+}
+
+fn cmd_heartbeat(flags: &Flags) -> Result<(), String> {
+    let n = flags.usize_or("n", 3)?;
+    let phi = flags.u64_or("phi", 1)?;
+    let delta = flags.u64_or("delta", 1)?;
+    let mut crash = vec![None; n];
+    if n > 1 {
+        crash[1] = Some(5);
+    }
+    let exp = run_heartbeat_experiment(n, phi, delta, &crash, 2_000);
+    let props = classify(&exp.pattern, &exp.history, exp.horizon);
+    println!("heartbeats + (Φ+1)(n−1)+Δ timeout in SS(Φ={phi}, Δ={delta}), n={n}:");
+    println!("  scenario: {}", exp.pattern);
+    println!("  classification: {props}");
+    println!("  ⇒ perfect failure detection, as §3 promises: {}", props.is_perfect());
+    Ok(())
+}
+
+fn cmd_emulation(flags: &Flags) -> Result<(), String> {
+    let n = flags.usize_or("n", 3)?;
+    let phi = flags.u64_or("phi", 1)?;
+    let delta = flags.u64_or("delta", 1)?;
+    let rounds = flags.u64_or("r", 5)? as u32;
+    let mut table = Table::new(vec!["round r", "K_r (cumulative steps)", "k_r (null steps)"]);
+    for r in 1..=rounds {
+        let k_r = cumulative_round_budget(phi, delta, n, r);
+        let k_prev = cumulative_round_budget(phi, delta, n, r - 1);
+        table.row(vec![
+            r.to_string(),
+            k_r.to_string(),
+            (k_r - k_prev - n as u64).to_string(),
+        ]);
+    }
+    println!("RS-on-SS emulation budget, n={n}, Φ={phi}, Δ={delta} (§4.1's k(n,Φ,Δ,r)):\n");
+    println!("{table}");
+    Ok(())
+}
+
+const USAGE: &str = "usage: ssp <command> [options]
+
+commands:
+  latency    [-n N] [-t T]                         lat/Lat/Λ table (§5.2)
+  verify     <algo> <rs|rws> [-n N] [-t T]         exhaustive verification
+  sample     <algo> <rs|rws> [-n N] [-t T] [--trials K] [--seed S]
+  refute-sdd [--patience K]                        Theorem 3.1, mechanized
+  commit     [-n N] [-t T] [--trials K] [--crash-prob P]
+  heartbeat  [-n N] [--phi F] [--delta D]          timeouts implement P (§3)
+  emulation  [-n N] [--phi F] [--delta D] [-r R]   §4.1 step budgets
+
+algorithms: floodset floodset-ws c-opt c-opt-ws f-opt f-opt-ws a1 early early-ws";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let flags = parse_args(args)?;
+    match flags.positional.first().map(String::as_str) {
+        Some("latency") => cmd_latency(&flags),
+        Some("verify") => cmd_verify(&flags),
+        Some("sample") => cmd_sample(&flags),
+        Some("refute-sdd") => cmd_refute_sdd(&flags),
+        Some("commit") => cmd_commit(&flags),
+        Some("heartbeat") => cmd_heartbeat(&flags),
+        Some("emulation") => cmd_emulation(&flags),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_positionals() {
+        let f = parse_args(&argv("verify a1 rs -n 4 --t 1")).unwrap();
+        assert_eq!(f.positional, ["verify", "a1", "rs"]);
+        assert_eq!(f.get("n"), Some("4"));
+        assert_eq!(f.get("t"), Some("1"));
+        assert_eq!(f.usize_or("n", 3).unwrap(), 4);
+        assert_eq!(f.usize_or("missing", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        assert!(parse_args(&argv("verify --n")).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let f = parse_args(&argv("latency -n lots")).unwrap();
+        assert!(f.usize_or("n", 3).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        assert!(dispatch(&argv("verify nonsense rs")).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        dispatch(&argv("help")).unwrap();
+        dispatch(&[]).unwrap();
+    }
+
+    #[test]
+    fn verify_a1_rs_succeeds() {
+        dispatch(&argv("verify a1 rs -n 3 -t 1")).unwrap();
+    }
+
+    #[test]
+    fn verify_a1_rws_reports_violation_without_failing() {
+        // A violation is a *finding*, not a CLI error.
+        dispatch(&argv("verify a1 rws -n 3 -t 1")).unwrap();
+    }
+
+    #[test]
+    fn emulation_table_succeeds() {
+        dispatch(&argv("emulation -n 3 --phi 2 --delta 2 -r 4")).unwrap();
+    }
+
+    #[test]
+    fn heartbeat_succeeds() {
+        dispatch(&argv("heartbeat -n 3 --phi 1 --delta 2")).unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end tests of the `ssp` CLI binary.
+
+use std::process::Command;
+
+fn ssp(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_ssp");
+    let out = Command::new(exe).args(args).output().expect("spawn ssp");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = ssp(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: ssp"));
+    assert!(stdout.contains("refute-sdd"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (ok, stdout, _) = ssp(&[]);
+    assert!(ok);
+    assert!(stdout.contains("usage: ssp"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, stderr) = ssp(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn verify_reports_ok_for_a1_in_rs() {
+    let (ok, stdout, _) = ssp(&["verify", "a1", "rs", "-n", "3", "-t", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("OK over"), "{stdout}");
+}
+
+#[test]
+fn verify_reports_violation_for_a1_in_rws() {
+    let (ok, stdout, _) = ssp(&["verify", "a1", "rws", "-n", "3", "-t", "1"]);
+    assert!(ok, "a violation is a finding, not a CLI failure");
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+    assert!(stdout.contains("uniform agreement"), "{stdout}");
+}
+
+#[test]
+fn latency_emits_the_table() {
+    let (ok, stdout, _) = ssp(&["latency", "-n", "3", "-t", "1"]);
+    assert!(ok);
+    for name in ["FloodSet", "C_OptFloodSet", "F_OptFloodSet", "A1"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn refute_sdd_tells_the_story() {
+    let (ok, stdout, _) = ssp(&["refute-sdd"]);
+    assert!(ok);
+    assert!(stdout.contains("Validity violated"), "{stdout}");
+}
+
+#[test]
+fn emulation_budget_table() {
+    let (ok, stdout, _) = ssp(&["emulation", "-n", "3", "--phi", "1", "--delta", "1", "-r", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("56"), "K_3 = 56 expected in:\n{stdout}");
+}
+
+#[test]
+fn heartbeat_classifies_as_perfect() {
+    let (ok, stdout, _) = ssp(&["heartbeat", "-n", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("P=true"), "{stdout}");
+}
+
+#[test]
+fn commit_reports_rates() {
+    let (ok, stdout, _) = ssp(&["commit", "--trials", "200"]);
+    assert!(ok);
+    assert!(stdout.contains("RS  (SS side):"), "{stdout}");
+    assert!(stdout.contains("gap runs"), "{stdout}");
+}
+
+#[test]
+fn bad_flag_value_fails() {
+    let (ok, _, stderr) = ssp(&["latency", "-n", "lots"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad number"));
+}

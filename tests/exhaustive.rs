@@ -1,0 +1,83 @@
+//! Wider exhaustive sweeps: every algorithm that claims correctness in
+//! a model is verified over the full bounded run space, and the run
+//! counts quoted in EXPERIMENTS.md are pinned.
+
+use ssp::algos::{COptFloodSet, EarlyDeciding, FOptFloodSet, FloodSet, FloodSetWs};
+use ssp::lab::{crash_schedules, verify_rs, verify_rs_parallel, verify_rws, verify_rws_parallel, ValidityMode};
+
+/// Pin the run-space sizes EXPERIMENTS.md quotes.
+#[test]
+fn run_space_sizes_are_as_documented() {
+    // FloodSet horizon t+1, crashes allowed through horizon+1.
+    assert_eq!(crash_schedules(3, 1, 3).len(), 73); // ×8 configs = 584
+    assert_eq!(crash_schedules(4, 1, 3).len(), 193); // ×16 = 3088
+    assert_eq!(crash_schedules(3, 2, 4).len(), 3169);
+}
+
+#[test]
+fn floodset_rs_exhaustive_n3_t2_run_count() {
+    let v = verify_rs(&FloodSet, 3, 2, &[0u64, 1], ValidityMode::Strong);
+    assert_eq!(v.runs, 8 * 3169, "configs × schedules");
+    v.expect_ok();
+}
+
+#[test]
+fn early_deciding_rs_exhaustive_n3_t2() {
+    verify_rs(&EarlyDeciding, 3, 2, &[0u64, 1], ValidityMode::Strong).expect_ok();
+}
+
+#[test]
+fn early_deciding_rs_exhaustive_n4_t2() {
+    verify_rs_parallel(&EarlyDeciding, 4, 2, &[0u64, 1], ValidityMode::Strong, 8).expect_ok();
+}
+
+#[test]
+fn f_opt_rs_exhaustive_n3_t2() {
+    verify_rs(&FOptFloodSet, 3, 2, &[0u64, 1], ValidityMode::Strong).expect_ok();
+}
+
+#[test]
+fn c_opt_rs_exhaustive_n3_t2() {
+    verify_rs(&COptFloodSet, 3, 2, &[0u64, 1], ValidityMode::Strong).expect_ok();
+}
+
+#[test]
+fn f_opt_rs_exhaustive_n4_t1() {
+    verify_rs(&FOptFloodSet, 4, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();
+}
+
+#[test]
+fn floodset_ws_rws_exhaustive_n3_t2_run_count() {
+    let v = verify_rws_parallel(&FloodSetWs, 3, 2, &[0u64, 1], ValidityMode::Strong, 8);
+    assert!(v.runs > 100_000, "pending dimension multiplies the space: {}", v.runs);
+    v.expect_ok();
+}
+
+/// Ternary inputs: strong validity and agreement are not artifacts of
+/// the binary domain.
+#[test]
+fn floodset_rs_exhaustive_ternary_inputs() {
+    verify_rs(&FloodSet, 3, 1, &[0u64, 1, 2], ValidityMode::Strong).expect_ok();
+}
+
+#[test]
+fn floodset_ws_rws_exhaustive_ternary_inputs() {
+    verify_rws(&FloodSetWs, 3, 1, &[0u64, 1, 2], ValidityMode::Strong).expect_ok();
+}
+
+/// The RWS-safe early-deciding variant (`min(f+3, t+1)`), exhaustively:
+/// ~900k runs at (3,2) including every pending choice.
+#[test]
+fn early_deciding_ws_rws_exhaustive() {
+    use ssp::algos::EarlyDecidingWs;
+    verify_rws(&EarlyDecidingWs, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();
+    verify_rws_parallel(&EarlyDecidingWs, 3, 2, &[0u64, 1], ValidityMode::Strong, 8).expect_ok();
+}
+
+/// `Value` is genuinely generic: string-valued consensus, exhaustively.
+#[test]
+fn string_valued_consensus_works() {
+    let domain = vec!["apple".to_string(), "pear".to_string()];
+    verify_rs(&FloodSet, 3, 1, &domain, ValidityMode::Strong).expect_ok();
+    verify_rws(&FloodSetWs, 3, 1, &domain, ValidityMode::Strong).expect_ok();
+}

@@ -1,0 +1,65 @@
+//! The `Lat(A, f)` refinement (§5.2): maximal latency over runs with at
+//! most `f` crashes, as a function of `f` — the measure whose minimum
+//! over `f` is `Λ(A)`.
+//!
+//! Shapes pinned here:
+//! * FloodSet is flat: `Lat(A, f) = t+1` for every `f`;
+//! * EarlyDeciding matches the companion paper's bound:
+//!   `Lat(A, f) = min(f+2, t+1)`;
+//! * A1 (t = 1): `Lat(A, 0) = 1`, `Lat(A, 1) = 2`;
+//! * F_OptFloodSet is *not monotone in luck*: its minimum-latency runs
+//!   have the most crashes, yet `Lat(A, f)` (an at-most-f max) still
+//!   grows with `f`.
+
+use ssp::algos::{EarlyDeciding, FOptFloodSet, FloodSet, A1};
+use ssp::lab::{explore_rs, LatencyAggregator};
+use ssp::rounds::RoundAlgorithm;
+
+fn aggregate<A: RoundAlgorithm<u64>>(algo: &A, n: usize, t: usize) -> LatencyAggregator<u64> {
+    let mut agg = LatencyAggregator::new();
+    explore_rs(algo, n, t, &[0u64, 1], |run| agg.add(run));
+    agg
+}
+
+#[test]
+fn floodset_lat_f_is_flat_at_t_plus_1() {
+    let agg = aggregate(&FloodSet, 3, 2);
+    for f in 0..=2 {
+        assert_eq!(agg.lat_at_most_faults(f), Some(3), "Lat(FloodSet, {f})");
+    }
+}
+
+#[test]
+fn early_deciding_lat_f_matches_min_f_plus_2_t_plus_1() {
+    let agg = aggregate(&EarlyDeciding, 3, 2);
+    assert_eq!(agg.lat_at_most_faults(0), Some(2), "min(0+2, 3)");
+    assert_eq!(agg.lat_at_most_faults(1), Some(3), "min(1+2, 3)");
+    assert_eq!(agg.lat_at_most_faults(2), Some(3), "min(2+2, 3) = t+1");
+    assert_eq!(agg.capital_lambda(), Some(2));
+}
+
+#[test]
+fn a1_lat_f_shape() {
+    let agg = aggregate(&A1, 3, 1);
+    assert_eq!(agg.lat_at_most_faults(0), Some(1), "Λ(A1) = 1");
+    assert_eq!(agg.lat_at_most_faults(1), Some(2));
+}
+
+#[test]
+fn lat_f_is_monotone_in_f_for_every_algorithm() {
+    // Lat(A, f) ≤ Lat(A, f+1) by definition (at-most-f quantification);
+    // the aggregator must honor it even for F_Opt, whose *fastest* runs
+    // are the most faulty ones.
+    let agg = aggregate(&FOptFloodSet, 3, 1);
+    assert!(agg.lat_at_most_faults(0) <= agg.lat_at_most_faults(1));
+    assert_eq!(agg.lat_at_most_faults(0), Some(2));
+    assert_eq!(agg.lat_at_most_faults(1), Some(2));
+    // Λ(A) = min_f Lat(A, f) = Lat(A, 0), as derived in §5.2.
+    assert_eq!(agg.capital_lambda(), agg.lat_at_most_faults(0));
+}
+
+#[test]
+fn max_faults_seen_matches_the_bound() {
+    let agg = aggregate(&FloodSet, 3, 2);
+    assert_eq!(agg.max_faults_seen(), Some(2));
+}
