@@ -17,7 +17,7 @@
 //! messages do not exist, Theorem 5.2 stands.
 
 use ssp_model::{Decision, ProcessId, Round, Value};
-use ssp_rounds::{RoundAlgorithm, RoundProcess};
+use ssp_rounds::{RoundAlgorithm, RoundProcess, ValueSymmetric};
 
 /// Wire format of `A1`: a raw value or a relayed decision `(p1, w)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,12 +120,19 @@ impl<V: Value> RoundAlgorithm<V> for A1 {
     }
 }
 
+/// `A1` forwards and stores values without ever inspecting them, so it
+/// commutes with every (in particular every monotone) relabeling of
+/// the domain. It is **not** [`ssp_rounds::SymmetricAlgorithm`]: the
+/// roles of `p_1` (round-1 proposer) and `p_2` (round-2 fallback) are
+/// hard-coded, so process permutations change its behaviour.
+impl<V: Value> ValueSymmetric<V> for A1 {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ssp_model::{
-        check_uniform_consensus, check_uniform_consensus_strong, ConsensusViolation,
-        InitialConfig, ProcessSet,
+        check_uniform_consensus, check_uniform_consensus_strong, ConsensusViolation, InitialConfig,
+        ProcessSet,
     };
     use ssp_rounds::{run_rs, run_rws, CrashSchedule, PendingChoice, RoundCrash};
 

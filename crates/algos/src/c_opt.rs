@@ -20,7 +20,7 @@
 use std::collections::BTreeSet;
 
 use ssp_model::{Decision, ProcessId, ProcessSet, Round, Value};
-use ssp_rounds::{RoundAlgorithm, RoundProcess};
+use ssp_rounds::{RoundAlgorithm, RoundProcess, SymmetricAlgorithm, ValueSymmetric};
 
 /// `C_OptFloodSet`: FloodSet with the unanimity fast path (`RS`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,9 +63,7 @@ impl<V: Value> RoundProcess for COptProcess<V> {
     fn trans(&mut self, round: Round, received: &[Option<BTreeSet<V>>]) {
         for (j, xj) in received.iter().enumerate() {
             if let Some(xj) = xj {
-                let halted = self
-                    .halt
-                    .is_some_and(|h| h.contains(ProcessId::new(j)));
+                let halted = self.halt.is_some_and(|h| h.contains(ProcessId::new(j)));
                 if !halted {
                     self.w.extend(xj.iter().cloned());
                 }
@@ -126,6 +124,14 @@ impl<V: Value> RoundAlgorithm<V> for COptFloodSetWs {
         t as u32 + 1
     }
 }
+
+/// The unanimity fast path tests value *equality* and the slow path
+/// decides `min(W)`: both commute with monotone relabelings; `spawn`
+/// ignores `me`.
+impl<V: Value> ValueSymmetric<V> for COptFloodSet {}
+impl<V: Value> SymmetricAlgorithm<V> for COptFloodSet {}
+impl<V: Value> ValueSymmetric<V> for COptFloodSetWs {}
+impl<V: Value> SymmetricAlgorithm<V> for COptFloodSetWs {}
 
 #[cfg(test)]
 mod tests {

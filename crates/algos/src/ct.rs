@@ -215,7 +215,9 @@ impl<V: Value> CtProcess<V> {
             Phase::Send => {
                 let est = CtMsg::Estimate(r, self.estimate.clone(), self.stamp);
                 if coord == self.me {
-                    let CtMsg::Estimate(_, e, s) = est else { unreachable!() };
+                    let CtMsg::Estimate(_, e, s) = est else {
+                        unreachable!()
+                    };
                     self.estimates.entry(r).or_default().push((e, s));
                 } else {
                     self.outbox.push_back((coord, est));
@@ -317,7 +319,10 @@ mod tests {
         let automata = system(&inputs);
         let mut adv = FairAdversary::new(3, 10_000).with_crash(p(0), 0);
         let result = run(ModelKind::fd(history), automata, &mut adv, 20_000).unwrap();
-        assert_eq!(result.outputs[0], None, "the dead coordinator never decides");
+        assert_eq!(
+            result.outputs[0], None,
+            "the dead coordinator never decides"
+        );
         // Round 2 (coordinator p2) concludes with a survivor estimate.
         let survivors = [result.outputs[1], result.outputs[2]];
         assert!(survivors.iter().all(Option::is_some));

@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 
 use ssp_model::{Decision, ProcessId, ProcessSet, Round, Value};
-use ssp_rounds::{RoundAlgorithm, RoundProcess};
+use ssp_rounds::{RoundAlgorithm, RoundProcess, SymmetricAlgorithm, ValueSymmetric};
 
 use crate::f_opt::FOptMsg;
 
@@ -88,9 +88,7 @@ impl<V: Value> RoundProcess for EarlyProcess<V> {
         for (j, m) in received.iter().enumerate() {
             match m {
                 Some(FOptMsg::W(xj)) => {
-                    let halted = self
-                        .halt
-                        .is_some_and(|h| h.contains(ProcessId::new(j)));
+                    let halted = self.halt.is_some_and(|h| h.contains(ProcessId::new(j)));
                     if !halted {
                         self.w.extend(xj.iter().cloned());
                     }
@@ -177,6 +175,14 @@ impl<V: Value> RoundAlgorithm<V> for EarlyDecidingWs {
         t as u32 + 1
     }
 }
+
+/// Early deciding floods `W` sets and decides `min(W)` when two
+/// consecutive rounds hear from the same support: value-equivariant
+/// and process-anonymous.
+impl<V: Value> ValueSymmetric<V> for EarlyDeciding {}
+impl<V: Value> SymmetricAlgorithm<V> for EarlyDeciding {}
+impl<V: Value> ValueSymmetric<V> for EarlyDecidingWs {}
+impl<V: Value> SymmetricAlgorithm<V> for EarlyDecidingWs {}
 
 #[cfg(test)]
 mod tests {

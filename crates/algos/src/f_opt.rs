@@ -16,7 +16,7 @@
 use std::collections::BTreeSet;
 
 use ssp_model::{Decision, ProcessId, ProcessSet, Round, Value};
-use ssp_rounds::{RoundAlgorithm, RoundProcess};
+use ssp_rounds::{RoundAlgorithm, RoundProcess, SymmetricAlgorithm, ValueSymmetric};
 
 /// Wire format of the `F_Opt` family: a flooded `W` set or a decision
 /// notification `(D, v)`.
@@ -111,9 +111,7 @@ impl<V: Value> RoundProcess for FOptProcess<V> {
             } else {
                 for (j, m) in received.iter().enumerate() {
                     if let Some(FOptMsg::W(xj)) = m {
-                        let halted = self
-                            .halt
-                            .is_some_and(|h| h.contains(ProcessId::new(j)));
+                        let halted = self.halt.is_some_and(|h| h.contains(ProcessId::new(j)));
                         if !halted {
                             self.w.extend(xj.iter().cloned());
                         }
@@ -169,6 +167,13 @@ impl<V: Value> RoundAlgorithm<V> for FOptFloodSetWs {
         t as u32 + 1
     }
 }
+
+/// Decides `min` over received values after counting silent processes:
+/// value-monotone-equivariant and process-anonymous.
+impl<V: Value> ValueSymmetric<V> for FOptFloodSet {}
+impl<V: Value> SymmetricAlgorithm<V> for FOptFloodSet {}
+impl<V: Value> ValueSymmetric<V> for FOptFloodSetWs {}
+impl<V: Value> SymmetricAlgorithm<V> for FOptFloodSetWs {}
 
 #[cfg(test)]
 mod tests {

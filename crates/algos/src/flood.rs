@@ -15,7 +15,7 @@
 use std::collections::BTreeSet;
 
 use ssp_model::{Decision, ProcessId, ProcessSet, Round, Value};
-use ssp_rounds::{RoundAlgorithm, RoundProcess};
+use ssp_rounds::{RoundAlgorithm, RoundProcess, SymmetricAlgorithm, ValueSymmetric};
 
 /// The `FloodSet` algorithm of Figure 1 (for the `RS` model).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,9 +66,7 @@ impl<V: Value> FloodProcess<V> {
     fn fold_received(&mut self, received: &[Option<BTreeSet<V>>]) {
         for (j, xj) in received.iter().enumerate() {
             if let Some(xj) = xj {
-                let halted = self
-                    .halt
-                    .is_some_and(|h| h.contains(ProcessId::new(j)));
+                let halted = self.halt.is_some_and(|h| h.contains(ProcessId::new(j)));
                 if !halted {
                     self.w.extend(xj.iter().cloned());
                 }
@@ -144,6 +142,18 @@ impl<V: Value> RoundAlgorithm<V> for FloodSetWs {
         t as u32 + 1
     }
 }
+
+/// FloodSet only unions `W` sets and decides `min(W)`: equivariant
+/// under monotone relabelings.
+impl<V: Value> ValueSymmetric<V> for FloodSet {}
+/// FloodSet's `spawn` ignores `me` and its `trans` treats all senders
+/// uniformly: fully process-anonymous.
+impl<V: Value> SymmetricAlgorithm<V> for FloodSet {}
+/// See [`FloodSet`]'s impl; the halt-set bookkeeping is a set of
+/// process identities updated uniformly, hence permutation-equivariant.
+impl<V: Value> ValueSymmetric<V> for FloodSetWs {}
+/// See [`FloodSet`]'s impl.
+impl<V: Value> SymmetricAlgorithm<V> for FloodSetWs {}
 
 #[cfg(test)]
 mod tests {

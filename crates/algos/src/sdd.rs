@@ -251,10 +251,7 @@ mod tests {
         ]
     }
 
-    fn outcome_of(
-        result: &ssp_sim::RunResult<bool, bool>,
-        input: bool,
-    ) -> SddOutcome {
+    fn outcome_of(result: &ssp_sim::RunResult<bool, bool>, input: bool) -> SddOutcome {
         SddOutcome {
             sender_input: input,
             sender_initially_dead: result.trace.step_count(p(0)) == 0,
@@ -268,9 +265,13 @@ mod tests {
         for input in [false, true] {
             for (phi, delta) in [(1, 1), (2, 3), (4, 1)] {
                 let mut adv = FairAdversary::new(2, 200);
-                let result =
-                    run(ModelKind::ss(phi, delta), ss_pair(input, phi, delta), &mut adv, 1_000)
-                        .unwrap();
+                let result = run(
+                    ModelKind::ss(phi, delta),
+                    ss_pair(input, phi, delta),
+                    &mut adv,
+                    1_000,
+                )
+                .unwrap();
                 assert_eq!(result.outputs[1], Some(input), "Φ={phi}, Δ={delta}");
                 check_sdd(&outcome_of(&result, input)).unwrap();
             }
@@ -281,8 +282,13 @@ mod tests {
     fn ss_sdd_defaults_to_zero_for_initially_dead_sender() {
         let (phi, delta) = (2, 2);
         let mut adv = FairAdversary::new(2, 200).with_crash(p(0), 0);
-        let result =
-            run(ModelKind::ss(phi, delta), ss_pair(true, phi, delta), &mut adv, 1_000).unwrap();
+        let result = run(
+            ModelKind::ss(phi, delta),
+            ss_pair(true, phi, delta),
+            &mut adv,
+            1_000,
+        )
+        .unwrap();
         assert_eq!(result.outputs[1], Some(false));
         check_sdd(&outcome_of(&result, true)).unwrap();
     }
@@ -292,8 +298,13 @@ mod tests {
         let (phi, delta) = (1, 2);
         // Sender takes exactly one step (the send) then crashes.
         let mut adv = FairAdversary::new(2, 200).with_crash(p(0), 1);
-        let result =
-            run(ModelKind::ss(phi, delta), ss_pair(true, phi, delta), &mut adv, 1_000).unwrap();
+        let result = run(
+            ModelKind::ss(phi, delta),
+            ss_pair(true, phi, delta),
+            &mut adv,
+            1_000,
+        )
+        .unwrap();
         assert_eq!(result.outputs[1], Some(true), "sent value must win");
         check_sdd(&outcome_of(&result, true)).unwrap();
     }

@@ -22,7 +22,10 @@ fn decide(n: usize, wasted_rounds: usize) -> u64 {
     }
     let mut adv = FairAdversary::new(n, 200_000);
     let result = run(ModelKind::fd(history), automata, &mut adv, 400_000).expect("legal");
-    assert!(result.outputs.iter().all(Option::is_some), "all must decide");
+    assert!(
+        result.outputs.iter().all(Option::is_some),
+        "all must decide"
+    );
     result.trace.len() as u64
 }
 
@@ -35,14 +38,19 @@ fn bench(c: &mut Criterion) {
         });
     }
     for wasted in [0usize, 1, 2] {
-        group.bench_with_input(BenchmarkId::new("wasted_rounds_n5", wasted), &wasted, |b, &w| {
-            b.iter(|| decide(5, w))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("wasted_rounds_n5", wasted),
+            &wasted,
+            |b, &w| b.iter(|| decide(5, w)),
+        );
     }
     // Shape: each wasted round costs extra steps.
     let clean = decide(5, 0);
     let slow = decide(5, 2);
-    assert!(slow > clean, "suspected coordinators must cost steps: {clean} vs {slow}");
+    assert!(
+        slow > clean,
+        "suspected coordinators must cost steps: {clean} vs {slow}"
+    );
     group.finish();
 }
 

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssp_algos::FloodSet;
-use ssp_lab::{verify_rs, ValidityMode};
+use ssp_lab::{ValidityMode, Verifier};
 use ssp_model::{check_uniform_consensus_strong, InitialConfig};
 use ssp_rounds::{run_rs, CrashSchedule};
 
@@ -23,7 +23,15 @@ fn bench(c: &mut Criterion) {
     }
     group.sample_size(10);
     group.bench_function("verify_exhaustive_n3_t1", |b| {
-        b.iter(|| verify_rs(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok())
+        b.iter(|| {
+            Verifier::new(&FloodSet)
+                .n(3)
+                .t(1)
+                .domain(&[0u64, 1])
+                .mode(ValidityMode::Strong)
+                .run()
+                .expect_ok()
+        })
     });
     group.finish();
 }

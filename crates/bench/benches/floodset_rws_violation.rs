@@ -3,13 +3,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssp_algos::FloodSet;
-use ssp_lab::{verify_rws, ValidityMode};
+use ssp_lab::{RoundModel, ValidityMode, Verifier};
 use ssp_model::spec::ConsensusViolation;
 
 fn bench(c: &mut Criterion) {
     // Shape: violations exist at both t=1 and t=2.
     for t in [1usize, 2] {
-        let v = verify_rws(&FloodSet, 3, t, &[0u64, 1], ValidityMode::Uniform);
+        let v = Verifier::new(&FloodSet)
+            .n(3)
+            .t(t)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Uniform)
+            .model(RoundModel::Rws)
+            .run();
         assert!(matches!(
             v.expect_violation().violation,
             ConsensusViolation::UniformAgreement { .. }
@@ -20,7 +26,13 @@ fn bench(c: &mut Criterion) {
     for t in [1usize, 2] {
         group.bench_function(format!("find_counterexample_t{t}"), |b| {
             b.iter(|| {
-                let v = verify_rws(&FloodSet, 3, t, &[0u64, 1], ValidityMode::Uniform);
+                let v = Verifier::new(&FloodSet)
+                    .n(3)
+                    .t(t)
+                    .domain(&[0u64, 1])
+                    .mode(ValidityMode::Uniform)
+                    .model(RoundModel::Rws)
+                    .run();
                 assert!(v.counterexample.is_some());
                 v.runs
             })

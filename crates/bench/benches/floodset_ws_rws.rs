@@ -3,15 +3,31 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssp_algos::FloodSetWs;
-use ssp_lab::{verify_rws, ValidityMode};
+use ssp_lab::{RoundModel, ValidityMode, Verifier};
 
 fn bench(c: &mut Criterion) {
-    let runs = verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();
+    let runs = Verifier::new(&FloodSetWs)
+        .n(3)
+        .t(1)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .run()
+        .expect_ok();
     assert!(runs >= 2_936, "space size changed: {runs}");
     let mut group = c.benchmark_group("floodset_ws_rws");
     group.sample_size(10);
     group.bench_function("verify_exhaustive_n3_t1", |b| {
-        b.iter(|| verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok())
+        b.iter(|| {
+            Verifier::new(&FloodSetWs)
+                .n(3)
+                .t(1)
+                .domain(&[0u64, 1])
+                .mode(ValidityMode::Strong)
+                .model(RoundModel::Rws)
+                .run()
+                .expect_ok()
+        })
     });
     group.finish();
 }

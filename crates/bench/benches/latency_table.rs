@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
     assert_eq!(copt.lat(), Some(1), "lat(C_OptFloodSet) = 1");
     assert_eq!(copt.lat_for(&InitialConfig::uniform(3, 1u64)), Some(1));
     let fopt = rs_agg(&FOptFloodSet);
-    assert_eq!(fopt.lat_max_over_configs(), Some(1), "Lat(F_OptFloodSet) = 1");
+    assert_eq!(
+        fopt.lat_max_over_configs(),
+        Some(1),
+        "Lat(F_OptFloodSet) = 1"
+    );
     let a1 = rs_agg(&A1);
     assert_eq!(a1.capital_lambda(), Some(1), "Λ(A1) = 1");
 
@@ -29,12 +33,18 @@ fn bench(c: &mut Criterion) {
     assert_eq!(ws.lat(), Some(1), "lat(C_OptFloodSetWS) = 1");
     let mut fws = LatencyAggregator::new();
     explore_rws(&FOptFloodSetWs, 3, 1, &[0u64, 1], |run| fws.add(run));
-    assert_eq!(fws.lat_max_over_configs(), Some(1), "Lat(F_OptFloodSetWS) = 1");
+    assert_eq!(
+        fws.lat_max_over_configs(),
+        Some(1),
+        "Lat(F_OptFloodSetWS) = 1"
+    );
     assert!(ws.capital_lambda().unwrap() >= 2, "Λ ≥ 2 in RWS");
     assert!(fws.capital_lambda().unwrap() >= 2, "Λ ≥ 2 in RWS");
 
     let mut group = c.benchmark_group("latency_table");
-    group.bench_function("aggregate_rs_a1", |b| b.iter(|| rs_agg(&A1).capital_lambda()));
+    group.bench_function("aggregate_rs_a1", |b| {
+        b.iter(|| rs_agg(&A1).capital_lambda())
+    });
     group.sample_size(10);
     group.bench_function("aggregate_rws_c_opt", |b| {
         b.iter(|| {

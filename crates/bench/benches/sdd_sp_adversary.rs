@@ -20,11 +20,9 @@ fn bench(c: &mut Criterion) {
             refute(&PatientWait(patience), 10_000).refutation,
             SddRefutation::Validity { .. }
         ));
-        group.bench_with_input(
-            BenchmarkId::new("patient", patience),
-            &patience,
-            |b, &p| b.iter(|| refute(&PatientWait(p), 10_000)),
-        );
+        group.bench_with_input(BenchmarkId::new("patient", patience), &patience, |b, &p| {
+            b.iter(|| refute(&PatientWait(p), 10_000))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,90 @@
+//! The tentpole scaling claim: the symmetry-reduced, work-stealing
+//! [`Verifier`] beats the historical static-sharded full sweep on the
+//! exact space the seed benchmarked — FloodSetWS in `RWS` at
+//! `n = 4, t = 2` — while reaching the identical verdict and
+//! representing the identical 105-million-run space.
+//!
+//! The head-to-head at (4, 2) is a single timed pass per engine (the
+//! unreduced space alone takes minutes); the criterion group then
+//! tracks the reduced sweep's wall clock at the smaller scale points.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssp_algos::FloodSetWs;
+use ssp_lab::{RoundModel, Symmetry, ValidityMode, Verifier};
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+fn sweep(n: usize, t: usize, symmetry: Symmetry) -> ssp_lab::Verification<u64> {
+    let base = Verifier::new(&FloodSetWs)
+        .n(n)
+        .t(t)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .threads(threads());
+    match symmetry {
+        Symmetry::Off => base.run(),
+        sym => base.symmetry(sym).run(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Head-to-head on the seed's own benchmark space. The old
+    // verify_rws_parallel was exactly the unreduced sweep, so
+    // Symmetry::Off at equal thread counts is the seed baseline.
+    let t0 = Instant::now();
+    let full = sweep(4, 2, Symmetry::Off);
+    let full_time = t0.elapsed();
+    let t1 = Instant::now();
+    let reduced = sweep(4, 2, Symmetry::Full);
+    let reduced_time = t1.elapsed();
+    assert_eq!(full.is_ok(), reduced.is_ok(), "identical verdicts");
+    assert_eq!(
+        reduced.represented, full.runs,
+        "orbit weights cover the full space"
+    );
+    assert!(
+        reduced.runs < full.runs,
+        "strictly fewer runs: {} vs {}",
+        reduced.runs,
+        full.runs
+    );
+    let speedup = full_time.as_secs_f64() / reduced_time.as_secs_f64();
+    assert!(
+        speedup >= 2.0,
+        "symmetry reduction must be at least 2x faster: {speedup:.2}x \
+         ({full_time:?} vs {reduced_time:?})"
+    );
+    println!(
+        "verifier_scaling (n=4, t=2, {} threads): {} runs -> {} canonical \
+         ({:.1}x fewer), {full_time:?} -> {reduced_time:?} ({speedup:.1}x faster)",
+        threads(),
+        full.runs,
+        reduced.runs,
+        full.runs as f64 / reduced.runs as f64,
+    );
+
+    // Trend line: the reduced engine at growing scale points.
+    let mut group = c.benchmark_group("verifier_scaling");
+    group.sample_size(10);
+    for (n, t) in [(3usize, 1usize), (3, 2), (4, 1)] {
+        group.bench_with_input(
+            BenchmarkId::new("symmetry_full", format!("n{n}t{t}")),
+            &(n, t),
+            |b, &(n, t)| b.iter(|| sweep(n, t, Symmetry::Full)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_sweep", format!("n{n}t{t}")),
+            &(n, t),
+            |b, &(n, t)| b.iter(|| sweep(n, t, Symmetry::Off)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -204,10 +204,7 @@ mod tests {
     #[test]
     fn classic_mode_tolerates_abort_under_failures() {
         // One crash: aborting an all-Yes run is allowed classically …
-        let run = ConsensusOutcome::new(vec![
-            po(true, None, Some(1)),
-            po(true, Some(false), None),
-        ]);
+        let run = ConsensusOutcome::new(vec![po(true, None, Some(1)), po(true, Some(false), None)]);
         check_nbac(&run, NonTriviality::Classic, true).unwrap();
         // … but not in SDD-boosted mode when the vote survived.
         assert!(matches!(

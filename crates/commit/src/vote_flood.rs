@@ -16,9 +16,7 @@
 //!   measurable commit-rate gap between the two is experiment E10.
 
 use ssp_model::{Decision, ProcessId, ProcessSet, Round};
-use ssp_rounds::{
-    CrashSchedule, PendingChoice, RoundAlgorithm, RoundProcess,
-};
+use ssp_rounds::{CrashSchedule, PendingChoice, RoundAlgorithm, RoundProcess};
 
 /// A (partial) vote map: `map[i] = Some(vote)` once `p_{i+1}`'s vote is
 /// known.
@@ -52,9 +50,7 @@ impl RoundProcess for VoteFloodProcess {
     fn trans(&mut self, round: Round, received: &[Option<VoteMap>]) {
         for (j, m) in received.iter().enumerate() {
             if let Some(m) = m {
-                let halted = self
-                    .halt
-                    .is_some_and(|h| h.contains(ProcessId::new(j)));
+                let halted = self.halt.is_some_and(|h| h.contains(ProcessId::new(j)));
                 if !halted {
                     for (slot, vote) in m.iter().enumerate() {
                         if let Some(v) = vote {
@@ -73,9 +69,7 @@ impl RoundProcess for VoteFloodProcess {
         }
         if round.get() as usize == self.t + 1 {
             let commit = self.map.iter().all(|v| *v == Some(true));
-            self.decision
-                .decide(commit, round)
-                .expect("decides once");
+            self.decision.decide(commit, round).expect("decides once");
         }
     }
 

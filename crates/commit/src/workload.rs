@@ -147,7 +147,11 @@ impl CommitRateReport {
 /// Panics if either protocol violates its specification on a sampled
 /// scenario.
 #[must_use]
-pub fn commit_rate_experiment(workload: &CommitWorkload, trials: u64, seed: u64) -> CommitRateReport {
+pub fn commit_rate_experiment(
+    workload: &CommitWorkload,
+    trials: u64,
+    seed: u64,
+) -> CommitRateReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut report = CommitRateReport::default();
     let horizon = workload.t as u32 + 1;

@@ -7,13 +7,11 @@
 
 use core::fmt;
 
-use ssp_model::{
-    spec::ConsensusViolation, check_uniform_consensus, check_uniform_consensus_strong,
-    ConsensusOutcome, InitialConfig, Value,
-};
+use ssp_model::{spec::ConsensusViolation, ConsensusOutcome, InitialConfig, Value};
 use ssp_rounds::{CrashSchedule, PendingChoice, RoundAlgorithm};
 
-use crate::enumerate::{explore_rs_until, explore_rws_until};
+use crate::metrics::LatencyAggregator;
+use crate::verifier::{RoundModel, Verifier};
 
 /// Which validity flavor to verify.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,11 +56,22 @@ impl<V: Value> fmt::Display for Counterexample<V> {
 /// The result of a verification sweep.
 #[derive(Debug)]
 pub struct Verification<V> {
-    /// Number of runs explored (the full space when no violation was
-    /// found; the prefix up to and including the counterexample
-    /// otherwise — the sweep stops at the first violation).
+    /// Number of runs actually *executed*. Without symmetry reduction
+    /// this is the full space on a clean sweep, or the prefix up to
+    /// and including the counterexample (the sweep stops there); with
+    /// reduction it is the number of canonical orbit representatives
+    /// visited.
     pub runs: u64,
-    /// The first violation found, if any.
+    /// Number of runs *represented*: each executed run counted with
+    /// its exact orbit size. Equal to `runs` when symmetry reduction
+    /// is off; equal to the full space size on any clean sweep, so
+    /// reduced and unreduced clean sweeps report the same coverage.
+    pub represented: u64,
+    /// Orbit-weighted latency statistics over the visited runs, when
+    /// requested via `Verifier::collect_latency` (always present for
+    /// sampled sweeps).
+    pub latency: Option<LatencyAggregator<V>>,
+    /// The least violation found (in enumeration order), if any.
     pub counterexample: Option<Counterexample<V>>,
 }
 
@@ -97,46 +106,34 @@ impl<V: Value> Verification<V> {
     }
 }
 
-fn check<V: Value>(
-    outcome: &ConsensusOutcome<V>,
-    mode: ValidityMode,
-) -> Result<(), ConsensusViolation<V>> {
-    match mode {
-        ValidityMode::Uniform => check_uniform_consensus(outcome),
-        ValidityMode::Strong => check_uniform_consensus_strong(outcome),
-    }
-}
-
 /// Verifies `algo` against uniform consensus over every `RS` run of the
 /// bounded space (all configs over `domain`, all crash schedules).
+#[deprecated(note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).run()`")]
 #[must_use]
-pub fn verify_rs<V, A>(algo: &A, n: usize, t: usize, domain: &[V], mode: ValidityMode) -> Verification<V>
+pub fn verify_rs<V, A>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[V],
+    mode: ValidityMode,
+) -> Verification<V>
 where
-    V: Value,
-    A: RoundAlgorithm<V>,
+    V: Value + Sync,
+    A: RoundAlgorithm<V> + Sync,
 {
-    let mut counterexample = None;
-    let runs = explore_rs_until(algo, n, t, domain, |run| {
-        if let Err(violation) = check(&run.outcome, mode) {
-            counterexample = Some(Counterexample {
-                config: run.config.clone(),
-                schedule: run.schedule.clone(),
-                pending: run.pending.clone(),
-                outcome: run.outcome.clone(),
-                violation,
-            });
-            return true;
-        }
-        false
-    });
-    Verification {
-        runs,
-        counterexample,
-    }
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .run()
 }
 
 /// Verifies `algo` against uniform consensus over every `RWS` run of
 /// the bounded space (configs × crash schedules × pending choices).
+#[deprecated(
+    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).model(RoundModel::Rws).run()`"
+)]
 #[must_use]
 pub fn verify_rws<V, A>(
     algo: &A,
@@ -146,31 +143,23 @@ pub fn verify_rws<V, A>(
     mode: ValidityMode,
 ) -> Verification<V>
 where
-    V: Value,
-    A: RoundAlgorithm<V>,
+    V: Value + Sync,
+    A: RoundAlgorithm<V> + Sync,
 {
-    let mut counterexample = None;
-    let runs = explore_rws_until(algo, n, t, domain, |run| {
-        if let Err(violation) = check(&run.outcome, mode) {
-            counterexample = Some(Counterexample {
-                config: run.config.clone(),
-                schedule: run.schedule.clone(),
-                pending: run.pending.clone(),
-                outcome: run.outcome.clone(),
-                violation,
-            });
-            return true;
-        }
-        false
-    });
-    Verification {
-        runs,
-        counterexample,
-    }
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .model(RoundModel::Rws)
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrappers stay covered until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use ssp_algos::{FloodSet, FloodSetWs, A1};
     use ssp_model::spec::ConsensusViolation;

@@ -80,9 +80,7 @@ impl StepAutomaton for AdaptiveHeartbeatProcess {
         }
         for i in 0..self.n {
             let q = ProcessId::new(i);
-            if q != self.me
-                && ctx.own_step.saturating_sub(self.last_heard[i]) > self.bound[i]
-            {
+            if q != self.me && ctx.own_step.saturating_sub(self.last_heard[i]) > self.bound[i] {
                 self.suspects.insert(q);
             }
         }
@@ -136,7 +134,11 @@ pub fn run_adaptive_experiment(
 ) -> DlsExperiment {
     let automata: Vec<BoxedAutomaton<(), ()>> = (0..n)
         .map(|i| {
-            Box::new(AdaptiveHeartbeatProcess::new(ProcessId::new(i), n, initial_bound)) as _
+            Box::new(AdaptiveHeartbeatProcess::new(
+                ProcessId::new(i),
+                n,
+                initial_bound,
+            )) as _
         })
         .collect();
     // Pre-gst chaos: everyone except `starved` steps round-robin with
@@ -193,7 +195,10 @@ pub fn run_adaptive_experiment(
         history,
         pattern: result.pattern,
         horizon,
-        retractions: shadows.iter().map(AdaptiveHeartbeatProcess::retractions).sum(),
+        retractions: shadows
+            .iter()
+            .map(AdaptiveHeartbeatProcess::retractions)
+            .sum(),
     }
 }
 
@@ -226,7 +231,10 @@ mod tests {
     fn crashes_after_stabilization_are_still_caught() {
         let exp = run_adaptive_experiment(3, 1, 1, 60, p(0), 4, Some((p(2), 40)), 4_000);
         let props = classify(&exp.pattern, &exp.history, exp.horizon);
-        assert!(props.strong_completeness, "crashed p3 must be suspected: {props}");
+        assert!(
+            props.strong_completeness,
+            "crashed p3 must be suspected: {props}"
+        );
         assert!(props.eventual_strong_accuracy, "{props}");
         assert!(props.is_eventually_strong());
     }

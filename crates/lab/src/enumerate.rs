@@ -17,12 +17,10 @@
 //! to millions of runs, each checked in microseconds.
 
 use ssp_model::{
-    config::enumerate_configs, process::all_processes, ConsensusOutcome, InitialConfig,
-    ProcessId, ProcessSet, Round, Value,
+    config::enumerate_configs, process::all_processes, ConsensusOutcome, InitialConfig, ProcessId,
+    ProcessSet, Round, Value,
 };
-use ssp_rounds::{
-    run_rs, run_rws, CrashSchedule, PendingChoice, RoundAlgorithm, RoundCrash,
-};
+use ssp_rounds::{run_rs, run_rws, CrashSchedule, PendingChoice, RoundAlgorithm, RoundCrash};
 
 /// All crash schedules over `n` processes with at most `max_faults`
 /// crashes, crash rounds in `1..=max_round`, and arbitrary final-round

@@ -198,10 +198,7 @@ mod tests {
         let props = classify(&exp.pattern, &exp.history, exp.horizon);
         assert!(props.is_perfect());
         for i in 0..3 {
-            assert!(exp
-                .history
-                .query(ProcessId::new(i), exp.horizon)
-                .is_empty());
+            assert!(exp.history.query(ProcessId::new(i), exp.horizon).is_empty());
         }
     }
 
@@ -233,8 +230,7 @@ mod tests {
         // no false suspicion, and crashed processes eventually caught.
         for seed in 0..12u64 {
             let crash = [None, Some(seed % 7), None];
-            let exp =
-                run_heartbeat_experiment_seeded(3, 2, 2, &crash, 2_500, Some(seed));
+            let exp = run_heartbeat_experiment_seeded(3, 2, 2, &crash, 2_500, Some(seed));
             let props = classify(&exp.pattern, &exp.history, exp.horizon);
             assert!(props.strong_accuracy, "seed {seed}: {props}");
             assert!(props.strong_completeness, "seed {seed}: {props}");

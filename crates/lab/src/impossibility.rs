@@ -23,7 +23,7 @@ use core::fmt;
 
 use ssp_model::{check_sdd, ProcessId, SddOutcome, SddViolation};
 use ssp_sim::{
-    run, Adversary, BoxedAutomaton, Choice, DetectionDelays, DeliveryChoice, Event, ExecView,
+    run, Adversary, BoxedAutomaton, Choice, DeliveryChoice, DetectionDelays, Event, ExecView,
     ModelKind, ScriptedAdversary, Trace,
 };
 
@@ -88,7 +88,11 @@ pub struct RefutationReport<M> {
 
 impl<M: Clone + fmt::Debug + PartialEq> fmt::Display for RefutationReport<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Theorem 3.1 refutation of candidate '{}':", self.candidate)?;
+        writeln!(
+            f,
+            "Theorem 3.1 refutation of candidate '{}':",
+            self.candidate
+        )?;
         match &self.refutation {
             SddRefutation::Termination { .. } => writeln!(
                 f,
@@ -124,9 +128,7 @@ impl<M> Adversary<M> for InitiallyDeadAdversary {
         let choice = if self.emitted == 0 {
             Choice::crash(sender_id())
         } else {
-            if view.decided[receiver_id().index()]
-                || self.emitted > self.receiver_step_cap
-            {
+            if view.decided[receiver_id().index()] || self.emitted > self.receiver_step_cap {
                 return None;
             }
             Choice::step_all(receiver_id())
@@ -169,7 +171,9 @@ pub fn refute<C: SddCandidate>(candidate: &C, receiver_step_cap: u64) -> Refutat
             candidate: candidate.name().to_string(),
             base_run: r0.trace,
             base_decision: None,
-            refutation: SddRefutation::Termination { trace: Trace::new(2) },
+            refutation: SddRefutation::Termination {
+                trace: Trace::new(2),
+            },
         };
     };
 
@@ -212,10 +216,7 @@ pub fn refute<C: SddCandidate>(candidate: &C, receiver_step_cap: u64) -> Refutat
     };
     assert_eq!(
         check_sdd(&outcome),
-        Err(SddViolation::Validity {
-            input,
-            decided: d0
-        }),
+        Err(SddViolation::Validity { input, decided: d0 }),
         "surgery must yield a certified validity violation"
     );
 
@@ -289,10 +290,18 @@ mod tests {
         let report = refute(&WaitOrSuspect, 1_000);
         assert_eq!(report.base_decision, Some(false), "defaults to 0 in r0");
         match &report.refutation {
-            SddRefutation::Validity { input, decided, trace } => {
+            SddRefutation::Validity {
+                input,
+                decided,
+                trace,
+            } => {
                 assert!(*input);
                 assert!(!(*decided));
-                assert_eq!(trace.step_count(ProcessId::new(0)), 1, "sender stepped once");
+                assert_eq!(
+                    trace.step_count(ProcessId::new(0)),
+                    1,
+                    "sender stepped once"
+                );
             }
             other => panic!("expected validity refutation, got {other:?}"),
         }
@@ -304,10 +313,7 @@ mod tests {
     fn patience_only_delays_the_defeat() {
         for patience in [0, 1, 7, 50] {
             let report = refute(&PatientWait(patience), 10_000);
-            assert!(matches!(
-                report.refutation,
-                SddRefutation::Validity { .. }
-            ));
+            assert!(matches!(report.refutation, SddRefutation::Validity { .. }));
         }
     }
 
@@ -352,7 +358,10 @@ mod tests {
         }
 
         let report = refute(&WaitForever, 200);
-        assert!(matches!(report.refutation, SddRefutation::Termination { .. }));
+        assert!(matches!(
+            report.refutation,
+            SddRefutation::Termination { .. }
+        ));
         assert!(report.to_string().contains("Termination violated"));
     }
 }

@@ -15,6 +15,9 @@
 //!   certified by the Chandra–Toueg property checkers;
 //! * [`dls_bridge`] — adaptive timeouts implement `◇P` (not `P`) in
 //!   the partially synchronous model, the §1 side-claim;
+//! * [`verifier`] — the unified [`Verifier`] builder: exhaustive or
+//!   sampled sweeps, symmetry reduction, work-stealing parallelism;
+//! * [`symmetry`] — the orbit machinery behind the reduction;
 //! * [`sample`] — statistical verification for spaces too large to
 //!   enumerate;
 //! * [`step_explore`] — a step-level model checker over raw §2
@@ -38,20 +41,34 @@ pub mod parallel;
 pub mod report;
 pub mod sample;
 pub mod step_explore;
+pub mod symmetry;
 pub mod time_free;
+pub mod verifier;
 
-pub use checker::{verify_rs, verify_rws, Counterexample, ValidityMode, Verification};
-pub use enumerate::{crash_schedules, explore_rs, explore_rs_until, explore_rws, explore_rws_until, pending_choices, EnumeratedRun};
+#[allow(deprecated)]
+pub use checker::{verify_rs, verify_rws};
+pub use checker::{Counterexample, ValidityMode, Verification};
 pub use dls_bridge::{run_adaptive_experiment, AdaptiveHeartbeatProcess, DlsExperiment};
-pub use fd_bridge::{run_heartbeat_experiment, run_heartbeat_experiment_seeded, HeartbeatExperiment, HeartbeatProcess};
+pub use enumerate::{
+    crash_schedules, explore_rs, explore_rs_until, explore_rws, explore_rws_until, pending_choices,
+    EnumeratedRun,
+};
+pub use fd_bridge::{
+    run_heartbeat_experiment, run_heartbeat_experiment_seeded, HeartbeatExperiment,
+    HeartbeatProcess,
+};
 pub use impossibility::{refute, RefutationReport, SddCandidate, SddRefutation};
 pub use lower_bound::{
     all_round1_candidates, decides_round1_when_failure_free, refute_round1_candidate,
     Round1Candidate,
 };
 pub use metrics::{worst_case_rs, LatencyAggregator};
+#[allow(deprecated)]
 pub use parallel::{verify_rs_parallel, verify_rws_parallel};
 pub use report::Table;
-pub use sample::{sample_verify_rs, sample_verify_rws, SampleSpace, SampleVerification};
+#[allow(deprecated)]
+pub use sample::{sample_verify_rs, sample_verify_rws};
+pub use sample::{SampleSpace, SampleVerification};
 pub use step_explore::{explore_step_runs, StepSpace};
 pub use time_free::reorder_preserving_views;
+pub use verifier::{RoundModel, Symmetry, Verifier};

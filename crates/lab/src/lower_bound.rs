@@ -24,7 +24,8 @@ use core::fmt;
 use ssp_model::{Decision, ProcessId, Round, Value};
 use ssp_rounds::{RoundAlgorithm, RoundProcess};
 
-use crate::checker::{verify_rws, Counterexample, ValidityMode};
+use crate::checker::{Counterexample, ValidityMode};
+use crate::verifier::{RoundModel, Verifier};
 
 /// When a [`Round1Candidate`] decides at round 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,8 +156,7 @@ impl<V: Value> RoundProcess for R1Process<V> {
                     R1Msg::Relay(v) => Some(v.clone()),
                     R1Msg::Val(_) => None,
                 });
-                let v = relayed
-                    .unwrap_or_else(|| self.spec.fallback.choose(&self.input, &values));
+                let v = relayed.unwrap_or_else(|| self.spec.fallback.choose(&self.input, &values));
                 self.decision.decide(v, round).expect("decides once");
             }
             _ => {}
@@ -237,7 +237,13 @@ pub fn refute_round1_candidate(
     candidate: &Round1Candidate,
     n: usize,
 ) -> Option<Counterexample<u64>> {
-    let verification = verify_rws(candidate, n, 1, &[0u64, 1], ValidityMode::Uniform);
+    let verification = Verifier::new(candidate)
+        .n(n)
+        .t(1)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Uniform)
+        .model(RoundModel::Rws)
+        .run();
     verification.counterexample
 }
 

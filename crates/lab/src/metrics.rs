@@ -45,9 +45,21 @@ impl<V: Value> LatencyAggregator<V> {
 
     /// Folds one enumerated run.
     pub fn add(&mut self, run: &EnumeratedRun<'_, V>) {
-        self.runs += 1;
+        self.add_weighted(run, 1);
+    }
+
+    /// Folds one run standing for `weight` symmetric runs (its orbit
+    /// under the symmetry reduction of `crate::verifier`).
+    ///
+    /// Orbit members share the run's latency degree, fault count and
+    /// (canonical) configuration class, so counting the representative
+    /// `weight` times makes every functional here equal to the
+    /// unreduced sweep's — except that per-configuration lookups key
+    /// on the canonical representative.
+    pub fn add_weighted(&mut self, run: &EnumeratedRun<'_, V>, weight: u64) {
+        self.runs += weight;
         let Some(latency) = run.outcome.latency_degree() else {
-            self.nontermination += 1;
+            self.nontermination += weight;
             return;
         };
         let key = run.config.inputs().to_vec();
@@ -57,6 +69,22 @@ impl<V: Value> LatencyAggregator<V> {
         let f = run.outcome.fault_count();
         let fmax = self.max_per_faults.entry(f).or_insert(0);
         *fmax = (*fmax).max(latency);
+    }
+
+    /// Merges another aggregator (e.g. a per-worker partial) into this
+    /// one; equivalent to having folded all of its runs here.
+    pub fn merge(&mut self, other: LatencyAggregator<V>) {
+        self.runs += other.runs;
+        self.nontermination += other.nontermination;
+        for (key, (lo, hi)) in other.per_config {
+            let entry = self.per_config.entry(key).or_insert((u32::MAX, 0));
+            entry.0 = entry.0.min(lo);
+            entry.1 = entry.1.max(hi);
+        }
+        for (f, m) in other.max_per_faults {
+            let fmax = self.max_per_faults.entry(f).or_insert(0);
+            *fmax = (*fmax).max(m);
+        }
     }
 
     /// `lat(A)`: the minimum latency degree over all runs.
@@ -222,8 +250,7 @@ mod worst_case_tests {
 
     #[test]
     fn a1_worst_case_is_2_and_requires_a_crash() {
-        let (latency, schedule, _) =
-            worst_case_rs(&A1, 3, 1, &[0u64, 1]).expect("nonempty space");
+        let (latency, schedule, _) = worst_case_rs(&A1, 3, 1, &[0u64, 1]).expect("nonempty space");
         assert_eq!(latency, 2);
         assert_eq!(schedule.fault_count(), 1, "failure-free runs decide at 1");
     }

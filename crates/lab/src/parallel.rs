@@ -1,33 +1,29 @@
-//! Parallel exhaustive verification: the run spaces factor cleanly by
-//! initial configuration, so the sweep shards across OS threads with
-//! plain `std::thread::scope` — no extra dependencies.
+//! Deprecated parallel entry points, kept as thin wrappers over the
+//! unified [`Verifier`](crate::Verifier).
 //!
-//! Results are identical to the serial [`crate::checker`] verdicts
-//! except for *which* counterexample is reported when several exist
-//! (the lowest-shard one wins here; the serial order wins there).
+//! Historically this module sharded configurations statically across
+//! `std::thread::scope` workers. The [`crate::verifier`] engine
+//! replaced that with work stealing over `(configuration class,
+//! schedule chunk)` items — no idle tails when shards are uneven — and
+//! a deterministic (enumeration-least) counterexample instead of a
+//! races-dependent one. The wrappers below keep the old signatures
+//! compiling; new code should call the builder directly.
 
-use ssp_model::{config::enumerate_configs, InitialConfig, Value};
-use ssp_rounds::{run_rs, run_rws, PendingChoice, RoundAlgorithm};
+use ssp_model::Value;
+use ssp_rounds::RoundAlgorithm;
 
-use crate::checker::{Counterexample, ValidityMode, Verification};
-use crate::enumerate::{crash_schedules, pending_choices};
+use crate::checker::{ValidityMode, Verification};
+use crate::verifier::{RoundModel, Verifier};
 
-fn check<V: Value>(
-    outcome: &ssp_model::ConsensusOutcome<V>,
-    mode: ValidityMode,
-) -> Result<(), ssp_model::spec::ConsensusViolation<V>> {
-    match mode {
-        ValidityMode::Uniform => ssp_model::check_uniform_consensus(outcome),
-        ValidityMode::Strong => ssp_model::check_uniform_consensus_strong(outcome),
-    }
-}
-
-/// Shards the configurations of the space across `threads` workers and
-/// verifies every `RS` run, as [`crate::checker::verify_rs`] does.
+/// Verifies every `RS` run with `threads` workers, as
+/// [`crate::checker::verify_rs`] does serially.
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0` or a worker thread panics.
+#[deprecated(
+    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).threads(threads).run()`"
+)]
 #[must_use]
 pub fn verify_rs_parallel<V, A>(
     algo: &A,
@@ -41,15 +37,24 @@ where
     V: Value + Sync,
     A: RoundAlgorithm<V> + Sync,
 {
-    verify_parallel(algo, n, t, domain, mode, threads, false)
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .threads(threads)
+        .run()
 }
 
-/// Shards the configurations across `threads` workers and verifies
-/// every `RWS` run (all pending choices included).
+/// Verifies every `RWS` run (all pending choices included) with
+/// `threads` workers.
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0` or a worker thread panics.
+#[deprecated(
+    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).model(RoundModel::Rws).threads(threads).run()`"
+)]
 #[must_use]
 pub fn verify_rws_parallel<V, A>(
     algo: &A,
@@ -63,81 +68,21 @@ where
     V: Value + Sync,
     A: RoundAlgorithm<V> + Sync,
 {
-    verify_parallel(algo, n, t, domain, mode, threads, true)
-}
-
-fn verify_parallel<V, A>(
-    algo: &A,
-    n: usize,
-    t: usize,
-    domain: &[V],
-    mode: ValidityMode,
-    threads: usize,
-    with_pending: bool,
-) -> Verification<V>
-where
-    V: Value + Sync,
-    A: RoundAlgorithm<V> + Sync,
-{
-    assert!(threads > 0, "at least one worker required");
-    let horizon = algo.round_horizon(n, t);
-    let schedules = crash_schedules(n, t, horizon + 1);
-    let configs: Vec<InitialConfig<V>> = enumerate_configs(n, domain).collect();
-    let chunk = configs.len().div_ceil(threads);
-    let schedules = &schedules;
-    let results: Vec<(u64, Option<Counterexample<V>>)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for shard in configs.chunks(chunk.max(1)) {
-            handles.push(scope.spawn(move || {
-                let mut runs = 0u64;
-                for config in shard {
-                    for schedule in schedules {
-                        let pendings = if with_pending {
-                            pending_choices(schedule, horizon)
-                        } else {
-                            vec![PendingChoice::none()]
-                        };
-                        for pending in pendings {
-                            let outcome = if with_pending {
-                                run_rws(algo, config, t, schedule, &pending)
-                                    .expect("enumerated pending choices are valid")
-                            } else {
-                                run_rs(algo, config, t, schedule)
-                            };
-                            runs += 1;
-                            if let Err(violation) = check(&outcome, mode) {
-                                return (
-                                    runs,
-                                    Some(Counterexample {
-                                        config: config.clone(),
-                                        schedule: schedule.clone(),
-                                        pending,
-                                        outcome,
-                                        violation,
-                                    }),
-                                );
-                            }
-                        }
-                    }
-                }
-                (runs, None)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("verification worker panicked"))
-            .collect()
-    });
-    let runs = results.iter().map(|(r, _)| r).sum();
-    let counterexample = results.into_iter().find_map(|(_, c)| c);
-    Verification {
-        runs,
-        counterexample,
-    }
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .model(RoundModel::Rws)
+        .threads(threads)
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrappers stay covered until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::checker::{verify_rs, verify_rws};
     use ssp_algos::{FloodSet, FloodSetWs};
@@ -147,22 +92,26 @@ mod tests {
         let serial = verify_rs(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong);
         let parallel = verify_rs_parallel(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong, 4);
         assert!(serial.is_ok() && parallel.is_ok());
-        assert_eq!(serial.runs, parallel.runs, "clean sweeps cover the same space");
+        assert_eq!(
+            serial.runs, parallel.runs,
+            "clean sweeps cover the same space"
+        );
     }
 
     #[test]
     fn parallel_rws_agrees_with_serial_on_violations() {
         let serial = verify_rws(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Uniform);
-        let parallel =
-            verify_rws_parallel(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Uniform, 4);
-        assert!(!serial.is_ok() && !parallel.is_ok(), "both must find the E4 bug");
+        let parallel = verify_rws_parallel(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Uniform, 4);
+        assert!(
+            !serial.is_ok() && !parallel.is_ok(),
+            "both must find the E4 bug"
+        );
     }
 
     #[test]
     fn parallel_rws_clean_sweep_counts_whole_space() {
         let serial = verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong);
-        let parallel =
-            verify_rws_parallel(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong, 3);
+        let parallel = verify_rws_parallel(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong, 3);
         serial.expect_ok();
         parallel.expect_ok();
         assert_eq!(serial.runs, parallel.runs);

@@ -12,9 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ssp_model::{InitialConfig, ProcessId, ProcessSet, Round, Value};
-use ssp_rounds::{
-    run_rs, run_rws, CrashSchedule, PendingChoice, RoundAlgorithm, RoundCrash,
-};
+use ssp_rounds::{run_rs, run_rws, CrashSchedule, PendingChoice, RoundAlgorithm, RoundCrash};
 
 use crate::checker::{Counterexample, ValidityMode};
 use crate::metrics::LatencyAggregator;
@@ -48,11 +46,7 @@ impl SampleSpace {
 }
 
 /// Draws a crash schedule (rounds `1..=max_round`, arbitrary subsets).
-pub fn sample_schedule<R: Rng>(
-    space: &SampleSpace,
-    max_round: u32,
-    rng: &mut R,
-) -> CrashSchedule {
+pub fn sample_schedule<R: Rng>(space: &SampleSpace, max_round: u32, rng: &mut R) -> CrashSchedule {
     let mut schedule = CrashSchedule::none(space.n);
     let mut budget = space.t;
     for i in 0..space.n {
@@ -136,6 +130,9 @@ fn check<V: Value>(
 }
 
 /// Samples `trials` `RS` runs of `algo` and checks each.
+#[deprecated(
+    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).sample(trials, seed).run()`"
+)]
 pub fn sample_verify_rs<V, A>(
     algo: &A,
     space: &SampleSpace,
@@ -153,6 +150,9 @@ where
 
 /// Samples `trials` `RWS` runs of `algo` (with pending choices) and
 /// checks each.
+#[deprecated(
+    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).model(RoundModel::Rws).sample(trials, seed).run()`"
+)]
 pub fn sample_verify_rws<V, A>(
     algo: &A,
     space: &SampleSpace,
@@ -168,7 +168,7 @@ where
     sample_verify(algo, space, domain, trials, seed, mode, true)
 }
 
-fn sample_verify<V, A>(
+pub(crate) fn sample_verify<V, A>(
     algo: &A,
     space: &SampleSpace,
     domain: &[V],
@@ -232,13 +232,23 @@ where
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrappers stay covered until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use ssp_algos::{EarlyDeciding, EarlyDecidingWs, FloodSet, FloodSetWs};
 
     #[test]
     fn floodset_ws_clean_at_n5_t2() {
         let space = SampleSpace::adversarial(5, 2);
-        let v = sample_verify_rws(&FloodSetWs, &space, &[0u64, 1, 2], 2_000, 7, ValidityMode::Strong);
+        let v = sample_verify_rws(
+            &FloodSetWs,
+            &space,
+            &[0u64, 1, 2],
+            2_000,
+            7,
+            ValidityMode::Strong,
+        );
         assert_eq!(v.expect_ok(), 2_000);
         assert_eq!(v.latency.capital_lambda(), Some(3), "Λ = t+1 at n=5");
     }
@@ -251,7 +261,14 @@ mod tests {
             crash_prob: 0.6,
             pending_prob: 0.7,
         };
-        let v = sample_verify_rws(&FloodSet, &space, &[0u64, 1], 20_000, 11, ValidityMode::Uniform);
+        let v = sample_verify_rws(
+            &FloodSet,
+            &space,
+            &[0u64, 1],
+            20_000,
+            11,
+            ValidityMode::Uniform,
+        );
         assert!(
             v.counterexample.is_some(),
             "20k adversarial samples should hit a FloodSet RWS violation"
@@ -261,7 +278,14 @@ mod tests {
     #[test]
     fn early_deciding_clean_at_n6_t3_in_rs() {
         let space = SampleSpace::adversarial(6, 3);
-        let v = sample_verify_rs(&EarlyDeciding, &space, &[0u64, 1, 2], 3_000, 13, ValidityMode::Strong);
+        let v = sample_verify_rs(
+            &EarlyDeciding,
+            &space,
+            &[0u64, 1, 2],
+            3_000,
+            13,
+            ValidityMode::Strong,
+        );
         v.expect_ok();
         assert_eq!(v.latency.capital_lambda(), Some(2), "failure-free f+2");
     }
@@ -269,7 +293,14 @@ mod tests {
     #[test]
     fn early_deciding_ws_clean_at_n5_t3_in_rws() {
         let space = SampleSpace::adversarial(5, 3);
-        let v = sample_verify_rws(&EarlyDecidingWs, &space, &[0u64, 1], 3_000, 17, ValidityMode::Strong);
+        let v = sample_verify_rws(
+            &EarlyDecidingWs,
+            &space,
+            &[0u64, 1],
+            3_000,
+            17,
+            ValidityMode::Strong,
+        );
         v.expect_ok();
         assert_eq!(v.latency.capital_lambda(), Some(3), "failure-free f+3");
     }
@@ -277,8 +308,22 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let space = SampleSpace::adversarial(4, 2);
-        let a = sample_verify_rws(&FloodSetWs, &space, &[0u64, 1], 200, 3, ValidityMode::Strong);
-        let b = sample_verify_rws(&FloodSetWs, &space, &[0u64, 1], 200, 3, ValidityMode::Strong);
+        let a = sample_verify_rws(
+            &FloodSetWs,
+            &space,
+            &[0u64, 1],
+            200,
+            3,
+            ValidityMode::Strong,
+        );
+        let b = sample_verify_rws(
+            &FloodSetWs,
+            &space,
+            &[0u64, 1],
+            200,
+            3,
+            ValidityMode::Strong,
+        );
         assert_eq!(a.trials, b.trials);
         assert_eq!(a.latency.runs, b.latency.runs);
     }

@@ -40,9 +40,7 @@ impl StepSpace {
 }
 
 /// Enumerates the delivery subsets of a buffer as key lists.
-fn delivery_subsets(
-    keys: &[(ProcessId, ssp_model::StepIndex)],
-) -> Vec<DeliveryChoice> {
+fn delivery_subsets(keys: &[(ProcessId, ssp_model::StepIndex)]) -> Vec<DeliveryChoice> {
     assert!(
         keys.len() <= 12,
         "buffer of {} messages is too large to enumerate",
@@ -81,11 +79,22 @@ where
     let mut leaves = 0;
     let mut stop = false;
     let mut script: Vec<(Event, DeliveryChoice)> = Vec::new();
-    dfs(&factory, space, &mut script, &mut leaves, &mut stop, &mut visit);
+    dfs(
+        &factory,
+        space,
+        &mut script,
+        &mut leaves,
+        &mut stop,
+        &mut visit,
+    );
     leaves
 }
 
-fn replay<M, O, G>(factory: &G, space: &StepSpace, script: &[(Event, DeliveryChoice)]) -> RunResult<M, O>
+fn replay<M, O, G>(
+    factory: &G,
+    space: &StepSpace,
+    script: &[(Event, DeliveryChoice)],
+) -> RunResult<M, O>
 where
     M: Clone + core::fmt::Debug + PartialEq,
     O: Clone + core::fmt::Debug + PartialEq,
@@ -98,8 +107,13 @@ where
         .map(|(_, d)| d.clone())
         .collect();
     let mut adv = ScriptedAdversary::new(events, deliveries);
-    run(space.model.clone(), factory(), &mut adv, script.len() as u64 + 1)
-        .expect("generated scripts are always legal")
+    run(
+        space.model.clone(),
+        factory(),
+        &mut adv,
+        script.len() as u64 + 1,
+    )
+    .expect("generated scripts are always legal")
 }
 
 fn dfs<M, O, G, F>(
@@ -203,8 +217,7 @@ mod tests {
                 let leaves = explore_step_runs(factory, &sdd_space(phi, delta), |state| {
                     // Only leaves where the receiver survived and
                     // exhausted its budget are obligated to decide.
-                    let receiver_done =
-                        state.trace.step_count(p(1)) >= phi + 1 + delta;
+                    let receiver_done = state.trace.step_count(p(1)) >= phi + 1 + delta;
                     let outcome = SddOutcome {
                         sender_input: input,
                         sender_initially_dead: state.trace.step_count(p(0)) == 0,
@@ -214,10 +227,7 @@ mod tests {
                     if state.pattern.is_correct(p(1)) && receiver_done {
                         checked += 1;
                         if let Err(e) = check_sdd(&outcome) {
-                            panic!(
-                                "Φ={phi} Δ={delta} input={input}: {e}\n{}",
-                                state.trace
-                            );
+                            panic!("Φ={phi} Δ={delta} input={input}: {e}\n{}", state.trace);
                         }
                     } else if let Some(d) = outcome.decision {
                         // Even partial runs must never violate validity.

@@ -1,0 +1,247 @@
+//! Orbit machinery for the symmetry-reduced verifier.
+//!
+//! The exhaustive run spaces of [`crate::enumerate`] are highly
+//! redundant for symmetric algorithms: permuting process identities
+//! (for anonymous algorithms) or monotonically relabeling input values
+//! maps runs to runs with identical verdicts and latencies. This
+//! module provides the group-theoretic bookkeeping the
+//! [`Verifier`](crate::Verifier) uses to sweep only one representative
+//! per orbit while keeping counts exact:
+//!
+//! * [`stabilizer`] — the subgroup `H ≤ S_n` fixing an initial
+//!   configuration (pointwise on inputs);
+//! * [`schedule_orbit`] — decides whether a crash schedule is the
+//!   canonical (least) member of its `H`-orbit and, if so, returns the
+//!   orbit size and the stabilizer `K = stab_H(S)`;
+//! * [`pending_orbit`] — the same for a pending choice under `K`.
+//!
+//! By the orbit–stabilizer theorem, summing `orbit size` over the
+//! canonical members of each orbit recovers the full space size, so
+//! weighted statistics over representatives equal unweighted
+//! statistics over the whole space.
+
+use ssp_model::Value;
+use ssp_rounds::{CrashSchedule, PendingChoice};
+
+/// All `n!` permutations of `0..n`, each as a map `perm[i] = image of
+/// i`, in lexicographic order (the identity first).
+///
+/// # Panics
+///
+/// Panics if `n > 10` — factorial growth; the symmetry reduction is
+/// for small bounded spaces.
+#[must_use]
+pub fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    assert!(n <= 10, "refusing to materialize {n}! permutations");
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = (0..n).collect();
+    permute_rest(&mut current, 0, &mut out);
+    out
+}
+
+fn permute_rest(current: &mut Vec<usize>, from: usize, out: &mut Vec<Vec<usize>>) {
+    if from == current.len() {
+        out.push(current.clone());
+        return;
+    }
+    for i in from..current.len() {
+        current.swap(from, i);
+        // Restore lexicographic order below `from` by sorting the tail.
+        current[from + 1..].sort_unstable();
+        permute_rest(current, from + 1, out);
+    }
+    current[from..].sort_unstable();
+}
+
+/// The stabilizer `H = { π ∈ S_n : π·inputs = inputs }` of an input
+/// vector: all permutations of positions holding equal values, as maps
+/// `perm[i] = image of i`. Always contains the identity (first).
+///
+/// For a canonical (sorted) configuration this is the product of
+/// symmetric groups on the blocks of equal values — the exact subgroup
+/// under which crash schedules of an anonymous algorithm may be
+/// quotiented without changing any verdict.
+#[must_use]
+pub fn stabilizer<V: Value>(inputs: &[V]) -> Vec<Vec<usize>> {
+    let n = inputs.len();
+    // Positions grouped by value.
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let mut sorted_values: Vec<&V> = inputs.iter().collect();
+    sorted_values.sort();
+    sorted_values.dedup();
+    for v in sorted_values {
+        blocks.push((0..n).filter(|&i| inputs[i] == *v).collect());
+    }
+    // Cartesian product of per-block permutations, identity-first.
+    let mut perms: Vec<Vec<usize>> = vec![(0..n).collect()];
+    for block in blocks {
+        let block_perms = all_permutations(block.len());
+        let mut next = Vec::with_capacity(perms.len() * block_perms.len());
+        for perm in &perms {
+            for bp in &block_perms {
+                let mut composed = perm.clone();
+                for (j, &img) in bp.iter().enumerate() {
+                    composed[block[j]] = perm[block[img]];
+                }
+                next.push(composed);
+            }
+        }
+        perms = next;
+    }
+    // Put the identity first for the fast `|H| == 1` checks.
+    let identity: Vec<usize> = (0..n).collect();
+    if let Some(pos) = perms.iter().position(|p| *p == identity) {
+        perms.swap(0, pos);
+    }
+    perms
+}
+
+/// The trivial group `{ id }` over `n` processes.
+#[must_use]
+pub fn identity_only(n: usize) -> Vec<Vec<usize>> {
+    vec![(0..n).collect()]
+}
+
+/// If `schedule` is the canonical (least, by `Ord`) member of its
+/// orbit under `group`, returns `(orbit_size, stabilizer)` where
+/// `stabilizer = { π ∈ group : π·schedule = schedule }`; otherwise
+/// `None` (the orbit is accounted for by its canonical member).
+///
+/// `orbit_size · |stabilizer| = |group|` (orbit–stabilizer).
+#[must_use]
+pub fn schedule_orbit(
+    schedule: &CrashSchedule,
+    group: &[Vec<usize>],
+) -> Option<(u64, Vec<Vec<usize>>)> {
+    if group.len() == 1 {
+        return Some((1, group.to_vec()));
+    }
+    let mut stab = Vec::new();
+    for perm in group {
+        let image = schedule.permuted(perm);
+        if image < *schedule {
+            return None;
+        }
+        if image == *schedule {
+            stab.push(perm.clone());
+        }
+    }
+    Some(((group.len() / stab.len()) as u64, stab))
+}
+
+/// If `pending` is the canonical (least) member of its orbit under
+/// `group` (the schedule's stabilizer `K`), returns the orbit size;
+/// otherwise `None`.
+#[must_use]
+pub fn pending_orbit(pending: &PendingChoice, group: &[Vec<usize>]) -> Option<u64> {
+    if group.len() == 1 || pending.is_empty() {
+        return Some(1);
+    }
+    let mut stab = 0u64;
+    for perm in group {
+        let image = pending.permuted(perm);
+        if image < *pending {
+            return None;
+        }
+        if image == *pending {
+            stab += 1;
+        }
+    }
+    Some(group.len() as u64 / stab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{ProcessId, ProcessSet, Round};
+    use ssp_rounds::RoundCrash;
+
+    #[test]
+    fn permutation_count_and_identity_first() {
+        assert_eq!(all_permutations(0).len(), 1);
+        assert_eq!(all_permutations(3).len(), 6);
+        assert_eq!(all_permutations(4).len(), 24);
+        assert_eq!(all_permutations(3)[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stabilizer_sizes_are_products_of_factorials() {
+        assert_eq!(stabilizer(&[0u64, 0, 0, 0]).len(), 24); // S4
+        assert_eq!(stabilizer(&[0u64, 0, 0, 1]).len(), 6); // S3 × S1
+        assert_eq!(stabilizer(&[0u64, 0, 1, 1]).len(), 4); // S2 × S2
+        assert_eq!(stabilizer(&[0u64, 1, 2, 3]).len(), 1); // trivial
+        assert_eq!(stabilizer(&[0u64, 0, 0, 1])[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stabilizer_members_fix_the_inputs() {
+        let inputs = [0u64, 1, 0, 1, 0];
+        for perm in stabilizer(&inputs) {
+            let mut permuted = inputs;
+            for (i, v) in inputs.iter().enumerate() {
+                permuted[perm[i]] = *v;
+            }
+            assert_eq!(permuted, inputs);
+        }
+    }
+
+    #[test]
+    fn schedule_orbits_partition_the_schedule_set() {
+        // All-equal inputs for n=3: H = S3. Orbit sizes over all
+        // schedules with ≤1 crash must sum to the full count.
+        let group = stabilizer(&[0u64, 0, 0]);
+        assert_eq!(group.len(), 6);
+        let schedules = crate::enumerate::crash_schedules(3, 1, 3);
+        let mut canonical = 0u64;
+        let mut represented = 0u64;
+        for s in &schedules {
+            if let Some((orbit, stab)) = schedule_orbit(s, &group) {
+                canonical += 1;
+                represented += orbit;
+                assert_eq!(orbit * stab.len() as u64, group.len() as u64);
+            }
+        }
+        assert_eq!(represented, schedules.len() as u64);
+        assert!(
+            canonical < schedules.len() as u64 / 2,
+            "reduction should at least halve the schedule sweep \
+             ({canonical} of {})",
+            schedules.len()
+        );
+    }
+
+    #[test]
+    fn pending_orbits_partition_each_pending_set() {
+        let group = stabilizer(&[0u64, 0, 0]);
+        let schedules = crate::enumerate::crash_schedules(3, 1, 3);
+        for s in &schedules {
+            let Some((_, k)) = schedule_orbit(s, &group) else {
+                continue;
+            };
+            let pendings = crate::enumerate::pending_choices(s, 2);
+            let represented: u64 = pendings.iter().filter_map(|p| pending_orbit(p, &k)).sum();
+            assert_eq!(represented, pendings.len() as u64, "at {s}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_schedule_is_not_canonical_unless_least() {
+        let group = stabilizer(&[0u64, 0]);
+        assert_eq!(group.len(), 2);
+        let crash = RoundCrash {
+            round: Round::FIRST,
+            sends_to: ProcessSet::empty(),
+        };
+        let mut crash_p1 = CrashSchedule::none(2);
+        crash_p1.crash(ProcessId::new(0), crash);
+        let mut crash_p2 = CrashSchedule::none(2);
+        crash_p2.crash(ProcessId::new(1), crash);
+        // Exactly one of the two is canonical, with orbit size 2.
+        let orbits = [
+            schedule_orbit(&crash_p1, &group),
+            schedule_orbit(&crash_p2, &group),
+        ];
+        assert_eq!(orbits.iter().flatten().count(), 1);
+        assert_eq!(orbits.iter().flatten().next().unwrap().0, 2);
+    }
+}

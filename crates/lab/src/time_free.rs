@@ -44,10 +44,7 @@ enum Pending {
 /// Panics if the trace is internally inconsistent (a delivery without
 /// a matching send).
 #[must_use]
-pub fn reorder_preserving_views<M>(
-    trace: &Trace<M>,
-    seed: u64,
-) -> (Vec<Event>, Vec<DeliveryChoice>)
+pub fn reorder_preserving_views<M>(trace: &Trace<M>, seed: u64) -> (Vec<Event>, Vec<DeliveryChoice>)
 where
     M: Clone + core::fmt::Debug + PartialEq,
 {
@@ -62,8 +59,7 @@ where
             TraceEvent::Step(s) => {
                 let sends = s.sent.is_some();
                 if let Some(env) = &s.sent {
-                    send_ordinal
-                        .insert((env.src, env.sent_at), sends_seen[env.src.index()]);
+                    send_ordinal.insert((env.src, env.sent_at), sends_seen[env.src.index()]);
                     sends_seen[env.src.index()] += 1;
                 }
                 queues[s.process.index()].push((
@@ -208,8 +204,7 @@ mod tests {
             let mut adv = RandomAdversary::new(2, 150, seed).with_deliver_all_probability(0.6);
             let original = run(ModelKind::Async, system(), &mut adv, 10_000).unwrap();
             for reseed in [7u64, 21, 99] {
-                let (events, deliveries) =
-                    reorder_preserving_views(&original.trace, reseed);
+                let (events, deliveries) = reorder_preserving_views(&original.trace, reseed);
                 let mut scripted = ScriptedAdversary::new(events, deliveries);
                 let replayed = run(ModelKind::Async, system(), &mut scripted, 10_000).unwrap();
                 assert_eq!(
@@ -239,6 +234,9 @@ mod tests {
                 changed = true;
             }
         }
-        assert!(changed, "ten reseeds should produce at least one new interleaving");
+        assert!(
+            changed,
+            "ten reseeds should produce at least one new interleaving"
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! exhaustive enumeration over small value domains.
 
 use core::fmt;
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -25,7 +26,7 @@ use crate::value::Value;
 /// assert!(!c.is_unanimous());
 /// assert!(InitialConfig::uniform(3, 5u64).is_unanimous());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InitialConfig<V> {
     inputs: Vec<V>,
 }
@@ -78,6 +79,67 @@ impl<V: Value> InitialConfig<V> {
     pub fn contains(&self, v: &V) -> bool {
         self.inputs.contains(v)
     }
+
+    /// The configuration relabeled by the process permutation `perm`,
+    /// where `perm[i]` is the new index of the process previously at
+    /// index `i` (matching `CrashSchedule::permuted` in `ssp-rounds`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.n()`.
+    #[must_use]
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.n(), "permutation length mismatch");
+        let mut inputs = self.inputs.clone();
+        for (i, v) in self.inputs.iter().enumerate() {
+            inputs[perm[i]] = v.clone();
+        }
+        InitialConfig { inputs }
+    }
+
+    /// Canonical form under *monotone* value relabeling: the `i`-th
+    /// smallest value used by the configuration is replaced by the
+    /// `i`-th smallest value of `domain`. Two configurations have equal
+    /// canonical forms iff one is an order-preserving relabeling of the
+    /// other — the equivalence a value-symmetric algorithm (one that
+    /// only stores, forwards and order-compares values) cannot
+    /// distinguish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration uses more distinct values than
+    /// `domain` provides.
+    #[must_use]
+    pub fn canonical_values(&self, domain: &[V]) -> Self {
+        let mut codomain: Vec<&V> = domain.iter().collect();
+        codomain.sort();
+        codomain.dedup();
+        let mut used: Vec<&V> = self.inputs.iter().collect();
+        used.sort();
+        used.dedup();
+        assert!(
+            used.len() <= codomain.len(),
+            "configuration uses more distinct values than the domain"
+        );
+        let relabel: HashMap<&V, &V> = used.into_iter().zip(codomain).collect();
+        InitialConfig {
+            inputs: self.inputs.iter().map(|v| relabel[v].clone()).collect(),
+        }
+    }
+
+    /// Canonical form under monotone value relabeling *and* process
+    /// permutation: [`canonical_values`](Self::canonical_values)
+    /// followed by sorting the input vector. Two configurations have
+    /// equal canonical forms iff they are related by a process
+    /// permutation composed with an order-preserving relabeling — the
+    /// equivalence a fully symmetric (anonymous) algorithm cannot
+    /// distinguish.
+    #[must_use]
+    pub fn canonical_full(&self, domain: &[V]) -> Self {
+        let mut canon = self.canonical_values(domain);
+        canon.inputs.sort();
+        canon
+    }
 }
 
 impl<V: fmt::Debug> fmt::Display for InitialConfig<V> {
@@ -101,7 +163,10 @@ pub fn enumerate_configs<V: Value>(
     n: usize,
     domain: &[V],
 ) -> impl Iterator<Item = InitialConfig<V>> + '_ {
-    let total = domain.len().checked_pow(n as u32).expect("domain^n overflow");
+    let total = domain
+        .len()
+        .checked_pow(n as u32)
+        .expect("domain^n overflow");
     (0..total).map(move |mut code| {
         let mut inputs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -115,6 +180,52 @@ pub fn enumerate_configs<V: Value>(
 /// Enumerates binary (`{0,1}`) configurations of `n` processes.
 pub fn binary_configs(n: usize) -> impl Iterator<Item = InitialConfig<u64>> {
     enumerate_configs(n, &[0u64, 1])
+}
+
+/// The equivalence classes of all `|domain|^n` configurations under
+/// monotone value relabeling: each entry is a canonical representative
+/// (per [`InitialConfig::canonical_values`]) with the exact number of
+/// configurations in its class. Class sizes sum to `|domain|^n`;
+/// entries are sorted by representative for determinism.
+#[must_use]
+pub fn canonical_value_classes<V: Value>(n: usize, domain: &[V]) -> Vec<(InitialConfig<V>, u64)> {
+    classes_by(n, domain, |c| c.canonical_values(domain))
+}
+
+/// The equivalence classes of all `|domain|^n` configurations under
+/// monotone value relabeling *and* process permutation: each entry is
+/// a canonical representative (per [`InitialConfig::canonical_full`])
+/// with the exact number of configurations in its class. Class sizes
+/// sum to `|domain|^n`; entries are sorted by representative.
+///
+/// # Examples
+///
+/// ```
+/// use ssp_model::config::canonical_full_classes;
+///
+/// // Binary inputs for 3 processes: 8 configurations, 3 classes.
+/// let classes = canonical_full_classes(3, &[0u64, 1]);
+/// let sizes: Vec<u64> = classes.iter().map(|(_, w)| *w).collect();
+/// assert_eq!(sizes.iter().sum::<u64>(), 8);
+/// assert_eq!(classes.len(), 3); // [0,0,0], [0,0,1], [0,1,1]
+/// ```
+#[must_use]
+pub fn canonical_full_classes<V: Value>(n: usize, domain: &[V]) -> Vec<(InitialConfig<V>, u64)> {
+    classes_by(n, domain, |c| c.canonical_full(domain))
+}
+
+fn classes_by<V: Value>(
+    n: usize,
+    domain: &[V],
+    canon: impl Fn(&InitialConfig<V>) -> InitialConfig<V>,
+) -> Vec<(InitialConfig<V>, u64)> {
+    let mut classes: HashMap<InitialConfig<V>, u64> = HashMap::new();
+    for c in enumerate_configs(n, domain) {
+        *classes.entry(canon(&c)).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = classes.into_iter().collect();
+    out.sort();
+    out
 }
 
 #[cfg(test)]
@@ -156,5 +267,67 @@ mod tests {
     fn display_shows_inputs() {
         let c = InitialConfig::new(vec![1u64, 0]);
         assert_eq!(c.to_string(), "C0[1, 0]");
+    }
+
+    #[test]
+    fn permuted_moves_inputs_with_processes() {
+        let c = InitialConfig::new(vec![10u64, 20, 30]);
+        let rot = c.permuted(&[1, 2, 0]);
+        assert_eq!(rot.inputs(), &[30, 10, 20]);
+        assert_eq!(rot.permuted(&[2, 0, 1]), c);
+    }
+
+    #[test]
+    fn canonical_values_is_monotone_relabel_onto_smallest() {
+        // Uses {5, 9}: 5 → 0, 9 → 1.
+        let c = InitialConfig::new(vec![9u64, 5, 9]);
+        assert_eq!(c.canonical_values(&[0, 1, 5, 9]).inputs(), &[1, 0, 1]);
+        // Already canonical configs are fixed points.
+        let canon = InitialConfig::new(vec![1u64, 0, 1]);
+        assert_eq!(canon.canonical_values(&[0, 1, 5, 9]), canon);
+    }
+
+    #[test]
+    fn canonical_full_sorts_after_relabeling() {
+        let c = InitialConfig::new(vec![9u64, 5, 9]);
+        assert_eq!(c.canonical_full(&[0, 1, 5, 9]).inputs(), &[0, 1, 1]);
+        // Not equivalent to [0, 0, 1]: swapping 0↔1 is not monotone.
+        let minority_high = InitialConfig::new(vec![0u64, 0, 1]);
+        assert_eq!(minority_high.canonical_full(&[0, 1]).inputs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_orbit_invariant() {
+        let domain = [0u64, 1, 2];
+        for c in enumerate_configs(3, &domain) {
+            let canon = c.canonical_full(&domain);
+            assert_eq!(canon.canonical_full(&domain), canon, "idempotent at {c}");
+            // Every process permutation lands in the same class.
+            for perm in [[0, 1, 2], [1, 0, 2], [2, 1, 0], [1, 2, 0]] {
+                assert_eq!(c.permuted(&perm).canonical_full(&domain), canon);
+            }
+        }
+    }
+
+    #[test]
+    fn class_sizes_partition_the_config_space() {
+        let domain = [0u64, 1];
+        for n in 1..=4 {
+            let full: u64 = canonical_full_classes(n, &domain)
+                .iter()
+                .map(|(_, w)| w)
+                .sum();
+            let vals: u64 = canonical_value_classes(n, &domain)
+                .iter()
+                .map(|(_, w)| w)
+                .sum();
+            assert_eq!(full, 2u64.pow(n as u32));
+            assert_eq!(vals, 2u64.pow(n as u32));
+        }
+        // n=4 binary under full symmetry: multisets {0000, 0001, 0011, 0111}
+        // (1111 relabels onto 0000, etc.) with orbit sizes 2, 4, 6, 4.
+        let classes = canonical_full_classes(4, &domain);
+        let sizes: Vec<u64> = classes.iter().map(|(_, w)| *w).collect();
+        assert_eq!(sizes, [2, 4, 6, 4]);
     }
 }

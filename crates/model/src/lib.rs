@@ -51,7 +51,7 @@ pub mod spec;
 pub mod time;
 pub mod value;
 
-pub use config::InitialConfig;
+pub use config::{canonical_full_classes, canonical_value_classes, InitialConfig};
 pub use failure::FailurePattern;
 pub use message::{Buffer, Envelope};
 pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};

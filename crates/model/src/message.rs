@@ -97,7 +97,10 @@ impl<M> Buffer<M> {
 
     /// Removes and returns the messages selected by `select`, keeping
     /// the rest in order.
-    pub fn take_where<F: FnMut(&Envelope<M>) -> bool>(&mut self, mut select: F) -> Vec<Envelope<M>> {
+    pub fn take_where<F: FnMut(&Envelope<M>) -> bool>(
+        &mut self,
+        mut select: F,
+    ) -> Vec<Envelope<M>> {
         let mut taken = Vec::new();
         let mut kept = Vec::new();
         for env in self.messages.drain(..) {

@@ -102,7 +102,10 @@ impl ProcessSet {
     /// Panics if `n > MAX_PROCESSES`.
     #[must_use]
     pub fn full(n: usize) -> Self {
-        assert!(n <= MAX_PROCESSES, "universe of {n} exceeds {MAX_PROCESSES}");
+        assert!(
+            n <= MAX_PROCESSES,
+            "universe of {n} exceeds {MAX_PROCESSES}"
+        );
         if n == MAX_PROCESSES {
             ProcessSet(u64::MAX)
         } else {

@@ -63,7 +63,10 @@ impl<V: fmt::Debug> fmt::Display for ConsensusViolation<V> {
                 decided.0, decided.1
             ),
             ConsensusViolation::Termination { process } => {
-                write!(f, "termination violated: correct process {process} never decided")
+                write!(
+                    f,
+                    "termination violated: correct process {process} never decided"
+                )
             }
         }
     }
@@ -259,7 +262,11 @@ mod tests {
     use crate::run::ProcessOutcome;
     use crate::time::Round;
 
-    fn po(input: u64, decision: Option<(u64, u32)>, crashed_in: Option<u32>) -> ProcessOutcome<u64> {
+    fn po(
+        input: u64,
+        decision: Option<(u64, u32)>,
+        crashed_in: Option<u32>,
+    ) -> ProcessOutcome<u64> {
         ProcessOutcome {
             input,
             decision: decision.map(|(v, r)| (v, Round::new(r))),
@@ -269,10 +276,7 @@ mod tests {
 
     #[test]
     fn accepts_clean_agreement() {
-        let run = ConsensusOutcome::new(vec![
-            po(0, Some((0, 2)), None),
-            po(1, Some((0, 2)), None),
-        ]);
+        let run = ConsensusOutcome::new(vec![po(0, Some((0, 2)), None), po(1, Some((0, 2)), None)]);
         assert!(check_uniform_consensus_strong(&run).is_ok());
     }
 
@@ -295,10 +299,7 @@ mod tests {
 
     #[test]
     fn detects_uniform_validity_breach() {
-        let run = ConsensusOutcome::new(vec![
-            po(5, Some((6, 1)), None),
-            po(5, Some((6, 1)), None),
-        ]);
+        let run = ConsensusOutcome::new(vec![po(5, Some((6, 1)), None), po(5, Some((6, 1)), None)]);
         assert!(matches!(
             check_uniform_consensus(&run),
             Err(ConsensusViolation::UniformValidity { .. })
@@ -307,10 +308,7 @@ mod tests {
 
     #[test]
     fn strong_validity_rejects_out_of_thin_air() {
-        let run = ConsensusOutcome::new(vec![
-            po(5, Some((6, 1)), None),
-            po(7, Some((6, 1)), None),
-        ]);
+        let run = ConsensusOutcome::new(vec![po(5, Some((6, 1)), None), po(7, Some((6, 1)), None)]);
         // Not unanimous, so plain uniform consensus passes…
         assert!(check_uniform_consensus(&run).is_ok());
         // …but the decision 6 was nobody's input.

@@ -67,6 +67,38 @@ pub trait RoundAlgorithm<V: Value>: fmt::Debug {
     fn round_horizon(&self, n: usize, t: usize) -> u32;
 }
 
+/// Marker: the algorithm commutes with *monotone* (order-preserving)
+/// relabelings of the input domain.
+///
+/// Formally, for every order-preserving injection `φ` on values, the
+/// run of the algorithm from inputs `φ(C)` is the `φ`-image of its run
+/// from `C`: same decision rounds, decisions mapped through `φ`.
+/// Algorithms that only ever *store, forward and `min`/`max`-compare*
+/// values qualify (the flood family decides `min(W)`; `A1` forwards
+/// values without inspecting them). An algorithm that branches on a
+/// specific literal (e.g. "decide 0 if ...") does not.
+///
+/// The symmetry-reduced verifier uses this to sweep only one initial
+/// configuration per monotone-relabeling orbit, scaling counterexample
+/// search and latency statistics by exact orbit counts.
+pub trait ValueSymmetric<V: Value>: RoundAlgorithm<V> {}
+
+/// Marker: [`ValueSymmetric`] *and* process-anonymous — the code run by
+/// process `p_i` does not depend on `i`.
+///
+/// Formally, for every permutation `π` of `Π`, the run from the
+/// permuted initial configuration `π·C` under the permuted failure
+/// pattern `π·F` is the `π`-image of the run from `C` under `F`.
+/// Algorithms whose [`RoundAlgorithm::spawn`] ignores `me` (and whose
+/// message handling never special-cases a sender identity) qualify.
+/// `A1` does **not**: its round structure hard-codes the roles of
+/// `p_1` and `p_2`.
+///
+/// This unlocks the full symmetry reduction: the verifier also
+/// quotients crash schedules and pending choices by the stabilizer of
+/// the initial configuration.
+pub trait SymmetricAlgorithm<V: Value>: ValueSymmetric<V> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -144,10 +144,7 @@ where
     type Msg = EmuMsg<P::Msg>;
     type Output = (P::Value, Round);
 
-    fn step(
-        &mut self,
-        ctx: StepContext<'_, Self::Msg>,
-    ) -> Option<(ProcessId, Self::Msg)> {
+    fn step(&mut self, ctx: StepContext<'_, Self::Msg>) -> Option<(ProcessId, Self::Msg)> {
         for env in ctx.received {
             let (src, payload) = (env.src, env.payload.clone());
             self.absorb(src, &payload);
@@ -258,10 +255,7 @@ where
     type Msg = EmuMsg<P::Msg>;
     type Output = (P::Value, Round);
 
-    fn step(
-        &mut self,
-        ctx: StepContext<'_, Self::Msg>,
-    ) -> Option<(ProcessId, Self::Msg)> {
+    fn step(&mut self, ctx: StepContext<'_, Self::Msg>) -> Option<(ProcessId, Self::Msg)> {
         for env in ctx.received {
             let (src, payload) = (env.src, env.payload.clone());
             self.absorb(src, &payload);
@@ -400,9 +394,7 @@ mod tests {
         let n = 3;
         let inputs = [5u64, 2, 9];
         let automata: Vec<BoxedAutomaton<EmuMsg<u64>, (u64, Round)>> = (0..n)
-            .map(|i| {
-                Box::new(RwsOnSp::new(spawn(i, inputs[i]), ProcessId::new(i), n, 1)) as _
-            })
+            .map(|i| Box::new(RwsOnSp::new(spawn(i, inputs[i]), ProcessId::new(i), n, 1)) as _)
             .collect();
         let mut adv = FairAdversary::new(n, 10_000);
         let result = run(
@@ -423,9 +415,7 @@ mod tests {
         let n = 3;
         let inputs = [1u64, 5, 9];
         let automata: Vec<BoxedAutomaton<EmuMsg<u64>, (u64, Round)>> = (0..n)
-            .map(|i| {
-                Box::new(RwsOnSp::new(spawn(i, inputs[i]), ProcessId::new(i), n, 1)) as _
-            })
+            .map(|i| Box::new(RwsOnSp::new(spawn(i, inputs[i]), ProcessId::new(i), n, 1)) as _)
             .collect();
         // p1 (holding the minimum) is initially dead; others must not
         // block forever: the detector eventually reports it.

@@ -69,8 +69,15 @@ pub fn run_rs_traced<V: Value, A: RoundAlgorithm<V>>(
     schedule: &CrashSchedule,
 ) -> TracedOutcome<V, <A::Process as RoundProcess>::Msg> {
     let mut trace = RoundTrace::new();
-    let outcome = run_rounds(algo, config, t, schedule, &PendingChoice::none(), Some(&mut trace))
-        .expect("empty pending choice is always valid");
+    let outcome = run_rounds(
+        algo,
+        config,
+        t,
+        schedule,
+        &PendingChoice::none(),
+        Some(&mut trace),
+    )
+    .expect("empty pending choice is always valid");
     (outcome, trace)
 }
 

@@ -16,7 +16,7 @@ use ssp_model::{ProcessId, ProcessSet, Round};
 /// A process's crash within a round-based run: it crashes *during*
 /// round `round`, after sending its round messages only to `sends_to`
 /// (receiving nothing and not applying `trans` that round).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RoundCrash {
     /// The round during which the process crashes.
     pub round: Round,
@@ -41,7 +41,7 @@ pub struct RoundCrash {
 /// assert!(s.is_alive_through(ProcessId::new(1), Round::new(5)));
 /// assert!(!s.is_alive_through(ProcessId::new(0), Round::FIRST));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CrashSchedule {
     crashes: Vec<Option<RoundCrash>>,
 }
@@ -99,6 +99,37 @@ impl CrashSchedule {
         }
     }
 
+    /// The schedule relabeled by the process permutation `perm`, where
+    /// `perm[i]` is the new index of the process previously at index
+    /// `i`. Crash rounds move with their process and `sends_to` sets
+    /// are remapped, so the permuted schedule describes the same
+    /// failure pattern acting on the renamed processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.n()` or `perm` is not a
+    /// permutation of `0..n`.
+    #[must_use]
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.n(), "permutation length mismatch");
+        let mut crashes = vec![None; self.n()];
+        for (i, c) in self.crashes.iter().enumerate() {
+            assert!(
+                crashes[perm[i]].is_none() || c.is_none(),
+                "not a permutation"
+            );
+            crashes[perm[i]] = c.map(|c| RoundCrash {
+                round: c.round,
+                sends_to: c
+                    .sends_to
+                    .iter()
+                    .map(|q| ProcessId::new(perm[q.index()]))
+                    .collect(),
+            });
+        }
+        CrashSchedule { crashes }
+    }
+
     /// Whether `p`'s round-`r` message to `dst` is actually emitted.
     #[must_use]
     pub fn emits(&self, p: ProcessId, r: Round, dst: ProcessId) -> bool {
@@ -146,7 +177,12 @@ impl fmt::Display for CrashSchedule {
 /// The `RWS` adversary's pending-message choice: a set of
 /// `(round, sender, receiver)` triples whose (sent!) message is
 /// withheld from the receiver.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// The triples are kept sorted, so equal choices always have equal
+/// representations and the derived `Ord` is a total order on the
+/// choice itself (used by the symmetry reduction to pick canonical
+/// orbit representatives).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct PendingChoice {
     withheld: Vec<(Round, ProcessId, ProcessId)>,
 }
@@ -160,10 +196,27 @@ impl PendingChoice {
 
     /// Withholds `sender`'s round-`round` message to `receiver`.
     pub fn withhold(&mut self, round: Round, sender: ProcessId, receiver: ProcessId) -> &mut Self {
-        if !self.is_withheld(round, sender, receiver) {
-            self.withheld.push((round, sender, receiver));
+        let triple = (round, sender, receiver);
+        if let Err(pos) = self.withheld.binary_search(&triple) {
+            self.withheld.insert(pos, triple);
         }
         self
+    }
+
+    /// The choice relabeled by the process permutation `perm`, where
+    /// `perm[i]` is the new index of the process previously at index
+    /// `i` (matching [`CrashSchedule::permuted`]).
+    #[must_use]
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        let mut out = PendingChoice::none();
+        for &(round, sender, receiver) in &self.withheld {
+            out.withhold(
+                round,
+                ProcessId::new(perm[sender.index()]),
+                ProcessId::new(perm[receiver.index()]),
+            );
+        }
+        out
     }
 
     /// Withholds `sender`'s round-`round` messages to everyone.
@@ -405,6 +458,42 @@ mod tests {
         pend.withhold_all(Round::FIRST, p(0), 3);
         assert_eq!(pend.len(), 3);
         assert!(pend.is_withheld(Round::FIRST, p(0), p(2)));
+    }
+
+    #[test]
+    fn permuted_schedule_moves_crash_and_remaps_sends() {
+        let mut s = CrashSchedule::none(3);
+        s.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::singleton(p(1)),
+            },
+        );
+        // Rotate 0→1→2→0.
+        let rot = s.permuted(&[1, 2, 0]);
+        assert!(rot.crash_of(p(0)).is_none());
+        let c = rot.crash_of(p(1)).expect("crash moved to p2");
+        assert_eq!(c.round, Round::new(2));
+        assert_eq!(c.sends_to, ProcessSet::singleton(p(2)));
+        // Identity round-trips; inverse rotation restores the original.
+        assert_eq!(s.permuted(&[0, 1, 2]), s);
+        assert_eq!(rot.permuted(&[2, 0, 1]), s);
+    }
+
+    #[test]
+    fn pending_representation_is_sorted_and_permutable() {
+        let mut pend = PendingChoice::none();
+        pend.withhold(Round::new(2), p(1), p(0));
+        pend.withhold(Round::FIRST, p(0), p(2));
+        assert_eq!(
+            pend.triples(),
+            &[(Round::FIRST, p(0), p(2)), (Round::new(2), p(1), p(0))]
+        );
+        let swapped = pend.permuted(&[0, 2, 1]);
+        assert!(swapped.is_withheld(Round::FIRST, p(0), p(1)));
+        assert!(swapped.is_withheld(Round::new(2), p(2), p(0)));
+        assert_eq!(swapped.permuted(&[0, 2, 1]), pend);
     }
 
     #[test]

@@ -203,10 +203,8 @@ where
     let n = config.n();
     assert_eq!(runtime.crashes.len(), n, "one crash slot per process");
     let horizon = algo.round_horizon(n, t);
-    let (net_tx, net_rxs) = spawn_network::<RoundWire<<A::Process as RoundProcess>::Msg>>(
-        n,
-        runtime.net.clone(),
-    );
+    let (net_tx, net_rxs) =
+        spawn_network::<RoundWire<<A::Process as RoundProcess>::Msg>>(n, runtime.net.clone());
 
     let board = HeartbeatBoard::new(n);
     let oracle = Oracle::new(
@@ -245,7 +243,18 @@ where
                 .name(format!("ssp-{me}"))
                 .spawn(move || {
                     worker(
-                        proc_, input, me, n, horizon, rx, tx, fd, board, oracle, crash, policy,
+                        proc_,
+                        input,
+                        me,
+                        n,
+                        horizon,
+                        rx,
+                        tx,
+                        fd,
+                        board,
+                        oracle,
+                        crash,
+                        policy,
                         round_timeout,
                     )
                 })
@@ -462,17 +471,18 @@ mod tests {
         // pending messages, real disagreement.
         let n = 3;
         let config = InitialConfig::new(vec![10u64, 11, 12]);
-        let net = NetConfig::bounded(Duration::from_millis(2), 9)
-            .with_sender_delay(p(0), n, Duration::from_secs(2));
-        let runtime = RuntimeConfig::sp_flavor(n, 9)
-            .with_net(net)
-            .with_crash(
-                p(0),
-                ThreadCrash {
-                    round: 2,
-                    after_sends: 0,
-                },
-            );
+        let net = NetConfig::bounded(Duration::from_millis(2), 9).with_sender_delay(
+            p(0),
+            n,
+            Duration::from_secs(2),
+        );
+        let runtime = RuntimeConfig::sp_flavor(n, 9).with_net(net).with_crash(
+            p(0),
+            ThreadCrash {
+                round: 2,
+                after_sends: 0,
+            },
+        );
         let result = run_threaded(&A1, &config, 1, runtime);
         // p1 decided its own value (self-delivery is internal, instant).
         assert_eq!(
@@ -493,17 +503,18 @@ mod tests {
     fn floodset_ws_survives_the_same_sp_adversary() {
         let n = 3;
         let config = InitialConfig::new(vec![10u64, 11, 12]);
-        let net = NetConfig::bounded(Duration::from_millis(2), 9)
-            .with_sender_delay(p(0), n, Duration::from_secs(2));
-        let runtime = RuntimeConfig::sp_flavor(n, 9)
-            .with_net(net)
-            .with_crash(
-                p(0),
-                ThreadCrash {
-                    round: 2,
-                    after_sends: 0,
-                },
-            );
+        let net = NetConfig::bounded(Duration::from_millis(2), 9).with_sender_delay(
+            p(0),
+            n,
+            Duration::from_secs(2),
+        );
+        let runtime = RuntimeConfig::sp_flavor(n, 9).with_net(net).with_crash(
+            p(0),
+            ThreadCrash {
+                round: 2,
+                after_sends: 0,
+            },
+        );
         let result = run_threaded(&FloodSetWs, &config, 1, runtime);
         check_uniform_consensus(&result.outcome).unwrap();
     }

@@ -143,14 +143,15 @@ impl Oracle {
     /// after their individual delays.
     pub fn report_crash(&self, p: ProcessId) {
         let mut rng = StdRng::seed_from_u64(self.seed.fetch_add(1, Ordering::Relaxed));
-        let span = self
-            .max_notify
-            .saturating_sub(self.min_notify)
-            .as_micros() as u64;
+        let span = self.max_notify.saturating_sub(self.min_notify).as_micros() as u64;
         let now = Instant::now();
         let delays: Vec<Instant> = (0..self.n)
             .map(|_| {
-                let extra = if span == 0 { 0 } else { rng.gen_range(0..=span) };
+                let extra = if span == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=span)
+                };
                 now + self.min_notify + Duration::from_micros(extra)
             })
             .collect();

@@ -216,8 +216,11 @@ mod tests {
 
     #[test]
     fn link_override_holds_messages_back() {
-        let config = NetConfig::bounded(Duration::from_millis(1), 7)
-            .with_link_delay(p(0), p(1), Duration::from_millis(150));
+        let config = NetConfig::bounded(Duration::from_millis(1), 7).with_link_delay(
+            p(0),
+            p(1),
+            Duration::from_millis(150),
+        );
         let (tx, rx) = spawn_network::<u32>(2, config);
         let t0 = Instant::now();
         tx.send(p(0), p(1), 42);

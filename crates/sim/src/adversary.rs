@@ -171,7 +171,10 @@ impl<M> Adversary<M> for FairAdversary {
         }
         // Early stop when the system is quiescent.
         let quiescent = view.all_alive_decided()
-            && view.alive.iter().all(|p| view.buffers[p.index()].is_empty());
+            && view
+                .alive
+                .iter()
+                .all(|p| view.buffers[p.index()].is_empty());
         if quiescent && self.emitted >= self.min_events {
             return None;
         }
@@ -534,10 +537,7 @@ mod chain_tests {
     #[test]
     fn chain_hands_over_between_stages() {
         let p0 = ProcessId::new(0);
-        let scripted = ScriptedAdversary::new(
-            vec![Event::Step(p0)],
-            vec![DeliveryChoice::Nothing],
-        );
+        let scripted = ScriptedAdversary::new(vec![Event::Step(p0)], vec![DeliveryChoice::Nothing]);
         let tail = FairAdversary::new(1, 2);
         let mut chain: ChainAdversary<u32> =
             ChainAdversary::new(vec![Box::new(scripted), Box::new(tail)]);

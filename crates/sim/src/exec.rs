@@ -16,9 +16,7 @@
 
 use core::fmt;
 
-use ssp_model::{
-    Buffer, Envelope, FailurePattern, ProcessId, ProcessSet, StepIndex, Time,
-};
+use ssp_model::{Buffer, Envelope, FailurePattern, ProcessId, ProcessSet, StepIndex, Time};
 
 use ssp_fd::FdHistory;
 
@@ -356,7 +354,10 @@ where
                 if let Some(phi) = phi {
                     for q in alive.iter() {
                         if q != p && since[p.index() * n + q.index()] >= phi {
-                            return Err(SimError::ProcessSynchrony { fast: p, starved: q });
+                            return Err(SimError::ProcessSynchrony {
+                                fast: p,
+                                starved: q,
+                            });
                         }
                     }
                 }
@@ -365,8 +366,8 @@ where
                     DeliveryChoice::All => buffers[p.index()].take_all(),
                     DeliveryChoice::Nothing => Vec::new(),
                     DeliveryChoice::Keys(keys) => {
-                        let taken = buffers[p.index()]
-                            .take_where(|e| keys.contains(&(e.src, e.sent_at)));
+                        let taken =
+                            buffers[p.index()].take_where(|e| keys.contains(&(e.src, e.sent_at)));
                         if taken.len() != keys.len() {
                             let missing = keys
                                 .into_iter()
@@ -383,9 +384,8 @@ where
                 // … plus Δ-overdue messages force-delivered in SS/DLS
                 // (pre-gst sends count as sent at gst).
                 if let Some((delta, gst)) = delta_gst {
-                    let overdue = buffers[p.index()].take_where(|e| {
-                        e.sent_at.position().max(gst) + delta <= global_step
-                    });
+                    let overdue = buffers[p.index()]
+                        .take_where(|e| e.sent_at.position().max(gst) + delta <= global_step);
                     received.extend(overdue);
                 }
                 // Failure-detector query phase (SP only).
@@ -551,8 +551,10 @@ mod tests {
             vec![Event::Crash(p(0)), Event::Step(p(0))],
             vec![DeliveryChoice::All],
         );
-        let automata: Vec<BoxedAutomaton<u32, u32>> =
-            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let automata: Vec<BoxedAutomaton<u32, u32>> = vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ];
         let err = run(ModelKind::Async, automata, &mut adv, 100).unwrap_err();
         assert_eq!(err, SimError::NotAlive(p(0)));
     }
@@ -586,8 +588,10 @@ mod tests {
             ],
             vec![DeliveryChoice::Nothing; 4],
         );
-        let automata: Vec<BoxedAutomaton<u32, u32>> =
-            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let automata: Vec<BoxedAutomaton<u32, u32>> = vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ];
         assert!(run(ModelKind::ss(2, 1), automata, &mut adv, 100).is_ok());
     }
 
@@ -603,8 +607,10 @@ mod tests {
             ],
             vec![DeliveryChoice::Nothing; 3],
         );
-        let automata: Vec<BoxedAutomaton<u32, u32>> =
-            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let automata: Vec<BoxedAutomaton<u32, u32>> = vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ];
         assert!(run(ModelKind::ss(1, 1), automata, &mut adv, 100).is_ok());
     }
 
@@ -634,14 +640,16 @@ mod tests {
         let delays = DetectionDelays::uniform(2, 2);
         let mut adv = ScriptedAdversary::new(
             vec![
-                Event::Crash(p(0)),  // t=0: crash
-                Event::Step(p(1)),   // t=1: not yet suspected
-                Event::Step(p(1)),   // t=2: suspected (0 + 2 ≤ 2)
+                Event::Crash(p(0)), // t=0: crash
+                Event::Step(p(1)),  // t=1: not yet suspected
+                Event::Step(p(1)),  // t=2: suspected (0 + 2 ≤ 2)
             ],
             vec![DeliveryChoice::All; 2],
         );
-        let automata: Vec<BoxedAutomaton<u32, u32>> =
-            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let automata: Vec<BoxedAutomaton<u32, u32>> = vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ];
         let result = run(ModelKind::sp(delays), automata, &mut adv, 100).unwrap();
         let view = result.trace.local_view(p(1));
         assert!(view[0].suspects.is_empty());
@@ -669,8 +677,10 @@ mod tests {
             vec![Event::Step(p(0))],
             vec![DeliveryChoice::Keys(vec![(p(1), StepIndex::new(9))])],
         );
-        let automata: Vec<BoxedAutomaton<u32, u32>> =
-            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let automata: Vec<BoxedAutomaton<u32, u32>> = vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ];
         let err = run(ModelKind::Async, automata, &mut adv, 100).unwrap_err();
         assert!(matches!(err, SimError::UnknownDeliveryKey { .. }));
     }
@@ -693,10 +703,8 @@ mod tests {
     fn replay_reproduces_trace() {
         let mut adv = FairAdversary::new(2, 100);
         let original = run(ModelKind::Async, ping_pair(), &mut adv, 1_000).unwrap();
-        let mut replay = ScriptedAdversary::replay(
-            original.trace.schedule(),
-            original.trace.delivery_script(),
-        );
+        let mut replay =
+            ScriptedAdversary::replay(original.trace.schedule(), original.trace.delivery_script());
         let replayed = run(ModelKind::Async, ping_pair(), &mut replay, 1_000).unwrap();
         assert_eq!(replayed.outputs, original.outputs);
         assert_eq!(replayed.trace.events(), original.trace.events());
@@ -715,17 +723,18 @@ mod dls_tests {
     }
 
     fn idle_pair() -> Vec<BoxedAutomaton<u32, u32>> {
-        vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())]
+        vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ]
     }
 
     #[test]
     fn pre_gst_scheduling_is_unconstrained() {
         // Φ=1 would forbid consecutive steps in SS; before gst=4 the
         // DLS adversary may starve p2 freely.
-        let mut adv = ScriptedAdversary::new(
-            vec![Event::Step(p(0)); 4],
-            vec![DeliveryChoice::Nothing; 4],
-        );
+        let mut adv =
+            ScriptedAdversary::new(vec![Event::Step(p(0)); 4], vec![DeliveryChoice::Nothing; 4]);
         run(ModelKind::dls(1, 1, 4), idle_pair(), &mut adv, 100)
             .expect("pre-gst starvation is legal in DLS");
     }
@@ -734,10 +743,8 @@ mod dls_tests {
     fn post_gst_phi_is_enforced() {
         // gst=2: the first two consecutive p1 steps are free; the next
         // pair (indices 2 and 3, both ≥ gst) violate Φ=1.
-        let mut adv = ScriptedAdversary::new(
-            vec![Event::Step(p(0)); 4],
-            vec![DeliveryChoice::Nothing; 4],
-        );
+        let mut adv =
+            ScriptedAdversary::new(vec![Event::Step(p(0)); 4], vec![DeliveryChoice::Nothing; 4]);
         let err = run(ModelKind::dls(1, 1, 2), idle_pair(), &mut adv, 100).unwrap_err();
         assert_eq!(
             err,

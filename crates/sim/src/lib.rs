@@ -47,7 +47,10 @@ pub mod exec;
 pub mod trace;
 pub mod validate;
 
-pub use adversary::{Adversary, ChainAdversary, Choice, DeliveryChoice, ExecView, FairAdversary, RandomAdversary, ScriptedAdversary};
+pub use adversary::{
+    Adversary, ChainAdversary, Choice, DeliveryChoice, ExecView, FairAdversary, RandomAdversary,
+    ScriptedAdversary,
+};
 pub use automaton::{BoxedAutomaton, IdleAutomaton, RoundRobinSender, StepAutomaton, StepContext};
 pub use exec::{run, DetectionDelays, ModelKind, RunResult, SimError};
 pub use trace::{Event, LocalObservation, StepRecord, Trace, TraceEvent};

@@ -235,7 +235,11 @@ impl<M: Clone + fmt::Debug + PartialEq> fmt::Display for Trace<M> {
                         s.own_step
                     )?;
                     if !s.received.is_empty() {
-                        write!(f, " recv {:?}", s.received.iter().map(|e| e.src).collect::<Vec<_>>())?;
+                        write!(
+                            f,
+                            " recv {:?}",
+                            s.received.iter().map(|e| e.src).collect::<Vec<_>>()
+                        )?;
                     }
                     if !s.suspects.is_empty() {
                         write!(f, " suspects {}", s.suspects)?;

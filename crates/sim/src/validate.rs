@@ -167,9 +167,8 @@ where
                 // Message synchrony: everything overdue must be in `received`.
                 let received: Vec<(ProcessId, StepIndex)> =
                     s.received.iter().map(|e| (e.src, e.sent_at)).collect();
-                outstanding[p.index()].retain(|&(src, sent_at)| {
-                    !received.contains(&(src, sent_at))
-                });
+                outstanding[p.index()]
+                    .retain(|&(src, sent_at)| !received.contains(&(src, sent_at)));
                 if let Some(&(src, sent_at)) = outstanding[p.index()]
                     .iter()
                     .find(|&&(_, sent_at)| sent_at.position() + delta <= s.global_step.position())
@@ -235,8 +234,10 @@ mod tests {
         // legitimately still in flight, so prune: deliver-all fair runs
         // only leave the final messages. We check the validator's
         // positive path on a quiescent idle run instead.
-        let idle: Vec<BoxedAutomaton<u32, u32>> =
-            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let idle: Vec<BoxedAutomaton<u32, u32>> = vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ];
         let mut adv2 = FairAdversary::new(2, 10).with_min_events(10);
         let r2 = run(ModelKind::ss(1, 2), idle, &mut adv2, 1_000).unwrap();
         validate_basic(&r2.trace).unwrap();
@@ -250,8 +251,10 @@ mod tests {
             vec![Event::Step(p(0)), Event::Step(p(0))],
             vec![DeliveryChoice::Nothing; 2],
         );
-        let idle: Vec<BoxedAutomaton<u32, u32>> =
-            vec![Box::new(IdleAutomaton::new()), Box::new(IdleAutomaton::new())];
+        let idle: Vec<BoxedAutomaton<u32, u32>> = vec![
+            Box::new(IdleAutomaton::new()),
+            Box::new(IdleAutomaton::new()),
+        ];
         let result = run(ModelKind::Async, idle, &mut adv, 100).unwrap();
         let err = validate_ss(&result.trace, 1, 1).unwrap_err();
         assert!(matches!(err, TraceViolation::ProcessSynchrony { .. }));

@@ -15,7 +15,13 @@ fn main() {
     println!("All processes vote Yes; crashes and pending choices are adversarial-random.\n");
 
     let mut table = Table::new(vec![
-        "n", "t", "crash-prob", "trials", "RS commit-rate", "RWS commit-rate", "gap runs",
+        "n",
+        "t",
+        "crash-prob",
+        "trials",
+        "RS commit-rate",
+        "RWS commit-rate",
+        "gap runs",
     ]);
     for (n, t) in [(3usize, 1usize), (4, 1), (4, 2), (5, 2)] {
         for crash_prob in [0.2, 0.5, 0.8] {

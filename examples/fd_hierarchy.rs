@@ -36,10 +36,16 @@ fn main() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let h = eventually_perfect_history(&pattern, 3, Time::new(40), &mut rng);
-    row("transient false suspicions", classify(&pattern, &h, Time::new(200)));
+    row(
+        "transient false suspicions",
+        classify(&pattern, &h, Time::new(200)),
+    );
 
     let h = strong_history(&pattern, 3, p(0), &[(p(1), p(2))]);
-    row("permanent false suspicion (p1 immune)", classify(&pattern, &h, Time::new(100)));
+    row(
+        "permanent false suspicion (p1 immune)",
+        classify(&pattern, &h, Time::new(100)),
+    );
 
     println!("{table}");
 

@@ -15,11 +15,44 @@ use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::report::Table;
 use ssp::lab::{
     all_round1_candidates, explore_rs, explore_rws, refute, refute_round1_candidate,
-    run_adaptive_experiment, run_heartbeat_experiment, verify_rs, verify_rws, LatencyAggregator,
-    SddRefutation, ValidityMode,
+    run_adaptive_experiment, run_heartbeat_experiment, LatencyAggregator, RoundModel,
+    SddRefutation, Symmetry, ValidityMode, Verification, Verifier,
 };
 use ssp::model::ProcessId;
 use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
+
+/// Exhaustive `RS` sweep through the unified builder.
+fn verify_rs<A: RoundAlgorithm<u64> + Sync>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[u64],
+    mode: ValidityMode,
+) -> Verification<u64> {
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .run()
+}
+
+/// Exhaustive `RWS` sweep through the unified builder.
+fn verify_rws<A: RoundAlgorithm<u64> + Sync>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[u64],
+    mode: ValidityMode,
+) -> Verification<u64> {
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .model(RoundModel::Rws)
+        .run()
+}
 
 fn banner(s: &str) {
     println!("\n{}\n{s}\n{}", "=".repeat(s.len()), "=".repeat(s.len()));
@@ -47,14 +80,66 @@ fn main() {
             },
         ]);
     };
-    add("FloodSet", "RS", (3, 2), &verify_rs(&FloodSet, 3, 2, &[0, 1], ValidityMode::Strong));
-    add("FloodSet", "RWS", (3, 1), &verify_rws(&FloodSet, 3, 1, &[0, 1], ValidityMode::Uniform));
-    add("FloodSetWS", "RWS", (3, 2), &verify_rws(&FloodSetWs, 3, 2, &[0, 1], ValidityMode::Strong));
-    add("A1", "RS", (3, 1), &verify_rs(&A1, 3, 1, &[0, 1], ValidityMode::Strong));
-    add("A1", "RWS", (3, 1), &verify_rws(&A1, 3, 1, &[0, 1], ValidityMode::Uniform));
-    add("EarlyDeciding", "RS", (3, 2), &verify_rs(&EarlyDeciding, 3, 2, &[0, 1], ValidityMode::Strong));
-    add("EarlyDecidingWS", "RWS", (3, 2), &verify_rws(&EarlyDecidingWs, 3, 2, &[0, 1], ValidityMode::Strong));
+    add(
+        "FloodSet",
+        "RS",
+        (3, 2),
+        &verify_rs(&FloodSet, 3, 2, &[0, 1], ValidityMode::Strong),
+    );
+    add(
+        "FloodSet",
+        "RWS",
+        (3, 1),
+        &verify_rws(&FloodSet, 3, 1, &[0, 1], ValidityMode::Uniform),
+    );
+    add(
+        "FloodSetWS",
+        "RWS",
+        (3, 2),
+        &verify_rws(&FloodSetWs, 3, 2, &[0, 1], ValidityMode::Strong),
+    );
+    add(
+        "A1",
+        "RS",
+        (3, 1),
+        &verify_rs(&A1, 3, 1, &[0, 1], ValidityMode::Strong),
+    );
+    add(
+        "A1",
+        "RWS",
+        (3, 1),
+        &verify_rws(&A1, 3, 1, &[0, 1], ValidityMode::Uniform),
+    );
+    add(
+        "EarlyDeciding",
+        "RS",
+        (3, 2),
+        &verify_rs(&EarlyDeciding, 3, 2, &[0, 1], ValidityMode::Strong),
+    );
+    add(
+        "EarlyDecidingWS",
+        "RWS",
+        (3, 2),
+        &verify_rws(&EarlyDecidingWs, 3, 2, &[0, 1], ValidityMode::Strong),
+    );
     println!("{table}");
+
+    // The same FloodSetWS space once more, quotiented by symmetry: the
+    // verdict and represented coverage are identical, the work is not.
+    let sym = Verifier::new(&FloodSetWs)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .threads(4)
+        .symmetry(Symmetry::Full)
+        .run();
+    sym.expect_ok();
+    println!(
+        "symmetry-reduced FloodSetWS RWS (3,2): {} canonical runs stand for {} total",
+        sym.runs, sym.represented
+    );
 
     banner("E6–E8 — latency degrees (exhaustive, n=3, t=1, binary inputs)");
     let mut table = Table::new(vec!["algorithm", "model", "lat", "Lat", "Λ"]);
@@ -101,7 +186,10 @@ fn main() {
         .iter()
         .filter(|c| refute_round1_candidate(c, 3).is_some())
         .count();
-    println!("{refuted}/{} candidates refuted in RWS (all of them).", candidates.len());
+    println!(
+        "{refuted}/{} candidates refuted in RWS (all of them).",
+        candidates.len()
+    );
 
     banner("E10 — commit-rate gap (all-Yes votes, adversarial crashes)");
     let mut table = Table::new(vec!["n", "t", "crash-prob", "RS rate", "RWS rate", "gap"]);

@@ -45,7 +45,16 @@ fn row(name: &str, model: &str, n: usize, t: usize, agg: &LatencyAggregator<u64>
 
 fn main() {
     let (n, t) = (3, 1);
-    let mut table = Table::new(vec!["algorithm", "model", "n", "t", "runs", "lat", "Lat", "Λ"]);
+    let mut table = Table::new(vec![
+        "algorithm",
+        "model",
+        "n",
+        "t",
+        "runs",
+        "lat",
+        "Lat",
+        "Λ",
+    ]);
     table.row(measure_rs(&FloodSet, n, t));
     table.row(measure_rws(&FloodSetWs, n, t));
     table.row(measure_rs(&COptFloodSet, n, t));

@@ -29,8 +29,11 @@ fn main() {
 
     println!("== SP flavour: p1's links slowed to 2s, oracle detector ==");
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let net = NetConfig::bounded(Duration::from_millis(2), 9)
-        .with_sender_delay(p(0), n, Duration::from_secs(2));
+    let net = NetConfig::bounded(Duration::from_millis(2), 9).with_sender_delay(
+        p(0),
+        n,
+        Duration::from_secs(2),
+    );
     let runtime = RuntimeConfig::sp_flavor(n, 9).with_net(net).with_crash(
         p(0),
         ThreadCrash {

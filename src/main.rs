@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ssp latency   [-n N] [-t T]                      lat/Lat/Λ table (§5.2)
-//! ssp verify    <algo> <rs|rws> [-n N] [-t T]      exhaustive verification
+//! ssp verify    <algo> <rs|rws> [-n N] [-t T] [--threads K] [--sym off|values|full]
 //! ssp sample    <algo> <rs|rws> [-n N] [-t T] [--trials K] [--seed S]
 //! ssp refute-sdd [--patience K]                    Theorem 3.1, mechanized
 //! ssp commit    [--trials K] [--crash-prob P]      §3 commit-rate gap
@@ -24,8 +24,8 @@ use ssp::fd::classify;
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::report::Table;
 use ssp::lab::{
-    explore_rs, explore_rws, refute, run_heartbeat_experiment, sample_verify_rs,
-    sample_verify_rws, verify_rs, verify_rws, LatencyAggregator, SampleSpace, ValidityMode,
+    refute, run_heartbeat_experiment, LatencyAggregator, RoundModel, SampleSpace, Symmetry,
+    ValidityMode, Verification, Verifier,
 };
 use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
 
@@ -132,18 +132,69 @@ macro_rules! with_algo {
     };
 }
 
+/// Like [`with_algo!`] but only over the process-symmetric algorithms
+/// (everything except `a1`, whose round-1/round-2 roles are hard-coded
+/// to `p1`/`p2`), so the body may call `Verifier::symmetry`.
+macro_rules! with_symmetric_algo {
+    ($name:expr, $algo:ident => $body:expr) => {
+        match $name {
+            "floodset" => {
+                let $algo = FloodSet;
+                Ok($body)
+            }
+            "floodset-ws" => {
+                let $algo = FloodSetWs;
+                Ok($body)
+            }
+            "c-opt" => {
+                let $algo = COptFloodSet;
+                Ok($body)
+            }
+            "c-opt-ws" => {
+                let $algo = COptFloodSetWs;
+                Ok($body)
+            }
+            "f-opt" => {
+                let $algo = FOptFloodSet;
+                Ok($body)
+            }
+            "f-opt-ws" => {
+                let $algo = FOptFloodSetWs;
+                Ok($body)
+            }
+            "early" => {
+                let $algo = EarlyDeciding;
+                Ok($body)
+            }
+            "early-ws" => {
+                let $algo = EarlyDecidingWs;
+                Ok($body)
+            }
+            "a1" => Err(
+                "a1 is not process-symmetric (p1/p2 play fixed roles); use --sym values or --sym off"
+                    .to_string(),
+            ),
+            other => Err(format!(
+                "unknown algorithm {other:?} (try: floodset, floodset-ws, c-opt, c-opt-ws, f-opt, f-opt-ws, a1, early, early-ws)"
+            )),
+        }
+    };
+}
+
 fn cmd_latency(flags: &Flags) -> Result<(), String> {
     let n = flags.usize_or("n", 3)?;
     let t = flags.usize_or("t", 1)?;
     let mut table = Table::new(vec!["algorithm", "model", "runs", "lat", "Lat", "Λ"]);
     let fmt = |v: Option<u32>| v.map_or("-".into(), |x| x.to_string());
-    macro_rules! rs_row {
-        ($algo:expr) => {{
-            let mut agg = LatencyAggregator::new();
-            explore_rs(&$algo, n, t, &[0u64, 1], |run| agg.add(run));
+    // Symmetric algorithms sweep only canonical orbit representatives;
+    // the orbit-weighted aggregator makes the table exact regardless.
+    macro_rules! row {
+        ($algo:expr, $model:expr, $verifier:expr) => {{
+            let v: Verification<u64> = $verifier.collect_latency().run();
+            let agg = v.latency.expect("collect_latency was requested");
             table.row(vec![
                 RoundAlgorithm::<u64>::name(&$algo).to_string(),
-                "RS".into(),
+                $model.to_string(),
                 agg.runs.to_string(),
                 fmt(agg.lat()),
                 fmt(agg.lat_max_over_configs()),
@@ -151,19 +202,23 @@ fn cmd_latency(flags: &Flags) -> Result<(), String> {
             ]);
         }};
     }
+    macro_rules! rs_row {
+        ($algo:expr) => {
+            row!(
+                $algo,
+                "RS",
+                base_verifier(&$algo, RoundModel::Rs, n, t, 1).symmetry(Symmetry::Full)
+            )
+        };
+    }
     macro_rules! rws_row {
-        ($algo:expr) => {{
-            let mut agg = LatencyAggregator::new();
-            explore_rws(&$algo, n, t, &[0u64, 1], |run| agg.add(run));
-            table.row(vec![
-                RoundAlgorithm::<u64>::name(&$algo).to_string(),
-                "RWS".into(),
-                agg.runs.to_string(),
-                fmt(agg.lat()),
-                fmt(agg.lat_max_over_configs()),
-                fmt(agg.capital_lambda()),
-            ]);
-        }};
+        ($algo:expr) => {
+            row!(
+                $algo,
+                "RWS",
+                base_verifier(&$algo, RoundModel::Rws, n, t, 1).symmetry(Symmetry::Full)
+            )
+        };
     }
     rs_row!(FloodSet);
     rws_row!(FloodSetWs);
@@ -172,7 +227,12 @@ fn cmd_latency(flags: &Flags) -> Result<(), String> {
     rs_row!(FOptFloodSet);
     rws_row!(FOptFloodSetWs);
     if t == 1 {
-        rs_row!(A1);
+        // A1 is value- but not process-symmetric: values-only reduction.
+        row!(
+            A1,
+            "RS",
+            base_verifier(&A1, RoundModel::Rs, n, t, 1).symmetry_values()
+        );
     }
     rs_row!(EarlyDeciding);
     rws_row!(EarlyDecidingWs);
@@ -180,32 +240,79 @@ fn cmd_latency(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The shared front half of an exhaustive CLI sweep.
+fn base_verifier<A>(
+    algo: &A,
+    model: RoundModel,
+    n: usize,
+    t: usize,
+    threads: usize,
+) -> Verifier<'_, u64, A>
+where
+    A: RoundAlgorithm<u64> + Sync,
+{
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(BINARY)
+        .mode(ValidityMode::Strong)
+        .model(model)
+        .threads(threads)
+}
+
+const BINARY: &[u64] = &[0, 1];
+
 fn cmd_verify(flags: &Flags) -> Result<(), String> {
-    let algo_name = flags
-        .positional
-        .get(1)
-        .ok_or("usage: ssp verify <algo> <rs|rws> [-n N] [-t T]")?
-        .as_str();
-    let model = flags
-        .positional
-        .get(2)
-        .ok_or("usage: ssp verify <algo> <rs|rws> [-n N] [-t T]")?
-        .as_str();
+    const USAGE: &str =
+        "usage: ssp verify <algo> <rs|rws> [-n N] [-t T] [--threads K] [--sym off|values|full]";
+    let algo_name = flags.positional.get(1).ok_or(USAGE)?.as_str();
+    let model_name = flags.positional.get(2).ok_or(USAGE)?.as_str();
+    let model = match model_name {
+        "rs" => RoundModel::Rs,
+        "rws" => RoundModel::Rws,
+        other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    };
     let n = flags.usize_or("n", 3)?;
     let t = flags.usize_or("t", 1)?;
-    let verification = with_algo!(algo_name, algo => match model {
-        "rs" => verify_rs(&algo, n, t, &[0u64, 1], ValidityMode::Strong),
-        "rws" => verify_rws(&algo, n, t, &[0u64, 1], ValidityMode::Strong),
-        other => return Err(format!("unknown model {other:?} (rs or rws)")),
-    })?;
+    let threads = flags.usize_or("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads: at least one worker required".to_string());
+    }
+    let verification: Verification<u64> = match flags.get("sym").unwrap_or("off") {
+        "off" => with_algo!(algo_name, algo => {
+            base_verifier(&algo, model, n, t, threads).run()
+        })?,
+        "values" => with_algo!(algo_name, algo => {
+            base_verifier(&algo, model, n, t, threads).symmetry_values().run()
+        })?,
+        "full" => with_symmetric_algo!(algo_name, algo => {
+            base_verifier(&algo, model, n, t, threads).symmetry(Symmetry::Full).run()
+        })?,
+        other => {
+            return Err(format!(
+                "--sym: unknown setting {other:?} (off, values or full)"
+            ))
+        }
+    };
     match &verification.counterexample {
-        None => println!(
-            "{algo_name} in {model}: OK over {} exhaustively enumerated runs (n={n}, t={t})",
-            verification.runs
-        ),
+        None => {
+            if verification.represented > verification.runs {
+                println!(
+                    "{algo_name} in {model_name}: OK over {} canonical runs representing {} \
+                     (n={n}, t={t})",
+                    verification.runs, verification.represented
+                );
+            } else {
+                println!(
+                    "{algo_name} in {model_name}: OK over {} exhaustively enumerated runs \
+                     (n={n}, t={t})",
+                    verification.runs
+                );
+            }
+        }
         Some(cex) => {
             println!(
-                "{algo_name} in {model}: VIOLATION after {} runs (n={n}, t={t})\n\n{cex}",
+                "{algo_name} in {model_name}: VIOLATION after {} runs (n={n}, t={t})\n\n{cex}",
                 verification.runs
             );
         }
@@ -228,21 +335,35 @@ fn cmd_sample(flags: &Flags) -> Result<(), String> {
     let t = flags.usize_or("t", 2)?;
     let trials = flags.u64_or("trials", 5_000)?;
     let seed = flags.u64_or("seed", 42)?;
-    let space = SampleSpace::adversarial(n, t);
-    let v = with_algo!(algo_name, algo => match model {
-        "rs" => sample_verify_rs(&algo, &space, &[0u64, 1, 2], trials, seed, ValidityMode::Strong),
-        "rws" => sample_verify_rws(&algo, &space, &[0u64, 1, 2], trials, seed, ValidityMode::Strong),
+    let model_enum = match model {
+        "rs" => RoundModel::Rs,
+        "rws" => RoundModel::Rws,
         other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    };
+    let space = SampleSpace::adversarial(n, t);
+    let v: Verification<u64> = with_algo!(algo_name, algo => {
+        Verifier::new(&algo)
+            .n(n)
+            .t(t)
+            .domain(&[0u64, 1, 2])
+            .mode(ValidityMode::Strong)
+            .model(model_enum)
+            .sample(trials, seed)
+            .sample_space(space)
+            .run()
     })?;
     match &v.counterexample {
         None => println!(
-            "{algo_name} in {model}: OK over {} sampled runs (n={n}, t={t}, seed {seed}); Λ over samples = {:?}",
-            v.trials,
-            v.latency.capital_lambda()
+            "{algo_name} in {model}: OK over {} sampled runs (n={n}, t={t}, seed {seed}); Λ over samples = {}",
+            v.runs,
+            v.latency
+                .as_ref()
+                .and_then(LatencyAggregator::capital_lambda)
+                .map_or_else(|| "-".to_string(), |x| x.to_string())
         ),
         Some(cex) => println!(
             "{algo_name} in {model}: VIOLATION at sampled run #{}\n\n{cex}",
-            v.trials
+            v.runs
         ),
     }
     Ok(())
@@ -270,7 +391,10 @@ fn cmd_commit(flags: &Flags) -> Result<(), String> {
     );
     println!("  RS  (SS side):  {:.3}", report.rs_rate());
     println!("  RWS (SP side):  {:.3}", report.rws_rate());
-    println!("  gap runs (RS committed, RWS aborted): {}", report.gap_runs);
+    println!(
+        "  gap runs (RS committed, RWS aborted): {}",
+        report.gap_runs
+    );
     Ok(())
 }
 
@@ -287,7 +411,10 @@ fn cmd_heartbeat(flags: &Flags) -> Result<(), String> {
     println!("heartbeats + (Φ+1)(n−1)+Δ timeout in SS(Φ={phi}, Δ={delta}), n={n}:");
     println!("  scenario: {}", exp.pattern);
     println!("  classification: {props}");
-    println!("  ⇒ perfect failure detection, as §3 promises: {}", props.is_perfect());
+    println!(
+        "  ⇒ perfect failure detection, as §3 promises: {}",
+        props.is_perfect()
+    );
     Ok(())
 }
 
@@ -296,7 +423,11 @@ fn cmd_emulation(flags: &Flags) -> Result<(), String> {
     let phi = flags.u64_or("phi", 1)?;
     let delta = flags.u64_or("delta", 1)?;
     let rounds = flags.u64_or("r", 5)? as u32;
-    let mut table = Table::new(vec!["round r", "K_r (cumulative steps)", "k_r (null steps)"]);
+    let mut table = Table::new(vec![
+        "round r",
+        "K_r (cumulative steps)",
+        "k_r (null steps)",
+    ]);
     for r in 1..=rounds {
         let k_r = cumulative_round_budget(phi, delta, n, r);
         let k_prev = cumulative_round_budget(phi, delta, n, r - 1);
@@ -315,7 +446,7 @@ const USAGE: &str = "usage: ssp <command> [options]
 
 commands:
   latency    [-n N] [-t T]                         lat/Lat/Λ table (§5.2)
-  verify     <algo> <rs|rws> [-n N] [-t T]         exhaustive verification
+  verify     <algo> <rs|rws> [-n N] [-t T] [--threads K] [--sym off|values|full]
   sample     <algo> <rs|rws> [-n N] [-t T] [--trials K] [--seed S]
   refute-sdd [--patience K]                        Theorem 3.1, mechanized
   commit     [-n N] [-t T] [--trials K] [--crash-prob P]
@@ -407,6 +538,22 @@ mod tests {
     fn verify_a1_rws_reports_violation_without_failing() {
         // A violation is a *finding*, not a CLI error.
         dispatch(&argv("verify a1 rws -n 3 -t 1")).unwrap();
+    }
+
+    #[test]
+    fn verify_with_symmetry_and_threads_succeeds() {
+        dispatch(&argv(
+            "verify floodset-ws rws -n 3 -t 1 --threads 2 --sym full",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn verify_a1_with_full_symmetry_is_rejected() {
+        // a1 is value- but not process-symmetric; the CLI mirrors the
+        // compile-time gate.
+        assert!(dispatch(&argv("verify a1 rs --sym full")).is_err());
+        dispatch(&argv("verify a1 rs --sym values")).unwrap();
     }
 
     #[test]

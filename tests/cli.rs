@@ -67,7 +67,17 @@ fn refute_sdd_tells_the_story() {
 
 #[test]
 fn emulation_budget_table() {
-    let (ok, stdout, _) = ssp(&["emulation", "-n", "3", "--phi", "1", "--delta", "1", "-r", "3"]);
+    let (ok, stdout, _) = ssp(&[
+        "emulation",
+        "-n",
+        "3",
+        "--phi",
+        "1",
+        "--delta",
+        "1",
+        "-r",
+        "3",
+    ]);
     assert!(ok);
     assert!(stdout.contains("56"), "K_3 = 56 expected in:\n{stdout}");
 }

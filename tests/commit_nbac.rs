@@ -23,8 +23,7 @@ fn vote_flood_rs_exhaustive() {
         let mut runs = 0u64;
         explore_rs(&VoteFlood, 3, t, &[false, true], |run| {
             runs += 1;
-            let survived =
-                votes_all_survive(3, horizon, run.schedule, &PendingChoice::none());
+            let survived = votes_all_survive(3, horizon, run.schedule, &PendingChoice::none());
             check_nbac(&run.outcome, NonTriviality::SddBoosted, survived).unwrap_or_else(|e| {
                 panic!("t={t}: {e}\nschedule {}\n{}", run.schedule, run.outcome)
             });

@@ -10,9 +10,7 @@
 //!   on traces.
 
 use ssp::algos::{FloodSet, FloodSetWs, A1};
-use ssp::model::{
-    ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, ProcessSet, Round,
-};
+use ssp::model::{ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, ProcessSet, Round};
 use ssp::rounds::{
     cumulative_round_budget, round_of_step, run_rs, CrashSchedule, EmuMsg, RoundAlgorithm,
     RoundCrash, RsOnSs, RwsOnSp,
@@ -146,15 +144,10 @@ fn rs_on_ss_matches_direct_rs_under_fair_schedules() {
         for k in 0..=budget + 1 {
             let mut crash_after = vec![None, None, None];
             crash_after[victim] = Some(k);
-            let emulated =
-                run_emulation(&FloodSet, &config, t, phi, delta, &crash_after, None);
+            let emulated = run_emulation(&FloodSet, &config, t, phi, delta, &crash_after, None);
             let schedule = derived_schedule(phi, delta, n, horizon, &crash_after);
             let direct = run_rs(&FloodSet, &config, t, &schedule);
-            assert_eq!(
-                emulated, direct,
-                "victim p{} at own-step {k}",
-                victim + 1
-            );
+            assert_eq!(emulated, direct, "victim p{} at own-step {k}", victim + 1);
         }
     }
 }
@@ -234,9 +227,9 @@ fn rws_on_sp_satisfies_weak_round_synchrony() {
             let delivered_at = result.trace.events().iter().find_map(|e| match e {
                 TraceEvent::Step(t)
                     if t.process == receiver
-                        && t.received.iter().any(|d| {
-                            d.src == env.src && d.sent_at == env.sent_at
-                        }) =>
+                        && t.received
+                            .iter()
+                            .any(|d| d.src == env.src && d.sent_at == env.sent_at) =>
                 {
                     Some(t.global_step.position())
                 }
@@ -272,7 +265,9 @@ fn rws_on_sp_satisfies_weak_round_synchrony() {
 #[test]
 fn emulation_budget_shape() {
     // Geometric in r.
-    let k: Vec<u64> = (0..=5).map(|r| cumulative_round_budget(1, 1, 3, r)).collect();
+    let k: Vec<u64> = (0..=5)
+        .map(|r| cumulative_round_budget(1, 1, 3, r))
+        .collect();
     for w in k.windows(3).skip(1) {
         let g1 = w[1] as f64 / w[0] as f64;
         let g2 = w[2] as f64 / w[1] as f64;

@@ -3,7 +3,7 @@
 //! counts quoted in EXPERIMENTS.md are pinned.
 
 use ssp::algos::{COptFloodSet, EarlyDeciding, FOptFloodSet, FloodSet, FloodSetWs};
-use ssp::lab::{crash_schedules, verify_rs, verify_rs_parallel, verify_rws, verify_rws_parallel, ValidityMode};
+use ssp::lab::{crash_schedules, RoundModel, Symmetry, ValidityMode, Verifier};
 
 /// Pin the run-space sizes EXPERIMENTS.md quotes.
 #[test]
@@ -16,40 +16,104 @@ fn run_space_sizes_are_as_documented() {
 
 #[test]
 fn floodset_rs_exhaustive_n3_t2_run_count() {
-    let v = verify_rs(&FloodSet, 3, 2, &[0u64, 1], ValidityMode::Strong);
+    let v = Verifier::new(&FloodSet)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .run();
     assert_eq!(v.runs, 8 * 3169, "configs × schedules");
+    v.expect_ok();
+}
+
+/// The symmetry-reduced sweep covers (counts) the identical space while
+/// executing strictly fewer runs.
+#[test]
+fn floodset_rs_symmetric_sweep_represents_the_full_space() {
+    let v = Verifier::new(&FloodSet)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .symmetry(Symmetry::Full)
+        .run();
+    assert_eq!(v.represented, 8 * 3169, "orbit weights cover the space");
+    assert!(v.runs < 8 * 3169 / 2, "canonical runs: {}", v.runs);
     v.expect_ok();
 }
 
 #[test]
 fn early_deciding_rs_exhaustive_n3_t2() {
-    verify_rs(&EarlyDeciding, 3, 2, &[0u64, 1], ValidityMode::Strong).expect_ok();
+    Verifier::new(&EarlyDeciding)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .run()
+        .expect_ok();
 }
 
 #[test]
 fn early_deciding_rs_exhaustive_n4_t2() {
-    verify_rs_parallel(&EarlyDeciding, 4, 2, &[0u64, 1], ValidityMode::Strong, 8).expect_ok();
+    Verifier::new(&EarlyDeciding)
+        .n(4)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .threads(8)
+        .symmetry(Symmetry::Full)
+        .run()
+        .expect_ok();
 }
 
 #[test]
 fn f_opt_rs_exhaustive_n3_t2() {
-    verify_rs(&FOptFloodSet, 3, 2, &[0u64, 1], ValidityMode::Strong).expect_ok();
+    Verifier::new(&FOptFloodSet)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .run()
+        .expect_ok();
 }
 
 #[test]
 fn c_opt_rs_exhaustive_n3_t2() {
-    verify_rs(&COptFloodSet, 3, 2, &[0u64, 1], ValidityMode::Strong).expect_ok();
+    Verifier::new(&COptFloodSet)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .run()
+        .expect_ok();
 }
 
 #[test]
 fn f_opt_rs_exhaustive_n4_t1() {
-    verify_rs(&FOptFloodSet, 4, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();
+    Verifier::new(&FOptFloodSet)
+        .n(4)
+        .t(1)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .run()
+        .expect_ok();
 }
 
 #[test]
 fn floodset_ws_rws_exhaustive_n3_t2_run_count() {
-    let v = verify_rws_parallel(&FloodSetWs, 3, 2, &[0u64, 1], ValidityMode::Strong, 8);
-    assert!(v.runs > 100_000, "pending dimension multiplies the space: {}", v.runs);
+    let v = Verifier::new(&FloodSetWs)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .threads(8)
+        .run();
+    assert!(
+        v.runs > 100_000,
+        "pending dimension multiplies the space: {}",
+        v.runs
+    );
     v.expect_ok();
 }
 
@@ -57,27 +121,70 @@ fn floodset_ws_rws_exhaustive_n3_t2_run_count() {
 /// the binary domain.
 #[test]
 fn floodset_rs_exhaustive_ternary_inputs() {
-    verify_rs(&FloodSet, 3, 1, &[0u64, 1, 2], ValidityMode::Strong).expect_ok();
+    Verifier::new(&FloodSet)
+        .n(3)
+        .t(1)
+        .domain(&[0u64, 1, 2])
+        .mode(ValidityMode::Strong)
+        .run()
+        .expect_ok();
 }
 
 #[test]
 fn floodset_ws_rws_exhaustive_ternary_inputs() {
-    verify_rws(&FloodSetWs, 3, 1, &[0u64, 1, 2], ValidityMode::Strong).expect_ok();
+    Verifier::new(&FloodSetWs)
+        .n(3)
+        .t(1)
+        .domain(&[0u64, 1, 2])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .run()
+        .expect_ok();
 }
 
 /// The RWS-safe early-deciding variant (`min(f+3, t+1)`), exhaustively:
-/// ~900k runs at (3,2) including every pending choice.
+/// ~900k runs at (3,2) including every pending choice — symmetry
+/// reduction keeps the bigger sweep fast while representing all of it.
 #[test]
 fn early_deciding_ws_rws_exhaustive() {
     use ssp::algos::EarlyDecidingWs;
-    verify_rws(&EarlyDecidingWs, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();
-    verify_rws_parallel(&EarlyDecidingWs, 3, 2, &[0u64, 1], ValidityMode::Strong, 8).expect_ok();
+    Verifier::new(&EarlyDecidingWs)
+        .n(3)
+        .t(1)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .run()
+        .expect_ok();
+    Verifier::new(&EarlyDecidingWs)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .threads(8)
+        .symmetry(Symmetry::Full)
+        .run()
+        .expect_ok();
 }
 
 /// `Value` is genuinely generic: string-valued consensus, exhaustively.
 #[test]
 fn string_valued_consensus_works() {
     let domain = vec!["apple".to_string(), "pear".to_string()];
-    verify_rs(&FloodSet, 3, 1, &domain, ValidityMode::Strong).expect_ok();
-    verify_rws(&FloodSetWs, 3, 1, &domain, ValidityMode::Strong).expect_ok();
+    Verifier::new(&FloodSet)
+        .n(3)
+        .t(1)
+        .domain(&domain)
+        .mode(ValidityMode::Strong)
+        .run()
+        .expect_ok();
+    Verifier::new(&FloodSetWs)
+        .n(3)
+        .t(1)
+        .domain(&domain)
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws)
+        .run()
+        .expect_ok();
 }

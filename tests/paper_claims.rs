@@ -8,14 +8,48 @@ use ssp::algos::{
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::{
     all_round1_candidates, decides_round1_when_failure_free, explore_rs, explore_rws, refute,
-    refute_round1_candidate, verify_rs, verify_rws, LatencyAggregator, SddRefutation,
-    ValidityMode,
+    refute_round1_candidate, LatencyAggregator, RoundModel, SddRefutation, ValidityMode,
+    Verification, Verifier,
 };
 use ssp::model::{check_sdd, InitialConfig, ProcessId, SddOutcome};
+use ssp::rounds::RoundAlgorithm;
 use ssp::sim::{run, BoxedAutomaton, FairAdversary, ModelKind, RandomAdversary};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
+}
+
+/// Exhaustive `RS` sweep through the unified builder.
+fn verify_rs<A: RoundAlgorithm<u64> + Sync>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[u64],
+    mode: ValidityMode,
+) -> Verification<u64> {
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .run()
+}
+
+/// Exhaustive `RWS` sweep through the unified builder.
+fn verify_rws<A: RoundAlgorithm<u64> + Sync>(
+    algo: &A,
+    n: usize,
+    t: usize,
+    domain: &[u64],
+    mode: ValidityMode,
+) -> Verification<u64> {
+    Verifier::new(algo)
+        .n(n)
+        .t(t)
+        .domain(domain)
+        .mode(mode)
+        .model(RoundModel::Rws)
+        .run()
 }
 
 /// E1 — SDD is solvable in SS: the Φ+1+Δ receiver is correct for every
@@ -37,8 +71,7 @@ fn e1_sdd_solvable_in_ss() {
                             run(ModelKind::ss(phi, delta), automata, &mut adv, 10_000)
                         }
                         Some(k) => {
-                            let mut adv =
-                                RandomAdversary::new(2, 300, seed).with_crash(p(0), k);
+                            let mut adv = RandomAdversary::new(2, 300, seed).with_crash(p(0), k);
                             run(ModelKind::ss(phi, delta), automata, &mut adv, 10_000)
                         }
                     }
@@ -133,11 +166,19 @@ fn e7_f_opt_latency_degrees() {
     let mut rs = LatencyAggregator::new();
     explore_rs(&FOptFloodSet, 3, 1, &[0u64, 1], |run| rs.add(run));
     assert_eq!(rs.lat_max_over_configs(), Some(1), "Lat(F_OptFloodSet) = 1");
-    assert_eq!(rs.capital_lambda(), Some(2), "failure-free runs still take t+1");
+    assert_eq!(
+        rs.capital_lambda(),
+        Some(2),
+        "failure-free runs still take t+1"
+    );
 
     let mut rws = LatencyAggregator::new();
     explore_rws(&FOptFloodSetWs, 3, 1, &[0u64, 1], |run| rws.add(run));
-    assert_eq!(rws.lat_max_over_configs(), Some(1), "Lat(F_OptFloodSetWS) = 1");
+    assert_eq!(
+        rws.lat_max_over_configs(),
+        Some(1),
+        "Lat(F_OptFloodSetWS) = 1"
+    );
 
     verify_rs(&FOptFloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();
     verify_rws(&FOptFloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong).expect_ok();

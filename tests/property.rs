@@ -10,9 +10,7 @@ use ssp::model::{
     check_uniform_consensus_strong, FailurePattern, InitialConfig, ProcessId, ProcessSet, Round,
     Time,
 };
-use ssp::rounds::{
-    run_rs, run_rws, validate_pending, CrashSchedule, PendingChoice, RoundCrash,
-};
+use ssp::rounds::{run_rs, run_rws, validate_pending, CrashSchedule, PendingChoice, RoundCrash};
 
 fn pid() -> impl Strategy<Value = ProcessId> {
     (0usize..8).prop_map(ProcessId::new)
@@ -88,10 +86,7 @@ proptest! {
 /// crashes inside `1..=max_round`.
 fn crash_schedule(n: usize, t: usize, max_round: u32) -> impl Strategy<Value = CrashSchedule> {
     proptest::collection::vec(
-        proptest::option::weighted(
-            0.4,
-            (1u32..=max_round, 0u64..(1 << n)),
-        ),
+        proptest::option::weighted(0.4, (1u32..=max_round, 0u64..(1 << n))),
         n,
     )
     .prop_map(move |slots| {

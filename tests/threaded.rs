@@ -4,7 +4,9 @@
 use std::time::Duration;
 
 use ssp::algos::{EarlyDeciding, FOptFloodSet, FloodSet, FloodSetWs, A1};
-use ssp::model::{check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round};
+use ssp::model::{
+    check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round,
+};
 use ssp::runtime::{run_threaded, NetConfig, RuntimeConfig, ThreadCrash};
 
 fn p(i: usize) -> ProcessId {
@@ -15,8 +17,20 @@ fn p(i: usize) -> ProcessId {
 fn floodset_n5_with_two_crashes() {
     let config = InitialConfig::new(vec![9u64, 0, 4, 7, 2]);
     let runtime = RuntimeConfig::ss_flavor(5, 1)
-        .with_crash(p(1), ThreadCrash { round: 1, after_sends: 3 })
-        .with_crash(p(3), ThreadCrash { round: 2, after_sends: 1 });
+        .with_crash(
+            p(1),
+            ThreadCrash {
+                round: 1,
+                after_sends: 3,
+            },
+        )
+        .with_crash(
+            p(3),
+            ThreadCrash {
+                round: 2,
+                after_sends: 1,
+            },
+        );
     let result = run_threaded(&FloodSet, &config, 2, runtime);
     check_uniform_consensus_strong(&result.outcome).unwrap();
     assert_eq!(result.pending_messages, 0, "RS policy drains everything");
@@ -33,19 +47,33 @@ fn early_deciding_failure_free_on_threads() {
 #[test]
 fn f_opt_with_initial_crashes_decides_round_1_on_threads() {
     let config = InitialConfig::new(vec![5u64, 2, 8]);
-    let runtime = RuntimeConfig::ss_flavor(3, 4)
-        .with_crash(p(2), ThreadCrash { round: 1, after_sends: 0 });
+    let runtime = RuntimeConfig::ss_flavor(3, 4).with_crash(
+        p(2),
+        ThreadCrash {
+            round: 1,
+            after_sends: 0,
+        },
+    );
     let result = run_threaded(&FOptFloodSet, &config, 1, runtime);
     check_uniform_consensus_strong(&result.outcome).unwrap();
-    assert_eq!(result.outcome.latency_degree(), Some(1), "Lat(F_Opt, t) = 1");
+    assert_eq!(
+        result.outcome.latency_degree(),
+        Some(1),
+        "Lat(F_Opt, t) = 1"
+    );
 }
 
 #[test]
 fn a1_decides_after_p1_partial_crash_on_threads() {
     let config = InitialConfig::new(vec![3u64, 8, 9, 5]);
     // p1 reaches itself and p2 before dying; relay completes the run.
-    let runtime = RuntimeConfig::ss_flavor(4, 6)
-        .with_crash(p(0), ThreadCrash { round: 1, after_sends: 2 });
+    let runtime = RuntimeConfig::ss_flavor(4, 6).with_crash(
+        p(0),
+        ThreadCrash {
+            round: 1,
+            after_sends: 2,
+        },
+    );
     let result = run_threaded(&A1, &config, 1, runtime);
     check_uniform_consensus_strong(&result.outcome).unwrap();
     for (_, o) in result.outcome.iter() {
@@ -59,11 +87,18 @@ fn a1_decides_after_p1_partial_crash_on_threads() {
 fn sp_flavor_produces_real_pending_messages() {
     let n = 3;
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let net = NetConfig::bounded(Duration::from_millis(1), 13)
-        .with_sender_delay(p(0), n, Duration::from_millis(800));
-    let runtime = RuntimeConfig::sp_flavor(n, 13)
-        .with_net(net)
-        .with_crash(p(0), ThreadCrash { round: 2, after_sends: 0 });
+    let net = NetConfig::bounded(Duration::from_millis(1), 13).with_sender_delay(
+        p(0),
+        n,
+        Duration::from_millis(800),
+    );
+    let runtime = RuntimeConfig::sp_flavor(n, 13).with_net(net).with_crash(
+        p(0),
+        ThreadCrash {
+            round: 2,
+            after_sends: 0,
+        },
+    );
     let result = run_threaded(&A1, &config, 1, runtime);
     assert!(
         check_uniform_consensus(&result.outcome).is_err(),
@@ -80,11 +115,18 @@ fn sp_flavor_produces_real_pending_messages() {
 fn floodset_ws_immune_on_threads() {
     let n = 3;
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let net = NetConfig::bounded(Duration::from_millis(1), 13)
-        .with_sender_delay(p(0), n, Duration::from_millis(800));
-    let runtime = RuntimeConfig::sp_flavor(n, 13)
-        .with_net(net)
-        .with_crash(p(0), ThreadCrash { round: 2, after_sends: 0 });
+    let net = NetConfig::bounded(Duration::from_millis(1), 13).with_sender_delay(
+        p(0),
+        n,
+        Duration::from_millis(800),
+    );
+    let runtime = RuntimeConfig::sp_flavor(n, 13).with_net(net).with_crash(
+        p(0),
+        ThreadCrash {
+            round: 2,
+            after_sends: 0,
+        },
+    );
     let result = run_threaded(&FloodSetWs, &config, 1, runtime);
     check_uniform_consensus(&result.outcome).unwrap();
 }
@@ -95,8 +137,13 @@ fn decide_then_crash_is_visible_to_the_checker() {
     // decide) yet marks it faulty — the uniform-agreement quantifier
     // over faulty deciders stays meaningful on the runtime too.
     let config = InitialConfig::new(vec![4u64, 6, 2]);
-    let runtime = RuntimeConfig::ss_flavor(3, 21)
-        .with_crash(p(1), ThreadCrash { round: 3, after_sends: 0 });
+    let runtime = RuntimeConfig::ss_flavor(3, 21).with_crash(
+        p(1),
+        ThreadCrash {
+            round: 3,
+            after_sends: 0,
+        },
+    );
     let result = run_threaded(&FloodSet, &config, 1, runtime);
     let o = result.outcome.outcome(p(1));
     assert!(o.decision.is_some(), "decided before the scripted crash");
@@ -110,8 +157,13 @@ fn atomic_commit_runs_on_threads_too() {
     // All-Yes votes; p2 crashes mid-round-1 after reaching two peers:
     // the SDD-boosted synchronous protocol still commits.
     let config = InitialConfig::new(vec![true, true, true, true]);
-    let runtime = RuntimeConfig::ss_flavor(4, 31)
-        .with_crash(p(1), ThreadCrash { round: 1, after_sends: 3 });
+    let runtime = RuntimeConfig::ss_flavor(4, 31).with_crash(
+        p(1),
+        ThreadCrash {
+            round: 1,
+            after_sends: 3,
+        },
+    );
     let result = run_threaded(&VoteFlood, &config, 2, runtime);
     check_nbac(&result.outcome, NonTriviality::SddBoosted, true).unwrap();
     for (_, o) in result.outcome.iter() {
@@ -128,11 +180,18 @@ fn pending_votes_abort_on_threads() {
     // crashes — the survivors must abort despite all-Yes votes.
     let n = 3;
     let config = InitialConfig::new(vec![true, true, true]);
-    let net = NetConfig::bounded(Duration::from_millis(1), 17)
-        .with_sender_delay(p(0), n, Duration::from_millis(800));
-    let runtime = RuntimeConfig::sp_flavor(n, 17)
-        .with_net(net)
-        .with_crash(p(0), ThreadCrash { round: 1, after_sends: 1 });
+    let net = NetConfig::bounded(Duration::from_millis(1), 17).with_sender_delay(
+        p(0),
+        n,
+        Duration::from_millis(800),
+    );
+    let runtime = RuntimeConfig::sp_flavor(n, 17).with_net(net).with_crash(
+        p(0),
+        ThreadCrash {
+            round: 1,
+            after_sends: 1,
+        },
+    );
     let result = run_threaded(&VoteFloodWs, &config, 1, runtime);
     check_nbac(&result.outcome, NonTriviality::Classic, false).unwrap();
     for (_, o) in result.outcome.iter() {

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op [`Serialize`]/[`Deserialize`] derives so
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{...}` keep
+//! compiling without network access. No runtime serialization exists in
+//! this workspace, so no trait machinery is needed.
+
+pub use serde_derive::{Deserialize, Serialize};

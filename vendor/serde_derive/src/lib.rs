@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes at runtime (there is no
+//! `serde_json`/bincode backend in the dependency tree); the derives on
+//! model types exist so downstream users of the real `serde` could plug
+//! one in. With no network to fetch the real crates, these derives
+//! expand to nothing — the types still compile and behave identically.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
