@@ -1,0 +1,429 @@
+//! Runtime ↔ model conformance: certify that wall-clock executions of
+//! `ssp-runtime` are runs the round models admit, and that their
+//! safety verdicts agree with the [`Verifier`]'s enumeration.
+//!
+//! The bridge works on the [`RunTrace`] every threaded run records:
+//!
+//! 1. **admissibility** — [`RunTrace::validate`] (complete logs,
+//!    message integrity, detector accuracy, Lemma 4.1 for pending
+//!    messages) plus the step-level validators of `ssp-sim`
+//!    ([`validate_basic`], [`validate_perfect_fd`]) on the exported
+//!    step trace;
+//! 2. **replay** — the derived [`CrashSchedule`]/[`PendingChoice`]
+//!    adversary is re-executed through `ssp_rounds::run_rws_traced`,
+//!    and both the per-round delivery matrices and the final outcomes
+//!    must match tick-for-tick;
+//! 3. **verdict** — if a threaded run violates the consensus spec, the
+//!    model checker sweeping the same `(n, t, domain, model)` space
+//!    must report a violation too (the recorded run *is* in its
+//!    space).
+//!
+//! [`fuzz_runtime`] sweeps seed-derived [`FaultPlan`]s through all
+//! three, and [`shrink_plan`] greedily minimizes any failing plan —
+//! the engine behind the `ssp runtime-fuzz` subcommand.
+//!
+//! [`CrashSchedule`]: ssp_rounds::CrashSchedule
+//! [`PendingChoice`]: ssp_rounds::PendingChoice
+
+use core::fmt;
+use std::ops::Range;
+
+use ssp_model::{
+    check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round, Value,
+};
+use ssp_rounds::{run_rws_traced, RoundAlgorithm, RoundProcess};
+use ssp_runtime::{run_threaded, FaultPlan, PlanModel, RunTraceError, ThreadedOutcome};
+use ssp_sim::{validate_basic, validate_perfect_fd, TraceViolation};
+
+use crate::checker::ValidityMode;
+use crate::verifier::{RoundModel, Verifier};
+
+/// A disagreement between a threaded run and the round models — the
+/// conformance layer's finding of interest. Real divergences mean a
+/// bug in the runtime, the models, or the bridge itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// The recorded trace is not an admissible run of its model.
+    Inadmissible(RunTraceError),
+    /// The exported step trace fails a §2 validator.
+    StepModel(TraceViolation),
+    /// Replaying the derived adversary delivered different messages.
+    DeliveryMismatch {
+        /// The first round whose delivery matrices differ.
+        round: Round,
+    },
+    /// Replay and threaded run disagree on a process's final state.
+    OutcomeMismatch {
+        /// The process whose decision or crash status differs.
+        process: ProcessId,
+        /// Human-readable `threaded vs replay` detail.
+        detail: String,
+    },
+    /// A threaded run violated the spec but the model checker's sweep
+    /// of the same space found no violation.
+    CheckerDisagrees {
+        /// The violation the threaded run exhibited.
+        violation: String,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Inadmissible(e) => write!(f, "inadmissible trace: {e}"),
+            Divergence::StepModel(v) => write!(f, "step-trace violation: {v}"),
+            Divergence::DeliveryMismatch { round } => {
+                write!(f, "replay delivered different messages in {round}")
+            }
+            Divergence::OutcomeMismatch { process, detail } => {
+                write!(f, "replay disagrees on {process}: {detail}")
+            }
+            Divergence::CheckerDisagrees { violation } => write!(
+                f,
+                "run violates the spec ({violation}) but the checker's sweep is clean"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// What a conformant threaded run looked like.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The spec violation the run exhibited, if any (violations are
+    /// *expected* for unsafe algorithm/model pairs — only divergences
+    /// are bugs).
+    pub violation: Option<String>,
+    /// Number of pending messages the run realized.
+    pub pending: usize,
+}
+
+fn check_spec<V: Value>(
+    outcome: &ssp_model::ConsensusOutcome<V>,
+    mode: ValidityMode,
+) -> Option<String> {
+    match mode {
+        ValidityMode::Uniform => check_uniform_consensus(outcome)
+            .err()
+            .map(|e| e.to_string()),
+        ValidityMode::Strong => check_uniform_consensus_strong(outcome)
+            .err()
+            .map(|e| e.to_string()),
+    }
+}
+
+/// Certifies one threaded run against the round models: trace
+/// admissibility, step-trace validity, and tick-for-tick replay
+/// agreement (deliveries and outcomes).
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if the recorded crash schedule exceeds the fault bound `t`
+/// (the replay executor rejects such schedules).
+pub fn check_threaded_run<V, A>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    result: &ThreadedOutcome<V, <A::Process as RoundProcess>::Msg>,
+    mode: ValidityMode,
+) -> Result<RunReport, Divergence>
+where
+    V: Value,
+    A: RoundAlgorithm<V>,
+{
+    let trace = &result.trace;
+    trace.validate().map_err(Divergence::Inadmissible)?;
+    let steps = trace.to_step_trace().map_err(Divergence::Inadmissible)?;
+    validate_basic(&steps).map_err(Divergence::StepModel)?;
+    validate_perfect_fd(&steps).map_err(Divergence::StepModel)?;
+
+    let schedule = trace.schedule();
+    let pending = trace.pending();
+    let (replay_outcome, replay_trace) = run_rws_traced(algo, config, t, &schedule, &pending)
+        .map_err(|e| Divergence::Inadmissible(RunTraceError::Pending(e)))?;
+
+    let recorded = trace.round_trace();
+    if recorded != replay_trace {
+        let round = recorded
+            .rounds()
+            .iter()
+            .zip(replay_trace.rounds())
+            .find(|(a, b)| a != b)
+            .map_or(Round::FIRST, |(a, _)| a.round);
+        return Err(Divergence::DeliveryMismatch { round });
+    }
+
+    let clamp = |r: Option<Round>| r.map(|r| r.min(Round::new(trace.horizon + 1)));
+    for (p, threaded) in result.outcome.iter() {
+        let replayed = replay_outcome.outcome(p);
+        if threaded.decision != replayed.decision
+            || clamp(threaded.crashed_in) != replayed.crashed_in
+        {
+            return Err(Divergence::OutcomeMismatch {
+                process: p,
+                detail: format!(
+                    "threaded decided {:?} (crashed {:?}) vs replay {:?} (crashed {:?})",
+                    threaded.decision, threaded.crashed_in, replayed.decision, replayed.crashed_in
+                ),
+            });
+        }
+    }
+
+    Ok(RunReport {
+        violation: check_spec(&result.outcome, mode),
+        pending: pending.len(),
+    })
+}
+
+/// Greedily minimizes a failing [`FaultPlan`]: repeatedly drops slow
+/// links, then whole crashes (with their slow links), keeping every
+/// change under which `still_fails` holds, until no single removal
+/// preserves the failure.
+pub fn shrink_plan<F>(plan: &FaultPlan, still_fails: F) -> FaultPlan
+where
+    F: Fn(&FaultPlan) -> bool,
+{
+    let mut best = plan.clone();
+    loop {
+        let mut improved = false;
+        for i in 0..best.slow.len() {
+            let mut cand = best.clone();
+            cand.slow.remove(i);
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for i in 0..best.n {
+            if best.crashes[i].is_none() {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand.crashes[i] = None;
+            cand.slow.retain(|&(src, _, _)| src.index() != i);
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// The result of a seed sweep over the fault-injection plane.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Seeds executed.
+    pub runs: u64,
+    /// `(seed, violation)` for runs that broke the consensus spec —
+    /// expected exactly when the algorithm is unsafe in the model.
+    pub spec_violations: Vec<(u64, String)>,
+    /// `(seed, detail)` for runs that diverged from the round models,
+    /// each with its shrunk minimal plan. Always empty unless there is
+    /// a bug in the runtime, the models, or the bridge.
+    pub divergences: Vec<(u64, String)>,
+    /// Whether the [`Verifier`] verdict over the same space agrees
+    /// with the sweep (a spec-violating run implies a violating sweep).
+    pub checker_agrees: bool,
+}
+
+impl FuzzReport {
+    /// Whether the sweep found no divergence and the checker agrees.
+    #[must_use]
+    pub fn is_conformant(&self) -> bool {
+        self.divergences.is_empty() && self.checker_agrees
+    }
+}
+
+/// Sweeps `seeds` through seed-derived [`FaultPlan`]s: each seed's
+/// plan drives one threaded run, which is certified by
+/// [`check_threaded_run`]; any divergence is shrunk to a minimal plan
+/// with [`shrink_plan`]. Finally the [`Verifier`] sweeps the same
+/// `(n, t, domain, model)` space and its verdict is cross-checked.
+///
+/// # Panics
+///
+/// Panics if `config` is empty or a worker thread panics.
+pub fn fuzz_runtime<V, A>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    model: PlanModel,
+    seeds: Range<u64>,
+    mode: ValidityMode,
+) -> FuzzReport
+where
+    V: Value + Sync,
+    A: RoundAlgorithm<V> + Sync,
+    A::Process: Send + 'static,
+    <A::Process as RoundProcess>::Msg: Send + 'static,
+{
+    let n = config.n();
+    let horizon = algo.round_horizon(n, t);
+    let mut report = FuzzReport {
+        checker_agrees: true,
+        ..FuzzReport::default()
+    };
+    for seed in seeds {
+        let plan = FaultPlan::from_seed(seed, n, t, horizon, model);
+        let result = run_threaded(algo, config, t, plan.runtime_config());
+        match check_threaded_run(algo, config, t, &result, mode) {
+            Ok(run) => {
+                if let Some(violation) = run.violation {
+                    report.spec_violations.push((seed, violation));
+                }
+            }
+            Err(divergence) => {
+                let minimal = shrink_plan(&plan, |cand| {
+                    let rerun = run_threaded(algo, config, t, cand.runtime_config());
+                    check_threaded_run(algo, config, t, &rerun, mode).is_err()
+                });
+                report
+                    .divergences
+                    .push((seed, format!("{divergence}; minimal plan: {minimal}")));
+            }
+        }
+        report.runs += 1;
+    }
+
+    if !report.spec_violations.is_empty() {
+        let mut domain: Vec<V> = config.inputs().to_vec();
+        domain.sort();
+        domain.dedup();
+        let verdict = Verifier::new(algo)
+            .n(n)
+            .t(t)
+            .domain(&domain)
+            .mode(mode)
+            .model(match model {
+                PlanModel::Rs => RoundModel::Rs,
+                PlanModel::Rws => RoundModel::Rws,
+            })
+            .run();
+        report.checker_agrees = !verdict.is_ok();
+        if !report.checker_agrees {
+            let (seed, violation) = report.spec_violations[0].clone();
+            report
+                .divergences
+                .push((seed, Divergence::CheckerDisagrees { violation }.to_string()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_algos::{FloodSet, FloodSetWs, A1};
+    use ssp_runtime::SECTION_5_3_SEED;
+
+    #[test]
+    fn section_5_3_seed_reproduces_the_anomaly_and_conforms() {
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let plan = FaultPlan::section_5_3();
+        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
+            .expect("the anomaly run conforms to RWS");
+        let violation = run.violation.expect("uniform agreement must break");
+        assert!(violation.contains("agree"), "{violation}");
+        assert!(run.pending >= 2, "both withheld broadcasts are pending");
+    }
+
+    #[test]
+    fn fuzz_a1_rws_finds_the_violation_and_no_divergence() {
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let report = fuzz_runtime(
+            &A1,
+            &config,
+            1,
+            PlanModel::Rws,
+            SECTION_5_3_SEED..SECTION_5_3_SEED + 1,
+            ValidityMode::Uniform,
+        );
+        assert!(report.is_conformant(), "{:?}", report.divergences);
+        assert_eq!(report.spec_violations.len(), 1);
+    }
+
+    #[test]
+    fn fuzz_floodset_rs_is_clean() {
+        let config = InitialConfig::new(vec![4u64, 6, 2]);
+        let report = fuzz_runtime(
+            &FloodSet,
+            &config,
+            1,
+            PlanModel::Rs,
+            0..6,
+            ValidityMode::Strong,
+        );
+        assert!(report.is_conformant(), "{:?}", report.divergences);
+        assert!(report.spec_violations.is_empty(), "FloodSet is safe in RS");
+    }
+
+    #[test]
+    fn fuzz_floodset_ws_rws_is_clean() {
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let report = fuzz_runtime(
+            &FloodSetWs,
+            &config,
+            1,
+            PlanModel::Rws,
+            0..6,
+            ValidityMode::Uniform,
+        );
+        assert!(report.is_conformant(), "{:?}", report.divergences);
+        assert!(
+            report.spec_violations.is_empty(),
+            "FloodSetWs tolerates pending messages: {:?}",
+            report.spec_violations
+        );
+    }
+
+    #[test]
+    fn shrink_drops_irrelevant_faults() {
+        let mut plan = FaultPlan::section_5_3();
+        // Add an irrelevant slow link in round 2 (nothing is emitted
+        // there, so dropping it cannot change any run).
+        plan.slow.push((ProcessId::new(0), ProcessId::new(1), 2));
+        let reference = plan.slow.len();
+        // Shrink against "the plan still slows p1's round-1 broadcast".
+        let minimal = shrink_plan(&plan, |cand| {
+            cand.slow
+                .contains(&(ProcessId::new(0), ProcessId::new(1), 1))
+        });
+        assert!(minimal.slow.len() < reference);
+        assert_eq!(
+            minimal.slow,
+            vec![(ProcessId::new(0), ProcessId::new(1), 1)],
+            "only the load-bearing link survives"
+        );
+        // The crash survives: removing it would also retain out its
+        // slow links (a slow link from a live sender violates
+        // Lemma 4.1), which the predicate needs.
+        assert!(minimal.crashes[0].is_some());
+        assert!(minimal.crashes[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn divergence_displays() {
+        let d = Divergence::DeliveryMismatch {
+            round: Round::FIRST,
+        };
+        assert!(d.to_string().contains("round 1"));
+        let d = Divergence::CheckerDisagrees {
+            violation: "x".into(),
+        };
+        assert!(d.to_string().contains("checker"));
+    }
+}

@@ -24,13 +24,17 @@
 //!   adversaries;
 //! * [`time_free`] — §2.7's time-freeness as an executable property:
 //!   reorder a schedule preserving per-process views and replay;
-//! * [`report`] — plain-text tables for the experiment harness.
+//! * [`report`] — plain-text tables for the experiment harness;
+//! * [`conformance`] — the runtime ↔ model bridge: certify threaded
+//!   `ssp-runtime` executions against the round models and sweep
+//!   seed-derived fault plans (`ssp runtime-fuzz`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod checker;
+pub mod conformance;
 pub mod dls_bridge;
 pub mod enumerate;
 pub mod fd_bridge;
@@ -48,6 +52,9 @@ pub mod verifier;
 #[allow(deprecated)]
 pub use checker::{verify_rs, verify_rws};
 pub use checker::{Counterexample, ValidityMode, Verification};
+pub use conformance::{
+    check_threaded_run, fuzz_runtime, shrink_plan, Divergence, FuzzReport, RunReport,
+};
 pub use dls_bridge::{run_adaptive_experiment, AdaptiveHeartbeatProcess, DlsExperiment};
 pub use enumerate::{
     crash_schedules, explore_rs, explore_rs_until, explore_rws, explore_rws_until, pending_choices,

@@ -25,6 +25,7 @@ use ssp_rounds::{RoundAlgorithm, RoundProcess};
 
 use crate::fd::{FdModule, HeartbeatBoard, Oracle, OracleFd, TimeoutFd};
 use crate::net::{spawn_network, NetConfig, NetReceiver, NetSender};
+use crate::trace::{RoundObs, RunTrace};
 
 /// Round-tagged wire format (nulls sent explicitly, as in the §4.2
 /// emulation, so receivers can stop waiting for live-but-silent peers).
@@ -92,6 +93,10 @@ pub struct RuntimeConfig {
     /// Hard per-round safety timeout (a liveness bug fails the run
     /// rather than hanging the test suite).
     pub round_timeout: Duration,
+    /// Scripted oracle-notification delays, `[crasher][observer]`
+    /// (see [`crate::fd::Oracle::scripted`]). Only meaningful with
+    /// [`FdFlavor::Oracle`]; [`crate::FaultPlan`] fills this in.
+    pub notify_script: Option<Vec<Vec<Duration>>>,
 }
 
 impl RuntimeConfig {
@@ -110,6 +115,7 @@ impl RuntimeConfig {
             },
             crashes: vec![None; n],
             round_timeout: Duration::from_secs(20),
+            notify_script: None,
         }
     }
 
@@ -126,6 +132,7 @@ impl RuntimeConfig {
             },
             crashes: vec![None; n],
             round_timeout: Duration::from_secs(20),
+            notify_script: None,
         }
     }
 
@@ -146,7 +153,7 @@ impl RuntimeConfig {
 
 /// The result of a threaded execution.
 #[derive(Debug)]
-pub struct ThreadedOutcome<V> {
+pub struct ThreadedOutcome<V, M> {
     /// Per-process consensus outcome (decisions include those made by
     /// processes that crashed afterwards).
     pub outcome: ConsensusOutcome<V>,
@@ -156,13 +163,19 @@ pub struct ThreadedOutcome<V> {
     pub pending_messages: u64,
     /// Wall-clock duration of the whole execution.
     pub elapsed: Duration,
+    /// The canonical record of the run: what every process sent and
+    /// had received when each round closed, plus crash rounds —
+    /// replayable through the round models and exportable as an
+    /// `ssp-sim` step trace.
+    pub trace: RunTrace<M>,
 }
 
-struct ProcessReturn<V> {
+struct ProcessReturn<V, M> {
     input: V,
     decision: Option<(V, Round)>,
     crashed_in: Option<Round>,
     pending_seen: u64,
+    log: Vec<RoundObs<M>>,
 }
 
 enum AnyFd {
@@ -193,7 +206,7 @@ pub fn run_threaded<V, A>(
     config: &InitialConfig<V>,
     t: usize,
     runtime: RuntimeConfig,
-) -> ThreadedOutcome<V>
+) -> ThreadedOutcome<V, <A::Process as RoundProcess>::Msg>
 where
     V: Value + Sync,
     A: RoundAlgorithm<V>,
@@ -207,18 +220,21 @@ where
         spawn_network::<RoundWire<<A::Process as RoundProcess>::Msg>>(n, runtime.net.clone());
 
     let board = HeartbeatBoard::new(n);
-    let oracle = Oracle::new(
-        n,
-        match runtime.fd {
-            FdFlavor::Oracle { min_notify, .. } => min_notify,
-            _ => Duration::ZERO,
-        },
-        match runtime.fd {
-            FdFlavor::Oracle { max_notify, .. } => max_notify,
-            _ => Duration::ZERO,
-        },
-        runtime.net.seed,
-    );
+    let oracle = match &runtime.notify_script {
+        Some(script) => Oracle::scripted(n, script.clone()),
+        None => Oracle::new(
+            n,
+            match runtime.fd {
+                FdFlavor::Oracle { min_notify, .. } => min_notify,
+                _ => Duration::ZERO,
+            },
+            match runtime.fd {
+                FdFlavor::Oracle { max_notify, .. } => max_notify,
+                _ => Duration::ZERO,
+            },
+            runtime.net.seed,
+        ),
+    };
 
     let started = Instant::now();
     let mut handles = Vec::with_capacity(n);
@@ -265,9 +281,15 @@ where
 
     let mut outcomes = Vec::with_capacity(n);
     let mut pending_total = 0;
+    let mut logs = Vec::with_capacity(n);
+    let mut crash_rounds = Vec::with_capacity(n);
     for h in handles {
-        let r: ProcessReturn<V> = h.join().expect("worker thread panicked");
+        let r: ProcessReturn<V, <A::Process as RoundProcess>::Msg> =
+            h.join().expect("worker thread panicked");
         pending_total += r.pending_seen;
+        logs.push(r.log);
+        // Clamp post-horizon crash rounds to the round-model limit.
+        crash_rounds.push(r.crashed_in.map(|c| c.min(Round::new(horizon + 1))));
         outcomes.push(ProcessOutcome {
             input: r.input,
             decision: r.decision,
@@ -278,6 +300,13 @@ where
         outcome: ConsensusOutcome::new(outcomes),
         pending_messages: pending_total,
         elapsed: started.elapsed(),
+        trace: RunTrace {
+            n,
+            horizon,
+            rs: matches!(runtime.policy, SyncPolicy::Rs { .. }),
+            logs,
+            crashes: crash_rounds,
+        },
     }
 }
 
@@ -296,7 +325,7 @@ fn worker<P>(
     crash: Option<ThreadCrash>,
     policy: SyncPolicy,
     round_timeout: Duration,
-) -> ProcessReturn<P::Value>
+) -> ProcessReturn<P::Value, P::Msg>
 where
     P: RoundProcess,
     P::Msg: Send + 'static,
@@ -308,24 +337,32 @@ where
     };
     let mut future: Vec<(u32, ProcessId, Option<P::Msg>)> = Vec::new();
     let mut pending_seen = 0u64;
+    let mut log: Vec<RoundObs<P::Msg>> = Vec::with_capacity(horizon as usize);
 
     for r in 1..=horizon {
         board.beat(me);
         // --- send phase ---
+        let mut sent: Vec<Option<Option<P::Msg>>> = vec![None; n];
         let mut self_payload: Option<Option<P::Msg>> = None;
         for (slot, q) in all_processes(n).enumerate() {
             if let Some(c) = crash {
                 if c.round == r && slot >= c.after_sends {
                     crash_now(r);
+                    log.push(RoundObs {
+                        sent,
+                        received: None,
+                    });
                     return ProcessReturn {
                         input,
                         decision: proc_.decision(),
                         crashed_in: Some(Round::new(r)),
                         pending_seen,
+                        log,
                     };
                 }
             }
             let payload = proc_.msgs(Round::new(r), q);
+            sent[q.index()] = Some(payload.clone());
             if q == me {
                 self_payload = Some(payload);
             } else {
@@ -337,11 +374,16 @@ where
             // full broadcast, before applying trans".
             if c.round == r && c.after_sends >= n {
                 crash_now(r);
+                log.push(RoundObs {
+                    sent,
+                    received: None,
+                });
                 return ProcessReturn {
                     input,
                     decision: proc_.decision(),
                     crashed_in: Some(Round::new(r)),
                     pending_seen,
+                    log,
                 };
             }
         }
@@ -384,12 +426,19 @@ where
                 break;
             }
             if now > deadline {
-                // Liveness failure: give up undecided.
+                // Liveness failure: give up undecided. The incomplete
+                // round (without a crash) makes the trace inadmissible,
+                // which is exactly what conformance should report.
+                log.push(RoundObs {
+                    sent,
+                    received: None,
+                });
                 return ProcessReturn {
                     input,
                     decision: proc_.decision(),
                     crashed_in: None,
                     pending_seen,
+                    log,
                 };
             }
             if let Ok(env) = rx.recv_timeout(Duration::from_micros(500)) {
@@ -403,6 +452,10 @@ where
                 }
             }
         }
+        log.push(RoundObs {
+            sent,
+            received: Some(got.clone()),
+        });
         let received: Vec<Option<P::Msg>> = got.into_iter().map(Option::flatten).collect();
         proc_.trans(Round::new(r), &received);
     }
@@ -422,6 +475,7 @@ where
         decision: proc_.decision(),
         crashed_in,
         pending_seen,
+        log,
     }
 }
 

@@ -123,6 +123,10 @@ pub struct Oracle {
     min_notify: Duration,
     max_notify: Duration,
     seed: AtomicU64,
+    /// Scripted notification delays, `script[crasher][observer]`.
+    /// When present, `report_crash` uses these instead of random draws
+    /// — the fault-injection plane's deterministic suspicion timing.
+    script: Option<Vec<Vec<Duration>>>,
 }
 
 impl Oracle {
@@ -136,25 +140,55 @@ impl Oracle {
             min_notify,
             max_notify,
             seed: AtomicU64::new(seed),
+            script: None,
+        })
+    }
+
+    /// Creates an oracle with a fully scripted notification matrix:
+    /// when process `p` crashes, observer `q` learns of it exactly
+    /// `script[p][q]` after the report. Used by the fault-injection
+    /// plane to make `SP` suspicion timing seed-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script is not an `n × n` matrix.
+    #[must_use]
+    pub fn scripted(n: usize, script: Vec<Vec<Duration>>) -> Arc<Self> {
+        assert_eq!(script.len(), n, "one script row per crasher");
+        assert!(
+            script.iter().all(|row| row.len() == n),
+            "one delay per observer"
+        );
+        Arc::new(Oracle {
+            n,
+            state: Mutex::new(OracleState::default()),
+            min_notify: Duration::ZERO,
+            max_notify: Duration::ZERO,
+            seed: AtomicU64::new(0),
+            script: Some(script),
         })
     }
 
     /// Reports that `p` has crashed; observers will start suspecting it
     /// after their individual delays.
     pub fn report_crash(&self, p: ProcessId) {
-        let mut rng = StdRng::seed_from_u64(self.seed.fetch_add(1, Ordering::Relaxed));
-        let span = self.max_notify.saturating_sub(self.min_notify).as_micros() as u64;
         let now = Instant::now();
-        let delays: Vec<Instant> = (0..self.n)
-            .map(|_| {
-                let extra = if span == 0 {
-                    0
-                } else {
-                    rng.gen_range(0..=span)
-                };
-                now + self.min_notify + Duration::from_micros(extra)
-            })
-            .collect();
+        let delays: Vec<Instant> = if let Some(script) = &self.script {
+            script[p.index()].iter().map(|d| now + *d).collect()
+        } else {
+            let mut rng = StdRng::seed_from_u64(self.seed.fetch_add(1, Ordering::Relaxed));
+            let span = self.max_notify.saturating_sub(self.min_notify).as_micros() as u64;
+            (0..self.n)
+                .map(|_| {
+                    let extra = if span == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..=span)
+                    };
+                    now + self.min_notify + Duration::from_micros(extra)
+                })
+                .collect()
+        };
         self.state.lock().notifications.push((p, delays));
     }
 
@@ -236,6 +270,27 @@ mod tests {
         assert!(fd.suspects().is_empty(), "not yet notified");
         std::thread::sleep(Duration::from_millis(60));
         assert!(fd.suspects().contains(p(0)));
+    }
+
+    #[test]
+    fn scripted_oracle_uses_exact_delays() {
+        // p1's crash: p2 learns immediately, p3 only after 80ms.
+        let script = vec![
+            vec![Duration::ZERO; 3],
+            vec![Duration::ZERO; 3],
+            vec![Duration::ZERO; 3],
+        ];
+        let mut script = script;
+        script[0][2] = Duration::from_millis(80);
+        let oracle = Oracle::scripted(3, script);
+        let fast = oracle.module(p(1));
+        let slow = oracle.module(p(2));
+        oracle.report_crash(p(0));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(fast.suspects().contains(p(0)), "scripted zero delay");
+        assert!(!slow.suspects().contains(p(0)), "scripted 80ms delay");
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(slow.suspects().contains(p(0)));
     }
 
     #[test]

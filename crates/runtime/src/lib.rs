@@ -19,6 +19,13 @@
 //! unchanged in either flavour; the driver tests reproduce the §5.3
 //! `A1` disagreement with actual threads and delayed packets.
 //!
+//! Determinism comes from the fault-injection plane: a seed-derived
+//! [`FaultPlan`] scripts crashes (including mid-broadcast cut-offs),
+//! per-link delivery delays ([`LinkScript`]) and oracle suspicion
+//! timing, and every run records a [`RunTrace`] that can be replayed
+//! through the round models and validated by `ssp-sim`'s checkers —
+//! see `ssp-lab`'s conformance module for the full bridge.
+//!
 //! [`RoundAlgorithm`]: ssp_rounds::RoundAlgorithm
 
 #![forbid(unsafe_code)]
@@ -28,9 +35,13 @@
 pub mod driver;
 pub mod fd;
 pub mod net;
+pub mod plan;
+pub mod trace;
 
 pub use driver::{
     run_threaded, FdFlavor, RoundWire, RuntimeConfig, SyncPolicy, ThreadCrash, ThreadedOutcome,
 };
 pub use fd::{FdModule, HeartbeatBoard, Oracle, OracleFd, TimeoutFd};
-pub use net::{spawn_network, NetConfig, NetEnvelope, NetReceiver, NetSender};
+pub use net::{spawn_network, LinkScript, NetConfig, NetEnvelope, NetReceiver, NetSender};
+pub use plan::{FaultPlan, PlanModel, SECTION_5_3_SEED};
+pub use trace::{RoundObs, RunTrace, RunTraceError};

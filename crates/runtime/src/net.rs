@@ -9,8 +9,15 @@
 //! * **unbounded** (the `SP` flavour): finite but arbitrary — link
 //!   overrides let tests hold a specific sender's messages back long
 //!   enough to create real *pending* messages.
+//!
+//! For deterministic fault injection, a [`LinkScript`] pins the delay
+//! of the *k*-th message on each directed link. Round-based drivers
+//! send exactly one wire per link per round in round order, so the
+//! per-link message index *is* the round index — a script is a full
+//! adversarial delivery schedule for a round-model run.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -18,6 +25,57 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ssp_model::ProcessId;
+
+/// A deterministic delivery schedule: the delay of the `k`-th message
+/// on each scripted directed link. Messages on unscripted links (or
+/// beyond a link's scripted prefix) fall back to the [`NetConfig`]'s
+/// random delay window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkScript {
+    delays: HashMap<(usize, usize), Vec<Option<Duration>>>,
+}
+
+impl LinkScript {
+    /// The empty script (everything falls back to the delay window).
+    #[must_use]
+    pub fn new() -> Self {
+        LinkScript::default()
+    }
+
+    /// Scripts the delay of the `k`-th message (0-based) from `src` to
+    /// `dst`. Unset earlier indices fall back to the delay window.
+    pub fn set(&mut self, src: ProcessId, dst: ProcessId, k: usize, delay: Duration) -> &mut Self {
+        let slots = self.delays.entry((src.index(), dst.index())).or_default();
+        if slots.len() <= k {
+            slots.resize(k + 1, None);
+        }
+        slots[k] = Some(delay);
+        self
+    }
+
+    /// The scripted delay for the `k`-th message on `src → dst`, if any.
+    #[must_use]
+    pub fn delay(&self, src: ProcessId, dst: ProcessId, k: usize) -> Option<Duration> {
+        self.delays
+            .get(&(src.index(), dst.index()))
+            .and_then(|slots| slots.get(k).copied().flatten())
+    }
+
+    /// Number of scripted entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.delays
+            .values()
+            .map(|slots| slots.iter().flatten().count())
+            .sum()
+    }
+
+    /// Whether nothing is scripted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// A message in the threaded network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +88,8 @@ pub struct NetEnvelope<M> {
     pub payload: M,
 }
 
-/// Network configuration: a base delay window plus per-link overrides.
+/// Network configuration: a base delay window plus per-link overrides
+/// and an optional deterministic [`LinkScript`].
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Minimum link delay.
@@ -40,6 +99,7 @@ pub struct NetConfig {
     /// RNG seed for reproducible delay draws.
     pub seed: u64,
     overrides: Vec<(ProcessId, ProcessId, Duration)>,
+    script: Option<Arc<LinkScript>>,
 }
 
 impl NetConfig {
@@ -51,6 +111,7 @@ impl NetConfig {
             max_delay: max,
             seed,
             overrides: Vec::new(),
+            script: None,
         }
     }
 
@@ -71,7 +132,21 @@ impl NetConfig {
         self
     }
 
-    fn delay_for<M, R: Rng>(&self, env: &NetEnvelope<M>, rng: &mut R) -> Duration {
+    /// Installs a deterministic per-link delivery script. Scripted
+    /// entries take precedence over both overrides and the random
+    /// window.
+    #[must_use]
+    pub fn with_script(mut self, script: LinkScript) -> Self {
+        self.script = Some(Arc::new(script));
+        self
+    }
+
+    fn delay_for<M, R: Rng>(&self, env: &NetEnvelope<M>, nth: usize, rng: &mut R) -> Duration {
+        if let Some(script) = &self.script {
+            if let Some(delay) = script.delay(env.src, env.dst, nth) {
+                return delay;
+            }
+        }
         for &(s, d, delay) in &self.overrides {
             if s == env.src && d == env.dst {
                 return delay;
@@ -149,6 +224,8 @@ pub fn spawn_network<M: Send + 'static>(
             let mut heap: BinaryHeap<Scheduled<M>> = BinaryHeap::new();
             let mut seq = 0u64;
             let mut closed = false;
+            // Per-link message counters, for LinkScript indexing.
+            let mut link_count: HashMap<(usize, usize), usize> = HashMap::new();
             loop {
                 // Deliver everything due.
                 let now = Instant::now();
@@ -166,7 +243,11 @@ pub fn spawn_network<M: Send + 'static>(
                     .unwrap_or(Duration::from_millis(50));
                 match submit_rx.recv_timeout(timeout) {
                     Ok(env) => {
-                        let delay = config.delay_for(&env, &mut rng);
+                        let nth = link_count
+                            .entry((env.src.index(), env.dst.index()))
+                            .or_insert(0);
+                        let delay = config.delay_for(&env, *nth, &mut rng);
+                        *nth += 1;
                         heap.push(Scheduled {
                             at: Instant::now() + delay,
                             seq,
@@ -240,6 +321,33 @@ mod tests {
             // generous scheduling slack on top of the bound
             assert!(t0.elapsed() < bound + Duration::from_millis(200));
         }
+    }
+
+    #[test]
+    fn link_script_pins_per_message_delays() {
+        // Message #0 on p1→p2 is scripted slow, #1 fast: the fast one
+        // overtakes (the adversary's reordering knob, deterministic).
+        let mut script = LinkScript::new();
+        script.set(p(0), p(1), 0, Duration::from_millis(120));
+        script.set(p(0), p(1), 1, Duration::ZERO);
+        let config = NetConfig::bounded(Duration::from_millis(1), 3).with_script(script);
+        let (tx, rx) = spawn_network::<u32>(2, config);
+        tx.send(p(0), p(1), 0);
+        tx.send(p(0), p(1), 1);
+        let first = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        let second = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!((first.payload, second.payload), (1, 0));
+    }
+
+    #[test]
+    fn link_script_lookup_and_len() {
+        let mut script = LinkScript::new();
+        assert!(script.is_empty());
+        script.set(p(0), p(1), 2, Duration::from_millis(5));
+        assert_eq!(script.delay(p(0), p(1), 2), Some(Duration::from_millis(5)));
+        assert_eq!(script.delay(p(0), p(1), 0), None, "unset prefix index");
+        assert_eq!(script.delay(p(1), p(0), 2), None, "unscripted link");
+        assert_eq!(script.len(), 1);
     }
 
     #[test]

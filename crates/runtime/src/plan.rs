@@ -1,0 +1,348 @@
+//! Seeded fault plans: the deterministic adversary for the threaded
+//! runtime.
+//!
+//! A [`FaultPlan`] is derived from a single `u64` seed and scripts
+//! everything the §5.3-style adversary controls:
+//!
+//! * **who crashes, when, and mid-broadcast where** — per-victim
+//!   [`ThreadCrash`] points, including "after k of n sends";
+//! * **which links are slow** — per-link, per-round delivery delays
+//!   injected through [`crate::net::LinkScript`], chosen so that a
+//!   slowed message outlives the whole run (it becomes *pending* in
+//!   the §4.1 sense rather than merely late);
+//! * **failure-detector timing** — a scripted oracle-notification
+//!   matrix (`RWS` plans), so suspicion order is a function of the
+//!   seed, not the OS scheduler.
+//!
+//! Determinism comes from margins, not from a virtual clock: fast
+//! links deliver within [`FAST_MAX`], oracle notifications land within
+//! [`NOTIFY_BASE`]`..=`[`NOTIFY_BASE`]`+`[`NOTIFY_JITTER`], and slow
+//! links take [`SLOW`] — far longer than any run lasts. Under those
+//! gaps every wall-clock execution of the same plan produces the same
+//! [`crate::RunTrace`].
+//!
+//! Slowed links are restricted to senders that crash, in rounds
+//! `crash_round - 1 ..= crash_round`: exactly the window in which
+//! Lemma 4.1 permits a message to end up pending, and narrow enough
+//! that receivers can always close their rounds via suspicion (no
+//! deadlock).
+
+use core::fmt;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssp_model::ProcessId;
+
+use crate::driver::{FdFlavor, RuntimeConfig, SyncPolicy, ThreadCrash};
+use crate::net::{LinkScript, NetConfig};
+
+/// Maximum delivery delay of an unscripted ("fast") link.
+pub const FAST_MAX: Duration = Duration::from_millis(1);
+
+/// Delivery delay of a slowed link — longer than any run, so a slowed
+/// message is never received: it is *pending* when its sender crashes.
+pub const SLOW: Duration = Duration::from_millis(600);
+
+/// Minimum oracle-notification delay in `RWS` plans.
+pub const NOTIFY_BASE: Duration = Duration::from_millis(25);
+
+/// Maximum extra oracle-notification jitter in `RWS` plans.
+pub const NOTIFY_JITTER: Duration = Duration::from_millis(25);
+
+/// The fixed seed whose [`FaultPlan`] reproduces the §5.3 anomaly:
+/// `A1` violates uniform agreement in `RWS` at `n = 3, t = 1`.
+///
+/// `FaultPlan::from_seed(SECTION_5_3_SEED, 3, 1, 2, PlanModel::Rws)`
+/// crashes `p1` in round 2 before any send, with both of its round-1
+/// broadcast links slowed into pending-ness — so `p1` decides its own
+/// value and dies while the survivors, never seeing it, fall back to
+/// `p2`'s value. See `docs/paper-map.md` for the full mapping.
+pub const SECTION_5_3_SEED: u64 = 519;
+
+/// Which round model a plan targets (the runtime-local twin of the
+/// checker's model switch; `ssp-lab` bridges the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanModel {
+    /// Round synchrony: crashes only, no slow links, timeout detector.
+    Rs,
+    /// Weak round synchrony: crashes + slow links + scripted oracle.
+    Rws,
+}
+
+impl fmt::Display for PlanModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanModel::Rs => write!(f, "RS"),
+            PlanModel::Rws => write!(f, "RWS"),
+        }
+    }
+}
+
+/// A deterministic, seed-derived fault-injection script for one
+/// threaded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The generating seed.
+    pub seed: u64,
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience bound (at most `t` victims are scripted).
+    pub t: usize,
+    /// Round horizon of the algorithm under test.
+    pub horizon: u32,
+    /// Target round model.
+    pub model: PlanModel,
+    /// Per-process crash script (`crashes[i]` for process `i`).
+    pub crashes: Vec<Option<ThreadCrash>>,
+    /// Slowed links as `(src, dst, round)` triples: the round-`round`
+    /// wire from `src` to `dst` takes [`SLOW`] to deliver.
+    pub slow: Vec<(ProcessId, ProcessId, u32)>,
+    /// Oracle-notification delays, `notify[crasher][observer]`
+    /// (`RWS` plans only; empty for `RS`).
+    pub notify: Vec<Vec<Duration>>,
+}
+
+impl FaultPlan {
+    /// Derives the plan for `seed` at the given system parameters.
+    ///
+    /// The derivation draws from `StdRng::seed_from_u64(seed)` in a
+    /// fixed order, so equal arguments always yield equal plans:
+    ///
+    /// 1. a victim count in `0..=t` and that many distinct victims;
+    /// 2. per victim, a crash round in `1..=horizon+1` (the extra
+    ///    round is the "decide then crash" case, which forces
+    ///    `after_sends = 0`) and a mid-broadcast cut in `0..=n`;
+    /// 3. `RWS` only: a fair coin per emitted wire of each victim in
+    ///    rounds `crash_round-1..=crash_round` decides whether that
+    ///    link is slowed, and an `n × n` notification matrix is drawn
+    ///    from [`NOTIFY_BASE`]` + 0..=`[`NOTIFY_JITTER`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t ≥ n` or `n` is 0.
+    #[must_use]
+    pub fn from_seed(seed: u64, n: usize, t: usize, horizon: u32, model: PlanModel) -> Self {
+        assert!(n > 0 && t < n, "need 0 < n and t < n");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim_count = rng.gen_range(0..=t);
+        let mut avail: Vec<usize> = (0..n).collect();
+        let mut victims: Vec<usize> = Vec::with_capacity(victim_count);
+        for _ in 0..victim_count {
+            victims.push(avail.remove(rng.gen_range(0..avail.len())));
+        }
+
+        let mut crashes: Vec<Option<ThreadCrash>> = vec![None; n];
+        for &v in &victims {
+            let round = rng.gen_range(1..=horizon + 1);
+            let after_sends = if round > horizon {
+                0 // post-horizon crashes happen after all sends anyway
+            } else {
+                rng.gen_range(0..=n)
+            };
+            crashes[v] = Some(ThreadCrash { round, after_sends });
+        }
+
+        let mut slow = Vec::new();
+        let mut notify = Vec::new();
+        if model == PlanModel::Rws {
+            for &v in &victims {
+                let crash = crashes[v].expect("victim has a crash");
+                let lo = crash.round.saturating_sub(1).max(1);
+                let hi = crash.round.min(horizon);
+                for r in lo..=hi {
+                    for dst in 0..n {
+                        if dst == v {
+                            continue;
+                        }
+                        let emitted = r < crash.round || dst < crash.after_sends;
+                        if emitted && rng.gen_bool(0.5) {
+                            slow.push((ProcessId::new(v), ProcessId::new(dst), r));
+                        }
+                    }
+                }
+            }
+            let jitter = NOTIFY_JITTER.as_millis() as u64;
+            notify = (0..n)
+                .map(|_| {
+                    (0..n)
+                        .map(|_| NOTIFY_BASE + Duration::from_millis(rng.gen_range(0..=jitter)))
+                        .collect()
+                })
+                .collect();
+        }
+
+        FaultPlan {
+            seed,
+            n,
+            t,
+            horizon,
+            model,
+            crashes,
+            slow,
+            notify,
+        }
+    }
+
+    /// The canonical §5.3 plan: [`SECTION_5_3_SEED`] at `n = 3, t = 1`
+    /// with `A1`'s horizon of 2 rounds, in `RWS`.
+    #[must_use]
+    pub fn section_5_3() -> Self {
+        FaultPlan::from_seed(SECTION_5_3_SEED, 3, 1, 2, PlanModel::Rws)
+    }
+
+    /// The per-link delivery script realizing [`Self::slow`]: the
+    /// `k`-th wire on a link is the round-`k+1` message (round drivers
+    /// emit exactly one wire per link per round, in round order).
+    #[must_use]
+    pub fn link_script(&self) -> LinkScript {
+        let mut script = LinkScript::new();
+        for &(src, dst, round) in &self.slow {
+            script.set(src, dst, (round - 1) as usize, SLOW);
+        }
+        script
+    }
+
+    /// The full [`RuntimeConfig`] realizing this plan: scripted
+    /// network, scripted crashes, and (for `RWS`) the scripted oracle.
+    #[must_use]
+    pub fn runtime_config(&self) -> RuntimeConfig {
+        let net = NetConfig::bounded(FAST_MAX, self.seed).with_script(self.link_script());
+        match self.model {
+            PlanModel::Rs => RuntimeConfig {
+                net,
+                policy: SyncPolicy::Rs {
+                    drain: Duration::from_millis(200),
+                },
+                fd: FdFlavor::Timeout {
+                    timeout: Duration::from_millis(100),
+                },
+                crashes: self.crashes.clone(),
+                round_timeout: Duration::from_secs(20),
+                notify_script: None,
+            },
+            PlanModel::Rws => RuntimeConfig {
+                net,
+                policy: SyncPolicy::Rws,
+                fd: FdFlavor::Oracle {
+                    min_notify: NOTIFY_BASE,
+                    max_notify: NOTIFY_BASE + NOTIFY_JITTER,
+                },
+                crashes: self.crashes.clone(),
+                round_timeout: Duration::from_secs(20),
+                notify_script: Some(self.notify.clone()),
+            },
+        }
+    }
+
+    /// Number of scripted victims.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.crashes.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan[seed={} n={} t={} horizon={} model={}",
+            self.seed, self.n, self.t, self.horizon, self.model
+        )?;
+        for (i, c) in self.crashes.iter().enumerate() {
+            if let Some(c) = c {
+                write!(
+                    f,
+                    " crash({}@r{}+{})",
+                    ProcessId::new(i),
+                    c.round,
+                    c.after_sends
+                )?;
+            }
+        }
+        for &(src, dst, r) in &self.slow {
+            write!(f, " slow({src}→{dst}@r{r})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..32 {
+            let a = FaultPlan::from_seed(seed, 4, 2, 3, PlanModel::Rws);
+            let b = FaultPlan::from_seed(seed, 4, 2, 3, PlanModel::Rws);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn plans_respect_bounds() {
+        for seed in 0..64 {
+            for model in [PlanModel::Rs, PlanModel::Rws] {
+                let plan = FaultPlan::from_seed(seed, 4, 2, 3, model);
+                assert!(plan.fault_count() <= 2);
+                for c in plan.crashes.iter().flatten() {
+                    assert!((1..=4).contains(&c.round));
+                    assert!(c.after_sends <= 4);
+                }
+                for &(src, dst, r) in &plan.slow {
+                    assert_ne!(src, dst, "self-links are internal");
+                    let c = plan.crashes[src.index()].expect("only victims are slowed");
+                    assert!(r + 1 >= c.round && r <= c.round, "Lemma 4.1 window");
+                    assert!(r >= 1 && r <= plan.horizon);
+                }
+                if model == PlanModel::Rs {
+                    assert!(plan.slow.is_empty(), "RS forbids pending messages");
+                    assert!(plan.notify.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn section_5_3_plan_has_the_paper_shape() {
+        let plan = FaultPlan::section_5_3();
+        // p1 finishes round 1 (deciding its own value), crashes in
+        // round 2 before relaying, and both of its round-1 broadcast
+        // wires are slowed into pending-ness.
+        let crash = plan.crashes[0].expect("p1 crashes");
+        assert_eq!(crash.round, 2);
+        assert!(crash.after_sends <= 1, "no round-2 relay escapes");
+        for dst in [1, 2] {
+            assert!(
+                plan.slow
+                    .contains(&(ProcessId::new(0), ProcessId::new(dst), 1)),
+                "round-1 wire p1→p{} must be withheld: {plan}",
+                dst + 1
+            );
+        }
+        assert_eq!(plan.crashes[1], None);
+        assert_eq!(plan.crashes[2], None);
+    }
+
+    #[test]
+    fn link_script_maps_rounds_to_link_indices() {
+        let plan = FaultPlan::section_5_3();
+        let script = plan.link_script();
+        assert_eq!(
+            script.delay(ProcessId::new(0), ProcessId::new(1), 0),
+            Some(SLOW),
+            "round 1 = link message 0"
+        );
+    }
+
+    #[test]
+    fn display_mentions_crash_and_slow() {
+        let plan = FaultPlan::section_5_3();
+        let s = plan.to_string();
+        assert!(s.contains("seed=519"), "{s}");
+        assert!(s.contains("crash(p1@r2"), "{s}");
+        assert!(s.contains("slow(p1→p2@r1)"), "{s}");
+    }
+}

@@ -54,4 +54,4 @@ pub use adversary::{
 pub use automaton::{BoxedAutomaton, IdleAutomaton, RoundRobinSender, StepAutomaton, StepContext};
 pub use exec::{run, DetectionDelays, ModelKind, RunResult, SimError};
 pub use trace::{Event, LocalObservation, StepRecord, Trace, TraceEvent};
-pub use validate::{validate_basic, validate_ss, TraceViolation};
+pub use validate::{validate_basic, validate_perfect_fd, validate_ss, TraceViolation};

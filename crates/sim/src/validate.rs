@@ -51,6 +51,16 @@ pub enum TraceViolation {
         /// Schedule index of the send.
         sent_at: StepIndex,
     },
+    /// Perfect-detector accuracy violated: a step's suspicion set
+    /// contained a process that had not crashed by that point.
+    InaccurateSuspicion {
+        /// The suspecting process.
+        observer: ProcessId,
+        /// The process wrongly suspected.
+        suspect: ProcessId,
+        /// The observer's step with the bad detector value.
+        step: StepIndex,
+    },
 }
 
 impl fmt::Display for TraceViolation {
@@ -75,6 +85,14 @@ impl fmt::Display for TraceViolation {
             TraceViolation::UndeliveredToCorrect { process, src, sent_at } => write!(
                 f,
                 "eventual delivery violated: {src}→{process} sent at {sent_at} never received"
+            ),
+            TraceViolation::InaccurateSuspicion {
+                observer,
+                suspect,
+                step,
+            } => write!(
+                f,
+                "strong accuracy violated: {observer} suspected live {suspect} at {step}"
             ),
         }
     }
@@ -115,6 +133,40 @@ where
                     src: env.src,
                     sent_at: env.sent_at,
                 });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the accuracy half of the perfect detector `P` (§2.6): no
+/// step's suspicion set contains a process that was still alive at
+/// that point of the trace.
+///
+/// (Completeness — crashed processes being *eventually* suspected — is
+/// a liveness property with no finite-trace refutation; finite traces
+/// can only certify accuracy.)
+///
+/// # Errors
+///
+/// Returns the first inaccurate suspicion found.
+pub fn validate_perfect_fd<M>(trace: &Trace<M>) -> Result<(), TraceViolation>
+where
+    M: Clone + fmt::Debug + PartialEq,
+{
+    let n = trace.universe_size();
+    let mut crashed = vec![false; n];
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::Crash { process, .. } => crashed[process.index()] = true,
+            TraceEvent::Step(s) => {
+                if let Some(suspect) = s.suspects.iter().find(|q| !crashed[q.index()]) {
+                    return Err(TraceViolation::InaccurateSuspicion {
+                        observer: s.process,
+                        suspect,
+                        step: s.global_step,
+                    });
+                }
             }
         }
     }
@@ -292,5 +344,57 @@ mod tests {
     fn violations_display() {
         let v = TraceViolation::StepAfterCrash { process: p(0) };
         assert!(v.to_string().contains("p1"));
+        let v = TraceViolation::InaccurateSuspicion {
+            observer: p(1),
+            suspect: p(0),
+            step: StepIndex::new(3),
+        };
+        assert!(v.to_string().contains("suspected live p1"));
+    }
+
+    #[test]
+    fn perfect_fd_accepts_post_crash_suspicion() {
+        use crate::trace::StepRecord;
+        use ssp_model::{ProcessSet, Time};
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(TraceEvent::Crash {
+            process: p(0),
+            time: Time::new(0),
+        });
+        t.push(TraceEvent::Step(StepRecord {
+            process: p(1),
+            time: Time::new(1),
+            global_step: StepIndex::new(0),
+            own_step: 0,
+            received: vec![],
+            suspects: ProcessSet::singleton(p(0)),
+            sent: None,
+        }));
+        validate_perfect_fd(&t).unwrap();
+    }
+
+    #[test]
+    fn perfect_fd_rejects_premature_suspicion() {
+        use crate::trace::StepRecord;
+        use ssp_model::{ProcessSet, Time};
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(TraceEvent::Step(StepRecord {
+            process: p(1),
+            time: Time::new(0),
+            global_step: StepIndex::new(0),
+            own_step: 0,
+            received: vec![],
+            suspects: ProcessSet::singleton(p(0)),
+            sent: None,
+        }));
+        let err = validate_perfect_fd(&t).unwrap_err();
+        assert_eq!(
+            err,
+            TraceViolation::InaccurateSuspicion {
+                observer: p(1),
+                suspect: p(0),
+                step: StepIndex::new(0),
+            }
+        );
     }
 }

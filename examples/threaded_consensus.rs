@@ -1,19 +1,18 @@
 //! The models in wall-clock form: one OS thread per process, crossbeam
 //! channels with injectable delays, timeout vs. oracle failure
-//! detection — and the §5.3 disagreement reproduced with real packets.
+//! detection — and the §5.3 disagreement reproduced with real packets
+//! from its fixed, documented seed.
 //!
 //! ```sh
 //! cargo run --release --example threaded_consensus
 //! ```
 
-use std::time::Duration;
-
 use ssp::algos::{FloodSetWs, A1};
-use ssp::model::{check_uniform_consensus, InitialConfig, ProcessId};
-use ssp::runtime::{run_threaded, NetConfig, RuntimeConfig, ThreadCrash};
+use ssp::lab::{check_threaded_run, ValidityMode};
+use ssp::model::{check_uniform_consensus, InitialConfig};
+use ssp::runtime::{run_threaded, FaultPlan, RuntimeConfig};
 
 fn main() {
-    let p = ProcessId::new;
     let n = 3;
 
     println!("== SS flavour: bounded delays + timeout detector ==");
@@ -27,29 +26,25 @@ fn main() {
         result.pending_messages
     );
 
-    println!("== SP flavour: p1's links slowed to 2s, oracle detector ==");
+    println!("== SP flavour: the §5.3 adversary from its seed ==");
+    let plan = FaultPlan::section_5_3();
+    println!("{plan}");
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let net = NetConfig::bounded(Duration::from_millis(2), 9).with_sender_delay(
-        p(0),
-        n,
-        Duration::from_secs(2),
-    );
-    let runtime = RuntimeConfig::sp_flavor(n, 9).with_net(net).with_crash(
-        p(0),
-        ThreadCrash {
-            round: 2,
-            after_sends: 0,
-        },
-    );
-    let result = run_threaded(&A1, &config, 1, runtime.clone());
+    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
     println!("{}", result.outcome);
     match check_uniform_consensus(&result.outcome) {
-        Err(violation) => println!("real threads, real pending messages: {violation}\n"),
-        Ok(()) => println!("(scheduling was kind this time — rerun for the anomaly)\n"),
+        Err(violation) => println!("real threads, real pending messages: {violation}"),
+        Ok(()) => unreachable!("the scripted plan reproduces the anomaly every run"),
     }
+    let report = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
+        .expect("the anomaly is an admissible RWS run, replayed tick-for-tick");
+    println!(
+        "certified against the round models: {} pending message(s), replay agrees\n",
+        report.pending
+    );
 
     println!("== Same adversary against FloodSetWS ==");
-    let result = run_threaded(&FloodSetWs, &config, 1, runtime);
+    let result = run_threaded(&FloodSetWs, &config, 1, plan.runtime_config());
     println!("{}", result.outcome);
     match check_uniform_consensus(&result.outcome) {
         Ok(()) => println!("uniform consensus survives — the halt mechanism at work."),

@@ -8,6 +8,7 @@
 //! ssp commit    [--trials K] [--crash-prob P]      §3 commit-rate gap
 //! ssp heartbeat [-n N] [--phi F] [--delta D]       timeouts implement P
 //! ssp emulation [-n N] [--phi F] [--delta D] [-r R] §4.1 step budgets
+//! ssp runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T]
 //! ```
 //!
 //! Algorithms: `floodset`, `floodset-ws`, `c-opt`, `c-opt-ws`, `f-opt`,
@@ -24,10 +25,12 @@ use ssp::fd::classify;
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::report::Table;
 use ssp::lab::{
-    refute, run_heartbeat_experiment, LatencyAggregator, RoundModel, SampleSpace, Symmetry,
-    ValidityMode, Verification, Verifier,
+    fuzz_runtime, refute, run_heartbeat_experiment, LatencyAggregator, RoundModel, SampleSpace,
+    Symmetry, ValidityMode, Verification, Verifier,
 };
+use ssp::model::InitialConfig;
 use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
+use ssp::runtime::{PlanModel, SECTION_5_3_SEED};
 
 /// Minimal flag parser: `--key value` / `-k value` pairs after the
 /// positional arguments.
@@ -442,6 +445,90 @@ fn cmd_emulation(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a half-open `A..B` seed range.
+fn parse_seed_range(s: &str) -> Result<std::ops::Range<u64>, String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("--seed-range: expected A..B, got {s:?}"))?;
+    let start: u64 = a
+        .parse()
+        .map_err(|_| format!("--seed-range: bad start {a:?}"))?;
+    let end: u64 = b
+        .parse()
+        .map_err(|_| format!("--seed-range: bad end {b:?}"))?;
+    if start >= end {
+        return Err(format!("--seed-range: empty range {s:?}"));
+    }
+    Ok(start..end)
+}
+
+fn cmd_runtime_fuzz(flags: &Flags) -> Result<(), String> {
+    let algo_name = flags.positional.get(1).map_or("a1", String::as_str);
+    let model_name = flags.positional.get(2).map_or("rws", String::as_str);
+    let model = match model_name {
+        "rs" => PlanModel::Rs,
+        "rws" => PlanModel::Rws,
+        other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    };
+    let n = flags.usize_or("n", 3)?;
+    let t = flags.usize_or("t", 1)?;
+    if n == 0 || t >= n {
+        return Err(format!("need 0 ≤ t < n, got n={n}, t={t}"));
+    }
+    let seeds = parse_seed_range(flags.get("seed-range").unwrap_or("0..16"))?;
+    let mode = match flags.get("validity").unwrap_or("uniform") {
+        "uniform" => ValidityMode::Uniform,
+        "strong" => ValidityMode::Strong,
+        other => {
+            return Err(format!(
+                "--validity: unknown mode {other:?} (uniform or strong)"
+            ))
+        }
+    };
+    // Distinct inputs make every agreement violation visible.
+    let config = InitialConfig::new((0..n as u64).map(|i| 10 + i).collect::<Vec<_>>());
+    let report = with_algo!(algo_name, algo => {
+        fuzz_runtime(&algo, &config, t, model, seeds.clone(), mode)
+    })?;
+    println!(
+        "runtime-fuzz {algo_name} in {model}: {} seeded wall-clock runs (n={n}, t={t}, seeds {}..{})",
+        report.runs, seeds.start, seeds.end
+    );
+    if report.spec_violations.is_empty() {
+        println!("  spec violations: none");
+    } else {
+        println!(
+            "  spec violations: {} (a finding about {algo_name}, not a runtime bug)",
+            report.spec_violations.len()
+        );
+        for (seed, violation) in report.spec_violations.iter().take(3) {
+            println!("    seed {seed}: {violation}");
+        }
+        println!(
+            "  model checker sweeping the same space agrees: {}",
+            report.checker_agrees
+        );
+    }
+    if model == PlanModel::Rws && algo_name == "a1" && !seeds.contains(&SECTION_5_3_SEED) {
+        println!("  hint: seed {SECTION_5_3_SEED} scripts the §5.3 two-pending-broadcast anomaly");
+    }
+    if report.divergences.is_empty() {
+        println!(
+            "  runtime ↔ model conformance: every trace admissible and replayed tick-for-tick"
+        );
+        Ok(())
+    } else {
+        let mut msg = format!(
+            "runtime diverged from the round models on {} seed(s):",
+            report.divergences.len()
+        );
+        for (seed, detail) in &report.divergences {
+            msg.push_str(&format!("\n  seed {seed}: {detail}"));
+        }
+        Err(msg)
+    }
+}
+
 const USAGE: &str = "usage: ssp <command> [options]
 
 commands:
@@ -452,6 +539,9 @@ commands:
   commit     [-n N] [-t T] [--trials K] [--crash-prob P]
   heartbeat  [-n N] [--phi F] [--delta D]          timeouts implement P (§3)
   emulation  [-n N] [--phi F] [--delta D] [-r R]   §4.1 step budgets
+  runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T] [--validity uniform|strong]
+             sweep seeded fault plans through the threaded runtime and
+             certify every trace against the round models (default: a1 rws)
 
 algorithms: floodset floodset-ws c-opt c-opt-ws f-opt f-opt-ws a1 early early-ws";
 
@@ -465,6 +555,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("commit") => cmd_commit(&flags),
         Some("heartbeat") => cmd_heartbeat(&flags),
         Some("emulation") => cmd_emulation(&flags),
+        Some("runtime-fuzz") => cmd_runtime_fuzz(&flags),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -554,6 +645,26 @@ mod tests {
         // compile-time gate.
         assert!(dispatch(&argv("verify a1 rs --sym full")).is_err());
         dispatch(&argv("verify a1 rs --sym values")).unwrap();
+    }
+
+    #[test]
+    fn parse_seed_range_accepts_half_open() {
+        assert_eq!(parse_seed_range("3..7").unwrap(), 3..7);
+        assert!(parse_seed_range("7..3").is_err());
+        assert!(parse_seed_range("5..5").is_err());
+        assert!(parse_seed_range("nope").is_err());
+    }
+
+    #[test]
+    fn runtime_fuzz_smoke() {
+        dispatch(&argv("runtime-fuzz floodset rs --seed-range 0..2")).unwrap();
+    }
+
+    #[test]
+    fn runtime_fuzz_rejects_bad_bounds() {
+        assert!(dispatch(&argv("runtime-fuzz a1 rws -n 3 -t 3")).is_err());
+        assert!(dispatch(&argv("runtime-fuzz a1 ws")).is_err());
+        assert!(dispatch(&argv("runtime-fuzz a1 rws --validity weird")).is_err());
     }
 
     #[test]

@@ -98,6 +98,38 @@ fn commit_reports_rates() {
 }
 
 #[test]
+fn runtime_fuzz_sweeps_and_reports_conformance() {
+    let (ok, stdout, _) = ssp(&["runtime-fuzz", "floodset", "rs", "--seed-range", "0..4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("4 seeded wall-clock runs"), "{stdout}");
+    assert!(stdout.contains("spec violations: none"), "{stdout}");
+    assert!(
+        stdout.contains("replayed tick-for-tick"),
+        "conformance line expected in:\n{stdout}"
+    );
+}
+
+#[test]
+fn runtime_fuzz_reproduces_the_section_5_3_violation_from_its_seed() {
+    let (ok, stdout, _) = ssp(&["runtime-fuzz", "a1", "rws", "--seed-range", "519..520"]);
+    assert!(ok, "a spec violation is a finding, not a CLI failure");
+    assert!(stdout.contains("spec violations: 1"), "{stdout}");
+    assert!(stdout.contains("seed 519"), "{stdout}");
+    assert!(stdout.contains("uniform agreement violated"), "{stdout}");
+    assert!(
+        stdout.contains("checker sweeping the same space agrees: true"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn runtime_fuzz_rejects_a_malformed_seed_range() {
+    let (ok, _, stderr) = ssp(&["runtime-fuzz", "--seed-range", "9..3"]);
+    assert!(!ok);
+    assert!(stderr.contains("seed-range"), "{stderr}");
+}
+
+#[test]
 fn bad_flag_value_fails() {
     let (ok, _, stderr) = ssp(&["latency", "-n", "lots"]);
     assert!(!ok);

@@ -1,0 +1,97 @@
+//! API-continuity regression for E17: the pre-`Verifier` entry points stay alive: the deprecated
+//! `verify_*` / `sample_verify_*` wrappers from the old API must keep
+//! compiling and must return verdicts identical to the [`Verifier`]
+//! builder they now delegate to.
+
+#![allow(deprecated)]
+
+use ssp::algos::{FloodSet, FloodSetWs, A1};
+use ssp::lab::{
+    sample_verify_rs, sample_verify_rws, verify_rs, verify_rs_parallel, verify_rws,
+    verify_rws_parallel, RoundModel, SampleSpace, ValidityMode, Verifier,
+};
+
+const BINARY: &[u64] = &[0, 1];
+
+#[test]
+fn verify_rs_agrees_with_the_builder() {
+    let wrapper = verify_rs(&FloodSet, 3, 1, BINARY, ValidityMode::Strong);
+    let builder = Verifier::new(&FloodSet)
+        .n(3)
+        .t(1)
+        .domain(BINARY)
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rs)
+        .run();
+    assert!(wrapper.is_ok());
+    assert_eq!(wrapper.is_ok(), builder.is_ok());
+    assert_eq!(wrapper.runs, builder.runs, "identical enumeration order");
+}
+
+#[test]
+fn verify_rws_agrees_with_the_builder_on_a_violation() {
+    let wrapper = verify_rws(&A1, 3, 1, BINARY, ValidityMode::Uniform);
+    let builder = Verifier::new(&A1)
+        .n(3)
+        .t(1)
+        .domain(BINARY)
+        .mode(ValidityMode::Uniform)
+        .model(RoundModel::Rws)
+        .run();
+    assert!(!wrapper.is_ok(), "A1 is unsafe in RWS (§5.3)");
+    assert_eq!(wrapper.is_ok(), builder.is_ok());
+    assert_eq!(
+        wrapper.runs, builder.runs,
+        "both sweeps stop at the same least counterexample"
+    );
+    let (a, b) = (
+        wrapper.counterexample.expect("violation"),
+        builder.counterexample.expect("violation"),
+    );
+    assert_eq!(a.to_string(), b.to_string(), "identical forensics");
+}
+
+#[test]
+fn parallel_wrappers_agree_with_the_builder() {
+    let rs = verify_rs_parallel(&FloodSet, 3, 1, BINARY, ValidityMode::Strong, 2);
+    assert!(rs.is_ok());
+    assert_eq!(
+        rs.represented,
+        Verifier::new(&FloodSet)
+            .n(3)
+            .t(1)
+            .domain(BINARY)
+            .mode(ValidityMode::Strong)
+            .model(RoundModel::Rs)
+            .threads(2)
+            .run()
+            .represented
+    );
+
+    let rws = verify_rws_parallel(&FloodSetWs, 3, 1, BINARY, ValidityMode::Uniform, 2);
+    assert!(rws.is_ok(), "FloodSetWs survives RWS");
+    assert_eq!(
+        rws.represented,
+        Verifier::new(&FloodSetWs)
+            .n(3)
+            .t(1)
+            .domain(BINARY)
+            .mode(ValidityMode::Uniform)
+            .model(RoundModel::Rws)
+            .threads(2)
+            .run()
+            .represented
+    );
+}
+
+#[test]
+fn sample_wrappers_still_sample() {
+    let space = SampleSpace::adversarial(4, 2);
+    let rs = sample_verify_rs(&FloodSet, &space, BINARY, 200, 7, ValidityMode::Strong);
+    assert_eq!(rs.trials, 200);
+    assert!(rs.counterexample.is_none(), "FloodSet is safe in RS");
+
+    let rws = sample_verify_rws(&FloodSetWs, &space, BINARY, 200, 7, ValidityMode::Uniform);
+    assert_eq!(rws.trials, 200);
+    assert!(rws.counterexample.is_none(), "FloodSetWs is safe in RWS");
+}

@@ -1,13 +1,11 @@
 //! E12 — end-to-end runs on the threaded runtime: the same round
 //! algorithms, real threads, real channels, real clocks.
 
-use std::time::Duration;
-
 use ssp::algos::{EarlyDeciding, FOptFloodSet, FloodSet, FloodSetWs, A1};
 use ssp::model::{
     check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round,
 };
-use ssp::runtime::{run_threaded, NetConfig, RuntimeConfig, ThreadCrash};
+use ssp::runtime::{run_threaded, FaultPlan, PlanModel, RuntimeConfig, ThreadCrash};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -85,21 +83,12 @@ fn a1_decides_after_p1_partial_crash_on_threads() {
 
 #[test]
 fn sp_flavor_produces_real_pending_messages() {
-    let n = 3;
+    // The §5.3 anomaly from its fixed, documented seed: p1 broadcasts
+    // round 1 with both outgoing links scripted slow, decides its own
+    // value via self-delivery, then crashes in round 2 before relaying.
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let net = NetConfig::bounded(Duration::from_millis(1), 13).with_sender_delay(
-        p(0),
-        n,
-        Duration::from_millis(800),
-    );
-    let runtime = RuntimeConfig::sp_flavor(n, 13).with_net(net).with_crash(
-        p(0),
-        ThreadCrash {
-            round: 2,
-            after_sends: 0,
-        },
-    );
-    let result = run_threaded(&A1, &config, 1, runtime);
+    let plan = FaultPlan::section_5_3();
+    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
     assert!(
         check_uniform_consensus(&result.outcome).is_err(),
         "the §5.3 anomaly must appear: {}",
@@ -109,25 +98,19 @@ fn sp_flavor_produces_real_pending_messages() {
         result.outcome.outcome(p(0)).decision,
         Some((10, Round::FIRST))
     );
+    assert_eq!(
+        result.trace.pending().len(),
+        2,
+        "both withheld broadcasts are pending messages"
+    );
 }
 
 #[test]
 fn floodset_ws_immune_on_threads() {
-    let n = 3;
+    // The exact adversary that defeats A1 leaves FloodSetWs intact.
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let net = NetConfig::bounded(Duration::from_millis(1), 13).with_sender_delay(
-        p(0),
-        n,
-        Duration::from_millis(800),
-    );
-    let runtime = RuntimeConfig::sp_flavor(n, 13).with_net(net).with_crash(
-        p(0),
-        ThreadCrash {
-            round: 2,
-            after_sends: 0,
-        },
-    );
-    let result = run_threaded(&FloodSetWs, &config, 1, runtime);
+    let plan = FaultPlan::section_5_3();
+    let result = run_threaded(&FloodSetWs, &config, 1, plan.runtime_config());
     check_uniform_consensus(&result.outcome).unwrap();
 }
 
@@ -176,23 +159,17 @@ fn atomic_commit_runs_on_threads_too() {
 #[test]
 fn pending_votes_abort_on_threads() {
     use ssp::commit::{check_nbac, NonTriviality, VoteFloodWs};
-    // The SP flavour: p1's vote is slowed into pending-ness and it
-    // crashes — the survivors must abort despite all-Yes votes.
-    let n = 3;
+    // The SP flavour: p1's vote to p2 is slowed into pending-ness and
+    // p1 crashes mid-broadcast — the survivors must abort despite
+    // all-Yes votes. Seed 98 derives exactly that plan:
+    // crash(p1@r1+2) slow(p1→p2@r1).
     let config = InitialConfig::new(vec![true, true, true]);
-    let net = NetConfig::bounded(Duration::from_millis(1), 17).with_sender_delay(
-        p(0),
-        n,
-        Duration::from_millis(800),
+    let plan = FaultPlan::from_seed(98, 3, 1, 2, PlanModel::Rws);
+    assert_eq!(
+        plan.to_string(),
+        "plan[seed=98 n=3 t=1 horizon=2 model=RWS crash(p1@r1+2) slow(p1→p2@r1)]"
     );
-    let runtime = RuntimeConfig::sp_flavor(n, 17).with_net(net).with_crash(
-        p(0),
-        ThreadCrash {
-            round: 1,
-            after_sends: 1,
-        },
-    );
-    let result = run_threaded(&VoteFloodWs, &config, 1, runtime);
+    let result = run_threaded(&VoteFloodWs, &config, 1, plan.runtime_config());
     check_nbac(&result.outcome, NonTriviality::Classic, false).unwrap();
     for (_, o) in result.outcome.iter() {
         if o.is_correct() {
