@@ -32,7 +32,9 @@ use ssp_model::{
     check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round, Value,
 };
 use ssp_rounds::{run_rws_traced, RoundAlgorithm, RoundProcess};
-use ssp_runtime::{run_threaded, FaultPlan, PlanModel, RunTraceError, ThreadedOutcome};
+use ssp_runtime::{
+    run_threaded, ChaosConfig, DegradeMode, FaultPlan, PlanModel, RunTraceError, ThreadedOutcome,
+};
 use ssp_sim::{validate_basic, validate_perfect_fd, TraceViolation};
 
 use crate::checker::ValidityMode;
@@ -88,6 +90,49 @@ impl fmt::Display for Divergence {
 
 impl std::error::Error for Divergence {}
 
+/// What model, if any, a threaded run is certified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// Admissible under round synchrony, bounds intact.
+    Rs,
+    /// Admissible under weak round synchrony.
+    Rws,
+    /// Started as `RS`, but the watchdog detected a Δ violation and
+    /// downgraded the run — certified as an `RWS` run instead (which
+    /// is sound: `RWS` never relied on Δ).
+    DegradedRws {
+        /// The round in which the downgrade took effect.
+        at: Round,
+    },
+    /// The watchdog detected a Δ violation and degradation was off:
+    /// the run kept claiming `RS` on a network that broke the claim.
+    /// Never certified — whatever it decided is untrustworthy (§3).
+    SynchronyViolation,
+    /// The watchdog aborted the run; nothing to certify.
+    Aborted,
+}
+
+impl fmt::Display for RunVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunVerdict::Rs => write!(f, "RS"),
+            RunVerdict::Rws => write!(f, "RWS"),
+            RunVerdict::DegradedRws { at } => write!(f, "RWS (degraded at {at})"),
+            RunVerdict::SynchronyViolation => write!(f, "SynchronyViolation"),
+            RunVerdict::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+impl RunVerdict {
+    /// Whether the run is certified against some round model (`RS`,
+    /// `RWS`, or degraded `RWS`).
+    #[must_use]
+    pub fn is_certified(&self) -> bool {
+        !matches!(self, RunVerdict::SynchronyViolation | RunVerdict::Aborted)
+    }
+}
+
 /// What a conformant threaded run looked like.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -97,6 +142,8 @@ pub struct RunReport {
     pub violation: Option<String>,
     /// Number of pending messages the run realized.
     pub pending: usize,
+    /// Which model the run is certified against, if any.
+    pub verdict: RunVerdict,
 }
 
 fn check_spec<V: Value>(
@@ -137,6 +184,28 @@ where
     A: RoundAlgorithm<V>,
 {
     let trace = &result.trace;
+    if trace.aborted {
+        // The watchdog stopped the run mid-flight: the logs are
+        // deliberately cut short and certify nothing. Not a divergence
+        // — aborting on a violated bound is the configured behavior.
+        return Ok(RunReport {
+            violation: None,
+            pending: 0,
+            verdict: RunVerdict::Aborted,
+        });
+    }
+    if result.synchrony.flagged() {
+        // Δ was violated and degradation was off: the run kept
+        // claiming RS on a network that broke the claim. Whatever it
+        // produced must be flagged, never certified — this is §5.3
+        // smuggled into "RS", and its trace is typically inadmissible
+        // (pending messages under round synchrony).
+        return Ok(RunReport {
+            violation: check_spec(&result.outcome, mode),
+            pending: trace.pending().len(),
+            verdict: RunVerdict::SynchronyViolation,
+        });
+    }
     trace.validate().map_err(Divergence::Inadmissible)?;
     let steps = trace.to_step_trace().map_err(Divergence::Inadmissible)?;
     validate_basic(&steps).map_err(Divergence::StepModel)?;
@@ -177,6 +246,11 @@ where
     Ok(RunReport {
         violation: check_spec(&result.outcome, mode),
         pending: pending.len(),
+        verdict: match trace.degraded_at {
+            Some(at) => RunVerdict::DegradedRws { at },
+            None if trace.rs => RunVerdict::Rs,
+            None => RunVerdict::Rws,
+        },
     })
 }
 
@@ -222,18 +296,38 @@ where
     }
 }
 
+/// Chaos and degradation knobs for a fuzz sweep (the `--chaos`,
+/// `--loss`, `--dup`, `--reorder`, `--degrade` CLI flags).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzOptions {
+    /// Chaos faults applied to every plan (implies reliable delivery).
+    pub chaos: Option<ChaosConfig>,
+    /// Watchdog degradation mode (effective in `RS` sweeps).
+    pub degrade: DegradeMode,
+}
+
 /// The result of a seed sweep over the fault-injection plane.
 #[derive(Debug, Clone, Default)]
 pub struct FuzzReport {
     /// Seeds executed.
     pub runs: u64,
-    /// `(seed, violation)` for runs that broke the consensus spec —
-    /// expected exactly when the algorithm is unsafe in the model.
+    /// `(seed, violation)` for certified runs that broke the consensus
+    /// spec — expected exactly when the algorithm is unsafe in the
+    /// model.
     pub spec_violations: Vec<(u64, String)>,
     /// `(seed, detail)` for runs that diverged from the round models,
     /// each with its shrunk minimal plan. Always empty unless there is
     /// a bug in the runtime, the models, or the bridge.
     pub divergences: Vec<(u64, String)>,
+    /// `(seed, violation-or-empty)` for runs the watchdog flagged as
+    /// `SynchronyViolation` (Δ broken, degradation off). These are
+    /// excluded from the checker cross-check: a bound-violating run is
+    /// outside the model space the checker sweeps.
+    pub synchrony_flags: Vec<(u64, String)>,
+    /// Runs the watchdog downgraded to `RWS`.
+    pub degraded: u64,
+    /// Runs the watchdog aborted.
+    pub aborted: u64,
     /// Whether the [`Verifier`] verdict over the same space agrees
     /// with the sweep (a spec-violating run implies a violating sweep).
     pub checker_agrees: bool,
@@ -270,21 +364,64 @@ where
     A::Process: Send + 'static,
     <A::Process as RoundProcess>::Msg: Send + 'static,
 {
+    fuzz_runtime_with(algo, config, t, model, seeds, mode, FuzzOptions::default())
+}
+
+/// [`fuzz_runtime`] with chaos and degradation knobs: every plan gets
+/// `options.chaos` (loss/duplication/reordering over the reliable
+/// layer) and `options.degrade` applied before running.
+///
+/// # Panics
+///
+/// Panics if `config` is empty or a worker thread panics.
+#[allow(clippy::too_many_arguments)]
+pub fn fuzz_runtime_with<V, A>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    model: PlanModel,
+    seeds: Range<u64>,
+    mode: ValidityMode,
+    options: FuzzOptions,
+) -> FuzzReport
+where
+    V: Value + Sync,
+    A: RoundAlgorithm<V> + Sync,
+    A::Process: Send + 'static,
+    <A::Process as RoundProcess>::Msg: Send + 'static,
+{
     let n = config.n();
     let horizon = algo.round_horizon(n, t);
+    let decorate = |mut plan: FaultPlan| {
+        if let Some(chaos) = options.chaos {
+            plan = plan.with_chaos(chaos);
+        }
+        plan.with_degrade(options.degrade)
+    };
     let mut report = FuzzReport {
         checker_agrees: true,
         ..FuzzReport::default()
     };
     for seed in seeds {
-        let plan = FaultPlan::from_seed(seed, n, t, horizon, model);
+        let plan = decorate(FaultPlan::from_seed(seed, n, t, horizon, model));
         let result = run_threaded(algo, config, t, plan.runtime_config());
         match check_threaded_run(algo, config, t, &result, mode) {
-            Ok(run) => {
-                if let Some(violation) = run.violation {
-                    report.spec_violations.push((seed, violation));
+            Ok(run) => match run.verdict {
+                RunVerdict::SynchronyViolation => {
+                    report
+                        .synchrony_flags
+                        .push((seed, run.violation.unwrap_or_default()));
                 }
-            }
+                RunVerdict::Aborted => report.aborted += 1,
+                certified => {
+                    if matches!(certified, RunVerdict::DegradedRws { .. }) {
+                        report.degraded += 1;
+                    }
+                    if let Some(violation) = run.violation {
+                        report.spec_violations.push((seed, violation));
+                    }
+                }
+            },
             Err(divergence) => {
                 let minimal = shrink_plan(&plan, |cand| {
                     let rerun = run_threaded(algo, config, t, cand.runtime_config());
@@ -413,6 +550,86 @@ mod tests {
         // Lemma 4.1), which the predicate needs.
         assert!(minimal.crashes[0].is_some());
         assert!(minimal.crashes[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn delta_violation_without_degradation_is_flagged_not_certified() {
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let plan = FaultPlan::delta_violation();
+        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        assert!(result.synchrony.violated, "the slow wires must trip Δ");
+        let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
+            .expect("flagged runs are reported, not divergences");
+        assert_eq!(run.verdict, RunVerdict::SynchronyViolation);
+        assert!(!run.verdict.is_certified());
+        let violation = run.violation.expect("uniform agreement must break");
+        assert!(violation.contains("agree"), "{violation}");
+    }
+
+    #[test]
+    fn delta_violation_with_rws_degradation_is_admissible() {
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Rws);
+        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
+            .expect("degraded runs must certify as RWS");
+        assert!(
+            matches!(run.verdict, RunVerdict::DegradedRws { .. }),
+            "{:?}",
+            run.verdict
+        );
+        assert!(run.verdict.is_certified());
+    }
+
+    #[test]
+    fn delta_violation_with_abort_stops_the_run() {
+        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Abort);
+        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        assert!(result.synchrony.aborted);
+        let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
+            .expect("aborted runs are reported, not divergences");
+        assert_eq!(run.verdict, RunVerdict::Aborted);
+        assert!(run.violation.is_none(), "nothing is certified or judged");
+    }
+
+    #[test]
+    fn chaos_sweep_stays_conformant() {
+        let config = InitialConfig::new(vec![4u64, 6, 2]);
+        let options = FuzzOptions {
+            chaos: Some(ChaosConfig {
+                loss_pm: 300,
+                dup_pm: 100,
+                reorder_pm: 50,
+            }),
+            degrade: DegradeMode::Off,
+        };
+        let rs = fuzz_runtime_with(
+            &FloodSet,
+            &config,
+            1,
+            PlanModel::Rs,
+            0..4,
+            ValidityMode::Strong,
+            options,
+        );
+        assert!(rs.is_conformant(), "{:?}", rs.divergences);
+        assert!(
+            rs.synchrony_flags.is_empty(),
+            "reliable delivery keeps chaos inside Δ: {:?}",
+            rs.synchrony_flags
+        );
+        let rws = fuzz_runtime_with(
+            &FloodSetWs,
+            &config,
+            1,
+            PlanModel::Rws,
+            0..4,
+            ValidityMode::Uniform,
+            options,
+        );
+        assert!(rws.is_conformant(), "{:?}", rws.divergences);
+        assert!(rws.spec_violations.is_empty(), "{:?}", rws.spec_violations);
     }
 
     #[test]

@@ -53,7 +53,8 @@ pub mod verifier;
 pub use checker::{verify_rs, verify_rws};
 pub use checker::{Counterexample, ValidityMode, Verification};
 pub use conformance::{
-    check_threaded_run, fuzz_runtime, shrink_plan, Divergence, FuzzReport, RunReport,
+    check_threaded_run, fuzz_runtime, fuzz_runtime_with, shrink_plan, Divergence, FuzzOptions,
+    FuzzReport, RunReport, RunVerdict,
 };
 pub use dls_bridge::{run_adaptive_experiment, AdaptiveHeartbeatProcess, DlsExperiment};
 pub use enumerate::{

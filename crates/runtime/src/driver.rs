@@ -13,7 +13,21 @@
 //!   soon as every peer has either delivered or become suspected.
 //!   Messages that arrive after their round closed are *pending*,
 //!   counted in [`ThreadedOutcome::pending_messages`].
+//!
+//! `RS` runs carry a **synchrony watchdog**
+//! ([`crate::fd::SynchronyMonitor`]): the claimed delivery bound Δ is
+//! checked at runtime (over-Δ scheduling and deliveries by the
+//! network, detector mistakes and pending arrivals by the workers),
+//! and on violation the run either keeps going *flagged*
+//! ([`DegradeMode::Off`]), downgrades every still-open and future
+//! round to `RWS` semantics ([`DegradeMode::Rws`] — suspicion closes
+//! rounds, in-flight wires become pending, which is sound because
+//! `RWS` never relied on Δ), or stops undecided
+//! ([`DegradeMode::Abort`]). [`RuntimeConfig::validate`] rejects
+//! configurations that could not realize `RS` even on a well-behaved
+//! network (drain ≤ worst transport delay, FD timeout ≤ delay bound).
 
+use core::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,9 +37,22 @@ use ssp_model::{
 };
 use ssp_rounds::{RoundAlgorithm, RoundProcess};
 
-use crate::fd::{FdModule, HeartbeatBoard, Oracle, OracleFd, TimeoutFd};
-use crate::net::{spawn_network, NetConfig, NetReceiver, NetSender};
+use crate::fd::{
+    CrashLedger, DegradeMode, FdModule, HeartbeatBoard, Oracle, OracleFd, SynchronyEvent,
+    SynchronyMonitor, SynchronyReport, TimeoutFd,
+};
+use crate::net::{spawn_network_watched, NetConfig, NetReceiver, NetSender, NetStats};
 use crate::trace::{RoundObs, RunTrace};
+
+/// Safety margin the auto-derived watchdog Δ adds on top of the
+/// network's worst transport delay (absorbs scheduling jitter between
+/// submission and the net thread picking the wire up).
+pub const WATCHDOG_MARGIN: Duration = Duration::from_millis(25);
+
+/// Minimum headroom the FD timeout must keep above the delay bound
+/// (heartbeats ride the scheduler, not the network, but the same
+/// jitter budget applies).
+pub const FD_TIMEOUT_MARGIN: Duration = Duration::from_millis(10);
 
 /// Round-tagged wire format (nulls sent explicitly, as in the §4.2
 /// emulation, so receivers can stop waiting for live-but-silent peers).
@@ -79,10 +106,118 @@ pub struct ThreadCrash {
     pub after_sends: usize,
 }
 
+/// A scripted heartbeat starvation: the process sleeps for `duration`
+/// at the start of `round`, before sending or beating — live but
+/// unresponsive, the raw material of detector mistakes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stall {
+    /// The round whose start is delayed.
+    pub round: u32,
+    /// How long the process sleeps.
+    pub duration: Duration,
+}
+
+/// Synchrony-watchdog configuration. The watchdog arms only under
+/// [`SyncPolicy::Rs`] — `RWS` claims no delivery bound to violate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WatchdogConfig {
+    /// Claimed transport-level delivery bound Δ. `None` derives it
+    /// from the network: worst transport delay + [`WATCHDOG_MARGIN`].
+    pub delta: Option<Duration>,
+    /// What to do when the bound is violated.
+    pub degrade: DegradeMode,
+}
+
+/// A configuration that cannot realize its claimed model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `crashes` must have one slot per process.
+    CrashSlots {
+        /// Expected length (`n`).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// `stalls` must have one slot per process.
+    StallSlots {
+        /// Expected length (`n`).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// The delay window is inverted.
+    DelayWindow {
+        /// Configured minimum delay.
+        min: Duration,
+        /// Configured maximum delay.
+        max: Duration,
+    },
+    /// The `RS` drain does not cover the network's worst transport
+    /// delay: a slow-but-in-bound wire could be declared absent and
+    /// round synchrony silently forfeited.
+    DrainTooShort {
+        /// Configured drain.
+        drain: Duration,
+        /// Worst transport delay it must exceed.
+        required: Duration,
+    },
+    /// The timeout detector's threshold does not clear the delay
+    /// bound plus margin: a live process could be suspected under
+    /// ordinary jitter, making the "perfect" detector imperfect by
+    /// construction.
+    FdTimeoutTooShort {
+        /// Configured timeout.
+        timeout: Duration,
+        /// Bound + margin it must exceed.
+        required: Duration,
+    },
+    /// The scripted oracle-notification matrix is not `n × n`.
+    NotifyShape {
+        /// Expected dimension (`n`).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::CrashSlots { expected, got } => write!(
+                f,
+                "crash script must have one slot per process (expected {expected}, got {got})"
+            ),
+            ConfigError::StallSlots { expected, got } => write!(
+                f,
+                "stall script must have one slot per process (expected {expected}, got {got})"
+            ),
+            ConfigError::DelayWindow { min, max } => write!(
+                f,
+                "network delay window is inverted (min {min:?} > max {max:?})"
+            ),
+            ConfigError::DrainTooShort { drain, required } => write!(
+                f,
+                "RS drain {drain:?} does not exceed the worst transport delay {required:?}: \
+                 an in-bound wire could be declared absent and round synchrony forfeited"
+            ),
+            ConfigError::FdTimeoutTooShort { timeout, required } => write!(
+                f,
+                "FD timeout {timeout:?} does not exceed the delay bound plus margin \
+                 {required:?}: a live process could be suspected under ordinary jitter"
+            ),
+            ConfigError::NotifyShape { expected } => write!(
+                f,
+                "oracle notify script must be {expected}\u{d7}{expected} (one delay per \
+                 crasher/observer pair)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of a threaded execution.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Network delays.
+    /// Network delays (and chaos faults).
     pub net: NetConfig,
     /// Round-closing policy.
     pub policy: SyncPolicy,
@@ -90,6 +225,10 @@ pub struct RuntimeConfig {
     pub fd: FdFlavor,
     /// Per-process crash script.
     pub crashes: Vec<Option<ThreadCrash>>,
+    /// Per-process stall script (heartbeat starvation).
+    pub stalls: Vec<Option<Stall>>,
+    /// Synchrony-watchdog settings (effective under `RS` only).
+    pub watchdog: WatchdogConfig,
     /// Hard per-round safety timeout (a liveness bug fails the run
     /// rather than hanging the test suite).
     pub round_timeout: Duration,
@@ -114,6 +253,8 @@ impl RuntimeConfig {
                 timeout: Duration::from_millis(100),
             },
             crashes: vec![None; n],
+            stalls: vec![None; n],
+            watchdog: WatchdogConfig::default(),
             round_timeout: Duration::from_secs(20),
             notify_script: None,
         }
@@ -131,6 +272,8 @@ impl RuntimeConfig {
                 max_notify: Duration::from_millis(15),
             },
             crashes: vec![None; n],
+            stalls: vec![None; n],
+            watchdog: WatchdogConfig::default(),
             round_timeout: Duration::from_secs(20),
             notify_script: None,
         }
@@ -143,11 +286,83 @@ impl RuntimeConfig {
         self
     }
 
+    /// Scripts a stall (heartbeat starvation).
+    #[must_use]
+    pub fn with_stall(mut self, p: ProcessId, stall: Stall) -> Self {
+        self.stalls[p.index()] = Some(stall);
+        self
+    }
+
     /// Replaces the network configuration.
     #[must_use]
     pub fn with_net(mut self, net: NetConfig) -> Self {
         self.net = net;
         self
+    }
+
+    /// Sets the watchdog's degradation mode.
+    #[must_use]
+    pub fn with_degrade(mut self, degrade: DegradeMode) -> Self {
+        self.watchdog.degrade = degrade;
+        self
+    }
+
+    /// The watchdog Δ this configuration claims: the explicit value,
+    /// or the network's worst transport delay plus
+    /// [`WATCHDOG_MARGIN`].
+    #[must_use]
+    pub fn effective_delta(&self) -> Duration {
+        self.watchdog
+            .delta
+            .unwrap_or(self.net.worst_transport_delay() + WATCHDOG_MARGIN)
+    }
+
+    /// Checks that this configuration can realize its claimed model
+    /// for `n` processes: script shapes, a sane delay window, and —
+    /// the paper's point — that drain and FD timeout actually clear
+    /// the delay bound, without which the `RS`/perfect-detector claim
+    /// is vacuous (§3).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self, n: usize) -> Result<(), ConfigError> {
+        if self.crashes.len() != n {
+            return Err(ConfigError::CrashSlots {
+                expected: n,
+                got: self.crashes.len(),
+            });
+        }
+        if self.stalls.len() != n {
+            return Err(ConfigError::StallSlots {
+                expected: n,
+                got: self.stalls.len(),
+            });
+        }
+        if self.net.min_delay > self.net.max_delay {
+            return Err(ConfigError::DelayWindow {
+                min: self.net.min_delay,
+                max: self.net.max_delay,
+            });
+        }
+        if let SyncPolicy::Rs { drain } = self.policy {
+            let required = self.net.worst_transport_delay();
+            if drain <= required {
+                return Err(ConfigError::DrainTooShort { drain, required });
+            }
+        }
+        if let FdFlavor::Timeout { timeout } = self.fd {
+            let required = self.net.max_delay + FD_TIMEOUT_MARGIN;
+            if timeout <= required {
+                return Err(ConfigError::FdTimeoutTooShort { timeout, required });
+            }
+        }
+        if let Some(script) = &self.notify_script {
+            if script.len() != n || script.iter().any(|row| row.len() != n) {
+                return Err(ConfigError::NotifyShape { expected: n });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -159,7 +374,7 @@ pub struct ThreadedOutcome<V, M> {
     pub outcome: ConsensusOutcome<V>,
     /// Messages that arrived after their round had already closed at
     /// the receiver — real pending messages. Always 0 under
-    /// [`SyncPolicy::Rs`] with an adequate drain.
+    /// [`SyncPolicy::Rs`] with an adequate drain and intact bounds.
     pub pending_messages: u64,
     /// Wall-clock duration of the whole execution.
     pub elapsed: Duration,
@@ -168,6 +383,12 @@ pub struct ThreadedOutcome<V, M> {
     /// replayable through the round models and exportable as an
     /// `ssp-sim` step trace.
     pub trace: RunTrace<M>,
+    /// Everything the synchrony watchdog saw: violations, degradation,
+    /// abort.
+    pub synchrony: SynchronyReport,
+    /// Transport counters (chaos drops/dups, retransmits, stranded
+    /// wires).
+    pub net: NetStats,
 }
 
 struct ProcessReturn<V, M> {
@@ -192,14 +413,33 @@ impl AnyFd {
     }
 }
 
+/// Per-worker wiring, bundled to keep [`worker`]'s signature sane.
+struct WorkerEnv<M> {
+    me: ProcessId,
+    n: usize,
+    horizon: u32,
+    rx: NetReceiver<RoundWire<M>>,
+    tx: NetSender<RoundWire<M>>,
+    fd: AnyFd,
+    board: Arc<HeartbeatBoard>,
+    oracle: Arc<Oracle>,
+    monitor: Arc<SynchronyMonitor>,
+    ledger: Arc<CrashLedger>,
+    crash: Option<ThreadCrash>,
+    stall: Option<Stall>,
+    policy: SyncPolicy,
+    round_timeout: Duration,
+}
+
 /// Runs `algo` on real threads. Returns the assembled outcome; a
 /// process that exceeds the round timeout gives up undecided (visible
 /// as a termination violation to the specification checkers).
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics or `config.crashes` has the wrong
-/// length.
+/// Panics if the configuration is invalid ([`RuntimeConfig::validate`])
+/// or a worker thread panics. Use [`run_threaded_checked`] to handle
+/// configuration errors as values.
 #[must_use]
 pub fn run_threaded<V, A>(
     algo: &A,
@@ -213,11 +453,47 @@ where
     A::Process: Send + 'static,
     <A::Process as RoundProcess>::Msg: Send + 'static,
 {
+    match run_threaded_checked(algo, config, t, runtime) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("invalid runtime configuration: {e}"),
+    }
+}
+
+/// [`run_threaded`] with configuration errors surfaced as values
+/// instead of panics.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] found by [`RuntimeConfig::validate`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_threaded_checked<V, A>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    runtime: RuntimeConfig,
+) -> Result<ThreadedOutcome<V, <A::Process as RoundProcess>::Msg>, ConfigError>
+where
+    V: Value + Sync,
+    A: RoundAlgorithm<V>,
+    A::Process: Send + 'static,
+    <A::Process as RoundProcess>::Msg: Send + 'static,
+{
     let n = config.n();
-    assert_eq!(runtime.crashes.len(), n, "one crash slot per process");
+    runtime.validate(n)?;
     let horizon = algo.round_horizon(n, t);
-    let (net_tx, net_rxs) =
-        spawn_network::<RoundWire<<A::Process as RoundProcess>::Msg>>(n, runtime.net.clone());
+    let rs = matches!(runtime.policy, SyncPolicy::Rs { .. });
+    let monitor = if rs {
+        SynchronyMonitor::armed(runtime.effective_delta(), runtime.watchdog.degrade)
+    } else {
+        SynchronyMonitor::disarmed()
+    };
+    let ledger = CrashLedger::new(n);
+    let (net_tx, net_rxs, net_handle) = spawn_network_watched::<
+        RoundWire<<A::Process as RoundProcess>::Msg>,
+    >(n, runtime.net.clone(), Arc::clone(&monitor));
 
     let board = HeartbeatBoard::new(n);
     let oracle = match &runtime.notify_script {
@@ -241,39 +517,32 @@ where
     for me in all_processes(n) {
         let proc_ = algo.spawn(me, n, t, config.input(me).clone());
         let input = config.input(me).clone();
-        let rx = net_rxs[me.index()].clone();
-        let tx = net_tx.clone();
         let fd = match runtime.fd {
             FdFlavor::Timeout { timeout } => {
                 AnyFd::Timeout(TimeoutFd::new(Arc::clone(&board), timeout, me))
             }
             FdFlavor::Oracle { .. } => AnyFd::Oracle(oracle.module(me)),
         };
-        let board = Arc::clone(&board);
-        let oracle = Arc::clone(&oracle);
-        let crash = runtime.crashes[me.index()];
-        let policy = runtime.policy;
-        let round_timeout = runtime.round_timeout;
+        let env = WorkerEnv {
+            me,
+            n,
+            horizon,
+            rx: net_rxs[me.index()].clone(),
+            tx: net_tx.clone(),
+            fd,
+            board: Arc::clone(&board),
+            oracle: Arc::clone(&oracle),
+            monitor: Arc::clone(&monitor),
+            ledger: Arc::clone(&ledger),
+            crash: runtime.crashes[me.index()],
+            stall: runtime.stalls[me.index()],
+            policy: runtime.policy,
+            round_timeout: runtime.round_timeout,
+        };
         handles.push(
             std::thread::Builder::new()
                 .name(format!("ssp-{me}"))
-                .spawn(move || {
-                    worker(
-                        proc_,
-                        input,
-                        me,
-                        n,
-                        horizon,
-                        rx,
-                        tx,
-                        fd,
-                        board,
-                        oracle,
-                        crash,
-                        policy,
-                        round_timeout,
-                    )
-                })
+                .spawn(move || worker(proc_, input, env))
                 .expect("spawn worker"),
         );
     }
@@ -296,50 +565,81 @@ where
             crashed_in: r.crashed_in,
         });
     }
-    ThreadedOutcome {
+    // All workers are done: shut the network down, discarding (and
+    // accounting) whatever is still in flight.
+    let net_stats = net_handle.shutdown();
+    let synchrony = monitor.report();
+    Ok(ThreadedOutcome {
         outcome: ConsensusOutcome::new(outcomes),
         pending_messages: pending_total,
         elapsed: started.elapsed(),
         trace: RunTrace {
             n,
             horizon,
-            rs: matches!(runtime.policy, SyncPolicy::Rs { .. }),
+            rs,
             logs,
             crashes: crash_rounds,
+            degraded_at: synchrony.degraded_at,
+            aborted: synchrony.aborted,
+            net: net_stats,
         },
-    }
+        synchrony,
+        net: net_stats,
+    })
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker<P>(
     mut proc_: P,
     input: P::Value,
-    me: ProcessId,
-    n: usize,
-    horizon: u32,
-    rx: NetReceiver<RoundWire<P::Msg>>,
-    tx: NetSender<RoundWire<P::Msg>>,
-    fd: AnyFd,
-    board: Arc<HeartbeatBoard>,
-    oracle: Arc<Oracle>,
-    crash: Option<ThreadCrash>,
-    policy: SyncPolicy,
-    round_timeout: Duration,
+    env: WorkerEnv<P::Msg>,
 ) -> ProcessReturn<P::Value, P::Msg>
 where
     P: RoundProcess,
     P::Msg: Send + 'static,
 {
-    let crash_now = |r: u32| {
+    let WorkerEnv {
+        me,
+        n,
+        horizon,
+        rx,
+        tx,
+        fd,
+        board,
+        oracle,
+        monitor,
+        ledger,
+        crash,
+        stall,
+        policy: base_policy,
+        round_timeout,
+    } = env;
+    let crash_now = |_r: u32| {
+        ledger.mark(me);
         board.silence(me);
         oracle.report_crash(me);
-        let _ = r;
     };
     let mut future: Vec<(u32, ProcessId, Option<P::Msg>)> = Vec::new();
     let mut pending_seen = 0u64;
     let mut log: Vec<RoundObs<P::Msg>> = Vec::with_capacity(horizon as usize);
+    // Live peers already reported as detector mistakes (once each).
+    let mut mistaken = vec![false; n];
 
     for r in 1..=horizon {
+        if let Some(s) = stall {
+            if s.round == r {
+                // Heartbeat starvation: live, but silent and deaf.
+                std::thread::sleep(s.duration);
+            }
+        }
+        if monitor.aborted() {
+            return ProcessReturn {
+                input,
+                decision: proc_.decision(),
+                crashed_in: None,
+                pending_seen,
+                log,
+            };
+        }
         board.beat(me);
         // --- send phase ---
         let mut sent: Vec<Option<Option<P::Msg>>> = vec![None; n];
@@ -402,26 +702,64 @@ where
         let deadline = Instant::now() + round_timeout;
         let mut missing_since: Vec<Option<Instant>> = vec![None; n];
         loop {
+            // Abort wins over everything, including a ready round: the
+            // check runs before readiness so the outcome is the same
+            // whichever the worker notices first.
+            if monitor.aborted() {
+                log.push(RoundObs {
+                    sent,
+                    received: None,
+                });
+                return ProcessReturn {
+                    input,
+                    decision: proc_.decision(),
+                    crashed_in: None,
+                    pending_seen,
+                    log,
+                };
+            }
             board.beat(me);
+            // Mid-run degradation: a violated Δ forfeits the RS drain
+            // discipline; close on suspicion alone from here on.
+            let policy = if monitor.degraded() {
+                SyncPolicy::Rws
+            } else {
+                base_policy
+            };
             let suspects = fd.suspects();
             let now = Instant::now();
-            let ready = all_processes(n).all(|q| {
+            let mut ready = true;
+            for q in all_processes(n) {
                 if got[q.index()].is_some() {
-                    return true;
+                    continue;
                 }
                 if !suspects.contains(q) {
-                    return false;
+                    ready = false;
+                    continue;
+                }
+                // The detector is about to be trusted on q. If q never
+                // actually crashed, that is a detector mistake — report
+                // it (once) to the watchdog.
+                if !mistaken[q.index()] && !ledger.crashed(q) {
+                    mistaken[q.index()] = true;
+                    monitor.record(SynchronyEvent::DetectorMistake {
+                        observer: me,
+                        suspect: q,
+                        round: Round::new(r),
+                    });
                 }
                 match policy {
-                    SyncPolicy::Rws => true,
+                    SyncPolicy::Rws => {}
                     SyncPolicy::Rs { drain } => {
                         // Keep draining the link for `drain` after the
                         // suspicion before declaring the message absent.
                         let since = missing_since[q.index()].get_or_insert(now);
-                        now.saturating_duration_since(*since) >= drain
+                        if now.saturating_duration_since(*since) < drain {
+                            ready = false;
+                        }
                     }
                 }
-            });
+            }
             if ready {
                 break;
             }
@@ -449,6 +787,16 @@ where
                     future.push((wire.round, env.src, wire.payload));
                 } else {
                     pending_seen += 1; // arrived after its round closed
+                    if monitor.is_armed() && !monitor.degraded() {
+                        // A pending arrival while still claiming RS:
+                        // round synchrony was already broken.
+                        monitor.record(SynchronyEvent::PendingUnderRs {
+                            src: env.src,
+                            dst: me,
+                            wire_round: Round::new(wire.round),
+                            observed_in: Round::new(r),
+                        });
+                    }
                 }
             }
         }
@@ -496,6 +844,11 @@ mod tests {
         check_uniform_consensus_strong(&result.outcome).unwrap();
         assert_eq!(result.outcome.latency_degree(), Some(1));
         assert_eq!(result.pending_messages, 0);
+        assert!(!result.synchrony.violated, "bounds held");
+        assert_eq!(
+            result.net.undelivered, 0,
+            "shutdown found nothing in flight"
+        );
     }
 
     #[test]
@@ -551,6 +904,8 @@ mod tests {
             );
         }
         assert!(check_uniform_consensus(&result.outcome).is_err());
+        // RWS claims no Δ: nothing to violate even with 2s links.
+        assert!(!result.synchrony.violated);
     }
 
     #[test]
@@ -571,5 +926,83 @@ mod tests {
         );
         let result = run_threaded(&FloodSetWs, &config, 1, runtime);
         check_uniform_consensus(&result.outcome).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_drain_below_transport_delay() {
+        let mut runtime = RuntimeConfig::ss_flavor(3, 1);
+        runtime.policy = SyncPolicy::Rs {
+            drain: Duration::from_millis(1),
+        };
+        assert!(matches!(
+            runtime.validate(3),
+            Err(ConfigError::DrainTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_fd_timeout_below_bound() {
+        let mut runtime = RuntimeConfig::ss_flavor(3, 1);
+        runtime.fd = FdFlavor::Timeout {
+            timeout: Duration::from_millis(2),
+        };
+        assert!(matches!(
+            runtime.validate(3),
+            Err(ConfigError::FdTimeoutTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let runtime = RuntimeConfig::ss_flavor(3, 1);
+        assert!(matches!(
+            runtime.clone().validate(4),
+            Err(ConfigError::CrashSlots { .. })
+        ));
+        let mut bad = runtime.clone();
+        bad.stalls = vec![None; 2];
+        assert!(matches!(
+            bad.validate(3),
+            Err(ConfigError::StallSlots { .. })
+        ));
+        let mut bad = runtime.clone();
+        bad.notify_script = Some(vec![vec![Duration::ZERO; 2]; 3]);
+        assert!(matches!(
+            bad.validate(3),
+            Err(ConfigError::NotifyShape { .. })
+        ));
+        let mut bad = runtime;
+        bad.net.min_delay = Duration::from_millis(5);
+        assert!(matches!(
+            bad.validate(3),
+            Err(ConfigError::DelayWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_run_surfaces_config_errors() {
+        let config = InitialConfig::new(vec![4u64, 9, 2]);
+        let mut runtime = RuntimeConfig::ss_flavor(3, 1);
+        runtime.policy = SyncPolicy::Rs {
+            drain: Duration::ZERO,
+        };
+        let err = run_threaded_checked(&A1, &config, 1, runtime).unwrap_err();
+        assert!(err.to_string().contains("drain"), "{err}");
+    }
+
+    #[test]
+    fn config_errors_display() {
+        let e = ConfigError::DrainTooShort {
+            drain: Duration::from_millis(1),
+            required: Duration::from_millis(50),
+        };
+        assert!(e.to_string().contains("drain"), "{e}");
+        let e = ConfigError::FdTimeoutTooShort {
+            timeout: Duration::from_millis(2),
+            required: Duration::from_millis(12),
+        };
+        assert!(e.to_string().contains("timeout"), "{e}");
+        let e = ConfigError::NotifyShape { expected: 3 };
+        assert!(e.to_string().contains("3"), "{e}");
     }
 }

@@ -13,8 +13,21 @@
 //!   per-observer delay. Never wrong, always eventually complete, and
 //!   completely silent about in-flight messages — which is why `SP`
 //!   rounds are only *weakly* synchronous.
+//!
+//! Both detectors are *perfect only while the synchrony premise
+//! holds*. The [`SynchronyMonitor`] is the runtime's watchdog for that
+//! premise: the network and driver report bound violations (a wire
+//! scheduled or delivered beyond the claimed Δ, a live process
+//! suspected) and the monitor drives the degradation state machine —
+//! keep going unsoundly ([`DegradeMode::Off`], the run is *flagged*),
+//! downgrade the round discipline to `RWS` ([`DegradeMode::Rws`]), or
+//! abort the run ([`DegradeMode::Abort`]). The [`CrashLedger`] is the
+//! harness's ground truth of who actually crashed, which is what lets
+//! the watchdog tell a detector *mistake* (suspecting the live) apart
+//! from ordinary crash detection.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use core::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,7 +35,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ssp_model::{ProcessId, ProcessSet};
+use ssp_model::{ProcessId, ProcessSet, Round};
 
 /// A failure-detector module handle: query-able suspicion set.
 pub trait FdModule: Send {
@@ -223,6 +236,348 @@ impl FdModule for OracleFd {
     }
 }
 
+/// Ground truth about crashes, maintained by the harness itself (a
+/// process marks itself just before going silent). Detectors never
+/// read it — it exists so the watchdog can classify a suspicion of a
+/// *live* process as a detector mistake rather than a crash.
+#[derive(Debug)]
+pub struct CrashLedger {
+    crashed: Vec<AtomicBool>,
+}
+
+impl CrashLedger {
+    /// A ledger for `n` processes, all alive.
+    #[must_use]
+    pub fn new(n: usize) -> Arc<Self> {
+        Arc::new(CrashLedger {
+            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    /// Records that `p` has actually crashed.
+    pub fn mark(&self, p: ProcessId) {
+        self.crashed[p.index()].store(true, Ordering::SeqCst);
+    }
+
+    /// Whether `p` has actually crashed.
+    #[must_use]
+    pub fn crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p.index()].load(Ordering::SeqCst)
+    }
+
+    /// Number of processes marked crashed.
+    #[must_use]
+    pub fn crash_count(&self) -> usize {
+        self.crashed
+            .iter()
+            .filter(|c| c.load(Ordering::SeqCst))
+            .count()
+    }
+}
+
+/// What an `RS` run does when the watchdog catches a synchrony-bound
+/// violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradeMode {
+    /// Keep running under `RS` rules. The run is *flagged* — its
+    /// verdict is a `SynchronyViolation`, never an `RS` certificate —
+    /// but the anomaly (e.g. the §5.3 disagreement) is left to unfold.
+    #[default]
+    Off,
+    /// Downgrade the round discipline to `RWS` (close on suspicion
+    /// alone; in-flight messages become pending). The paper's Δ no
+    /// longer holds, so the `SS → RS` construction of §3 is forfeit,
+    /// but `RWS` — which never relied on Δ — still is realized.
+    Rws,
+    /// Stop every process immediately; the run ends undecided with an
+    /// aborted verdict.
+    Abort,
+}
+
+impl fmt::Display for DegradeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeMode::Off => write!(f, "off"),
+            DegradeMode::Rws => write!(f, "rws"),
+            DegradeMode::Abort => write!(f, "abort"),
+        }
+    }
+}
+
+/// A synchrony-bound violation (or detector mistake) observed at
+/// runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynchronyEvent {
+    /// The network assigned a wire a delay beyond the claimed Δ — the
+    /// injector itself is violating the bound. Detected at scheduling
+    /// time (harness omniscience: the fault plane knows its own
+    /// delays), so degradation can react before the wire is missed.
+    SlowWireScheduled {
+        /// Sender.
+        src: ProcessId,
+        /// Receiver.
+        dst: ProcessId,
+        /// Round carried by the wire (per-link wire index + 1).
+        round: Round,
+        /// The assigned delay.
+        delay: Duration,
+    },
+    /// A wire was delivered later than the claimed Δ after submission.
+    LateDelivery {
+        /// Sender.
+        src: ProcessId,
+        /// Receiver.
+        dst: ProcessId,
+        /// Observed submission-to-delivery latency.
+        latency: Duration,
+    },
+    /// A wire with an over-Δ delay was still undelivered when the
+    /// network shut down (it was pending for the whole run).
+    UndeliveredAtShutdown {
+        /// Sender.
+        src: ProcessId,
+        /// Receiver.
+        dst: ProcessId,
+        /// Round carried by the wire.
+        round: Round,
+    },
+    /// An observer's detector suspected a process the ledger says is
+    /// alive — the detector made a *mistake*, which a perfect detector
+    /// never does while the bounds hold (§3).
+    DetectorMistake {
+        /// The observer whose detector erred.
+        observer: ProcessId,
+        /// The live process it suspected.
+        suspect: ProcessId,
+        /// The round in which the mistake was acted on.
+        round: Round,
+    },
+    /// A message arrived after its round had closed at the receiver
+    /// while the run was (still) claiming `RS` — round synchrony was
+    /// already broken when the round closed.
+    PendingUnderRs {
+        /// Sender.
+        src: ProcessId,
+        /// Receiver.
+        dst: ProcessId,
+        /// The round the late wire belonged to.
+        wire_round: Round,
+        /// The receiver's round when it arrived.
+        observed_in: Round,
+    },
+}
+
+impl SynchronyEvent {
+    /// The round this violation first affects (used as the degradation
+    /// round when the event triggers a downgrade).
+    #[must_use]
+    pub fn round(&self) -> Round {
+        match self {
+            SynchronyEvent::SlowWireScheduled { round, .. }
+            | SynchronyEvent::UndeliveredAtShutdown { round, .. }
+            | SynchronyEvent::DetectorMistake { round, .. } => *round,
+            SynchronyEvent::LateDelivery { .. } => Round::FIRST,
+            SynchronyEvent::PendingUnderRs { wire_round, .. } => *wire_round,
+        }
+    }
+}
+
+impl fmt::Display for SynchronyEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynchronyEvent::SlowWireScheduled {
+                src,
+                dst,
+                round,
+                delay,
+            } => write!(
+                f,
+                "wire {src}→{dst}@{round} scheduled with delay {delay:?} beyond Δ"
+            ),
+            SynchronyEvent::LateDelivery { src, dst, latency } => {
+                write!(f, "wire {src}→{dst} delivered {latency:?} after send (> Δ)")
+            }
+            SynchronyEvent::UndeliveredAtShutdown { src, dst, round } => {
+                write!(f, "wire {src}→{dst}@{round} still in flight at shutdown")
+            }
+            SynchronyEvent::DetectorMistake {
+                observer,
+                suspect,
+                round,
+            } => write!(
+                f,
+                "{observer} suspected live {suspect} in {round} (detector mistake)"
+            ),
+            SynchronyEvent::PendingUnderRs {
+                src,
+                dst,
+                wire_round,
+                observed_in,
+            } => write!(
+                f,
+                "{src}→{dst}@{wire_round} arrived pending in {observed_in} under RS"
+            ),
+        }
+    }
+}
+
+const STATE_OK: u8 = 0;
+const STATE_DEGRADED: u8 = 1;
+const STATE_ABORTED: u8 = 2;
+const ROUND_UNSET: u32 = u32::MAX;
+
+/// The synchrony watchdog: collects [`SynchronyEvent`]s from the
+/// network and the drivers, and — when armed — drives the degradation
+/// state machine `Ok → Degraded | Aborted` according to its
+/// [`DegradeMode`].
+///
+/// A disarmed monitor (the `RWS` flavour, which never claimed Δ)
+/// still records events for diagnostics but never flags a violation
+/// and never transitions.
+#[derive(Debug)]
+pub struct SynchronyMonitor {
+    armed: bool,
+    delta: Duration,
+    mode: DegradeMode,
+    state: AtomicU8,
+    degraded_round: AtomicU32,
+    violated: AtomicBool,
+    events: Mutex<Vec<SynchronyEvent>>,
+}
+
+impl SynchronyMonitor {
+    /// An armed watchdog claiming delivery bound `delta`, reacting to
+    /// violations per `mode`.
+    #[must_use]
+    pub fn armed(delta: Duration, mode: DegradeMode) -> Arc<Self> {
+        Arc::new(SynchronyMonitor {
+            armed: true,
+            delta,
+            mode,
+            state: AtomicU8::new(STATE_OK),
+            degraded_round: AtomicU32::new(ROUND_UNSET),
+            violated: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A disarmed monitor: records nothing as a violation (used for
+    /// `RWS` runs, which claim no delivery bound).
+    #[must_use]
+    pub fn disarmed() -> Arc<Self> {
+        Arc::new(SynchronyMonitor {
+            armed: false,
+            delta: Duration::MAX,
+            mode: DegradeMode::Off,
+            state: AtomicU8::new(STATE_OK),
+            degraded_round: AtomicU32::new(ROUND_UNSET),
+            violated: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Whether this monitor enforces a bound.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The claimed delivery bound Δ (transport-level: includes the
+    /// reliable layer's retransmit budget).
+    #[must_use]
+    pub fn delta(&self) -> Duration {
+        self.delta
+    }
+
+    /// Reports a violation. When armed, marks the run violated and
+    /// transitions the state machine per the configured mode; the
+    /// event's [`SynchronyEvent::round`] becomes the degradation round
+    /// if this event is the first trigger.
+    pub fn record(&self, event: SynchronyEvent) {
+        let round = event.round();
+        self.events.lock().push(event);
+        if !self.armed {
+            return;
+        }
+        self.violated.store(true, Ordering::SeqCst);
+        match self.mode {
+            DegradeMode::Off => {}
+            DegradeMode::Rws => {
+                if self
+                    .state
+                    .compare_exchange(STATE_OK, STATE_DEGRADED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    self.degraded_round.store(round.get(), Ordering::SeqCst);
+                }
+            }
+            DegradeMode::Abort => {
+                self.state.store(STATE_ABORTED, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Whether any violation has been recorded while armed.
+    #[must_use]
+    pub fn violated(&self) -> bool {
+        self.violated.load(Ordering::SeqCst)
+    }
+
+    /// Whether the run has downgraded to `RWS` semantics.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == STATE_DEGRADED
+    }
+
+    /// Whether the run has been aborted.
+    #[must_use]
+    pub fn aborted(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == STATE_ABORTED
+    }
+
+    /// The round from which `RWS` semantics applied, if degraded.
+    #[must_use]
+    pub fn degraded_at(&self) -> Option<Round> {
+        match self.degraded_round.load(Ordering::SeqCst) {
+            ROUND_UNSET => None,
+            r => Some(Round::new(r)),
+        }
+    }
+
+    /// Snapshot of everything the watchdog saw.
+    #[must_use]
+    pub fn report(&self) -> SynchronyReport {
+        SynchronyReport {
+            events: self.events.lock().clone(),
+            violated: self.violated(),
+            degraded_at: self.degraded_at(),
+            aborted: self.aborted(),
+        }
+    }
+}
+
+/// The watchdog's verdict on one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SynchronyReport {
+    /// Every violation observed, in arrival order.
+    pub events: Vec<SynchronyEvent>,
+    /// Whether the claimed bound was violated (armed monitors only).
+    pub violated: bool,
+    /// The round from which the run executed under `RWS` semantics.
+    pub degraded_at: Option<Round>,
+    /// Whether the run was aborted.
+    pub aborted: bool,
+}
+
+impl SynchronyReport {
+    /// A violated, un-degraded, un-aborted run: it kept claiming `RS`
+    /// while the bound was broken, so it must never be certified.
+    #[must_use]
+    pub fn flagged(&self) -> bool {
+        self.violated && self.degraded_at.is_none() && !self.aborted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,4 +654,116 @@ mod tests {
         let fd = oracle.module(p(0));
         assert!(fd.suspects().is_empty());
     }
+
+    #[test]
+    fn ledger_tracks_ground_truth() {
+        let ledger = CrashLedger::new(3);
+        assert_eq!(ledger.crash_count(), 0);
+        assert!(!ledger.crashed(p(1)));
+        ledger.mark(p(1));
+        assert!(ledger.crashed(p(1)));
+        assert_eq!(ledger.crash_count(), 1);
+    }
+
+    #[test]
+    fn starved_heartbeat_is_a_detector_mistake_not_a_crash() {
+        // A live process stops beating past the timeout: the detector
+        // *must* suspect it (that is the SS rule) — and because the
+        // ledger says it never crashed, the watchdog must classify the
+        // suspicion as a mistake.
+        let board = HeartbeatBoard::new(2);
+        let fd = TimeoutFd::new(Arc::clone(&board), Duration::from_millis(20), p(0));
+        let ledger = CrashLedger::new(2);
+        let monitor = SynchronyMonitor::armed(Duration::from_millis(20), DegradeMode::Off);
+        board.beat(p(1));
+        assert!(fd.suspects().is_empty(), "bound not yet violated");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            fd.suspects().contains(p(1)),
+            "suspected exactly when the bound is violated"
+        );
+        assert!(!ledger.crashed(p(1)), "but it never crashed");
+        monitor.record(SynchronyEvent::DetectorMistake {
+            observer: p(0),
+            suspect: p(1),
+            round: Round::FIRST,
+        });
+        let report = monitor.report();
+        assert!(report.violated);
+        assert!(report.flagged(), "mode off: flagged, not degraded");
+        assert!(matches!(
+            report.events[0],
+            SynchronyEvent::DetectorMistake { suspect, .. } if suspect == p(1)
+        ));
+    }
+
+    #[test]
+    fn monitor_degrades_once_at_the_first_violation_round() {
+        let monitor = SynchronyMonitor::armed(Duration::from_millis(50), DegradeMode::Rws);
+        assert!(!monitor.degraded());
+        monitor.record(SynchronyEvent::SlowWireScheduled {
+            src: p(0),
+            dst: p(1),
+            round: Round::new(2),
+            delay: Duration::from_secs(1),
+        });
+        monitor.record(SynchronyEvent::LateDelivery {
+            src: p(0),
+            dst: p(1),
+            latency: Duration::from_secs(1),
+        });
+        assert!(monitor.degraded());
+        assert!(!monitor.aborted());
+        assert_eq!(monitor.degraded_at(), Some(Round::new(2)), "first trigger");
+        let report = monitor.report();
+        assert_eq!(report.events.len(), 2);
+        assert!(!report.flagged(), "degraded runs are not merely flagged");
+    }
+
+    #[test]
+    fn monitor_aborts_in_abort_mode() {
+        let monitor = SynchronyMonitor::armed(Duration::from_millis(50), DegradeMode::Abort);
+        monitor.record(SynchronyEvent::UndeliveredAtShutdown {
+            src: p(1),
+            dst: p(0),
+            round: Round::FIRST,
+        });
+        assert!(monitor.aborted());
+        assert!(!monitor.degraded());
+        assert!(monitor.report().aborted);
+    }
+
+    #[test]
+    fn disarmed_monitor_records_but_never_flags() {
+        let monitor = SynchronyMonitor::disarmed();
+        monitor.record(SynchronyEvent::PendingUnderRs {
+            src: p(0),
+            dst: p(1),
+            wire_round: Round::FIRST,
+            observed_in: Round::new(2),
+        });
+        assert!(!monitor.violated());
+        assert!(!monitor.degraded());
+        assert_eq!(monitor.report().events.len(), 1, "kept for diagnostics");
+    }
+
+    #[test]
+    fn events_display() {
+        let e = SynchronyEvent::DetectorMistake {
+            observer: p(0),
+            suspect: p(1),
+            round: Round::FIRST,
+        };
+        assert!(e.to_string().contains("mistake"), "{e}");
+        let e = SynchronyEvent::SlowWireScheduled {
+            src: p(0),
+            dst: p(1),
+            round: Round::FIRST,
+            delay: SLOW_FOR_DISPLAY,
+        };
+        assert!(e.to_string().contains("beyond Δ"), "{e}");
+        assert_eq!(DegradeMode::Rws.to_string(), "rws");
+    }
+
+    const SLOW_FOR_DISPLAY: Duration = Duration::from_millis(600);
 }

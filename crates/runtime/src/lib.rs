@@ -26,6 +26,17 @@
 //! through the round models and validated by `ssp-sim`'s checkers —
 //! see `ssp-lab`'s conformance module for the full bridge.
 //!
+//! On top of the scripted faults sits the **chaos plane**
+//! ([`ChaosConfig`]): seed-deterministic message loss, duplication,
+//! and reordering, masked by a reliable-delivery layer (acks +
+//! capped-backoff retransmits + dedup) so round algorithms keep their
+//! exactly-once wire contract. A **synchrony watchdog**
+//! ([`SynchronyMonitor`]) checks the claimed delay bound Δ at runtime
+//! and, on violation, either flags the run, downgrades it to `RWS`
+//! semantics, or aborts it ([`DegradeMode`]) — the paper's §3 caveat
+//! ("the detector is perfect only while the bounds hold") made
+//! executable.
+//!
 //! [`RoundAlgorithm`]: ssp_rounds::RoundAlgorithm
 
 #![forbid(unsafe_code)]
@@ -39,9 +50,16 @@ pub mod plan;
 pub mod trace;
 
 pub use driver::{
-    run_threaded, FdFlavor, RoundWire, RuntimeConfig, SyncPolicy, ThreadCrash, ThreadedOutcome,
+    run_threaded, run_threaded_checked, ConfigError, FdFlavor, RoundWire, RuntimeConfig, Stall,
+    SyncPolicy, ThreadCrash, ThreadedOutcome, WatchdogConfig, FD_TIMEOUT_MARGIN, WATCHDOG_MARGIN,
 };
-pub use fd::{FdModule, HeartbeatBoard, Oracle, OracleFd, TimeoutFd};
-pub use net::{spawn_network, LinkScript, NetConfig, NetEnvelope, NetReceiver, NetSender};
-pub use plan::{FaultPlan, PlanModel, SECTION_5_3_SEED};
+pub use fd::{
+    CrashLedger, DegradeMode, FdModule, HeartbeatBoard, Oracle, OracleFd, SynchronyEvent,
+    SynchronyMonitor, SynchronyReport, TimeoutFd,
+};
+pub use net::{
+    spawn_network, spawn_network_watched, ChaosConfig, LinkScript, NetConfig, NetEnvelope,
+    NetHandle, NetReceiver, NetSender, NetStats, MAX_SEND_ATTEMPTS, RTO_INITIAL,
+};
+pub use plan::{FaultPlan, PlanModel, DELTA_VIOLATION_SEED, SECTION_5_3_SEED};
 pub use trace::{RoundObs, RunTrace, RunTraceError};

@@ -1,4 +1,5 @@
-//! An in-process message network with injectable delays.
+//! An in-process message network with injectable delays and chaos
+//! faults, plus a reliable-delivery layer that masks them.
 //!
 //! Each process owns a receiving channel; sends are routed through a
 //! dedicated network thread that holds messages for a per-link delay
@@ -15,6 +16,30 @@
 //! send exactly one wire per link per round in round order, so the
 //! per-link message index *is* the round index — a script is a full
 //! adversarial delivery schedule for a round-model run.
+//!
+//! # Chaos and reliability
+//!
+//! A [`ChaosConfig`] adds seed-deterministic message **loss**,
+//! **duplication**, and **reordering**: every fault decision is a pure
+//! hash of `(seed, link, wire sequence number, attempt)`, so the same
+//! seed misbehaves identically on every run, independent of thread
+//! scheduling. Chaos implies the **reliable-delivery layer**: each
+//! wire carries a per-link sequence number; the receiving side acks
+//! every copy and suppresses duplicates, and the sending side
+//! retransmits unacked wires with capped exponential backoff
+//! ([`RTO_INITIAL`], doubling, at most [`MAX_SEND_ATTEMPTS`]
+//! attempts — the final attempt is never chaos-dropped, so delivery
+//! is guaranteed within [`NetConfig::worst_transport_delay`]). Round
+//! algorithms therefore keep their exactly-once-per-round wire
+//! contract over lossy links.
+//!
+//! The network also taps the synchrony watchdog
+//! ([`crate::fd::SynchronyMonitor`]): a wire scheduled or delivered
+//! beyond the claimed Δ, or still undelivered at shutdown, is reported
+//! as a [`SynchronyEvent`]. Scheduling-time detection is deliberate
+//! harness omniscience — the fault injector knows it is violating the
+//! bound the moment it assigns the delay, which lets degradation react
+//! before any round is missed.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -24,7 +49,29 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ssp_model::ProcessId;
+use ssp_model::{ProcessId, Round};
+
+use crate::fd::{SynchronyEvent, SynchronyMonitor};
+
+/// First retransmit timeout of the reliable layer. Doubles on every
+/// further attempt. Far above the ack round-trip of a fast link, so a
+/// delivered wire is never retransmitted — retransmit counts are
+/// margin-deterministic.
+pub const RTO_INITIAL: Duration = Duration::from_millis(16);
+
+/// Maximum transmission attempts per wire. The final attempt is never
+/// chaos-dropped, so every wire is delivered within
+/// [`NetConfig::worst_transport_delay`] even at loss rate 1.
+pub const MAX_SEND_ATTEMPTS: u32 = 3;
+
+/// Maximum extra delay the reorder fault adds to one delivery attempt.
+pub const REORDER_JITTER_MAX: Duration = Duration::from_micros(500);
+
+/// How long after the original a duplicated copy is delivered.
+const DUP_OFFSET: Duration = Duration::from_micros(300);
+
+/// How often the network thread polls for shutdown while idle.
+const IDLE_POLL: Duration = Duration::from_millis(25);
 
 /// A deterministic delivery schedule: the delay of the `k`-th message
 /// on each scripted directed link. Messages on unscripted links (or
@@ -88,18 +135,87 @@ pub struct NetEnvelope<M> {
     pub payload: M,
 }
 
-/// Network configuration: a base delay window plus per-link overrides
-/// and an optional deterministic [`LinkScript`].
+/// Seed-deterministic chaos faults, as per-mille probabilities.
+/// Integer rates keep the config `Eq`/hashable and the decisions
+/// exact: a fault fires iff `hash(seed, link, seq, attempt) % 1000`
+/// falls below the rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosConfig {
+    /// Per-mille probability that one transmission attempt is dropped
+    /// (the final attempt of a wire is immune — see
+    /// [`MAX_SEND_ATTEMPTS`]). Acks are dropped at the same rate.
+    pub loss_pm: u16,
+    /// Per-mille probability that a delivered attempt is duplicated.
+    pub dup_pm: u16,
+    /// Per-mille probability that a delivery gets extra reorder jitter
+    /// (up to [`REORDER_JITTER_MAX`]).
+    pub reorder_pm: u16,
+}
+
+const SALT_LOSS: u64 = 0x10c5;
+const SALT_DUP: u64 = 0xd0b1;
+const SALT_REORDER: u64 = 0x0c0c;
+const SALT_ACK_LOSS: u64 = 0xacc0;
+const SALT_ACK_DELAY: u64 = 0xaccd;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn roll(seed: u64, salt: u64, src: ProcessId, dst: ProcessId, link_seq: u64, attempt: u32) -> u64 {
+    let mut h = splitmix(seed ^ salt);
+    h = splitmix(h ^ src.index() as u64);
+    h = splitmix(h ^ dst.index() as u64);
+    h = splitmix(h ^ link_seq);
+    splitmix(h ^ u64::from(attempt))
+}
+
+impl ChaosConfig {
+    fn hits(pm: u16, r: u64) -> bool {
+        pm > 0 && r % 1000 < u64::from(pm)
+    }
+
+    fn drops_data(self, seed: u64, s: ProcessId, d: ProcessId, k: u64, a: u32) -> bool {
+        Self::hits(self.loss_pm, roll(seed, SALT_LOSS, s, d, k, a))
+    }
+
+    fn duplicates(self, seed: u64, s: ProcessId, d: ProcessId, k: u64, a: u32) -> bool {
+        Self::hits(self.dup_pm, roll(seed, SALT_DUP, s, d, k, a))
+    }
+
+    fn reorder_extra(self, seed: u64, s: ProcessId, d: ProcessId, k: u64, a: u32) -> Duration {
+        let r = roll(seed, SALT_REORDER, s, d, k, a);
+        if Self::hits(self.reorder_pm, r) {
+            let span = REORDER_JITTER_MAX.as_micros() as u64;
+            Duration::from_micros(splitmix(r) % (span + 1))
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    fn drops_ack(self, seed: u64, s: ProcessId, d: ProcessId, k: u64, a: u32) -> bool {
+        Self::hits(self.loss_pm, roll(seed, SALT_ACK_LOSS, s, d, k, a))
+    }
+}
+
+/// Network configuration: a base delay window plus per-link overrides,
+/// an optional deterministic [`LinkScript`], and optional chaos faults
+/// (which imply the reliable-delivery layer).
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Minimum link delay.
     pub min_delay: Duration,
     /// Maximum link delay (drawn uniformly in `[min, max]`).
     pub max_delay: Duration,
-    /// RNG seed for reproducible delay draws.
+    /// RNG seed for reproducible delay draws and chaos decisions.
     pub seed: u64,
     overrides: Vec<(ProcessId, ProcessId, Duration)>,
     script: Option<Arc<LinkScript>>,
+    chaos: Option<ChaosConfig>,
+    reliable: bool,
 }
 
 impl NetConfig {
@@ -112,6 +228,8 @@ impl NetConfig {
             seed,
             overrides: Vec::new(),
             script: None,
+            chaos: None,
+            reliable: false,
         }
     }
 
@@ -141,6 +259,55 @@ impl NetConfig {
         self
     }
 
+    /// Enables chaos faults (and with them the reliable-delivery
+    /// layer, so the exactly-once wire contract still holds).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self.reliable = true;
+        self
+    }
+
+    /// Enables the reliable-delivery layer without chaos (acks +
+    /// retransmits + dedup over an already-lossless link).
+    #[must_use]
+    pub fn with_reliable(mut self) -> Self {
+        self.reliable = true;
+        self
+    }
+
+    /// The configured chaos faults, if any.
+    #[must_use]
+    pub fn chaos(&self) -> Option<ChaosConfig> {
+        self.chaos
+    }
+
+    /// Whether the reliable-delivery layer is active.
+    #[must_use]
+    pub fn is_reliable(&self) -> bool {
+        self.reliable || self.chaos.is_some()
+    }
+
+    /// Worst-case trigger offset of the final transmission attempt:
+    /// the sum of all capped-exponential retransmit timeouts.
+    #[must_use]
+    pub fn retransmit_budget() -> Duration {
+        RTO_INITIAL * ((1 << (MAX_SEND_ATTEMPTS - 1)) - 1)
+    }
+
+    /// Worst-case submission-to-delivery latency of an in-window wire:
+    /// `max_delay`, plus the retransmit budget and reorder jitter when
+    /// the reliable layer is active. A sensible Δ claim for the
+    /// synchrony watchdog sits just above this.
+    #[must_use]
+    pub fn worst_transport_delay(&self) -> Duration {
+        if self.is_reliable() {
+            self.max_delay + Self::retransmit_budget() + REORDER_JITTER_MAX
+        } else {
+            self.max_delay
+        }
+    }
+
     fn delay_for<M, R: Rng>(&self, env: &NetEnvelope<M>, nth: usize, rng: &mut R) -> Duration {
         if let Some(script) = &self.script {
             if let Some(delay) = script.delay(env.src, env.dst, nth) {
@@ -160,24 +327,70 @@ impl NetConfig {
     }
 }
 
-struct Scheduled<M> {
-    at: Instant,
-    seq: u64,
-    env: NetEnvelope<M>,
+/// Deterministic transport counters for one run, reported at network
+/// shutdown and recorded in the run trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Wires submitted (one per `send`, retransmissions excluded).
+    pub wires: u64,
+    /// Wires delivered to an inbox (exactly once each).
+    pub delivered: u64,
+    /// Transmission attempts dropped by chaos loss.
+    pub chaos_dropped: u64,
+    /// Extra copies injected by chaos duplication.
+    pub chaos_duplicated: u64,
+    /// Copies suppressed by receiver-side dedup (chaos duplicates and
+    /// redundant retransmissions).
+    pub dup_suppressed: u64,
+    /// Retransmission attempts made by the reliable layer.
+    pub retransmits: u64,
+    /// Acks dropped by chaos loss.
+    pub acks_lost: u64,
+    /// Deliveries later than the watchdog's claimed Δ.
+    pub late_deliveries: u64,
+    /// Wires whose assigned delay already exceeded Δ at scheduling.
+    pub slow_scheduled: u64,
+    /// Wires still undelivered when the network shut down.
+    pub undelivered: u64,
 }
 
-impl<M> PartialEq for Scheduled<M> {
+/// Internal per-wire transport state.
+struct WireState<M> {
+    env: NetEnvelope<M>,
+    link_seq: u64,
+    submitted: Instant,
+    base_delay: Duration,
+    acked: bool,
+    delivered: bool,
+}
+
+enum NetEvent {
+    /// A transmission attempt's copy reaches the receiver.
+    Deliver { wire: usize, attempt: u32 },
+    /// The receiver's ack reaches the sender.
+    Ack { wire: usize },
+    /// The sender's retransmit timer fires.
+    Retransmit { wire: usize, attempt: u32 },
+}
+
+struct Scheduled {
+    at: Instant,
+    seq: u64,
+    ev: NetEvent,
+}
+
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Scheduled<M> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse for a min-heap on (at, seq).
         other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
@@ -201,15 +414,66 @@ impl<M: Send + 'static> NetSender<M> {
 /// The per-process receiving end.
 pub type NetReceiver<M> = Receiver<NetEnvelope<M>>;
 
-/// Spawns the network thread; returns one sender handle plus the `n`
-/// per-process receivers. The thread exits when every sender handle is
-/// dropped and all held messages have been delivered.
+/// Owns the network thread: signals shutdown and joins it on drop, so
+/// no run leaks the thread or its in-flight envelopes.
+#[derive(Debug)]
+pub struct NetHandle {
+    shutdown: Sender<()>,
+    thread: Option<std::thread::JoinHandle<NetStats>>,
+}
+
+impl NetHandle {
+    /// Signals shutdown, joins the thread, and returns its transport
+    /// counters. Wires still in flight are discarded but accounted as
+    /// [`NetStats::undelivered`] (and reported to the watchdog when
+    /// they were over-Δ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network thread itself panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> NetStats {
+        let _ = self.shutdown.try_send(());
+        self.thread
+            .take()
+            .expect("network thread handle")
+            .join()
+            .expect("network thread panicked")
+    }
+}
+
+impl Drop for NetHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = self.shutdown.try_send(());
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns the network thread; returns one sender handle, the `n`
+/// per-process receivers, and the joinable [`NetHandle`]. The thread
+/// exits when every sender is dropped and all held messages are
+/// delivered, or as soon as the handle signals shutdown.
 #[must_use]
-pub fn spawn_network<M: Send + 'static>(
+pub fn spawn_network<M: Clone + Send + 'static>(
     n: usize,
     config: NetConfig,
-) -> (NetSender<M>, Vec<NetReceiver<M>>) {
+) -> (NetSender<M>, Vec<NetReceiver<M>>, NetHandle) {
+    spawn_network_watched(n, config, SynchronyMonitor::disarmed())
+}
+
+/// [`spawn_network`] with a synchrony watchdog attached: over-Δ
+/// scheduling, late deliveries, and shutdown-stranded wires are
+/// reported to `monitor`.
+#[must_use]
+pub fn spawn_network_watched<M: Clone + Send + 'static>(
+    n: usize,
+    config: NetConfig,
+    monitor: Arc<SynchronyMonitor>,
+) -> (NetSender<M>, Vec<NetReceiver<M>>, NetHandle) {
     let (submit_tx, submit_rx) = unbounded::<NetEnvelope<M>>();
+    let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
     let mut inboxes_tx = Vec::with_capacity(n);
     let mut inboxes_rx = Vec::with_capacity(n);
     for _ in 0..n {
@@ -217,66 +481,240 @@ pub fn spawn_network<M: Send + 'static>(
         inboxes_tx.push(tx);
         inboxes_rx.push(rx);
     }
-    std::thread::Builder::new()
+    let thread = std::thread::Builder::new()
         .name("ssp-net".into())
-        .spawn(move || {
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            let mut heap: BinaryHeap<Scheduled<M>> = BinaryHeap::new();
-            let mut seq = 0u64;
-            let mut closed = false;
-            // Per-link message counters, for LinkScript indexing.
-            let mut link_count: HashMap<(usize, usize), usize> = HashMap::new();
-            loop {
-                // Deliver everything due.
-                let now = Instant::now();
-                while heap.peek().is_some_and(|s| s.at <= now) {
-                    let s = heap.pop().expect("peeked");
-                    let _ = inboxes_tx[s.env.dst.index()].try_send(s.env);
-                }
-                if closed && heap.is_empty() {
-                    return;
-                }
-                // Wait for the next submission or the next deadline.
-                let timeout = heap
-                    .peek()
-                    .map(|s| s.at.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(50));
-                match submit_rx.recv_timeout(timeout) {
-                    Ok(env) => {
-                        let nth = link_count
-                            .entry((env.src.index(), env.dst.index()))
-                            .or_insert(0);
-                        let delay = config.delay_for(&env, *nth, &mut rng);
-                        *nth += 1;
-                        heap.push(Scheduled {
-                            at: Instant::now() + delay,
-                            seq,
-                            env,
-                        });
-                        seq += 1;
+        .spawn(move || net_thread(config, monitor, &submit_rx, &shutdown_rx, &inboxes_tx))
+        .expect("spawn network thread");
+    (
+        NetSender { submit: submit_tx },
+        inboxes_rx,
+        NetHandle {
+            shutdown: shutdown_tx,
+            thread: Some(thread),
+        },
+    )
+}
+
+/// Schedules transmission attempt `attempt` of wire `wi` at `now`:
+/// rolls chaos loss/duplication/reorder and arms the next retransmit
+/// timer. The final attempt is never dropped.
+#[allow(clippy::too_many_arguments)]
+fn schedule_attempt<M>(
+    heap: &mut BinaryHeap<Scheduled>,
+    seq: &mut u64,
+    stats: &mut NetStats,
+    chaos: Option<ChaosConfig>,
+    seed: u64,
+    reliable: bool,
+    w: &WireState<M>,
+    wi: usize,
+    attempt: u32,
+    now: Instant,
+) {
+    let mut push = |at: Instant, ev: NetEvent| {
+        heap.push(Scheduled { at, seq: *seq, ev });
+        *seq += 1;
+    };
+    let (src, dst, k) = (w.env.src, w.env.dst, w.link_seq);
+    let last = attempt + 1 >= MAX_SEND_ATTEMPTS;
+    let dropped = !last && chaos.is_some_and(|c| c.drops_data(seed, src, dst, k, attempt));
+    if dropped {
+        stats.chaos_dropped += 1;
+    } else {
+        let extra = chaos.map_or(Duration::ZERO, |c| {
+            c.reorder_extra(seed, src, dst, k, attempt)
+        });
+        let at = now + w.base_delay + extra;
+        push(at, NetEvent::Deliver { wire: wi, attempt });
+        if chaos.is_some_and(|c| c.duplicates(seed, src, dst, k, attempt)) {
+            stats.chaos_duplicated += 1;
+            push(at + DUP_OFFSET, NetEvent::Deliver { wire: wi, attempt });
+        }
+    }
+    if reliable && !last {
+        push(
+            now + RTO_INITIAL * (1 << attempt),
+            NetEvent::Retransmit {
+                wire: wi,
+                attempt: attempt + 1,
+            },
+        );
+    }
+}
+
+fn net_thread<M: Clone + Send + 'static>(
+    config: NetConfig,
+    monitor: Arc<SynchronyMonitor>,
+    submit_rx: &Receiver<NetEnvelope<M>>,
+    shutdown_rx: &Receiver<()>,
+    inboxes_tx: &[Sender<NetEnvelope<M>>],
+) -> NetStats {
+    let reliable = config.is_reliable();
+    let chaos = config.chaos();
+    let seed = config.seed;
+    let armed = monitor.is_armed();
+    let delta = monitor.delta();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    let mut wires: Vec<WireState<M>> = Vec::new();
+    let mut seq = 0u64;
+    let mut stats = NetStats::default();
+    let mut closed = false;
+    // Per-link wire counters, for LinkScript indexing and the reliable
+    // layer's sequence numbers.
+    let mut link_count: HashMap<(usize, usize), u64> = HashMap::new();
+
+    let finish = |wires: &[WireState<M>], mut stats: NetStats| -> NetStats {
+        for w in wires {
+            if w.delivered {
+                continue;
+            }
+            stats.undelivered += 1;
+            if armed && w.base_delay > delta {
+                monitor.record(SynchronyEvent::UndeliveredAtShutdown {
+                    src: w.env.src,
+                    dst: w.env.dst,
+                    round: Round::new(w.link_seq as u32 + 1),
+                });
+            }
+        }
+        stats
+    };
+
+    loop {
+        // Handle everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|s| s.at <= now) {
+            let s = heap.pop().expect("peeked");
+            match s.ev {
+                NetEvent::Deliver { wire, attempt } => {
+                    let w = &mut wires[wire];
+                    if w.delivered {
+                        stats.dup_suppressed += 1;
+                    } else {
+                        w.delivered = true;
+                        stats.delivered += 1;
+                        let latency = s.at.saturating_duration_since(w.submitted);
+                        if armed && latency > delta {
+                            stats.late_deliveries += 1;
+                            monitor.record(SynchronyEvent::LateDelivery {
+                                src: w.env.src,
+                                dst: w.env.dst,
+                                latency,
+                            });
+                        }
+                        let _ = inboxes_tx[w.env.dst.index()].try_send(w.env.clone());
                     }
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                        closed = true;
-                        if heap.is_empty() {
-                            return;
+                    if reliable {
+                        // The receiving transport acks every copy, so a
+                        // lost ack cannot strand the sender forever.
+                        let (src, dst, k) = (w.env.src, w.env.dst, w.link_seq);
+                        if chaos.is_some_and(|c| c.drops_ack(seed, src, dst, k, attempt)) {
+                            stats.acks_lost += 1;
+                        } else {
+                            let span = config
+                                .max_delay
+                                .saturating_sub(config.min_delay)
+                                .as_micros() as u64;
+                            let extra = if span == 0 {
+                                0
+                            } else {
+                                roll(seed, SALT_ACK_DELAY, src, dst, k, attempt) % (span + 1)
+                            };
+                            let at = s.at + config.min_delay + Duration::from_micros(extra);
+                            heap.push(Scheduled {
+                                at,
+                                seq,
+                                ev: NetEvent::Ack { wire },
+                            });
+                            seq += 1;
                         }
-                        // Sleep until the next deadline, then loop to flush.
-                        if let Some(s) = heap.peek() {
-                            let wait = s.at.saturating_duration_since(Instant::now());
-                            std::thread::sleep(wait.min(Duration::from_millis(50)));
-                        }
+                    }
+                }
+                NetEvent::Ack { wire } => {
+                    wires[wire].acked = true;
+                }
+                NetEvent::Retransmit { wire, attempt } => {
+                    if !wires[wire].acked {
+                        stats.retransmits += 1;
+                        schedule_attempt(
+                            &mut heap,
+                            &mut seq,
+                            &mut stats,
+                            chaos,
+                            seed,
+                            reliable,
+                            &wires[wire],
+                            wire,
+                            attempt,
+                            s.at,
+                        );
                     }
                 }
             }
-        })
-        .expect("spawn network thread");
-    (NetSender { submit: submit_tx }, inboxes_rx)
+        }
+        if shutdown_rx.try_recv().is_ok() {
+            return finish(&wires, stats);
+        }
+        if closed && heap.is_empty() {
+            return finish(&wires, stats);
+        }
+        let next_due = heap
+            .peek()
+            .map(|s| s.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(IDLE_POLL);
+        let wait = next_due.min(IDLE_POLL);
+        if closed {
+            // All senders are gone: flush remaining deadlines, polling
+            // for shutdown between sleeps.
+            std::thread::sleep(wait);
+            continue;
+        }
+        match submit_rx.recv_timeout(wait) {
+            Ok(env) => {
+                let nth = link_count
+                    .entry((env.src.index(), env.dst.index()))
+                    .or_insert(0);
+                let link_seq = *nth;
+                *nth += 1;
+                let base_delay = config.delay_for(&env, link_seq as usize, &mut rng);
+                stats.wires += 1;
+                if armed && base_delay > delta {
+                    stats.slow_scheduled += 1;
+                    monitor.record(SynchronyEvent::SlowWireScheduled {
+                        src: env.src,
+                        dst: env.dst,
+                        round: Round::new(link_seq as u32 + 1),
+                        delay: base_delay,
+                    });
+                }
+                let now = Instant::now();
+                let w = WireState {
+                    env,
+                    link_seq,
+                    submitted: now,
+                    base_delay,
+                    acked: false,
+                    delivered: false,
+                };
+                let wi = wires.len();
+                schedule_attempt(
+                    &mut heap, &mut seq, &mut stats, chaos, seed, reliable, &w, wi, 0, now,
+                );
+                wires.push(w);
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                closed = true;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fd::DegradeMode;
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -284,7 +722,7 @@ mod tests {
 
     #[test]
     fn messages_arrive_in_link_order_with_zero_delay() {
-        let (tx, rx) = spawn_network::<u32>(2, NetConfig::bounded(Duration::ZERO, 1));
+        let (tx, rx, _net) = spawn_network::<u32>(2, NetConfig::bounded(Duration::ZERO, 1));
         for i in 0..10 {
             tx.send(p(0), p(1), i);
         }
@@ -302,7 +740,7 @@ mod tests {
             p(1),
             Duration::from_millis(150),
         );
-        let (tx, rx) = spawn_network::<u32>(2, config);
+        let (tx, rx, _net) = spawn_network::<u32>(2, config);
         let t0 = Instant::now();
         tx.send(p(0), p(1), 42);
         let env = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
@@ -313,7 +751,7 @@ mod tests {
     #[test]
     fn bounded_delays_respect_the_bound() {
         let bound = Duration::from_millis(20);
-        let (tx, rx) = spawn_network::<u32>(2, NetConfig::bounded(bound, 3));
+        let (tx, rx, _net) = spawn_network::<u32>(2, NetConfig::bounded(bound, 3));
         for i in 0..20 {
             let t0 = Instant::now();
             tx.send(p(1), p(0), i);
@@ -331,7 +769,7 @@ mod tests {
         script.set(p(0), p(1), 0, Duration::from_millis(120));
         script.set(p(0), p(1), 1, Duration::ZERO);
         let config = NetConfig::bounded(Duration::from_millis(1), 3).with_script(script);
-        let (tx, rx) = spawn_network::<u32>(2, config);
+        let (tx, rx, _net) = spawn_network::<u32>(2, config);
         tx.send(p(0), p(1), 0);
         tx.send(p(0), p(1), 1);
         let first = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
@@ -352,8 +790,175 @@ mod tests {
 
     #[test]
     fn network_thread_exits_after_senders_drop() {
-        let (tx, _rx) = spawn_network::<u32>(1, NetConfig::bounded(Duration::ZERO, 1));
+        let (tx, _rx, net) = spawn_network::<u32>(1, NetConfig::bounded(Duration::ZERO, 1));
         drop(tx);
-        // No panic / hang: nothing to assert beyond clean teardown.
+        let stats = net.shutdown();
+        assert_eq!(stats.wires, 0);
+    }
+
+    #[test]
+    fn reliable_layer_masks_heavy_loss() {
+        let config = NetConfig::bounded(Duration::from_millis(1), 11).with_chaos(ChaosConfig {
+            loss_pm: 300,
+            dup_pm: 0,
+            reorder_pm: 0,
+        });
+        let (tx, rx, net) = spawn_network::<u32>(2, config);
+        for i in 0..40 {
+            tx.send(p(0), p(1), i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..40 {
+            got.push(rx[1].recv_timeout(Duration::from_secs(5)).unwrap().payload);
+        }
+        // Retransmitted wires may overtake later ones: exactly-once,
+        // but not necessarily in order.
+        got.sort_unstable();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+        drop(tx);
+        let stats = net.shutdown();
+        assert_eq!(stats.wires, 40);
+        assert_eq!(stats.delivered, 40);
+        assert_eq!(stats.undelivered, 0);
+        assert!(stats.chaos_dropped > 0, "loss 0.3 over 40 wires must fire");
+        assert!(stats.retransmits >= stats.chaos_dropped);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_exactly_once_each() {
+        let config = NetConfig::bounded(Duration::from_millis(1), 5).with_chaos(ChaosConfig {
+            loss_pm: 0,
+            dup_pm: 1000,
+            reorder_pm: 200,
+        });
+        let (tx, rx, net) = spawn_network::<u32>(2, config);
+        for i in 0..20 {
+            tx.send(p(0), p(1), i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.push(rx[1].recv_timeout(Duration::from_secs(5)).unwrap().payload);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        // Nothing further arrives: every duplicate was suppressed.
+        assert!(rx[1].recv_timeout(Duration::from_millis(120)).is_err());
+        drop(tx);
+        let stats = net.shutdown();
+        assert_eq!(stats.delivered, 20);
+        assert_eq!(stats.chaos_duplicated, 20, "dup rate 1.0: one per wire");
+        assert!(stats.dup_suppressed >= 20);
+    }
+
+    #[test]
+    fn total_loss_still_delivers_via_the_final_attempt() {
+        let config = NetConfig::bounded(Duration::from_millis(1), 9).with_chaos(ChaosConfig {
+            loss_pm: 1000,
+            dup_pm: 0,
+            reorder_pm: 0,
+        });
+        let (tx, rx, net) = spawn_network::<u32>(2, config);
+        tx.send(p(0), p(1), 7);
+        let t0 = Instant::now();
+        let env = rx[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.payload, 7);
+        assert!(
+            t0.elapsed() <= NetConfig::retransmit_budget() + Duration::from_millis(500),
+            "delivery within the retransmit budget"
+        );
+        drop(tx);
+        let stats = net.shutdown();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(
+            stats.chaos_dropped,
+            u64::from(MAX_SEND_ATTEMPTS) - 1,
+            "every attempt but the immune final one was dropped"
+        );
+    }
+
+    #[test]
+    fn chaos_decisions_are_seed_deterministic() {
+        let run = || {
+            let config = NetConfig::bounded(Duration::from_millis(1), 17).with_chaos(ChaosConfig {
+                loss_pm: 250,
+                dup_pm: 150,
+                reorder_pm: 100,
+            });
+            let (tx, rx, net) = spawn_network::<u32>(3, config);
+            for i in 0..30 {
+                tx.send(p(i % 2), p(2), i as u32);
+            }
+            for _ in 0..30 {
+                let _ = rx[2].recv_timeout(Duration::from_secs(5)).unwrap();
+            }
+            drop(tx);
+            net.shutdown()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same chaos counters");
+        assert!(a.chaos_dropped > 0 && a.chaos_duplicated > 0);
+    }
+
+    #[test]
+    fn watchdog_sees_over_delta_scheduling_and_stranded_wires() {
+        let monitor = SynchronyMonitor::armed(Duration::from_millis(50), DegradeMode::Off);
+        let config = NetConfig::bounded(Duration::from_millis(1), 3).with_link_delay(
+            p(0),
+            p(1),
+            Duration::from_millis(400),
+        );
+        let (tx, _rx, net) = spawn_network_watched::<u32>(2, config, Arc::clone(&monitor));
+        tx.send(p(0), p(1), 1);
+        // Give the thread a moment to process the submission, then cut
+        // the run short with the wire still in flight.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(tx);
+        let t0 = Instant::now();
+        let stats = net.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "shutdown does not wait out the 400ms delay"
+        );
+        assert_eq!(stats.slow_scheduled, 1);
+        assert_eq!(stats.undelivered, 1);
+        let report = monitor.report();
+        assert!(report.violated);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, SynchronyEvent::SlowWireScheduled { .. })));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, SynchronyEvent::UndeliveredAtShutdown { .. })));
+    }
+
+    #[test]
+    fn late_delivery_is_reported_when_the_wire_lands() {
+        let monitor = SynchronyMonitor::armed(Duration::from_millis(30), DegradeMode::Off);
+        let config = NetConfig::bounded(Duration::from_millis(1), 3).with_link_delay(
+            p(0),
+            p(1),
+            Duration::from_millis(80),
+        );
+        let (tx, rx, _net) = spawn_network_watched::<u32>(2, config, Arc::clone(&monitor));
+        tx.send(p(0), p(1), 9);
+        let env = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.payload, 9);
+        let report = monitor.report();
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, SynchronyEvent::LateDelivery { .. })));
+    }
+
+    #[test]
+    fn transport_budget_bounds_are_consistent() {
+        assert_eq!(NetConfig::retransmit_budget(), Duration::from_millis(48));
+        let plain = NetConfig::bounded(Duration::from_millis(2), 0);
+        assert_eq!(plain.worst_transport_delay(), Duration::from_millis(2));
+        let chaotic = plain.clone().with_chaos(ChaosConfig::default());
+        assert!(chaotic.worst_transport_delay() > Duration::from_millis(48));
     }
 }

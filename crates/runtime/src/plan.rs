@@ -35,8 +35,9 @@ use rand::{Rng, SeedableRng};
 
 use ssp_model::ProcessId;
 
-use crate::driver::{FdFlavor, RuntimeConfig, SyncPolicy, ThreadCrash};
-use crate::net::{LinkScript, NetConfig};
+use crate::driver::{FdFlavor, RuntimeConfig, Stall, SyncPolicy, ThreadCrash, WatchdogConfig};
+use crate::fd::DegradeMode;
+use crate::net::{ChaosConfig, LinkScript, NetConfig};
 
 /// Maximum delivery delay of an unscripted ("fast") link.
 pub const FAST_MAX: Duration = Duration::from_millis(1);
@@ -45,11 +46,25 @@ pub const FAST_MAX: Duration = Duration::from_millis(1);
 /// message is never received: it is *pending* when its sender crashes.
 pub const SLOW: Duration = Duration::from_millis(600);
 
+/// Slowed-link delay used by chaos plans and the Δ-violation scenario.
+/// Chaos retransmits and scaled suspicions stretch runs, so the margin
+/// that keeps a slowed wire pending must stretch with them.
+pub const CHAOS_SLOW: Duration = Duration::from_millis(2500);
+
 /// Minimum oracle-notification delay in `RWS` plans.
 pub const NOTIFY_BASE: Duration = Duration::from_millis(25);
 
 /// Maximum extra oracle-notification jitter in `RWS` plans.
 pub const NOTIFY_JITTER: Duration = Duration::from_millis(25);
+
+/// How much [`FaultPlan::with_chaos`] stretches oracle-notification
+/// delays. The reliable layer can hold an in-window wire back for the
+/// whole retransmit budget (~50ms), which overlaps the plain
+/// 25–50ms notification band; scaling notifications to 100–200ms
+/// restores the gap that makes wall-clock runs margin-deterministic
+/// (every wire from a not-yet-suspected sender lands before any
+/// suspicion does).
+pub const CHAOS_NOTIFY_SCALE: u32 = 4;
 
 /// The fixed seed whose [`FaultPlan`] reproduces the §5.3 anomaly:
 /// `A1` violates uniform agreement in `RWS` at `n = 3, t = 1`.
@@ -60,6 +75,10 @@ pub const NOTIFY_JITTER: Duration = Duration::from_millis(25);
 /// value and dies while the survivors, never seeing it, fall back to
 /// `p2`'s value. See `docs/paper-map.md` for the full mapping.
 pub const SECTION_5_3_SEED: u64 = 519;
+
+/// Seed of [`FaultPlan::delta_violation`], the canonical Δ-violation
+/// scenario: an `RS` run whose network breaks its own delay bound.
+pub const DELTA_VIOLATION_SEED: u64 = 0xde17a;
 
 /// Which round model a plan targets (the runtime-local twin of the
 /// checker's model switch; `ssp-lab` bridges the two).
@@ -102,6 +121,15 @@ pub struct FaultPlan {
     /// Oracle-notification delays, `notify[crasher][observer]`
     /// (`RWS` plans only; empty for `RS`).
     pub notify: Vec<Vec<Duration>>,
+    /// Chaos faults (loss/duplication/reordering); implies the
+    /// reliable-delivery layer. `None` for plain seeded plans.
+    pub chaos: Option<ChaosConfig>,
+    /// What the synchrony watchdog does on a Δ violation (`RS` only).
+    pub degrade: DegradeMode,
+    /// Delivery delay of the links in [`Self::slow`].
+    pub slow_delay: Duration,
+    /// Per-process stall script (heartbeat starvation).
+    pub stalls: Vec<Option<Stall>>,
 }
 
 impl FaultPlan {
@@ -182,6 +210,79 @@ impl FaultPlan {
             crashes,
             slow,
             notify,
+            chaos: None,
+            degrade: DegradeMode::Off,
+            slow_delay: SLOW,
+            stalls: vec![None; n],
+        }
+    }
+
+    /// Adds chaos faults on top of the plan: every wire is subject to
+    /// seed-deterministic loss/duplication/reordering and travels over
+    /// the reliable-delivery layer. Slowed links stretch to
+    /// [`CHAOS_SLOW`] and oracle notifications scale by
+    /// [`CHAOS_NOTIFY_SCALE`] so the determinism margins survive the
+    /// retransmit budget.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self.slow_delay = CHAOS_SLOW;
+        for row in &mut self.notify {
+            for d in row {
+                *d *= CHAOS_NOTIFY_SCALE;
+            }
+        }
+        self
+    }
+
+    /// Sets the watchdog's degradation mode (effective in `RS` plans).
+    #[must_use]
+    pub fn with_degrade(mut self, degrade: DegradeMode) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Scripts a heartbeat starvation for one process.
+    #[must_use]
+    pub fn with_stall(mut self, p: ProcessId, stall: Stall) -> Self {
+        self.stalls[p.index()] = Some(stall);
+        self
+    }
+
+    /// The canonical Δ-violation scenario: an `RS` plan whose network
+    /// silently breaks its own delay bound, re-creating the §5.3 shape
+    /// *under the model that is supposed to exclude it*. `p1`'s round-1
+    /// broadcast links are slowed far past Δ and `p1` crashes in round
+    /// 2 before relaying — so `p1` decides its own value on its fast
+    /// self-delivery while the survivors, never seeing it, decide
+    /// another. With the watchdog off this reproduces a uniform-
+    /// agreement violation inside "RS"; [`DegradeMode::Rws`] instead
+    /// downgrades the run at the first over-Δ wire, which is admissible
+    /// because the crash satisfies Lemma 4.1.
+    #[must_use]
+    pub fn delta_violation() -> Self {
+        let n = 3;
+        let mut crashes = vec![None; n];
+        crashes[0] = Some(ThreadCrash {
+            round: 2,
+            after_sends: 0,
+        });
+        FaultPlan {
+            seed: DELTA_VIOLATION_SEED,
+            n,
+            t: 1,
+            horizon: 2,
+            model: PlanModel::Rs,
+            crashes,
+            slow: vec![
+                (ProcessId::new(0), ProcessId::new(1), 1),
+                (ProcessId::new(0), ProcessId::new(2), 1),
+            ],
+            notify: Vec::new(),
+            chaos: None,
+            degrade: DegradeMode::Off,
+            slow_delay: CHAOS_SLOW,
+            stalls: vec![None; n],
         }
     }
 
@@ -199,16 +300,29 @@ impl FaultPlan {
     pub fn link_script(&self) -> LinkScript {
         let mut script = LinkScript::new();
         for &(src, dst, round) in &self.slow {
-            script.set(src, dst, (round - 1) as usize, SLOW);
+            script.set(src, dst, (round - 1) as usize, self.slow_delay);
         }
         script
     }
 
     /// The full [`RuntimeConfig`] realizing this plan: scripted
-    /// network, scripted crashes, and (for `RWS`) the scripted oracle.
+    /// network (plus chaos faults if enabled), scripted crashes and
+    /// stalls, watchdog settings, and (for `RWS`) the scripted oracle.
     #[must_use]
     pub fn runtime_config(&self) -> RuntimeConfig {
-        let net = NetConfig::bounded(FAST_MAX, self.seed).with_script(self.link_script());
+        let mut net = NetConfig::bounded(FAST_MAX, self.seed).with_script(self.link_script());
+        if let Some(chaos) = self.chaos {
+            net = net.with_chaos(chaos);
+        }
+        let watchdog = WatchdogConfig {
+            delta: None,
+            degrade: self.degrade,
+        };
+        let notify_scale = if self.chaos.is_some() {
+            CHAOS_NOTIFY_SCALE
+        } else {
+            1
+        };
         match self.model {
             PlanModel::Rs => RuntimeConfig {
                 net,
@@ -219,6 +333,8 @@ impl FaultPlan {
                     timeout: Duration::from_millis(100),
                 },
                 crashes: self.crashes.clone(),
+                stalls: self.stalls.clone(),
+                watchdog,
                 round_timeout: Duration::from_secs(20),
                 notify_script: None,
             },
@@ -226,10 +342,12 @@ impl FaultPlan {
                 net,
                 policy: SyncPolicy::Rws,
                 fd: FdFlavor::Oracle {
-                    min_notify: NOTIFY_BASE,
-                    max_notify: NOTIFY_BASE + NOTIFY_JITTER,
+                    min_notify: NOTIFY_BASE * notify_scale,
+                    max_notify: (NOTIFY_BASE + NOTIFY_JITTER) * notify_scale,
                 },
                 crashes: self.crashes.clone(),
+                stalls: self.stalls.clone(),
+                watchdog,
                 round_timeout: Duration::from_secs(20),
                 notify_script: Some(self.notify.clone()),
             },
@@ -263,6 +381,27 @@ impl fmt::Display for FaultPlan {
         }
         for &(src, dst, r) in &self.slow {
             write!(f, " slow({src}→{dst}@r{r})")?;
+        }
+        for (i, s) in self.stalls.iter().enumerate() {
+            if let Some(s) = s {
+                write!(
+                    f,
+                    " stall({}@r{}+{}ms)",
+                    ProcessId::new(i),
+                    s.round,
+                    s.duration.as_millis()
+                )?;
+            }
+        }
+        if let Some(c) = self.chaos {
+            write!(
+                f,
+                " chaos(loss={} dup={} reorder={}‰)",
+                c.loss_pm, c.dup_pm, c.reorder_pm
+            )?;
+        }
+        if self.degrade != DegradeMode::Off {
+            write!(f, " degrade={}", self.degrade)?;
         }
         write!(f, "]")
     }
@@ -344,5 +483,57 @@ mod tests {
         assert!(s.contains("seed=519"), "{s}");
         assert!(s.contains("crash(p1@r2"), "{s}");
         assert!(s.contains("slow(p1→p2@r1)"), "{s}");
+        assert!(!s.contains("chaos"), "plain plans print no chaos");
+        assert!(!s.contains("degrade"), "Off is the silent default");
+    }
+
+    #[test]
+    fn with_chaos_stretches_margins_and_prints() {
+        let chaos = ChaosConfig {
+            loss_pm: 300,
+            dup_pm: 100,
+            reorder_pm: 50,
+        };
+        let plan = FaultPlan::section_5_3().with_chaos(chaos);
+        assert_eq!(plan.slow_delay, CHAOS_SLOW);
+        for row in &plan.notify {
+            for d in row {
+                assert!(*d >= NOTIFY_BASE * CHAOS_NOTIFY_SCALE);
+                assert!(*d <= (NOTIFY_BASE + NOTIFY_JITTER) * CHAOS_NOTIFY_SCALE);
+            }
+        }
+        let config = plan.runtime_config();
+        assert_eq!(config.net.chaos(), Some(chaos));
+        assert!(config.net.is_reliable());
+        assert!(plan.to_string().contains("chaos(loss=300"), "{plan}");
+        // The stretched margins must still satisfy the config invariants.
+        config.validate(plan.n).unwrap();
+    }
+
+    #[test]
+    fn delta_violation_plan_violates_its_own_bound() {
+        let plan = FaultPlan::delta_violation();
+        assert_eq!(plan.model, PlanModel::Rs);
+        let config = plan.runtime_config();
+        config.validate(plan.n).unwrap();
+        // The scripted slow links exceed the watchdog's auto Δ — that
+        // is the whole point of the scenario.
+        assert!(plan.slow_delay > config.effective_delta());
+        assert_eq!(plan.slow.len(), 2);
+        let s = plan.with_degrade(DegradeMode::Rws).to_string();
+        assert!(s.contains("degrade=rws"), "{s}");
+    }
+
+    #[test]
+    fn stalls_ride_through_to_the_config() {
+        let stall = Stall {
+            round: 1,
+            duration: Duration::from_millis(150),
+        };
+        let plan =
+            FaultPlan::from_seed(0, 3, 1, 2, PlanModel::Rs).with_stall(ProcessId::new(1), stall);
+        let config = plan.runtime_config();
+        assert_eq!(config.stalls[1], Some(stall));
+        assert!(plan.to_string().contains("stall(p2@r1+150ms)"), "{plan}");
     }
 }

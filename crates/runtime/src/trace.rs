@@ -20,7 +20,12 @@
 //! [`RunTrace::validate`] certifies internal admissibility: complete
 //! logs, message integrity across matching send/receive cells, no
 //! pending messages under `RS`, and Lemma 4.1 for every pending
-//! message under `RWS`.
+//! message under `RWS`. A run the synchrony watchdog *degraded*
+//! ([`RunTrace::degraded_at`]) forfeits its `RS` claim and is
+//! validated under the `RWS` discipline instead — a violated Δ voids
+//! round synchrony for the whole run, not just the rounds after the
+//! violation. An [`RunTrace::aborted`] run is not a run at all and
+//! never validates.
 
 use core::fmt;
 use std::collections::BTreeMap;
@@ -31,6 +36,8 @@ use ssp_rounds::{
     RoundTrace,
 };
 use ssp_sim::{StepRecord, Trace, TraceEvent};
+
+use crate::net::NetStats;
 
 /// One process's observation of one round.
 ///
@@ -104,6 +111,9 @@ pub enum RunTraceError {
         /// A process whose next event could never be enabled.
         process: ProcessId,
     },
+    /// The watchdog aborted the run: the logs are deliberately cut
+    /// short and certify nothing.
+    AbortedRun,
 }
 
 impl fmt::Display for RunTraceError {
@@ -148,6 +158,12 @@ impl fmt::Display for RunTraceError {
             RunTraceError::Unschedulable { process } => {
                 write!(f, "no event order realizes the trace ({process} is stuck)")
             }
+            RunTraceError::AbortedRun => {
+                write!(
+                    f,
+                    "the watchdog aborted the run; the trace certifies nothing"
+                )
+            }
         }
     }
 }
@@ -174,6 +190,16 @@ pub struct RunTrace<M> {
     /// Crash rounds, clamped to `horizon + 1` (the round-model limit
     /// for "decide then crash").
     pub crashes: Vec<Option<Round>>,
+    /// The round in which the synchrony watchdog downgraded the run to
+    /// `RWS` semantics, if it did. A degraded run validates under the
+    /// `RWS` discipline regardless of [`Self::rs`].
+    pub degraded_at: Option<Round>,
+    /// Whether the watchdog aborted the run (logs deliberately cut
+    /// short; nothing to certify).
+    pub aborted: bool,
+    /// Transport counters of the run (chaos drops/dups, retransmits,
+    /// late and stranded wires).
+    pub net: NetStats,
 }
 
 impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
@@ -266,10 +292,20 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
     /// a wire only when the sender crashed); and the pending-message
     /// discipline — none under `RS`, Lemma 4.1 under `RWS`.
     ///
+    /// Whether the run still holds its `RS` claim: executed under `RS`
+    /// and never degraded.
+    #[must_use]
+    pub fn effective_rs(&self) -> bool {
+        self.rs && self.degraded_at.is_none()
+    }
+
     /// # Errors
     ///
     /// Returns the first inadmissibility found.
     pub fn validate(&self) -> Result<(), RunTraceError> {
+        if self.aborted {
+            return Err(RunTraceError::AbortedRun);
+        }
         for p in 0..self.n {
             let pid = ProcessId::new(p);
             let expected = match self.crashes[p] {
@@ -328,7 +364,7 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
             }
         }
         let pending = self.pending();
-        if self.rs {
+        if self.effective_rs() {
             if let Some(&(round, sender, receiver)) = pending.triples().first() {
                 return Err(RunTraceError::PendingInRs {
                     round,
@@ -545,10 +581,15 @@ impl<M: Clone + fmt::Debug + PartialEq> fmt::Display for RunTrace<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "run trace (n={} horizon={} model={})",
+            "run trace (n={} horizon={} model={}{}{})",
             self.n,
             self.horizon,
-            if self.rs { "RS" } else { "RWS" }
+            if self.rs { "RS" } else { "RWS" },
+            match self.degraded_at {
+                Some(r) => format!(" degraded@{r}"),
+                None => String::new(),
+            },
+            if self.aborted { " ABORTED" } else { "" },
         )?;
         writeln!(f, "  {}", self.schedule())?;
         let pending = self.pending();
@@ -596,6 +637,9 @@ mod tests {
                 )],
             ],
             crashes: vec![None, None],
+            degraded_at: None,
+            aborted: false,
+            net: NetStats::default(),
         }
     }
 
@@ -617,6 +661,9 @@ mod tests {
                 )],
             ],
             crashes: vec![Some(Round::new(2)), None],
+            degraded_at: None,
+            aborted: false,
+            net: NetStats::default(),
         }
     }
 
@@ -654,6 +701,27 @@ mod tests {
             t.validate(),
             Err(RunTraceError::PendingInRs { .. })
         ));
+    }
+
+    #[test]
+    fn degraded_rs_validates_as_rws() {
+        // The same pending message that damns an RS trace is fine once
+        // the watchdog downgraded the run (and Lemma 4.1 holds).
+        let mut t = pending_trace();
+        t.rs = true;
+        t.degraded_at = Some(Round::FIRST);
+        assert!(!t.effective_rs());
+        t.validate().unwrap();
+        let s = t.to_string();
+        assert!(s.contains("degraded@round 1"), "{s}");
+    }
+
+    #[test]
+    fn aborted_traces_certify_nothing() {
+        let mut t = clean_trace();
+        t.aborted = true;
+        assert!(matches!(t.validate(), Err(RunTraceError::AbortedRun)));
+        assert!(t.to_string().contains("ABORTED"));
     }
 
     #[test]

@@ -25,15 +25,22 @@ use ssp::fd::classify;
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::report::Table;
 use ssp::lab::{
-    fuzz_runtime, refute, run_heartbeat_experiment, LatencyAggregator, RoundModel, SampleSpace,
-    Symmetry, ValidityMode, Verification, Verifier,
+    check_threaded_run, fuzz_runtime_with, refute, run_heartbeat_experiment, FuzzOptions,
+    LatencyAggregator, RoundModel, RunVerdict, SampleSpace, Symmetry, ValidityMode, Verification,
+    Verifier,
 };
 use ssp::model::InitialConfig;
 use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
-use ssp::runtime::{PlanModel, SECTION_5_3_SEED};
+use ssp::runtime::{
+    run_threaded, ChaosConfig, DegradeMode, FaultPlan, PlanModel, SECTION_5_3_SEED,
+};
 
-/// Minimal flag parser: `--key value` / `-k value` pairs after the
-/// positional arguments.
+/// Flags that take no value: their presence means `true`.
+const BOOLEAN_FLAGS: &[&str] = &["chaos", "delta-violation"];
+
+/// Minimal flag parser: `--key value` / `--key=value` / `-k value`
+/// pairs after the positional arguments, plus valueless boolean flags
+/// ([`BOOLEAN_FLAGS`]).
 #[derive(Debug, Default)]
 struct Flags {
     positional: Vec<String>,
@@ -46,10 +53,16 @@ fn parse_args(args: &[String]) -> Result<Flags, String> {
     while let Some(arg) = it.next() {
         if let Some(key) = arg.strip_prefix('-') {
             let key = key.strip_prefix('-').unwrap_or(key);
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
-            flags.pairs.push((key.to_string(), value.clone()));
+            if let Some((key, value)) = key.split_once('=') {
+                flags.pairs.push((key.to_string(), value.to_string()));
+            } else if BOOLEAN_FLAGS.contains(&key) {
+                flags.pairs.push((key.to_string(), "true".to_string()));
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.pairs.push((key.to_string(), value.clone()));
+            }
         } else {
             flags.positional.push(arg.clone());
         }
@@ -84,6 +97,26 @@ impl Flags {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        }
+    }
+
+    fn is_set(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// A probability flag, converted to the chaos plane's per-mille
+    /// integer rate.
+    fn rate_pm_or(&self, key: &str, default_pm: u16) -> Result<u16, String> {
+        match self.get(key) {
+            None => Ok(default_pm),
+            Some(v) => {
+                let p: f64 = v.parse().map_err(|_| format!("--{key}: bad rate {v:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("--{key}: rate must be in 0..=1, got {v}"));
+                }
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Ok((p * 1000.0).round() as u16)
+            }
         }
     }
 }
@@ -462,7 +495,79 @@ fn parse_seed_range(s: &str) -> Result<std::ops::Range<u64>, String> {
     Ok(start..end)
 }
 
+/// Parses `--degrade=rws|abort|off` (default off).
+fn parse_degrade(flags: &Flags) -> Result<DegradeMode, String> {
+    match flags.get("degrade").unwrap_or("off") {
+        "off" => Ok(DegradeMode::Off),
+        "rws" => Ok(DegradeMode::Rws),
+        "abort" => Ok(DegradeMode::Abort),
+        other => Err(format!(
+            "--degrade: unknown mode {other:?} (off, rws or abort)"
+        )),
+    }
+}
+
+/// Parses the chaos knobs: `--chaos` enables default rates; any of
+/// `--loss`, `--dup`, `--reorder` (fractions in `0..=1`) implies it.
+fn parse_chaos(flags: &Flags) -> Result<Option<ChaosConfig>, String> {
+    let any_rate = flags.is_set("loss") || flags.is_set("dup") || flags.is_set("reorder");
+    if !flags.is_set("chaos") && !any_rate {
+        return Ok(None);
+    }
+    Ok(Some(ChaosConfig {
+        loss_pm: flags.rate_pm_or("loss", 100)?,
+        dup_pm: flags.rate_pm_or("dup", 50)?,
+        reorder_pm: flags.rate_pm_or("reorder", 50)?,
+    }))
+}
+
+/// The seeded Δ-violation scenario (`runtime-fuzz --delta-violation`):
+/// an `RS` run whose network breaks its own bound, under the chosen
+/// degradation mode. Deterministic: same flags, same verdict.
+fn cmd_delta_violation(degrade: DegradeMode) -> Result<(), String> {
+    let plan = FaultPlan::delta_violation().with_degrade(degrade);
+    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+    let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
+        .map_err(|d| format!("delta-violation run diverged from the models: {d}"))?;
+    println!("delta-violation a1 in RS, degrade={degrade}: {plan}");
+    println!(
+        "  watchdog: violated={} events={} degraded_at={:?} aborted={}",
+        result.synchrony.violated,
+        result.synchrony.events.len(),
+        result.synchrony.degraded_at,
+        result.synchrony.aborted,
+    );
+    println!("  verdict: {}", run.verdict);
+    match run.verdict {
+        RunVerdict::SynchronyViolation => {
+            let violation = run
+                .violation
+                .ok_or("expected the flagged run to violate uniform agreement")?;
+            println!("  spec: {violation}");
+            println!("  ⇒ Δ broke and nothing degraded: §5.3 smuggled into \"RS\", flagged");
+        }
+        RunVerdict::DegradedRws { at } => {
+            println!("  ⇒ downgraded at {at}; certified as an admissible RWS run");
+        }
+        RunVerdict::Aborted => {
+            println!("  ⇒ run stopped undecided at the first over-Δ wire");
+        }
+        RunVerdict::Rs | RunVerdict::Rws => {
+            return Err(format!(
+                "scenario failed to trip the watchdog (verdict {})",
+                run.verdict
+            ))
+        }
+    }
+    Ok(())
+}
+
 fn cmd_runtime_fuzz(flags: &Flags) -> Result<(), String> {
+    let degrade = parse_degrade(flags)?;
+    if flags.is_set("delta-violation") {
+        return cmd_delta_violation(degrade);
+    }
     let algo_name = flags.positional.get(1).map_or("a1", String::as_str);
     let model_name = flags.positional.get(2).map_or("rws", String::as_str);
     let model = match model_name {
@@ -485,15 +590,33 @@ fn cmd_runtime_fuzz(flags: &Flags) -> Result<(), String> {
             ))
         }
     };
+    let options = FuzzOptions {
+        chaos: parse_chaos(flags)?,
+        degrade,
+    };
     // Distinct inputs make every agreement violation visible.
     let config = InitialConfig::new((0..n as u64).map(|i| 10 + i).collect::<Vec<_>>());
     let report = with_algo!(algo_name, algo => {
-        fuzz_runtime(&algo, &config, t, model, seeds.clone(), mode)
+        fuzz_runtime_with(&algo, &config, t, model, seeds.clone(), mode, options)
     })?;
     println!(
         "runtime-fuzz {algo_name} in {model}: {} seeded wall-clock runs (n={n}, t={t}, seeds {}..{})",
         report.runs, seeds.start, seeds.end
     );
+    if let Some(chaos) = options.chaos {
+        println!(
+            "  chaos: loss {}‰, dup {}‰, reorder {}‰ over the reliable layer; degrade={degrade}",
+            chaos.loss_pm, chaos.dup_pm, chaos.reorder_pm
+        );
+    }
+    if !report.synchrony_flags.is_empty() || report.degraded > 0 || report.aborted > 0 {
+        println!(
+            "  watchdog: {} flagged, {} degraded, {} aborted",
+            report.synchrony_flags.len(),
+            report.degraded,
+            report.aborted
+        );
+    }
     if report.spec_violations.is_empty() {
         println!("  spec violations: none");
     } else {
@@ -540,8 +663,13 @@ commands:
   heartbeat  [-n N] [--phi F] [--delta D]          timeouts implement P (§3)
   emulation  [-n N] [--phi F] [--delta D] [-r R]   §4.1 step budgets
   runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T] [--validity uniform|strong]
+             [--chaos] [--loss P] [--dup P] [--reorder P] [--degrade=rws|abort|off]
+             [--delta-violation]
              sweep seeded fault plans through the threaded runtime and
-             certify every trace against the round models (default: a1 rws)
+             certify every trace against the round models (default: a1 rws);
+             --chaos adds seed-deterministic loss/dup/reorder masked by the
+             reliable layer, --delta-violation runs the scripted Δ-violation
+             scenario under the chosen degradation mode
 
 algorithms: floodset floodset-ws c-opt c-opt-ws f-opt f-opt-ws a1 early early-ws";
 
@@ -665,6 +793,43 @@ mod tests {
         assert!(dispatch(&argv("runtime-fuzz a1 rws -n 3 -t 3")).is_err());
         assert!(dispatch(&argv("runtime-fuzz a1 ws")).is_err());
         assert!(dispatch(&argv("runtime-fuzz a1 rws --validity weird")).is_err());
+    }
+
+    #[test]
+    fn boolean_and_equals_flags_parse() {
+        let f = parse_args(&argv("runtime-fuzz --chaos --degrade=rws --loss 0.3")).unwrap();
+        assert!(f.is_set("chaos"));
+        assert_eq!(f.get("degrade"), Some("rws"));
+        assert_eq!(f.rate_pm_or("loss", 0).unwrap(), 300);
+        assert_eq!(f.rate_pm_or("dup", 50).unwrap(), 50);
+        // Non-boolean flags still demand a value.
+        assert!(parse_args(&argv("verify --n")).is_err());
+    }
+
+    #[test]
+    fn chaos_rates_are_validated() {
+        let f = parse_args(&argv("runtime-fuzz --loss 1.5")).unwrap();
+        assert!(f.rate_pm_or("loss", 0).is_err());
+        assert!(dispatch(&argv(
+            "runtime-fuzz floodset rs --seed-range 0..1 --loss 2.0"
+        ))
+        .is_err());
+        assert!(dispatch(&argv("runtime-fuzz a1 rws --degrade=weird")).is_err());
+    }
+
+    #[test]
+    fn runtime_fuzz_chaos_smoke() {
+        dispatch(&argv(
+            "runtime-fuzz floodset rs --seed-range 0..2 --chaos --loss 0.3 --dup 0.1",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn delta_violation_demo_all_modes() {
+        dispatch(&argv("runtime-fuzz --delta-violation")).unwrap();
+        dispatch(&argv("runtime-fuzz --delta-violation --degrade=rws")).unwrap();
+        dispatch(&argv("runtime-fuzz --delta-violation --degrade=abort")).unwrap();
     }
 
     #[test]

@@ -135,3 +135,51 @@ fn bad_flag_value_fails() {
     assert!(!ok);
     assert!(stderr.contains("bad number"));
 }
+
+#[test]
+fn runtime_fuzz_chaos_sweep_stays_conformant() {
+    let (ok, stdout, stderr) = ssp(&[
+        "runtime-fuzz",
+        "floodset",
+        "rs",
+        "--chaos",
+        "--loss",
+        "0.3",
+        "--dup",
+        "0.1",
+        "--seed-range",
+        "0..8",
+        "--validity",
+        "strong",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("chaos: loss 300‰, dup 100‰"), "{stdout}");
+    assert!(stdout.contains("spec violations: none"), "{stdout}");
+    assert!(
+        stdout.contains("every trace admissible and replayed tick-for-tick"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn delta_violation_flags_then_degrades_from_the_cli() {
+    // Degradation off: the Δ break smuggles §5.3 into "RS" and the
+    // watchdog flags it.
+    let (ok, stdout, stderr) = ssp(&["runtime-fuzz", "--delta-violation"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("verdict: SynchronyViolation"), "{stdout}");
+    assert!(stdout.contains("uniform agreement"), "{stdout}");
+
+    // Same seed with --degrade=rws: certified as an admissible RWS run.
+    let (ok, stdout, stderr) = ssp(&["runtime-fuzz", "--delta-violation", "--degrade=rws"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("degraded at"), "{stdout}");
+    assert!(stdout.contains("admissible RWS run"), "{stdout}");
+}
+
+#[test]
+fn chaos_rate_out_of_range_fails() {
+    let (ok, _, stderr) = ssp(&["runtime-fuzz", "--chaos", "--loss", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("loss"), "{stderr}");
+}
