@@ -1,0 +1,145 @@
+//! Observer-pipeline overhead: the event IR must cost nothing when
+//! nobody listens.
+//!
+//! The verifier's hot loop now runs through the generic
+//! `run_rounds<.., O: Observer<_>>` executor with a `NullObserver`
+//! (`active() == false`), which monomorphization strips entirely; this
+//! bench measures the resulting sweep throughput so `scripts/
+//! bench_snapshot.sh` can compare it against the pre-refactor baseline
+//! recorded in `BENCH_PR4.json` (acceptance: within 5%).
+//!
+//! It also prices the two real observers on the same space — the
+//! counting path (`Verifier::count_events`) and a full `RunLogObserver`
+//! per run — so the cost of forensics is a measured number, not a
+//! guess.
+//!
+//! Emits one machine-readable line: `SNAPSHOT {..}`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_algos::FloodSetWs;
+use ssp_lab::{RoundModel, ValidityMode, Verifier};
+use ssp_model::{InitialConfig, ProcessId, ProcessSet, Round, RunLogObserver};
+use ssp_rounds::{run_rs, run_rs_observed, CrashSchedule, RoundCrash};
+
+/// The measured space: every FloodSetWS `RWS` run at `n = 3, t = 2`
+/// (the serial half of the seed's recorded baseline).
+fn sweep(count_events: bool) -> ssp_lab::Verification<u64> {
+    let base = Verifier::new(&FloodSetWs)
+        .n(3)
+        .t(2)
+        .domain(&[0u64, 1])
+        .mode(ValidityMode::Strong)
+        .model(RoundModel::Rws);
+    if count_events {
+        base.count_events().run()
+    } else {
+        base.run()
+    }
+}
+
+fn runs_per_sec(runs: u64, secs: f64) -> u64 {
+    if secs > 0.0 {
+        (runs as f64 / secs) as u64
+    } else {
+        0
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // One full serial sweep per observer flavour, wall-clock timed.
+    let t0 = Instant::now();
+    let null_sweep = sweep(false);
+    let null_secs = t0.elapsed().as_secs_f64();
+    null_sweep.expect_ok();
+
+    let t1 = Instant::now();
+    let counted_sweep = sweep(true);
+    let counting_secs = t1.elapsed().as_secs_f64();
+    counted_sweep.expect_ok();
+    assert_eq!(null_sweep.runs, counted_sweep.runs, "same space");
+    let events = counted_sweep.events.expect("count_events was requested");
+
+    // The forensic extreme: a full RunLog allocated per run, measured
+    // on a fixed representative run (one crash, partial final send).
+    let config = InitialConfig::new(vec![0u64, 1, 0]);
+    let mut schedule = CrashSchedule::none(3);
+    schedule.crash(
+        ProcessId::new(1),
+        RoundCrash {
+            round: Round::new(2),
+            sends_to: ProcessSet::singleton(ProcessId::new(0)),
+        },
+    );
+    let reps = 200_000u64;
+    let t2 = Instant::now();
+    for _ in 0..reps {
+        let _ = run_rs(&FloodSetWs, &config, 2, &schedule);
+    }
+    let bare_secs = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    for _ in 0..reps {
+        let mut obs = RunLogObserver::new(3);
+        let _ = run_rs_observed(&FloodSetWs, &config, 2, &schedule, &mut obs).unwrap();
+        criterion::black_box(obs.into_log());
+    }
+    let runlog_secs = t3.elapsed().as_secs_f64();
+
+    let null_rps = runs_per_sec(null_sweep.runs, null_secs);
+    let counting_rps = runs_per_sec(counted_sweep.runs, counting_secs);
+    let bare_rps = runs_per_sec(reps, bare_secs);
+    let runlog_rps = runs_per_sec(reps, runlog_secs);
+    println!(
+        "observer_overhead (floodset-ws rws n=3 t=2, serial): \
+         {} runs; NullObserver {null_rps} runs/s, CountingObserver \
+         {counting_rps} runs/s; single-run loop: bare {bare_rps} runs/s, \
+         RunLogObserver {runlog_rps} runs/s; {} deliveries counted",
+        null_sweep.runs, events.delivers
+    );
+    println!(
+        "SNAPSHOT {{\"bench\":\"observer_overhead\",\"space\":\"floodset-ws rws n=3 t=2 serial\",\
+         \"runs\":{},\"null_runs_per_sec\":{null_rps},\"counting_runs_per_sec\":{counting_rps},\
+         \"bare_single_run_per_sec\":{bare_rps},\"runlog_single_run_per_sec\":{runlog_rps},\
+         \"counted_delivers\":{}}}",
+        null_sweep.runs, events.delivers
+    );
+
+    // Criterion trend points at a smaller scale.
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(10);
+    group.bench_function("null_observer_sweep_n3t1", |b| {
+        b.iter(|| {
+            Verifier::new(&FloodSetWs)
+                .n(3)
+                .t(1)
+                .domain(&[0u64, 1])
+                .mode(ValidityMode::Strong)
+                .model(RoundModel::Rws)
+                .run()
+        })
+    });
+    group.bench_function("counting_observer_sweep_n3t1", |b| {
+        b.iter(|| {
+            Verifier::new(&FloodSetWs)
+                .n(3)
+                .t(1)
+                .domain(&[0u64, 1])
+                .mode(ValidityMode::Strong)
+                .model(RoundModel::Rws)
+                .count_events()
+                .run()
+        })
+    });
+    group.bench_function("runlog_observer_single_run", |b| {
+        b.iter(|| {
+            let mut obs = RunLogObserver::new(3);
+            let _ = run_rs_observed(&FloodSetWs, &config, 2, &schedule, &mut obs).unwrap();
+            obs.into_log()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 use core::fmt;
 
-use ssp_model::{spec::ConsensusViolation, ConsensusOutcome, InitialConfig, Value};
+use ssp_model::{spec::ConsensusViolation, ConsensusOutcome, EventCounts, InitialConfig, Value};
 use ssp_rounds::{CrashSchedule, PendingChoice, RoundAlgorithm};
 
 use crate::metrics::LatencyAggregator;
@@ -71,6 +71,11 @@ pub struct Verification<V> {
     /// requested via `Verifier::collect_latency` (always present for
     /// sampled sweeps).
     pub latency: Option<LatencyAggregator<V>>,
+    /// Canonical-event totals over the visited runs, when requested
+    /// via `Verifier::count_events`. `events.delivers` is the sweep's
+    /// aggregate message complexity as observed at receivers. Raw
+    /// per-visited-run counts, never orbit-weighted.
+    pub events: Option<EventCounts>,
     /// The least violation found (in enumeration order), if any.
     pub counterexample: Option<Counterexample<V>>,
 }

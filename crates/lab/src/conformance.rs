@@ -7,12 +7,14 @@
 //! 1. **admissibility** — [`RunTrace::validate`] (complete logs,
 //!    message integrity, detector accuracy, Lemma 4.1 for pending
 //!    messages) plus the step-level validators of `ssp-sim`
-//!    ([`validate_basic`], [`validate_perfect_fd`]) on the exported
-//!    step trace;
+//!    ([`validate_basic`], [`validate_perfect_fd`]) on the step-trace
+//!    view of `RunTrace::step_log`;
 //! 2. **replay** — the derived [`CrashSchedule`]/[`PendingChoice`]
-//!    adversary is re-executed through `ssp_rounds::run_rws_traced`,
-//!    and both the per-round delivery matrices and the final outcomes
-//!    must match tick-for-tick;
+//!    adversary is re-executed through `ssp_rounds::run_rws_observed`,
+//!    and the two canonical run logs, projected onto their shared
+//!    delivery core, must agree event-for-event
+//!    ([`RunLog::first_divergence`](ssp_model::RunLog::first_divergence)),
+//!    as must the final outcomes;
 //! 3. **verdict** — if a threaded run violates the consensus spec, the
 //!    model checker sweeping the same `(n, t, domain, model)` space
 //!    must report a violation too (the recorded run *is* in its
@@ -29,13 +31,14 @@ use core::fmt;
 use std::ops::Range;
 
 use ssp_model::{
-    check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round, Value,
+    check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round,
+    RunEvent, RunLogObserver, Value,
 };
-use ssp_rounds::{run_rws_traced, RoundAlgorithm, RoundProcess};
+use ssp_rounds::{run_rws_observed, RoundAlgorithm, RoundProcess};
 use ssp_runtime::{
     run_threaded, ChaosConfig, DegradeMode, FaultPlan, PlanModel, RunTraceError, ThreadedOutcome,
 };
-use ssp_sim::{validate_basic, validate_perfect_fd, TraceViolation};
+use ssp_sim::{validate_basic, validate_perfect_fd, Trace, TraceViolation};
 
 use crate::checker::ValidityMode;
 use crate::verifier::{RoundModel, Verifier};
@@ -207,23 +210,28 @@ where
         });
     }
     trace.validate().map_err(Divergence::Inadmissible)?;
-    let steps = trace.to_step_trace().map_err(Divergence::Inadmissible)?;
+    let steps = Trace::from_run_log(&trace.step_log().map_err(Divergence::Inadmissible)?);
     validate_basic(&steps).map_err(Divergence::StepModel)?;
     validate_perfect_fd(&steps).map_err(Divergence::StepModel)?;
 
     let schedule = trace.schedule();
     let pending = trace.pending();
-    let (replay_outcome, replay_trace) = run_rws_traced(algo, config, t, &schedule, &pending)
+    let mut replay_obs = RunLogObserver::new(config.n());
+    let replay_outcome = run_rws_observed(algo, config, t, &schedule, &pending, &mut replay_obs)
         .map_err(|e| Divergence::Inadmissible(RunTraceError::Pending(e)))?;
 
-    let recorded = trace.round_trace();
-    if recorded != replay_trace {
-        let round = recorded
-            .rounds()
-            .iter()
-            .zip(replay_trace.rounds())
-            .find(|(a, b)| a != b)
-            .map_or(Round::FIRST, |(a, _)| a.round);
+    // Log-diff conformance: both logs projected onto their shared
+    // delivery core (deliveries, withholds, crashes, lockstep closes)
+    // must agree event-for-event. Layer-specific events — the replay's
+    // decisions, the runtime's watchdog markers — are outside the core.
+    let recorded = trace.run_log().project(RunEvent::is_delivery);
+    let replayed = replay_obs.into_log().project(RunEvent::is_delivery);
+    if let Some(d) = recorded.first_divergence(&replayed) {
+        let round = d
+            .left
+            .and_then(RunEvent::round)
+            .or_else(|| d.right.and_then(RunEvent::round))
+            .unwrap_or(Round::FIRST);
         return Err(Divergence::DeliveryMismatch { round });
     }
 

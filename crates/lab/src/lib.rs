@@ -70,7 +70,7 @@ pub use lower_bound::{
     all_round1_candidates, decides_round1_when_failure_free, refute_round1_candidate,
     Round1Candidate,
 };
-pub use metrics::{worst_case_rs, LatencyAggregator};
+pub use metrics::{message_complexity_rs, worst_case_rs, LatencyAggregator};
 #[allow(deprecated)]
 pub use parallel::{verify_rs_parallel, verify_rws_parallel};
 pub use report::Table;

@@ -10,11 +10,14 @@
 //! * `Λ(A)     = min_f Lat(A, f) = Lat(A, 0)` — the maximal latency
 //!   over failure-free runs.
 //!
-//! [`LatencyAggregator`] folds enumerated runs into all five.
+//! [`LatencyAggregator`] folds enumerated runs into all five, and
+//! [`message_complexity_rs`] measures a single run's traffic through
+//! the canonical event pipeline (a [`CountingObserver`] attached to
+//! the round executor).
 
 use std::collections::HashMap;
 
-use ssp_model::{InitialConfig, Value};
+use ssp_model::{CountingObserver, EventCounts, InitialConfig, Value};
 
 use crate::enumerate::EnumeratedRun;
 
@@ -230,6 +233,72 @@ where
         }
     });
     worst
+}
+
+/// Measures one `RS` run's event totals through the canonical observer
+/// pipeline: `delivers` is the run's message complexity as observed at
+/// receivers, `closes` its round count.
+///
+/// This subsumes the bespoke per-run message counters that predated the
+/// event IR — any executor that accepts an
+/// [`Observer`](ssp_model::Observer) yields the same tally.
+///
+/// # Panics
+///
+/// Panics if `schedule` is inadmissible for `(n, t)`, as
+/// [`run_rs`](ssp_rounds::run_rs) does.
+#[must_use]
+pub fn message_complexity_rs<V, A>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &ssp_rounds::CrashSchedule,
+) -> EventCounts
+where
+    V: Value,
+    A: ssp_rounds::RoundAlgorithm<V>,
+{
+    let mut counter = CountingObserver::new();
+    let _ = ssp_rounds::run_rs_observed(algo, config, t, schedule, &mut counter)
+        .unwrap_or_else(|e| panic!("{e}"));
+    counter.counts()
+}
+
+#[cfg(test)]
+mod message_complexity_tests {
+    use super::*;
+    use ssp_algos::FloodSet;
+    use ssp_model::InitialConfig;
+    use ssp_rounds::CrashSchedule;
+
+    #[test]
+    fn failure_free_floodset_delivers_n_squared_per_round() {
+        let config = InitialConfig::new(vec![0u64, 1, 0]);
+        let schedule = CrashSchedule::none(3);
+        let counts = message_complexity_rs(&FloodSet, &config, 1, &schedule);
+        // t+1 = 2 rounds, n² = 9 deliveries each (self included).
+        assert_eq!(counts.delivers, 18);
+        assert_eq!(counts.closes, 2);
+        assert_eq!(counts.crashes, 0);
+        assert_eq!(counts.decides, 3);
+    }
+
+    #[test]
+    fn a_crash_strictly_reduces_traffic() {
+        let config = InitialConfig::new(vec![0u64, 1, 0]);
+        let clean = message_complexity_rs(&FloodSet, &config, 1, &CrashSchedule::none(3));
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            ssp_model::ProcessId::new(0),
+            ssp_rounds::RoundCrash {
+                round: ssp_model::Round::new(1),
+                sends_to: ssp_model::ProcessSet::empty(),
+            },
+        );
+        let crashed = message_complexity_rs(&FloodSet, &config, 1, &schedule);
+        assert!(crashed.delivers < clean.delivers);
+        assert_eq!(crashed.crashes, 1);
+    }
 }
 
 #[cfg(test)]

@@ -47,11 +47,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ssp_model::{
-    canonical_full_classes, canonical_value_classes, config::enumerate_configs, InitialConfig,
-    Value,
+    canonical_full_classes, canonical_value_classes, config::enumerate_configs, CountingObserver,
+    EventCounts, InitialConfig, Value,
 };
 use ssp_rounds::{
-    run_rs, run_rws, PendingChoice, RoundAlgorithm, SymmetricAlgorithm, ValueSymmetric,
+    run_rs, run_rs_observed, run_rws, run_rws_observed, PendingChoice, RoundAlgorithm,
+    SymmetricAlgorithm, ValueSymmetric,
 };
 
 use crate::checker::{Counterexample, ValidityMode, Verification};
@@ -128,6 +129,7 @@ pub struct Verifier<'a, V, A> {
     threads: usize,
     symmetry: Symmetry,
     collect_latency: bool,
+    count_events: bool,
     sample: Option<SamplePlan>,
     sample_space: Option<SampleSpace>,
 }
@@ -150,6 +152,7 @@ where
             threads: 1,
             symmetry: Symmetry::Off,
             collect_latency: false,
+            count_events: false,
             sample: None,
             sample_space: None,
         }
@@ -238,6 +241,17 @@ where
         self
     }
 
+    /// Also tally canonical run-log events over every *visited* run
+    /// with a [`CountingObserver`] (returned in
+    /// [`Verification::events`]). `delivers` is the aggregate message
+    /// complexity at receivers. Counts are raw — one per visited run,
+    /// not orbit-weighted — and only collected by exhaustive sweeps.
+    #[must_use]
+    pub fn count_events(mut self) -> Self {
+        self.count_events = true;
+        self
+    }
+
     /// Switches from exhaustive enumeration to checking `trials`
     /// random runs (deterministic per `seed`), as the historical
     /// `sample_verify_*` functions did. Symmetry settings are ignored;
@@ -293,6 +307,7 @@ where
             runs: sampled.trials,
             represented: sampled.trials,
             latency: Some(sampled.latency),
+            events: None,
             counterexample: sampled.counterexample,
         }
     }
@@ -352,37 +367,42 @@ where
         let (schedules, classes, items) = (&schedules, &classes, &items);
         let (best_ref, best_key_ref) = (&best, &best_key);
         let cursor = &cursor;
-        let per_worker: Vec<(u64, u64, Option<LatencyAggregator<V>>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.threads)
-                    .map(|_| {
-                        scope.spawn(move || {
-                            self.worker(
-                                domain,
-                                horizon,
-                                schedules,
-                                classes,
-                                items,
-                                cursor,
-                                best_key_ref,
-                                best_ref,
-                            )
-                        })
+        let per_worker: Vec<WorkerTally<V>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        self.worker(
+                            domain,
+                            horizon,
+                            schedules,
+                            classes,
+                            items,
+                            cursor,
+                            best_key_ref,
+                            best_ref,
+                        )
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("verification worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verification worker panicked"))
+                .collect()
+        });
 
         let mut runs = 0;
         let mut represented = 0;
         let mut latency: Option<LatencyAggregator<V>> = None;
-        for (r, w, agg) in per_worker {
+        let mut events: Option<EventCounts> = None;
+        for (r, w, agg, counts) in per_worker {
             runs += r;
             represented += w;
             match (&mut latency, agg) {
+                (Some(total), Some(part)) => total.merge(part),
+                (slot @ None, Some(part)) => *slot = Some(part),
+                _ => {}
+            }
+            match (&mut events, counts) {
                 (Some(total), Some(part)) => total.merge(part),
                 (slot @ None, Some(part)) => *slot = Some(part),
                 _ => {}
@@ -392,6 +412,7 @@ where
             runs,
             represented,
             latency,
+            events,
             counterexample: best.into_inner().expect("mutex poisoned").map(|(_, c)| c),
         }
     }
@@ -407,10 +428,11 @@ where
         cursor: &AtomicUsize,
         best_key: &AtomicU64,
         best: &Mutex<Option<(u64, Counterexample<V>)>>,
-    ) -> (u64, u64, Option<LatencyAggregator<V>>) {
+    ) -> WorkerTally<V> {
         let mut runs = 0u64;
         let mut represented = 0u64;
         let mut latency = self.collect_latency.then(LatencyAggregator::new);
+        let mut counter = self.count_events.then(CountingObserver::new);
         let empty_pendings = [PendingChoice::none()];
         loop {
             let item = cursor.fetch_add(1, Ordering::Relaxed);
@@ -452,10 +474,23 @@ where
                     let Some(pending_weight) = pending_orbit(pending, &sched_stab) else {
                         continue;
                     };
-                    let outcome = match self.model {
-                        RoundModel::Rs => run_rs(self.algo, config, self.t, schedule),
-                        RoundModel::Rws => run_rws(self.algo, config, self.t, schedule, pending)
-                            .expect("enumerated pending choices are valid"),
+                    // Two monomorphized paths: the default one keeps
+                    // the NullObserver zero-cost hot loop; the counting
+                    // one only pays for integer bumps.
+                    let outcome = match (&mut counter, self.model) {
+                        (None, RoundModel::Rs) => run_rs(self.algo, config, self.t, schedule),
+                        (None, RoundModel::Rws) => {
+                            run_rws(self.algo, config, self.t, schedule, pending)
+                                .expect("enumerated pending choices are valid")
+                        }
+                        (Some(obs), RoundModel::Rs) => {
+                            run_rs_observed(self.algo, config, self.t, schedule, obs)
+                                .unwrap_or_else(|e| panic!("{e}"))
+                        }
+                        (Some(obs), RoundModel::Rws) => {
+                            run_rws_observed(self.algo, config, self.t, schedule, pending, obs)
+                                .expect("enumerated pending choices are valid")
+                        }
                     };
                     runs += 1;
                     let weight = class_weight * sched_weight * pending_weight;
@@ -506,9 +541,13 @@ where
                 }
             }
         }
-        (runs, represented, latency)
+        (runs, represented, latency, counter.map(|c| c.counts()))
     }
 }
+
+/// Per-worker totals: visited runs, represented runs, latency
+/// statistics (if requested), event counts (if requested).
+type WorkerTally<V> = (u64, u64, Option<LatencyAggregator<V>>, Option<EventCounts>);
 
 /// Packs an enumeration position into a totally ordered u64:
 /// class (16 bits) · schedule (24 bits) · pending (24 bits).
@@ -682,6 +721,59 @@ mod tests {
         assert_eq!(full.lat(), reduced.lat());
         assert_eq!(full.capital_lambda(), reduced.capital_lambda());
         assert_eq!(full.lat_at_most_faults(1), reduced.lat_at_most_faults(1));
+    }
+
+    #[test]
+    fn count_events_reports_message_complexity_without_changing_verdicts() {
+        let plain = Verifier::new(&FloodSet)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Strong)
+            .run();
+        let counted = Verifier::new(&FloodSet)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Strong)
+            .count_events()
+            .run();
+        plain.expect_ok();
+        counted.expect_ok();
+        assert_eq!(plain.runs, counted.runs, "counting is observational");
+        assert!(plain.events.is_none());
+        let events = counted.events.expect("count_events() fills the tally");
+        // Every RS run of FloodSet closes exactly t+1 = 2 rounds and
+        // delivers several messages per round, so the totals are large.
+        assert!(events.delivers > counted.runs, "{events:?}");
+        assert_eq!(events.closes, counted.runs * 2, "t+1 rounds per run");
+        assert_eq!(events.withholds, 0, "RS withholds nothing");
+        assert_eq!(events.aborts, 0);
+    }
+
+    #[test]
+    fn count_events_composes_with_threads_and_symmetry() {
+        let serial = Verifier::new(&FloodSetWs)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .model(RoundModel::Rws)
+            .count_events()
+            .run();
+        let stolen = Verifier::new(&FloodSetWs)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .model(RoundModel::Rws)
+            .threads(4)
+            .symmetry(Symmetry::Full)
+            .count_events()
+            .run();
+        let (a, b) = (serial.events.unwrap(), stolen.events.unwrap());
+        assert!(b.delivers > 0);
+        // Symmetry visits fewer runs, so raw counts shrink with them.
+        assert!(b.delivers < a.delivers);
+        assert!(b.closes < a.closes);
     }
 
     #[test]

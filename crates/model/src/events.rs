@@ -1,0 +1,1183 @@
+//! The canonical event IR: one run log for every execution layer.
+//!
+//! The paper's whole argument runs on comparing *runs* across models —
+//! `SS` vs `SP` (Theorem 3.1) and `RS` vs `RWS` (§5) — so every
+//! executor in this workspace emits the same typed event stream, a
+//! [`RunLog`], through the [`Observer`] trait:
+//!
+//! * the step-level `ssp-sim` executor (per-step deliver/suspect/send
+//!   events closed by a stamped [`RunEvent::Close`]);
+//! * the `ssp-rounds` `RS`/`RWS` executors (per-round deliveries,
+//!   withheld pending messages, lockstep round closes);
+//! * the threaded `ssp-runtime` driver (round-level events derived
+//!   from the per-worker logs, plus watchdog degrade/abort markers);
+//! * the `ssp-lab` verifier's enumeration loop ([`NullObserver`] on
+//!   the hot path, [`CountingObserver`] for message complexity).
+//!
+//! Tracing is a pluggable sink: [`NullObserver`] compiles to nothing
+//! (its [`Observer::active`] guard is a monomorphized `false`, so
+//! event construction is skipped entirely), [`RunLogObserver`]
+//! accumulates the full forensic log, and [`CountingObserver`] keeps
+//! per-variant totals. Conformance between layers is *log diffing*:
+//! project two logs onto a common event subset and find the
+//! [first divergence](RunLog::first_divergence).
+//!
+//! The log serializes to deterministic line-delimited JSON
+//! ([`RunLog::to_jsonl`] / [`RunLog::from_jsonl`]) for golden-file
+//! snapshots and the `ssp trace-dump` CLI.
+
+use core::fmt;
+
+use crate::process::{ProcessId, ProcessSet};
+use crate::time::{Round, StepIndex, Time};
+
+/// The schedule-position stamp of a step-level event: global clock
+/// tick, schedule position (`S`'s index, what `Δ` is stated in terms
+/// of), and the stepping process's own step count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepStamp {
+    /// Global clock tick of the event.
+    pub time: Time,
+    /// Position in the schedule `S` (steps only).
+    pub global_step: StepIndex,
+    /// How many steps the process had taken before this one.
+    pub own_step: u64,
+}
+
+/// A compact delivery matrix: `rows[q]` is the set of senders that
+/// receiver `q` heard from in the closing unit (a lockstep round, or a
+/// single step — then the matrix has one row).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeliveryMatrix {
+    rows: Vec<ProcessSet>,
+}
+
+impl DeliveryMatrix {
+    /// An all-empty matrix over `n` receivers.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        DeliveryMatrix {
+            rows: vec![ProcessSet::empty(); n],
+        }
+    }
+
+    /// The one-row matrix of a single step's receive phase.
+    #[must_use]
+    pub fn step(heard: ProcessSet) -> Self {
+        DeliveryMatrix { rows: vec![heard] }
+    }
+
+    /// Builds a matrix from per-receiver heard sets.
+    #[must_use]
+    pub fn from_rows(rows: Vec<ProcessSet>) -> Self {
+        DeliveryMatrix { rows }
+    }
+
+    /// The per-receiver rows.
+    #[must_use]
+    pub fn rows(&self) -> &[ProcessSet] {
+        &self.rows
+    }
+
+    /// Marks `receiver` as having heard from `sender`.
+    pub fn insert(&mut self, receiver: ProcessId, sender: ProcessId) {
+        self.rows[receiver.index()].insert(sender);
+    }
+
+    /// Whether `receiver` heard from `sender`.
+    #[must_use]
+    pub fn heard(&self, receiver: ProcessId, sender: ProcessId) -> bool {
+        self.rows
+            .get(receiver.index())
+            .is_some_and(|row| row.contains(sender))
+    }
+
+    /// Total deliveries recorded in the matrix.
+    #[must_use]
+    pub fn delivered(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// One typed event of a canonical run log.
+///
+/// Round-model layers stamp events with `round`; the step-level layer
+/// stamps [`RunEvent::Close`] with a [`StepStamp`] and leaves `round`
+/// fields `None`. Payloads are `Option<M>` throughout: `None` is an
+/// explicit *null wire* (the runtime's "nothing to say this round"
+/// marker), `Some(m)` an algorithm message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent<M> {
+    /// A message (or explicit null wire) enters the network.
+    Send {
+        /// The sender.
+        src: ProcessId,
+        /// The receiver.
+        dst: ProcessId,
+        /// The sender's round, where the layer has rounds.
+        round: Option<Round>,
+        /// Schedule position of the send, where the layer has steps.
+        at: Option<StepIndex>,
+        /// The wire: `None` = explicit null wire.
+        payload: Option<M>,
+    },
+    /// A message reaches its receiver.
+    Deliver {
+        /// The sender.
+        src: ProcessId,
+        /// The receiver.
+        dst: ProcessId,
+        /// The round the message belongs to, where the layer has rounds.
+        round: Option<Round>,
+        /// Schedule position of the matching send, where known.
+        sent_at: Option<StepIndex>,
+        /// The wire: `None` = explicit null wire.
+        payload: Option<M>,
+    },
+    /// A sent message is withheld past its receiver's round close —
+    /// a *pending* message in the §4.2 sense.
+    Withhold {
+        /// The withheld round.
+        round: Round,
+        /// The sender.
+        src: ProcessId,
+        /// The receiver that closed without it.
+        dst: ProcessId,
+    },
+    /// A process crashes.
+    Crash {
+        /// The crashing process.
+        process: ProcessId,
+        /// Its crash round, where the layer has rounds.
+        round: Option<Round>,
+        /// The global clock tick, where the layer has a clock.
+        time: Option<Time>,
+    },
+    /// A failure-detector reading (step-level `SP` only; round layers
+    /// encode suspicion implicitly in round closes).
+    Suspect {
+        /// The querying process.
+        observer: ProcessId,
+        /// The detector's output `H(observer, t)`.
+        suspected: ProcessSet,
+    },
+    /// A process decides.
+    Decide {
+        /// The deciding process.
+        process: ProcessId,
+        /// The deciding round, where the layer has rounds.
+        round: Option<Round>,
+    },
+    /// A unit of computation closes: a lockstep round (`process` is
+    /// `None`, `heard` has one row per receiver) or one process's step
+    /// (`process` is `Some`, `heard` has a single row).
+    Close {
+        /// The closing round, where the layer has rounds.
+        round: Option<Round>,
+        /// The stepping process, for step-level closes.
+        process: Option<ProcessId>,
+        /// Schedule stamps, for step-level closes.
+        stamp: Option<StepStamp>,
+        /// Who heard from whom in the closing unit.
+        heard: DeliveryMatrix,
+    },
+    /// The synchrony watchdog downgraded the run to `RWS` semantics.
+    Degrade {
+        /// The round in which the downgrade took effect.
+        round: Round,
+    },
+    /// The synchrony watchdog aborted the run.
+    Abort,
+}
+
+impl<M> RunEvent<M> {
+    /// Whether the event is part of the *delivery core* shared by the
+    /// round-model layers — [`RunEvent::Deliver`],
+    /// [`RunEvent::Withhold`], [`RunEvent::Crash`] and lockstep
+    /// [`RunEvent::Close`] events. Conformance diffs project onto this
+    /// subset: decisions, detector readings and watchdog markers are
+    /// layer-specific and excluded.
+    #[must_use]
+    pub fn is_delivery(&self) -> bool {
+        matches!(
+            self,
+            RunEvent::Deliver { .. }
+                | RunEvent::Withhold { .. }
+                | RunEvent::Crash { .. }
+                | RunEvent::Close { process: None, .. }
+        )
+    }
+
+    /// The round the event is stamped with, if any.
+    #[must_use]
+    pub fn round(&self) -> Option<Round> {
+        match self {
+            RunEvent::Send { round, .. }
+            | RunEvent::Deliver { round, .. }
+            | RunEvent::Crash { round, .. }
+            | RunEvent::Decide { round, .. }
+            | RunEvent::Close { round, .. } => *round,
+            RunEvent::Withhold { round, .. } | RunEvent::Degrade { round } => Some(*round),
+            RunEvent::Suspect { .. } | RunEvent::Abort => None,
+        }
+    }
+}
+
+/// The canonical record of one run: the process-universe size plus the
+/// typed event stream, in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLog<M> {
+    n: usize,
+    events: Vec<RunEvent<M>>,
+}
+
+impl<M> RunLog<M> {
+    /// An empty log over a universe of `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        RunLog {
+            n,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: RunEvent<M>) {
+        self.events.push(event);
+    }
+
+    /// All events in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[RunEvent<M>] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total messages delivered — the run's message complexity as
+    /// observed at receivers.
+    #[must_use]
+    pub fn total_delivered(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::Deliver { .. }))
+            .count()
+    }
+}
+
+impl<M: Clone> RunLog<M> {
+    /// The sub-log of events satisfying `keep`, preserving order —
+    /// e.g. `log.project(RunEvent::is_delivery)` before a conformance
+    /// diff.
+    #[must_use]
+    pub fn project<F: Fn(&RunEvent<M>) -> bool>(&self, keep: F) -> RunLog<M> {
+        RunLog {
+            n: self.n,
+            events: self.events.iter().filter(|e| keep(e)).cloned().collect(),
+        }
+    }
+}
+
+impl<M: PartialEq> RunLog<M> {
+    /// The first position where two logs disagree, with both sides'
+    /// events (`None` when one log simply ended). Returns `None` when
+    /// the logs are identical.
+    #[must_use]
+    pub fn first_divergence<'a>(&'a self, other: &'a RunLog<M>) -> Option<Divergence<'a, M>> {
+        if self.n != other.n {
+            return Some(Divergence {
+                index: 0,
+                left: self.events.first(),
+                right: other.events.first(),
+            });
+        }
+        let longest = self.events.len().max(other.events.len());
+        (0..longest).find_map(|i| {
+            let (left, right) = (self.events.get(i), other.events.get(i));
+            (left != right).then_some(Divergence {
+                index: i,
+                left,
+                right,
+            })
+        })
+    }
+}
+
+/// The first disagreement between two run logs, as reported by
+/// [`RunLog::first_divergence`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divergence<'a, M> {
+    /// Event index of the disagreement.
+    pub index: usize,
+    /// The left log's event at that index, if it has one.
+    pub left: Option<&'a RunEvent<M>>,
+    /// The right log's event at that index, if it has one.
+    pub right: Option<&'a RunEvent<M>>,
+}
+
+impl<M: fmt::Debug> fmt::Display for Divergence<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {}: ", self.index)?;
+        match self.left {
+            Some(e) => write!(f, "{e:?}")?,
+            None => write!(f, "<end of log>")?,
+        }
+        write!(f, " vs ")?;
+        match self.right {
+            Some(e) => write!(f, "{e:?}"),
+            None => write!(f, "<end of log>"),
+        }
+    }
+}
+
+/// A pluggable sink for [`RunEvent`]s.
+///
+/// Executors guard event *construction* with [`Observer::active`], so
+/// a monomorphized [`NullObserver`] compiles the tracing away
+/// entirely — the verifier's hot path pays nothing for the IR.
+pub trait Observer<M> {
+    /// Whether the sink wants events at all. Executors skip building
+    /// events when this is `false`.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, event: RunEvent<M>);
+}
+
+impl<M, O: Observer<M> + ?Sized> Observer<M> for &mut O {
+    fn active(&self) -> bool {
+        (**self).active()
+    }
+
+    fn record(&mut self, event: RunEvent<M>) {
+        (**self).record(event);
+    }
+}
+
+/// The zero-cost sink: inactive, records nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl<M> Observer<M> for NullObserver {
+    fn active(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: RunEvent<M>) {}
+}
+
+/// The forensic sink: accumulates the full [`RunLog`].
+#[derive(Debug, Clone, Default)]
+pub struct RunLogObserver<M> {
+    log: RunLog<M>,
+}
+
+impl<M> Default for RunLog<M> {
+    fn default() -> Self {
+        RunLog::new(0)
+    }
+}
+
+impl<M> RunLogObserver<M> {
+    /// An empty observer over a universe of `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        RunLogObserver {
+            log: RunLog::new(n),
+        }
+    }
+
+    /// Consumes the observer, returning the accumulated log.
+    #[must_use]
+    pub fn into_log(self) -> RunLog<M> {
+        self.log
+    }
+
+    /// The accumulated log so far.
+    #[must_use]
+    pub fn log(&self) -> &RunLog<M> {
+        &self.log
+    }
+}
+
+impl<M> Observer<M> for RunLogObserver<M> {
+    fn record(&mut self, event: RunEvent<M>) {
+        self.log.push(event);
+    }
+}
+
+/// Per-variant event totals, the IR's answer to bespoke message
+/// counters: `delivers` is the run's message complexity as observed at
+/// receivers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Messages (and null wires) entering the network.
+    pub sends: u64,
+    /// Messages reaching their receivers.
+    pub delivers: u64,
+    /// Pending messages withheld past their round.
+    pub withholds: u64,
+    /// Crashes.
+    pub crashes: u64,
+    /// Failure-detector readings.
+    pub suspects: u64,
+    /// Decisions.
+    pub decides: u64,
+    /// Round or step closes.
+    pub closes: u64,
+    /// Watchdog downgrades.
+    pub degrades: u64,
+    /// Watchdog aborts.
+    pub aborts: u64,
+}
+
+impl EventCounts {
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: EventCounts) {
+        self.sends += other.sends;
+        self.delivers += other.delivers;
+        self.withholds += other.withholds;
+        self.crashes += other.crashes;
+        self.suspects += other.suspects;
+        self.decides += other.decides;
+        self.closes += other.closes;
+        self.degrades += other.degrades;
+        self.aborts += other.aborts;
+    }
+}
+
+/// The counting sink: per-variant totals, no allocation per event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    counts: EventCounts,
+}
+
+impl CountingObserver {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        CountingObserver::default()
+    }
+
+    /// The accumulated totals.
+    #[must_use]
+    pub fn counts(&self) -> EventCounts {
+        self.counts
+    }
+}
+
+impl<M> Observer<M> for CountingObserver {
+    fn record(&mut self, event: RunEvent<M>) {
+        match event {
+            RunEvent::Send { .. } => self.counts.sends += 1,
+            RunEvent::Deliver { .. } => self.counts.delivers += 1,
+            RunEvent::Withhold { .. } => self.counts.withholds += 1,
+            RunEvent::Crash { .. } => self.counts.crashes += 1,
+            RunEvent::Suspect { .. } => self.counts.suspects += 1,
+            RunEvent::Decide { .. } => self.counts.decides += 1,
+            RunEvent::Close { .. } => self.counts.closes += 1,
+            RunEvent::Degrade { .. } => self.counts.degrades += 1,
+            RunEvent::Abort => self.counts.aborts += 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line-delimited JSON serialization.
+//
+// The vendored serde stub has no runtime serialization, so the format
+// is hand-rolled and deterministic: fixed key order, zero-based
+// process indices, payloads rendered through `Debug` (ordered for the
+// workspace's `BTreeSet`-based message types) and JSON-escaped.
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, LogParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| LogParseError::Malformed("bad \\u escape".into()))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| LogParseError::Malformed("bad \\u escape".into()))?,
+                );
+            }
+            _ => return Err(LogParseError::Malformed("bad escape".into())),
+        }
+    }
+    Ok(out)
+}
+
+fn set_to_json(out: &mut String, set: ProcessSet) {
+    out.push('[');
+    for (i, p) in set.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&p.index().to_string());
+    }
+    out.push(']');
+}
+
+fn payload_to_json<M: fmt::Debug>(out: &mut String, payload: &Option<M>) {
+    match payload {
+        None => out.push_str("null"),
+        Some(m) => {
+            out.push('"');
+            escape_into(out, &format!("{m:?}"));
+            out.push('"');
+        }
+    }
+}
+
+impl<M: fmt::Debug> RunLog<M> {
+    /// Serializes the log as deterministic line-delimited JSON: a
+    /// `{"n":..}` header line, then one event per line. Payloads are
+    /// rendered through `Debug` and JSON-escaped; identical runs
+    /// produce byte-identical output.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"n\":{}}}\n", self.n));
+        for ev in &self.events {
+            event_to_json(&mut out, ev);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn event_to_json<M: fmt::Debug>(out: &mut String, ev: &RunEvent<M>) {
+    match ev {
+        RunEvent::Send {
+            src,
+            dst,
+            round,
+            at,
+            payload,
+        } => {
+            out.push_str(&format!(
+                "{{\"ev\":\"send\",\"src\":{},\"dst\":{}",
+                src.index(),
+                dst.index()
+            ));
+            if let Some(r) = round {
+                out.push_str(&format!(",\"round\":{}", r.get()));
+            }
+            if let Some(a) = at {
+                out.push_str(&format!(",\"at\":{}", a.position()));
+            }
+            out.push_str(",\"payload\":");
+            payload_to_json(out, payload);
+            out.push('}');
+        }
+        RunEvent::Deliver {
+            src,
+            dst,
+            round,
+            sent_at,
+            payload,
+        } => {
+            out.push_str(&format!(
+                "{{\"ev\":\"deliver\",\"src\":{},\"dst\":{}",
+                src.index(),
+                dst.index()
+            ));
+            if let Some(r) = round {
+                out.push_str(&format!(",\"round\":{}", r.get()));
+            }
+            if let Some(a) = sent_at {
+                out.push_str(&format!(",\"sent_at\":{}", a.position()));
+            }
+            out.push_str(",\"payload\":");
+            payload_to_json(out, payload);
+            out.push('}');
+        }
+        RunEvent::Withhold { round, src, dst } => {
+            out.push_str(&format!(
+                "{{\"ev\":\"withhold\",\"round\":{},\"src\":{},\"dst\":{}}}",
+                round.get(),
+                src.index(),
+                dst.index()
+            ));
+        }
+        RunEvent::Crash {
+            process,
+            round,
+            time,
+        } => {
+            out.push_str(&format!(
+                "{{\"ev\":\"crash\",\"process\":{}",
+                process.index()
+            ));
+            if let Some(r) = round {
+                out.push_str(&format!(",\"round\":{}", r.get()));
+            }
+            if let Some(t) = time {
+                out.push_str(&format!(",\"time\":{}", t.tick()));
+            }
+            out.push('}');
+        }
+        RunEvent::Suspect {
+            observer,
+            suspected,
+        } => {
+            out.push_str(&format!(
+                "{{\"ev\":\"suspect\",\"observer\":{},\"suspected\":",
+                observer.index()
+            ));
+            set_to_json(out, *suspected);
+            out.push('}');
+        }
+        RunEvent::Decide { process, round } => {
+            out.push_str(&format!(
+                "{{\"ev\":\"decide\",\"process\":{}",
+                process.index()
+            ));
+            if let Some(r) = round {
+                out.push_str(&format!(",\"round\":{}", r.get()));
+            }
+            out.push('}');
+        }
+        RunEvent::Close {
+            round,
+            process,
+            stamp,
+            heard,
+        } => {
+            out.push_str("{\"ev\":\"close\"");
+            if let Some(r) = round {
+                out.push_str(&format!(",\"round\":{}", r.get()));
+            }
+            if let Some(p) = process {
+                out.push_str(&format!(",\"process\":{}", p.index()));
+            }
+            if let Some(s) = stamp {
+                out.push_str(&format!(
+                    ",\"time\":{},\"global\":{},\"own\":{}",
+                    s.time.tick(),
+                    s.global_step.position(),
+                    s.own_step
+                ));
+            }
+            out.push_str(",\"heard\":[");
+            for (i, row) in heard.rows().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                set_to_json(out, *row);
+            }
+            out.push_str("]}");
+        }
+        RunEvent::Degrade { round } => {
+            out.push_str(&format!("{{\"ev\":\"degrade\",\"round\":{}}}", round.get()));
+        }
+        RunEvent::Abort => out.push_str("{\"ev\":\"abort\"}"),
+    }
+}
+
+/// Why a JSONL run log failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogParseError {
+    /// The header `{"n":..}` line is missing or malformed.
+    MissingHeader,
+    /// A line is not a well-formed event of the expected shape.
+    Malformed(String),
+    /// A payload string was rejected by the caller's payload parser.
+    Payload(String),
+}
+
+impl fmt::Display for LogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogParseError::MissingHeader => write!(f, "missing {{\"n\":..}} header line"),
+            LogParseError::Malformed(detail) => write!(f, "malformed event line: {detail}"),
+            LogParseError::Payload(raw) => write!(f, "unparseable payload {raw:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LogParseError {}
+
+/// Pulls the raw value of `"key":` out of a single-line JSON object
+/// emitted by [`RunLog::to_jsonl`]. Returns the slice up to the next
+/// top-level delimiter.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let bytes = rest.as_bytes();
+    match bytes.first()? {
+        b'"' => {
+            // String: scan to the closing unescaped quote.
+            let mut i = 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => return Some(&rest[..=i]),
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        b'[' => {
+            // Array: scan to the matching bracket.
+            let mut depth = 0usize;
+            for (i, b) in bytes.iter().enumerate() {
+                match b {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(&rest[..=i]);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        _ => {
+            // Number, null, or bare word: up to `,` or `}`.
+            let end = bytes
+                .iter()
+                .position(|&b| b == b',' || b == b'}')
+                .unwrap_or(bytes.len());
+            Some(&rest[..end])
+        }
+    }
+}
+
+fn num_field(line: &str, key: &str) -> Result<u64, LogParseError> {
+    raw_field(line, key)
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| LogParseError::Malformed(format!("missing numeric {key:?} in {line}")))
+}
+
+fn opt_num_field(line: &str, key: &str) -> Result<Option<u64>, LogParseError> {
+    match raw_field(line, key) {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| LogParseError::Malformed(format!("bad numeric {key:?} in {line}"))),
+    }
+}
+
+fn pid_field(line: &str, key: &str) -> Result<ProcessId, LogParseError> {
+    Ok(ProcessId::new(num_field(line, key)? as usize))
+}
+
+fn set_from_json(raw: &str) -> Result<ProcessSet, LogParseError> {
+    let inner = raw
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| LogParseError::Malformed(format!("expected array, got {raw}")))?;
+    let mut set = ProcessSet::empty();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let idx: usize = part
+            .parse()
+            .map_err(|_| LogParseError::Malformed(format!("bad process index {part:?}")))?;
+        set.insert(ProcessId::new(idx));
+    }
+    Ok(set)
+}
+
+fn payload_field<M, F>(line: &str, parse: &F) -> Result<Option<M>, LogParseError>
+where
+    F: Fn(&str) -> Option<M>,
+{
+    let raw = raw_field(line, "payload")
+        .ok_or_else(|| LogParseError::Malformed(format!("missing payload in {line}")))?;
+    let raw = raw.trim();
+    if raw == "null" {
+        return Ok(None);
+    }
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| LogParseError::Malformed(format!("bad payload value {raw}")))?;
+    let text = unescape(inner)?;
+    parse(&text).map(Some).ok_or(LogParseError::Payload(text))
+}
+
+impl<M> RunLog<M> {
+    /// Parses a log emitted by [`RunLog::to_jsonl`]. `parse_payload`
+    /// turns a payload's `Debug` rendering back into `M` (e.g.
+    /// `|s| s.parse().ok()` for numeric messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogParseError`] on any malformed line or payload.
+    pub fn from_jsonl<F>(input: &str, parse_payload: F) -> Result<RunLog<M>, LogParseError>
+    where
+        F: Fn(&str) -> Option<M>,
+    {
+        let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or(LogParseError::MissingHeader)?;
+        if !header.contains("\"n\":") || header.contains("\"ev\":") {
+            return Err(LogParseError::MissingHeader);
+        }
+        let n = num_field(header, "n")? as usize;
+        let mut log = RunLog::new(n);
+        for line in lines {
+            log.push(event_from_json(line, &parse_payload)?);
+        }
+        Ok(log)
+    }
+}
+
+fn event_from_json<M, F>(line: &str, parse: &F) -> Result<RunEvent<M>, LogParseError>
+where
+    F: Fn(&str) -> Option<M>,
+{
+    let kind = raw_field(line, "ev")
+        .ok_or_else(|| LogParseError::Malformed(format!("missing \"ev\" in {line}")))?;
+    let kind = kind.trim_matches('"');
+    match kind {
+        "send" => Ok(RunEvent::Send {
+            src: pid_field(line, "src")?,
+            dst: pid_field(line, "dst")?,
+            round: opt_num_field(line, "round")?.map(|r| Round::new(r as u32)),
+            at: opt_num_field(line, "at")?.map(StepIndex::new),
+            payload: payload_field(line, parse)?,
+        }),
+        "deliver" => Ok(RunEvent::Deliver {
+            src: pid_field(line, "src")?,
+            dst: pid_field(line, "dst")?,
+            round: opt_num_field(line, "round")?.map(|r| Round::new(r as u32)),
+            sent_at: opt_num_field(line, "sent_at")?.map(StepIndex::new),
+            payload: payload_field(line, parse)?,
+        }),
+        "withhold" => Ok(RunEvent::Withhold {
+            round: Round::new(num_field(line, "round")? as u32),
+            src: pid_field(line, "src")?,
+            dst: pid_field(line, "dst")?,
+        }),
+        "crash" => Ok(RunEvent::Crash {
+            process: pid_field(line, "process")?,
+            round: opt_num_field(line, "round")?.map(|r| Round::new(r as u32)),
+            time: opt_num_field(line, "time")?.map(Time::new),
+        }),
+        "suspect" => Ok(RunEvent::Suspect {
+            observer: pid_field(line, "observer")?,
+            suspected: set_from_json(raw_field(line, "suspected").ok_or_else(|| {
+                LogParseError::Malformed(format!("missing suspected in {line}"))
+            })?)?,
+        }),
+        "decide" => Ok(RunEvent::Decide {
+            process: pid_field(line, "process")?,
+            round: opt_num_field(line, "round")?.map(|r| Round::new(r as u32)),
+        }),
+        "close" => {
+            let stamp = match (
+                opt_num_field(line, "time")?,
+                opt_num_field(line, "global")?,
+                opt_num_field(line, "own")?,
+            ) {
+                (Some(t), Some(g), Some(o)) => Some(StepStamp {
+                    time: Time::new(t),
+                    global_step: StepIndex::new(g),
+                    own_step: o,
+                }),
+                (None, None, None) => None,
+                _ => {
+                    return Err(LogParseError::Malformed(format!(
+                        "partial step stamp in {line}"
+                    )))
+                }
+            };
+            let heard_raw = raw_field(line, "heard")
+                .ok_or_else(|| LogParseError::Malformed(format!("missing heard in {line}")))?;
+            let inner = heard_raw
+                .trim()
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| LogParseError::Malformed(format!("bad heard in {line}")))?;
+            let mut rows = Vec::new();
+            let mut depth = 0usize;
+            let mut start = None;
+            for (i, b) in inner.bytes().enumerate() {
+                match b {
+                    b'[' => {
+                        if depth == 0 {
+                            start = Some(i);
+                        }
+                        depth += 1;
+                    }
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            let s = start.take().ok_or_else(|| {
+                                LogParseError::Malformed(format!("bad heard in {line}"))
+                            })?;
+                            rows.push(set_from_json(&inner[s..=i])?);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Ok(RunEvent::Close {
+                round: opt_num_field(line, "round")?.map(|r| Round::new(r as u32)),
+                process: opt_num_field(line, "process")?.map(|p| ProcessId::new(p as usize)),
+                stamp,
+                heard: DeliveryMatrix::from_rows(rows),
+            })
+        }
+        "degrade" => Ok(RunEvent::Degrade {
+            round: Round::new(num_field(line, "round")? as u32),
+        }),
+        "abort" => Ok(RunEvent::Abort),
+        other => Err(LogParseError::Malformed(format!(
+            "unknown event kind {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample_log() -> RunLog<u64> {
+        let mut log = RunLog::new(3);
+        log.push(RunEvent::Crash {
+            process: p(0),
+            round: Some(Round::FIRST),
+            time: None,
+        });
+        log.push(RunEvent::Deliver {
+            src: p(1),
+            dst: p(2),
+            round: Some(Round::FIRST),
+            sent_at: None,
+            payload: Some(7),
+        });
+        log.push(RunEvent::Withhold {
+            round: Round::FIRST,
+            src: p(0),
+            dst: p(2),
+        });
+        let mut heard = DeliveryMatrix::empty(3);
+        heard.insert(p(2), p(1));
+        log.push(RunEvent::Close {
+            round: Some(Round::FIRST),
+            process: None,
+            stamp: None,
+            heard,
+        });
+        log.push(RunEvent::Decide {
+            process: p(1),
+            round: Some(Round::new(2)),
+        });
+        log
+    }
+
+    #[test]
+    fn null_observer_is_inactive() {
+        let mut obs = NullObserver;
+        assert!(!Observer::<u64>::active(&obs));
+        Observer::<u64>::record(&mut obs, RunEvent::Abort);
+    }
+
+    #[test]
+    fn run_log_observer_accumulates() {
+        let mut obs: RunLogObserver<u64> = RunLogObserver::new(3);
+        assert!(Observer::<u64>::active(&obs));
+        for ev in sample_log().events() {
+            obs.record(ev.clone());
+        }
+        let log = obs.into_log();
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.total_delivered(), 1);
+    }
+
+    #[test]
+    fn counting_observer_tallies_variants() {
+        let mut obs = CountingObserver::new();
+        for ev in sample_log().events() {
+            obs.record(ev.clone());
+        }
+        let counts = obs.counts();
+        assert_eq!(counts.crashes, 1);
+        assert_eq!(counts.delivers, 1);
+        assert_eq!(counts.withholds, 1);
+        assert_eq!(counts.closes, 1);
+        assert_eq!(counts.decides, 1);
+        assert_eq!(counts.sends, 0);
+        let mut merged = counts;
+        merged.merge(counts);
+        assert_eq!(merged.delivers, 2);
+    }
+
+    #[test]
+    fn projection_keeps_delivery_core() {
+        let log = sample_log();
+        let core = log.project(RunEvent::is_delivery);
+        assert_eq!(core.len(), 4, "decide is layer-specific");
+        assert!(core.events().iter().all(RunEvent::is_delivery));
+    }
+
+    #[test]
+    fn first_divergence_finds_the_difference() {
+        let a = sample_log();
+        assert!(a.first_divergence(&a.clone()).is_none());
+        let mut b = a.clone();
+        b.push(RunEvent::Abort);
+        let d = a.first_divergence(&b).expect("extra event diverges");
+        assert_eq!(d.index, 5);
+        assert!(d.left.is_none());
+        assert_eq!(d.right, Some(&RunEvent::Abort));
+        assert!(d.to_string().contains("end of log"));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        let parsed: RunLog<u64> =
+            RunLog::from_jsonl(&text, |s| s.parse().ok()).expect("round trip");
+        assert_eq!(parsed, log);
+        // Deterministic: serializing again is byte-identical.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_escapes_payloads() {
+        let mut log: RunLog<String> = RunLog::new(1);
+        log.push(RunEvent::Send {
+            src: p(0),
+            dst: p(0),
+            round: None,
+            at: Some(StepIndex::new(4)),
+            payload: Some("a\"b\\c\nd".to_string()),
+        });
+        let text = log.to_jsonl();
+        // Debug of String adds quotes, which must themselves survive.
+        let parsed: RunLog<String> = RunLog::from_jsonl(&text, |s| {
+            s.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(|inner| {
+                    inner
+                        .replace("\\n", "\n")
+                        .replace("\\\"", "\"")
+                        .replace("\\\\", "\\")
+                })
+        })
+        .expect("escaped payload parses");
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn stamped_close_round_trips() {
+        let mut log: RunLog<u64> = RunLog::new(2);
+        log.push(RunEvent::Suspect {
+            observer: p(1),
+            suspected: ProcessSet::singleton(p(0)),
+        });
+        log.push(RunEvent::Close {
+            round: None,
+            process: Some(p(1)),
+            stamp: Some(StepStamp {
+                time: Time::new(3),
+                global_step: StepIndex::new(2),
+                own_step: 1,
+            }),
+            heard: DeliveryMatrix::step(ProcessSet::singleton(p(0))),
+        });
+        let text = log.to_jsonl();
+        let parsed: RunLog<u64> = RunLog::from_jsonl(&text, |s| s.parse().ok()).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            RunLog::<u64>::from_jsonl("", |s| s.parse().ok()),
+            Err(LogParseError::MissingHeader)
+        );
+        let bad = "{\"n\":2}\n{\"ev\":\"nonsense\"}\n";
+        assert!(matches!(
+            RunLog::<u64>::from_jsonl(bad, |s| s.parse().ok()),
+            Err(LogParseError::Malformed(_))
+        ));
+        let bad_payload = "{\"n\":2}\n{\"ev\":\"send\",\"src\":0,\"dst\":1,\"payload\":\"xyz\"}\n";
+        assert!(matches!(
+            RunLog::<u64>::from_jsonl(bad_payload, |s| s.parse().ok()),
+            Err(LogParseError::Payload(_))
+        ));
+    }
+
+    #[test]
+    fn delivery_matrix_counts() {
+        let mut m = DeliveryMatrix::empty(3);
+        m.insert(p(0), p(1));
+        m.insert(p(0), p(2));
+        m.insert(p(2), p(0));
+        assert_eq!(m.delivered(), 3);
+        assert!(m.heard(p(0), p(1)));
+        assert!(!m.heard(p(1), p(0)));
+    }
+
+    #[test]
+    fn universe_mismatch_diverges_at_zero() {
+        let a: RunLog<u64> = RunLog::new(2);
+        let b: RunLog<u64> = RunLog::new(3);
+        assert_eq!(a.first_divergence(&b).map(|d| d.index), Some(0));
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod events;
 pub mod failure;
 pub mod message;
 pub mod process;
@@ -52,6 +53,10 @@ pub mod time;
 pub mod value;
 
 pub use config::{canonical_full_classes, canonical_value_classes, InitialConfig};
+pub use events::{
+    CountingObserver, DeliveryMatrix, Divergence, EventCounts, LogParseError, NullObserver,
+    Observer, RunEvent, RunLog, RunLogObserver, StepStamp,
+};
 pub use failure::FailurePattern;
 pub use message::{Buffer, Envelope};
 pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};

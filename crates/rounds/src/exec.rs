@@ -6,17 +6,124 @@
 //! synchrony. With an empty pending choice the two coincide — which is
 //! precisely why every `RWS` algorithm also works in `RS` (§4.3), and
 //! is asserted by tests here.
+//!
+//! Every executor emits the canonical event IR through an
+//! [`Observer`]: the plain entry points use
+//! [`NullObserver`](ssp_model::NullObserver) (the tracing
+//! monomorphizes away entirely), the `_traced` variants derive their
+//! [`RoundTrace`] as a view over the accumulated
+//! [`RunLog`](ssp_model::RunLog), and the `_observed` variants accept
+//! any sink.
 
+use core::fmt;
+
+use ssp_model::events::{DeliveryMatrix, NullObserver, Observer, RunEvent, RunLogObserver};
 use ssp_model::{
-    process::all_processes, ConsensusOutcome, InitialConfig, ProcessOutcome, Round, Value,
+    process::all_processes, ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, ProcessSet,
+    Round, Value,
 };
 
 use crate::algorithm::{RoundAlgorithm, RoundProcess};
 use crate::schedule::{validate_pending, CrashSchedule, PendingChoice, PendingError};
-use crate::trace::{RoundRecord, RoundTrace};
+use crate::trace::RoundTrace;
 
 /// A run outcome together with its per-round delivery trace.
 pub type TracedOutcome<V, M> = (ssp_model::ConsensusOutcome<V>, RoundTrace<M>);
+
+/// Why a [`CrashSchedule`] cannot drive a run of a given algorithm —
+/// the typed form of the panics documented on [`run_rs`], returned by
+/// [`try_run_rs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule and the configuration disagree on `n`.
+    SizeMismatch {
+        /// The configuration's process count.
+        expected: usize,
+        /// The schedule's process count.
+        got: usize,
+    },
+    /// The schedule crashes more processes than the fault bound allows.
+    TooManyCrashes {
+        /// Crashes in the schedule.
+        faults: usize,
+        /// The fault bound `t`.
+        bound: usize,
+    },
+    /// A crash is scheduled after round `horizon + 1`, where it is
+    /// invisible (the process completes every executed round and its
+    /// messages can never legally be pending).
+    CrashBeyondHorizon {
+        /// The crashing process.
+        process: ProcessId,
+        /// Its scheduled crash round.
+        round: Round,
+        /// The latest visible crash round, `horizon + 1`.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::SizeMismatch { expected, got } => write!(
+                f,
+                "schedule size must match configuration: n={expected}, schedule has {got}"
+            ),
+            ScheduleError::TooManyCrashes { faults, bound } => write!(
+                f,
+                "crash schedule exceeds the fault bound t={bound} ({faults} crashes)"
+            ),
+            ScheduleError::CrashBeyondHorizon {
+                process,
+                round,
+                limit,
+            } => write!(
+                f,
+                "{process} crashes at {round} beyond round horizon+1 = {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+fn check_schedule(
+    n: usize,
+    t: usize,
+    horizon: u32,
+    schedule: &CrashSchedule,
+) -> Result<(), ScheduleError> {
+    if schedule.n() != n {
+        return Err(ScheduleError::SizeMismatch {
+            expected: n,
+            got: schedule.n(),
+        });
+    }
+    if schedule.fault_count() > t {
+        return Err(ScheduleError::TooManyCrashes {
+            faults: schedule.fault_count(),
+            bound: t,
+        });
+    }
+    // Crashes in round `horizon + 1` are meaningful even though that
+    // round is never executed: the process completes every executed
+    // round (so it may decide!) yet is faulty, and its round-`horizon`
+    // messages may legally be pending (Lemma 4.1 allows withholding a
+    // round-r message when its sender crashes by round r+1). This is
+    // exactly the shape of the FloodSet/A1 disagreement scenarios.
+    for p in all_processes(n) {
+        if let Some(c) = schedule.crash_of(p) {
+            if c.round.get() > horizon + 1 {
+                return Err(ScheduleError::CrashBeyondHorizon {
+                    process: p,
+                    round: c.round,
+                    limit: horizon + 1,
+                });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Runs `algo` in the synchronous round model `RS`.
 ///
@@ -30,7 +137,8 @@ pub type TracedOutcome<V, M> = (ssp_model::ConsensusOutcome<V>, RoundTrace<M>);
 ///
 /// Panics if `config`, `schedule` sizes disagree, or if a scheduled
 /// crash round exceeds the algorithm's round horizon (such a crash is
-/// invisible; make the process correct instead).
+/// invisible; make the process correct instead). Use [`try_run_rs`]
+/// for the non-panicking, [`ScheduleError`]-returning form.
 ///
 /// # Examples
 ///
@@ -52,12 +160,57 @@ pub fn run_rs<V: Value, A: RoundAlgorithm<V>>(
     t: usize,
     schedule: &CrashSchedule,
 ) -> ConsensusOutcome<V> {
-    run_rounds(algo, config, t, schedule, &PendingChoice::none(), None)
-        .expect("empty pending choice is always valid")
+    try_run_rs(algo, config, t, schedule).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run_rs`], but returns a typed [`ScheduleError`] instead of
+/// panicking on an unusable crash schedule.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] if the schedule's size disagrees with
+/// the configuration, crashes more than `t` processes, or schedules a
+/// crash beyond round `horizon + 1` (where it would be invisible).
+pub fn try_run_rs<V: Value, A: RoundAlgorithm<V>>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+) -> Result<ConsensusOutcome<V>, ScheduleError> {
+    run_rounds(
+        algo,
+        config,
+        t,
+        schedule,
+        &PendingChoice::none(),
+        &mut NullObserver,
+    )
+}
+
+/// Like [`try_run_rs`], emitting the canonical event stream into any
+/// [`Observer`] sink.
+///
+/// # Errors
+///
+/// As for [`try_run_rs`].
+pub fn run_rs_observed<V, A, O>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+    obs: &mut O,
+) -> Result<ConsensusOutcome<V>, ScheduleError>
+where
+    V: Value,
+    A: RoundAlgorithm<V>,
+    O: Observer<<A::Process as RoundProcess>::Msg>,
+{
+    run_rounds(algo, config, t, schedule, &PendingChoice::none(), obs)
 }
 
 /// Like [`run_rs`], additionally returning the per-round delivery
-/// trace (message complexity, forensics).
+/// trace (message complexity, forensics) — a view over the canonical
+/// [`RunLog`](ssp_model::RunLog).
 ///
 /// # Panics
 ///
@@ -68,17 +221,10 @@ pub fn run_rs_traced<V: Value, A: RoundAlgorithm<V>>(
     t: usize,
     schedule: &CrashSchedule,
 ) -> TracedOutcome<V, <A::Process as RoundProcess>::Msg> {
-    let mut trace = RoundTrace::new();
-    let outcome = run_rounds(
-        algo,
-        config,
-        t,
-        schedule,
-        &PendingChoice::none(),
-        Some(&mut trace),
-    )
-    .expect("empty pending choice is always valid");
-    (outcome, trace)
+    let mut obs = RunLogObserver::new(config.n());
+    let outcome =
+        run_rs_observed(algo, config, t, schedule, &mut obs).unwrap_or_else(|e| panic!("{e}"));
+    (outcome, RoundTrace::from_run_log(&obs.into_log()))
 }
 
 /// Runs `algo` in the weakly synchronous round model `RWS`.
@@ -102,12 +248,38 @@ pub fn run_rws<V: Value, A: RoundAlgorithm<V>>(
     schedule: &CrashSchedule,
     pending: &PendingChoice,
 ) -> Result<ConsensusOutcome<V>, PendingError> {
+    run_rws_observed(algo, config, t, schedule, pending, &mut NullObserver)
+}
+
+/// Like [`run_rws`], emitting the canonical event stream into any
+/// [`Observer`] sink.
+///
+/// # Errors
+///
+/// As for [`run_rws`].
+///
+/// # Panics
+///
+/// As for [`run_rs`].
+pub fn run_rws_observed<V, A, O>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    schedule: &CrashSchedule,
+    pending: &PendingChoice,
+    obs: &mut O,
+) -> Result<ConsensusOutcome<V>, PendingError>
+where
+    V: Value,
+    A: RoundAlgorithm<V>,
+    O: Observer<<A::Process as RoundProcess>::Msg>,
+{
     validate_pending(schedule, pending)?;
-    run_rounds(algo, config, t, schedule, pending, None)
+    Ok(run_rounds(algo, config, t, schedule, pending, obs).unwrap_or_else(|e| panic!("{e}")))
 }
 
 /// Like [`run_rws`], additionally returning the per-round delivery
-/// trace.
+/// trace — a view over the canonical [`RunLog`](ssp_model::RunLog).
 ///
 /// # Errors
 ///
@@ -119,52 +291,63 @@ pub fn run_rws_traced<V: Value, A: RoundAlgorithm<V>>(
     schedule: &CrashSchedule,
     pending: &PendingChoice,
 ) -> Result<TracedOutcome<V, <A::Process as RoundProcess>::Msg>, PendingError> {
-    validate_pending(schedule, pending)?;
-    let mut trace = RoundTrace::new();
-    let outcome = run_rounds(algo, config, t, schedule, pending, Some(&mut trace))?;
-    Ok((outcome, trace))
+    let mut obs = RunLogObserver::new(config.n());
+    let outcome = run_rws_observed(algo, config, t, schedule, pending, &mut obs)?;
+    Ok((outcome, RoundTrace::from_run_log(&obs.into_log())))
 }
 
-fn run_rounds<V: Value, A: RoundAlgorithm<V>>(
+/// The single round-model engine: runs `algo` under `schedule` and
+/// `pending`, emitting the canonical event stream into `obs`.
+///
+/// Per executed round `r`, in canonical order: `Crash` events for
+/// round-`r` crashes (ascending process), `Deliver` events
+/// receiver-major, `Withhold` events receiver-major for wires the
+/// pending choice suppressed, one lockstep `Close` carrying the heard
+/// matrix, then `Decide` events for processes deciding in `r`. Crashes
+/// in round `horizon + 1` follow after the last round. All event
+/// construction is guarded by [`Observer::active`], so a
+/// [`NullObserver`] run pays nothing.
+fn run_rounds<V, A, O>(
     algo: &A,
     config: &InitialConfig<V>,
     t: usize,
     schedule: &CrashSchedule,
     pending: &PendingChoice,
-    mut trace: Option<&mut RoundTrace<<A::Process as RoundProcess>::Msg>>,
-) -> Result<ConsensusOutcome<V>, PendingError> {
+    obs: &mut O,
+) -> Result<ConsensusOutcome<V>, ScheduleError>
+where
+    V: Value,
+    A: RoundAlgorithm<V>,
+    O: Observer<<A::Process as RoundProcess>::Msg>,
+{
     let n = config.n();
-    assert_eq!(schedule.n(), n, "schedule size must match configuration");
-    assert!(
-        schedule.fault_count() <= t,
-        "crash schedule exceeds the fault bound t={t}"
-    );
     let horizon = algo.round_horizon(n, t);
-    // Crashes in round `horizon + 1` are meaningful even though that
-    // round is never executed: the process completes every executed
-    // round (so it may decide!) yet is faulty, and its round-`horizon`
-    // messages may legally be pending (Lemma 4.1 allows withholding a
-    // round-r message when its sender crashes by round r+1). This is
-    // exactly the shape of the FloodSet/A1 disagreement scenarios.
-    for p in all_processes(n) {
-        if let Some(c) = schedule.crash_of(p) {
-            assert!(
-                c.round.get() <= horizon + 1,
-                "{p} crashes at {} beyond round horizon+1 = {}",
-                c.round,
-                horizon + 1
-            );
-        }
-    }
+    check_schedule(n, t, horizon, schedule)?;
 
     let mut procs: Vec<A::Process> = all_processes(n)
         .map(|p| algo.spawn(p, n, t, config.input(p).clone()))
         .collect();
+    let mut decided = vec![false; n];
 
     for r in (1..=horizon).map(Round::new) {
+        if obs.active() {
+            for p in all_processes(n) {
+                if schedule.crash_of(p).map(|c| c.round) == Some(r) {
+                    obs.record(RunEvent::Crash {
+                        process: p,
+                        round: Some(r),
+                        time: None,
+                    });
+                }
+            }
+        }
         // Send phase: deliveries[q][p] = message from p to q this round.
         let mut deliveries: Vec<Vec<Option<<A::Process as RoundProcess>::Msg>>> =
             vec![vec![None; n]; n];
+        let mut withheld: Vec<ProcessSet> = Vec::new();
+        if obs.active() {
+            withheld = vec![ProcessSet::empty(); n];
+        }
         for p in all_processes(n) {
             if !schedule.sends_in(p, r) {
                 continue;
@@ -179,22 +362,73 @@ fn run_rounds<V: Value, A: RoundAlgorithm<V>>(
                     continue;
                 }
                 if pending.is_withheld(r, p, q) {
+                    if obs.active() {
+                        withheld[q.index()].insert(p);
+                    }
                     continue;
                 }
                 deliveries[q.index()][p.index()] = procs[p.index()].msgs(r, q);
             }
         }
-        if let Some(trace) = trace.as_deref_mut() {
-            trace.push(RoundRecord {
-                round: r,
-                deliveries: deliveries.clone(),
+        if obs.active() {
+            let mut heard = DeliveryMatrix::empty(n);
+            for q in all_processes(n) {
+                for p in all_processes(n) {
+                    if let Some(m) = &deliveries[q.index()][p.index()] {
+                        heard.insert(q, p);
+                        obs.record(RunEvent::Deliver {
+                            src: p,
+                            dst: q,
+                            round: Some(r),
+                            sent_at: None,
+                            payload: Some(m.clone()),
+                        });
+                    }
+                }
+            }
+            for q in all_processes(n) {
+                for p in withheld[q.index()].iter() {
+                    obs.record(RunEvent::Withhold {
+                        round: r,
+                        src: p,
+                        dst: q,
+                    });
+                }
+            }
+            obs.record(RunEvent::Close {
+                round: Some(r),
+                process: None,
+                stamp: None,
+                heard,
             });
         }
         // Transition phase: only processes surviving the round.
         for (q, delivered) in deliveries.into_iter().enumerate() {
-            let q = ssp_model::ProcessId::new(q);
+            let q = ProcessId::new(q);
             if schedule.is_alive_through(q, r) {
                 procs[q.index()].trans(r, &delivered);
+                if obs.active() && !decided[q.index()] {
+                    if let Some((_, dr)) = procs[q.index()].decision() {
+                        decided[q.index()] = true;
+                        obs.record(RunEvent::Decide {
+                            process: q,
+                            round: Some(dr),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if obs.active() {
+        for p in all_processes(n) {
+            if let Some(c) = schedule.crash_of(p) {
+                if c.round.get() == horizon + 1 {
+                    obs.record(RunEvent::Crash {
+                        process: p,
+                        round: Some(c.round),
+                        time: None,
+                    });
+                }
             }
         }
     }
@@ -385,5 +619,102 @@ mod tests {
             },
         );
         let _ = run_rs(&MinEcho, &config, 1, &schedule);
+    }
+
+    #[test]
+    fn try_run_rs_returns_typed_errors() {
+        let config = InitialConfig::new(vec![1u64, 5]);
+        let mut schedule = CrashSchedule::none(2);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::FIRST,
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        assert_eq!(
+            try_run_rs(&MinEcho, &config, 0, &schedule),
+            Err(ScheduleError::TooManyCrashes {
+                faults: 1,
+                bound: 0
+            })
+        );
+        let mut late = CrashSchedule::none(2);
+        late.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(9),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        assert_eq!(
+            try_run_rs(&MinEcho, &config, 1, &late),
+            Err(ScheduleError::CrashBeyondHorizon {
+                process: p(0),
+                round: Round::new(9),
+                limit: 3,
+            })
+        );
+        let wrong_size = CrashSchedule::none(3);
+        assert_eq!(
+            try_run_rs(&MinEcho, &config, 1, &wrong_size),
+            Err(ScheduleError::SizeMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn run_log_events_follow_canonical_round_order() {
+        let config = InitialConfig::new(vec![1u64, 5, 9]);
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            p(0),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, p(0), p(2));
+        let mut obs = RunLogObserver::new(3);
+        run_rws_observed(&MinEcho, &config, 1, &schedule, &pending, &mut obs).unwrap();
+        let log = obs.into_log();
+        let kinds: Vec<&str> = log
+            .events()
+            .iter()
+            .map(|e| match e {
+                RunEvent::Crash { .. } => "crash",
+                RunEvent::Deliver { .. } => "deliver",
+                RunEvent::Withhold { .. } => "withhold",
+                RunEvent::Close { .. } => "close",
+                RunEvent::Decide { .. } => "decide",
+                _ => "other",
+            })
+            .collect();
+        // Round 1: 8 deliveries (p1's copy to p3 withheld), one
+        // withhold, close. Round 2: p1 crashes with no sends, no
+        // deliveries (MinEcho only talks in round 1), close, then the
+        // survivors decide.
+        assert_eq!(
+            kinds,
+            vec![
+                "deliver", "deliver", "deliver", "deliver", "deliver", "deliver", "deliver",
+                "deliver", "withhold", "close", "crash", "close", "decide", "decide",
+            ]
+        );
+        assert_eq!(log.total_delivered(), 8);
+    }
+
+    #[test]
+    fn traced_outcome_is_a_view_over_the_run_log() {
+        let config = InitialConfig::new(vec![5u64, 3, 9]);
+        let schedule = CrashSchedule::none(3);
+        let (outcome, trace) = run_rs_traced(&MinEcho, &config, 1, &schedule);
+        assert_eq!(outcome, run_rs(&MinEcho, &config, 1, &schedule));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.total_delivered(), 9);
+        assert!(trace.rounds()[0].heard(p(2), p(0)));
     }
 }

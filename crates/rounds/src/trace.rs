@@ -4,10 +4,17 @@
 //! was decided; a [`RoundTrace`] additionally records every delivery,
 //! which powers message-complexity measurements and human-readable
 //! forensics of counterexample runs.
+//!
+//! Since the canonical event IR landed, [`RoundTrace`] is a *view*
+//! over [`RunLog`](ssp_model::RunLog) — the executors accumulate only
+//! the run log, and [`RoundTrace::from_run_log`] folds its `Deliver`
+//! and lockstep `Close` events back into per-round matrices. New code
+//! should prefer working on the `RunLog` directly (projection,
+//! [`first_divergence`](ssp_model::RunLog::first_divergence), JSONL).
 
 use core::fmt;
 
-use ssp_model::{ProcessId, Round};
+use ssp_model::{ProcessId, Round, RunEvent, RunLog};
 
 /// Deliveries of one round: `deliveries[receiver][sender]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +85,42 @@ impl<M> RoundTrace<M> {
     #[must_use]
     pub fn total_delivered(&self) -> usize {
         self.records.iter().map(RoundRecord::delivered).sum()
+    }
+}
+
+impl<M: Clone> RoundTrace<M> {
+    /// Reconstructs the per-round view from a canonical run log:
+    /// `Deliver` events fill the current round's matrix, each lockstep
+    /// `Close` (one with no stepping process) seals it as a
+    /// [`RoundRecord`]. Events of other kinds — crashes, withholds,
+    /// decisions, watchdog markers — carry no deliveries and are
+    /// skipped.
+    #[must_use]
+    pub fn from_run_log(log: &RunLog<M>) -> Self {
+        let n = log.universe_size();
+        let mut trace = RoundTrace::new();
+        let mut current: Vec<Vec<Option<M>>> = vec![vec![None; n]; n];
+        for ev in log.events() {
+            match ev {
+                RunEvent::Deliver {
+                    src, dst, payload, ..
+                } => {
+                    current[dst.index()][src.index()] = payload.clone();
+                }
+                RunEvent::Close {
+                    round: Some(r),
+                    process: None,
+                    ..
+                } => {
+                    trace.push(RoundRecord {
+                        round: *r,
+                        deliveries: std::mem::replace(&mut current, vec![vec![None; n]; n]),
+                    });
+                }
+                _ => {}
+            }
+        }
+        trace
     }
 }
 

@@ -13,9 +13,12 @@
 //!   tick-for-tick through `ssp_rounds::run_rws_traced`;
 //! * a [`RoundTrace`] of observed deliveries, comparable with the
 //!   replay's trace matrix-for-matrix;
-//! * an `ssp-sim` step [`Trace`] (via [`RunTrace::to_step_trace`]),
-//!   checkable by the §2 validators (`validate_basic`,
-//!   `validate_perfect_fd`).
+//! * an `ssp-sim` step [`Trace`] (via [`RunTrace::step_log`] and
+//!   [`Trace::from_run_log`]), checkable by the §2 validators
+//!   (`validate_basic`, `validate_perfect_fd`);
+//! * the canonical round-level [`RunLog`] itself
+//!   ([`RunTrace::run_log`]), whose projection onto delivery events
+//!   diffs directly against a replay's log.
 //!
 //! [`RunTrace::validate`] certifies internal admissibility: complete
 //! logs, message integrity across matching send/receive cells, no
@@ -30,12 +33,13 @@
 use core::fmt;
 use std::collections::BTreeMap;
 
-use ssp_model::{Envelope, ProcessId, ProcessSet, Round, StepIndex, Time};
+use ssp_model::events::{DeliveryMatrix, StepStamp};
+use ssp_model::{ProcessId, ProcessSet, Round, RunEvent, RunLog, StepIndex, Time};
 use ssp_rounds::{
     validate_pending, CrashSchedule, PendingChoice, PendingError, RoundCrash, RoundRecord,
     RoundTrace,
 };
-use ssp_sim::{StepRecord, Trace, TraceEvent};
+use ssp_sim::Trace;
 
 use crate::net::NetStats;
 
@@ -261,6 +265,97 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
         pending
     }
 
+    /// The canonical round-level [`RunLog`] of this run, in the exact
+    /// emission order of the `ssp-rounds` executors: per round,
+    /// `Crash` events (ascending process), `Deliver` events
+    /// receiver-major over the flattened matrices, `Withhold` events
+    /// for wires emitted but absent from their receiver's closed row,
+    /// and a lockstep `Close` carrying the heard matrix; then
+    /// post-horizon `Crash` events, the watchdog's `Degrade` (in its
+    /// round), and a final `Abort` if the run was cut short.
+    ///
+    /// Because the order matches the executors' by construction,
+    /// conformance is a projected
+    /// [`first_divergence`](RunLog::first_divergence) between this log
+    /// and the replay's.
+    #[must_use]
+    pub fn run_log(&self) -> RunLog<M> {
+        let mut log = RunLog::new(self.n);
+        for r in 1..=self.horizon {
+            let round = Round::new(r);
+            let ri = (r - 1) as usize;
+            for (p, crash) in self.crashes.iter().enumerate() {
+                if *crash == Some(round) {
+                    log.push(RunEvent::Crash {
+                        process: ProcessId::new(p),
+                        round: Some(round),
+                        time: None,
+                    });
+                }
+            }
+            let mut heard = DeliveryMatrix::empty(self.n);
+            for (q, qlog) in self.logs.iter().enumerate() {
+                let row = qlog.get(ri).and_then(|obs| obs.received.as_ref());
+                let Some(row) = row else { continue };
+                for (p, cell) in row.iter().enumerate() {
+                    if let Some(m) = cell.clone().flatten() {
+                        heard.insert(ProcessId::new(q), ProcessId::new(p));
+                        log.push(RunEvent::Deliver {
+                            src: ProcessId::new(p),
+                            dst: ProcessId::new(q),
+                            round: Some(round),
+                            sent_at: None,
+                            payload: Some(m),
+                        });
+                    }
+                }
+            }
+            for (q, qlog) in self.logs.iter().enumerate() {
+                let row = qlog.get(ri).and_then(|obs| obs.received.as_ref());
+                let Some(row) = row else { continue };
+                for (p, cell) in row.iter().enumerate() {
+                    if p == q || cell.is_some() {
+                        continue;
+                    }
+                    let emitted = self.logs[p]
+                        .get(ri)
+                        .is_some_and(|sobs| sobs.sent[q].is_some());
+                    if emitted {
+                        log.push(RunEvent::Withhold {
+                            round,
+                            src: ProcessId::new(p),
+                            dst: ProcessId::new(q),
+                        });
+                    }
+                }
+            }
+            log.push(RunEvent::Close {
+                round: Some(round),
+                process: None,
+                stamp: None,
+                heard,
+            });
+            if self.degraded_at == Some(round) {
+                log.push(RunEvent::Degrade { round });
+            }
+        }
+        for (p, crash) in self.crashes.iter().enumerate() {
+            if let Some(round) = crash {
+                if round.get() > self.horizon {
+                    log.push(RunEvent::Crash {
+                        process: ProcessId::new(p),
+                        round: Some(*round),
+                        time: None,
+                    });
+                }
+            }
+        }
+        if self.aborted {
+            log.push(RunEvent::Abort);
+        }
+        log
+    }
+
     /// The per-round delivery matrices, in the convention of
     /// [`ssp_rounds::run_rws_traced`]: a crashed (or unclosed)
     /// receiver's row is all-`None`, and null wires flatten to `None`.
@@ -378,22 +473,40 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
         Ok(())
     }
 
-    /// Exports the run as an `ssp-sim` step trace: one step per
-    /// emitted wire (payload `None` is an explicit null wire), one
-    /// receive step per closed round, crash events in a realizable
-    /// order, and a final flush step per correct process delivering
-    /// whatever was still in flight (messages to correct processes are
-    /// received *eventually* — pending just means "after its round").
+    /// Exports the run as an `ssp-sim` step trace — the deprecated
+    /// view form of [`RunTrace::step_log`]; prefer that and
+    /// [`Trace::from_run_log`] in new code.
     ///
-    /// The result satisfies `ssp_sim::validate_basic` and
-    /// `ssp_sim::validate_perfect_fd` for every admissible run.
+    /// # Errors
+    ///
+    /// As for [`RunTrace::step_log`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RunTrace::step_log and Trace::from_run_log instead"
+    )]
+    pub fn to_step_trace(&self) -> Result<Trace<Option<M>>, RunTraceError> {
+        Ok(Trace::from_run_log(&self.step_log()?))
+    }
+
+    /// Exports the run as a canonical *step-level* [`RunLog`]: one
+    /// `Send`+`Close` step per emitted wire (payload `None` is an
+    /// explicit null wire), one receive step per closed round
+    /// (`Deliver`s, a `Suspect` reading for the wires given up on, a
+    /// stamped `Close`), crash events in a realizable order, and a
+    /// final flush step per correct process delivering whatever was
+    /// still in flight (messages to correct processes are received
+    /// *eventually* — pending just means "after its round").
+    ///
+    /// The [`Trace`] view of the result satisfies
+    /// `ssp_sim::validate_basic` and `ssp_sim::validate_perfect_fd`
+    /// for every admissible run.
     ///
     /// # Errors
     ///
     /// Returns [`RunTraceError::Unschedulable`] if no event order
     /// realizes the logs (impossible for traces recorded from real
     /// runs).
-    pub fn to_step_trace(&self) -> Result<Trace<Option<M>>, RunTraceError> {
+    pub fn step_log(&self) -> Result<RunLog<Option<M>>, RunTraceError> {
         enum Ev {
             /// Send the round-`r` wire to `dst`.
             Send {
@@ -426,7 +539,7 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
             queues.push(q);
         }
 
-        let mut trace = Trace::new(n);
+        let mut log: RunLog<Option<M>> = RunLog::new(n);
         let mut time = 0u64;
         let mut gstep = 0u64;
         let mut own = vec![0u64; n];
@@ -459,31 +572,36 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
                     }
                     match &queues[p][next[p]] {
                         Ev::Send { r, dst } => {
+                            let round = Round::new(*r as u32 + 1);
                             let payload = self.logs[p][*r].sent[*dst]
                                 .clone()
                                 .expect("Send queued for emitted wire");
-                            let env = Envelope {
+                            let sent_at = StepIndex::new(gstep);
+                            wires.insert((*r, p, *dst), (sent_at, payload.clone()));
+                            log.push(RunEvent::Send {
                                 src: ProcessId::new(p),
                                 dst: ProcessId::new(*dst),
-                                sent_at: StepIndex::new(gstep),
-                                payload,
-                            };
-                            wires.insert((*r, p, *dst), (env.sent_at, env.payload.clone()));
-                            trace.push(TraceEvent::Step(StepRecord {
-                                process: ProcessId::new(p),
-                                time: Time::new(time),
-                                global_step: StepIndex::new(gstep),
-                                own_step: own[p],
-                                received: Vec::new(),
-                                suspects: ProcessSet::empty(),
-                                sent: Some(env),
-                            }));
+                                round: Some(round),
+                                at: Some(sent_at),
+                                payload: Some(payload),
+                            });
+                            log.push(RunEvent::Close {
+                                round: Some(round),
+                                process: Some(ProcessId::new(p)),
+                                stamp: Some(StepStamp {
+                                    time: Time::new(time),
+                                    global_step: StepIndex::new(gstep),
+                                    own_step: own[p],
+                                }),
+                                heard: DeliveryMatrix::step(ProcessSet::empty()),
+                            });
                             gstep += 1;
                             own[p] += 1;
                         }
                         Ev::Recv { r } => {
+                            let round = Round::new(*r as u32 + 1);
                             let row = self.logs[p][*r].received.as_ref().expect("Recv queued");
-                            let mut received = Vec::new();
+                            let mut heard = ProcessSet::empty();
                             let mut suspects = ProcessSet::empty();
                             for src in 0..n {
                                 if src == p {
@@ -492,32 +610,42 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
                                 if row[src].is_some() {
                                     let (sent_at, payload) = wires[&(*r, src, p)].clone();
                                     delivered.push((*r, src, p));
-                                    received.push(Envelope {
+                                    heard.insert(ProcessId::new(src));
+                                    log.push(RunEvent::Deliver {
                                         src: ProcessId::new(src),
                                         dst: ProcessId::new(p),
-                                        sent_at,
-                                        payload,
+                                        round: Some(round),
+                                        sent_at: Some(sent_at),
+                                        payload: Some(payload),
                                     });
                                 } else {
                                     suspects.insert(ProcessId::new(src));
                                 }
                             }
-                            trace.push(TraceEvent::Step(StepRecord {
-                                process: ProcessId::new(p),
-                                time: Time::new(time),
-                                global_step: StepIndex::new(gstep),
-                                own_step: own[p],
-                                received,
-                                suspects,
-                                sent: None,
-                            }));
+                            if !suspects.is_empty() {
+                                log.push(RunEvent::Suspect {
+                                    observer: ProcessId::new(p),
+                                    suspected: suspects,
+                                });
+                            }
+                            log.push(RunEvent::Close {
+                                round: Some(round),
+                                process: Some(ProcessId::new(p)),
+                                stamp: Some(StepStamp {
+                                    time: Time::new(time),
+                                    global_step: StepIndex::new(gstep),
+                                    own_step: own[p],
+                                }),
+                                heard: DeliveryMatrix::step(heard),
+                            });
                             gstep += 1;
                             own[p] += 1;
                         }
                         Ev::Crash => {
-                            trace.push(TraceEvent::Crash {
+                            log.push(RunEvent::Crash {
                                 process: ProcessId::new(p),
-                                time: Time::new(time),
+                                round: self.crashes[p],
+                                time: Some(Time::new(time)),
                             });
                             crashed[p] = true;
                         }
@@ -547,33 +675,46 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
             if crash.is_some() {
                 continue;
             }
-            let outstanding: Vec<Envelope<Option<M>>> = wires
+            let outstanding: Vec<(usize, usize, StepIndex, Option<M>)> = wires
                 .iter()
                 .filter(|(&(r, src, dst), _)| dst == p && !delivered.contains(&(r, src, dst)))
-                .map(|(&(_, src, dst), (sent_at, payload))| Envelope {
-                    src: ProcessId::new(src),
-                    dst: ProcessId::new(dst),
-                    sent_at: *sent_at,
-                    payload: payload.clone(),
-                })
+                .map(|(&(r, src, _), (sent_at, payload))| (r, src, *sent_at, payload.clone()))
                 .collect();
             if outstanding.is_empty() {
                 continue;
             }
-            trace.push(TraceEvent::Step(StepRecord {
-                process: ProcessId::new(p),
-                time: Time::new(time),
-                global_step: StepIndex::new(gstep),
-                own_step: own[p],
-                received: outstanding,
-                suspects: all_crashed,
-                sent: None,
-            }));
+            let mut heard = ProcessSet::empty();
+            for (r, src, sent_at, payload) in outstanding {
+                heard.insert(ProcessId::new(src));
+                log.push(RunEvent::Deliver {
+                    src: ProcessId::new(src),
+                    dst: ProcessId::new(p),
+                    round: Some(Round::new(r as u32 + 1)),
+                    sent_at: Some(sent_at),
+                    payload: Some(payload),
+                });
+            }
+            if !all_crashed.is_empty() {
+                log.push(RunEvent::Suspect {
+                    observer: ProcessId::new(p),
+                    suspected: all_crashed,
+                });
+            }
+            log.push(RunEvent::Close {
+                round: None,
+                process: Some(ProcessId::new(p)),
+                stamp: Some(StepStamp {
+                    time: Time::new(time),
+                    global_step: StepIndex::new(gstep),
+                    own_step: own[p],
+                }),
+                heard: DeliveryMatrix::step(heard),
+            });
             time += 1;
             gstep += 1;
             own[p] += 1;
         }
-        Ok(trace)
+        Ok(log)
     }
 }
 
@@ -673,7 +814,7 @@ mod tests {
         t.validate().unwrap();
         assert!(t.pending().is_empty());
         assert_eq!(t.schedule().fault_count(), 0);
-        let steps = t.to_step_trace().unwrap();
+        let steps = Trace::from_run_log(&t.step_log().unwrap());
         ssp_sim::validate_basic(&steps).unwrap();
         // 1 send + 1 recv per process.
         assert_eq!(steps.len(), 4);
@@ -688,7 +829,7 @@ mod tests {
             pending.triples(),
             &[(Round::FIRST, ProcessId::new(0), ProcessId::new(1))]
         );
-        let steps = t.to_step_trace().unwrap();
+        let steps = Trace::from_run_log(&t.step_log().unwrap());
         // The pending wire is flushed to the correct receiver at the end.
         ssp_sim::validate_basic(&steps).unwrap();
     }
@@ -762,6 +903,39 @@ mod tests {
         assert_eq!(rt.len(), 1);
         assert!(rt.rounds()[0].heard(ProcessId::new(0), ProcessId::new(1)));
         assert_eq!(rt.total_delivered(), 4);
+    }
+
+    #[test]
+    fn run_log_emits_canonical_delivery_core() {
+        let t = pending_trace();
+        let log = t.run_log();
+        // p1's withheld wire to p2 shows up as a Withhold, its
+        // post-horizon crash as a round-2 Crash.
+        assert!(log.events().iter().any(|e| matches!(
+            e,
+            RunEvent::Withhold { round, src, dst }
+                if *round == Round::FIRST && src.index() == 0 && dst.index() == 1
+        )));
+        assert!(log.events().iter().any(|e| matches!(
+            e,
+            RunEvent::Crash { process, round: Some(r), .. }
+                if process.index() == 0 && r.get() == 2
+        )));
+        // The clean run's log has no withholds and diverges from the
+        // pending run's at the first delivery difference.
+        let clean = clean_trace().run_log();
+        assert!(clean
+            .events()
+            .iter()
+            .all(|e| !matches!(e, RunEvent::Withhold { .. })));
+        assert!(clean.first_divergence(&log).is_some());
+    }
+
+    #[test]
+    fn aborted_run_log_ends_with_abort() {
+        let mut t = clean_trace();
+        t.aborted = true;
+        assert_eq!(t.run_log().events().last(), Some(&RunEvent::Abort));
     }
 
     #[test]

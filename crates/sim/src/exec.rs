@@ -16,13 +16,14 @@
 
 use core::fmt;
 
+use ssp_model::events::{DeliveryMatrix, Observer, RunEvent, RunLogObserver, StepStamp};
 use ssp_model::{Buffer, Envelope, FailurePattern, ProcessId, ProcessSet, StepIndex, Time};
 
 use ssp_fd::FdHistory;
 
 use crate::adversary::{Adversary, DeliveryChoice, ExecView};
 use crate::automaton::{BoxedAutomaton, StepContext};
-use crate::trace::{Event, StepRecord, Trace, TraceEvent};
+use crate::trace::{Event, Trace};
 
 /// Perfect-detector detection delays for the `SP` executor.
 ///
@@ -249,6 +250,26 @@ impl<M, O> RunResult<M, O> {
     }
 }
 
+/// Everything a finished run produces *except* the trace — what
+/// [`run_observed`] returns when the caller supplies its own event
+/// sink (possibly a [`NullObserver`](ssp_model::NullObserver), in
+/// which case no trace exists anywhere).
+#[derive(Debug)]
+pub struct RunOutputs<M, O> {
+    /// Final outputs, one per process.
+    pub outputs: Vec<Option<O>>,
+    /// The realized failure pattern.
+    pub pattern: FailurePattern,
+    /// Processes still alive at the end of the run.
+    pub final_alive: ProcessSet,
+    /// In `SS` mode: the alive processes that could not take the next
+    /// step without violating `Φ` at the moment the run ended.
+    pub final_blocked: ProcessSet,
+    /// The receive buffers at the end of the run (messages sent but
+    /// never delivered).
+    pub final_buffers: Vec<Buffer<M>>,
+}
+
 /// Runs `automata` under `model` with scheduling chosen by `adversary`.
 ///
 /// The run ends when the adversary returns `None`. `event_cap` is a
@@ -275,13 +296,68 @@ impl<M, O> RunResult<M, O> {
 /// ```
 pub fn run<M, O>(
     model: ModelKind,
-    mut automata: Vec<BoxedAutomaton<M, O>>,
+    automata: Vec<BoxedAutomaton<M, O>>,
     adversary: &mut dyn Adversary<M>,
     event_cap: u64,
 ) -> Result<RunResult<M, O>, SimError>
 where
     M: Clone + fmt::Debug + PartialEq,
     O: Clone + fmt::Debug + PartialEq,
+{
+    let mut obs: RunLogObserver<M> = RunLogObserver::new(automata.len());
+    let outs = run_core(model, automata, adversary, event_cap, &mut obs)?;
+    Ok(RunResult {
+        trace: Trace::from_run_log(&obs.into_log()),
+        outputs: outs.outputs,
+        pattern: outs.pattern,
+        final_alive: outs.final_alive,
+        final_blocked: outs.final_blocked,
+        final_buffers: outs.final_buffers,
+    })
+}
+
+/// Like [`run`], emitting the canonical event stream into any
+/// [`Observer`] sink instead of accumulating a [`Trace`]. With a
+/// [`NullObserver`](ssp_model::NullObserver) the tracing compiles
+/// away entirely.
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_observed<M, O, Obs>(
+    model: ModelKind,
+    automata: Vec<BoxedAutomaton<M, O>>,
+    adversary: &mut dyn Adversary<M>,
+    event_cap: u64,
+    obs: &mut Obs,
+) -> Result<RunOutputs<M, O>, SimError>
+where
+    M: Clone + fmt::Debug + PartialEq,
+    O: Clone + fmt::Debug + PartialEq,
+    Obs: Observer<M>,
+{
+    run_core(model, automata, adversary, event_cap, obs)
+}
+
+/// The single step-model engine behind [`run`] and [`run_observed`].
+///
+/// Per step, in canonical order: one `Deliver` per received envelope
+/// (in delivery order), a `Suspect` reading when non-empty, the `Send`
+/// if any, a `Decide` when the output register first becomes set, then
+/// one stamped per-process `Close`. Crashes emit `Crash` events with
+/// wall-clock times. All event construction is guarded by
+/// [`Observer::active`].
+fn run_core<M, O, Obs>(
+    model: ModelKind,
+    mut automata: Vec<BoxedAutomaton<M, O>>,
+    adversary: &mut dyn Adversary<M>,
+    event_cap: u64,
+    obs: &mut Obs,
+) -> Result<RunOutputs<M, O>, SimError>
+where
+    M: Clone + fmt::Debug + PartialEq,
+    O: Clone + fmt::Debug + PartialEq,
+    Obs: Observer<M>,
 {
     let n = automata.len();
     let mut buffers: Vec<Buffer<M>> = (0..n).map(|_| Buffer::new()).collect();
@@ -292,7 +368,6 @@ where
     let mut decided: Vec<bool> = vec![false; n];
     // since[p][q]: steps p has taken since q's last step (SS bookkeeping).
     let mut since: Vec<u64> = vec![0; n * n];
-    let mut trace: Trace<M> = Trace::new(n);
     let mut time = Time::ZERO;
     let mut global_step: u64 = 0;
     let mut events: u64 = 0;
@@ -345,7 +420,13 @@ where
                 }
                 alive.remove(p);
                 crash_times[p.index()] = Some(time);
-                trace.push(TraceEvent::Crash { process: p, time });
+                if obs.active() {
+                    obs.record(RunEvent::Crash {
+                        process: p,
+                        round: None,
+                        time: Some(time),
+                    });
+                }
             }
             Event::Step(p) => {
                 if !alive.contains(p) {
@@ -409,6 +490,7 @@ where
                     }
                     _ => {}
                 }
+                let newly_decided = !decided[p.index()] && new_output.is_some();
                 decided[p.index()] = new_output.is_some();
                 outputs[p.index()] = new_output;
                 // Send phase.
@@ -433,15 +515,50 @@ where
                         since[q * n + p.index()] = 0;
                     }
                 }
-                trace.push(TraceEvent::Step(StepRecord {
-                    process: p,
-                    time,
-                    global_step: StepIndex::new(global_step),
-                    own_step,
-                    received,
-                    suspects,
-                    sent: sent_env,
-                }));
+                if obs.active() {
+                    let mut heard = ProcessSet::empty();
+                    for env in &received {
+                        heard.insert(env.src);
+                        obs.record(RunEvent::Deliver {
+                            src: env.src,
+                            dst: p,
+                            round: None,
+                            sent_at: Some(env.sent_at),
+                            payload: Some(env.payload.clone()),
+                        });
+                    }
+                    if !suspects.is_empty() {
+                        obs.record(RunEvent::Suspect {
+                            observer: p,
+                            suspected: suspects,
+                        });
+                    }
+                    if let Some(env) = &sent_env {
+                        obs.record(RunEvent::Send {
+                            src: p,
+                            dst: env.dst,
+                            round: None,
+                            at: Some(env.sent_at),
+                            payload: Some(env.payload.clone()),
+                        });
+                    }
+                    if newly_decided {
+                        obs.record(RunEvent::Decide {
+                            process: p,
+                            round: None,
+                        });
+                    }
+                    obs.record(RunEvent::Close {
+                        round: None,
+                        process: Some(p),
+                        stamp: Some(StepStamp {
+                            time,
+                            global_step: StepIndex::new(global_step),
+                            own_step,
+                        }),
+                        heard: DeliveryMatrix::step(heard),
+                    });
+                }
                 global_step += 1;
             }
         }
@@ -469,8 +586,7 @@ where
         }
         None => ProcessSet::empty(),
     };
-    Ok(RunResult {
-        trace,
+    Ok(RunOutputs {
         outputs,
         pattern,
         final_alive: alive,
@@ -484,6 +600,7 @@ mod tests {
     use super::*;
     use crate::adversary::{Choice, FairAdversary, ScriptedAdversary};
     use crate::automaton::{IdleAutomaton, StepAutomaton};
+    use crate::trace::TraceEvent;
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)

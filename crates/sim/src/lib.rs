@@ -52,6 +52,6 @@ pub use adversary::{
     ScriptedAdversary,
 };
 pub use automaton::{BoxedAutomaton, IdleAutomaton, RoundRobinSender, StepAutomaton, StepContext};
-pub use exec::{run, DetectionDelays, ModelKind, RunResult, SimError};
+pub use exec::{run, run_observed, DetectionDelays, ModelKind, RunOutputs, RunResult, SimError};
 pub use trace::{Event, LocalObservation, StepRecord, Trace, TraceEvent};
 pub use validate::{validate_basic, validate_perfect_fd, validate_ss, TraceViolation};

@@ -6,10 +6,19 @@
 //! impossibility machinery of `ssp-lab` manipulates traces directly:
 //! Theorem 3.1 is proved by *run surgery*, splicing and replaying
 //! recorded schedules, and refuted candidates are reported as traces.
+//!
+//! Since the canonical event IR landed, [`Trace`] is a *view* over
+//! [`RunLog`](ssp_model::RunLog) — the executor accumulates only the
+//! run log, and [`Trace::from_run_log`] folds each step's `Deliver`/
+//! `Suspect`/`Send` events, sealed by its stamped per-process `Close`,
+//! back into [`StepRecord`]s. New code should prefer working on the
+//! `RunLog` directly.
 
 use core::fmt;
 
-use ssp_model::{Envelope, FailurePattern, ProcessId, ProcessSet, StepIndex, Time};
+use ssp_model::{
+    Envelope, FailurePattern, ProcessId, ProcessSet, RunEvent, RunLog, StepIndex, Time,
+};
 
 /// A scheduling event: either a process takes a step or it crashes.
 ///
@@ -101,6 +110,77 @@ impl<M: Clone + fmt::Debug + PartialEq> Trace<M> {
     #[must_use]
     pub fn universe_size(&self) -> usize {
         self.n
+    }
+
+    /// Reconstructs the step-level view from a canonical run log:
+    /// `Deliver`, `Suspect` and `Send` events accumulate into the
+    /// current step, each stamped per-process `Close` seals it as a
+    /// [`StepRecord`], and `Crash` events with wall-clock times map to
+    /// [`TraceEvent::Crash`]. Round-stamped events (from the round
+    /// layers) and `Decide` markers carry no step structure and are
+    /// skipped.
+    #[must_use]
+    pub fn from_run_log(log: &RunLog<M>) -> Self {
+        let mut trace = Trace::new(log.universe_size());
+        let mut received: Vec<Envelope<M>> = Vec::new();
+        let mut suspects = ProcessSet::empty();
+        let mut sent: Option<Envelope<M>> = None;
+        for ev in log.events() {
+            match ev {
+                RunEvent::Deliver {
+                    src,
+                    dst,
+                    sent_at: Some(at),
+                    payload: Some(m),
+                    ..
+                } => received.push(Envelope {
+                    src: *src,
+                    dst: *dst,
+                    sent_at: *at,
+                    payload: m.clone(),
+                }),
+                RunEvent::Suspect { suspected, .. } => suspects = *suspected,
+                RunEvent::Send {
+                    src,
+                    dst,
+                    at: Some(at),
+                    payload: Some(m),
+                    ..
+                } => {
+                    sent = Some(Envelope {
+                        src: *src,
+                        dst: *dst,
+                        sent_at: *at,
+                        payload: m.clone(),
+                    });
+                }
+                RunEvent::Close {
+                    process: Some(p),
+                    stamp: Some(stamp),
+                    ..
+                } => {
+                    trace.push(TraceEvent::Step(StepRecord {
+                        process: *p,
+                        time: stamp.time,
+                        global_step: stamp.global_step,
+                        own_step: stamp.own_step,
+                        received: std::mem::take(&mut received),
+                        suspects: std::mem::replace(&mut suspects, ProcessSet::empty()),
+                        sent: sent.take(),
+                    }));
+                }
+                RunEvent::Crash {
+                    process,
+                    time: Some(t),
+                    ..
+                } => trace.push(TraceEvent::Crash {
+                    process: *process,
+                    time: *t,
+                }),
+                _ => {}
+            }
+        }
+        trace
     }
 
     /// Appends an event record.

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Observer-overhead benchmark snapshot: runs the observer_overhead
+# criterion bench, extracts its machine-readable SNAPSHOT line, and
+# writes BENCH_PR4.json comparing the NullObserver verifier throughput
+# against the pre-refactor baseline (acceptance: within 5%).
+#
+# The baselines were measured on the pre-IR tree (commit 5dd0a8c) with
+# the release CLI on the same spaces this bench sweeps:
+#   serial  : ssp verify floodset-ws rws --n 3 --t 2 --threads 1
+#             907,928 runs in 1597 ms  -> 568,520 runs/s
+#   parallel: ssp verify floodset-ws rws --n 4 --t 2 --sym full --threads 4
+#             4,174,749 canonical runs in 13835 ms -> 301,753 runs/s
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_SERIAL_RPS=568520
+OUT=BENCH_PR4.json
+
+echo "== observer_overhead bench (release) =="
+LOG=$(cargo bench -p ssp-bench --bench observer_overhead 2>&1 | tee /dev/stderr)
+
+SNAPSHOT=$(printf '%s\n' "$LOG" | grep -o 'SNAPSHOT {.*}' | head -n1 | cut -d' ' -f2-)
+if [ -z "$SNAPSHOT" ]; then
+    echo "error: no SNAPSHOT line in bench output" >&2
+    exit 1
+fi
+
+NULL_RPS=$(printf '%s' "$SNAPSHOT" | grep -o '"null_runs_per_sec":[0-9]*' | grep -o '[0-9]*$')
+RATIO=$(awk "BEGIN { printf \"%.4f\", $NULL_RPS / $BASELINE_SERIAL_RPS }")
+WITHIN=$(awk "BEGIN { print ($NULL_RPS >= 0.95 * $BASELINE_SERIAL_RPS) ? \"true\" : \"false\" }")
+
+cat > "$OUT" <<EOF
+{
+  "pr": 4,
+  "claim": "NullObserver verifier throughput within 5% of the pre-refactor baseline",
+  "baseline": {
+    "commit": "5dd0a8c",
+    "serial_floodset_ws_rws_n3_t2_runs_per_sec": $BASELINE_SERIAL_RPS,
+    "parallel_sym_full_n4_t2_threads4_runs_per_sec": 301753
+  },
+  "measured": $SNAPSHOT,
+  "null_vs_baseline_ratio": $RATIO,
+  "within_5_percent": $WITHIN
+}
+EOF
+
+echo "== wrote $OUT (null $NULL_RPS runs/s vs baseline $BASELINE_SERIAL_RPS, ratio $RATIO, within 5%: $WITHIN) =="
+if [ "$WITHIN" != "true" ]; then
+    echo "error: NullObserver throughput regressed more than 5%" >&2
+    exit 1
+fi

@@ -9,6 +9,7 @@
 //! ssp heartbeat [-n N] [--phi F] [--delta D]       timeouts implement P
 //! ssp emulation [-n N] [--phi F] [--delta D] [-r R] §4.1 step budgets
 //! ssp runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T]
+//! ssp trace-dump [<algo> <rs|rws>] [--seed S] [--out F] | --diff F1 F2
 //! ```
 //!
 //! Algorithms: `floodset`, `floodset-ws`, `c-opt`, `c-opt-ws`, `f-opt`,
@@ -29,7 +30,7 @@ use ssp::lab::{
     LatencyAggregator, RoundModel, RunVerdict, SampleSpace, Symmetry, ValidityMode, Verification,
     Verifier,
 };
-use ssp::model::InitialConfig;
+use ssp::model::{InitialConfig, RunLog};
 use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
 use ssp::runtime::{
     run_threaded, ChaosConfig, DegradeMode, FaultPlan, PlanModel, SECTION_5_3_SEED,
@@ -652,6 +653,68 @@ fn cmd_runtime_fuzz(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// `ssp trace-dump`: run one seeded fault plan through the threaded
+/// runtime and print the canonical run log as line-delimited JSON, or
+/// diff two previously dumped logs (`--diff`).
+fn cmd_trace_dump(flags: &Flags) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: ssp trace-dump <algo> <rs|rws> [--seed S] [-n N] [-t T] [--out FILE]\n\
+                         \u{20}      ssp trace-dump --diff FILE1 FILE2";
+    if let Some(left_path) = flags.get("diff") {
+        let right_path = flags.positional.get(1).ok_or(USAGE)?.as_str();
+        return diff_dumped_logs(left_path, right_path);
+    }
+    let algo_name = flags.positional.get(1).ok_or(USAGE)?.as_str();
+    let model_name = flags.positional.get(2).ok_or(USAGE)?.as_str();
+    let model = match model_name {
+        "rs" => PlanModel::Rs,
+        "rws" => PlanModel::Rws,
+        other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    };
+    let n = flags.usize_or("n", 3)?;
+    let t = flags.usize_or("t", 1)?;
+    if n == 0 || t >= n {
+        return Err(format!("need 0 ≤ t < n, got n={n}, t={t}"));
+    }
+    let seed = flags.u64_or("seed", SECTION_5_3_SEED)?;
+    let config = InitialConfig::new((0..n as u64).map(|i| 10 + i).collect::<Vec<_>>());
+    let jsonl = with_algo!(algo_name, algo => {
+        let horizon = RoundAlgorithm::<u64>::round_horizon(&algo, n, t);
+        let plan = FaultPlan::from_seed(seed, n, t, horizon, model).with_degrade(parse_degrade(flags)?);
+        let result = run_threaded(&algo, &config, t, plan.runtime_config());
+        result.trace.run_log().to_jsonl()
+    })?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("--out {path}: {e}"))?;
+            println!(
+                "wrote {} events ({algo_name} {model_name}, n={n}, t={t}, seed {seed}) to {path}",
+                jsonl.lines().count() - 1
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+    Ok(())
+}
+
+/// Diffs two JSONL run logs; a divergence is an error (nonzero exit),
+/// like `diff(1)`.
+fn diff_dumped_logs(left_path: &str, right_path: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<RunLog<String>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        RunLog::from_jsonl(&text, |raw| Some(raw.to_string())).map_err(|e| format!("{path}: {e}"))
+    };
+    let left = load(left_path)?;
+    let right = load(right_path)?;
+    match left.first_divergence(&right) {
+        None => {
+            println!("logs agree: {} events", left.len());
+            Ok(())
+        }
+        Some(d) => Err(format!("logs diverge at {d}")),
+    }
+}
+
 const USAGE: &str = "usage: ssp <command> [options]
 
 commands:
@@ -670,6 +733,12 @@ commands:
              --chaos adds seed-deterministic loss/dup/reorder masked by the
              reliable layer, --delta-violation runs the scripted Δ-violation
              scenario under the chosen degradation mode
+  trace-dump <algo> <rs|rws> [--seed S] [-n N] [-t T] [--degrade=rws|abort|off] [--out FILE]
+  trace-dump --diff FILE1 FILE2
+             run one seeded fault plan through the threaded runtime and
+             print the canonical run log as line-delimited JSON (default
+             seed: the §5.3 anomaly), or report the first divergent
+             event between two dumped logs (exit 1 if they differ)
 
 algorithms: floodset floodset-ws c-opt c-opt-ws f-opt f-opt-ws a1 early early-ws";
 
@@ -684,6 +753,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("heartbeat") => cmd_heartbeat(&flags),
         Some("emulation") => cmd_emulation(&flags),
         Some("runtime-fuzz") => cmd_runtime_fuzz(&flags),
+        Some("trace-dump") => cmd_trace_dump(&flags),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -830,6 +900,52 @@ mod tests {
         dispatch(&argv("runtime-fuzz --delta-violation")).unwrap();
         dispatch(&argv("runtime-fuzz --delta-violation --degrade=rws")).unwrap();
         dispatch(&argv("runtime-fuzz --delta-violation --degrade=abort")).unwrap();
+    }
+
+    #[test]
+    fn trace_dump_writes_deterministic_logs_and_diffs_them() {
+        let dir = std::env::temp_dir();
+        let a = dir.join("ssp-trace-dump-a.jsonl");
+        let b = dir.join("ssp-trace-dump-b.jsonl");
+        let c = dir.join("ssp-trace-dump-c.jsonl");
+        let (a_s, b_s, c_s) = (
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            c.to_str().unwrap(),
+        );
+        dispatch(&argv(&format!(
+            "trace-dump floodset rs --seed 3 --out {a_s}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "trace-dump floodset rs --seed 3 --out {b_s}"
+        )))
+        .unwrap();
+        // t=2 runs one more round, so its log must diverge from t=1's.
+        dispatch(&argv(&format!(
+            "trace-dump floodset rs --seed 3 -t 2 --out {c_s}"
+        )))
+        .unwrap();
+        // Same plan ⇒ byte-identical; the diff agrees.
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap()
+        );
+        dispatch(&argv(&format!("trace-dump --diff {a_s} {b_s}"))).unwrap();
+        // Different plan ⇒ the diff pinpoints a divergence (exit 1).
+        let err = dispatch(&argv(&format!("trace-dump --diff {a_s} {c_s}"))).unwrap_err();
+        assert!(err.contains("diverge"), "{err}");
+        for p in [a, b, c] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn trace_dump_rejects_bad_input() {
+        assert!(dispatch(&argv("trace-dump")).is_err());
+        assert!(dispatch(&argv("trace-dump floodset ws")).is_err());
+        assert!(dispatch(&argv("trace-dump floodset rs -n 3 -t 3")).is_err());
+        assert!(dispatch(&argv("trace-dump --diff /nonexistent-ssp-log")).is_err());
     }
 
     #[test]

@@ -11,12 +11,13 @@
 
 use ssp::algos::{FloodSet, FloodSetWs, A1};
 use ssp::model::{ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, ProcessSet, Round};
+use ssp::model::{RunEvent, RunLogObserver};
 use ssp::rounds::{
     cumulative_round_budget, round_of_step, run_rs, CrashSchedule, EmuMsg, RoundAlgorithm,
     RoundCrash, RsOnSs, RwsOnSp,
 };
 use ssp::sim::{
-    run, BoxedAutomaton, DetectionDelays, FairAdversary, ModelKind, RandomAdversary, TraceEvent,
+    run, run_observed, BoxedAutomaton, DetectionDelays, FairAdversary, ModelKind, RandomAdversary,
 };
 
 fn p(i: usize) -> ProcessId {
@@ -197,45 +198,66 @@ fn rws_on_sp_satisfies_weak_round_synchrony() {
             .collect();
         let mut adv = FairAdversary::new(n, 5_000).with_crash(p(victim), crash_step);
         let delays = DetectionDelays::uniform(n, 1 + seed % 5);
-        let result = run(ModelKind::sp(delays), automata, &mut adv, 10_000).expect("legal run");
+        // The canonical observer pipeline replaces the old step-trace
+        // scan: the run log carries every send and delivery directly.
+        let mut obs = RunLogObserver::new(n);
+        let result = run_observed(ModelKind::sp(delays), automata, &mut adv, 10_000, &mut obs)
+            .expect("legal run");
+        let log = obs.into_log();
 
+        // Flatten the log: sends as (src, dst, round, sent_at), and
+        // deliveries as (src, dst, sent_at, received_at) — a step's
+        // deliveries inherit the global-step stamp of its closing event.
+        let mut sends: Vec<(ssp::model::ProcessId, ssp::model::ProcessId, u32, u64)> = Vec::new();
+        let mut deliveries: Vec<(ssp::model::ProcessId, ssp::model::ProcessId, u64, u64)> =
+            Vec::new();
+        let mut batch: Vec<(ssp::model::ProcessId, ssp::model::ProcessId, u64)> = Vec::new();
+        for ev in log.events() {
+            match ev {
+                RunEvent::Send {
+                    src,
+                    dst,
+                    at: Some(at),
+                    payload: Some(m),
+                    ..
+                } => sends.push((*src, *dst, m.round, at.position())),
+                RunEvent::Deliver {
+                    src,
+                    dst,
+                    sent_at: Some(at),
+                    ..
+                } => batch.push((*src, *dst, at.position())),
+                RunEvent::Close {
+                    stamp: Some(st), ..
+                } => {
+                    for (s, d, a) in batch.drain(..) {
+                        deliveries.push((s, d, a, st.global_step.position()));
+                    }
+                }
+                _ => {}
+            }
+        }
         // Reconstruct per-process round starts (first send of each round).
         let mut first_send_step: Vec<Vec<Option<u64>>> =
             vec![vec![None; (horizon + 3) as usize]; n];
-        for ev in result.trace.events() {
-            if let TraceEvent::Step(s) = ev {
-                if let Some(env) = &s.sent {
-                    let r = env.payload.round as usize;
-                    let slot = &mut first_send_step[s.process.index()][r];
-                    if slot.is_none() {
-                        *slot = Some(s.global_step.position());
-                    }
-                }
+        for &(src, _, r, at) in &sends {
+            let slot = &mut first_send_step[src.index()][r as usize];
+            if slot.is_none() {
+                *slot = Some(at);
             }
         }
-        // For each sent round-r envelope, find whether its receiver got
+        // For each sent round-r message, find whether its receiver got
         // it before moving past round r (approximated by the receiver's
         // first round-(r+1) send).
-        for ev in result.trace.events() {
-            let TraceEvent::Step(s) = ev else { continue };
-            let Some(env) = &s.sent else { continue };
-            let r = env.payload.round;
+        for &(src, dst, r, sent_at) in &sends {
             if r + 2 > horizon {
                 continue; // rounds r+2 beyond horizon are unobservable
             }
-            let receiver = env.dst;
-            let delivered_at = result.trace.events().iter().find_map(|e| match e {
-                TraceEvent::Step(t)
-                    if t.process == receiver
-                        && t.received
-                            .iter()
-                            .any(|d| d.src == env.src && d.sent_at == env.sent_at) =>
-                {
-                    Some(t.global_step.position())
-                }
-                _ => None,
-            });
-            let closed_at = first_send_step[receiver.index()][(r + 1) as usize];
+            let delivered_at = deliveries
+                .iter()
+                .find(|&&(s, d, a, _)| s == src && d == dst && a == sent_at)
+                .map(|&(_, _, _, at)| at);
+            let closed_at = first_send_step[dst.index()][(r + 1) as usize];
             let missed = match (delivered_at, closed_at) {
                 (None, Some(_)) => true,
                 (Some(d), Some(c)) => d >= c,
@@ -245,14 +267,12 @@ fn rws_on_sp_satisfies_weak_round_synchrony() {
                 // Lemma 4.1: the sender crashes by end of round r+1 —
                 // it must be faulty and silent from round r+2 on.
                 assert!(
-                    !result.pattern.is_correct(env.src),
-                    "seed {seed}: correct {} had a pending round-{r} message",
-                    env.src
+                    !result.pattern.is_correct(src),
+                    "seed {seed}: correct {src} had a pending round-{r} message",
                 );
                 assert!(
-                    first_send_step[env.src.index()][(r + 2) as usize].is_none(),
-                    "seed {seed}: {} sent round-{} traffic after a pending round-{r} message",
-                    env.src,
+                    first_send_step[src.index()][(r + 2) as usize].is_none(),
+                    "seed {seed}: {src} sent round-{} traffic after a pending round-{r} message",
                     r + 2
                 );
             }

@@ -1,7 +1,11 @@
 //! Message complexity via the round-level traces: the delivered-message
-//! counts of each algorithm, failure-free and under crashes.
+//! counts of each algorithm, failure-free and under crashes. The
+//! [`CountingObserver`] path (`ssp_lab::message_complexity_rs`) must
+//! agree with the `RoundTrace` view — both are projections of the same
+//! canonical run log.
 
 use ssp::algos::{FOptFloodSet, FloodSet, A1};
+use ssp::lab::message_complexity_rs;
 use ssp::model::{InitialConfig, ProcessId, ProcessSet, Round};
 use ssp::rounds::{run_rs_traced, CrashSchedule, RoundCrash};
 
@@ -21,6 +25,11 @@ fn floodset_delivers_n_squared_per_round() {
             assert_eq!(rec.delivered(), n * n, "full flood each round");
         }
         assert_eq!(trace.total_delivered(), n * n * (t + 1));
+        // The counting observer tallies the same canonical events.
+        let counts = message_complexity_rs(&FloodSet, &config, t, &CrashSchedule::none(n));
+        assert_eq!(counts.delivers as usize, trace.total_delivered());
+        assert_eq!(counts.closes as usize, trace.len());
+        assert_eq!(counts.crashes, 0);
     }
 }
 
@@ -58,6 +67,10 @@ fn crash_reduces_delivered_messages() {
     assert!(!trace.rounds()[0].heard(p(2), p(1)));
     // Round 2: 3 alive senders × 3 alive receivers.
     assert_eq!(trace.rounds()[1].delivered(), 9);
+    // The observer path sees the crash and the same traffic.
+    let counts = message_complexity_rs(&FloodSet, &config, 1, &schedule);
+    assert_eq!(counts.delivers as usize, trace.total_delivered());
+    assert_eq!(counts.crashes, 1);
 }
 
 #[test]

@@ -1,0 +1,202 @@
+//! E19 — the canonical run log: golden JSONL snapshots, serialization
+//! round-trips, and observer transparency.
+//!
+//! The golden files under `tests/golden/` pin the exact byte-level
+//! serialization of two reference runs (a crashed FloodSet `RS` run and
+//! the §5.3 seed-519 runtime run). Regenerate them after an intentional
+//! format change with `SSP_REGEN_GOLDEN=1 cargo test --test run_log`.
+
+use core::fmt;
+
+use proptest::prelude::*;
+
+use ssp::algos::{FloodSet, A1};
+use ssp::model::{
+    CountingObserver, InitialConfig, ProcessId, ProcessSet, Round, RunLog, RunLogObserver,
+};
+use ssp::rounds::{
+    run_rs, run_rs_observed, CrashSchedule, PendingChoice, RoundAlgorithm, RoundCrash,
+};
+use ssp::runtime::{run_threaded, FaultPlan, PlanModel, SECTION_5_3_SEED};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Asserts `actual` matches the golden file, or rewrites the file when
+/// `SSP_REGEN_GOLDEN` is set.
+fn golden_check(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("SSP_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SSP_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "run log drifted from tests/golden/{name}; if the change is \
+         intentional, regenerate with SSP_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn floodset_rs_run_log_snapshot_is_byte_stable() {
+    let config = InitialConfig::new(vec![4u64, 1, 7]);
+    let mut schedule = CrashSchedule::none(3);
+    schedule.crash(
+        p(1),
+        RoundCrash {
+            round: Round::FIRST,
+            sends_to: ProcessSet::singleton(p(0)),
+        },
+    );
+    let run_once = || {
+        let mut obs = RunLogObserver::new(3);
+        run_rs_observed(&FloodSet, &config, 1, &schedule, &mut obs).unwrap();
+        obs.into_log().to_jsonl()
+    };
+    let first = run_once();
+    assert_eq!(first, run_once(), "identical runs serialize identically");
+    golden_check("floodset_rs_n3.jsonl", &first);
+}
+
+#[test]
+fn section_5_3_seed_runtime_log_snapshot_is_byte_stable() {
+    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let horizon = RoundAlgorithm::<u64>::round_horizon(&A1, 3, 1);
+    let run_once = || {
+        let plan = FaultPlan::from_seed(SECTION_5_3_SEED, 3, 1, horizon, PlanModel::Rws);
+        run_threaded(&A1, &config, 1, plan.runtime_config())
+            .trace
+            .run_log()
+            .to_jsonl()
+    };
+    let first = run_once();
+    assert_eq!(
+        first,
+        run_once(),
+        "the seeded wall-clock run serializes identically run after run"
+    );
+    golden_check("seed519_a1_rws.jsonl", &first);
+}
+
+/// A payload wrapper whose `Debug` is the verbatim parsed text, so a
+/// parsed log re-serializes to the exact input bytes.
+struct Raw(String);
+
+impl fmt::Debug for Raw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Strategy: a crash schedule for `n` processes with at most `t`
+/// crashes inside `1..=max_round`.
+fn crash_schedule(n: usize, t: usize, max_round: u32) -> impl Strategy<Value = CrashSchedule> {
+    proptest::collection::vec(
+        proptest::option::weighted(0.4, (1u32..=max_round, 0u64..(1 << n))),
+        n,
+    )
+    .prop_map(move |slots| {
+        let mut schedule = CrashSchedule::none(n);
+        let mut budget = t;
+        for (i, slot) in slots.into_iter().enumerate() {
+            if budget == 0 {
+                break;
+            }
+            if let Some((round, bits)) = slot {
+                schedule.crash(
+                    ProcessId::new(i),
+                    RoundCrash {
+                        round: Round::new(round),
+                        sends_to: ProcessSet::from_bits(bits),
+                    },
+                );
+                budget -= 1;
+            }
+        }
+        schedule
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `to_jsonl ∘ from_jsonl = id` on executor-produced logs.
+    #[test]
+    fn run_log_round_trips_through_jsonl(
+        inputs in proptest::collection::vec(0u64..4, 3),
+        schedule in crash_schedule(3, 2, 3),
+    ) {
+        let config = InitialConfig::new(inputs);
+        let mut obs = RunLogObserver::new(3);
+        run_rs_observed(&FloodSet, &config, 2, &schedule, &mut obs).unwrap();
+        let jsonl = obs.into_log().to_jsonl();
+        let parsed: RunLog<Raw> =
+            RunLog::from_jsonl(&jsonl, |raw| Some(Raw(raw.to_string()))).unwrap();
+        prop_assert_eq!(parsed.to_jsonl(), jsonl);
+    }
+
+    /// Attaching an observer never changes the run: observer-off and
+    /// observer-on executions produce identical outcomes, and the
+    /// counting observer agrees with the full log's totals.
+    #[test]
+    fn observation_is_transparent(
+        inputs in proptest::collection::vec(0u64..4, 3),
+        schedule in crash_schedule(3, 2, 3),
+    ) {
+        let config = InitialConfig::new(inputs);
+        let plain = run_rs(&FloodSet, &config, 2, &schedule);
+        let mut log_obs = RunLogObserver::new(3);
+        let logged = run_rs_observed(&FloodSet, &config, 2, &schedule, &mut log_obs).unwrap();
+        prop_assert_eq!(&plain, &logged, "RunLogObserver is transparent");
+        let mut counter = CountingObserver::new();
+        let counted = run_rs_observed(&FloodSet, &config, 2, &schedule, &mut counter).unwrap();
+        prop_assert_eq!(&plain, &counted, "CountingObserver is transparent");
+        let log = log_obs.into_log();
+        prop_assert_eq!(counter.counts().delivers, log.total_delivered() as u64);
+        prop_assert_eq!(
+            counter.counts().closes as usize,
+            log.events()
+                .iter()
+                .filter(|e| matches!(e, ssp::model::RunEvent::Close { .. }))
+                .count()
+        );
+    }
+
+    /// An `RS` run is an `RWS` run with nothing pending: their logs are
+    /// identical event-for-event, not merely outcome-equal.
+    #[test]
+    fn rs_and_empty_pending_rws_logs_agree(
+        inputs in proptest::collection::vec(0u64..4, 3),
+        schedule in crash_schedule(3, 1, 3),
+    ) {
+        let config = InitialConfig::new(inputs);
+        let mut rs_obs = RunLogObserver::new(3);
+        run_rs_observed(&ssp::algos::FloodSetWs, &config, 1, &schedule, &mut rs_obs).unwrap();
+        let mut rws_obs = RunLogObserver::new(3);
+        ssp::rounds::run_rws_observed(
+            &ssp::algos::FloodSetWs,
+            &config,
+            1,
+            &schedule,
+            &PendingChoice::none(),
+            &mut rws_obs,
+        )
+        .unwrap();
+        let (rs_log, rws_log) = (rs_obs.into_log(), rws_obs.into_log());
+        prop_assert!(
+            rs_log.first_divergence(&rws_log).is_none(),
+            "{}",
+            rs_log.first_divergence(&rws_log).unwrap()
+        );
+    }
+}

@@ -7,7 +7,7 @@ use ssp::algos::{FloodSet, FloodSetWs, A1};
 use ssp::lab::{check_threaded_run, fuzz_runtime, shrink_plan, ValidityMode};
 use ssp::model::InitialConfig;
 use ssp::runtime::{run_threaded, FaultPlan, PlanModel, SECTION_5_3_SEED};
-use ssp::sim::{validate_basic, validate_perfect_fd};
+use ssp::sim::{validate_basic, validate_perfect_fd, Trace};
 
 #[test]
 fn a1_rws_seed_sweep_conforms_and_finds_the_paper_violation() {
@@ -85,8 +85,8 @@ fn section_5_3_trace_passes_every_validator_individually() {
 
     // The canonical record is admissible in RWS...
     result.trace.validate().expect("admissible RWS trace");
-    // ...its step-trace export satisfies the §2 validators...
-    let steps = result.trace.to_step_trace().expect("schedulable");
+    // ...its step-level run log satisfies the §2 validators...
+    let steps = Trace::from_run_log(&result.trace.step_log().expect("schedulable"));
     validate_basic(&steps).expect("well-formed step trace");
     validate_perfect_fd(&steps).expect("strong accuracy holds");
     // ...and the full certification (replay + outcome comparison)
@@ -104,10 +104,17 @@ fn replayed_traces_are_deterministic_across_repeated_runs() {
     let plan = FaultPlan::section_5_3();
     let first = run_threaded(&A1, &config, 1, plan.runtime_config());
     let second = run_threaded(&A1, &config, 1, plan.runtime_config());
+    // The canonical run logs — and hence every view derived from them —
+    // are byte-identical run after run.
+    assert_eq!(
+        first.trace.run_log().to_jsonl(),
+        second.trace.run_log().to_jsonl(),
+        "a fixed plan yields one run log, run after run"
+    );
     assert_eq!(
         first.trace.round_trace(),
         second.trace.round_trace(),
-        "a fixed plan yields one delivery pattern, run after run"
+        "the round-matrix view inherits that determinism"
     );
     assert_eq!(first.trace.crashes, second.trace.crashes);
 }
