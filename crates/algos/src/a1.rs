@@ -118,6 +118,17 @@ impl<V: Value> RoundAlgorithm<V> for A1 {
     fn round_horizon(&self, _n: usize, _t: usize) -> u32 {
         2
     }
+
+    /// A decided `A1` process owes the protocol nothing but its
+    /// round-2 `Relay(w)`, which depends only on the (immutable)
+    /// decision register: round-2 `trans` is a no-op once decided, so
+    /// bursting the relay and retiring is indistinguishable from
+    /// waiting the round out. This is the fast path behind `Λ(A1) = 1`
+    /// paying off in instance throughput: failure-free `RS` instances
+    /// cost one received round instead of two.
+    fn retires_after_decision(&self) -> bool {
+        true
+    }
 }
 
 /// `A1` forwards and stores values without ever inspecting them, so it

@@ -35,7 +35,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ssp_model::{ProcessId, Value};
+use ssp_model::{Decision, ProcessId, Round, Value};
+use ssp_rounds::{RoundAlgorithm, RoundProcess, ValueSymmetric};
 use ssp_sim::{StepAutomaton, StepContext};
 
 /// Wire format of the Chandra–Toueg protocol.
@@ -265,6 +266,102 @@ impl<V: Value> StepAutomaton for CtProcess<V> {
     }
 }
 
+/// Rotating-coordinator uniform consensus **in the round models** — a
+/// synchronized cousin of Chandra–Toueg, safe in `RWS`.
+///
+/// Runs `t + 1` rounds; the round-`r` coordinator is `p_r`, which
+/// broadcasts its current estimate. A receiver adopts the broadcast;
+/// everyone decides its estimate after round `t + 1`.
+///
+/// * **Uniform agreement, even in `RWS`.** Among the `t + 1` distinct
+///   coordinators some `p_{r*}` is correct, and in `RWS` a message can
+///   be missing from a closed round only if its sender crashed
+///   (perfect detector + Lemma 4.1) — so `p_{r*}`'s broadcast reaches
+///   *every* process that closes round `r*`, collapsing all surviving
+///   estimates to one value that later (adopting) coordinators can
+///   only repeat. Decisions happen after the horizon, so there is no
+///   decide-early-then-crash window for the §5.3 anomaly.
+/// * **The price.** Every run — including failure-free ones — decides
+///   at round `t + 1`, i.e. `Λ(CtRounds) = t + 1 ≥ 2`: the
+///   Theorem 5.2 lower bound for `RWS` made concrete, and the `RWS`
+///   baseline the engine benchmarks `A1`-in-`RS` against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtRounds;
+
+/// Wire format of [`CtRounds`]: the coordinator's estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtRoundMsg<V>(pub V);
+
+/// Per-process state of [`CtRounds`].
+#[derive(Debug)]
+pub struct CtRoundsProcess<V> {
+    me: ProcessId,
+    horizon: u32,
+    estimate: V,
+    decision: Decision<V>,
+}
+
+impl<V: Value> RoundProcess for CtRoundsProcess<V> {
+    type Msg = CtRoundMsg<V>;
+    type Value = V;
+
+    fn msgs(&self, round: Round, _dst: ProcessId) -> Option<CtRoundMsg<V>> {
+        if round.get() <= self.horizon && ProcessId::new((round.get() - 1) as usize) == self.me {
+            Some(CtRoundMsg(self.estimate.clone()))
+        } else {
+            None
+        }
+    }
+
+    fn trans(&mut self, round: Round, received: &[Option<CtRoundMsg<V>>]) {
+        let coord = (round.get() - 1) as usize;
+        if let Some(Some(CtRoundMsg(v))) = received.get(coord) {
+            self.estimate = v.clone();
+        }
+        if round.get() == self.horizon {
+            self.decision
+                .decide(self.estimate.clone(), round)
+                .expect("decides once, at the horizon");
+        }
+    }
+
+    fn decision(&self) -> Option<(V, Round)> {
+        self.decision.clone().into_inner()
+    }
+}
+
+impl<V: Value> RoundAlgorithm<V> for CtRounds {
+    type Process = CtRoundsProcess<V>;
+
+    fn name(&self) -> &str {
+        "CtRounds"
+    }
+
+    /// # Panics
+    ///
+    /// Panics unless `n > t`: the `t + 1` rounds need `t + 1` distinct
+    /// coordinators.
+    fn spawn(&self, me: ProcessId, n: usize, t: usize, input: V) -> CtRoundsProcess<V> {
+        assert!(n > t, "CtRounds needs t + 1 distinct coordinators");
+        CtRoundsProcess {
+            me,
+            horizon: t as u32 + 1,
+            estimate: input,
+            decision: Decision::unknown(),
+        }
+    }
+
+    fn round_horizon(&self, _n: usize, t: usize) -> u32 {
+        t as u32 + 1
+    }
+}
+
+/// [`CtRounds`] stores and forwards estimates without inspecting them,
+/// so it commutes with every relabeling of the value domain. It is
+/// **not** [`ssp_rounds::SymmetricAlgorithm`]: the coordinator
+/// rotation hard-codes process indices.
+impl<V: Value> ValueSymmetric<V> for CtRounds {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,5 +505,108 @@ mod tests {
     #[should_panic(expected = "n ≥ 3")]
     fn rejects_tiny_systems() {
         let _ = CtProcess::new(p(0), 2, 1u64);
+    }
+
+    mod rounds {
+        use super::*;
+        use ssp_model::{
+            check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessSet,
+            Round,
+        };
+        use ssp_rounds::{run_rs, run_rws, CrashSchedule, PendingChoice, RoundCrash};
+
+        #[test]
+        fn failure_free_decides_everyones_estimate_at_the_horizon() {
+            let config = InitialConfig::new(vec![4u64, 9, 2]);
+            let out = run_rs(&CtRounds, &config, 1, &CrashSchedule::none(3));
+            check_uniform_consensus_strong(&out).unwrap();
+            assert_eq!(
+                out.latency_degree(),
+                Some(2),
+                "Λ(CtRounds) = t + 1, even failure-free"
+            );
+            for (_, o) in out.iter() {
+                assert_eq!(o.decision, Some((4, Round::new(2))), "p1's estimate wins");
+            }
+        }
+
+        #[test]
+        fn crashed_first_coordinator_hands_over_to_the_second() {
+            let config = InitialConfig::new(vec![4u64, 9, 2]);
+            let mut schedule = CrashSchedule::none(3);
+            schedule.crash(
+                p(0),
+                RoundCrash {
+                    round: Round::FIRST,
+                    sends_to: ProcessSet::empty(),
+                },
+            );
+            let out = run_rs(&CtRounds, &config, 1, &schedule);
+            check_uniform_consensus_strong(&out).unwrap();
+            for q in [p(1), p(2)] {
+                assert_eq!(out.outcome(q).decision, Some((9, Round::new(2))));
+            }
+        }
+
+        #[test]
+        fn partial_coordinator_broadcast_cannot_split_survivors() {
+            // p1 reaches only p3 then crashes: p3 adopts 4, p2 keeps 9.
+            // Round 2's coordinator p2 re-broadcasts 9 and everyone
+            // (alive) converges on it.
+            let config = InitialConfig::new(vec![4u64, 9, 2]);
+            let mut schedule = CrashSchedule::none(3);
+            schedule.crash(
+                p(0),
+                RoundCrash {
+                    round: Round::FIRST,
+                    sends_to: ProcessSet::singleton(p(2)),
+                },
+            );
+            let out = run_rs(&CtRounds, &config, 1, &schedule);
+            check_uniform_consensus_strong(&out).unwrap();
+            for q in [p(1), p(2)] {
+                assert_eq!(out.outcome(q).decision, Some((9, Round::new(2))));
+            }
+        }
+
+        #[test]
+        fn survives_the_rws_scenario_that_breaks_a1() {
+            // §5.3 shape: the round-1 coordinator broadcasts, crashes in
+            // round 2, and every round-1 copy is withheld as pending.
+            // A1's p1 would have *decided* before crashing; CtRounds
+            // decides only at the horizon, so uniformity holds.
+            let config = InitialConfig::new(vec![10u64, 11, 12]);
+            let mut schedule = CrashSchedule::none(3);
+            schedule.crash(
+                p(0),
+                RoundCrash {
+                    round: Round::new(2),
+                    sends_to: ProcessSet::empty(),
+                },
+            );
+            let mut pending = PendingChoice::none();
+            for i in 1..3 {
+                pending.withhold(Round::FIRST, p(0), p(i));
+            }
+            let out = run_rws(&CtRounds, &config, 1, &schedule, &pending).unwrap();
+            check_uniform_consensus(&out).unwrap();
+            for i in 1..3 {
+                assert_eq!(out.outcome(p(i)).decision, Some((11, Round::new(2))));
+            }
+        }
+
+        #[test]
+        fn two_crash_instances_need_three_rounds() {
+            let config = InitialConfig::new(vec![4u64, 9, 2, 7]);
+            let out = run_rs(&CtRounds, &config, 2, &CrashSchedule::none(4));
+            check_uniform_consensus_strong(&out).unwrap();
+            assert_eq!(out.latency_degree(), Some(3), "t = 2 ⇒ horizon 3");
+        }
+
+        #[test]
+        #[should_panic(expected = "distinct coordinators")]
+        fn rejects_t_not_below_n() {
+            let _ = RoundAlgorithm::<u64>::spawn(&CtRounds, p(0), 2, 2, 1);
+        }
     }
 }

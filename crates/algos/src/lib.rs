@@ -11,6 +11,7 @@
 //! | Figure 3 | [`FOptFloodSet`], [`FOptFloodSetWs`] | both | `Lat(·, t) = 1` (t initial crashes) |
 //! | Figure 4 | [`A1`] | `RS` | `Λ(A1) = 1`, t = 1; breaks in `RWS` |
 //! | \[7\] | [`EarlyDeciding`], [`EarlyDecidingWs`] | `RS`/`RWS` | `min(f+2, t+1)` rounds |
+//! | \[6\] (adapted) | [`CtRounds`] | `RWS` | rotating coordinator, `Λ = t + 1` |
 //!
 //! Step-level algorithms (for the `ssp-sim` executors):
 //! [`CtProcess`] is Chandra–Toueg rotating-coordinator consensus with
@@ -37,7 +38,7 @@ pub mod sdd;
 
 pub use a1::{A1Msg, A1Process, A1};
 pub use c_opt::{COptFloodSet, COptFloodSetWs, COptProcess};
-pub use ct::{CtMsg, CtProcess};
+pub use ct::{CtMsg, CtProcess, CtRoundMsg, CtRounds, CtRoundsProcess};
 pub use early::{EarlyDeciding, EarlyDecidingWs, EarlyProcess};
 pub use f_opt::{FOptFloodSet, FOptFloodSetWs, FOptMsg, FOptProcess};
 pub use flood::{FloodProcess, FloodSet, FloodSetWs};

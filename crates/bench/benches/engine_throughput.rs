@@ -1,0 +1,111 @@
+//! Service throughput, `RS` vs `RWS`: Theorem 5.2 compounded.
+//!
+//! One consensus run shows `Λ(A1) = 1` in `RS` while every `RWS`
+//! algorithm pays `Λ ≥ 2`. A replicated state-machine *service* runs
+//! instances back-to-back, so the per-instance round gap compounds
+//! into sustained throughput: this bench drives the same failure-free
+//! closed-loop workload through `A1`/`RS` (early-retiring after its
+//! single received round) and `CtRounds`/`RWS` (the rotating-coordinator
+//! baseline, `t + 1` rounds always) and reports decided instances per
+//! wall-clock second for each.
+//!
+//! `scripts/bench_snapshot.sh` records the numbers in `BENCH_PR5.json`
+//! and asserts the paper's ordering: `RS` strictly faster. Emits one
+//! machine-readable line: `SNAPSHOT {..}`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_algos::{CtRounds, A1};
+use ssp_engine::{serve, Batch, EngineConfig, EngineStats, FaultMode, Workload, WorkloadConfig};
+use ssp_rounds::{RoundAlgorithm, RoundProcess};
+use ssp_runtime::PlanModel;
+
+const N: usize = 3;
+const T: usize = 1;
+const SEED: u64 = 41;
+const CLIENTS: usize = 16;
+
+/// One failure-free service run; returns the stats (decided count,
+/// rounds paid, wall time).
+fn run_service<A>(algo: &A, model: PlanModel, instances: u64) -> EngineStats
+where
+    A: RoundAlgorithm<Batch> + Sync,
+    A::Process: Send + 'static,
+    <A::Process as RoundProcess>::Msg: Clone + Send + 'static,
+{
+    let mut cfg = EngineConfig::new(N, T, model);
+    cfg.instances = instances;
+    cfg.seed = SEED;
+    cfg.faults = FaultMode::FailureFree;
+    let mut workload = Workload::new(SEED, WorkloadConfig::new(CLIENTS));
+    let report = serve(algo, &cfg, &mut workload).expect("valid failure-free config");
+    assert_eq!(report.stats.decided_instances, instances, "failure-free");
+    assert_eq!(report.stats.audit_violations, 0);
+    assert_eq!(report.stats.audit_divergences, 0);
+    report.stats
+}
+
+fn per_sec(decided: u64, secs: f64) -> u64 {
+    if secs > 0.0 {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        {
+            (decided as f64 / secs) as u64
+        }
+    } else {
+        0
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    const INSTANCES: u64 = 40;
+
+    let t0 = Instant::now();
+    let rs = run_service(&A1, PlanModel::Rs, INSTANCES);
+    let rs_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let rws = run_service(&CtRounds, PlanModel::Rws, INSTANCES);
+    let rws_secs = t1.elapsed().as_secs_f64();
+
+    let rs_ips = per_sec(rs.decided_instances, rs_secs);
+    let rws_ips = per_sec(rws.decided_instances, rws_secs);
+    println!(
+        "engine_throughput (n={N}, t={T}, {CLIENTS} clients, {INSTANCES} failure-free instances): \
+         A1/RS {rs_ips} instances/s at p50 {} round(s), \
+         CtRounds/RWS {rws_ips} instances/s at p50 {} rounds; \
+         commands decided {} vs {}",
+        rs.decide_rounds_p50(),
+        rws.decide_rounds_p50(),
+        rs.commands_decided,
+        rws.commands_decided,
+    );
+    println!(
+        "SNAPSHOT {{\"bench\":\"engine_throughput\",\"n\":{N},\"t\":{T},\"clients\":{CLIENTS},\
+         \"instances\":{INSTANCES},\"rs_instances_per_sec\":{rs_ips},\
+         \"rws_instances_per_sec\":{rws_ips},\"rs_decide_rounds_p50\":{},\
+         \"rws_decide_rounds_p50\":{},\"rs_commands_decided\":{},\"rws_commands_decided\":{}}}",
+        rs.decide_rounds_p50(),
+        rws.decide_rounds_p50(),
+        rs.commands_decided,
+        rws.commands_decided,
+    );
+
+    // Criterion trend points at a smaller scale.
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.bench_function("a1_rs_4_instances", |b| {
+        b.iter(|| run_service(&A1, PlanModel::Rs, 4));
+    });
+    group.bench_function("ct_rws_4_instances", |b| {
+        b.iter(|| run_service(&CtRounds, PlanModel::Rws, 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

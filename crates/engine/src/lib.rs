@@ -1,0 +1,57 @@
+//! # ssp-engine
+//!
+//! A replicated state-machine service built from *repeated* consensus:
+//! an unbounded sequence of uniform-consensus instances over the
+//! workspace's threaded runtime, each instance deciding one batch of
+//! client commands applied to a replicated key-value store.
+//!
+//! This is the paper's efficiency argument made operational. A single
+//! consensus run shows Λ(A1) = 1 in `RS` against Λ ≥ 2 for any
+//! `RWS` algorithm (Theorem 5.2); a *service* running instances
+//! back-to-back turns that per-instance round gap into a sustained
+//! throughput gap, because every decided instance immediately seeds the
+//! next. The engine measures exactly that: decided instances per
+//! second, decide latency in rounds and wall time, `RS` vs `RWS`, same
+//! workload, same seeds.
+//!
+//! The moving parts:
+//!
+//! - [`Workload`]: seed-deterministic closed-loop client population
+//!   (Zipf keys, put/delete mix) — submission rate adapts to decision
+//!   rate.
+//! - [`Proposer`]: pending-command queue; per-process proposals are
+//!   staggered prefixes of it, so consensus validity makes exactly-once
+//!   commitment structural ([`Proposer::commit`]).
+//! - [`serve`]: the instance loop — fault plan from
+//!   `(seed, instance)`, execution through
+//!   [`run_threaded_checked`](ssp_runtime::run_threaded_checked) (typed
+//!   config rejection, never a hang), commit, acknowledge.
+//! - Background audit: every instance's trace crosses an mpsc channel
+//!   to an auditor thread that replays it against the step models
+//!   ([`ssp_lab::audit_instance`]) and renders its canonical
+//!   [`TaggedRunLog`](ssp_model::TaggedRunLog) — certification
+//!   pipelined behind execution.
+//! - [`EngineStats`]: deterministic JSON core (byte-identical per
+//!   seed) plus human wall-clock report.
+//!
+//! Faults compose the same way they do in `ssp runtime-fuzz`: seeded
+//! [`FaultPlan`](ssp_runtime::FaultPlan) crashes, scripted
+//! [`EngineCrash`]es, chaos loss/duplication/reordering, watchdog
+//! `RS → RWS` degradation. A crashed proposer's batch stays pending
+//! and is re-proposed; the service as a whole keeps deciding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod command;
+pub mod engine;
+pub mod proposer;
+pub mod stats;
+pub mod workload;
+
+pub use command::{Batch, Command, CommandId, KvStore, Op};
+pub use engine::{instance_seed, serve, EngineConfig, EngineCrash, EngineReport, FaultMode};
+pub use proposer::{CommitError, Proposer};
+pub use stats::EngineStats;
+pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,220 @@
+//! The client-facing proposal queue: pending commands, per-process
+//! proposal views, decided-ID tracking, and re-proposal of undecided
+//! batches.
+//!
+//! Each instance, every process proposes a *prefix* of the shared
+//! pending queue, with per-process lengths staggered deterministically
+//! — modelling proposers whose batching windows closed at different
+//! points of the same arrival stream. Consensus validity guarantees
+//! the decided batch is one of those proposals, hence itself a prefix:
+//! [`Proposer::commit`] removes exactly that prefix, and everything
+//! behind it stays pending and is re-proposed in later instances —
+//! including batches orphaned when their proposer crashed
+//! mid-instance.
+
+use core::fmt;
+use std::collections::{HashSet, VecDeque};
+
+use crate::command::{Batch, Command, CommandId};
+
+/// Why a decided batch could not be committed. Either variant is an
+/// exactly-once violation (and would fail the post-run audit too, as a
+/// uniform-agreement or validity breach).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitError {
+    /// The decided batch contains a command that was already decided
+    /// by an earlier instance.
+    Duplicate(CommandId),
+    /// The decided batch contains a command no client ever submitted.
+    Unknown(CommandId),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Duplicate(id) => write!(f, "command {id} decided twice"),
+            CommitError::Unknown(id) => write!(f, "decided command {id} was never submitted"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// The engine's shared proposal state.
+#[derive(Debug, Default)]
+pub struct Proposer {
+    pending: VecDeque<Command>,
+    submitted: HashSet<CommandId>,
+    decided: HashSet<CommandId>,
+    /// Commands proposed in at least one earlier instance.
+    proposed: HashSet<CommandId>,
+    /// Commands proposed in two or more distinct instances.
+    reproposed: HashSet<CommandId>,
+}
+
+impl Proposer {
+    /// An empty proposer.
+    #[must_use]
+    pub fn new() -> Self {
+        Proposer::default()
+    }
+
+    /// Enqueues a freshly submitted client command.
+    pub fn submit(&mut self, cmd: Command) {
+        self.submitted.insert(cmd.id);
+        self.pending.push_back(cmd);
+    }
+
+    /// Commands waiting to be decided.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Distinct commands that had to be proposed in more than one
+    /// instance (their first batch was not the decided one — typically
+    /// because the proposer crashed or a shorter prefix won).
+    #[must_use]
+    pub fn reproposed(&self) -> u64 {
+        self.reproposed.len() as u64
+    }
+
+    /// Builds the `n` per-process proposals for one instance: process
+    /// `p` proposes the first `1 + (instance + p) mod batch_max`
+    /// pending commands (clamped to the queue). Deterministic, and
+    /// per-process distinct whenever the queue is long enough — so
+    /// instances genuinely arbitrate between competing batches.
+    pub fn proposals(&mut self, n: usize, batch_max: usize, instance: u64) -> Vec<Batch> {
+        let cap = batch_max.max(1);
+        let batches: Vec<Batch> = (0..n)
+            .map(|p| {
+                #[allow(clippy::cast_possible_truncation)]
+                let want = 1 + ((instance as usize).wrapping_add(p) % cap);
+                Batch(
+                    self.pending
+                        .iter()
+                        .take(want.min(self.pending.len()))
+                        .copied()
+                        .collect(),
+                )
+            })
+            .collect();
+        // Re-proposal accounting: a command seen by *some earlier*
+        // instance and proposed again now was orphaned at least once.
+        let this_instance: HashSet<CommandId> = batches
+            .iter()
+            .flat_map(|b| b.iter().map(|c| c.id))
+            .collect();
+        for id in &this_instance {
+            if !self.proposed.insert(*id) {
+                self.reproposed.insert(*id);
+            }
+        }
+        batches
+    }
+
+    /// Commits a decided batch: marks every command decided (exactly
+    /// once), removes it from the pending queue, and returns the
+    /// commands in decision order for state-machine application.
+    ///
+    /// # Errors
+    ///
+    /// [`CommitError::Duplicate`] if a command was already decided by
+    /// an earlier instance; [`CommitError::Unknown`] if it was never
+    /// submitted. Both are exactly-once violations.
+    pub fn commit(&mut self, batch: &Batch) -> Result<Vec<Command>, CommitError> {
+        for cmd in batch.iter() {
+            if !self.submitted.contains(&cmd.id) {
+                return Err(CommitError::Unknown(cmd.id));
+            }
+            if !self.decided.insert(cmd.id) {
+                return Err(CommitError::Duplicate(cmd.id));
+            }
+        }
+        let decided: HashSet<CommandId> = batch.iter().map(|c| c.id).collect();
+        self.pending.retain(|c| !decided.contains(&c.id));
+        Ok(batch.0.clone())
+    }
+
+    /// Commands decided so far.
+    #[must_use]
+    pub fn decided_len(&self) -> u64 {
+        self.decided.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Op;
+
+    fn cmd(client: u32, seq: u32) -> Command {
+        Command {
+            id: CommandId { client, seq },
+            op: Op::Put {
+                key: client,
+                value: u64::from(seq),
+            },
+        }
+    }
+
+    #[test]
+    fn proposals_are_staggered_prefixes() {
+        let mut p = Proposer::new();
+        for i in 0..5 {
+            p.submit(cmd(i, 0));
+        }
+        let batches = p.proposals(3, 4, 0);
+        assert_eq!(
+            batches.iter().map(Batch::len).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        for b in &batches {
+            assert!(
+                b.0.iter()
+                    .zip(batches[2].0.iter())
+                    .all(|(a, b)| a.id == b.id),
+                "every proposal is a prefix of the longest"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_removes_the_decided_prefix_and_counts_reproposals() {
+        let mut p = Proposer::new();
+        for i in 0..4 {
+            p.submit(cmd(i, 0));
+        }
+        let batches = p.proposals(2, 4, 0);
+        assert_eq!(p.reproposed(), 0);
+        // The shorter proposal wins; the rest stays pending.
+        p.commit(&batches[0]).unwrap();
+        assert_eq!(p.pending_len(), 3);
+        let again = p.proposals(2, 4, 1);
+        assert!(p.reproposed() > 0, "orphaned commands were re-proposed");
+        p.commit(&again[1]).unwrap();
+        assert_eq!(p.decided_len(), 1 + again[1].len() as u64);
+    }
+
+    #[test]
+    fn double_decide_is_rejected() {
+        let mut p = Proposer::new();
+        p.submit(cmd(0, 0));
+        let b = p.proposals(1, 1, 0).remove(0);
+        p.commit(&b).unwrap();
+        assert_eq!(
+            p.commit(&b),
+            Err(CommitError::Duplicate(CommandId { client: 0, seq: 0 }))
+        );
+    }
+
+    #[test]
+    fn unsubmitted_commands_are_rejected() {
+        let mut p = Proposer::new();
+        let ghost = Batch(vec![cmd(9, 9)]);
+        assert_eq!(
+            p.commit(&ghost),
+            Err(CommitError::Unknown(CommandId { client: 9, seq: 9 }))
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Engine statistics: a deterministic core (byte-identical JSON per
+//! seed) plus human-facing wall-clock metrics.
+//!
+//! The split matters. Decide rounds, command counts, crash/retire/
+//! degrade tallies and the KV digest are functions of the seeded fault
+//! plans and the round structure — identical across runs of the same
+//! configuration. Wall-clock durations and transport counters
+//! (delivery, retransmission, shutdown-stranding) are *not*: the
+//! early-retire fast path shuts instances down while burst wires are
+//! still in flight, so whether a given wire counts as delivered or
+//! stranded is a race. [`EngineStats::to_json`] therefore serializes
+//! only the deterministic core; everything timing-flavoured stays in
+//! the [`Display`](core::fmt::Display) report.
+
+use core::fmt;
+use std::time::Duration;
+
+/// Cumulative statistics of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Algorithm name (`RoundAlgorithm::name`).
+    pub algo: String,
+    /// Round model the instances ran under (`"rs"` / `"rws"`).
+    pub model: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Fault bound per instance.
+    pub t: usize,
+    /// Engine seed (instance seeds derive from it).
+    pub seed: u64,
+    /// Instances executed.
+    pub instances: u64,
+    /// Instances that decided a batch.
+    pub decided_instances: u64,
+    /// Instances that decided nothing (aborted runs only).
+    pub undecided_instances: u64,
+    /// Commands submitted by clients.
+    pub commands_submitted: u64,
+    /// Commands decided (exactly once each).
+    pub commands_decided: u64,
+    /// Commands still pending when the engine stopped.
+    pub pending_at_shutdown: u64,
+    /// Distinct commands proposed in more than one instance.
+    pub reproposed: u64,
+    /// Instances whose fault plan crashed at least one process.
+    pub crashed_instances: u64,
+    /// Instances where at least one process took the early-retire
+    /// fast path.
+    pub retired_instances: u64,
+    /// Instances the watchdog downgraded to `RWS`.
+    pub degraded_instances: u64,
+    /// Per-decided-instance decide latency, in rounds (the outcome's
+    /// latency degree).
+    pub decide_rounds: Vec<u32>,
+    /// Digest of the final replicated KV store.
+    pub kv_digest: u64,
+    /// Instances audited by the background pipeline.
+    pub audit_checked: u64,
+    /// Audited instances that violated the consensus spec.
+    pub audit_violations: u64,
+    /// Audited instances that diverged from the round models.
+    pub audit_divergences: u64,
+    /// Total wall-clock time of the run (human report only).
+    pub elapsed: Duration,
+    /// Per-instance wall-clock durations (human report only).
+    pub instance_wall: Vec<Duration>,
+}
+
+fn percentile(sorted: &[u32], pct: u32) -> u32 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() - 1) * pct as usize / 100;
+    sorted[rank]
+}
+
+fn percentile_ms(sorted: &[Duration], pct: u32) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted.len() - 1) * pct as usize / 100;
+    sorted[rank].as_secs_f64() * 1e3
+}
+
+impl EngineStats {
+    /// Median decide latency over decided instances, in rounds.
+    #[must_use]
+    pub fn decide_rounds_p50(&self) -> u32 {
+        let mut v = self.decide_rounds.clone();
+        v.sort_unstable();
+        percentile(&v, 50)
+    }
+
+    /// 99th-percentile decide latency over decided instances, in
+    /// rounds.
+    #[must_use]
+    pub fn decide_rounds_p99(&self) -> u32 {
+        let mut v = self.decide_rounds.clone();
+        v.sort_unstable();
+        percentile(&v, 99)
+    }
+
+    /// Sum of decide latencies (rounds actually paid for decisions).
+    #[must_use]
+    pub fn decide_rounds_total(&self) -> u64 {
+        self.decide_rounds.iter().map(|&r| u64::from(r)).sum()
+    }
+
+    /// Decided instances per wall-clock second (human report only —
+    /// wall time is not deterministic).
+    #[must_use]
+    pub fn instances_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.decided_instances as f64 / secs
+            }
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the deterministic core as a single JSON object with
+    /// fixed key order. Two runs of the same seeded configuration
+    /// produce byte-identical output; wall-clock and transport
+    /// counters are deliberately excluded (see the module docs).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"algo\":{:?},\"model\":{:?},\"n\":{},\"t\":{},\"seed\":{},\
+             \"instances\":{},\"decided_instances\":{},\"undecided_instances\":{},\
+             \"commands_submitted\":{},\"commands_decided\":{},\"pending_at_shutdown\":{},\
+             \"reproposed\":{},\"crashed_instances\":{},\"retired_instances\":{},\
+             \"degraded_instances\":{},\"decide_rounds_total\":{},\"decide_rounds_p50\":{},\
+             \"decide_rounds_p99\":{},\"kv_digest\":{},\"audit_checked\":{},\
+             \"audit_violations\":{},\"audit_divergences\":{}}}\n",
+            self.algo,
+            self.model,
+            self.n,
+            self.t,
+            self.seed,
+            self.instances,
+            self.decided_instances,
+            self.undecided_instances,
+            self.commands_submitted,
+            self.commands_decided,
+            self.pending_at_shutdown,
+            self.reproposed,
+            self.crashed_instances,
+            self.retired_instances,
+            self.degraded_instances,
+            self.decide_rounds_total(),
+            self.decide_rounds_p50(),
+            self.decide_rounds_p99(),
+            self.kv_digest,
+            self.audit_checked,
+            self.audit_violations,
+            self.audit_divergences,
+        )
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wall = self.instance_wall.clone();
+        wall.sort_unstable();
+        writeln!(
+            f,
+            "{} in {} (n={}, t={}, seed {}): {} instances, {} decided, {} undecided",
+            self.algo,
+            self.model.to_uppercase(),
+            self.n,
+            self.t,
+            self.seed,
+            self.instances,
+            self.decided_instances,
+            self.undecided_instances,
+        )?;
+        writeln!(
+            f,
+            "  commands: {} submitted, {} decided exactly once, {} re-proposed, {} pending at shutdown",
+            self.commands_submitted, self.commands_decided, self.reproposed, self.pending_at_shutdown,
+        )?;
+        writeln!(
+            f,
+            "  faults: {} crashed instances, {} degraded; fast path: {} retired",
+            self.crashed_instances, self.degraded_instances, self.retired_instances,
+        )?;
+        writeln!(
+            f,
+            "  decide latency: p50 {} / p99 {} rounds; {:.1} instances/s \
+             (wall p50 {:.1} ms, p99 {:.1} ms, total {:.2} s)",
+            self.decide_rounds_p50(),
+            self.decide_rounds_p99(),
+            self.instances_per_sec(),
+            percentile_ms(&wall, 50),
+            percentile_ms(&wall, 99),
+            self.elapsed.as_secs_f64(),
+        )?;
+        write!(
+            f,
+            "  audit: {} checked, {} violations, {} divergences; kv digest {:#018x}",
+            self.audit_checked, self.audit_violations, self.audit_divergences, self.kv_digest,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_fixed_shape_and_no_wall_clock() {
+        let mut s = EngineStats {
+            algo: "A1".into(),
+            model: "rs".into(),
+            n: 3,
+            t: 1,
+            seed: 7,
+            instances: 2,
+            decided_instances: 2,
+            decide_rounds: vec![1, 2],
+            elapsed: Duration::from_secs(5),
+            ..EngineStats::default()
+        };
+        let a = s.to_json();
+        s.elapsed = Duration::from_secs(50);
+        s.instance_wall.push(Duration::from_millis(3));
+        let b = s.to_json();
+        assert_eq!(a, b, "wall clock must not leak into the JSON");
+        assert!(a.starts_with("{\"algo\":\"A1\",\"model\":\"rs\""));
+        assert!(a.contains("\"decide_rounds_p50\":1"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn percentiles_on_empty_and_singleton() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[4], 50), 4);
+        let s = EngineStats {
+            decide_rounds: vec![1, 1, 1, 2],
+            ..EngineStats::default()
+        };
+        assert_eq!(s.decide_rounds_p50(), 1);
+        assert_eq!(
+            s.decide_rounds_p99(),
+            1,
+            "nearest rank: floor(0.99 * 3) = 2"
+        );
+        assert_eq!(s.decide_rounds_total(), 5);
+        // With 101 samples the 99th percentile reaches the tail.
+        let mut tail = vec![1u32; 99];
+        tail.extend([7, 9]);
+        let s = EngineStats {
+            decide_rounds: tail,
+            ..EngineStats::default()
+        };
+        assert_eq!(s.decide_rounds_p99(), 7);
+    }
+}

@@ -8,10 +8,9 @@
 use core::fmt;
 
 use ssp_model::{spec::ConsensusViolation, ConsensusOutcome, EventCounts, InitialConfig, Value};
-use ssp_rounds::{CrashSchedule, PendingChoice, RoundAlgorithm};
+use ssp_rounds::{CrashSchedule, PendingChoice};
 
 use crate::metrics::LatencyAggregator;
-use crate::verifier::{RoundModel, Verifier};
 
 /// Which validity flavor to verify.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,68 +110,22 @@ impl<V: Value> Verification<V> {
     }
 }
 
-/// Verifies `algo` against uniform consensus over every `RS` run of the
-/// bounded space (all configs over `domain`, all crash schedules).
-#[deprecated(note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).run()`")]
-#[must_use]
-pub fn verify_rs<V, A>(
-    algo: &A,
-    n: usize,
-    t: usize,
-    domain: &[V],
-    mode: ValidityMode,
-) -> Verification<V>
-where
-    V: Value + Sync,
-    A: RoundAlgorithm<V> + Sync,
-{
-    Verifier::new(algo)
-        .n(n)
-        .t(t)
-        .domain(domain)
-        .mode(mode)
-        .run()
-}
-
-/// Verifies `algo` against uniform consensus over every `RWS` run of
-/// the bounded space (configs × crash schedules × pending choices).
-#[deprecated(
-    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).model(RoundModel::Rws).run()`"
-)]
-#[must_use]
-pub fn verify_rws<V, A>(
-    algo: &A,
-    n: usize,
-    t: usize,
-    domain: &[V],
-    mode: ValidityMode,
-) -> Verification<V>
-where
-    V: Value + Sync,
-    A: RoundAlgorithm<V> + Sync,
-{
-    Verifier::new(algo)
-        .n(n)
-        .t(t)
-        .domain(domain)
-        .mode(mode)
-        .model(RoundModel::Rws)
-        .run()
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated wrappers stay covered until they are removed.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::verifier::{RoundModel, Verifier};
     use ssp_algos::{FloodSet, FloodSetWs, A1};
     use ssp_model::spec::ConsensusViolation;
 
     #[test]
     fn floodset_verified_in_rs() {
         // E3 (small instance): FloodSet solves uniform consensus in RS.
-        let v = verify_rs(&FloodSet, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        let v = Verifier::new(&FloodSet)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Strong)
+            .run();
         assert!(v.runs > 500);
         v.expect_ok();
     }
@@ -180,14 +133,25 @@ mod tests {
     #[test]
     fn a1_verified_in_rs() {
         // Theorem 5.2 (exhaustive, n=3): A1 solves uniform consensus.
-        let v = verify_rs(&A1, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        let v = Verifier::new(&A1)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Strong)
+            .run();
         v.expect_ok();
     }
 
     #[test]
     fn floodset_refuted_in_rws_with_t2() {
         // E4: the checker *finds* the pending-message disagreement.
-        let v = verify_rws(&FloodSet, 3, 2, &[0u64, 1], ValidityMode::Uniform);
+        let v = Verifier::new(&FloodSet)
+            .n(3)
+            .t(2)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Uniform)
+            .model(RoundModel::Rws)
+            .run();
         let cex = v.expect_violation();
         assert!(matches!(
             cex.violation,
@@ -202,7 +166,13 @@ mod tests {
     #[test]
     fn a1_refuted_in_rws() {
         // §5.3: A1 is not uniform in RWS; the checker finds the run.
-        let v = verify_rws(&A1, 3, 1, &[0u64, 1], ValidityMode::Uniform);
+        let v = Verifier::new(&A1)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Uniform)
+            .model(RoundModel::Rws)
+            .run();
         let cex = v.expect_violation();
         assert!(matches!(
             cex.violation,
@@ -213,7 +183,13 @@ mod tests {
     #[test]
     fn floodset_ws_verified_in_rws() {
         // E5 (small instance): FloodSetWS survives every pending choice.
-        let v = verify_rws(&FloodSetWs, 3, 1, &[0u64, 1], ValidityMode::Strong);
+        let v = Verifier::new(&FloodSetWs)
+            .n(3)
+            .t(1)
+            .domain(&[0u64, 1])
+            .mode(ValidityMode::Strong)
+            .model(RoundModel::Rws)
+            .run();
         assert!(v.runs > 1_000);
         v.expect_ok();
     }

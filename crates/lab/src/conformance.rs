@@ -262,6 +262,116 @@ where
     })
 }
 
+/// One repeated-consensus instance, audited after the fact by the
+/// engine's background pipeline.
+#[derive(Debug, Clone)]
+pub struct InstanceAudit {
+    /// Zero-based instance index within the engine run.
+    pub instance: u64,
+    /// Which model the instance is certified against, if any.
+    pub verdict: RunVerdict,
+    /// The consensus-spec violation the instance exhibited, if any.
+    pub violation: Option<String>,
+    /// A disagreement with the round models, if any (always a bug).
+    pub divergence: Option<String>,
+    /// Whether any process took the early-retire fast path. Retired
+    /// traces deliberately stop logging received rounds, so they get
+    /// the spec-level audit instead of full trace replay.
+    pub retired: bool,
+}
+
+impl InstanceAudit {
+    /// No spec violation and no model divergence.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violation.is_none() && self.divergence.is_none()
+    }
+}
+
+/// Audits one consensus instance of a repeated-consensus engine run.
+///
+/// Full-horizon instances go through [`check_threaded_run`] — trace
+/// admissibility, step-model validation, and tick-for-tick replay.
+/// Instances where some process *retired* (the early-close fast path:
+/// burst the remaining sends, skip the remaining receives) cannot be
+/// replayed event-for-event — their logs legitimately stop short — so
+/// they are audited at the spec level instead: the trace must still
+/// validate ([`RunTrace::validate`] knows about retired rounds) and
+/// the outcome must satisfy the consensus spec.
+///
+/// [`RunTrace::validate`]: ssp_runtime::RunTrace::validate
+pub fn audit_instance<V, A>(
+    algo: &A,
+    config: &InitialConfig<V>,
+    t: usize,
+    result: &ThreadedOutcome<V, <A::Process as RoundProcess>::Msg>,
+    mode: ValidityMode,
+    instance: u64,
+) -> InstanceAudit
+where
+    V: Value,
+    A: RoundAlgorithm<V>,
+{
+    let trace = &result.trace;
+    let retired = trace.retired.iter().any(Option::is_some);
+    if !retired {
+        return match check_threaded_run(algo, config, t, result, mode) {
+            Ok(run) => InstanceAudit {
+                instance,
+                verdict: run.verdict,
+                violation: run.violation,
+                divergence: None,
+                retired,
+            },
+            Err(d) => InstanceAudit {
+                instance,
+                verdict: verdict_of(trace, &result.synchrony),
+                violation: check_spec(&result.outcome, mode),
+                divergence: Some(d.to_string()),
+                retired,
+            },
+        };
+    }
+    if trace.aborted {
+        return InstanceAudit {
+            instance,
+            verdict: RunVerdict::Aborted,
+            violation: None,
+            divergence: None,
+            retired,
+        };
+    }
+    let divergence = if result.synchrony.flagged() {
+        None // flagged runs certify nothing; their traces may not validate
+    } else {
+        trace.validate().err().map(|e| e.to_string())
+    };
+    InstanceAudit {
+        instance,
+        verdict: verdict_of(trace, &result.synchrony),
+        violation: check_spec(&result.outcome, mode),
+        divergence,
+        retired,
+    }
+}
+
+fn verdict_of<M>(
+    trace: &ssp_runtime::RunTrace<M>,
+    synchrony: &ssp_runtime::SynchronyReport,
+) -> RunVerdict {
+    if trace.aborted {
+        RunVerdict::Aborted
+    } else if synchrony.flagged() {
+        RunVerdict::SynchronyViolation
+    } else {
+        match trace.degraded_at {
+            Some(at) => RunVerdict::DegradedRws { at },
+            None if trace.rs => RunVerdict::Rs,
+            None => RunVerdict::Rws,
+        }
+    }
+}
+
 /// Greedily minimizes a failing [`FaultPlan`]: repeatedly drops slow
 /// links, then whole crashes (with their slow links), keeping every
 /// change under which `still_fails` holds, until no single removal

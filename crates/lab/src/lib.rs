@@ -41,7 +41,6 @@ pub mod fd_bridge;
 pub mod impossibility;
 pub mod lower_bound;
 pub mod metrics;
-pub mod parallel;
 pub mod report;
 pub mod sample;
 pub mod step_explore;
@@ -49,12 +48,10 @@ pub mod symmetry;
 pub mod time_free;
 pub mod verifier;
 
-#[allow(deprecated)]
-pub use checker::{verify_rs, verify_rws};
 pub use checker::{Counterexample, ValidityMode, Verification};
 pub use conformance::{
-    check_threaded_run, fuzz_runtime, fuzz_runtime_with, shrink_plan, Divergence, FuzzOptions,
-    FuzzReport, RunReport, RunVerdict,
+    audit_instance, check_threaded_run, fuzz_runtime, fuzz_runtime_with, shrink_plan, Divergence,
+    FuzzOptions, FuzzReport, InstanceAudit, RunReport, RunVerdict,
 };
 pub use dls_bridge::{run_adaptive_experiment, AdaptiveHeartbeatProcess, DlsExperiment};
 pub use enumerate::{
@@ -71,11 +68,7 @@ pub use lower_bound::{
     Round1Candidate,
 };
 pub use metrics::{message_complexity_rs, worst_case_rs, LatencyAggregator};
-#[allow(deprecated)]
-pub use parallel::{verify_rs_parallel, verify_rws_parallel};
 pub use report::Table;
-#[allow(deprecated)]
-pub use sample::{sample_verify_rs, sample_verify_rws};
 pub use sample::{SampleSpace, SampleVerification};
 pub use step_explore::{explore_step_runs, StepSpace};
 pub use time_free::reorder_preserving_views;

@@ -1,12 +1,12 @@
 //! Statistical verification for run spaces too large to enumerate.
 //!
 //! Exhaustive checking ([`crate::checker`]) caps out around `n = 4`;
-//! beyond that, [`sample_verify_rs`] / [`sample_verify_rws`] draw
-//! random configurations, crash schedules and pending choices from the
-//! same distributions the commit workloads use, check every sampled
-//! run against the uniform consensus specification, and report either
-//! a clean bill over `trials` runs or the first concrete
-//! counterexample. Deterministic per seed.
+//! beyond that, `Verifier::sample(trials, seed)` draws random
+//! configurations, crash schedules and pending choices from the same
+//! distributions the commit workloads use, checks every sampled run
+//! against the uniform consensus specification, and reports either a
+//! clean bill over `trials` runs or the first concrete counterexample.
+//! Deterministic per seed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -129,45 +129,6 @@ fn check<V: Value>(
     }
 }
 
-/// Samples `trials` `RS` runs of `algo` and checks each.
-#[deprecated(
-    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).sample(trials, seed).run()`"
-)]
-pub fn sample_verify_rs<V, A>(
-    algo: &A,
-    space: &SampleSpace,
-    domain: &[V],
-    trials: u64,
-    seed: u64,
-    mode: ValidityMode,
-) -> SampleVerification<V>
-where
-    V: Value,
-    A: RoundAlgorithm<V>,
-{
-    sample_verify(algo, space, domain, trials, seed, mode, false)
-}
-
-/// Samples `trials` `RWS` runs of `algo` (with pending choices) and
-/// checks each.
-#[deprecated(
-    note = "use `Verifier::new(algo).n(n).t(t).domain(domain).mode(mode).model(RoundModel::Rws).sample(trials, seed).run()`"
-)]
-pub fn sample_verify_rws<V, A>(
-    algo: &A,
-    space: &SampleSpace,
-    domain: &[V],
-    trials: u64,
-    seed: u64,
-    mode: ValidityMode,
-) -> SampleVerification<V>
-where
-    V: Value,
-    A: RoundAlgorithm<V>,
-{
-    sample_verify(algo, space, domain, trials, seed, mode, true)
-}
-
 pub(crate) fn sample_verify<V, A>(
     algo: &A,
     space: &SampleSpace,
@@ -232,22 +193,20 @@ where
 
 #[cfg(test)]
 mod tests {
-    // The deprecated wrappers stay covered until they are removed.
-    #![allow(deprecated)]
-
     use super::*;
     use ssp_algos::{EarlyDeciding, EarlyDecidingWs, FloodSet, FloodSetWs};
 
     #[test]
     fn floodset_ws_clean_at_n5_t2() {
         let space = SampleSpace::adversarial(5, 2);
-        let v = sample_verify_rws(
+        let v = sample_verify(
             &FloodSetWs,
             &space,
             &[0u64, 1, 2],
             2_000,
             7,
             ValidityMode::Strong,
+            true,
         );
         assert_eq!(v.expect_ok(), 2_000);
         assert_eq!(v.latency.capital_lambda(), Some(3), "Λ = t+1 at n=5");
@@ -261,13 +220,14 @@ mod tests {
             crash_prob: 0.6,
             pending_prob: 0.7,
         };
-        let v = sample_verify_rws(
+        let v = sample_verify(
             &FloodSet,
             &space,
             &[0u64, 1],
             20_000,
             11,
             ValidityMode::Uniform,
+            true,
         );
         assert!(
             v.counterexample.is_some(),
@@ -278,13 +238,14 @@ mod tests {
     #[test]
     fn early_deciding_clean_at_n6_t3_in_rs() {
         let space = SampleSpace::adversarial(6, 3);
-        let v = sample_verify_rs(
+        let v = sample_verify(
             &EarlyDeciding,
             &space,
             &[0u64, 1, 2],
             3_000,
             13,
             ValidityMode::Strong,
+            false,
         );
         v.expect_ok();
         assert_eq!(v.latency.capital_lambda(), Some(2), "failure-free f+2");
@@ -293,13 +254,14 @@ mod tests {
     #[test]
     fn early_deciding_ws_clean_at_n5_t3_in_rws() {
         let space = SampleSpace::adversarial(5, 3);
-        let v = sample_verify_rws(
+        let v = sample_verify(
             &EarlyDecidingWs,
             &space,
             &[0u64, 1],
             3_000,
             17,
             ValidityMode::Strong,
+            true,
         );
         v.expect_ok();
         assert_eq!(v.latency.capital_lambda(), Some(3), "failure-free f+3");
@@ -308,21 +270,23 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let space = SampleSpace::adversarial(4, 2);
-        let a = sample_verify_rws(
+        let a = sample_verify(
             &FloodSetWs,
             &space,
             &[0u64, 1],
             200,
             3,
             ValidityMode::Strong,
+            true,
         );
-        let b = sample_verify_rws(
+        let b = sample_verify(
             &FloodSetWs,
             &space,
             &[0u64, 1],
             200,
             3,
             ValidityMode::Strong,
+            true,
         );
         assert_eq!(a.trials, b.trials);
         assert_eq!(a.latency.runs, b.latency.runs);

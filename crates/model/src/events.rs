@@ -593,6 +593,40 @@ impl<M: fmt::Debug> RunLog<M> {
     }
 }
 
+/// A [`RunLog`] tagged with the index of the consensus instance that
+/// produced it — the forensic unit of a repeated-consensus service,
+/// where one engine run yields one log per instance and a post-run
+/// audit cross-checks each of them independently.
+#[derive(Debug, Clone)]
+pub struct TaggedRunLog<M> {
+    /// Zero-based index of the instance within its engine run.
+    pub instance: u64,
+    /// The instance's canonical run log.
+    pub log: RunLog<M>,
+}
+
+impl<M: fmt::Debug> TaggedRunLog<M> {
+    /// Serializes the tagged log as deterministic line-delimited JSON:
+    /// an `{"instance":..,"n":..}` header line, then one event per
+    /// line, in the same format as [`RunLog::to_jsonl`]. Identical
+    /// instances produce byte-identical output, so concatenating the
+    /// tagged logs of a seeded engine run is itself reproducible.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"instance\":{},\"n\":{}}}\n",
+            self.instance,
+            self.log.universe_size()
+        ));
+        for ev in self.log.events() {
+            event_to_json(&mut out, ev);
+            out.push('\n');
+        }
+        out
+    }
+}
+
 fn event_to_json<M: fmt::Debug>(out: &mut String, ev: &RunEvent<M>) {
     match ev {
         RunEvent::Send {

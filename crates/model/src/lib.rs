@@ -55,7 +55,7 @@ pub mod value;
 pub use config::{canonical_full_classes, canonical_value_classes, InitialConfig};
 pub use events::{
     CountingObserver, DeliveryMatrix, Divergence, EventCounts, LogParseError, NullObserver,
-    Observer, RunEvent, RunLog, RunLogObserver, StepStamp,
+    Observer, RunEvent, RunLog, RunLogObserver, StepStamp, TaggedRunLog,
 };
 pub use failure::FailurePattern;
 pub use message::{Buffer, Envelope};

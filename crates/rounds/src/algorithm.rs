@@ -65,6 +65,23 @@ pub trait RoundAlgorithm<V: Value>: fmt::Debug {
     /// decide (e.g. `t + 1` for FloodSet, `2` for `A1`). Executors run
     /// exactly this many rounds.
     fn round_horizon(&self, n: usize, t: usize) -> u32;
+
+    /// Whether a process that has decided may *retire*: burst-send its
+    /// messages for all remaining rounds (computed from its current
+    /// state) and stop receiving, without changing any decision.
+    ///
+    /// An algorithm may return `true` only if, once
+    /// [`RoundProcess::decision`] is `Some`, the process's
+    /// [`RoundProcess::msgs`] for every later round is independent of
+    /// further [`RoundProcess::trans`] calls and its decision register
+    /// never changes. `A1` qualifies (a decider's only remaining duty
+    /// is relaying its decision); the flood family does not (its
+    /// message sets keep absorbing receipts). The threaded runtime's
+    /// *early-close* fast path — the engine's instance pipelining —
+    /// consults this; the lockstep executors ignore it.
+    fn retires_after_decision(&self) -> bool {
+        false
+    }
 }
 
 /// Marker: the algorithm commutes with *monotone* (order-preserving)

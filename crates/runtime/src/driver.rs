@@ -236,6 +236,15 @@ pub struct RuntimeConfig {
     /// (see [`crate::fd::Oracle::scripted`]). Only meaningful with
     /// [`FdFlavor::Oracle`]; [`crate::FaultPlan`] fills this in.
     pub notify_script: Option<Vec<Vec<Duration>>>,
+    /// Early-close fast path: a process that has decided burst-sends
+    /// its remaining rounds and retires instead of waiting them out.
+    /// Only effective when the algorithm declares
+    /// [`ssp_rounds::RoundAlgorithm::retires_after_decision`]; the
+    /// engine's instance pipelining turns this on so `A1`'s round-1
+    /// decisions translate into shorter instances. Retired rounds are
+    /// recorded in [`RunTrace::retired`] and excluded from full
+    /// trace-replay conformance.
+    pub early_close: bool,
 }
 
 impl RuntimeConfig {
@@ -257,6 +266,7 @@ impl RuntimeConfig {
             watchdog: WatchdogConfig::default(),
             round_timeout: Duration::from_secs(20),
             notify_script: None,
+            early_close: false,
         }
     }
 
@@ -276,6 +286,7 @@ impl RuntimeConfig {
             watchdog: WatchdogConfig::default(),
             round_timeout: Duration::from_secs(20),
             notify_script: None,
+            early_close: false,
         }
     }
 
@@ -304,6 +315,15 @@ impl RuntimeConfig {
     #[must_use]
     pub fn with_degrade(mut self, degrade: DegradeMode) -> Self {
         self.watchdog.degrade = degrade;
+        self
+    }
+
+    /// Enables (or disables) the early-close fast path. No-op unless
+    /// the algorithm declares
+    /// [`ssp_rounds::RoundAlgorithm::retires_after_decision`].
+    #[must_use]
+    pub fn with_early_close(mut self, on: bool) -> Self {
+        self.early_close = on;
         self
     }
 
@@ -395,6 +415,7 @@ struct ProcessReturn<V, M> {
     input: V,
     decision: Option<(V, Round)>,
     crashed_in: Option<Round>,
+    retired: Option<Round>,
     pending_seen: u64,
     log: Vec<RoundObs<M>>,
 }
@@ -429,6 +450,10 @@ struct WorkerEnv<M> {
     stall: Option<Stall>,
     policy: SyncPolicy,
     round_timeout: Duration,
+    /// Early-close enabled *and* the algorithm declared itself
+    /// retire-capable: a decided worker bursts its remaining rounds
+    /// and stops receiving.
+    retire: bool,
 }
 
 /// Runs `algo` on real threads. Returns the assembled outcome; a
@@ -484,6 +509,7 @@ where
     let n = config.n();
     runtime.validate(n)?;
     let horizon = algo.round_horizon(n, t);
+    let retire = runtime.early_close && algo.retires_after_decision();
     let rs = matches!(runtime.policy, SyncPolicy::Rs { .. });
     let monitor = if rs {
         SynchronyMonitor::armed(runtime.effective_delta(), runtime.watchdog.degrade)
@@ -538,6 +564,7 @@ where
             stall: runtime.stalls[me.index()],
             policy: runtime.policy,
             round_timeout: runtime.round_timeout,
+            retire,
         };
         handles.push(
             std::thread::Builder::new()
@@ -552,6 +579,7 @@ where
     let mut pending_total = 0;
     let mut logs = Vec::with_capacity(n);
     let mut crash_rounds = Vec::with_capacity(n);
+    let mut retired_rounds = Vec::with_capacity(n);
     for h in handles {
         let r: ProcessReturn<V, <A::Process as RoundProcess>::Msg> =
             h.join().expect("worker thread panicked");
@@ -559,6 +587,7 @@ where
         logs.push(r.log);
         // Clamp post-horizon crash rounds to the round-model limit.
         crash_rounds.push(r.crashed_in.map(|c| c.min(Round::new(horizon + 1))));
+        retired_rounds.push(r.retired);
         outcomes.push(ProcessOutcome {
             input: r.input,
             decision: r.decision,
@@ -579,6 +608,7 @@ where
             rs,
             logs,
             crashes: crash_rounds,
+            retired: retired_rounds,
             degraded_at: synchrony.degraded_at,
             aborted: synchrony.aborted,
             net: net_stats,
@@ -612,6 +642,7 @@ where
         stall,
         policy: base_policy,
         round_timeout,
+        retire,
     } = env;
     let crash_now = |_r: u32| {
         ledger.mark(me);
@@ -636,11 +667,90 @@ where
                 input,
                 decision: proc_.decision(),
                 crashed_in: None,
+                retired: None,
                 pending_seen,
                 log,
             };
         }
         board.beat(me);
+        // --- early-close fast path ---
+        // A decided process of a retire-capable algorithm bursts its
+        // wires for every remaining round (their content is fixed by
+        // the decided state) and stops receiving: the instance is over
+        // for it, which is what lets the engine start the next one
+        // sooner. The scripted crash still applies mid-burst, so fault
+        // plans keep their bite under early close.
+        if retire && proc_.decision().is_some() {
+            let retired = Some(Round::new(r));
+            for rr in r..=horizon {
+                board.beat(me);
+                let mut sent: Vec<Option<Option<P::Msg>>> = vec![None; n];
+                for (slot, q) in all_processes(n).enumerate() {
+                    if let Some(c) = crash {
+                        if c.round == rr && slot >= c.after_sends {
+                            crash_now(rr);
+                            log.push(RoundObs {
+                                sent,
+                                received: None,
+                            });
+                            return ProcessReturn {
+                                input,
+                                decision: proc_.decision(),
+                                crashed_in: Some(Round::new(rr)),
+                                retired,
+                                pending_seen,
+                                log,
+                            };
+                        }
+                    }
+                    let payload = proc_.msgs(Round::new(rr), q);
+                    sent[q.index()] = Some(payload.clone());
+                    if q != me {
+                        tx.send(me, q, RoundWire { round: rr, payload });
+                    }
+                }
+                if let Some(c) = crash {
+                    if c.round == rr && c.after_sends >= n {
+                        crash_now(rr);
+                        log.push(RoundObs {
+                            sent,
+                            received: None,
+                        });
+                        return ProcessReturn {
+                            input,
+                            decision: proc_.decision(),
+                            crashed_in: Some(Round::new(rr)),
+                            retired,
+                            pending_seen,
+                            log,
+                        };
+                    }
+                }
+                log.push(RoundObs {
+                    sent,
+                    received: None,
+                });
+            }
+            let crashed_in = crash.and_then(|c| {
+                (c.round > horizon).then(|| {
+                    crash_now(c.round);
+                    Round::new(c.round)
+                })
+            });
+            if crashed_in.is_none() {
+                // One last beat so laggards don't suspect us while
+                // they wait out our burst wires.
+                board.beat(me);
+            }
+            return ProcessReturn {
+                input,
+                decision: proc_.decision(),
+                crashed_in,
+                retired,
+                pending_seen,
+                log,
+            };
+        }
         // --- send phase ---
         let mut sent: Vec<Option<Option<P::Msg>>> = vec![None; n];
         let mut self_payload: Option<Option<P::Msg>> = None;
@@ -656,6 +766,7 @@ where
                         input,
                         decision: proc_.decision(),
                         crashed_in: Some(Round::new(r)),
+                        retired: None,
                         pending_seen,
                         log,
                     };
@@ -682,6 +793,7 @@ where
                     input,
                     decision: proc_.decision(),
                     crashed_in: Some(Round::new(r)),
+                    retired: None,
                     pending_seen,
                     log,
                 };
@@ -714,6 +826,7 @@ where
                     input,
                     decision: proc_.decision(),
                     crashed_in: None,
+                    retired: None,
                     pending_seen,
                     log,
                 };
@@ -775,6 +888,7 @@ where
                     input,
                     decision: proc_.decision(),
                     crashed_in: None,
+                    retired: None,
                     pending_seen,
                     log,
                 };
@@ -822,6 +936,7 @@ where
         input,
         decision: proc_.decision(),
         crashed_in,
+        retired: None,
         pending_seen,
         log,
     }
@@ -926,6 +1041,55 @@ mod tests {
         );
         let result = run_threaded(&FloodSetWs, &config, 1, runtime);
         check_uniform_consensus(&result.outcome).unwrap();
+    }
+
+    #[test]
+    fn early_close_retires_round_1_deciders() {
+        let config = InitialConfig::new(vec![4u64, 9, 2]);
+        let runtime = RuntimeConfig::ss_flavor(3, 42).with_early_close(true);
+        let result = run_threaded(&A1, &config, 1, runtime);
+        check_uniform_consensus_strong(&result.outcome).unwrap();
+        assert_eq!(result.outcome.latency_degree(), Some(1));
+        // Everyone decided in round 1, burst its round-2 relay, and
+        // retired at the start of round 2 — without ever waiting for
+        // the relays of the others.
+        assert_eq!(
+            result.trace.retired,
+            vec![Some(Round::new(2)); 3],
+            "all three retire at round 2"
+        );
+        result.trace.validate().unwrap();
+    }
+
+    #[test]
+    fn early_close_is_a_no_op_for_non_retiring_algorithms() {
+        let config = InitialConfig::new(vec![0u64, 3, 5]);
+        let runtime = RuntimeConfig::ss_flavor(3, 7).with_early_close(true);
+        let result = run_threaded(&FloodSet, &config, 1, runtime);
+        check_uniform_consensus_strong(&result.outcome).unwrap();
+        assert!(result.trace.retired.iter().all(Option::is_none));
+        result.trace.validate().unwrap();
+    }
+
+    #[test]
+    fn early_close_crash_mid_burst_is_still_a_crash() {
+        let config = InitialConfig::new(vec![4u64, 9, 2]);
+        let runtime = RuntimeConfig::ss_flavor(3, 5)
+            .with_early_close(true)
+            .with_crash(
+                p(0),
+                ThreadCrash {
+                    round: 2,
+                    after_sends: 1,
+                },
+            );
+        let result = run_threaded(&A1, &config, 1, runtime);
+        // p0 decided in round 1, retired, and died one send into its
+        // round-2 relay burst — recorded as both retired and crashed.
+        assert_eq!(result.outcome.outcome(p(0)).crashed_in, Some(Round::new(2)));
+        assert_eq!(result.trace.retired[0], Some(Round::new(2)));
+        check_uniform_consensus_strong(&result.outcome).unwrap();
+        result.trace.validate().unwrap();
     }
 
     #[test]

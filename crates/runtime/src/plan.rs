@@ -337,6 +337,7 @@ impl FaultPlan {
                 watchdog,
                 round_timeout: Duration::from_secs(20),
                 notify_script: None,
+                early_close: false,
             },
             PlanModel::Rws => RuntimeConfig {
                 net,
@@ -350,6 +351,7 @@ impl FaultPlan {
                 watchdog,
                 round_timeout: Duration::from_secs(20),
                 notify_script: Some(self.notify.clone()),
+                early_close: false,
             },
         }
     }

@@ -33,15 +33,13 @@
 use core::fmt;
 use std::collections::BTreeMap;
 
+use crate::net::NetStats;
 use ssp_model::events::{DeliveryMatrix, StepStamp};
 use ssp_model::{ProcessId, ProcessSet, Round, RunEvent, RunLog, StepIndex, Time};
 use ssp_rounds::{
     validate_pending, CrashSchedule, PendingChoice, PendingError, RoundCrash, RoundRecord,
     RoundTrace,
 };
-use ssp_sim::Trace;
-
-use crate::net::NetStats;
 
 /// One process's observation of one round.
 ///
@@ -194,6 +192,14 @@ pub struct RunTrace<M> {
     /// Crash rounds, clamped to `horizon + 1` (the round-model limit
     /// for "decide then crash").
     pub crashes: Vec<Option<Round>>,
+    /// `retired[p]` — the round at whose start process `p` *retired*
+    /// under the early-close fast path: already decided, it burst-sent
+    /// its wires for every remaining round and stopped receiving (see
+    /// [`crate::RuntimeConfig::early_close`]). Its log still covers the
+    /// full horizon, but rounds at or after the retire round record
+    /// `received: None` without a crash. `None` for processes that ran
+    /// every round to completion.
+    pub retired: Vec<Option<Round>>,
     /// The round in which the synchrony watchdog downgraded the run to
     /// `RWS` semantics, if it did. A degraded run validates under the
     /// `RWS` discipline regardless of [`Self::rs`].
@@ -382,10 +388,12 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
     /// Certifies that the trace is an admissible run of its model.
     ///
     /// Checks, in order: log shapes against crash rounds; round
-    /// completeness; message integrity (each received cell equals the
-    /// matching sent cell); detector accuracy (a round closed without
-    /// a wire only when the sender crashed); and the pending-message
-    /// discipline — none under `RS`, Lemma 4.1 under `RWS`.
+    /// completeness (a round may stay open only in its owner's crash
+    /// round or at/after its owner's retire round); message integrity
+    /// (each received cell equals the matching sent cell); detector
+    /// accuracy (a round closed without a wire only when the sender
+    /// crashed); and the pending-message discipline — none under `RS`,
+    /// Lemma 4.1 under `RWS`.
     ///
     /// Whether the run still holds its `RS` claim: executed under `RS`
     /// and never degraded.
@@ -417,7 +425,8 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
             for (ri, obs) in self.logs[p].iter().enumerate() {
                 let round = Round::new(ri as u32 + 1);
                 let in_crash_round = self.crashes[p].is_some_and(|c| c.get() as usize == ri + 1);
-                if obs.received.is_none() && !in_crash_round {
+                let retired = self.retired[p].is_some_and(|rr| rr.get() as usize <= ri + 1);
+                if obs.received.is_none() && !in_crash_round && !retired {
                     return Err(RunTraceError::IncompleteRound {
                         process: pid,
                         round,
@@ -471,21 +480,6 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
             validate_pending(&self.schedule(), &pending)?;
         }
         Ok(())
-    }
-
-    /// Exports the run as an `ssp-sim` step trace — the deprecated
-    /// view form of [`RunTrace::step_log`]; prefer that and
-    /// [`Trace::from_run_log`] in new code.
-    ///
-    /// # Errors
-    ///
-    /// As for [`RunTrace::step_log`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RunTrace::step_log and Trace::from_run_log instead"
-    )]
-    pub fn to_step_trace(&self) -> Result<Trace<Option<M>>, RunTraceError> {
-        Ok(Trace::from_run_log(&self.step_log()?))
     }
 
     /// Exports the run as a canonical *step-level* [`RunLog`]: one
@@ -720,15 +714,21 @@ impl<M: Clone + fmt::Debug + PartialEq> RunTrace<M> {
 
 impl<M: Clone + fmt::Debug + PartialEq> fmt::Display for RunTrace<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let retired = self.retired.iter().filter(|r| r.is_some()).count();
         writeln!(
             f,
-            "run trace (n={} horizon={} model={}{}{})",
+            "run trace (n={} horizon={} model={}{}{}{})",
             self.n,
             self.horizon,
             if self.rs { "RS" } else { "RWS" },
             match self.degraded_at {
                 Some(r) => format!(" degraded@{r}"),
                 None => String::new(),
+            },
+            if retired > 0 {
+                format!(" retired={retired}")
+            } else {
+                String::new()
             },
             if self.aborted { " ABORTED" } else { "" },
         )?;
@@ -753,6 +753,7 @@ impl<M: Clone + fmt::Debug + PartialEq> fmt::Display for RunTrace<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ssp_sim::Trace;
 
     fn obs(
         sent: Vec<Option<Option<u64>>>,
@@ -778,6 +779,7 @@ mod tests {
                 )],
             ],
             crashes: vec![None, None],
+            retired: vec![None, None],
             degraded_at: None,
             aborted: false,
             net: NetStats::default(),
@@ -802,6 +804,7 @@ mod tests {
                 )],
             ],
             crashes: vec![Some(Round::new(2)), None],
+            retired: vec![None, None],
             degraded_at: None,
             aborted: false,
             net: NetStats::default(),
@@ -832,6 +835,21 @@ mod tests {
         let steps = Trace::from_run_log(&t.step_log().unwrap());
         // The pending wire is flushed to the correct receiver at the end.
         ssp_sim::validate_basic(&steps).unwrap();
+    }
+
+    #[test]
+    fn retired_rounds_may_stay_open() {
+        // An open round is inadmissible for a running process…
+        let mut t = clean_trace();
+        t.logs[0][0].received = None;
+        assert!(matches!(
+            t.validate(),
+            Err(RunTraceError::IncompleteRound { .. })
+        ));
+        // …but fine at/after the owner's retire round.
+        t.retired[0] = Some(Round::FIRST);
+        t.validate().unwrap();
+        assert!(t.to_string().contains("retired=1"), "{t}");
     }
 
     #[test]

@@ -49,3 +49,41 @@ if [ "$WITHIN" != "true" ]; then
     echo "error: NullObserver throughput regressed more than 5%" >&2
     exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# Engine service throughput: the same failure-free closed-loop workload
+# served by A1 in RS (Λ = 1, early retire) and CtRounds in RWS
+# (Λ = t + 1). Theorem 5.2 compounds across instances, so RS must come
+# out strictly faster; BENCH_PR5.json records the measured ordering.
+
+ENGINE_OUT=BENCH_PR5.json
+
+echo "== engine_throughput bench (release) =="
+ENGINE_LOG=$(cargo bench -p ssp-bench --bench engine_throughput 2>&1 | tee /dev/stderr)
+
+ENGINE_SNAPSHOT=$(printf '%s\n' "$ENGINE_LOG" | grep -o 'SNAPSHOT {.*}' | head -n1 | cut -d' ' -f2-)
+if [ -z "$ENGINE_SNAPSHOT" ]; then
+    echo "error: no SNAPSHOT line in engine_throughput output" >&2
+    exit 1
+fi
+
+RS_IPS=$(printf '%s' "$ENGINE_SNAPSHOT" | grep -o '"rs_instances_per_sec":[0-9]*' | grep -o '[0-9]*$')
+RWS_IPS=$(printf '%s' "$ENGINE_SNAPSHOT" | grep -o '"rws_instances_per_sec":[0-9]*' | grep -o '[0-9]*$')
+SPEEDUP=$(awk "BEGIN { printf \"%.4f\", $RS_IPS / $RWS_IPS }")
+RS_FASTER=$(awk "BEGIN { print ($RS_IPS > $RWS_IPS) ? \"true\" : \"false\" }")
+
+cat > "$ENGINE_OUT" <<EOF
+{
+  "pr": 5,
+  "claim": "failure-free service throughput: A1 in RS strictly above the RWS baseline (Theorem 5.2 compounded)",
+  "measured": $ENGINE_SNAPSHOT,
+  "rs_over_rws_speedup": $SPEEDUP,
+  "rs_strictly_faster": $RS_FASTER
+}
+EOF
+
+echo "== wrote $ENGINE_OUT (RS $RS_IPS vs RWS $RWS_IPS instances/s, speedup $SPEEDUP) =="
+if [ "$RS_FASTER" != "true" ]; then
+    echo "error: RS service throughput did not beat the RWS baseline" >&2
+    exit 1
+fi

@@ -30,6 +30,7 @@
 //! | [`lab`] | exhaustive checking, latency metrics, impossibility |
 //! | [`runtime`] | threads + channels: the models in wall-clock form |
 //! | [`commit`] | atomic commit and the commit-rate experiment |
+//! | [`engine`] | replicated state machine: repeated consensus as a service |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@
 
 pub use ssp_algos as algos;
 pub use ssp_commit as commit;
+pub use ssp_engine as engine;
 pub use ssp_fd as fd;
 pub use ssp_lab as lab;
 pub use ssp_model as model;

@@ -10,18 +10,20 @@
 //! ssp emulation [-n N] [--phi F] [--delta D] [-r R] §4.1 step budgets
 //! ssp runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T]
 //! ssp trace-dump [<algo> <rs|rws>] [--seed S] [--out F] | --diff F1 F2
+//! ssp serve     <algo> [rs|rws] [--clients K] [--instances I] [--seed S] [--chaos ...]
 //! ```
 //!
 //! Algorithms: `floodset`, `floodset-ws`, `c-opt`, `c-opt-ws`, `f-opt`,
-//! `f-opt-ws`, `a1`, `early`, `early-ws`.
+//! `f-opt-ws`, `a1`, `ct`, `early`, `early-ws`.
 
 use std::process::ExitCode;
 
 use ssp::algos::{
-    COptFloodSet, COptFloodSetWs, EarlyDeciding, EarlyDecidingWs, FOptFloodSet, FOptFloodSetWs,
-    FloodSet, FloodSetWs, A1,
+    COptFloodSet, COptFloodSetWs, CtRounds, EarlyDeciding, EarlyDecidingWs, FOptFloodSet,
+    FOptFloodSetWs, FloodSet, FloodSetWs, A1,
 };
 use ssp::commit::{commit_rate_experiment, CommitWorkload};
+use ssp::engine::{serve, EngineConfig, FaultMode, Workload, WorkloadConfig};
 use ssp::fd::classify;
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::report::Table;
@@ -37,7 +39,7 @@ use ssp::runtime::{
 };
 
 /// Flags that take no value: their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["chaos", "delta-violation"];
+const BOOLEAN_FLAGS: &[&str] = &["chaos", "delta-violation", "failure-free"];
 
 /// Minimal flag parser: `--key value` / `--key=value` / `-k value`
 /// pairs after the positional arguments, plus valueless boolean flags
@@ -154,6 +156,10 @@ macro_rules! with_algo {
                 let $algo = A1;
                 Ok($body)
             }
+            "ct" => {
+                let $algo = CtRounds;
+                Ok($body)
+            }
             "early" => {
                 let $algo = EarlyDeciding;
                 Ok($body)
@@ -163,7 +169,7 @@ macro_rules! with_algo {
                 Ok($body)
             }
             other => Err(format!(
-                "unknown algorithm {other:?} (try: floodset, floodset-ws, c-opt, c-opt-ws, f-opt, f-opt-ws, a1, early, early-ws)"
+                "unknown algorithm {other:?} (try: floodset, floodset-ws, c-opt, c-opt-ws, f-opt, f-opt-ws, a1, ct, early, early-ws)"
             )),
         }
     };
@@ -211,8 +217,12 @@ macro_rules! with_symmetric_algo {
                 "a1 is not process-symmetric (p1/p2 play fixed roles); use --sym values or --sym off"
                     .to_string(),
             ),
+            "ct" => Err(
+                "ct is not process-symmetric (coordinators rotate by rank); use --sym values or --sym off"
+                    .to_string(),
+            ),
             other => Err(format!(
-                "unknown algorithm {other:?} (try: floodset, floodset-ws, c-opt, c-opt-ws, f-opt, f-opt-ws, a1, early, early-ws)"
+                "unknown algorithm {other:?} (try: floodset, floodset-ws, c-opt, c-opt-ws, f-opt, f-opt-ws, a1, ct, early, early-ws)"
             )),
         }
     };
@@ -715,6 +725,72 @@ fn diff_dumped_logs(left_path: &str, right_path: &str) -> Result<(), String> {
     }
 }
 
+/// `ssp serve`: the replicated state-machine service — an unbounded
+/// sequence of consensus instances over the threaded runtime, driven
+/// by a seeded closed-loop workload, audited in the background.
+/// Exits nonzero if any instance fails its audit.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    const USAGE: &str = "usage: ssp serve <algo> [rs|rws] [-n N] [-t T] [--clients K] \
+                         [--instances I] [--seed S] [--batch B] [--keys K] [--skew Z] \
+                         [--failure-free] [--chaos] [--loss P] [--dup P] [--reorder P] \
+                         [--degrade=rws|abort|off] [--drain MS] [--stats-out FILE] [--logs-out FILE]";
+    let algo_name = flags.positional.get(1).ok_or(USAGE)?.as_str();
+    let model = match flags.positional.get(2).map_or("rs", String::as_str) {
+        "rs" => PlanModel::Rs,
+        "rws" => PlanModel::Rws,
+        other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    };
+    let n = flags.usize_or("n", 3)?;
+    let t = flags.usize_or("t", 1)?;
+    if n == 0 || t >= n {
+        return Err(format!("need 0 ≤ t < n, got n={n}, t={t}"));
+    }
+    let mut cfg = EngineConfig::new(n, t, model);
+    cfg.instances = flags.u64_or("instances", 50)?;
+    cfg.seed = flags.u64_or("seed", 1)?;
+    cfg.batch_max = flags.usize_or("batch", 8)?;
+    if flags.is_set("failure-free") {
+        cfg.faults = FaultMode::FailureFree;
+    }
+    cfg.chaos = parse_chaos(flags)?;
+    cfg.degrade = parse_degrade(flags)?;
+    if flags.is_set("drain") {
+        // Routed into the runtime's typed validation: a drain below the
+        // network's worst transport delay is a ConfigError, not a hang.
+        cfg.drain = Some(std::time::Duration::from_millis(flags.u64_or("drain", 0)?));
+    }
+    let mut wcfg = WorkloadConfig::new(flags.usize_or("clients", 16)?);
+    wcfg.keys =
+        u32::try_from(flags.u64_or("keys", 64)?).map_err(|_| "--keys: too large".to_string())?;
+    wcfg.skew = flags.f64_or("skew", 1.0)?;
+    let mut workload = Workload::new(cfg.seed, wcfg);
+    // The report's log type depends on the algorithm's message type, so
+    // render everything inside the monomorphized body.
+    let (stats, logs_jsonl) = with_algo!(algo_name, algo => {
+        let report = serve(&algo, &cfg, &mut workload)
+            .map_err(|e| format!("invalid runtime configuration: {e}"))?;
+        let mut logs = String::new();
+        for log in &report.logs {
+            logs.push_str(&log.to_jsonl());
+        }
+        (report.stats, logs)
+    })?;
+    println!("{stats}");
+    if let Some(path) = flags.get("stats-out") {
+        std::fs::write(path, stats.to_json()).map_err(|e| format!("--stats-out {path}: {e}"))?;
+    }
+    if let Some(path) = flags.get("logs-out") {
+        std::fs::write(path, logs_jsonl).map_err(|e| format!("--logs-out {path}: {e}"))?;
+    }
+    if stats.audit_violations > 0 || stats.audit_divergences > 0 {
+        return Err(format!(
+            "audit failed: {} spec violations, {} divergences over {} audited instances",
+            stats.audit_violations, stats.audit_divergences, stats.audit_checked
+        ));
+    }
+    Ok(())
+}
+
 const USAGE: &str = "usage: ssp <command> [options]
 
 commands:
@@ -739,8 +815,17 @@ commands:
              print the canonical run log as line-delimited JSON (default
              seed: the §5.3 anomaly), or report the first divergent
              event between two dumped logs (exit 1 if they differ)
+  serve      <algo> [rs|rws] [-n N] [-t T] [--clients K] [--instances I] [--seed S]
+             [--batch B] [--keys K] [--skew Z] [--failure-free]
+             [--chaos] [--loss P] [--dup P] [--reorder P] [--degrade=rws|abort|off]
+             [--drain MS] [--stats-out FILE] [--logs-out FILE]
+             replicated state-machine service: repeated consensus instances
+             over the threaded runtime under a seeded closed-loop workload,
+             every instance audited against the round models in the
+             background (exit 1 on any violation); deterministic stats JSON
+             via --stats-out, per-instance run logs via --logs-out
 
-algorithms: floodset floodset-ws c-opt c-opt-ws f-opt f-opt-ws a1 early early-ws";
+algorithms: floodset floodset-ws c-opt c-opt-ws f-opt f-opt-ws a1 ct early early-ws";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let flags = parse_args(args)?;
@@ -754,6 +839,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("emulation") => cmd_emulation(&flags),
         Some("runtime-fuzz") => cmd_runtime_fuzz(&flags),
         Some("trace-dump") => cmd_trace_dump(&flags),
+        Some("serve") => cmd_serve(&flags),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -946,6 +1032,51 @@ mod tests {
         assert!(dispatch(&argv("trace-dump floodset ws")).is_err());
         assert!(dispatch(&argv("trace-dump floodset rs -n 3 -t 3")).is_err());
         assert!(dispatch(&argv("trace-dump --diff /nonexistent-ssp-log")).is_err());
+    }
+
+    #[test]
+    fn serve_smoke_failure_free() {
+        dispatch(&argv(
+            "serve a1 rs --clients 4 --instances 3 --seed 7 --failure-free",
+        ))
+        .unwrap();
+        dispatch(&argv(
+            "serve ct rws --clients 4 --instances 3 --seed 7 --failure-free",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_input() {
+        assert!(dispatch(&argv("serve")).is_err());
+        assert!(dispatch(&argv("serve a1 ws")).is_err());
+        assert!(dispatch(&argv("serve a1 rs -n 3 -t 3")).is_err());
+        // An undersized drain is a typed ConfigError, reported before
+        // any instance runs — never a hang.
+        let err =
+            dispatch(&argv("serve a1 rs --instances 2 --failure-free --drain 1")).unwrap_err();
+        assert!(err.contains("invalid runtime configuration"), "{err}");
+        assert!(err.contains("drain"), "{err}");
+    }
+
+    #[test]
+    fn serve_stats_out_is_deterministic() {
+        let dir = std::env::temp_dir();
+        let a = dir.join("ssp-serve-stats-a.json");
+        let b = dir.join("ssp-serve-stats-b.json");
+        let (a_s, b_s) = (a.to_str().unwrap(), b.to_str().unwrap());
+        for path in [a_s, b_s] {
+            dispatch(&argv(&format!(
+                "serve a1 rs --clients 6 --instances 4 --seed 11 --loss 0.2 --stats-out {path}"
+            )))
+            .unwrap();
+        }
+        let left = std::fs::read_to_string(&a).unwrap();
+        assert_eq!(left, std::fs::read_to_string(&b).unwrap());
+        assert!(left.contains("\"audit_violations\":0"), "{left}");
+        for p in [a, b] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]
