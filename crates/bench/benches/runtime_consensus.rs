@@ -1,29 +1,43 @@
 //! E12 — wall-clock uniform consensus on the threaded runtime, SS vs
-//! SP flavours, with and without crashes.
+//! SP flavours, with and without crashes, on both clock backends (the
+//! virtual/real seeds-per-second ratio is the E21 headline number).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssp_algos::{FloodSet, A1};
 use ssp_model::{check_uniform_consensus_strong, InitialConfig, ProcessId};
-use ssp_runtime::{run_threaded, RuntimeConfig, ThreadCrash};
+use ssp_runtime::{Backend, RuntimeBuilder, RuntimeConfig, ThreadCrash};
 
 fn bench(c: &mut Criterion) {
     // Shape checks.
     let config = InitialConfig::new(vec![3u64, 1, 2]);
-    let r = run_threaded(&A1, &config, 1, RuntimeConfig::ss_flavor(3, 5));
+    let r = RuntimeBuilder::new(&A1, &config)
+        .runtime(RuntimeConfig::ss_flavor(3, 5))
+        .run()
+        .unwrap();
     check_uniform_consensus_strong(&r.outcome).unwrap();
     assert_eq!(r.outcome.latency_degree(), Some(1));
 
     let mut group = c.benchmark_group("runtime_consensus");
     group.sample_size(10);
-    for n in [3usize, 5, 8] {
-        group.bench_with_input(BenchmarkId::new("a1_ss_flavor", n), &n, |b, &n| {
-            let config = InitialConfig::new((0..n as u64).collect());
-            b.iter(|| {
-                let r = run_threaded(&A1, &config, 1, RuntimeConfig::ss_flavor(n, 5));
-                assert!(r.outcome.all_correct_decided());
-                r.elapsed
-            })
-        });
+    for backend in [Backend::Virtual, Backend::Real] {
+        for n in [3usize, 5, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("a1_ss_flavor_{backend}"), n),
+                &n,
+                |b, &n| {
+                    let config = InitialConfig::new((0..n as u64).collect());
+                    b.iter(|| {
+                        let r = RuntimeBuilder::new(&A1, &config)
+                            .runtime(RuntimeConfig::ss_flavor(n, 5))
+                            .backend(backend)
+                            .run()
+                            .unwrap();
+                        assert!(r.outcome.all_correct_decided());
+                        r.elapsed
+                    })
+                },
+            );
+        }
     }
     group.bench_function("floodset_ss_flavor_crash_n4_t2", |b| {
         let config = InitialConfig::new(vec![9u64, 0, 4, 7]);
@@ -35,7 +49,11 @@ fn bench(c: &mut Criterion) {
                     after_sends: 2,
                 },
             );
-            let r = run_threaded(&FloodSet, &config, 2, runtime);
+            let r = RuntimeBuilder::new(&FloodSet, &config)
+                .t(2)
+                .runtime(runtime)
+                .run()
+                .unwrap();
             assert!(r.outcome.all_correct_decided());
             r.elapsed
         })
@@ -43,7 +61,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("a1_sp_flavor_n3", |b| {
         let config = InitialConfig::new(vec![3u64, 1, 2]);
         b.iter(|| {
-            let r = run_threaded(&A1, &config, 1, RuntimeConfig::sp_flavor(3, 5));
+            let r = RuntimeBuilder::new(&A1, &config)
+                .runtime(RuntimeConfig::sp_flavor(3, 5))
+                .run()
+                .unwrap();
             assert!(r.outcome.all_correct_decided());
             r.elapsed
         })

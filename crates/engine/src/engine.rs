@@ -6,9 +6,10 @@
 //! enqueues new client commands, (2) builds staggered per-process
 //! proposals from the pending queue, (3) derives the instance's fault
 //! plan from `(engine seed, instance index)` and executes the
-//! algorithm through [`run_threaded_checked`] — a clean network spawn
-//! and shutdown per instance — with the early-retire fast path
-//! enabled, (4) commits the decided batch exactly once and
+//! algorithm through [`RuntimeBuilder`] — a clean network spawn and
+//! shutdown per instance, on the configured clock backend — with the
+//! early-retire fast path enabled, (4) commits the decided batch
+//! exactly once and
 //! acknowledges its clients, and (5) ships the full
 //! [`ThreadedOutcome`] to a background audit thread that overlaps
 //! certification ([`audit_instance`]) with the *next* instance's
@@ -27,7 +28,7 @@ use ssp_lab::{audit_instance, InstanceAudit, ValidityMode};
 use ssp_model::{InitialConfig, TaggedRunLog};
 use ssp_rounds::{RoundAlgorithm, RoundProcess};
 use ssp_runtime::{
-    run_threaded_checked, ChaosConfig, ConfigError, DegradeMode, FaultPlan, PlanModel,
+    Backend, ChaosConfig, ConfigError, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder,
     RuntimeConfig, SyncPolicy, ThreadCrash, ThreadedOutcome,
 };
 
@@ -93,6 +94,10 @@ pub struct EngineConfig {
     /// so an inadequate drain is a [`ConfigError`], not a forfeited
     /// round-synchrony guarantee.
     pub drain: Option<Duration>,
+    /// Clock backend the instances run on (default
+    /// [`Backend::Virtual`]: discrete-event time, thousands of
+    /// instances per second, byte-identical deterministic core).
+    pub backend: Backend,
     /// Stop as soon as a budgeted workload has drained and every
     /// submitted command is decided (instead of running the full
     /// instance budget).
@@ -101,7 +106,7 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Defaults: seeded faults, no chaos, uniform validity, batch cap
-    /// 8, early close on.
+    /// 8, early close on, virtual clock backend.
     #[must_use]
     pub fn new(n: usize, t: usize, model: PlanModel) -> Self {
         EngineConfig {
@@ -118,6 +123,7 @@ impl EngineConfig {
             early_close: true,
             validity: ValidityMode::Uniform,
             drain: None,
+            backend: Backend::Virtual,
             run_to_drain: false,
         }
     }
@@ -259,9 +265,12 @@ where
                 let proposals = proposer.proposals(cfg.n, cfg.batch_max, instance);
                 let config = InitialConfig::new(proposals);
                 let runtime = instance_runtime(cfg, instance, horizon);
-                let t0 = Instant::now();
-                let result = run_threaded_checked(algo, &config, cfg.t, runtime)?;
-                stats.instance_wall.push(t0.elapsed());
+                let result = RuntimeBuilder::new(algo, &config)
+                    .t(cfg.t)
+                    .runtime(runtime)
+                    .backend(cfg.backend)
+                    .run()?;
+                stats.instance_wall.push(result.elapsed);
 
                 match result.outcome.iter().find_map(|(_, o)| o.decision.clone()) {
                     Some((batch, _)) => {
@@ -308,7 +317,13 @@ where
     });
     outcome?;
 
-    stats.elapsed = started.elapsed();
+    // Under the virtual backend "elapsed" is simulated time: the sum
+    // of the instances' discrete-event timelines, not the (far
+    // smaller) wall time the sweep took.
+    stats.elapsed = match cfg.backend {
+        Backend::Virtual => stats.instance_wall.iter().sum(),
+        Backend::Real => started.elapsed(),
+    };
     stats.commands_submitted = workload.submitted();
     stats.pending_at_shutdown = proposer.pending_len() as u64;
     stats.reproposed = proposer.reproposed();

@@ -24,8 +24,10 @@
 //!   commitment structural ([`Proposer::commit`]).
 //! - [`serve`]: the instance loop — fault plan from
 //!   `(seed, instance)`, execution through
-//!   [`run_threaded_checked`](ssp_runtime::run_threaded_checked) (typed
-//!   config rejection, never a hang), commit, acknowledge.
+//!   [`RuntimeBuilder`](ssp_runtime::RuntimeBuilder) (typed config
+//!   rejection, never a hang) on the configured clock backend —
+//!   virtual time by default, so a full service run takes
+//!   milliseconds of wall clock — commit, acknowledge.
 //! - Background audit: every instance's trace crosses an mpsc channel
 //!   to an auditor thread that replays it against the step models
 //!   ([`ssp_lab::audit_instance`]) and renders its canonical

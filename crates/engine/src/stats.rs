@@ -4,13 +4,15 @@
 //! The split matters. Decide rounds, command counts, crash/retire/
 //! degrade tallies and the KV digest are functions of the seeded fault
 //! plans and the round structure — identical across runs of the same
-//! configuration. Wall-clock durations and transport counters
-//! (delivery, retransmission, shutdown-stranding) are *not*: the
-//! early-retire fast path shuts instances down while burst wires are
-//! still in flight, so whether a given wire counts as delivered or
-//! stranded is a race. [`EngineStats::to_json`] therefore serializes
-//! only the deterministic core; everything timing-flavoured stays in
-//! the [`Display`](core::fmt::Display) report.
+//! configuration *and across clock backends*. Elapsed durations and
+//! transport counters (delivery, retransmission, shutdown-stranding)
+//! are *not*: the early-retire fast path shuts instances down while
+//! burst wires are still in flight, so whether a given wire counts as
+//! delivered or stranded is a race (and under the virtual backend the
+//! durations are simulated time, not wall time at all).
+//! [`EngineStats::to_json`] therefore serializes only the
+//! deterministic core; everything timing-flavoured stays in the
+//! [`Display`](core::fmt::Display) report.
 
 use core::fmt;
 use std::time::Duration;
@@ -60,9 +62,12 @@ pub struct EngineStats {
     pub audit_violations: u64,
     /// Audited instances that diverged from the round models.
     pub audit_divergences: u64,
-    /// Total wall-clock time of the run (human report only).
+    /// Total elapsed time of the run (human report only): wall clock
+    /// under the real backend, summed simulated instance time under
+    /// the virtual backend.
     pub elapsed: Duration,
-    /// Per-instance wall-clock durations (human report only).
+    /// Per-instance elapsed durations (human report only): wall clock
+    /// under the real backend, simulated time under the virtual one.
     pub instance_wall: Vec<Duration>,
 }
 
@@ -106,8 +111,9 @@ impl EngineStats {
         self.decide_rounds.iter().map(|&r| u64::from(r)).sum()
     }
 
-    /// Decided instances per wall-clock second (human report only —
-    /// wall time is not deterministic).
+    /// Decided instances per elapsed second (human report only):
+    /// per wall-clock second under the real backend, per *simulated*
+    /// second under the virtual one.
     #[must_use]
     pub fn instances_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();

@@ -35,9 +35,7 @@ use ssp_model::{
     RunEvent, RunLogObserver, Value,
 };
 use ssp_rounds::{run_rws_observed, RoundAlgorithm, RoundProcess};
-use ssp_runtime::{
-    run_threaded, ChaosConfig, DegradeMode, FaultPlan, PlanModel, RunTraceError, ThreadedOutcome,
-};
+use ssp_runtime::{FaultPlan, PlanModel, RunTraceError, RuntimeBuilder, ThreadedOutcome};
 use ssp_sim::{validate_basic, validate_perfect_fd, Trace, TraceViolation};
 
 use crate::checker::ValidityMode;
@@ -414,16 +412,6 @@ where
     }
 }
 
-/// Chaos and degradation knobs for a fuzz sweep (the `--chaos`,
-/// `--loss`, `--dup`, `--reorder`, `--degrade` CLI flags).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FuzzOptions {
-    /// Chaos faults applied to every plan (implies reliable delivery).
-    pub chaos: Option<ChaosConfig>,
-    /// Watchdog degradation mode (effective in `RS` sweeps).
-    pub degrade: DegradeMode,
-}
-
 /// The result of a seed sweep over the fault-injection plane.
 #[derive(Debug, Clone, Default)]
 pub struct FuzzReport {
@@ -459,20 +447,20 @@ impl FuzzReport {
     }
 }
 
-/// Sweeps `seeds` through seed-derived [`FaultPlan`]s: each seed's
-/// plan drives one threaded run, which is certified by
-/// [`check_threaded_run`]; any divergence is shrunk to a minimal plan
-/// with [`shrink_plan`]. Finally the [`Verifier`] sweeps the same
-/// `(n, t, domain, model)` space and its verdict is cross-checked.
+/// Sweeps `seeds` through seed-derived [`FaultPlan`]s: each seed is
+/// set on a clone of `builder` (inheriting its model, chaos, degrade
+/// mode, and clock backend), the resulting plan drives one threaded
+/// run, which is certified by [`check_threaded_run`]; any divergence
+/// is shrunk to a minimal plan with [`shrink_plan`]. Finally the
+/// [`Verifier`] sweeps the same `(n, t, domain, model)` space and its
+/// verdict is cross-checked.
 ///
 /// # Panics
 ///
-/// Panics if `config` is empty or a worker thread panics.
+/// Panics if the builder's configuration is empty or a worker thread
+/// panics.
 pub fn fuzz_runtime<V, A>(
-    algo: &A,
-    config: &InitialConfig<V>,
-    t: usize,
-    model: PlanModel,
+    builder: &RuntimeBuilder<'_, V, A>,
     seeds: Range<u64>,
     mode: ValidityMode,
 ) -> FuzzReport
@@ -482,47 +470,23 @@ where
     A::Process: Send + 'static,
     <A::Process as RoundProcess>::Msg: Send + 'static,
 {
-    fuzz_runtime_with(algo, config, t, model, seeds, mode, FuzzOptions::default())
-}
-
-/// [`fuzz_runtime`] with chaos and degradation knobs: every plan gets
-/// `options.chaos` (loss/duplication/reordering over the reliable
-/// layer) and `options.degrade` applied before running.
-///
-/// # Panics
-///
-/// Panics if `config` is empty or a worker thread panics.
-#[allow(clippy::too_many_arguments)]
-pub fn fuzz_runtime_with<V, A>(
-    algo: &A,
-    config: &InitialConfig<V>,
-    t: usize,
-    model: PlanModel,
-    seeds: Range<u64>,
-    mode: ValidityMode,
-    options: FuzzOptions,
-) -> FuzzReport
-where
-    V: Value + Sync,
-    A: RoundAlgorithm<V> + Sync,
-    A::Process: Send + 'static,
-    <A::Process as RoundProcess>::Msg: Send + 'static,
-{
-    let n = config.n();
-    let horizon = algo.round_horizon(n, t);
-    let decorate = |mut plan: FaultPlan| {
-        if let Some(chaos) = options.chaos {
-            plan = plan.with_chaos(chaos);
-        }
-        plan.with_degrade(options.degrade)
+    let algo = builder.algo();
+    let config = builder.config();
+    let t = builder.t_bound();
+    let run_plan = |plan: &FaultPlan| {
+        builder
+            .clone()
+            .plan(plan.clone())
+            .run()
+            .expect("seed-derived plans produce valid runtime configurations")
     };
     let mut report = FuzzReport {
         checker_agrees: true,
         ..FuzzReport::default()
     };
     for seed in seeds {
-        let plan = decorate(FaultPlan::from_seed(seed, n, t, horizon, model));
-        let result = run_threaded(algo, config, t, plan.runtime_config());
+        let plan = builder.clone().seed(seed).effective_plan();
+        let result = run_plan(&plan);
         match check_threaded_run(algo, config, t, &result, mode) {
             Ok(run) => match run.verdict {
                 RunVerdict::SynchronyViolation => {
@@ -542,7 +506,7 @@ where
             },
             Err(divergence) => {
                 let minimal = shrink_plan(&plan, |cand| {
-                    let rerun = run_threaded(algo, config, t, cand.runtime_config());
+                    let rerun = run_plan(cand);
                     check_threaded_run(algo, config, t, &rerun, mode).is_err()
                 });
                 report
@@ -558,11 +522,11 @@ where
         domain.sort();
         domain.dedup();
         let verdict = Verifier::new(algo)
-            .n(n)
+            .n(config.n())
             .t(t)
             .domain(&domain)
             .mode(mode)
-            .model(match model {
+            .model(match builder.plan_model() {
                 PlanModel::Rs => RoundModel::Rs,
                 PlanModel::Rws => RoundModel::Rws,
             })
@@ -582,13 +546,13 @@ where
 mod tests {
     use super::*;
     use ssp_algos::{FloodSet, FloodSetWs, A1};
-    use ssp_runtime::SECTION_5_3_SEED;
+    use ssp_runtime::{ChaosConfig, DegradeMode, SECTION_5_3_SEED};
 
     #[test]
     fn section_5_3_seed_reproduces_the_anomaly_and_conforms() {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let plan = FaultPlan::section_5_3();
-        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
         let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .expect("the anomaly run conforms to RWS");
         let violation = run.violation.expect("uniform agreement must break");
@@ -600,10 +564,7 @@ mod tests {
     fn fuzz_a1_rws_finds_the_violation_and_no_divergence() {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let report = fuzz_runtime(
-            &A1,
-            &config,
-            1,
-            PlanModel::Rws,
+            &RuntimeBuilder::new(&A1, &config).model(PlanModel::Rws),
             SECTION_5_3_SEED..SECTION_5_3_SEED + 1,
             ValidityMode::Uniform,
         );
@@ -615,10 +576,7 @@ mod tests {
     fn fuzz_floodset_rs_is_clean() {
         let config = InitialConfig::new(vec![4u64, 6, 2]);
         let report = fuzz_runtime(
-            &FloodSet,
-            &config,
-            1,
-            PlanModel::Rs,
+            &RuntimeBuilder::new(&FloodSet, &config).model(PlanModel::Rs),
             0..6,
             ValidityMode::Strong,
         );
@@ -630,10 +588,7 @@ mod tests {
     fn fuzz_floodset_ws_rws_is_clean() {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let report = fuzz_runtime(
-            &FloodSetWs,
-            &config,
-            1,
-            PlanModel::Rws,
+            &RuntimeBuilder::new(&FloodSetWs, &config).model(PlanModel::Rws),
             0..6,
             ValidityMode::Uniform,
         );
@@ -674,7 +629,7 @@ mod tests {
     fn delta_violation_without_degradation_is_flagged_not_certified() {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let plan = FaultPlan::delta_violation();
-        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
         assert!(result.synchrony.violated, "the slow wires must trip Δ");
         let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .expect("flagged runs are reported, not divergences");
@@ -688,7 +643,7 @@ mod tests {
     fn delta_violation_with_rws_degradation_is_admissible() {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Rws);
-        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
         let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .expect("degraded runs must certify as RWS");
         assert!(
@@ -703,7 +658,7 @@ mod tests {
     fn delta_violation_with_abort_stops_the_run() {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Abort);
-        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
         assert!(result.synchrony.aborted);
         let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .expect("aborted runs are reported, not divergences");
@@ -714,22 +669,17 @@ mod tests {
     #[test]
     fn chaos_sweep_stays_conformant() {
         let config = InitialConfig::new(vec![4u64, 6, 2]);
-        let options = FuzzOptions {
-            chaos: Some(ChaosConfig {
-                loss_pm: 300,
-                dup_pm: 100,
-                reorder_pm: 50,
-            }),
-            degrade: DegradeMode::Off,
+        let chaos = ChaosConfig {
+            loss_pm: 300,
+            dup_pm: 100,
+            reorder_pm: 50,
         };
-        let rs = fuzz_runtime_with(
-            &FloodSet,
-            &config,
-            1,
-            PlanModel::Rs,
+        let rs = fuzz_runtime(
+            &RuntimeBuilder::new(&FloodSet, &config)
+                .model(PlanModel::Rs)
+                .chaos(Some(chaos)),
             0..4,
             ValidityMode::Strong,
-            options,
         );
         assert!(rs.is_conformant(), "{:?}", rs.divergences);
         assert!(
@@ -737,14 +687,12 @@ mod tests {
             "reliable delivery keeps chaos inside Δ: {:?}",
             rs.synchrony_flags
         );
-        let rws = fuzz_runtime_with(
-            &FloodSetWs,
-            &config,
-            1,
-            PlanModel::Rws,
+        let rws = fuzz_runtime(
+            &RuntimeBuilder::new(&FloodSetWs, &config)
+                .model(PlanModel::Rws)
+                .chaos(Some(chaos)),
             0..4,
             ValidityMode::Uniform,
-            options,
         );
         assert!(rws.is_conformant(), "{:?}", rws.divergences);
         assert!(rws.spec_violations.is_empty(), "{:?}", rws.spec_violations);

@@ -50,8 +50,8 @@ pub mod verifier;
 
 pub use checker::{Counterexample, ValidityMode, Verification};
 pub use conformance::{
-    audit_instance, check_threaded_run, fuzz_runtime, fuzz_runtime_with, shrink_plan, Divergence,
-    FuzzOptions, FuzzReport, InstanceAudit, RunReport, RunVerdict,
+    audit_instance, check_threaded_run, fuzz_runtime, shrink_plan, Divergence, FuzzReport,
+    InstanceAudit, RunReport, RunVerdict,
 };
 pub use dls_bridge::{run_adaptive_experiment, AdaptiveHeartbeatProcess, DlsExperiment};
 pub use enumerate::{

@@ -29,7 +29,7 @@
 
 use core::fmt;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ssp_model::{
     process::all_processes, ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, Round,
@@ -37,6 +37,7 @@ use ssp_model::{
 };
 use ssp_rounds::{RoundAlgorithm, RoundProcess};
 
+use crate::clock::{Backend, Clock, Tick};
 use crate::fd::{
     CrashLedger, DegradeMode, FdModule, HeartbeatBoard, Oracle, OracleFd, SynchronyEvent,
     SynchronyMonitor, SynchronyReport, TimeoutFd,
@@ -396,7 +397,9 @@ pub struct ThreadedOutcome<V, M> {
     /// the receiver — real pending messages. Always 0 under
     /// [`SyncPolicy::Rs`] with an adequate drain and intact bounds.
     pub pending_messages: u64,
-    /// Wall-clock duration of the whole execution.
+    /// Duration of the whole execution on the run's clock: wall time
+    /// under [`Backend::Real`], simulated time under
+    /// [`Backend::Virtual`].
     pub elapsed: Duration,
     /// The canonical record of the run: what every process sent and
     /// had received when each round closed, plus crash rounds —
@@ -454,51 +457,24 @@ struct WorkerEnv<M> {
     /// retire-capable: a decided worker bursts its remaining rounds
     /// and stops receiving.
     retire: bool,
+    /// The run's clock (shared by the network, detectors, and every
+    /// worker).
+    clock: Clock,
 }
 
-/// Runs `algo` on real threads. Returns the assembled outcome; a
-/// process that exceeds the round timeout gives up undecided (visible
-/// as a termination violation to the specification checkers).
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid ([`RuntimeConfig::validate`])
-/// or a worker thread panics. Use [`run_threaded_checked`] to handle
-/// configuration errors as values.
-#[must_use]
-pub fn run_threaded<V, A>(
-    algo: &A,
-    config: &InitialConfig<V>,
-    t: usize,
-    runtime: RuntimeConfig,
-) -> ThreadedOutcome<V, <A::Process as RoundProcess>::Msg>
-where
-    V: Value + Sync,
-    A: RoundAlgorithm<V>,
-    A::Process: Send + 'static,
-    <A::Process as RoundProcess>::Msg: Send + 'static,
-{
-    match run_threaded_checked(algo, config, t, runtime) {
-        Ok(outcome) => outcome,
-        Err(e) => panic!("invalid runtime configuration: {e}"),
-    }
-}
-
-/// [`run_threaded`] with configuration errors surfaced as values
-/// instead of panics.
-///
-/// # Errors
-///
-/// Returns the [`ConfigError`] found by [`RuntimeConfig::validate`].
+/// Runs `algo` on one OS thread per process over the chosen clock
+/// backend. This is the engine behind [`crate::RuntimeBuilder::run`];
+/// configuration errors are surfaced as values.
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics.
-pub fn run_threaded_checked<V, A>(
+pub(crate) fn run_on_backend<V, A>(
     algo: &A,
     config: &InitialConfig<V>,
     t: usize,
     runtime: RuntimeConfig,
+    backend: Backend,
 ) -> Result<ThreadedOutcome<V, <A::Process as RoundProcess>::Msg>, ConfigError>
 where
     V: Value + Sync,
@@ -508,6 +484,7 @@ where
 {
     let n = config.n();
     runtime.validate(n)?;
+    let clock = Clock::for_backend(backend);
     let horizon = algo.round_horizon(n, t);
     let retire = runtime.early_close && algo.retires_after_decision();
     let rs = matches!(runtime.policy, SyncPolicy::Rs { .. });
@@ -517,13 +494,17 @@ where
         SynchronyMonitor::disarmed()
     };
     let ledger = CrashLedger::new(n);
-    let (net_tx, net_rxs, net_handle) = spawn_network_watched::<
-        RoundWire<<A::Process as RoundProcess>::Msg>,
-    >(n, runtime.net.clone(), Arc::clone(&monitor));
+    let (net_tx, net_rxs, net_handle) =
+        spawn_network_watched::<RoundWire<<A::Process as RoundProcess>::Msg>>(
+            n,
+            runtime.net.clone(),
+            Arc::clone(&monitor),
+            clock.clone(),
+        );
 
-    let board = HeartbeatBoard::new(n);
+    let board = HeartbeatBoard::new(n, clock.clone());
     let oracle = match &runtime.notify_script {
-        Some(script) => Oracle::scripted(n, script.clone()),
+        Some(script) => Oracle::scripted(n, script.clone(), clock.clone()),
         None => Oracle::new(
             n,
             match runtime.fd {
@@ -535,10 +516,11 @@ where
                 _ => Duration::ZERO,
             },
             runtime.net.seed,
+            clock.clone(),
         ),
     };
 
-    let started = Instant::now();
+    let started = clock.now();
     let mut handles = Vec::with_capacity(n);
     for me in all_processes(n) {
         let proc_ = algo.spawn(me, n, t, config.input(me).clone());
@@ -565,11 +547,24 @@ where
             policy: runtime.policy,
             round_timeout: runtime.round_timeout,
             retire,
+            clock: clock.clone(),
         };
+        // Register on the spawner's side, so the virtual clock can
+        // never advance in the window before the worker starts.
+        clock.register();
+        let wclock = clock.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("ssp-{me}"))
-                .spawn(move || worker(proc_, input, env))
+                .spawn(move || {
+                    // `worker` drops its NetSender (waking the network
+                    // thread) before we take the finish stamp and leave
+                    // the virtual timeline.
+                    let ret = worker(proc_, input, env);
+                    let finished = wclock.now();
+                    wclock.deregister();
+                    (ret, finished)
+                })
                 .expect("spawn worker"),
         );
     }
@@ -580,9 +575,11 @@ where
     let mut logs = Vec::with_capacity(n);
     let mut crash_rounds = Vec::with_capacity(n);
     let mut retired_rounds = Vec::with_capacity(n);
+    let mut ended = started;
     for h in handles {
-        let r: ProcessReturn<V, <A::Process as RoundProcess>::Msg> =
+        let (r, finished): (ProcessReturn<V, <A::Process as RoundProcess>::Msg>, Tick) =
             h.join().expect("worker thread panicked");
+        ended = ended.max(finished);
         pending_total += r.pending_seen;
         logs.push(r.log);
         // Clamp post-horizon crash rounds to the round-model limit.
@@ -601,7 +598,7 @@ where
     Ok(ThreadedOutcome {
         outcome: ConsensusOutcome::new(outcomes),
         pending_messages: pending_total,
-        elapsed: started.elapsed(),
+        elapsed: ended.saturating_duration_since(started),
         trace: RunTrace {
             n,
             horizon,
@@ -643,6 +640,7 @@ where
         policy: base_policy,
         round_timeout,
         retire,
+        clock,
     } = env;
     let crash_now = |_r: u32| {
         ledger.mark(me);
@@ -659,7 +657,7 @@ where
         if let Some(s) = stall {
             if s.round == r {
                 // Heartbeat starvation: live, but silent and deaf.
-                std::thread::sleep(s.duration);
+                clock.sleep(s.duration);
             }
         }
         if monitor.aborted() {
@@ -811,8 +809,8 @@ where
                 true
             }
         });
-        let deadline = Instant::now() + round_timeout;
-        let mut missing_since: Vec<Option<Instant>> = vec![None; n];
+        let deadline = clock.now() + round_timeout;
+        let mut missing_since: Vec<Option<Tick>> = vec![None; n];
         loop {
             // Abort wins over everything, including a ready round: the
             // check runs before readiness so the outcome is the same
@@ -840,7 +838,7 @@ where
                 base_policy
             };
             let suspects = fd.suspects();
-            let now = Instant::now();
+            let now = clock.now();
             let mut ready = true;
             for q in all_processes(n) {
                 if got[q.index()].is_some() {
@@ -945,6 +943,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::RuntimeBuilder;
     use ssp_algos::{FloodSet, FloodSetWs, A1};
     use ssp_model::{check_uniform_consensus, check_uniform_consensus_strong};
 
@@ -952,10 +951,31 @@ mod tests {
         ProcessId::new(i)
     }
 
+    /// Test shorthand: run `runtime` verbatim on the default (virtual)
+    /// backend.
+    fn run_virtual<V, A>(
+        algo: &A,
+        config: &InitialConfig<V>,
+        t: usize,
+        runtime: RuntimeConfig,
+    ) -> ThreadedOutcome<V, <A::Process as RoundProcess>::Msg>
+    where
+        V: Value + Sync,
+        A: RoundAlgorithm<V>,
+        A::Process: Send + 'static,
+        <A::Process as RoundProcess>::Msg: Send + 'static,
+    {
+        RuntimeBuilder::new(algo, config)
+            .t(t)
+            .runtime(runtime)
+            .run()
+            .unwrap()
+    }
+
     #[test]
     fn failure_free_a1_decides_round_1_on_threads() {
         let config = InitialConfig::new(vec![4u64, 9, 2]);
-        let result = run_threaded(&A1, &config, 1, RuntimeConfig::ss_flavor(3, 42));
+        let result = run_virtual(&A1, &config, 1, RuntimeConfig::ss_flavor(3, 42));
         check_uniform_consensus_strong(&result.outcome).unwrap();
         assert_eq!(result.outcome.latency_degree(), Some(1));
         assert_eq!(result.pending_messages, 0);
@@ -976,7 +996,7 @@ mod tests {
                 after_sends: 2, // reaches itself and p2, not p3
             },
         );
-        let result = run_threaded(&FloodSet, &config, 1, runtime);
+        let result = run_virtual(&FloodSet, &config, 1, runtime);
         check_uniform_consensus_strong(&result.outcome).unwrap();
         assert_eq!(result.outcome.outcome(p(0)).crashed_in, Some(Round::FIRST));
         // p2 saw the 0 in round 1 and floods it in round 2.
@@ -1005,7 +1025,7 @@ mod tests {
                 after_sends: 0,
             },
         );
-        let result = run_threaded(&A1, &config, 1, runtime);
+        let result = run_virtual(&A1, &config, 1, runtime);
         // p1 decided its own value (self-delivery is internal, instant).
         assert_eq!(
             result.outcome.outcome(p(0)).decision.as_ref().map(|d| d.0),
@@ -1039,7 +1059,7 @@ mod tests {
                 after_sends: 0,
             },
         );
-        let result = run_threaded(&FloodSetWs, &config, 1, runtime);
+        let result = run_virtual(&FloodSetWs, &config, 1, runtime);
         check_uniform_consensus(&result.outcome).unwrap();
     }
 
@@ -1047,7 +1067,7 @@ mod tests {
     fn early_close_retires_round_1_deciders() {
         let config = InitialConfig::new(vec![4u64, 9, 2]);
         let runtime = RuntimeConfig::ss_flavor(3, 42).with_early_close(true);
-        let result = run_threaded(&A1, &config, 1, runtime);
+        let result = run_virtual(&A1, &config, 1, runtime);
         check_uniform_consensus_strong(&result.outcome).unwrap();
         assert_eq!(result.outcome.latency_degree(), Some(1));
         // Everyone decided in round 1, burst its round-2 relay, and
@@ -1065,7 +1085,7 @@ mod tests {
     fn early_close_is_a_no_op_for_non_retiring_algorithms() {
         let config = InitialConfig::new(vec![0u64, 3, 5]);
         let runtime = RuntimeConfig::ss_flavor(3, 7).with_early_close(true);
-        let result = run_threaded(&FloodSet, &config, 1, runtime);
+        let result = run_virtual(&FloodSet, &config, 1, runtime);
         check_uniform_consensus_strong(&result.outcome).unwrap();
         assert!(result.trace.retired.iter().all(Option::is_none));
         result.trace.validate().unwrap();
@@ -1083,7 +1103,7 @@ mod tests {
                     after_sends: 1,
                 },
             );
-        let result = run_threaded(&A1, &config, 1, runtime);
+        let result = run_virtual(&A1, &config, 1, runtime);
         // p0 decided in round 1, retired, and died one send into its
         // round-2 relay burst — recorded as both retired and crashed.
         assert_eq!(result.outcome.outcome(p(0)).crashed_in, Some(Round::new(2)));
@@ -1150,7 +1170,11 @@ mod tests {
         runtime.policy = SyncPolicy::Rs {
             drain: Duration::ZERO,
         };
-        let err = run_threaded_checked(&A1, &config, 1, runtime).unwrap_err();
+        let err = RuntimeBuilder::new(&A1, &config)
+            .t(1)
+            .runtime(runtime)
+            .run()
+            .unwrap_err();
         assert!(err.to_string().contains("drain"), "{err}");
     }
 

@@ -29,13 +29,15 @@
 use core::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ssp_model::{ProcessId, ProcessSet, Round};
+
+use crate::clock::{Clock, Tick};
 
 /// A failure-detector module handle: query-able suspicion set.
 pub trait FdModule: Send {
@@ -46,25 +48,26 @@ pub trait FdModule: Send {
 /// Shared heartbeat board for [`TimeoutFd`].
 #[derive(Debug)]
 pub struct HeartbeatBoard {
-    epoch: Instant,
-    /// Last-beat time per process, in microseconds since `epoch`.
-    /// `u64::MAX` marks a process that has announced its own crash
-    /// (stops beating immediately).
+    clock: Clock,
+    /// Last-beat time per process, in microseconds on the board's
+    /// clock. `u64::MAX` marks a process that has announced its own
+    /// crash (stops beating immediately).
     beats: Vec<AtomicU64>,
 }
 
 impl HeartbeatBoard {
-    /// Creates a board for `n` processes, all freshly beating.
+    /// Creates a board for `n` processes, all freshly beating, stamped
+    /// on `clock`.
     #[must_use]
-    pub fn new(n: usize) -> Arc<Self> {
+    pub fn new(n: usize, clock: Clock) -> Arc<Self> {
         Arc::new(HeartbeatBoard {
-            epoch: Instant::now(),
+            clock,
             beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 
     fn now_micros(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.clock.now().as_micros()
     }
 
     /// Records a heartbeat for `p` (call frequently from `p`'s thread).
@@ -125,13 +128,14 @@ impl FdModule for TimeoutFd {
 #[derive(Debug, Default)]
 struct OracleState {
     /// For each crashed process: when each observer learns of it.
-    notifications: Vec<(ProcessId, Vec<Instant>)>,
+    notifications: Vec<(ProcessId, Vec<Tick>)>,
 }
 
 /// The crash oracle backing [`OracleFd`] modules.
 #[derive(Debug)]
 pub struct Oracle {
     n: usize,
+    clock: Clock,
     state: Mutex<OracleState>,
     min_notify: Duration,
     max_notify: Duration,
@@ -144,11 +148,18 @@ pub struct Oracle {
 
 impl Oracle {
     /// Creates an oracle whose per-observer notification delays are
-    /// drawn uniformly from `[min_notify, max_notify]`.
+    /// drawn uniformly from `[min_notify, max_notify]` on `clock`.
     #[must_use]
-    pub fn new(n: usize, min_notify: Duration, max_notify: Duration, seed: u64) -> Arc<Self> {
+    pub fn new(
+        n: usize,
+        min_notify: Duration,
+        max_notify: Duration,
+        seed: u64,
+        clock: Clock,
+    ) -> Arc<Self> {
         Arc::new(Oracle {
             n,
+            clock,
             state: Mutex::new(OracleState::default()),
             min_notify,
             max_notify,
@@ -166,7 +177,7 @@ impl Oracle {
     ///
     /// Panics if the script is not an `n × n` matrix.
     #[must_use]
-    pub fn scripted(n: usize, script: Vec<Vec<Duration>>) -> Arc<Self> {
+    pub fn scripted(n: usize, script: Vec<Vec<Duration>>, clock: Clock) -> Arc<Self> {
         assert_eq!(script.len(), n, "one script row per crasher");
         assert!(
             script.iter().all(|row| row.len() == n),
@@ -174,6 +185,7 @@ impl Oracle {
         );
         Arc::new(Oracle {
             n,
+            clock,
             state: Mutex::new(OracleState::default()),
             min_notify: Duration::ZERO,
             max_notify: Duration::ZERO,
@@ -185,8 +197,8 @@ impl Oracle {
     /// Reports that `p` has crashed; observers will start suspecting it
     /// after their individual delays.
     pub fn report_crash(&self, p: ProcessId) {
-        let now = Instant::now();
-        let delays: Vec<Instant> = if let Some(script) = &self.script {
+        let now = self.clock.now();
+        let delays: Vec<Tick> = if let Some(script) = &self.script {
             script[p.index()].iter().map(|d| now + *d).collect()
         } else {
             let mut rng = StdRng::seed_from_u64(self.seed.fetch_add(1, Ordering::Relaxed));
@@ -224,7 +236,7 @@ pub struct OracleFd {
 
 impl FdModule for OracleFd {
     fn suspects(&self) -> ProcessSet {
-        let now = Instant::now();
+        let now = self.oracle.clock.now();
         let state = self.oracle.state.lock();
         let mut s = ProcessSet::empty();
         for (p, delays) in &state.notifications {
@@ -588,7 +600,7 @@ mod tests {
 
     #[test]
     fn timeout_fd_suspects_silent_process() {
-        let board = HeartbeatBoard::new(2);
+        let board = HeartbeatBoard::new(2, Clock::real());
         let fd = TimeoutFd::new(Arc::clone(&board), Duration::from_millis(20), p(0));
         board.beat(p(1));
         assert!(fd.suspects().is_empty());
@@ -602,7 +614,7 @@ mod tests {
 
     #[test]
     fn silence_is_permanent() {
-        let board = HeartbeatBoard::new(2);
+        let board = HeartbeatBoard::new(2, Clock::real());
         let fd = TimeoutFd::new(Arc::clone(&board), Duration::from_millis(10), p(0));
         board.silence(p(1));
         board.beat(p(1)); // ignored after silence
@@ -611,7 +623,7 @@ mod tests {
 
     #[test]
     fn observer_does_not_suspect_itself() {
-        let board = HeartbeatBoard::new(1);
+        let board = HeartbeatBoard::new(1, Clock::real());
         let fd = TimeoutFd::new(board, Duration::from_millis(1), p(0));
         std::thread::sleep(Duration::from_millis(5));
         assert!(fd.suspects().is_empty());
@@ -619,7 +631,13 @@ mod tests {
 
     #[test]
     fn oracle_notifies_after_delay() {
-        let oracle = Oracle::new(2, Duration::from_millis(30), Duration::from_millis(30), 5);
+        let oracle = Oracle::new(
+            2,
+            Duration::from_millis(30),
+            Duration::from_millis(30),
+            5,
+            Clock::real(),
+        );
         let fd = oracle.module(p(1));
         oracle.report_crash(p(0));
         assert!(fd.suspects().is_empty(), "not yet notified");
@@ -637,7 +655,7 @@ mod tests {
         ];
         let mut script = script;
         script[0][2] = Duration::from_millis(80);
-        let oracle = Oracle::scripted(3, script);
+        let oracle = Oracle::scripted(3, script, Clock::real());
         let fast = oracle.module(p(1));
         let slow = oracle.module(p(2));
         oracle.report_crash(p(0));
@@ -650,7 +668,7 @@ mod tests {
 
     #[test]
     fn oracle_never_suspects_unreported() {
-        let oracle = Oracle::new(3, Duration::ZERO, Duration::ZERO, 5);
+        let oracle = Oracle::new(3, Duration::ZERO, Duration::ZERO, 5, Clock::real());
         let fd = oracle.module(p(0));
         assert!(fd.suspects().is_empty());
     }
@@ -671,7 +689,7 @@ mod tests {
         // *must* suspect it (that is the SS rule) — and because the
         // ledger says it never crashed, the watchdog must classify the
         // suspicion as a mistake.
-        let board = HeartbeatBoard::new(2);
+        let board = HeartbeatBoard::new(2, Clock::real());
         let fd = TimeoutFd::new(Arc::clone(&board), Duration::from_millis(20), p(0));
         let ledger = CrashLedger::new(2);
         let monitor = SynchronyMonitor::armed(Duration::from_millis(20), DegradeMode::Off);

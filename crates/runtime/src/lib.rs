@@ -15,9 +15,16 @@
 //!   about its in-flight messages, and rounds that close on suspicion:
 //!   weak round synchrony, real pending messages.
 //!
-//! [`run_threaded`] executes any `ssp-rounds` [`RoundAlgorithm`]
+//! [`RuntimeBuilder`] executes any `ssp-rounds` [`RoundAlgorithm`]
 //! unchanged in either flavour; the driver tests reproduce the §5.3
 //! `A1` disagreement with actual threads and delayed packets.
+//!
+//! Time itself is pluggable ([`Clock`], [`Backend`]): the **real**
+//! backend sleeps on the OS clock, while the **virtual** backend runs
+//! the same threaded code over a discrete-event timeline that jumps
+//! straight to the next deadline whenever every thread is blocked —
+//! seed sweeps run thousands of times faster and, per the backend
+//! conformance suite, emit byte-identical `RunLog`s.
 //!
 //! Determinism comes from the fault-injection plane: a seed-derived
 //! [`FaultPlan`] scripts crashes (including mid-broadcast cut-offs),
@@ -43,15 +50,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod builder;
+pub mod clock;
 pub mod driver;
 pub mod fd;
 pub mod net;
 pub mod plan;
 pub mod trace;
 
+pub use builder::RuntimeBuilder;
+pub use clock::{Backend, Clock, Gate, ParseBackendError, Tick};
 pub use driver::{
-    run_threaded, run_threaded_checked, ConfigError, FdFlavor, RoundWire, RuntimeConfig, Stall,
-    SyncPolicy, ThreadCrash, ThreadedOutcome, WatchdogConfig, FD_TIMEOUT_MARGIN, WATCHDOG_MARGIN,
+    ConfigError, FdFlavor, RoundWire, RuntimeConfig, Stall, SyncPolicy, ThreadCrash,
+    ThreadedOutcome, WatchdogConfig, FD_TIMEOUT_MARGIN, WATCHDOG_MARGIN,
 };
 pub use fd::{
     CrashLedger, DegradeMode, FdModule, HeartbeatBoard, Oracle, OracleFd, SynchronyEvent,

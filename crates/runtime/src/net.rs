@@ -43,14 +43,15 @@
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ssp_model::{ProcessId, Round};
 
+use crate::clock::{Backend, Clock, Gate, Tick};
 use crate::fd::{SynchronyEvent, SynchronyMonitor};
 
 /// First retransmit timeout of the reliable layer. Doubles on every
@@ -358,7 +359,7 @@ pub struct NetStats {
 struct WireState<M> {
     env: NetEnvelope<M>,
     link_seq: u64,
-    submitted: Instant,
+    submitted: Tick,
     base_delay: Duration,
     acked: bool,
     delivered: bool,
@@ -374,7 +375,7 @@ enum NetEvent {
 }
 
 struct Scheduled {
-    at: Instant,
+    at: Tick,
     seq: u64,
     ev: NetEvent,
 }
@@ -400,25 +401,61 @@ impl Ord for Scheduled {
 /// A handle for sending into the network.
 #[derive(Debug, Clone)]
 pub struct NetSender<M> {
-    submit: Sender<NetEnvelope<M>>,
+    /// `Option` so `Drop` can disconnect the channel *before* waking
+    /// the network thread: a woken thread must be able to observe the
+    /// disconnection, or the virtual clock could advance through
+    /// deadlines that the imminent shutdown should strand.
+    submit: Option<Sender<NetEnvelope<M>>>,
+    gate: Gate,
 }
 
 impl<M: Send + 'static> NetSender<M> {
     /// Sends `payload` from `src` to `dst`; delivery happens after the
     /// link's delay. Sends to finished processes are dropped silently.
     pub fn send(&self, src: ProcessId, dst: ProcessId, payload: M) {
-        let _ = self.submit.send(NetEnvelope { src, dst, payload });
+        if let Some(submit) = &self.submit {
+            let _ = submit.send(NetEnvelope { src, dst, payload });
+        }
+        self.gate.notify();
     }
 }
 
-/// The per-process receiving end.
-pub type NetReceiver<M> = Receiver<NetEnvelope<M>>;
+impl<M> Drop for NetSender<M> {
+    fn drop(&mut self) {
+        self.submit = None;
+        self.gate.notify();
+    }
+}
+
+/// The per-process receiving end: a channel plus the wakeup gate the
+/// network thread rings after each delivery.
+#[derive(Debug, Clone)]
+pub struct NetReceiver<M> {
+    rx: Receiver<NetEnvelope<M>>,
+    gate: Gate,
+    clock: Clock,
+}
+
+impl<M> NetReceiver<M> {
+    /// Waits for the next delivered envelope, up to `timeout` on the
+    /// receiver's clock.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] once the network thread is
+    /// gone and the inbox drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<NetEnvelope<M>, RecvTimeoutError> {
+        self.clock.recv(&self.rx, &self.gate, Some(timeout))
+    }
+}
 
 /// Owns the network thread: signals shutdown and joins it on drop, so
 /// no run leaks the thread or its in-flight envelopes.
 #[derive(Debug)]
 pub struct NetHandle {
     shutdown: Sender<()>,
+    gate: Gate,
     thread: Option<std::thread::JoinHandle<NetStats>>,
 }
 
@@ -434,6 +471,7 @@ impl NetHandle {
     #[must_use]
     pub fn shutdown(mut self) -> NetStats {
         let _ = self.shutdown.try_send(());
+        self.gate.notify();
         self.thread
             .take()
             .expect("network thread handle")
@@ -446,50 +484,78 @@ impl Drop for NetHandle {
     fn drop(&mut self) {
         if let Some(t) = self.thread.take() {
             let _ = self.shutdown.try_send(());
+            self.gate.notify();
             let _ = t.join();
         }
     }
 }
 
-/// Spawns the network thread; returns one sender handle, the `n`
-/// per-process receivers, and the joinable [`NetHandle`]. The thread
-/// exits when every sender is dropped and all held messages are
-/// delivered, or as soon as the handle signals shutdown.
+/// Spawns the network thread on the real clock; returns one sender
+/// handle, the `n` per-process receivers, and the joinable
+/// [`NetHandle`]. The thread exits when every sender is dropped and
+/// all held messages are delivered, or as soon as the handle signals
+/// shutdown.
 #[must_use]
 pub fn spawn_network<M: Clone + Send + 'static>(
     n: usize,
     config: NetConfig,
 ) -> (NetSender<M>, Vec<NetReceiver<M>>, NetHandle) {
-    spawn_network_watched(n, config, SynchronyMonitor::disarmed())
+    spawn_network_watched(n, config, SynchronyMonitor::disarmed(), Clock::real())
 }
 
-/// [`spawn_network`] with a synchrony watchdog attached: over-Δ
-/// scheduling, late deliveries, and shutdown-stranded wires are
-/// reported to `monitor`.
+/// [`spawn_network`] on an explicit [`Clock`] and with a synchrony
+/// watchdog attached: over-Δ scheduling, late deliveries, and
+/// shutdown-stranded wires are reported to `monitor`.
 #[must_use]
 pub fn spawn_network_watched<M: Clone + Send + 'static>(
     n: usize,
     config: NetConfig,
     monitor: Arc<SynchronyMonitor>,
+    clock: Clock,
 ) -> (NetSender<M>, Vec<NetReceiver<M>>, NetHandle) {
     let (submit_tx, submit_rx) = unbounded::<NetEnvelope<M>>();
     let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let submit_gate = clock.gate();
     let mut inboxes_tx = Vec::with_capacity(n);
     let mut inboxes_rx = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = bounded::<NetEnvelope<M>>(4096);
-        inboxes_tx.push(tx);
-        inboxes_rx.push(rx);
+        let gate = clock.gate();
+        inboxes_tx.push((tx, gate.clone()));
+        inboxes_rx.push(NetReceiver {
+            rx,
+            gate,
+            clock: clock.clone(),
+        });
     }
+    clock.register();
+    let net_clock = clock.clone();
+    let net_gate = submit_gate.clone();
     let thread = std::thread::Builder::new()
         .name("ssp-net".into())
-        .spawn(move || net_thread(config, monitor, &submit_rx, &shutdown_rx, &inboxes_tx))
+        .spawn(move || {
+            let stats = net_thread(
+                &config,
+                &monitor,
+                &net_clock,
+                &net_gate,
+                &submit_rx,
+                &shutdown_rx,
+                &inboxes_tx,
+            );
+            net_clock.deregister();
+            stats
+        })
         .expect("spawn network thread");
     (
-        NetSender { submit: submit_tx },
+        NetSender {
+            submit: Some(submit_tx),
+            gate: submit_gate.clone(),
+        },
         inboxes_rx,
         NetHandle {
             shutdown: shutdown_tx,
+            gate: submit_gate,
             thread: Some(thread),
         },
     )
@@ -509,9 +575,9 @@ fn schedule_attempt<M>(
     w: &WireState<M>,
     wi: usize,
     attempt: u32,
-    now: Instant,
+    now: Tick,
 ) {
-    let mut push = |at: Instant, ev: NetEvent| {
+    let mut push = |at: Tick, ev: NetEvent| {
         heap.push(Scheduled { at, seq: *seq, ev });
         *seq += 1;
     };
@@ -542,12 +608,15 @@ fn schedule_attempt<M>(
     }
 }
 
+#[allow(clippy::too_many_lines)]
 fn net_thread<M: Clone + Send + 'static>(
-    config: NetConfig,
-    monitor: Arc<SynchronyMonitor>,
+    config: &NetConfig,
+    monitor: &Arc<SynchronyMonitor>,
+    clock: &Clock,
+    gate: &Gate,
     submit_rx: &Receiver<NetEnvelope<M>>,
     shutdown_rx: &Receiver<()>,
-    inboxes_tx: &[Sender<NetEnvelope<M>>],
+    inboxes_tx: &[(Sender<NetEnvelope<M>>, Gate)],
 ) -> NetStats {
     let reliable = config.is_reliable();
     let chaos = config.chaos();
@@ -583,7 +652,7 @@ fn net_thread<M: Clone + Send + 'static>(
 
     loop {
         // Handle everything due.
-        let now = Instant::now();
+        let now = clock.now();
         while heap.peek().is_some_and(|s| s.at <= now) {
             let s = heap.pop().expect("peeked");
             match s.ev {
@@ -603,7 +672,9 @@ fn net_thread<M: Clone + Send + 'static>(
                                 latency,
                             });
                         }
-                        let _ = inboxes_tx[w.env.dst.index()].try_send(w.env.clone());
+                        let (inbox, inbox_gate) = &inboxes_tx[w.env.dst.index()];
+                        let _ = inbox.try_send(w.env.clone());
+                        inbox_gate.notify();
                     }
                     if reliable {
                         // The receiving transport acks every copy, so a
@@ -656,21 +727,34 @@ fn net_thread<M: Clone + Send + 'static>(
         if shutdown_rx.try_recv().is_ok() {
             return finish(&wires, stats);
         }
-        if closed && heap.is_empty() {
+        if closed && (heap.is_empty() || clock.is_virtual()) {
+            // Every sender gone means every worker has exited. Under
+            // the virtual clock the driver's shutdown signal arrives in
+            // *real* time, which the virtual timeline does not wait
+            // for; advancing through leftover deadlines here would race
+            // it. Stop immediately instead — stranded wires are
+            // accounted undelivered, exactly as the real backend's
+            // prompt shutdown leaves them.
             return finish(&wires, stats);
         }
         let next_due = heap
             .peek()
-            .map(|s| s.at.saturating_duration_since(Instant::now()))
-            .unwrap_or(IDLE_POLL);
-        let wait = next_due.min(IDLE_POLL);
+            .map(|s| s.at.saturating_duration_since(clock.now()));
         if closed {
-            // All senders are gone: flush remaining deadlines, polling
-            // for shutdown between sleeps.
-            std::thread::sleep(wait);
+            // All senders are gone (real clock): flush remaining
+            // deadlines, polling for shutdown between sleeps.
+            std::thread::sleep(next_due.unwrap_or(IDLE_POLL).min(IDLE_POLL));
             continue;
         }
-        match submit_rx.recv_timeout(wait) {
+        // On the real clock, cap the wait at IDLE_POLL so shutdown is
+        // noticed promptly; under virtual time, sleep exactly until the
+        // next scheduled event (or indefinitely when idle — a send,
+        // sender drop, or shutdown notify will ring the gate).
+        let wait = match clock.backend() {
+            Backend::Real => Some(next_due.unwrap_or(IDLE_POLL).min(IDLE_POLL)),
+            Backend::Virtual => next_due,
+        };
+        match clock.recv(submit_rx, gate, wait) {
             Ok(env) => {
                 let nth = link_count
                     .entry((env.src.index(), env.dst.index()))
@@ -688,7 +772,7 @@ fn net_thread<M: Clone + Send + 'static>(
                         delay: base_delay,
                     });
                 }
-                let now = Instant::now();
+                let now = clock.now();
                 let w = WireState {
                     env,
                     link_seq,
@@ -715,6 +799,7 @@ fn net_thread<M: Clone + Send + 'static>(
 mod tests {
     use super::*;
     use crate::fd::DegradeMode;
+    use std::time::Instant;
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -878,13 +963,23 @@ mod tests {
 
     #[test]
     fn chaos_decisions_are_seed_deterministic() {
+        // On the virtual clock: whether an in-flight duplicate lands
+        // before shutdown is a timing race under the real clock, so
+        // exact counter equality is only promised in simulated time.
         let run = || {
             let config = NetConfig::bounded(Duration::from_millis(1), 17).with_chaos(ChaosConfig {
                 loss_pm: 250,
                 dup_pm: 150,
                 reorder_pm: 100,
             });
-            let (tx, rx, net) = spawn_network::<u32>(3, config);
+            let clock = Clock::simulated();
+            let (tx, rx, net) = spawn_network_watched::<u32>(
+                3,
+                config,
+                SynchronyMonitor::disarmed(),
+                clock.clone(),
+            );
+            clock.register();
             for i in 0..30 {
                 tx.send(p(i % 2), p(2), i as u32);
             }
@@ -892,7 +987,9 @@ mod tests {
                 let _ = rx[2].recv_timeout(Duration::from_secs(5)).unwrap();
             }
             drop(tx);
-            net.shutdown()
+            let stats = net.shutdown();
+            clock.deregister();
+            stats
         };
         let a = run();
         let b = run();
@@ -908,7 +1005,8 @@ mod tests {
             p(1),
             Duration::from_millis(400),
         );
-        let (tx, _rx, net) = spawn_network_watched::<u32>(2, config, Arc::clone(&monitor));
+        let (tx, _rx, net) =
+            spawn_network_watched::<u32>(2, config, Arc::clone(&monitor), Clock::real());
         tx.send(p(0), p(1), 1);
         // Give the thread a moment to process the submission, then cut
         // the run short with the wire still in flight.
@@ -942,7 +1040,8 @@ mod tests {
             p(1),
             Duration::from_millis(80),
         );
-        let (tx, rx, _net) = spawn_network_watched::<u32>(2, config, Arc::clone(&monitor));
+        let (tx, rx, _net) =
+            spawn_network_watched::<u32>(2, config, Arc::clone(&monitor), Clock::real());
         tx.send(p(0), p(1), 9);
         let env = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(env.payload, 9);

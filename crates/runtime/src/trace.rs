@@ -1,7 +1,7 @@
 //! Canonical records of threaded runs, replayable against the round
 //! models and exportable as `ssp-sim` step traces.
 //!
-//! Every [`crate::run_threaded`] execution assembles a [`RunTrace`]
+//! Every [`crate::RuntimeBuilder`] execution assembles a [`RunTrace`]
 //! from the per-worker logs: what each process sent (including
 //! explicit null wires), what it had received when each of its rounds
 //! closed, and where it crashed. From that single artifact the

@@ -3,6 +3,10 @@
 //! detection — and the §5.3 disagreement reproduced with real packets
 //! from its fixed, documented seed.
 //!
+//! Every run goes through [`RuntimeBuilder`]; the first one executes
+//! on both clock backends to show that the discrete-event timeline
+//! reproduces the real clock's outcome in a fraction of the wall time.
+//!
 //! ```sh
 //! cargo run --release --example threaded_consensus
 //! ```
@@ -10,27 +14,39 @@
 use ssp::algos::{FloodSetWs, A1};
 use ssp::lab::{check_threaded_run, ValidityMode};
 use ssp::model::{check_uniform_consensus, InitialConfig};
-use ssp::runtime::{run_threaded, FaultPlan, RuntimeConfig};
+use ssp::runtime::{Backend, FaultPlan, RuntimeBuilder, RuntimeConfig};
 
 fn main() {
     let n = 3;
 
     println!("== SS flavour: bounded delays + timeout detector ==");
     let config = InitialConfig::new(vec![30u64, 10, 20]);
-    let result = run_threaded(&A1, &config, 1, RuntimeConfig::ss_flavor(n, 42));
-    println!("{}", result.outcome);
-    println!(
-        "decided in {:?}; latency degree {:?}; pending messages {}\n",
-        result.elapsed,
-        result.outcome.latency_degree(),
-        result.pending_messages
-    );
+    for backend in [Backend::Real, Backend::Virtual] {
+        let wall = std::time::Instant::now();
+        let result = RuntimeBuilder::new(&A1, &config)
+            .runtime(RuntimeConfig::ss_flavor(n, 42))
+            .backend(backend)
+            .run()
+            .unwrap();
+        println!("[{backend} clock] {}", result.outcome);
+        println!(
+            "[{backend} clock] elapsed {:?} ({:?} wall); latency degree {:?}; pending messages {}",
+            result.elapsed,
+            wall.elapsed(),
+            result.outcome.latency_degree(),
+            result.pending_messages
+        );
+    }
+    println!();
 
     println!("== SP flavour: the §5.3 adversary from its seed ==");
     let plan = FaultPlan::section_5_3();
     println!("{plan}");
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&A1, &config)
+        .plan(plan.clone())
+        .run()
+        .unwrap();
     println!("{}", result.outcome);
     match check_uniform_consensus(&result.outcome) {
         Err(violation) => println!("real threads, real pending messages: {violation}"),
@@ -44,7 +60,10 @@ fn main() {
     );
 
     println!("== Same adversary against FloodSetWS ==");
-    let result = run_threaded(&FloodSetWs, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&FloodSetWs, &config)
+        .plan(plan)
+        .run()
+        .unwrap();
     println!("{}", result.outcome);
     match check_uniform_consensus(&result.outcome) {
         Ok(()) => println!("uniform consensus survives — the halt mechanism at work."),

@@ -87,3 +87,67 @@ if [ "$RS_FASTER" != "true" ]; then
     echo "error: RS service throughput did not beat the RWS baseline" >&2
     exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# Clock-backend throughput: the same seed sweep through the release CLI
+# on the virtual (discrete-event) and real (OS) clocks. The virtual
+# backend must be dramatically faster at identical run logs (held by
+# tests/backend_conformance.rs); BENCH_PR6.json records the measured
+# seeds/s on each backend plus the engine's instances/s under virtual
+# time.
+
+BACKEND_OUT=BENCH_PR6.json
+VIRT_SEEDS=4096
+REAL_SEEDS=64
+
+echo "== backend sweep throughput (release CLI) =="
+cargo build --release --quiet
+
+now_ms() { date +%s%3N; }
+
+T0=$(now_ms)
+./target/release/ssp runtime-fuzz floodset rs --seed-range "0..$VIRT_SEEDS" > /dev/null
+T1=$(now_ms)
+VIRT_MS=$((T1 - T0))
+VIRT_SPS=$(awk "BEGIN { printf \"%d\", $VIRT_SEEDS * 1000 / $VIRT_MS }")
+
+T0=$(now_ms)
+./target/release/ssp runtime-fuzz floodset rs --seed-range "0..$REAL_SEEDS" --backend real > /dev/null
+T1=$(now_ms)
+REAL_MS=$((T1 - T0))
+REAL_SPS=$(awk "BEGIN { printf \"%d\", $REAL_SEEDS * 1000 / $REAL_MS }")
+
+T0=$(now_ms)
+./target/release/ssp serve a1 rs --clients 16 --instances 100 --seed 7 > /dev/null
+T1=$(now_ms)
+ENGINE_MS=$((T1 - T0))
+ENGINE_IPS=$(awk "BEGIN { printf \"%d\", 100 * 1000 / $ENGINE_MS }")
+
+BACKEND_RATIO=$(awk "BEGIN { printf \"%.1f\", $VIRT_SPS / ($REAL_SPS > 0 ? $REAL_SPS : 1) }")
+VIRT_FASTER=$(awk "BEGIN { print ($VIRT_SPS > $REAL_SPS) ? \"true\" : \"false\" }")
+
+cat > "$BACKEND_OUT" <<JSON
+{
+  "pr": 6,
+  "claim": "the virtual (discrete-event) clock sweeps seeds orders of magnitude faster than the real clock at byte-identical run logs",
+  "measured": {
+    "virtual_floodset_rs_seeds": $VIRT_SEEDS,
+    "virtual_sweep_ms": $VIRT_MS,
+    "virtual_seeds_per_sec": $VIRT_SPS,
+    "real_floodset_rs_seeds": $REAL_SEEDS,
+    "real_sweep_ms": $REAL_MS,
+    "real_seeds_per_sec": $REAL_SPS,
+    "engine_a1_rs_virtual_instances": 100,
+    "engine_virtual_ms": $ENGINE_MS,
+    "engine_virtual_instances_per_sec": $ENGINE_IPS
+  },
+  "virtual_over_real_ratio": $BACKEND_RATIO,
+  "virtual_strictly_faster": $VIRT_FASTER
+}
+JSON
+
+echo "== wrote $BACKEND_OUT (virtual $VIRT_SPS seeds/s vs real $REAL_SPS seeds/s, ratio $BACKEND_RATIO; engine $ENGINE_IPS instances/s) =="
+if [ "$VIRT_FASTER" != "true" ]; then
+    echo "error: the virtual backend did not beat the real clock" >&2
+    exit 1
+fi

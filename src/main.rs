@@ -8,9 +8,9 @@
 //! ssp commit    [--trials K] [--crash-prob P]      §3 commit-rate gap
 //! ssp heartbeat [-n N] [--phi F] [--delta D]       timeouts implement P
 //! ssp emulation [-n N] [--phi F] [--delta D] [-r R] §4.1 step budgets
-//! ssp runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T]
-//! ssp trace-dump [<algo> <rs|rws>] [--seed S] [--out F] | --diff F1 F2
-//! ssp serve     <algo> [rs|rws] [--clients K] [--instances I] [--seed S] [--chaos ...]
+//! ssp runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T] [--backend virtual|real]
+//! ssp trace-dump [<algo> <rs|rws>] [--seed S] [--backend virtual|real] [--out F] | --diff F1 F2
+//! ssp serve     <algo> [rs|rws] [--clients K] [--instances I] [--seed S] [--backend virtual|real] [--chaos ...]
 //! ```
 //!
 //! Algorithms: `floodset`, `floodset-ws`, `c-opt`, `c-opt-ws`, `f-opt`,
@@ -28,14 +28,13 @@ use ssp::fd::classify;
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::report::Table;
 use ssp::lab::{
-    check_threaded_run, fuzz_runtime_with, refute, run_heartbeat_experiment, FuzzOptions,
-    LatencyAggregator, RoundModel, RunVerdict, SampleSpace, Symmetry, ValidityMode, Verification,
-    Verifier,
+    check_threaded_run, fuzz_runtime, refute, run_heartbeat_experiment, LatencyAggregator,
+    RoundModel, RunVerdict, SampleSpace, Symmetry, ValidityMode, Verification, Verifier,
 };
 use ssp::model::{InitialConfig, RunLog};
 use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
 use ssp::runtime::{
-    run_threaded, ChaosConfig, DegradeMode, FaultPlan, PlanModel, SECTION_5_3_SEED,
+    Backend, ChaosConfig, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder, SECTION_5_3_SEED,
 };
 
 /// Flags that take no value: their presence means `true`.
@@ -506,6 +505,15 @@ fn parse_seed_range(s: &str) -> Result<std::ops::Range<u64>, String> {
     Ok(start..end)
 }
 
+/// Parses `--backend virtual|real` (default virtual: discrete-event
+/// time, thousands of seeds per second, byte-identical run logs).
+fn parse_backend(flags: &Flags) -> Result<Backend, String> {
+    match flags.get("backend") {
+        None => Ok(Backend::Virtual),
+        Some(v) => v.parse::<Backend>().map_err(|e| format!("--backend: {e}")),
+    }
+}
+
 /// Parses `--degrade=rws|abort|off` (default off).
 fn parse_degrade(flags: &Flags) -> Result<DegradeMode, String> {
     match flags.get("degrade").unwrap_or("off") {
@@ -535,10 +543,14 @@ fn parse_chaos(flags: &Flags) -> Result<Option<ChaosConfig>, String> {
 /// The seeded Δ-violation scenario (`runtime-fuzz --delta-violation`):
 /// an `RS` run whose network breaks its own bound, under the chosen
 /// degradation mode. Deterministic: same flags, same verdict.
-fn cmd_delta_violation(degrade: DegradeMode) -> Result<(), String> {
+fn cmd_delta_violation(degrade: DegradeMode, backend: Backend) -> Result<(), String> {
     let plan = FaultPlan::delta_violation().with_degrade(degrade);
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&A1, &config)
+        .plan(plan.clone())
+        .backend(backend)
+        .run()
+        .map_err(|e| format!("invalid runtime configuration: {e}"))?;
     let run = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
         .map_err(|d| format!("delta-violation run diverged from the models: {d}"))?;
     println!("delta-violation a1 in RS, degrade={degrade}: {plan}");
@@ -576,8 +588,9 @@ fn cmd_delta_violation(degrade: DegradeMode) -> Result<(), String> {
 
 fn cmd_runtime_fuzz(flags: &Flags) -> Result<(), String> {
     let degrade = parse_degrade(flags)?;
+    let backend = parse_backend(flags)?;
     if flags.is_set("delta-violation") {
-        return cmd_delta_violation(degrade);
+        return cmd_delta_violation(degrade, backend);
     }
     let algo_name = flags.positional.get(1).map_or("a1", String::as_str);
     let model_name = flags.positional.get(2).map_or("rws", String::as_str);
@@ -601,20 +614,26 @@ fn cmd_runtime_fuzz(flags: &Flags) -> Result<(), String> {
             ))
         }
     };
-    let options = FuzzOptions {
-        chaos: parse_chaos(flags)?,
-        degrade,
-    };
+    let chaos = parse_chaos(flags)?;
     // Distinct inputs make every agreement violation visible.
     let config = InitialConfig::new((0..n as u64).map(|i| 10 + i).collect::<Vec<_>>());
     let report = with_algo!(algo_name, algo => {
-        fuzz_runtime_with(&algo, &config, t, model, seeds.clone(), mode, options)
+        fuzz_runtime(
+            &RuntimeBuilder::new(&algo, &config)
+                .t(t)
+                .model(model)
+                .chaos(chaos)
+                .degrade(degrade)
+                .backend(backend),
+            seeds.clone(),
+            mode,
+        )
     })?;
     println!(
-        "runtime-fuzz {algo_name} in {model}: {} seeded wall-clock runs (n={n}, t={t}, seeds {}..{})",
+        "runtime-fuzz {algo_name} in {model}: {} seeded runs on the {backend} clock (n={n}, t={t}, seeds {}..{})",
         report.runs, seeds.start, seeds.end
     );
-    if let Some(chaos) = options.chaos {
+    if let Some(chaos) = chaos {
         println!(
             "  chaos: loss {}‰, dup {}‰, reorder {}‰ over the reliable layer; degrade={degrade}",
             chaos.loss_pm, chaos.dup_pm, chaos.reorder_pm
@@ -668,7 +687,7 @@ fn cmd_runtime_fuzz(flags: &Flags) -> Result<(), String> {
 /// diff two previously dumped logs (`--diff`).
 fn cmd_trace_dump(flags: &Flags) -> Result<(), String> {
     const USAGE: &str =
-        "usage: ssp trace-dump <algo> <rs|rws> [--seed S] [-n N] [-t T] [--out FILE]\n\
+        "usage: ssp trace-dump <algo> <rs|rws> [--seed S] [-n N] [-t T] [--backend virtual|real] [--out FILE]\n\
                          \u{20}      ssp trace-dump --diff FILE1 FILE2";
     if let Some(left_path) = flags.get("diff") {
         let right_path = flags.positional.get(1).ok_or(USAGE)?.as_str();
@@ -687,11 +706,17 @@ fn cmd_trace_dump(flags: &Flags) -> Result<(), String> {
         return Err(format!("need 0 ≤ t < n, got n={n}, t={t}"));
     }
     let seed = flags.u64_or("seed", SECTION_5_3_SEED)?;
+    let backend = parse_backend(flags)?;
     let config = InitialConfig::new((0..n as u64).map(|i| 10 + i).collect::<Vec<_>>());
     let jsonl = with_algo!(algo_name, algo => {
-        let horizon = RoundAlgorithm::<u64>::round_horizon(&algo, n, t);
-        let plan = FaultPlan::from_seed(seed, n, t, horizon, model).with_degrade(parse_degrade(flags)?);
-        let result = run_threaded(&algo, &config, t, plan.runtime_config());
+        let result = RuntimeBuilder::new(&algo, &config)
+            .t(t)
+            .model(model)
+            .seed(seed)
+            .degrade(parse_degrade(flags)?)
+            .backend(backend)
+            .run()
+            .map_err(|e| format!("invalid runtime configuration: {e}"))?;
         result.trace.run_log().to_jsonl()
     })?;
     match flags.get("out") {
@@ -733,7 +758,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     const USAGE: &str = "usage: ssp serve <algo> [rs|rws] [-n N] [-t T] [--clients K] \
                          [--instances I] [--seed S] [--batch B] [--keys K] [--skew Z] \
                          [--failure-free] [--chaos] [--loss P] [--dup P] [--reorder P] \
-                         [--degrade=rws|abort|off] [--drain MS] [--stats-out FILE] [--logs-out FILE]";
+                         [--degrade=rws|abort|off] [--backend virtual|real] [--drain MS] \
+                         [--stats-out FILE] [--logs-out FILE]";
     let algo_name = flags.positional.get(1).ok_or(USAGE)?.as_str();
     let model = match flags.positional.get(2).map_or("rs", String::as_str) {
         "rs" => PlanModel::Rs,
@@ -754,6 +780,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
     cfg.chaos = parse_chaos(flags)?;
     cfg.degrade = parse_degrade(flags)?;
+    cfg.backend = parse_backend(flags)?;
     if flags.is_set("drain") {
         // Routed into the runtime's typed validation: a drain below the
         // network's worst transport delay is a ConfigError, not a hang.
@@ -803,13 +830,16 @@ commands:
   emulation  [-n N] [--phi F] [--delta D] [-r R]   §4.1 step budgets
   runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T] [--validity uniform|strong]
              [--chaos] [--loss P] [--dup P] [--reorder P] [--degrade=rws|abort|off]
-             [--delta-violation]
+             [--backend virtual|real] [--delta-violation]
              sweep seeded fault plans through the threaded runtime and
              certify every trace against the round models (default: a1 rws);
              --chaos adds seed-deterministic loss/dup/reorder masked by the
              reliable layer, --delta-violation runs the scripted Δ-violation
-             scenario under the chosen degradation mode
-  trace-dump <algo> <rs|rws> [--seed S] [-n N] [-t T] [--degrade=rws|abort|off] [--out FILE]
+             scenario under the chosen degradation mode; --backend selects
+             the clock (virtual: discrete-event time, thousands of seeds/s,
+             byte-identical run logs; real: OS clock)
+  trace-dump <algo> <rs|rws> [--seed S] [-n N] [-t T] [--degrade=rws|abort|off]
+             [--backend virtual|real] [--out FILE]
   trace-dump --diff FILE1 FILE2
              run one seeded fault plan through the threaded runtime and
              print the canonical run log as line-delimited JSON (default
@@ -818,7 +848,7 @@ commands:
   serve      <algo> [rs|rws] [-n N] [-t T] [--clients K] [--instances I] [--seed S]
              [--batch B] [--keys K] [--skew Z] [--failure-free]
              [--chaos] [--loss P] [--dup P] [--reorder P] [--degrade=rws|abort|off]
-             [--drain MS] [--stats-out FILE] [--logs-out FILE]
+             [--backend virtual|real] [--drain MS] [--stats-out FILE] [--logs-out FILE]
              replicated state-machine service: repeated consensus instances
              over the threaded runtime under a seeded closed-loop workload,
              every instance audited against the round models in the
@@ -942,6 +972,33 @@ mod tests {
     #[test]
     fn runtime_fuzz_smoke() {
         dispatch(&argv("runtime-fuzz floodset rs --seed-range 0..2")).unwrap();
+    }
+
+    #[test]
+    fn backend_flag_parses_and_rejects_unknown_names() {
+        let f = parse_args(&argv("runtime-fuzz --backend real")).unwrap();
+        assert_eq!(parse_backend(&f).unwrap(), Backend::Real);
+        let f = parse_args(&argv("runtime-fuzz")).unwrap();
+        assert_eq!(
+            parse_backend(&f).unwrap(),
+            Backend::Virtual,
+            "virtual is the default"
+        );
+        let err = dispatch(&argv(
+            "runtime-fuzz floodset rs --seed-range 0..1 --backend hourglass",
+        ))
+        .unwrap_err();
+        assert!(err.contains("expected virtual|real"), "{err}");
+        assert!(dispatch(&argv("trace-dump floodset rs --backend 3 --seed 1")).is_err());
+        assert!(dispatch(&argv("serve a1 rs --instances 1 --backend sundial")).is_err());
+    }
+
+    #[test]
+    fn runtime_fuzz_real_backend_smoke() {
+        dispatch(&argv(
+            "runtime-fuzz floodset rs --seed-range 0..1 --backend real",
+        ))
+        .unwrap();
     }
 
     #[test]

@@ -16,10 +16,10 @@
 use std::time::Duration;
 
 use ssp::algos::{FloodSet, FloodSetWs, A1};
-use ssp::lab::{check_threaded_run, fuzz_runtime_with, FuzzOptions, RunVerdict, ValidityMode};
+use ssp::lab::{check_threaded_run, fuzz_runtime, RunVerdict, ValidityMode};
 use ssp::model::{InitialConfig, ProcessId, Round};
 use ssp::runtime::{
-    run_threaded, ChaosConfig, DegradeMode, FaultPlan, PlanModel, Stall, SynchronyEvent,
+    ChaosConfig, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder, Stall, SynchronyEvent,
 };
 
 const CHAOS: ChaosConfig = ChaosConfig {
@@ -30,19 +30,14 @@ const CHAOS: ChaosConfig = ChaosConfig {
 
 #[test]
 fn chaos_sweeps_conform_in_both_models() {
-    let options = FuzzOptions {
-        chaos: Some(CHAOS),
-        degrade: DegradeMode::Off,
-    };
     let config = InitialConfig::new(vec![4u64, 6, 2]);
-    let rs = fuzz_runtime_with(
-        &FloodSet,
-        &config,
-        1,
-        PlanModel::Rs,
+    let rs = fuzz_runtime(
+        &RuntimeBuilder::new(&FloodSet, &config)
+            .model(PlanModel::Rs)
+            .chaos(Some(CHAOS))
+            .degrade(DegradeMode::Off),
         0..16,
         ValidityMode::Strong,
-        options,
     );
     assert_eq!(rs.runs, 16);
     assert!(rs.is_conformant(), "RS divergences: {:?}", rs.divergences);
@@ -53,14 +48,12 @@ fn chaos_sweeps_conform_in_both_models() {
     );
     assert!(rs.spec_violations.is_empty(), "{:?}", rs.spec_violations);
 
-    let rws = fuzz_runtime_with(
-        &FloodSetWs,
-        &config,
-        1,
-        PlanModel::Rws,
+    let rws = fuzz_runtime(
+        &RuntimeBuilder::new(&FloodSetWs, &config)
+            .model(PlanModel::Rws)
+            .chaos(Some(CHAOS)),
         0..16,
         ValidityMode::Uniform,
-        options,
     );
     assert_eq!(rws.runs, 16);
     assert!(
@@ -76,7 +69,7 @@ fn section_5_3_seed_reproduces_bit_identically_under_chaos() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let run = || {
         let plan = FaultPlan::section_5_3().with_chaos(CHAOS);
-        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
         let report = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .expect("the chaos-wrapped anomaly still conforms to RWS");
         (result, report)
@@ -106,7 +99,7 @@ fn delta_violation_without_degradation_is_flagged_deterministically() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let run = || {
         let plan = FaultPlan::delta_violation();
-        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
         let report = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .expect("flagged runs are reported, not divergences");
         (result, report)
@@ -153,7 +146,7 @@ fn delta_violation_with_rws_degradation_is_admissible_same_seed() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let run = || {
         let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Rws);
-        let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
         let report = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .expect("degraded runs certify as RWS");
         (result, report)
@@ -178,7 +171,7 @@ fn delta_violation_with_rws_degradation_is_admissible_same_seed() {
 fn delta_violation_with_abort_leaves_survivors_undecided() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Abort);
-    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
     assert!(result.synchrony.aborted);
     assert!(result.trace.aborted);
     let report = check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
@@ -209,7 +202,10 @@ fn stalled_process_is_a_detector_mistake_not_a_crash() {
             duration: Duration::from_millis(150),
         },
     );
-    let result = run_threaded(&FloodSet, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&FloodSet, &config)
+        .plan(plan)
+        .run()
+        .unwrap();
     assert!(result.synchrony.violated, "the mistake trips the watchdog");
     let mistakes: Vec<_> = result
         .synchrony

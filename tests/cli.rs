@@ -101,7 +101,10 @@ fn commit_reports_rates() {
 fn runtime_fuzz_sweeps_and_reports_conformance() {
     let (ok, stdout, _) = ssp(&["runtime-fuzz", "floodset", "rs", "--seed-range", "0..4"]);
     assert!(ok, "{stdout}");
-    assert!(stdout.contains("4 seeded wall-clock runs"), "{stdout}");
+    assert!(
+        stdout.contains("4 seeded runs on the virtual clock"),
+        "{stdout}"
+    );
     assert!(stdout.contains("spec violations: none"), "{stdout}");
     assert!(
         stdout.contains("replayed tick-for-tick"),
@@ -120,6 +123,79 @@ fn runtime_fuzz_reproduces_the_section_5_3_violation_from_its_seed() {
         stdout.contains("checker sweeping the same space agrees: true"),
         "{stdout}"
     );
+}
+
+#[test]
+fn runtime_fuzz_backend_flag_selects_the_clock() {
+    let (ok, stdout, stderr) = ssp(&[
+        "runtime-fuzz",
+        "floodset",
+        "rs",
+        "--seed-range",
+        "0..2",
+        "--backend",
+        "real",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("2 seeded runs on the real clock"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn unknown_backend_is_rejected_with_the_expected_names() {
+    let (ok, _, stderr) = ssp(&[
+        "runtime-fuzz",
+        "floodset",
+        "rs",
+        "--seed-range",
+        "0..1",
+        "--backend",
+        "wall",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("expected virtual|real"), "{stderr}");
+}
+
+#[test]
+fn trace_dump_is_backend_invariant() {
+    let dir = std::env::temp_dir();
+    let v = dir.join("ssp-cli-backend-v.jsonl");
+    let r = dir.join("ssp-cli-backend-r.jsonl");
+    let (v_s, r_s) = (v.to_str().unwrap(), r.to_str().unwrap());
+    let (ok, _, stderr) = ssp(&[
+        "trace-dump",
+        "a1",
+        "rws",
+        "--seed",
+        "519",
+        "--backend",
+        "virtual",
+        "--out",
+        v_s,
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, _, stderr) = ssp(&[
+        "trace-dump",
+        "a1",
+        "rws",
+        "--seed",
+        "519",
+        "--backend",
+        "real",
+        "--out",
+        r_s,
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&v).unwrap(),
+        std::fs::read_to_string(&r).unwrap(),
+        "the §5.3 run log is byte-identical across clock backends"
+    );
+    for p in [v, r] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]

@@ -5,7 +5,7 @@
 
 use ssp::algos::{CtRounds, A1};
 use ssp::engine::{serve, EngineConfig, FaultMode, Workload, WorkloadConfig};
-use ssp::runtime::{ChaosConfig, ConfigError, PlanModel};
+use ssp::runtime::{Backend, ChaosConfig, ConfigError, PlanModel};
 
 fn chaos_cfg(model: PlanModel, seed: u64, instances: u64) -> EngineConfig {
     let mut cfg = EngineConfig::new(3, 1, model);
@@ -40,6 +40,27 @@ fn seeded_chaos_run_is_bit_deterministic() {
     for (la, lb) in a.logs.iter().zip(&b.logs) {
         assert_eq!(la.instance, lb.instance);
         assert_eq!(la.to_jsonl(), lb.to_jsonl());
+    }
+}
+
+#[test]
+fn engine_deterministic_core_is_backend_invariant() {
+    // The stats JSON serializes only the deterministic core (no wall
+    // clock), so the virtual and real backends must produce the same
+    // bytes — and the same store, and the same per-instance run logs.
+    let run = |backend| {
+        let mut cfg = chaos_cfg(PlanModel::Rs, 42, 4);
+        cfg.backend = backend;
+        let mut workload = workload_for(&cfg, 8);
+        serve(&A1, &cfg, &mut workload).expect("valid config")
+    };
+    let virt = run(Backend::Virtual);
+    let real = run(Backend::Real);
+    assert_eq!(virt.stats.to_json(), real.stats.to_json());
+    assert_eq!(virt.kv, real.kv);
+    assert_eq!(virt.logs.len(), real.logs.len());
+    for (lv, lr) in virt.logs.iter().zip(&real.logs) {
+        assert_eq!(lv.to_jsonl(), lr.to_jsonl());
     }
 }
 

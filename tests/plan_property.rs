@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use ssp::algos::{FloodSetWs, A1};
 use ssp::model::InitialConfig;
 use ssp::runtime::plan::{FAST_MAX, NOTIFY_BASE, NOTIFY_JITTER, SLOW};
-use ssp::runtime::{run_threaded, FaultPlan, PlanModel};
+use ssp::runtime::{FaultPlan, PlanModel, RuntimeBuilder};
 
 fn model() -> impl Strategy<Value = PlanModel> {
     (0u8..2).prop_map(|b| {
@@ -87,8 +87,14 @@ proptest! {
     fn same_seed_same_run_trace_rws(seed in 0u64..500) {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let plan = FaultPlan::from_seed(seed, 3, 1, 2, PlanModel::Rws);
-        let a = run_threaded(&FloodSetWs, &config, 1, plan.runtime_config());
-        let b = run_threaded(&FloodSetWs, &config, 1, plan.runtime_config());
+        let run = || {
+            RuntimeBuilder::new(&FloodSetWs, &config)
+                .plan(plan.clone())
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
         prop_assert_eq!(a.trace.round_trace(), b.trace.round_trace());
         prop_assert_eq!(&a.trace.crashes, &b.trace.crashes);
         prop_assert_eq!(a.trace.pending().triples(), b.trace.pending().triples());
@@ -98,8 +104,14 @@ proptest! {
     fn same_seed_same_run_trace_rs(seed in 0u64..500) {
         let config = InitialConfig::new(vec![10u64, 11, 12]);
         let plan = FaultPlan::from_seed(seed, 3, 1, 2, PlanModel::Rs);
-        let a = run_threaded(&A1, &config, 1, plan.runtime_config());
-        let b = run_threaded(&A1, &config, 1, plan.runtime_config());
+        let run = || {
+            RuntimeBuilder::new(&A1, &config)
+                .plan(plan.clone())
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
         prop_assert_eq!(a.trace.round_trace(), b.trace.round_trace());
         prop_assert!(a.trace.pending().is_empty(), "RS drains everything");
     }

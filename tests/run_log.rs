@@ -14,10 +14,8 @@ use ssp::algos::{FloodSet, A1};
 use ssp::model::{
     CountingObserver, InitialConfig, ProcessId, ProcessSet, Round, RunLog, RunLogObserver,
 };
-use ssp::rounds::{
-    run_rs, run_rs_observed, CrashSchedule, PendingChoice, RoundAlgorithm, RoundCrash,
-};
-use ssp::runtime::{run_threaded, FaultPlan, PlanModel, SECTION_5_3_SEED};
+use ssp::rounds::{run_rs, run_rs_observed, CrashSchedule, PendingChoice, RoundCrash};
+use ssp::runtime::{PlanModel, RuntimeBuilder, SECTION_5_3_SEED};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -71,10 +69,12 @@ fn floodset_rs_run_log_snapshot_is_byte_stable() {
 #[test]
 fn section_5_3_seed_runtime_log_snapshot_is_byte_stable() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
-    let horizon = RoundAlgorithm::<u64>::round_horizon(&A1, 3, 1);
     let run_once = || {
-        let plan = FaultPlan::from_seed(SECTION_5_3_SEED, 3, 1, horizon, PlanModel::Rws);
-        run_threaded(&A1, &config, 1, plan.runtime_config())
+        RuntimeBuilder::new(&A1, &config)
+            .model(PlanModel::Rws)
+            .seed(SECTION_5_3_SEED)
+            .run()
+            .unwrap()
             .trace
             .run_log()
             .to_jsonl()

@@ -6,7 +6,7 @@
 use ssp::algos::{FloodSet, FloodSetWs, A1};
 use ssp::lab::{check_threaded_run, fuzz_runtime, shrink_plan, ValidityMode};
 use ssp::model::InitialConfig;
-use ssp::runtime::{run_threaded, FaultPlan, PlanModel, SECTION_5_3_SEED};
+use ssp::runtime::{FaultPlan, PlanModel, RuntimeBuilder, SECTION_5_3_SEED};
 use ssp::sim::{validate_basic, validate_perfect_fd, Trace};
 
 #[test]
@@ -15,10 +15,7 @@ fn a1_rws_seed_sweep_conforms_and_finds_the_paper_violation() {
     // A window around the documented seed: mostly benign plans plus
     // the §5.3 anomaly itself.
     let report = fuzz_runtime(
-        &A1,
-        &config,
-        1,
-        PlanModel::Rws,
+        &RuntimeBuilder::new(&A1, &config).model(PlanModel::Rws),
         SECTION_5_3_SEED - 8..SECTION_5_3_SEED + 8,
         ValidityMode::Uniform,
     );
@@ -42,10 +39,7 @@ fn a1_rws_seed_sweep_conforms_and_finds_the_paper_violation() {
 fn floodset_rs_seed_sweep_is_conformant_and_safe() {
     let config = InitialConfig::new(vec![7u64, 3, 5]);
     let report = fuzz_runtime(
-        &FloodSet,
-        &config,
-        1,
-        PlanModel::Rs,
+        &RuntimeBuilder::new(&FloodSet, &config).model(PlanModel::Rs),
         0..12,
         ValidityMode::Strong,
     );
@@ -62,10 +56,7 @@ fn floodset_rs_seed_sweep_is_conformant_and_safe() {
 fn floodset_ws_rws_seed_sweep_is_conformant_and_safe() {
     let config = InitialConfig::new(vec![7u64, 3, 5]);
     let report = fuzz_runtime(
-        &FloodSetWs,
-        &config,
-        1,
-        PlanModel::Rws,
+        &RuntimeBuilder::new(&FloodSetWs, &config).model(PlanModel::Rws),
         0..12,
         ValidityMode::Uniform,
     );
@@ -81,7 +72,7 @@ fn floodset_ws_rws_seed_sweep_is_conformant_and_safe() {
 fn section_5_3_trace_passes_every_validator_individually() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let plan = FaultPlan::section_5_3();
-    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
 
     // The canonical record is admissible in RWS...
     result.trace.validate().expect("admissible RWS trace");
@@ -102,8 +93,14 @@ fn section_5_3_trace_passes_every_validator_individually() {
 fn replayed_traces_are_deterministic_across_repeated_runs() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let plan = FaultPlan::section_5_3();
-    let first = run_threaded(&A1, &config, 1, plan.runtime_config());
-    let second = run_threaded(&A1, &config, 1, plan.runtime_config());
+    let run = || {
+        RuntimeBuilder::new(&A1, &config)
+            .plan(plan.clone())
+            .run()
+            .unwrap()
+    };
+    let first = run();
+    let second = run();
     // The canonical run logs — and hence every view derived from them —
     // are byte-identical run after run.
     assert_eq!(
@@ -124,7 +121,10 @@ fn shrinking_the_section_5_3_plan_keeps_it_minimal() {
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let plan = FaultPlan::section_5_3();
     let violates = |cand: &FaultPlan| {
-        let result = run_threaded(&A1, &config, 1, cand.runtime_config());
+        let result = RuntimeBuilder::new(&A1, &config)
+            .plan(cand.clone())
+            .run()
+            .unwrap();
         check_threaded_run(&A1, &config, 1, &result, ValidityMode::Uniform)
             .map(|run| run.violation.is_some())
             .unwrap_or(false)

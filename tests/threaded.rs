@@ -5,7 +5,7 @@ use ssp::algos::{EarlyDeciding, FOptFloodSet, FloodSet, FloodSetWs, A1};
 use ssp::model::{
     check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round,
 };
-use ssp::runtime::{run_threaded, FaultPlan, PlanModel, RuntimeConfig, ThreadCrash};
+use ssp::runtime::{FaultPlan, PlanModel, RuntimeBuilder, RuntimeConfig, ThreadCrash};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -29,7 +29,11 @@ fn floodset_n5_with_two_crashes() {
                 after_sends: 1,
             },
         );
-    let result = run_threaded(&FloodSet, &config, 2, runtime);
+    let result = RuntimeBuilder::new(&FloodSet, &config)
+        .t(2)
+        .runtime(runtime)
+        .run()
+        .unwrap();
     check_uniform_consensus_strong(&result.outcome).unwrap();
     assert_eq!(result.pending_messages, 0, "RS policy drains everything");
 }
@@ -37,7 +41,11 @@ fn floodset_n5_with_two_crashes() {
 #[test]
 fn early_deciding_failure_free_on_threads() {
     let config = InitialConfig::new(vec![5u64, 2, 8, 6]);
-    let result = run_threaded(&EarlyDeciding, &config, 3, RuntimeConfig::ss_flavor(4, 3));
+    let result = RuntimeBuilder::new(&EarlyDeciding, &config)
+        .t(3)
+        .runtime(RuntimeConfig::ss_flavor(4, 3))
+        .run()
+        .unwrap();
     check_uniform_consensus_strong(&result.outcome).unwrap();
     assert_eq!(result.outcome.latency_degree(), Some(2), "f=0 ⇒ f+2 rounds");
 }
@@ -52,7 +60,11 @@ fn f_opt_with_initial_crashes_decides_round_1_on_threads() {
             after_sends: 0,
         },
     );
-    let result = run_threaded(&FOptFloodSet, &config, 1, runtime);
+    let result = RuntimeBuilder::new(&FOptFloodSet, &config)
+        .t(1)
+        .runtime(runtime)
+        .run()
+        .unwrap();
     check_uniform_consensus_strong(&result.outcome).unwrap();
     assert_eq!(
         result.outcome.latency_degree(),
@@ -72,7 +84,11 @@ fn a1_decides_after_p1_partial_crash_on_threads() {
             after_sends: 2,
         },
     );
-    let result = run_threaded(&A1, &config, 1, runtime);
+    let result = RuntimeBuilder::new(&A1, &config)
+        .t(1)
+        .runtime(runtime)
+        .run()
+        .unwrap();
     check_uniform_consensus_strong(&result.outcome).unwrap();
     for (_, o) in result.outcome.iter() {
         if o.is_correct() {
@@ -88,7 +104,7 @@ fn sp_flavor_produces_real_pending_messages() {
     // value via self-delivery, then crashes in round 2 before relaying.
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let plan = FaultPlan::section_5_3();
-    let result = run_threaded(&A1, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
     assert!(
         check_uniform_consensus(&result.outcome).is_err(),
         "the §5.3 anomaly must appear: {}",
@@ -110,7 +126,10 @@ fn floodset_ws_immune_on_threads() {
     // The exact adversary that defeats A1 leaves FloodSetWs intact.
     let config = InitialConfig::new(vec![10u64, 11, 12]);
     let plan = FaultPlan::section_5_3();
-    let result = run_threaded(&FloodSetWs, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&FloodSetWs, &config)
+        .plan(plan)
+        .run()
+        .unwrap();
     check_uniform_consensus(&result.outcome).unwrap();
 }
 
@@ -127,7 +146,11 @@ fn decide_then_crash_is_visible_to_the_checker() {
             after_sends: 0,
         },
     );
-    let result = run_threaded(&FloodSet, &config, 1, runtime);
+    let result = RuntimeBuilder::new(&FloodSet, &config)
+        .t(1)
+        .runtime(runtime)
+        .run()
+        .unwrap();
     let o = result.outcome.outcome(p(1));
     assert!(o.decision.is_some(), "decided before the scripted crash");
     assert_eq!(o.crashed_in, Some(Round::new(3)));
@@ -147,7 +170,11 @@ fn atomic_commit_runs_on_threads_too() {
             after_sends: 3,
         },
     );
-    let result = run_threaded(&VoteFlood, &config, 2, runtime);
+    let result = RuntimeBuilder::new(&VoteFlood, &config)
+        .t(2)
+        .runtime(runtime)
+        .run()
+        .unwrap();
     check_nbac(&result.outcome, NonTriviality::SddBoosted, true).unwrap();
     for (_, o) in result.outcome.iter() {
         if o.is_correct() {
@@ -169,7 +196,10 @@ fn pending_votes_abort_on_threads() {
         plan.to_string(),
         "plan[seed=98 n=3 t=1 horizon=2 model=RWS crash(p1@r1+2) slow(p1→p2@r1)]"
     );
-    let result = run_threaded(&VoteFloodWs, &config, 1, plan.runtime_config());
+    let result = RuntimeBuilder::new(&VoteFloodWs, &config)
+        .plan(plan)
+        .run()
+        .unwrap();
     check_nbac(&result.outcome, NonTriviality::Classic, false).unwrap();
     for (_, o) in result.outcome.iter() {
         if o.is_correct() {
