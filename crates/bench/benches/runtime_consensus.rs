@@ -47,6 +47,7 @@ fn bench(c: &mut Criterion) {
                 ThreadCrash {
                     round: 1,
                     after_sends: 2,
+                    sends_to: None,
                 },
             );
             let r = RuntimeBuilder::new(&FloodSet, &config)

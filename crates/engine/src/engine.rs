@@ -399,6 +399,7 @@ mod tests {
             crash: ThreadCrash {
                 round: 1,
                 after_sends: 1,
+                sends_to: None,
             },
         });
         let report = serve(&A1, &cfg, &mut workload).unwrap();

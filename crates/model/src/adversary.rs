@@ -1,0 +1,307 @@
+//! Serializable adversary records: the `(crash schedule, pending
+//! choice)` pair that fully determines a round-model execution,
+//! rendered in the same deterministic single-line JSON style as
+//! [`crate::events::RunLog::to_jsonl`].
+//!
+//! The round layers keep their own richer types (`CrashSchedule`,
+//! `PendingChoice` in `ssp-rounds`); an [`AdversaryRecord`] is the
+//! algorithm-agnostic wire form those convert through, so explorers
+//! and CLIs can persist a witness schedule next to its golden
+//! [`crate::events::RunLog`] and reload it without dragging algorithm
+//! machinery into the serialization layer.
+//!
+//! The encoding is canonical: crashes sorted by process, withheld
+//! wires sorted by `(round, src, dst)`, no whitespace — byte equality
+//! of two records means equality of the adversaries they describe.
+
+use core::fmt;
+
+use crate::events::LogParseError;
+use crate::process::{ProcessId, ProcessSet};
+use crate::time::Round;
+
+/// One scheduled crash: `process` dies during `round` having emitted
+/// its round-`round` message exactly to the members of `sends_to`
+/// (self-delivery included when scheduled). A round beyond the run's
+/// horizon with a full `sends_to` encodes "complete every round, then
+/// crash".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CrashRecord {
+    /// The crashing process.
+    pub process: ProcessId,
+    /// The round during which it crashes.
+    pub round: Round,
+    /// The destinations that still receive its final round's message.
+    pub sends_to: ProcessSet,
+}
+
+/// A complete adversary for one run: who crashes when and reaching
+/// whom, plus which emitted wires are withheld past their round
+/// (*pending* in the §4.1 sense — `RWS` only).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AdversaryRecord {
+    /// Number of processes in the run.
+    pub n: usize,
+    /// Scheduled crashes, sorted by process.
+    pub crashes: Vec<CrashRecord>,
+    /// Withheld wires as `(round, src, dst)`, sorted.
+    pub withheld: Vec<(Round, ProcessId, ProcessId)>,
+}
+
+impl AdversaryRecord {
+    /// An adversary that does nothing (failure-free run).
+    #[must_use]
+    pub fn benign(n: usize) -> Self {
+        AdversaryRecord {
+            n,
+            crashes: Vec::new(),
+            withheld: Vec::new(),
+        }
+    }
+
+    /// Sorts both components into the canonical order. Records built
+    /// field-by-field should pass through here before comparison or
+    /// serialization.
+    #[must_use]
+    pub fn canonical(mut self) -> Self {
+        self.crashes.sort();
+        self.withheld.sort();
+        self
+    }
+
+    /// The canonical single-line JSON encoding. Deterministic: equal
+    /// records produce equal bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"n\":{},\"crashes\":[", self.n);
+        for (i, c) in self.crashes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"p\":{},\"round\":{},\"sends_to\":{}}}",
+                c.process.index(),
+                c.round.get(),
+                set_json(c.sends_to)
+            );
+        }
+        out.push_str("],\"withheld\":[");
+        for (i, &(r, src, dst)) in self.withheld.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"round\":{},\"src\":{},\"dst\":{}}}",
+                r.get(),
+                src.index(),
+                dst.index()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a record emitted by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogParseError`] on malformed input or indices
+    /// outside `0..n`.
+    pub fn from_json(input: &str) -> Result<Self, LogParseError> {
+        let input = input.trim();
+        let n = num_after(input, "\"n\":")? as usize;
+        let crashes_raw = slice_between(input, "\"crashes\":[", "],\"withheld\":[")?;
+        let withheld_raw = slice_between(input, "\"withheld\":[", "]}")?;
+        let mut crashes = Vec::new();
+        for obj in objects(crashes_raw) {
+            let p = num_after(obj, "\"p\":")? as usize;
+            let round = num_after(obj, "\"round\":")? as u32;
+            let set_raw = slice_between(obj, "\"sends_to\":[", "]")?;
+            if p >= n || round == 0 {
+                return Err(LogParseError::Malformed(format!(
+                    "crash out of range in {obj}"
+                )));
+            }
+            crashes.push(CrashRecord {
+                process: ProcessId::new(p),
+                round: Round::new(round),
+                sends_to: set_from_json(set_raw, n)?,
+            });
+        }
+        let mut withheld = Vec::new();
+        for obj in objects(withheld_raw) {
+            let round = num_after(obj, "\"round\":")? as u32;
+            let src = num_after(obj, "\"src\":")? as usize;
+            let dst = num_after(obj, "\"dst\":")? as usize;
+            if src >= n || dst >= n || round == 0 {
+                return Err(LogParseError::Malformed(format!(
+                    "withheld wire out of range in {obj}"
+                )));
+            }
+            withheld.push((Round::new(round), ProcessId::new(src), ProcessId::new(dst)));
+        }
+        Ok(AdversaryRecord {
+            n,
+            crashes,
+            withheld,
+        }
+        .canonical())
+    }
+}
+
+impl fmt::Display for AdversaryRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "adversary[n={}", self.n)?;
+        for c in &self.crashes {
+            write!(f, " crash({}@r{}→{})", c.process, c.round.get(), c.sends_to)?;
+        }
+        for &(r, src, dst) in &self.withheld {
+            write!(f, " withhold({src}→{dst}@r{})", r.get())?;
+        }
+        write!(f, "]")
+    }
+}
+
+fn set_json(set: ProcessSet) -> String {
+    use fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, p) in set.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", p.index());
+    }
+    out.push(']');
+    out
+}
+
+fn set_from_json(raw: &str, n: usize) -> Result<ProcessSet, LogParseError> {
+    let mut set = ProcessSet::empty();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let idx: usize = part
+            .parse()
+            .map_err(|_| LogParseError::Malformed(format!("bad process index {part:?}")))?;
+        if idx >= n {
+            return Err(LogParseError::Malformed(format!(
+                "process index {idx} outside 0..{n}"
+            )));
+        }
+        set.insert(ProcessId::new(idx));
+    }
+    Ok(set)
+}
+
+fn num_after(haystack: &str, key: &str) -> Result<u64, LogParseError> {
+    let start = haystack
+        .find(key)
+        .ok_or_else(|| LogParseError::Malformed(format!("missing {key:?} in {haystack}")))?
+        + key.len();
+    let digits: String = haystack[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| LogParseError::Malformed(format!("bad number after {key:?} in {haystack}")))
+}
+
+fn slice_between<'a>(haystack: &'a str, open: &str, close: &str) -> Result<&'a str, LogParseError> {
+    let start = haystack
+        .find(open)
+        .ok_or_else(|| LogParseError::Malformed(format!("missing {open:?} in {haystack}")))?
+        + open.len();
+    let end = haystack[start..]
+        .find(close)
+        .ok_or_else(|| LogParseError::Malformed(format!("missing {close:?} in {haystack}")))?;
+    Ok(&haystack[start..start + end])
+}
+
+/// Splits a `{..},{..}` object-array body into its objects.
+fn objects(raw: &str) -> impl Iterator<Item = &str> {
+    raw.split("},{")
+        .map(|o| o.trim_start_matches('{').trim_end_matches('}'))
+        .filter(|o| !o.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample() -> AdversaryRecord {
+        AdversaryRecord {
+            n: 3,
+            crashes: vec![CrashRecord {
+                process: p(0),
+                round: Round::new(2),
+                sends_to: ProcessSet::empty(),
+            }],
+            withheld: vec![(Round::FIRST, p(0), p(1)), (Round::FIRST, p(0), p(2))],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rec = sample();
+        let json = rec.to_json();
+        assert_eq!(
+            json,
+            "{\"n\":3,\"crashes\":[{\"p\":0,\"round\":2,\"sends_to\":[]}],\
+             \"withheld\":[{\"round\":1,\"src\":0,\"dst\":1},{\"round\":1,\"src\":0,\"dst\":2}]}"
+        );
+        assert_eq!(AdversaryRecord::from_json(&json).unwrap(), rec);
+    }
+
+    #[test]
+    fn benign_round_trip() {
+        let rec = AdversaryRecord::benign(4);
+        assert_eq!(AdversaryRecord::from_json(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn nonempty_sends_to_round_trips() {
+        let mut rec = AdversaryRecord::benign(4);
+        rec.crashes.push(CrashRecord {
+            process: p(2),
+            round: Round::new(1),
+            sends_to: [p(0), p(2), p(3)].into_iter().collect(),
+        });
+        let back = AdversaryRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+        assert!(back.crashes[0].sends_to.contains(p(3)));
+    }
+
+    #[test]
+    fn canonical_sorts_components() {
+        let mut rec = sample();
+        rec.withheld.reverse();
+        assert_eq!(rec.clone().canonical(), sample());
+        assert_eq!(rec.canonical().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let json = "{\"n\":3,\"crashes\":[{\"p\":7,\"round\":2,\"sends_to\":[]}],\"withheld\":[]}";
+        assert!(AdversaryRecord::from_json(json).is_err());
+        let json = "{\"n\":3,\"crashes\":[],\"withheld\":[{\"round\":1,\"src\":0,\"dst\":5}]}";
+        assert!(AdversaryRecord::from_json(json).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = sample().to_string();
+        assert!(s.contains("crash(p1@r2→{})"), "{s}");
+        assert!(s.contains("withhold(p1→p2@r1)"), "{s}");
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod config;
 pub mod events;
 pub mod failure;
@@ -52,6 +53,7 @@ pub mod spec;
 pub mod time;
 pub mod value;
 
+pub use adversary::{AdversaryRecord, CrashRecord};
 pub use config::{canonical_full_classes, canonical_value_classes, InitialConfig};
 pub use events::{
     CountingObserver, DeliveryMatrix, Divergence, EventCounts, LogParseError, NullObserver,

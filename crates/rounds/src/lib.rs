@@ -33,5 +33,8 @@ pub use exec::{
     run_rs, run_rs_observed, run_rs_traced, run_rws, run_rws_observed, run_rws_traced, try_run_rs,
     ScheduleError, TracedOutcome,
 };
-pub use schedule::{validate_pending, CrashSchedule, PendingChoice, PendingError, RoundCrash};
+pub use schedule::{
+    from_record, to_record, validate_pending, CrashSchedule, PendingChoice, PendingError,
+    RoundCrash,
+};
 pub use trace::{RoundRecord, RoundTrace};

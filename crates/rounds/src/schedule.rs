@@ -11,7 +11,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use ssp_model::{ProcessId, ProcessSet, Round};
+use ssp_model::{AdversaryRecord, CrashRecord, ProcessId, ProcessSet, Round};
 
 /// A process's crash within a round-based run: it crashes *during*
 /// round `round`, after sending its round messages only to `sends_to`
@@ -146,6 +146,50 @@ impl CrashSchedule {
             }
         }
     }
+}
+
+/// Flattens a `(schedule, pending)` adversary into its serializable
+/// [`AdversaryRecord`] wire form (see `ssp_model::adversary`).
+#[must_use]
+pub fn to_record(schedule: &CrashSchedule, pending: &PendingChoice) -> AdversaryRecord {
+    let crashes = (0..schedule.n())
+        .filter_map(|i| {
+            let p = ProcessId::new(i);
+            schedule.crash_of(p).map(|c| CrashRecord {
+                process: p,
+                round: c.round,
+                sends_to: c.sends_to,
+            })
+        })
+        .collect();
+    AdversaryRecord {
+        n: schedule.n(),
+        crashes,
+        withheld: pending.triples().to_vec(),
+    }
+    .canonical()
+}
+
+/// Rebuilds the `(schedule, pending)` adversary a record describes —
+/// the inverse of [`to_record`]. The record's indices are trusted to
+/// be in range (parsing via `AdversaryRecord::from_json` enforces it).
+#[must_use]
+pub fn from_record(record: &AdversaryRecord) -> (CrashSchedule, PendingChoice) {
+    let mut schedule = CrashSchedule::none(record.n);
+    for c in &record.crashes {
+        schedule.crash(
+            c.process,
+            RoundCrash {
+                round: c.round,
+                sends_to: c.sends_to,
+            },
+        );
+    }
+    let mut pending = PendingChoice::none();
+    for &(round, src, dst) in &record.withheld {
+        pending.withhold(round, src, dst);
+    }
+    (schedule, pending)
 }
 
 impl fmt::Display for CrashSchedule {

@@ -32,8 +32,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ssp_model::{
-    process::all_processes, ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, Round,
-    Value,
+    process::all_processes, ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, ProcessSet,
+    Round, Value,
 };
 use ssp_rounds::{RoundAlgorithm, RoundProcess};
 
@@ -96,15 +96,66 @@ pub enum FdFlavor {
 }
 
 /// A scripted crash: the process stops during `round` after emitting
-/// `after_sends` of its `n` messages (self-delivery counts as a send
-/// slot). A round beyond the horizon makes the process complete every
-/// round — possibly deciding — and *then* crash.
+/// a subset of its `n` messages (self-delivery counts as a send slot).
+/// A round beyond the horizon makes the process complete every round —
+/// possibly deciding — and *then* crash.
+///
+/// With `sends_to: None` the emitted subset is the *prefix* of length
+/// `after_sends` in process order — the seed-derived [`FaultPlan`]
+/// shape. With `sends_to: Some(set)` the process emits exactly to the
+/// members of `set` (in process order) and then dies at the end of the
+/// send phase; `after_sends` is ignored. Arbitrary sets are what the
+/// exploration layer needs: the canonical representative of a crash
+/// orbit is rarely a prefix.
+///
+/// [`FaultPlan`]: crate::plan::FaultPlan
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadCrash {
     /// The round during which the process crashes.
     pub round: u32,
-    /// Messages it manages to emit in that round before dying.
+    /// Messages it manages to emit in that round before dying
+    /// (prefix mode; ignored when `sends_to` is set).
     pub after_sends: usize,
+    /// Exact set of processes reached in the crash round, overriding
+    /// the `after_sends` prefix when present.
+    pub sends_to: Option<ProcessSet>,
+}
+
+impl ThreadCrash {
+    /// Prefix-mode crash: die in `round` after the first `after_sends`
+    /// send slots (the historical constructor shape).
+    #[must_use]
+    pub fn prefix(round: u32, after_sends: usize) -> Self {
+        ThreadCrash {
+            round,
+            after_sends,
+            sends_to: None,
+        }
+    }
+
+    /// Set-mode crash: die in `round` after emitting exactly to `set`.
+    #[must_use]
+    pub fn sending_to(round: u32, set: ProcessSet) -> Self {
+        ThreadCrash {
+            round,
+            after_sends: 0,
+            sends_to: Some(set),
+        }
+    }
+
+    /// Whether slot `slot` (for receiver `q` out of `n`) is emitted.
+    fn emits(&self, slot: usize, q: ProcessId) -> bool {
+        match self.sends_to {
+            Some(set) => set.contains(q),
+            None => slot < self.after_sends,
+        }
+    }
+
+    /// Whether the crash fires only *after* the full send phase of its
+    /// round (i.e. every slot it wanted to emit is emitted in-loop).
+    fn after_full_send_phase(&self, n: usize) -> bool {
+        self.sends_to.is_some() || self.after_sends >= n
+    }
 }
 
 /// A scripted heartbeat starvation: the process sleeps for `duration`
@@ -177,6 +228,15 @@ pub enum ConfigError {
         /// Expected dimension (`n`).
         expected: usize,
     },
+    /// A set-mode crash script names a receiver outside `0..n`.
+    CrashSendSet {
+        /// The crashing process.
+        process: ProcessId,
+        /// The offending receiver index.
+        receiver: ProcessId,
+        /// Number of processes (`n`).
+        n: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -208,6 +268,14 @@ impl fmt::Display for ConfigError {
                 f,
                 "oracle notify script must be {expected}\u{d7}{expected} (one delay per \
                  crasher/observer pair)"
+            ),
+            ConfigError::CrashSendSet {
+                process,
+                receiver,
+                n,
+            } => write!(
+                f,
+                "crash script for {process} sends to {receiver}, outside the {n}-process ring"
             ),
         }
     }
@@ -383,6 +451,22 @@ impl RuntimeConfig {
                 return Err(ConfigError::NotifyShape { expected: n });
             }
         }
+        for (slot, crash) in self.crashes.iter().enumerate() {
+            let Some(ThreadCrash {
+                sends_to: Some(set),
+                ..
+            }) = crash
+            else {
+                continue;
+            };
+            if let Some(receiver) = set.iter().find(|q| q.index() >= n) {
+                return Err(ConfigError::CrashSendSet {
+                    process: ProcessId::new(slot),
+                    receiver,
+                    n,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -521,6 +605,16 @@ where
     };
 
     let started = clock.now();
+    // Reserve every worker's running slot before spawning any of them.
+    // Registering lazily (each slot just before its own spawn) leaves a
+    // window where the already-spawned workers are the only registered
+    // threads: if the spawning thread is descheduled mid-loop, those
+    // workers' polls drive virtual time forward unboundedly, and the
+    // not-yet-spawned workers' epoch heartbeats go stale — live peers
+    // get suspected before they ever run.
+    for _ in all_processes(n) {
+        clock.register();
+    }
     let mut handles = Vec::with_capacity(n);
     for me in all_processes(n) {
         let proc_ = algo.spawn(me, n, t, config.input(me).clone());
@@ -549,9 +643,6 @@ where
             retire,
             clock: clock.clone(),
         };
-        // Register on the spawner's side, so the virtual clock can
-        // never advance in the window before the worker starts.
-        clock.register();
         let wclock = clock.clone();
         handles.push(
             std::thread::Builder::new()
@@ -685,7 +776,13 @@ where
                 let mut sent: Vec<Option<Option<P::Msg>>> = vec![None; n];
                 for (slot, q) in all_processes(n).enumerate() {
                     if let Some(c) = crash {
-                        if c.round == rr && slot >= c.after_sends {
+                        if c.round == rr && !c.emits(slot, q) {
+                            if c.sends_to.is_some() {
+                                // Set mode: an unscripted slot is
+                                // skipped, not fatal — the crash fires
+                                // after the send phase.
+                                continue;
+                            }
                             crash_now(rr);
                             log.push(RoundObs {
                                 sent,
@@ -708,7 +805,7 @@ where
                     }
                 }
                 if let Some(c) = crash {
-                    if c.round == rr && c.after_sends >= n {
+                    if c.round == rr && c.after_full_send_phase(n) {
                         crash_now(rr);
                         log.push(RoundObs {
                             sent,
@@ -754,7 +851,12 @@ where
         let mut self_payload: Option<Option<P::Msg>> = None;
         for (slot, q) in all_processes(n).enumerate() {
             if let Some(c) = crash {
-                if c.round == r && slot >= c.after_sends {
+                if c.round == r && !c.emits(slot, q) {
+                    if c.sends_to.is_some() {
+                        // Set mode: an unscripted slot is skipped, not
+                        // fatal — the crash fires after the send phase.
+                        continue;
+                    }
                     crash_now(r);
                     log.push(RoundObs {
                         sent,
@@ -779,9 +881,10 @@ where
             }
         }
         if let Some(c) = crash {
-            // `after_sends ≥ n` means "crash during round r after the
-            // full broadcast, before applying trans".
-            if c.round == r && c.after_sends >= n {
+            // `after_sends ≥ n` (prefix mode) or any set-mode script
+            // means "crash during round r after the send phase, before
+            // applying trans".
+            if c.round == r && c.after_full_send_phase(n) {
                 crash_now(r);
                 log.push(RoundObs {
                     sent,
@@ -994,6 +1097,7 @@ mod tests {
             ThreadCrash {
                 round: 1,
                 after_sends: 2, // reaches itself and p2, not p3
+                sends_to: None,
             },
         );
         let result = run_virtual(&FloodSet, &config, 1, runtime);
@@ -1023,6 +1127,7 @@ mod tests {
             ThreadCrash {
                 round: 2,
                 after_sends: 0,
+                sends_to: None,
             },
         );
         let result = run_virtual(&A1, &config, 1, runtime);
@@ -1057,6 +1162,7 @@ mod tests {
             ThreadCrash {
                 round: 2,
                 after_sends: 0,
+                sends_to: None,
             },
         );
         let result = run_virtual(&FloodSetWs, &config, 1, runtime);
@@ -1101,6 +1207,7 @@ mod tests {
                 ThreadCrash {
                     round: 2,
                     after_sends: 1,
+                    sends_to: None,
                 },
             );
         let result = run_virtual(&A1, &config, 1, runtime);

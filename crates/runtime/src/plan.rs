@@ -34,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ssp_model::ProcessId;
+use ssp_rounds::{CrashSchedule, PendingChoice};
 
 use crate::driver::{FdFlavor, RuntimeConfig, Stall, SyncPolicy, ThreadCrash, WatchdogConfig};
 use crate::fd::DegradeMode;
@@ -169,7 +170,11 @@ impl FaultPlan {
             } else {
                 rng.gen_range(0..=n)
             };
-            crashes[v] = Some(ThreadCrash { round, after_sends });
+            crashes[v] = Some(ThreadCrash {
+                round,
+                after_sends,
+                sends_to: None,
+            });
         }
 
         let mut slow = Vec::new();
@@ -203,6 +208,80 @@ impl FaultPlan {
 
         FaultPlan {
             seed,
+            n,
+            t,
+            horizon,
+            model,
+            crashes,
+            slow,
+            notify,
+            chaos: None,
+            degrade: DegradeMode::Off,
+            slow_delay: SLOW,
+            stalls: vec![None; n],
+        }
+    }
+
+    /// Realizes a round-model adversary — a [`CrashSchedule`] plus a
+    /// [`PendingChoice`] — as a threaded fault plan, the bridge the
+    /// exploration layer drives:
+    ///
+    /// * every scheduled [`ssp_rounds::RoundCrash`] becomes a set-mode
+    ///   [`ThreadCrash`] emitting exactly to its `sends_to` members
+    ///   (post-horizon crashes stay prefix crashes with no cut — the
+    ///   process completes every round and then dies);
+    /// * every withheld `(round, src, dst)` triple becomes a slowed
+    ///   link, so the wire is emitted but outlives the run — *pending*
+    ///   in the §4.1 sense;
+    /// * `RWS` plans get a *uniform* [`NOTIFY_BASE`] oracle matrix
+    ///   (no jitter): the plan is a function of the adversary alone,
+    ///   never of a seed, which is what makes explored executions
+    ///   byte-comparable across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t ≥ n`, the schedule crashes more than `t`
+    /// processes, or a crash round exceeds `horizon + 1`.
+    #[must_use]
+    pub fn from_adversary(
+        schedule: &CrashSchedule,
+        pending: &PendingChoice,
+        t: usize,
+        horizon: u32,
+        model: PlanModel,
+    ) -> Self {
+        let n = schedule.n();
+        assert!(n > 0 && t < n, "need 0 < n and t < n");
+        assert!(
+            schedule.fault_count() <= t,
+            "schedule crashes {} > t = {t}",
+            schedule.fault_count()
+        );
+        let mut crashes: Vec<Option<ThreadCrash>> = vec![None; n];
+        for (p, slot) in crashes.iter_mut().enumerate() {
+            let Some(crash) = schedule.crash_of(ProcessId::new(p)) else {
+                continue;
+            };
+            let round = crash.round.get();
+            assert!(round <= horizon + 1, "crash round {round} beyond horizon");
+            *slot = Some(if round > horizon {
+                // Decide-then-crash: completes every round first.
+                ThreadCrash::prefix(round, 0)
+            } else {
+                ThreadCrash::sending_to(round, crash.sends_to)
+            });
+        }
+        let slow = pending
+            .triples()
+            .iter()
+            .map(|&(r, src, dst)| (src, dst, r.get()))
+            .collect();
+        let notify = match model {
+            PlanModel::Rs => Vec::new(),
+            PlanModel::Rws => vec![vec![NOTIFY_BASE; n]; n],
+        };
+        FaultPlan {
+            seed: 0,
             n,
             t,
             horizon,
@@ -266,6 +345,7 @@ impl FaultPlan {
         crashes[0] = Some(ThreadCrash {
             round: 2,
             after_sends: 0,
+            sends_to: None,
         });
         FaultPlan {
             seed: DELTA_VIOLATION_SEED,
@@ -372,13 +452,18 @@ impl fmt::Display for FaultPlan {
         )?;
         for (i, c) in self.crashes.iter().enumerate() {
             if let Some(c) = c {
-                write!(
-                    f,
-                    " crash({}@r{}+{})",
-                    ProcessId::new(i),
-                    c.round,
-                    c.after_sends
-                )?;
+                match c.sends_to {
+                    Some(set) => {
+                        write!(f, " crash({}@r{}→{})", ProcessId::new(i), c.round, set)?;
+                    }
+                    None => write!(
+                        f,
+                        " crash({}@r{}+{})",
+                        ProcessId::new(i),
+                        c.round,
+                        c.after_sends
+                    )?,
+                }
             }
         }
         for &(src, dst, r) in &self.slow {
@@ -487,6 +572,63 @@ mod tests {
         assert!(s.contains("slow(p1→p2@r1)"), "{s}");
         assert!(!s.contains("chaos"), "plain plans print no chaos");
         assert!(!s.contains("degrade"), "Off is the silent default");
+    }
+
+    #[test]
+    fn from_adversary_realizes_schedule_and_pending() {
+        use ssp_model::{ProcessSet, Round};
+        use ssp_rounds::RoundCrash;
+
+        // The §5.3 adversary, spelled as a round-model schedule: p1
+        // crashes in round 2 reaching nobody, both round-1 broadcasts
+        // withheld.
+        let mut schedule = CrashSchedule::none(3);
+        schedule.crash(
+            ProcessId::new(0),
+            RoundCrash {
+                round: Round::new(2),
+                sends_to: ProcessSet::empty(),
+            },
+        );
+        let mut pending = PendingChoice::none();
+        pending.withhold(Round::FIRST, ProcessId::new(0), ProcessId::new(1));
+        pending.withhold(Round::FIRST, ProcessId::new(0), ProcessId::new(2));
+        let plan = FaultPlan::from_adversary(&schedule, &pending, 1, 2, PlanModel::Rws);
+        assert_eq!(
+            plan.crashes[0],
+            Some(ThreadCrash::sending_to(2, ProcessSet::empty()))
+        );
+        assert_eq!(plan.crashes[1], None);
+        assert_eq!(
+            plan.slow,
+            vec![
+                (ProcessId::new(0), ProcessId::new(1), 1),
+                (ProcessId::new(0), ProcessId::new(2), 1),
+            ]
+        );
+        // Uniform, jitter-free oracle: the plan is a function of the
+        // adversary alone, so explored runs are byte-comparable.
+        assert_eq!(plan.notify, vec![vec![NOTIFY_BASE; 3]; 3]);
+        plan.runtime_config().validate(3).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("crash(p1@r2→{})"), "{s}");
+        assert!(s.contains("slow(p1→p2@r1)"), "{s}");
+
+        // A post-horizon crash stays a prefix crash — the process
+        // completes every round and then dies.
+        let mut late = CrashSchedule::none(3);
+        late.crash(
+            ProcessId::new(2),
+            RoundCrash {
+                round: Round::new(3),
+                sends_to: ProcessSet::full(3),
+            },
+        );
+        let plan = FaultPlan::from_adversary(&late, &PendingChoice::none(), 1, 2, PlanModel::Rs);
+        assert_eq!(plan.crashes[2], Some(ThreadCrash::prefix(3, 0)));
+        assert!(plan.slow.is_empty(), "RS forbids pending messages");
+        assert!(plan.notify.is_empty());
+        plan.runtime_config().validate(3).unwrap();
     }
 
     #[test]

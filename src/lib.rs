@@ -53,6 +53,7 @@
 pub use ssp_algos as algos;
 pub use ssp_commit as commit;
 pub use ssp_engine as engine;
+pub use ssp_explore as explore;
 pub use ssp_fd as fd;
 pub use ssp_lab as lab;
 pub use ssp_model as model;

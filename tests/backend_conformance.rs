@@ -18,9 +18,10 @@ use proptest::prelude::*;
 
 use ssp::algos::{FloodSet, FloodSetWs, A1};
 use ssp::model::{check_uniform_consensus, InitialConfig};
-use ssp::runtime::{
-    Backend, ChaosConfig, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder, SECTION_5_3_SEED,
-};
+use ssp::runtime::{Backend, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder, SECTION_5_3_SEED};
+
+mod common;
+use common::{section_5_3_config, CHAOS};
 
 /// Runs the §5.3 configuration for `algo` under `builder` tweaks on
 /// one backend and returns the canonical run log as JSONL.
@@ -69,16 +70,11 @@ fn rws_seed_sweep_logs_agree_across_backends() {
 
 #[test]
 fn chaos_sweep_logs_agree_across_backends() {
-    let chaos = ChaosConfig {
-        loss_pm: 300,
-        dup_pm: 100,
-        reorder_pm: 50,
-    };
     let config = InitialConfig::new(vec![4u64, 6, 2]);
     for seed in 0..3 {
         let b = RuntimeBuilder::new(&FloodSet, &config)
             .model(PlanModel::Rs)
-            .chaos(Some(chaos))
+            .chaos(Some(CHAOS))
             .seed(seed);
         assert_eq!(
             log_on!(b, Backend::Virtual),
@@ -90,7 +86,7 @@ fn chaos_sweep_logs_agree_across_backends() {
 
 #[test]
 fn section_5_3_seed_agrees_across_backends_and_keeps_the_anomaly() {
-    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let config = section_5_3_config();
     let b = RuntimeBuilder::new(&A1, &config)
         .model(PlanModel::Rws)
         .seed(SECTION_5_3_SEED);
@@ -112,7 +108,7 @@ fn section_5_3_seed_agrees_across_backends_and_keeps_the_anomaly() {
 
 #[test]
 fn delta_violation_agrees_across_backends_in_all_degrade_modes() {
-    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let config = section_5_3_config();
     for mode in [DegradeMode::Off, DegradeMode::Rws, DegradeMode::Abort] {
         let plan = FaultPlan::delta_violation().with_degrade(mode);
         let b = RuntimeBuilder::new(&A1, &config).plan(plan);
@@ -145,7 +141,7 @@ proptest! {
         seed in 0u64..5_000,
         rws in (0u8..2).prop_map(|b| b == 1),
     ) {
-        let config = InitialConfig::new(vec![10u64, 11, 12]);
+        let config = section_5_3_config();
         let model = if rws { PlanModel::Rws } else { PlanModel::Rs };
         let jsonl = || {
             if rws {

@@ -18,15 +18,10 @@ use std::time::Duration;
 use ssp::algos::{FloodSet, FloodSetWs, A1};
 use ssp::lab::{check_threaded_run, fuzz_runtime, RunVerdict, ValidityMode};
 use ssp::model::{InitialConfig, ProcessId, Round};
-use ssp::runtime::{
-    ChaosConfig, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder, Stall, SynchronyEvent,
-};
+use ssp::runtime::{DegradeMode, FaultPlan, PlanModel, RuntimeBuilder, Stall, SynchronyEvent};
 
-const CHAOS: ChaosConfig = ChaosConfig {
-    loss_pm: 300,
-    dup_pm: 100,
-    reorder_pm: 50,
-};
+mod common;
+use common::{section_5_3_config, CHAOS};
 
 #[test]
 fn chaos_sweeps_conform_in_both_models() {
@@ -66,7 +61,7 @@ fn chaos_sweeps_conform_in_both_models() {
 
 #[test]
 fn section_5_3_seed_reproduces_bit_identically_under_chaos() {
-    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let config = section_5_3_config();
     let run = || {
         let plan = FaultPlan::section_5_3().with_chaos(CHAOS);
         let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
@@ -96,7 +91,7 @@ fn section_5_3_seed_reproduces_bit_identically_under_chaos() {
 
 #[test]
 fn delta_violation_without_degradation_is_flagged_deterministically() {
-    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let config = section_5_3_config();
     let run = || {
         let plan = FaultPlan::delta_violation();
         let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
@@ -143,7 +138,7 @@ fn delta_violation_without_degradation_is_flagged_deterministically() {
 
 #[test]
 fn delta_violation_with_rws_degradation_is_admissible_same_seed() {
-    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let config = section_5_3_config();
     let run = || {
         let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Rws);
         let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
@@ -169,7 +164,7 @@ fn delta_violation_with_rws_degradation_is_admissible_same_seed() {
 
 #[test]
 fn delta_violation_with_abort_leaves_survivors_undecided() {
-    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let config = section_5_3_config();
     let plan = FaultPlan::delta_violation().with_degrade(DegradeMode::Abort);
     let result = RuntimeBuilder::new(&A1, &config).plan(plan).run().unwrap();
     assert!(result.synchrony.aborted);

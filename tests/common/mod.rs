@@ -1,0 +1,50 @@
+//! Helpers shared by the integration suites. Each test binary pulls
+//! in what it needs; the rest is dead code by design.
+#![allow(dead_code)]
+
+use ssp::model::{InitialConfig, ProcessId};
+use ssp::runtime::ChaosConfig;
+
+/// Shorthand for [`ProcessId::new`].
+pub fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// The chaos profile the resilience suites run under: 300‰ loss,
+/// 100‰ duplication, 50‰ reordering — heavy enough to touch most
+/// runs, fully masked by the reliable-delivery layer.
+pub const CHAOS: ChaosConfig = ChaosConfig {
+    loss_pm: 300,
+    dup_pm: 100,
+    reorder_pm: 50,
+};
+
+/// The three-process configuration every §5.3 scenario runs over:
+/// distinct inputs so any agreement violation is observable.
+pub fn section_5_3_config() -> InitialConfig<u64> {
+    InitialConfig::new(vec![10u64, 11, 12])
+}
+
+/// Asserts `actual` matches the golden file under `tests/golden/`, or
+/// rewrites the file when `SSP_REGEN_GOLDEN` is set.
+pub fn golden_check(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("SSP_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SSP_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "run log drifted from tests/golden/{name}; if the change is \
+         intentional, regenerate with SSP_REGEN_GOLDEN=1"
+    );
+}

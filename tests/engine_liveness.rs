@@ -75,7 +75,7 @@ proptest! {
         let crash = EngineCrash {
             instance,
             process: 0,
-            crash: ThreadCrash { round, after_sends },
+            crash: ThreadCrash { round, after_sends, sends_to: None },
         };
         // RS service on A1 (the paper's 1-round algorithm)…
         let rs = run_engine(&A1, PlanModel::Rs, seed, crash);

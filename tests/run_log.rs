@@ -17,33 +17,8 @@ use ssp::model::{
 use ssp::rounds::{run_rs, run_rs_observed, CrashSchedule, PendingChoice, RoundCrash};
 use ssp::runtime::{PlanModel, RuntimeBuilder, SECTION_5_3_SEED};
 
-fn p(i: usize) -> ProcessId {
-    ProcessId::new(i)
-}
-
-/// Asserts `actual` matches the golden file, or rewrites the file when
-/// `SSP_REGEN_GOLDEN` is set.
-fn golden_check(name: &str, actual: &str) {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name);
-    if std::env::var_os("SSP_REGEN_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, actual).unwrap();
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); regenerate with SSP_REGEN_GOLDEN=1",
-            path.display()
-        )
-    });
-    assert_eq!(
-        actual, expected,
-        "run log drifted from tests/golden/{name}; if the change is \
-         intentional, regenerate with SSP_REGEN_GOLDEN=1"
-    );
-}
+mod common;
+use common::{golden_check, p, section_5_3_config};
 
 #[test]
 fn floodset_rs_run_log_snapshot_is_byte_stable() {
@@ -68,7 +43,7 @@ fn floodset_rs_run_log_snapshot_is_byte_stable() {
 
 #[test]
 fn section_5_3_seed_runtime_log_snapshot_is_byte_stable() {
-    let config = InitialConfig::new(vec![10u64, 11, 12]);
+    let config = section_5_3_config();
     let run_once = || {
         RuntimeBuilder::new(&A1, &config)
             .model(PlanModel::Rws)

@@ -2,14 +2,11 @@
 //! algorithms, real threads, real channels, real clocks.
 
 use ssp::algos::{EarlyDeciding, FOptFloodSet, FloodSet, FloodSetWs, A1};
-use ssp::model::{
-    check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, ProcessId, Round,
-};
+use ssp::model::{check_uniform_consensus, check_uniform_consensus_strong, InitialConfig, Round};
 use ssp::runtime::{FaultPlan, PlanModel, RuntimeBuilder, RuntimeConfig, ThreadCrash};
 
-fn p(i: usize) -> ProcessId {
-    ProcessId::new(i)
-}
+mod common;
+use common::p;
 
 #[test]
 fn floodset_n5_with_two_crashes() {
@@ -20,6 +17,7 @@ fn floodset_n5_with_two_crashes() {
             ThreadCrash {
                 round: 1,
                 after_sends: 3,
+                sends_to: None,
             },
         )
         .with_crash(
@@ -27,6 +25,7 @@ fn floodset_n5_with_two_crashes() {
             ThreadCrash {
                 round: 2,
                 after_sends: 1,
+                sends_to: None,
             },
         );
     let result = RuntimeBuilder::new(&FloodSet, &config)
@@ -58,6 +57,7 @@ fn f_opt_with_initial_crashes_decides_round_1_on_threads() {
         ThreadCrash {
             round: 1,
             after_sends: 0,
+            sends_to: None,
         },
     );
     let result = RuntimeBuilder::new(&FOptFloodSet, &config)
@@ -82,6 +82,7 @@ fn a1_decides_after_p1_partial_crash_on_threads() {
         ThreadCrash {
             round: 1,
             after_sends: 2,
+            sends_to: None,
         },
     );
     let result = RuntimeBuilder::new(&A1, &config)
@@ -144,6 +145,7 @@ fn decide_then_crash_is_visible_to_the_checker() {
         ThreadCrash {
             round: 3,
             after_sends: 0,
+            sends_to: None,
         },
     );
     let result = RuntimeBuilder::new(&FloodSet, &config)
@@ -168,6 +170,7 @@ fn atomic_commit_runs_on_threads_too() {
         ThreadCrash {
             round: 1,
             after_sends: 3,
+            sends_to: None,
         },
     );
     let result = RuntimeBuilder::new(&VoteFlood, &config)
