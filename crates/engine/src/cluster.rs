@@ -1,0 +1,1214 @@
+//! Multi-process serving: one OS process per consensus process over
+//! the socket transport, plus the parent-side merge that certifies
+//! real-network executions with the same
+//! [`audit_instance`](ssp_lab::audit_instance) pipeline as in-process
+//! runs.
+//!
+//! The scheme leans on one structural fact: the workload and the
+//! proposal queue are pure functions of `(seed, decided history)`.
+//! Every node replicates the client population and the proposer
+//! locally, so the per-process proposals of instance `k` are identical
+//! across nodes *and* identical to what an in-process engine run with
+//! the same seed would build — which is what makes the loopback
+//! conformance diff (socket trace vs virtual-clock oracle) and the
+//! parent-side replay possible at all.
+//!
+//! Per instance, every node runs `A1`'s two rounds in the lock-step
+//! discipline of the threaded driver: a send phase (explicit null
+//! wires included), then a collect phase that closes on a full row or
+//! on PFD suspicion ([`StalenessFd`]) plus the `RS` drain — suspicion
+//! only ever comes from the timeout, never from socket state, so a
+//! `kill -9`'d peer surfaces exactly the way §3's detector
+//! construction says it must. Each node appends its observations to a
+//! line-oriented report file; the parent tails those files, replays
+//! the proposer deterministically, reconstructs one canonical
+//! [`RunTrace`] per instance (crash rounds for killed nodes are
+//! derived from the survivors' received rows), and audits it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ssp_algos::{A1Msg, A1};
+use ssp_lab::{audit_instance, InstanceAudit, ValidityMode};
+use ssp_model::{ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, Round, TaggedRunLog};
+use ssp_rounds::{RoundAlgorithm, RoundProcess};
+use ssp_runtime::{
+    ChaosProxy, ChaosProxyConfig, DegradeMode, FdModule, LinkSpec, NetStats, RoundObs, RunTrace,
+    SocketConfig, SocketNet, StalenessFd, SynchronyEvent, SynchronyReport, ThreadedOutcome,
+    TransportStats,
+};
+
+use crate::command::{Batch, Command, CommandId, KvStore, Op};
+use crate::proposer::Proposer;
+use crate::stats::EngineStats;
+use crate::workload::{Workload, WorkloadConfig};
+
+/// `A1`'s round horizon (fixed: round 1 broadcast, round 2 relay).
+const HORIZON: u32 = 2;
+
+/// Configuration of one cluster node (one OS process).
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's process index.
+    pub me: usize,
+    /// Cluster size.
+    pub n: usize,
+    /// Address to listen on.
+    pub listen: String,
+    /// Peer addresses, indexed by process (entry `me` ignored).
+    pub peers: Vec<String>,
+    /// Cluster seed: workload, proposals and backoff jitter derive
+    /// from it — identically on every node.
+    pub seed: u64,
+    /// Number of consensus instances to serve.
+    pub instances: u64,
+    /// Largest per-process proposal prefix.
+    pub batch_max: usize,
+    /// Logical clients in the replicated workload.
+    pub clients: usize,
+    /// Incarnation number for the epoch handshake.
+    pub epoch: u64,
+    /// Heartbeat interval.
+    pub heartbeat: Duration,
+    /// PFD timeout: silence longer than this is the *only* thing that
+    /// makes a peer suspect.
+    pub fd_timeout: Duration,
+    /// Claimed one-way bound Δ for the online guard (`None` = guard
+    /// disarmed).
+    pub delta: Option<Duration>,
+    /// What a measured Δ violation does to the run.
+    pub degrade: DegradeMode,
+    /// `RS` drain: how long to keep draining a suspected sender's link
+    /// before declaring its wire absent.
+    pub drain: Duration,
+    /// Per-round give-up deadline (liveness backstop).
+    pub round_timeout: Duration,
+    /// Pause between consecutive instances. Zero for full speed; a
+    /// scripted `kill -9` needs a non-zero gap so the parent's report
+    /// poll can land the signal mid-run instead of racing a cluster
+    /// that finishes in milliseconds.
+    pub instance_gap: Duration,
+}
+
+impl NodeConfig {
+    /// Loopback-friendly defaults around a 2 s PFD timeout.
+    #[must_use]
+    pub fn new(me: usize, n: usize, listen: String, peers: Vec<String>, seed: u64) -> Self {
+        NodeConfig {
+            me,
+            n,
+            listen,
+            peers,
+            seed,
+            instances: 8,
+            batch_max: 4,
+            clients: 8,
+            epoch: 1,
+            heartbeat: Duration::from_millis(25),
+            fd_timeout: Duration::from_millis(2000),
+            delta: None,
+            degrade: DegradeMode::Off,
+            drain: Duration::from_millis(150),
+            round_timeout: Duration::from_secs(10),
+            instance_gap: Duration::ZERO,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire/report codec for `Option<A1Msg<Batch>>`
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = buf.split_first_chunk::<4>()?;
+    *buf = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = buf.split_first_chunk::<8>()?;
+    *buf = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+fn put_batch(out: &mut Vec<u8>, batch: &Batch) {
+    put_u32(out, u32::try_from(batch.len()).expect("batch fits u32"));
+    for cmd in batch.iter() {
+        put_u32(out, cmd.id.client);
+        put_u32(out, cmd.id.seq);
+        match cmd.op {
+            Op::Put { key, value } => {
+                out.push(1);
+                put_u32(out, key);
+                put_u64(out, value);
+            }
+            Op::Delete { key } => {
+                out.push(2);
+                put_u32(out, key);
+            }
+        }
+    }
+}
+
+fn take_batch(buf: &mut &[u8]) -> Option<Batch> {
+    let count = take_u32(buf)?;
+    let mut cmds = Vec::with_capacity(count.min(4096) as usize);
+    for _ in 0..count {
+        let client = take_u32(buf)?;
+        let seq = take_u32(buf)?;
+        let (&tag, rest) = buf.split_first()?;
+        *buf = rest;
+        let op = match tag {
+            1 => Op::Put {
+                key: take_u32(buf)?,
+                value: take_u64(buf)?,
+            },
+            2 => Op::Delete {
+                key: take_u32(buf)?,
+            },
+            _ => return None,
+        };
+        cmds.push(Command {
+            id: CommandId { client, seq },
+            op,
+        });
+    }
+    Some(Batch(cmds))
+}
+
+/// Encodes one wire payload — the `Option<Msg>` of a round cell, with
+/// the explicit null wire (`None`) as its own tag.
+#[must_use]
+pub fn encode_wire(payload: &Option<A1Msg<Batch>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match payload {
+        None => out.push(0),
+        Some(A1Msg::Val(b)) => {
+            out.push(1);
+            put_batch(&mut out, b);
+        }
+        Some(A1Msg::Relay(b)) => {
+            out.push(2);
+            put_batch(&mut out, b);
+        }
+    }
+    out
+}
+
+/// Decodes a wire payload; `None` means the bytes are corrupt (a
+/// decoded null wire is `Some(None)`).
+#[must_use]
+pub fn decode_wire(bytes: &[u8]) -> Option<Option<A1Msg<Batch>>> {
+    let mut buf = bytes;
+    let (&tag, rest) = buf.split_first()?;
+    buf = rest;
+    let msg = match tag {
+        0 => None,
+        1 => Some(A1Msg::Val(take_batch(&mut buf)?)),
+        2 => Some(A1Msg::Relay(take_batch(&mut buf)?)),
+        _ => return None,
+    };
+    if buf.is_empty() {
+        Some(msg)
+    } else {
+        None
+    }
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+fn cell_to_str(cell: &Option<Vec<u8>>) -> String {
+    match cell {
+        None => "-".to_string(),
+        Some(bytes) => to_hex(bytes),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node side
+// ---------------------------------------------------------------------------
+
+/// Runs one cluster node to completion, appending its report lines to
+/// `out` (each line flushed as soon as it is complete, so a `kill -9`
+/// leaves a consistent prefix for the parent to reconstruct from).
+///
+/// Report line grammar (`k` = instance, `r` = round, cells are `-` or
+/// hex-encoded wire payloads):
+///
+/// ```text
+/// S k r c0 .. c(n-1)     sent row (recorded before the wires leave)
+/// R k r c0 .. c(n-1)     received row at round close
+/// G k r                  round r never closed (give-up; node halts)
+/// A k                    instance k aborted by the synchrony guard
+/// D k r hexbatch         decision of instance k, made in round r
+/// Y k d v a p            instance summary: degraded round (or -),
+///                        violated 0/1, aborted 0/1, pending count
+/// T r rt b d du l s c    final transport counters
+/// K digest applied       final KV digest and applied-op count
+/// ```
+///
+/// # Errors
+///
+/// Propagates socket-spawn and report-write failures.
+#[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+pub fn serve_node(cfg: &NodeConfig, out: &mut dyn Write) -> io::Result<()> {
+    let me = ProcessId::new(cfg.me);
+    let n = cfg.n;
+    let net = SocketNet::spawn(SocketConfig {
+        me,
+        n,
+        listen: cfg.listen.clone(),
+        peers: cfg.peers.clone(),
+        epoch: cfg.epoch,
+        seed: cfg.seed,
+        heartbeat: cfg.heartbeat,
+        delta: cfg.delta,
+        degrade: cfg.degrade,
+    })?;
+    let fd = StalenessFd::new(net.board(), cfg.fd_timeout, me);
+    let mut workload = Workload::new(cfg.seed, WorkloadConfig::new(cfg.clients));
+    let mut proposer = Proposer::new();
+    let mut kv = KvStore::default();
+    // Early arrivals from rounds/instances we have not reached yet.
+    let mut future: Vec<(u64, u32, ProcessId, Option<A1Msg<Batch>>)> = Vec::new();
+    let mut halted = false;
+
+    'instances: for k in 0..cfg.instances {
+        if k > 0 && !cfg.instance_gap.is_zero() {
+            std::thread::sleep(cfg.instance_gap);
+        }
+        for cmd in workload.poll() {
+            proposer.submit(cmd);
+        }
+        let proposals = proposer.proposals(n, cfg.batch_max, k);
+        let mut proc_ = A1.spawn(me, n, 1, proposals[cfg.me].clone());
+        let monitor = net.begin_instance(k);
+        let mut pending_seen = 0u64;
+        let mut decided_written = false;
+        let mut aborted = false;
+        let mut gave_up = false;
+
+        for r in 1..=HORIZON {
+            // --- send phase (explicit null wires, self kept local) ---
+            let mut self_payload: Option<A1Msg<Batch>> = None;
+            let mut sent_cells: Vec<Option<Vec<u8>>> = vec![None; n];
+            for (q, cell) in sent_cells.iter_mut().enumerate() {
+                let payload = proc_.msgs(Round::new(r), ProcessId::new(q));
+                let bytes = encode_wire(&payload);
+                *cell = Some(bytes.clone());
+                if q == cfg.me {
+                    self_payload = payload;
+                } else {
+                    net.send(ProcessId::new(q), k, Round::new(r), bytes);
+                }
+            }
+            let row: Vec<String> = sent_cells.iter().map(cell_to_str).collect();
+            writeln!(out, "S {k} {r} {}", row.join(" "))?;
+            out.flush()?;
+
+            // --- collect phase ---
+            let mut got: Vec<Option<Option<A1Msg<Batch>>>> = vec![None; n];
+            got[cfg.me] = Some(self_payload);
+            future.retain(|(fk, fr, src, payload)| {
+                if *fk == k && *fr == r {
+                    got[src.index()] = Some(payload.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            let deadline = Instant::now() + cfg.round_timeout;
+            let mut missing_since: Vec<Option<Instant>> = vec![None; n];
+            loop {
+                if monitor.aborted() || net.remote_abort().is_some_and(|ab| ab <= k) {
+                    net.abort(k);
+                    aborted = true;
+                    break;
+                }
+                let rws = monitor.degraded();
+                let suspects = fd.suspects();
+                let now = Instant::now();
+                let mut ready = true;
+                for q in 0..n {
+                    if got[q].is_some() {
+                        continue;
+                    }
+                    if !suspects.contains(ProcessId::new(q)) {
+                        ready = false;
+                        continue;
+                    }
+                    if !rws {
+                        // RS discipline: drain the link after the
+                        // suspicion before declaring the wire absent.
+                        let since = missing_since[q].get_or_insert(now);
+                        if now.duration_since(*since) < cfg.drain {
+                            ready = false;
+                        }
+                    }
+                }
+                if ready {
+                    break;
+                }
+                if now > deadline {
+                    gave_up = true;
+                    break;
+                }
+                let Ok(msg) = net.recv_timeout(Duration::from_millis(2)) else {
+                    continue;
+                };
+                let Some(payload) = decode_wire(&msg.payload) else {
+                    continue;
+                };
+                let at = (msg.instance, msg.round.get());
+                if at == (k, r) {
+                    got[msg.src.index()] = Some(payload);
+                } else if at > (k, r) {
+                    future.push((msg.instance, msg.round.get(), msg.src, payload));
+                } else {
+                    // A genuinely pending message: its round already
+                    // closed here.
+                    pending_seen += 1;
+                    if msg.instance == k && monitor.is_armed() && !monitor.degraded() {
+                        monitor.record(SynchronyEvent::PendingUnderRs {
+                            src: msg.src,
+                            dst: me,
+                            wire_round: msg.round,
+                            observed_in: Round::new(r),
+                        });
+                    }
+                }
+            }
+            if aborted {
+                writeln!(out, "A {k}")?;
+                out.flush()?;
+                break;
+            }
+            if gave_up {
+                writeln!(out, "G {k} {r}")?;
+                out.flush()?;
+                break;
+            }
+            let row: Vec<String> = got
+                .iter()
+                .map(|cell| cell_to_str(&cell.as_ref().map(encode_wire)))
+                .collect();
+            writeln!(out, "R {k} {r} {}", row.join(" "))?;
+            out.flush()?;
+            let received: Vec<Option<A1Msg<Batch>>> =
+                got.into_iter().map(Option::flatten).collect();
+            proc_.trans(Round::new(r), &received);
+            if !decided_written {
+                if let Some((batch, round)) = proc_.decision() {
+                    let mut bytes = Vec::new();
+                    put_batch(&mut bytes, &batch);
+                    writeln!(out, "D {k} {} {}", round.get(), to_hex(&bytes))?;
+                    out.flush()?;
+                    decided_written = true;
+                }
+            }
+        }
+
+        // Commit whatever this instance decided; abort/give-up leave
+        // the batch pending.
+        if !aborted && !gave_up {
+            if let Some((batch, _)) = proc_.decision() {
+                let committed = proposer
+                    .commit(&batch)
+                    .map_err(|e| io::Error::other(format!("instance {k}: {e}")))?;
+                for cmd in &committed {
+                    kv.apply(&cmd.op);
+                    workload.acknowledge(cmd.id);
+                }
+            }
+        }
+        let report = monitor.report();
+        writeln!(
+            out,
+            "Y {k} {} {} {} {pending_seen}",
+            report
+                .degraded_at
+                .map_or_else(|| "-".to_string(), |r| r.get().to_string()),
+            u8::from(report.violated),
+            u8::from(report.aborted),
+        )?;
+        out.flush()?;
+        if aborted || gave_up {
+            // Continuing with a state that diverged from the peers
+            // (uncommitted batch) would poison every later instance.
+            halted = true;
+            break 'instances;
+        }
+    }
+    let _ = halted;
+    let t = net.stats();
+    writeln!(
+        out,
+        "T {} {} {} {} {} {} {} {}",
+        t.reconnects,
+        t.retransmits,
+        t.backoff_micros,
+        t.delivered,
+        t.dup_suppressed,
+        t.late_frames,
+        t.stale_epoch_drops,
+        t.corrupt_drops,
+    )?;
+    writeln!(out, "K {} {}", kv.digest(), kv.applied())?;
+    out.flush()?;
+    net.shutdown();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: report parsing and merge
+// ---------------------------------------------------------------------------
+
+/// One instance's summary line.
+#[derive(Debug, Clone, Copy, Default)]
+struct Summary {
+    degraded: Option<u32>,
+    violated: bool,
+    aborted: bool,
+    pending: u64,
+}
+
+/// Everything parsed from one node's report file.
+#[derive(Debug, Default)]
+struct NodeLog {
+    /// `(instance, round)` → per-destination sent cells (raw payload
+    /// bytes; `None` = no wire recorded).
+    sent: BTreeMap<(u64, u32), Vec<Option<Vec<u8>>>>,
+    /// `(instance, round)` → per-sender received cells at close.
+    recv: BTreeMap<(u64, u32), Vec<Option<Vec<u8>>>>,
+    decided: BTreeMap<u64, (u32, Batch)>,
+    summary: BTreeMap<u64, Summary>,
+    aborted: BTreeMap<u64, bool>,
+    gave_up: BTreeMap<u64, u32>,
+    transport: TransportStats,
+    digest: Option<(u64, u64)>,
+}
+
+fn parse_cells(parts: &[&str], n: usize) -> Option<Vec<Option<Vec<u8>>>> {
+    if parts.len() != n {
+        return None;
+    }
+    parts
+        .iter()
+        .map(|p| {
+            if *p == "-" {
+                Some(None)
+            } else {
+                from_hex(p).map(Some)
+            }
+        })
+        .collect()
+}
+
+/// Parses one node report; unknown or truncated lines are skipped (a
+/// `kill -9` can cut the final line short).
+fn parse_node_report(text: &str, n: usize) -> NodeLog {
+    let mut log = NodeLog::default();
+    for line in text.lines() {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let tag = parts.first().copied().unwrap_or("");
+        let num = |i: usize| parts.get(i).and_then(|s| s.parse::<u64>().ok());
+        match tag {
+            "S" | "R" => {
+                let (Some(k), Some(r)) = (num(1), num(2)) else {
+                    continue;
+                };
+                let Some(cells) = parse_cells(&parts[3..], n) else {
+                    continue;
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                let key = (k, r as u32);
+                if tag == "S" {
+                    log.sent.insert(key, cells);
+                } else {
+                    log.recv.insert(key, cells);
+                }
+            }
+            "G" => {
+                if let (Some(k), Some(r)) = (num(1), num(2)) {
+                    #[allow(clippy::cast_possible_truncation)]
+                    log.gave_up.insert(k, r as u32);
+                }
+            }
+            "A" => {
+                if let Some(k) = num(1) {
+                    log.aborted.insert(k, true);
+                }
+            }
+            "D" => {
+                let (Some(k), Some(r), Some(hex)) = (num(1), num(2), parts.get(3)) else {
+                    continue;
+                };
+                let Some(bytes) = from_hex(hex) else { continue };
+                let mut buf = bytes.as_slice();
+                let Some(batch) = take_batch(&mut buf) else {
+                    continue;
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                log.decided.insert(k, (r as u32, batch));
+            }
+            "Y" => {
+                let Some(k) = num(1) else { continue };
+                let degraded = parts.get(2).and_then(|s| s.parse::<u32>().ok());
+                let (Some(v), Some(a), Some(p)) = (num(3), num(4), num(5)) else {
+                    continue;
+                };
+                log.summary.insert(
+                    k,
+                    Summary {
+                        degraded,
+                        violated: v != 0,
+                        aborted: a != 0,
+                        pending: p,
+                    },
+                );
+            }
+            "T" => {
+                let vals: Vec<u64> = (1..=8).filter_map(num).collect();
+                if let [rc, rt, bo, de, du, la, st, co] = vals[..] {
+                    log.transport = TransportStats {
+                        reconnects: rc,
+                        retransmits: rt,
+                        backoff_micros: bo,
+                        delivered: de,
+                        dup_suppressed: du,
+                        late_frames: la,
+                        stale_epoch_drops: st,
+                        corrupt_drops: co,
+                    };
+                }
+            }
+            "K" => {
+                if let (Some(d), Some(a)) = (num(1), num(2)) {
+                    log.digest = Some((d, a));
+                }
+            }
+            _ => {}
+        }
+    }
+    log
+}
+
+fn decode_cells(cells: &[Option<Vec<u8>>]) -> Vec<Option<Option<A1Msg<Batch>>>> {
+    cells
+        .iter()
+        .map(|c| c.as_ref().and_then(|bytes| decode_wire(bytes)))
+        .collect()
+}
+
+/// The merged, certified result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Engine-style statistics (transport section populated with the
+    /// summed per-node counters).
+    pub stats: EngineStats,
+    /// Per-instance audits, instance order.
+    pub audits: Vec<InstanceAudit>,
+    /// Per-instance canonical run logs, instance order.
+    pub logs: Vec<TaggedRunLog<A1Msg<Batch>>>,
+    /// The replicated store as replayed by the parent.
+    pub kv: KvStore,
+    /// Nodes whose reports show them crashing mid-run (the `kill -9`
+    /// victims), with the first instance they are crashed in.
+    pub crashed_nodes: Vec<(usize, u64)>,
+    /// Per-node final KV digests, for cross-replica agreement checks
+    /// (`None` for nodes that died before reporting one).
+    pub node_digests: Vec<Option<u64>>,
+}
+
+/// Merges the node report files of one cluster run into certified
+/// per-instance outcomes.
+///
+/// `reports[i]` is node `i`'s report text. The merge replays the
+/// deterministic workload/proposer, reconstructs each instance's
+/// [`RunTrace`] (killed nodes get crash rounds derived from their last
+/// written rows, with crash-round sends reconstructed from the
+/// survivors' received cells — ground truth for what actually left the
+/// dying process), and runs every instance through
+/// [`audit_instance`].
+///
+/// # Errors
+///
+/// Fails when nodes disagree on a decided batch or a decided batch
+/// cannot be committed exactly once — both uniform-agreement breaches
+/// that should never survive a correct transport.
+#[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+pub fn merge_reports(cfg: &NodeConfig, reports: &[String]) -> io::Result<ClusterReport> {
+    let n = cfg.n;
+    assert_eq!(reports.len(), n, "one report per node");
+    let nodes: Vec<NodeLog> = reports.iter().map(|r| parse_node_report(r, n)).collect();
+
+    let mut workload = Workload::new(cfg.seed, WorkloadConfig::new(cfg.clients));
+    let mut proposer = Proposer::new();
+    let mut kv = KvStore::default();
+    let mut stats = EngineStats {
+        algo: "A1".to_string(),
+        model: "rs".to_string(),
+        n,
+        t: 1,
+        seed: cfg.seed,
+        ..EngineStats::default()
+    };
+    let mut audits = Vec::new();
+    let mut logs = Vec::new();
+    let mut crashed_nodes: Vec<(usize, u64)> = Vec::new();
+
+    // A node is "live at k" if it wrote a summary for instance k; the
+    // cluster executed instance k if anyone did.
+    for k in 0..cfg.instances {
+        if !nodes.iter().any(|nl| nl.summary.contains_key(&k)) {
+            break;
+        }
+        for cmd in workload.poll() {
+            proposer.submit(cmd);
+        }
+        let proposals = proposer.proposals(n, cfg.batch_max, k);
+
+        // Agreement across every node that decided this instance.
+        let mut decision: Option<(u32, Batch)> = None;
+        for (i, nl) in nodes.iter().enumerate() {
+            if let Some((r, batch)) = nl.decided.get(&k) {
+                match &decision {
+                    None => decision = Some((*r, batch.clone())),
+                    Some((_, prior)) if prior == batch => {}
+                    Some(_) => {
+                        return Err(io::Error::other(format!(
+                            "instance {k}: node {i} decided a different batch"
+                        )));
+                    }
+                }
+            }
+        }
+
+        let mut trace_logs: Vec<Vec<RoundObs<A1Msg<Batch>>>> = Vec::with_capacity(n);
+        let mut crashes: Vec<Option<Round>> = vec![None; n];
+        let mut outcomes: Vec<ProcessOutcome<Batch>> = Vec::with_capacity(n);
+        let aborted = nodes
+            .iter()
+            .any(|nl| nl.summary.get(&k).is_some_and(|s| s.aborted) || nl.aborted.contains_key(&k));
+
+        for (i, nl) in nodes.iter().enumerate() {
+            let mut log: Vec<RoundObs<A1Msg<Batch>>> = Vec::new();
+            if nl.summary.contains_key(&k) || nl.gave_up.contains_key(&k) {
+                // The node finished the instance (possibly by abort or
+                // give-up): its own rows are authoritative.
+                for r in 1..=HORIZON {
+                    let sent = nl.sent.get(&(k, r));
+                    let recv = nl.recv.get(&(k, r));
+                    match (sent, recv) {
+                        (Some(s), Some(g)) => log.push(RoundObs {
+                            sent: decode_cells(s),
+                            received: Some(decode_cells(g)),
+                        }),
+                        (Some(s), None) => {
+                            // Sent but never closed: abort or give-up.
+                            log.push(RoundObs {
+                                sent: decode_cells(s),
+                                received: None,
+                            });
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+            } else {
+                // The node died mid-run (killed): completed rounds come
+                // from its file; the crash round's sends are whatever
+                // the survivors actually received from it.
+                let mut completed = 0u32;
+                for r in 1..=HORIZON {
+                    let (Some(s), Some(g)) = (nl.sent.get(&(k, r)), nl.recv.get(&(k, r))) else {
+                        break;
+                    };
+                    log.push(RoundObs {
+                        sent: decode_cells(s),
+                        received: Some(decode_cells(g)),
+                    });
+                    completed = r;
+                }
+                let crash_round = completed + 1;
+                if crash_round <= HORIZON {
+                    let mut sent: Vec<Option<Option<A1Msg<Batch>>>> = vec![None; n];
+                    for (q, peer) in nodes.iter().enumerate() {
+                        if q == i {
+                            continue;
+                        }
+                        if let Some(row) = peer.recv.get(&(k, crash_round)) {
+                            if let Some(bytes) = &row[i] {
+                                sent[q] = decode_wire(bytes);
+                            }
+                        }
+                    }
+                    log.push(RoundObs {
+                        sent,
+                        received: None,
+                    });
+                }
+                crashes[i] = Some(Round::new(crash_round.min(HORIZON + 1)));
+                if !crashed_nodes.iter().any(|&(p, _)| p == i) {
+                    crashed_nodes.push((i, k));
+                }
+            }
+            outcomes.push(ProcessOutcome {
+                input: proposals[i].clone(),
+                decision: nl
+                    .decided
+                    .get(&k)
+                    .map(|(r, batch)| (batch.clone(), Round::new(*r))),
+                crashed_in: crashes[i],
+            });
+            trace_logs.push(log);
+        }
+
+        let degraded_at = nodes
+            .iter()
+            .filter_map(|nl| nl.summary.get(&k).and_then(|s| s.degraded))
+            .min()
+            .map(Round::new);
+        let violated = nodes
+            .iter()
+            .any(|nl| nl.summary.get(&k).is_some_and(|s| s.violated));
+        let pending_messages: u64 = nodes
+            .iter()
+            .filter_map(|nl| nl.summary.get(&k).map(|s| s.pending))
+            .sum();
+
+        let trace = RunTrace {
+            n,
+            horizon: HORIZON,
+            rs: true,
+            logs: trace_logs,
+            crashes: crashes.clone(),
+            retired: vec![None; n],
+            degraded_at,
+            aborted,
+            net: NetStats::default(),
+        };
+        let outcome = ThreadedOutcome {
+            outcome: ConsensusOutcome::new(outcomes),
+            pending_messages,
+            elapsed: Duration::ZERO,
+            trace,
+            synchrony: SynchronyReport {
+                events: Vec::new(),
+                violated,
+                degraded_at,
+                aborted,
+            },
+            net: NetStats::default(),
+        };
+        let config = InitialConfig::new(proposals);
+        audits.push(audit_instance(
+            &A1,
+            &config,
+            1,
+            &outcome,
+            ValidityMode::Uniform,
+            k,
+        ));
+        logs.push(TaggedRunLog {
+            instance: k,
+            log: outcome.trace.run_log(),
+        });
+
+        match decision {
+            Some((_, batch)) => {
+                let committed = proposer
+                    .commit(&batch)
+                    .map_err(|e| io::Error::other(format!("instance {k}: {e}")))?;
+                for cmd in &committed {
+                    kv.apply(&cmd.op);
+                    workload.acknowledge(cmd.id);
+                }
+                stats.decided_instances += 1;
+                stats.commands_decided += committed.len() as u64;
+                if let Some(rounds) = outcome.outcome.latency_degree() {
+                    stats.decide_rounds.push(rounds);
+                }
+            }
+            None => stats.undecided_instances += 1,
+        }
+        if crashes.iter().any(Option::is_some) {
+            stats.crashed_instances += 1;
+        }
+        if degraded_at.is_some() {
+            stats.degraded_instances += 1;
+        }
+        stats.instances += 1;
+    }
+
+    stats.commands_submitted = workload.submitted();
+    stats.pending_at_shutdown = proposer.pending_len() as u64;
+    stats.reproposed = proposer.reproposed();
+    stats.kv_digest = kv.digest();
+    stats.audit_checked = audits.len() as u64;
+    stats.audit_violations = audits.iter().filter(|a| a.violation.is_some()).count() as u64;
+    stats.audit_divergences = audits.iter().filter(|a| a.divergence.is_some()).count() as u64;
+    stats.transport = Some(nodes.iter().fold(TransportStats::default(), |acc, nl| {
+        let t = nl.transport;
+        TransportStats {
+            reconnects: acc.reconnects + t.reconnects,
+            retransmits: acc.retransmits + t.retransmits,
+            backoff_micros: acc.backoff_micros + t.backoff_micros,
+            delivered: acc.delivered + t.delivered,
+            dup_suppressed: acc.dup_suppressed + t.dup_suppressed,
+            late_frames: acc.late_frames + t.late_frames,
+            stale_epoch_drops: acc.stale_epoch_drops + t.stale_epoch_drops,
+            corrupt_drops: acc.corrupt_drops + t.corrupt_drops,
+        }
+    }));
+
+    // Cross-replica agreement: every surviving node's replayed store
+    // must equal the parent's replay.
+    let node_digests: Vec<Option<u64>> = nodes.iter().map(|nl| nl.digest.map(|d| d.0)).collect();
+    for (i, digest) in node_digests.iter().enumerate() {
+        if let Some(d) = digest {
+            // A node that halted early (abort/give-up) legitimately
+            // stops behind the parent's replay; equality is asserted
+            // only for nodes that served every merged instance.
+            let served_all = nodes[i].summary.len() as u64 == stats.instances
+                && !nodes[i].aborted.iter().any(|(_, &a)| a)
+                && nodes[i].gave_up.is_empty();
+            if served_all && *d != stats.kv_digest {
+                return Err(io::Error::other(format!(
+                    "node {i}: KV digest {d:#x} disagrees with the merged replay {:#x}",
+                    stats.kv_digest
+                )));
+            }
+        }
+    }
+
+    Ok(ClusterReport {
+        stats,
+        audits,
+        logs,
+        kv,
+        crashed_nodes,
+        node_digests,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: process orchestration
+// ---------------------------------------------------------------------------
+
+/// Scripted `kill -9` of one node, triggered once its report shows
+/// instance `after_instance` complete.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSpec {
+    /// The victim node.
+    pub node: usize,
+    /// The last instance the victim is allowed to finish.
+    pub after_instance: u64,
+}
+
+/// Socket-level fault injection for the whole mesh (every directed
+/// link is routed through a [`ChaosProxy`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ProxySpec {
+    /// Seed of the proxy's fault decisions.
+    pub seed: u64,
+    /// Per-mille probability of injecting `delay` on a data frame.
+    pub delay_pm: u32,
+    /// The injected delay.
+    pub delay: Duration,
+    /// Per-mille probability of dropping one copy of a data frame.
+    pub drop_pm: u32,
+    /// One-shot per-link reset after this many data frames.
+    pub reset_after: Option<u64>,
+}
+
+/// Parent-side configuration of `ssp serve-cluster`.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node template (timing, seed, sizes). `me`/`listen`/`peers` are
+    /// filled in per node.
+    pub node: NodeConfig,
+    /// Optional mid-run `kill -9`.
+    pub kill: Option<KillSpec>,
+    /// Optional socket-level chaos on every link.
+    pub proxy: Option<ProxySpec>,
+}
+
+fn free_loopback_addr() -> io::Result<String> {
+    let l = std::net::TcpListener::bind("127.0.0.1:0")?;
+    Ok(l.local_addr()?.to_string())
+}
+
+/// Spawns `n` node processes of `bin` (`ssp serve a1 rs --node i ...`),
+/// optionally interposing a [`ChaosProxy`] on every directed link and
+/// killing one node mid-run, then merges and audits their reports.
+///
+/// # Errors
+///
+/// Propagates spawn/IO failures and merge-level agreement breaches.
+#[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+pub fn run_cluster(bin: &Path, cfg: &ClusterConfig, dir: &Path) -> io::Result<ClusterReport> {
+    let n = cfg.node.n;
+    std::fs::create_dir_all(dir)?;
+    let addrs: Vec<String> = (0..n)
+        .map(|_| free_loopback_addr())
+        .collect::<io::Result<_>>()?;
+
+    // With a proxy, node i dials peer j through the (i→j) link proxy;
+    // without one, directly.
+    let mut proxy = None;
+    let mut peer_views: Vec<Vec<String>> = vec![addrs.clone(); n];
+    if let Some(spec) = &cfg.proxy {
+        let mut links = Vec::new();
+        let mut slots = Vec::new();
+        for i in 0..n {
+            for (j, upstream) in addrs.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                links.push(LinkSpec {
+                    src: ProcessId::new(i),
+                    dst: ProcessId::new(j),
+                    listen: "127.0.0.1:0".to_string(),
+                    upstream: upstream.clone(),
+                });
+                slots.push((i, j));
+            }
+        }
+        let p = ChaosProxy::spawn(ChaosProxyConfig {
+            seed: spec.seed,
+            delay_pm: spec.delay_pm,
+            delay: spec.delay,
+            drop_pm: spec.drop_pm,
+            reset_after: spec.reset_after,
+            partitioned: Vec::new(),
+            links,
+        })?;
+        for (slot, addr) in slots.iter().zip(p.link_addrs()) {
+            peer_views[slot.0][slot.1] = addr.to_string();
+        }
+        proxy = Some(p);
+    }
+
+    let report_path = |i: usize| -> PathBuf { dir.join(format!("node{i}.log")) };
+    let mut children = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cmd = std::process::Command::new(bin);
+        cmd.arg("serve")
+            .arg("a1")
+            .arg("rs")
+            .arg("--node")
+            .arg(i.to_string())
+            .arg("--listen")
+            .arg(&addrs[i])
+            .arg("--peers")
+            .arg(peer_views[i].join(","))
+            .arg("--report")
+            .arg(report_path(i))
+            .arg("--instances")
+            .arg(cfg.node.instances.to_string())
+            .arg("--seed")
+            .arg(cfg.node.seed.to_string())
+            .arg("--batch")
+            .arg(cfg.node.batch_max.to_string())
+            .arg("--clients")
+            .arg(cfg.node.clients.to_string())
+            .arg("-n")
+            .arg(n.to_string())
+            .arg("--hb-ms")
+            .arg(cfg.node.heartbeat.as_millis().to_string())
+            .arg("--fd-timeout-ms")
+            .arg(cfg.node.fd_timeout.as_millis().to_string())
+            .arg("--drain")
+            .arg(cfg.node.drain.as_millis().to_string())
+            .arg("--round-timeout-ms")
+            .arg(cfg.node.round_timeout.as_millis().to_string())
+            .arg("--gap-ms")
+            .arg(cfg.node.instance_gap.as_millis().to_string());
+        if let Some(delta) = cfg.node.delta {
+            cmd.arg("--delta-ms").arg(delta.as_millis().to_string());
+            cmd.arg("--degrade").arg(match cfg.node.degrade {
+                DegradeMode::Off => "off",
+                DegradeMode::Rws => "rws",
+                DegradeMode::Abort => "abort",
+            });
+        }
+        children.push(cmd.spawn()?);
+    }
+
+    // Scripted kill: wait for the victim to finish its last allowed
+    // instance, then SIGKILL — no shutdown handler runs, no FIN beyond
+    // what the kernel sends for the dead sockets.
+    if let Some(kill) = cfg.kill {
+        let marker = format!("\nY {} ", kill.after_instance);
+        let path = report_path(kill.node);
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let text = std::fs::read_to_string(&path).unwrap_or_default();
+            if text.contains(&marker) || text.starts_with(marker.trim_start_matches('\n')) {
+                break;
+            }
+            if Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        children[kill.node].kill()?;
+    }
+
+    for child in &mut children {
+        let _ = child.wait()?;
+    }
+    if let Some(p) = proxy {
+        p.shutdown();
+    }
+
+    let reports: Vec<String> = (0..n)
+        .map(|i| std::fs::read_to_string(report_path(i)).unwrap_or_default())
+        .collect::<Vec<_>>();
+    merge_reports(&cfg.node, &reports)
+}
+
+/// Convenience wrapper: run one node writing its report to `path`.
+///
+/// # Errors
+///
+/// Propagates [`serve_node`] failures.
+pub fn serve_node_to_file(cfg: &NodeConfig, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    serve_node(cfg, &mut out)?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(client: u32, seq: u32, key: u32) -> Command {
+        Command {
+            id: CommandId { client, seq },
+            op: Op::Put {
+                key,
+                value: u64::from(key) * 3,
+            },
+        }
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_every_variant() {
+        let batch = Batch(vec![
+            cmd(0, 1, 7),
+            Command {
+                id: CommandId { client: 2, seq: 9 },
+                op: Op::Delete { key: 4 },
+            },
+        ]);
+        for payload in [
+            None,
+            Some(A1Msg::Val(batch.clone())),
+            Some(A1Msg::Relay(batch)),
+            Some(A1Msg::Val(Batch::default())),
+        ] {
+            let bytes = encode_wire(&payload);
+            assert_eq!(decode_wire(&bytes), Some(payload));
+        }
+    }
+
+    #[test]
+    fn wire_codec_rejects_corruption() {
+        assert_eq!(decode_wire(&[]), None, "empty");
+        assert_eq!(decode_wire(&[9]), None, "unknown tag");
+        let mut bytes = encode_wire(&Some(A1Msg::Val(Batch(vec![cmd(0, 0, 1)]))));
+        bytes.push(0);
+        assert_eq!(decode_wire(&bytes), None, "trailing byte");
+        bytes.pop();
+        bytes.pop();
+        assert_eq!(decode_wire(&bytes), None, "truncated");
+    }
+
+    #[test]
+    fn hex_roundtrip_and_cells() {
+        let bytes = vec![0u8, 1, 0xab, 0xff];
+        assert_eq!(from_hex(&to_hex(&bytes)), Some(bytes));
+        assert_eq!(from_hex("0g"), None);
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(cell_to_str(&None), "-");
+    }
+
+    /// An in-process 3-node cluster over real loopback sockets: run
+    /// every node on its own thread, then merge and audit.
+    #[test]
+    fn loopback_cluster_decides_and_audits_clean() {
+        let addrs: Vec<String> = (0..3).map(|_| free_loopback_addr().unwrap()).collect();
+        let mk = |i: usize| {
+            let mut c = NodeConfig::new(i, 3, addrs[i].clone(), addrs.clone(), 42);
+            c.instances = 3;
+            c.clients = 4;
+            // Far above parallel-test scheduling noise: in the
+            // failure-free path rounds close on full rows, so the PFD
+            // timeout never gates progress — it only needs to not
+            // fire spuriously.
+            c.fd_timeout = Duration::from_secs(10);
+            c
+        };
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let cfg = mk(i);
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    serve_node(&cfg, &mut out).unwrap();
+                    String::from_utf8(out).unwrap()
+                })
+            })
+            .collect();
+        let reports: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let report = merge_reports(&mk(0), &reports).unwrap();
+        assert_eq!(report.stats.instances, 3);
+        assert_eq!(report.stats.decided_instances, 3);
+        assert!(report.crashed_nodes.is_empty());
+        for audit in &report.audits {
+            assert!(audit.is_clean(), "instance {}: {audit:?}", audit.instance);
+        }
+        assert_eq!(
+            report.stats.decide_rounds,
+            vec![1; 3],
+            "failure-free A1 over sockets still decides in round 1"
+        );
+        for d in &report.node_digests {
+            assert_eq!(*d, Some(report.stats.kv_digest));
+        }
+        let t = report
+            .stats
+            .transport
+            .expect("socket runs report transport");
+        assert!(t.delivered > 0);
+    }
+}

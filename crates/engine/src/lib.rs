@@ -46,12 +46,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod command;
 pub mod engine;
 pub mod proposer;
 pub mod stats;
 pub mod workload;
 
+pub use cluster::{
+    decode_wire, encode_wire, merge_reports, run_cluster, serve_node, serve_node_to_file,
+    ClusterConfig, ClusterReport, KillSpec, NodeConfig, ProxySpec,
+};
 pub use command::{Batch, Command, CommandId, KvStore, Op};
 pub use engine::{instance_seed, serve, EngineConfig, EngineCrash, EngineReport, FaultMode};
 pub use proposer::{CommitError, Proposer};

@@ -17,6 +17,8 @@
 use core::fmt;
 use std::time::Duration;
 
+use ssp_runtime::TransportStats;
+
 /// Cumulative statistics of one engine run.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
@@ -69,6 +71,11 @@ pub struct EngineStats {
     /// Per-instance elapsed durations (human report only): wall clock
     /// under the real backend, simulated time under the virtual one.
     pub instance_wall: Vec<Duration>,
+    /// Socket-transport counters for real-network runs (human report
+    /// only, `None` for in-process runs): reconnects, retransmits and
+    /// backoff are timing races, so they live with the wall-clock
+    /// metrics, never in the deterministic JSON core.
+    pub transport: Option<TransportStats>,
 }
 
 fn percentile(sorted: &[u32], pct: u32) -> u32 {
@@ -208,7 +215,24 @@ impl fmt::Display for EngineStats {
             f,
             "  audit: {} checked, {} violations, {} divergences; kv digest {:#018x}",
             self.audit_checked, self.audit_violations, self.audit_divergences, self.kv_digest,
-        )
+        )?;
+        if let Some(t) = &self.transport {
+            write!(
+                f,
+                "\n  transport: {} delivered, {} dup-suppressed, {} retransmits, \
+                 {} reconnects ({:.1} ms backoff), {} late frames, \
+                 {} stale-epoch drops, {} corrupt drops",
+                t.delivered,
+                t.dup_suppressed,
+                t.retransmits,
+                t.reconnects,
+                t.backoff_micros as f64 / 1e3,
+                t.late_frames,
+                t.stale_epoch_drops,
+                t.corrupt_drops,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -233,8 +257,20 @@ mod tests {
         let a = s.to_json();
         s.elapsed = Duration::from_secs(50);
         s.instance_wall.push(Duration::from_millis(3));
+        s.transport = Some(TransportStats {
+            reconnects: 3,
+            retransmits: 9,
+            ..TransportStats::default()
+        });
         let b = s.to_json();
-        assert_eq!(a, b, "wall clock must not leak into the JSON");
+        assert_eq!(
+            a, b,
+            "wall clock and transport jitter must not leak into the JSON"
+        );
+        assert!(
+            format!("{s}").contains("transport: "),
+            "transport counters belong in the human report"
+        );
         assert!(a.starts_with("{\"algo\":\"A1\",\"model\":\"rs\""));
         assert!(a.contains("\"decide_rounds_p50\":1"));
         assert!(a.ends_with("}\n"));

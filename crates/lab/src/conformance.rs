@@ -297,6 +297,15 @@ impl InstanceAudit {
 /// validate ([`RunTrace::validate`] knows about retired rounds) and
 /// the outcome must satisfy the consensus spec.
 ///
+/// The instance need not have run in-process: `ssp serve-cluster`
+/// merges per-node socket reports into the same
+/// `RunTrace`/`ThreadedOutcome` shape (a killed node's crash round is
+/// reconstructed from the survivors' received rows), so this function
+/// also certifies **real-network executions** — multi-process runs
+/// over TCP, including `kill -9` crashes and online Δ-guard
+/// degradations (`ssp_engine::cluster::merge_reports`,
+/// `tests/socket_cluster.rs`).
+///
 /// [`RunTrace::validate`]: ssp_runtime::RunTrace::validate
 pub fn audit_instance<V, A>(
     algo: &A,

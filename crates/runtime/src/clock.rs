@@ -407,6 +407,27 @@ impl Clock {
         }
     }
 
+    /// Parks the calling (registered) thread on `gate` until the gate
+    /// is notified or `timeout` elapses, whichever comes first;
+    /// `timeout: None` waits for a notify alone. Unlike [`Clock::recv`]
+    /// this returns on *any* wake, letting the caller re-check state
+    /// beyond a single channel (e.g. a separate shutdown channel)
+    /// before parking again. Real backend: a plain sleep for `timeout`
+    /// (zero when `None` — real-clock callers poll).
+    pub(crate) fn park_gate(&self, gate: &Gate, timeout: Option<Duration>) {
+        match &self.inner {
+            ClockInner::Real { .. } => {
+                if let Some(d) = timeout {
+                    std::thread::sleep(d);
+                }
+            }
+            ClockInner::Virtual { core } => {
+                let deadline = timeout.map(|d| core.lock().now.saturating_add(duration_nanos(d)));
+                let _ = core.park(gate.key, deadline);
+            }
+        }
+    }
+
     /// Receives from `rx` with an optional timeout, parking on `gate`
     /// under the virtual backend (senders must [`Gate::notify`] after
     /// sending). `timeout: None` waits indefinitely — only a send or a

@@ -124,6 +124,85 @@ impl FdModule for TimeoutFd {
     }
 }
 
+/// Last-arrival board for [`StalenessFd`]: the socket transport's
+/// replacement for the shared-memory [`HeartbeatBoard`], which cannot
+/// cross a process boundary. Every frame *received* from a peer —
+/// heartbeat or data — refreshes that peer's mark; nothing else does.
+/// In particular, connection state is invisible here: a reset, a
+/// refused reconnect, or a closed socket never touches the board, so
+/// suspicion can only arise from the PFD timeout elapsing without
+/// traffic — exactly the §3 discipline, and the opposite of the
+/// "suspect on disconnect" mistake the paper warns against.
+#[derive(Debug)]
+pub struct LastSeenBoard {
+    origin: std::time::Instant,
+    /// Last frame arrival per peer, microseconds since `origin`. Zero
+    /// (the construction instant) gives every peer a full timeout of
+    /// startup grace before it can be suspected.
+    marks: Vec<AtomicU64>,
+}
+
+impl LastSeenBoard {
+    /// A board for `n` processes, all marked as just seen.
+    #[must_use]
+    pub fn new(n: usize) -> Arc<Self> {
+        Arc::new(LastSeenBoard {
+            origin: std::time::Instant::now(),
+            marks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Records that a frame from `p` just arrived.
+    pub fn mark(&self, p: ProcessId) {
+        self.marks[p.index()].store(self.now_micros(), Ordering::Relaxed);
+    }
+
+    /// How long ago the last frame from `p` arrived.
+    #[must_use]
+    pub fn staleness(&self, p: ProcessId) -> Duration {
+        let mark = self.marks[p.index()].load(Ordering::Relaxed);
+        Duration::from_micros(self.now_micros().saturating_sub(mark))
+    }
+}
+
+/// Timeout-based perfect failure detection over a [`LastSeenBoard`]:
+/// the `SS` detector for the socket transport. Suspects exactly the
+/// peers whose last frame is older than the timeout; perfect given the
+/// synchrony premise (heartbeat interval + one-way delay + scheduling
+/// jitter all inside the timeout), which is the socket deployment's Δ
+/// assumption — and what the online [`SynchronyMonitor`] guards.
+#[derive(Debug, Clone)]
+pub struct StalenessFd {
+    board: Arc<LastSeenBoard>,
+    timeout: Duration,
+    me: ProcessId,
+}
+
+impl StalenessFd {
+    /// Creates the module for observer `me` with the given timeout.
+    #[must_use]
+    pub fn new(board: Arc<LastSeenBoard>, timeout: Duration, me: ProcessId) -> Self {
+        StalenessFd { board, timeout, me }
+    }
+}
+
+impl FdModule for StalenessFd {
+    fn suspects(&self) -> ProcessSet {
+        let mut s = ProcessSet::empty();
+        for i in 0..self.board.marks.len() {
+            let p = ProcessId::new(i);
+            if p != self.me && self.board.staleness(p) > self.timeout {
+                s.insert(p);
+            }
+        }
+        s
+    }
+}
+
 /// Shared state of the crash oracle.
 #[derive(Debug, Default)]
 struct OracleState {

@@ -51,26 +51,35 @@
 #![warn(missing_debug_implementations)]
 
 pub mod builder;
+pub mod chaos_proxy;
 pub mod clock;
 pub mod driver;
 pub mod fd;
 pub mod net;
 pub mod plan;
+pub mod socket;
 pub mod trace;
+pub mod transport;
 
 pub use builder::RuntimeBuilder;
+pub use chaos_proxy::{ChaosProxy, ChaosProxyConfig, LinkSpec};
 pub use clock::{Backend, Clock, Gate, ParseBackendError, Tick};
 pub use driver::{
     ConfigError, FdFlavor, RoundWire, RuntimeConfig, Stall, SyncPolicy, ThreadCrash,
     ThreadedOutcome, WatchdogConfig, FD_TIMEOUT_MARGIN, WATCHDOG_MARGIN,
 };
 pub use fd::{
-    CrashLedger, DegradeMode, FdModule, HeartbeatBoard, Oracle, OracleFd, SynchronyEvent,
-    SynchronyMonitor, SynchronyReport, TimeoutFd,
+    CrashLedger, DegradeMode, FdModule, HeartbeatBoard, LastSeenBoard, Oracle, OracleFd,
+    StalenessFd, SynchronyEvent, SynchronyMonitor, SynchronyReport, TimeoutFd,
 };
 pub use net::{
     spawn_network, spawn_network_watched, ChaosConfig, LinkScript, NetConfig, NetEnvelope,
-    NetHandle, NetReceiver, NetSender, NetStats, MAX_SEND_ATTEMPTS, RTO_INITIAL,
+    NetHandle, NetReceiver, NetSender, NetStats, ShutdownTimeout, MAX_SEND_ATTEMPTS, RTO_INITIAL,
 };
 pub use plan::{FaultPlan, PlanModel, DELTA_VIOLATION_SEED, SECTION_5_3_SEED};
+pub use socket::{SocketConfig, SocketMsg, SocketNet, FLUSH_STALE_CUT, FLUSH_TIMEOUT};
 pub use trace::{RoundObs, RunTrace, RunTraceError};
+pub use transport::{
+    backoff_delay, Frame, TransportError, TransportStats, BACKOFF_BASE, BACKOFF_CAP,
+    BACKOFF_JITTER_MAX, MAX_FRAME_LEN,
+};

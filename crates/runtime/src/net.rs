@@ -159,14 +159,21 @@ const SALT_REORDER: u64 = 0x0c0c;
 const SALT_ACK_LOSS: u64 = 0xacc0;
 const SALT_ACK_DELAY: u64 = 0xaccd;
 
-fn splitmix(mut z: u64) -> u64 {
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
 
-fn roll(seed: u64, salt: u64, src: ProcessId, dst: ProcessId, link_seq: u64, attempt: u32) -> u64 {
+pub(crate) fn roll(
+    seed: u64,
+    salt: u64,
+    src: ProcessId,
+    dst: ProcessId,
+    link_seq: u64,
+    attempt: u32,
+) -> u64 {
     let mut h = splitmix(seed ^ salt);
     h = splitmix(h ^ src.index() as u64);
     h = splitmix(h ^ dst.index() as u64);
@@ -448,13 +455,59 @@ impl<M> NetReceiver<M> {
     pub fn recv_timeout(&self, timeout: Duration) -> Result<NetEnvelope<M>, RecvTimeoutError> {
         self.clock.recv(&self.rx, &self.gate, Some(timeout))
     }
+
+    /// Returns an already-delivered envelope without waiting (and
+    /// without touching the clock, so it is safe from unregistered
+    /// threads under the virtual backend).
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when the inbox is empty,
+    /// [`TryRecvError::Disconnected`] once the network thread is gone
+    /// and the inbox drained.
+    pub fn try_recv(&self) -> Result<NetEnvelope<M>, crossbeam::channel::TryRecvError> {
+        self.rx.try_recv()
+    }
 }
+
+/// How the network thread should wind down.
+#[derive(Debug, Clone, Copy)]
+enum ShutdownSignal {
+    /// Stop immediately; in-flight wires are stranded (and counted).
+    Now,
+    /// Keep delivering already-scheduled wires for at most this long,
+    /// then stop, stranding whatever remains.
+    Drain(Duration),
+}
+
+/// Typed error of [`NetHandle::shutdown_within`]: the drain deadline
+/// elapsed with wires still in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownTimeout {
+    /// Wires still undelivered when the drain gave up.
+    pub undelivered: u64,
+    /// The full transport counters at shutdown (the drained deliveries
+    /// are in [`NetStats::delivered`]).
+    pub stats: NetStats,
+}
+
+impl core::fmt::Display for ShutdownTimeout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "network shutdown drain timed out with {} wire(s) undelivered",
+            self.undelivered
+        )
+    }
+}
+
+impl std::error::Error for ShutdownTimeout {}
 
 /// Owns the network thread: signals shutdown and joins it on drop, so
 /// no run leaks the thread or its in-flight envelopes.
 #[derive(Debug)]
 pub struct NetHandle {
-    shutdown: Sender<()>,
+    shutdown: Sender<ShutdownSignal>,
     gate: Gate,
     thread: Option<std::thread::JoinHandle<NetStats>>,
 }
@@ -470,7 +523,7 @@ impl NetHandle {
     /// Panics if the network thread itself panicked.
     #[must_use]
     pub fn shutdown(mut self) -> NetStats {
-        let _ = self.shutdown.try_send(());
+        let _ = self.shutdown.try_send(ShutdownSignal::Now);
         self.gate.notify();
         self.thread
             .take()
@@ -478,12 +531,46 @@ impl NetHandle {
             .join()
             .expect("network thread panicked")
     }
+
+    /// Signals shutdown but lets the network keep delivering
+    /// already-submitted wires for up to `drain` — a *bounded* drain,
+    /// in contrast to the sender-drop path which flushes an unbounded
+    /// backlog. Works on both clock backends; under virtual time the
+    /// drain window elapses in simulated time.
+    ///
+    /// # Errors
+    ///
+    /// [`ShutdownTimeout`] if the deadline passed with wires still in
+    /// flight; the stranded wires are counted in the error (and in its
+    /// embedded [`NetStats::undelivered`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network thread itself panicked.
+    pub fn shutdown_within(mut self, drain: Duration) -> Result<NetStats, ShutdownTimeout> {
+        let _ = self.shutdown.try_send(ShutdownSignal::Drain(drain));
+        self.gate.notify();
+        let stats = self
+            .thread
+            .take()
+            .expect("network thread handle")
+            .join()
+            .expect("network thread panicked");
+        if stats.undelivered > 0 {
+            Err(ShutdownTimeout {
+                undelivered: stats.undelivered,
+                stats,
+            })
+        } else {
+            Ok(stats)
+        }
+    }
 }
 
 impl Drop for NetHandle {
     fn drop(&mut self) {
         if let Some(t) = self.thread.take() {
-            let _ = self.shutdown.try_send(());
+            let _ = self.shutdown.try_send(ShutdownSignal::Now);
             self.gate.notify();
             let _ = t.join();
         }
@@ -514,7 +601,7 @@ pub fn spawn_network_watched<M: Clone + Send + 'static>(
     clock: Clock,
 ) -> (NetSender<M>, Vec<NetReceiver<M>>, NetHandle) {
     let (submit_tx, submit_rx) = unbounded::<NetEnvelope<M>>();
-    let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let (shutdown_tx, shutdown_rx) = bounded::<ShutdownSignal>(1);
     let submit_gate = clock.gate();
     let mut inboxes_tx = Vec::with_capacity(n);
     let mut inboxes_rx = Vec::with_capacity(n);
@@ -608,6 +695,65 @@ fn schedule_attempt<M>(
     }
 }
 
+/// Admits one submitted envelope into the scheduler: assigns its link
+/// sequence number, rolls its base delay, reports over-Δ scheduling to
+/// the watchdog, and schedules transmission attempt 0.
+#[allow(clippy::too_many_arguments)]
+fn admit_wire<M: Clone + Send + 'static>(
+    env: NetEnvelope<M>,
+    config: &NetConfig,
+    monitor: &Arc<SynchronyMonitor>,
+    clock: &Clock,
+    rng: &mut StdRng,
+    link_count: &mut HashMap<(usize, usize), u64>,
+    heap: &mut BinaryHeap<Scheduled>,
+    wires: &mut Vec<WireState<M>>,
+    seq: &mut u64,
+    stats: &mut NetStats,
+) {
+    let armed = monitor.is_armed();
+    let delta = monitor.delta();
+    let nth = link_count
+        .entry((env.src.index(), env.dst.index()))
+        .or_insert(0);
+    let link_seq = *nth;
+    *nth += 1;
+    let base_delay = config.delay_for(&env, link_seq as usize, rng);
+    stats.wires += 1;
+    if armed && base_delay > delta {
+        stats.slow_scheduled += 1;
+        monitor.record(SynchronyEvent::SlowWireScheduled {
+            src: env.src,
+            dst: env.dst,
+            round: Round::new(link_seq as u32 + 1),
+            delay: base_delay,
+        });
+    }
+    let now = clock.now();
+    let w = WireState {
+        env,
+        link_seq,
+        submitted: now,
+        base_delay,
+        acked: false,
+        delivered: false,
+    };
+    let wi = wires.len();
+    schedule_attempt(
+        heap,
+        seq,
+        stats,
+        config.chaos(),
+        config.seed,
+        config.is_reliable(),
+        &w,
+        wi,
+        0,
+        now,
+    );
+    wires.push(w);
+}
+
 #[allow(clippy::too_many_lines)]
 fn net_thread<M: Clone + Send + 'static>(
     config: &NetConfig,
@@ -615,7 +761,7 @@ fn net_thread<M: Clone + Send + 'static>(
     clock: &Clock,
     gate: &Gate,
     submit_rx: &Receiver<NetEnvelope<M>>,
-    shutdown_rx: &Receiver<()>,
+    shutdown_rx: &Receiver<ShutdownSignal>,
     inboxes_tx: &[(Sender<NetEnvelope<M>>, Gate)],
 ) -> NetStats {
     let reliable = config.is_reliable();
@@ -629,6 +775,7 @@ fn net_thread<M: Clone + Send + 'static>(
     let mut seq = 0u64;
     let mut stats = NetStats::default();
     let mut closed = false;
+    let mut draining: Option<Tick> = None;
     // Per-link wire counters, for LinkScript indexing and the reliable
     // layer's sequence numbers.
     let mut link_count: HashMap<(usize, usize), u64> = HashMap::new();
@@ -724,8 +871,54 @@ fn net_thread<M: Clone + Send + 'static>(
                 }
             }
         }
-        if shutdown_rx.try_recv().is_ok() {
-            return finish(&wires, stats);
+        match shutdown_rx.try_recv() {
+            Ok(ShutdownSignal::Now) => return finish(&wires, stats),
+            Ok(ShutdownSignal::Drain(d)) => draining = Some(clock.now() + d),
+            Err(_) => {}
+        }
+        if let Some(deadline) = draining {
+            // Bounded drain: absorb any submissions that raced the
+            // signal, then keep firing already-scheduled deliveries
+            // until everything lands or the window elapses. Whatever
+            // is still in flight at the deadline is stranded and
+            // counted, same as an immediate shutdown.
+            while let Ok(env) = submit_rx.try_recv() {
+                admit_wire(
+                    env,
+                    config,
+                    monitor,
+                    clock,
+                    &mut rng,
+                    &mut link_count,
+                    &mut heap,
+                    &mut wires,
+                    &mut seq,
+                    &mut stats,
+                );
+            }
+            if wires.iter().all(|w| w.delivered) {
+                return finish(&wires, stats);
+            }
+            let now = clock.now();
+            if now >= deadline {
+                return finish(&wires, stats);
+            }
+            let wait = match heap.peek() {
+                // No events left but undelivered wires remain (their
+                // attempts were all dropped): nothing more can land.
+                None => return finish(&wires, stats),
+                // The earliest remaining event is past the deadline:
+                // the window cannot deliver anything else.
+                Some(s) if s.at > deadline => return finish(&wires, stats),
+                Some(s) => s.at.saturating_duration_since(now),
+            };
+            if !wait.is_zero() {
+                match clock.backend() {
+                    Backend::Real => std::thread::sleep(wait.min(IDLE_POLL)),
+                    Backend::Virtual => clock.sleep(wait),
+                }
+            }
+            continue;
         }
         if closed && (heap.is_empty() || clock.is_virtual()) {
             // Every sender gone means every worker has exited. Under
@@ -750,46 +943,61 @@ fn net_thread<M: Clone + Send + 'static>(
         // noticed promptly; under virtual time, sleep exactly until the
         // next scheduled event (or indefinitely when idle — a send,
         // sender drop, or shutdown notify will ring the gate).
-        let wait = match clock.backend() {
-            Backend::Real => Some(next_due.unwrap_or(IDLE_POLL).min(IDLE_POLL)),
-            Backend::Virtual => next_due,
-        };
-        match clock.recv(submit_rx, gate, wait) {
-            Ok(env) => {
-                let nth = link_count
-                    .entry((env.src.index(), env.dst.index()))
-                    .or_insert(0);
-                let link_seq = *nth;
-                *nth += 1;
-                let base_delay = config.delay_for(&env, link_seq as usize, &mut rng);
-                stats.wires += 1;
-                if armed && base_delay > delta {
-                    stats.slow_scheduled += 1;
-                    monitor.record(SynchronyEvent::SlowWireScheduled {
-                        src: env.src,
-                        dst: env.dst,
-                        round: Round::new(link_seq as u32 + 1),
-                        delay: base_delay,
-                    });
+        match clock.backend() {
+            Backend::Real => {
+                // Cap the wait at IDLE_POLL so shutdown is noticed
+                // promptly.
+                let wait = Some(next_due.unwrap_or(IDLE_POLL).min(IDLE_POLL));
+                match clock.recv(submit_rx, gate, wait) {
+                    Ok(env) => {
+                        admit_wire(
+                            env,
+                            config,
+                            monitor,
+                            clock,
+                            &mut rng,
+                            &mut link_count,
+                            &mut heap,
+                            &mut wires,
+                            &mut seq,
+                            &mut stats,
+                        );
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        closed = true;
+                    }
                 }
-                let now = clock.now();
-                let w = WireState {
-                    env,
-                    link_seq,
-                    submitted: now,
-                    base_delay,
-                    acked: false,
-                    delivered: false,
-                };
-                let wi = wires.len();
-                schedule_attempt(
-                    &mut heap, &mut seq, &mut stats, chaos, seed, reliable, &w, wi, 0, now,
-                );
-                wires.push(w);
             }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                closed = true;
+            Backend::Virtual => {
+                // Park until the next scheduled event or any gate
+                // notify. A bare park (not `Clock::recv`) so that a
+                // notify with nothing in the submit channel — the
+                // shutdown handle ringing the shared gate — still
+                // brings us back around to re-check the shutdown
+                // channel instead of being silently re-parked.
+                match submit_rx.try_recv() {
+                    Ok(env) => {
+                        admit_wire(
+                            env,
+                            config,
+                            monitor,
+                            clock,
+                            &mut rng,
+                            &mut link_count,
+                            &mut heap,
+                            &mut wires,
+                            &mut seq,
+                            &mut stats,
+                        );
+                    }
+                    Err(crossbeam::channel::TryRecvError::Empty) => {
+                        clock.park_gate(gate, next_due);
+                    }
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                        closed = true;
+                    }
+                }
             }
         }
     }
@@ -1059,5 +1267,70 @@ mod tests {
         assert_eq!(plain.worst_transport_delay(), Duration::from_millis(2));
         let chaotic = plain.clone().with_chaos(ChaosConfig::default());
         assert!(chaotic.worst_transport_delay() > Duration::from_millis(48));
+    }
+
+    #[test]
+    fn bounded_drain_times_out_with_wires_in_flight() {
+        let config = NetConfig::bounded(Duration::ZERO, 11).with_link_delay(
+            p(0),
+            p(1),
+            Duration::from_millis(150),
+        );
+        let clock = Clock::simulated();
+        // The test thread holds a running slot for the whole sequence,
+        // so virtual time is frozen at zero until the drain signal is
+        // in place: the 150 ms wire cannot race the 50 ms deadline.
+        clock.register();
+        let (tx, rx, net) =
+            spawn_network_watched::<u32>(2, config, SynchronyMonitor::disarmed(), clock.clone());
+        tx.send(p(0), p(1), 5);
+        // The drain deadline (50 ms) precedes the wire's delivery
+        // (150 ms), so the network thread finishes without ever
+        // needing virtual time to advance — holding our slot through
+        // the join cannot deadlock it.
+        let err = net
+            .shutdown_within(Duration::from_millis(50))
+            .expect_err("the 150 ms wire cannot land inside a 50 ms drain");
+        clock.deregister();
+        assert_eq!(err.undelivered, 1);
+        assert_eq!(err.stats.delivered, 0);
+        assert_eq!(err.stats.wires, 1);
+        assert!(err.to_string().contains("undelivered"), "{err}");
+        assert!(rx[1].try_recv().is_err(), "nothing was delivered");
+        drop(tx);
+    }
+
+    #[test]
+    fn bounded_drain_flushes_in_flight_wires_in_virtual_time() {
+        let config = NetConfig::bounded(Duration::ZERO, 11).with_link_delay(
+            p(0),
+            p(1),
+            Duration::from_millis(150),
+        );
+        let clock = Clock::simulated();
+        let (tx, rx, net) =
+            spawn_network_watched::<u32>(2, config, SynchronyMonitor::disarmed(), clock.clone());
+        tx.send(p(0), p(1), 6);
+        let wall = Instant::now();
+        // A generous window: the network thread (the sole registered
+        // thread) advances virtual time to the wire's 150 ms deadline
+        // and delivers it, then exits early — the remaining window is
+        // never waited out, in virtual or real time.
+        let stats = net
+            .shutdown_within(Duration::from_secs(600))
+            .expect("the wire lands well inside the window");
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.undelivered, 0);
+        assert_eq!(rx[1].try_recv().unwrap().payload, 6);
+        assert!(
+            clock.now() <= Tick::ZERO + Duration::from_millis(150),
+            "drain ends at delivery, not at the window: {:?}",
+            clock.now()
+        );
+        assert!(
+            wall.elapsed() < Duration::from_secs(30),
+            "no real-time wait for a virtual window"
+        );
+        drop(tx);
     }
 }

@@ -1,0 +1,863 @@
+//! TCP transport: the threaded runtime's wire protocol on real
+//! sockets, one OS process per consensus process.
+//!
+//! Architecture (per node):
+//!
+//! * one **acceptor** thread owns the listening socket and spawns a
+//!   **reader** thread per inbound connection — *all* frames from a
+//!   peer arrive on that peer's own outgoing connection, so each
+//!   direction of the full mesh has exactly one writer;
+//! * one **supervisor** thread per peer owns the outgoing connection:
+//!   it dials with capped-exponential, seed-jittered backoff
+//!   ([`backoff_delay`]), introduces itself with a `Hello{epoch}`
+//!   handshake, sends data/ack/heartbeat/abort frames, arms an RTO
+//!   retransmit timer per unacked data frame, and on reconnect resends
+//!   everything unacked — the same seqno/ack/dedup reliable-delivery
+//!   protocol the in-process chaos network uses, now over a wire that
+//!   can genuinely fail.
+//!
+//! Two properties the paper cares about are structural here:
+//!
+//! * **Suspicion is gated on the PFD timeout, never on connection
+//!   state.** Only frame arrivals touch the [`LastSeenBoard`]; a
+//!   refused dial, a mid-stream reset, or a closed socket is invisible
+//!   to [`StalenessFd`](crate::fd::StalenessFd). A `kill -9`'d peer is
+//!   suspected when its silence outlives the timeout — §3's detector
+//!   construction — while a reset that reconnects inside the bound
+//!   leaves no trace.
+//! * **Δ is measured, not assumed.** Every data frame carries its
+//!   sender's wall-clock stamp; the receiver measures the one-way
+//!   delay against the configured Δ and reports violations to the
+//!   current instance's [`SynchronyMonitor`], which drives the
+//!   `off|rws|abort` degrade modes mid-run ([`DegradeMode`]) — the §3
+//!   caveat as an online guard.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use ssp_model::{ProcessId, Round};
+
+use crate::fd::{DegradeMode, LastSeenBoard, SynchronyEvent, SynchronyMonitor};
+use crate::transport::{backoff_delay, Frame, TransportError, TransportStats, MAX_FRAME_LEN};
+
+/// Supervisor command-poll granularity; bounds shutdown latency and
+/// RTO/heartbeat timer resolution.
+const SUP_TICK: Duration = Duration::from_millis(5);
+
+/// Reader-side socket timeout used purely to poll the shutdown flag;
+/// partially read frames survive across timeouts.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Retransmission timeout for unacked data frames on an established
+/// connection.
+const SOCKET_RTO: Duration = Duration::from_millis(100);
+
+/// Sentinel in the remote-abort cell: no abort received.
+const NO_ABORT: u64 = u64::MAX;
+
+/// Upper bound on the shutdown flush: how long a node will wait for
+/// live peers to ack its remaining in-flight frames before exiting
+/// anyway.
+pub const FLUSH_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// Peers silent for longer than this are excluded from the shutdown
+/// flush — they are dead or partitioned and will never ack, and the
+/// frames owed to them die with this node exactly as a crash would
+/// lose them.
+pub const FLUSH_STALE_CUT: Duration = Duration::from_millis(750);
+
+/// Configuration of one socket-transport node.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// This node's process identity.
+    pub me: ProcessId,
+    /// Cluster size.
+    pub n: usize,
+    /// Address to listen on (e.g. `127.0.0.1:0` to let the OS pick).
+    pub listen: String,
+    /// Peer addresses, indexed by process; the entry for `me` is
+    /// ignored.
+    pub peers: Vec<String>,
+    /// Monotone incarnation number of this process (guards against
+    /// ghost writes from a predecessor incarnation).
+    pub epoch: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// Heartbeat interval (must sit well inside the PFD timeout).
+    pub heartbeat: Duration,
+    /// Claimed synchrony bound Δ for the online guard, or `None` to
+    /// run unguarded (a disarmed monitor).
+    pub delta: Option<Duration>,
+    /// What a Δ violation does to the current instance.
+    pub degrade: DegradeMode,
+}
+
+impl SocketConfig {
+    /// A loopback-friendly config with conventional timing: 20 ms
+    /// heartbeats and an unarmed guard.
+    #[must_use]
+    pub fn local(me: ProcessId, n: usize, listen: String, peers: Vec<String>) -> Self {
+        SocketConfig {
+            me,
+            n,
+            listen,
+            peers,
+            epoch: 1,
+            seed: 0,
+            heartbeat: Duration::from_millis(20),
+            delta: None,
+            degrade: DegradeMode::Off,
+        }
+    }
+}
+
+/// A data frame delivered to the round layer (post-dedup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocketMsg {
+    /// Sending process.
+    pub src: ProcessId,
+    /// Consensus instance of the payload.
+    pub instance: u64,
+    /// Round within the instance.
+    pub round: Round,
+    /// Caller-encoded round message.
+    pub payload: Vec<u8>,
+}
+
+/// Commands from readers / the round layer to a peer's supervisor.
+enum SupCmd {
+    /// Send a data frame (seq assigned by the supervisor).
+    Data {
+        instance: u64,
+        round: u32,
+        payload: Vec<u8>,
+    },
+    /// Acknowledge the peer's data frame `seq` (on *our* connection to
+    /// it).
+    SendAck { seq: u64 },
+    /// The peer acknowledged *our* data frame `seq`.
+    Acked { seq: u64 },
+    /// Tell the peer we aborted `instance`.
+    Abort { instance: u64 },
+}
+
+/// Non-deterministic transport counters, shared across threads.
+#[derive(Debug, Default)]
+struct SharedStats {
+    reconnects: AtomicU64,
+    retransmits: AtomicU64,
+    backoff_micros: AtomicU64,
+    delivered: AtomicU64,
+    dup_suppressed: AtomicU64,
+    late_frames: AtomicU64,
+    stale_epoch_drops: AtomicU64,
+    corrupt_drops: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            backoff_micros: self.backoff_micros.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            late_frames: self.late_frames.load(Ordering::Relaxed),
+            stale_epoch_drops: self.stale_epoch_drops.load(Ordering::Relaxed),
+            corrupt_drops: self.corrupt_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by every thread of one node.
+struct Core {
+    me: ProcessId,
+    epoch: u64,
+    heartbeat: Duration,
+    seed: u64,
+    delta: Option<Duration>,
+    degrade: DegradeMode,
+    shutdown: AtomicBool,
+    board: Arc<LastSeenBoard>,
+    stats: SharedStats,
+    /// The current instance's synchrony guard (swapped by
+    /// `begin_instance`) and which instance it guards.
+    monitor: Mutex<Arc<SynchronyMonitor>>,
+    guarded_instance: AtomicU64,
+    /// Lowest instance any peer reported aborting, `NO_ABORT` if none.
+    remote_abort: AtomicU64,
+    /// Newest epoch seen per peer.
+    epochs: Vec<AtomicU64>,
+    /// Per-peer dedup of received data seqs.
+    seen: Vec<Mutex<HashSet<u64>>>,
+    /// Per-peer supervisor inboxes (entry for `me` exists but is
+    /// never dialed).
+    sups: Vec<Sender<SupCmd>>,
+    /// Per-peer count of data frames queued or sent but not yet
+    /// acked. `shutdown` flushes these before tearing down — a node
+    /// that exited the instant its own rounds closed would otherwise
+    /// take its final relays to the grave and manufacture false
+    /// suspicions at the survivors.
+    inflight: Vec<AtomicU64>,
+    inbox_tx: Sender<SocketMsg>,
+}
+
+impl Core {
+    fn monitor(&self) -> Arc<SynchronyMonitor> {
+        Arc::clone(&self.monitor.lock())
+    }
+}
+
+/// Microseconds since the Unix epoch on the sender's wall clock — the
+/// one-way-delay stamp. All nodes of a local cluster share one wall
+/// clock, so the receiver-side difference is a real delay measurement.
+fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
+}
+
+/// The socket-transport node handle: spawn, exchange round messages,
+/// observe the guard, shut down.
+#[derive(Debug)]
+pub struct SocketNet {
+    core: Arc<Core>,
+    inbox_rx: Receiver<SocketMsg>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("me", &self.me)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SocketNet {
+    /// Binds the listener and spawns the acceptor and all peer
+    /// supervisors. Dialing is lazy and fault-tolerant: peers that are
+    /// not up yet are retried with backoff, so nodes can start in any
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn spawn(config: SocketConfig) -> io::Result<SocketNet> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (inbox_tx, inbox_rx) = unbounded::<SocketMsg>();
+        let mut sup_txs = Vec::with_capacity(config.n);
+        let mut sup_rxs = Vec::with_capacity(config.n);
+        for _ in 0..config.n {
+            let (tx, rx) = unbounded::<SupCmd>();
+            sup_txs.push(tx);
+            sup_rxs.push(rx);
+        }
+        let core = Arc::new(Core {
+            me: config.me,
+            epoch: config.epoch,
+            heartbeat: config.heartbeat,
+            seed: config.seed,
+            delta: config.delta,
+            degrade: config.degrade,
+            shutdown: AtomicBool::new(false),
+            board: LastSeenBoard::new(config.n),
+            stats: SharedStats::default(),
+            monitor: Mutex::new(SynchronyMonitor::disarmed()),
+            guarded_instance: AtomicU64::new(NO_ABORT),
+            remote_abort: AtomicU64::new(NO_ABORT),
+            epochs: (0..config.n).map(|_| AtomicU64::new(0)).collect(),
+            seen: (0..config.n).map(|_| Mutex::new(HashSet::new())).collect(),
+            sups: sup_txs,
+            inflight: (0..config.n).map(|_| AtomicU64::new(0)).collect(),
+            inbox_tx,
+        });
+        let mut threads = Vec::new();
+        let acceptor_core = Arc::clone(&core);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ssp-accept-{}", config.me.index()))
+                .spawn(move || acceptor(&acceptor_core, &listener))
+                .expect("spawn acceptor"),
+        );
+        for (j, rx) in sup_rxs.into_iter().enumerate() {
+            if j == config.me.index() {
+                continue;
+            }
+            let sup_core = Arc::clone(&core);
+            let addr = config.peers[j].clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ssp-sup-{}-{}", config.me.index(), j))
+                    .spawn(move || supervisor(&sup_core, ProcessId::new(j), &addr, &rx))
+                    .expect("spawn supervisor"),
+            );
+        }
+        Ok(SocketNet {
+            core,
+            inbox_rx,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound listener address (resolves `:0` to the real port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The last-arrival board feeding
+    /// [`StalenessFd`](crate::fd::StalenessFd).
+    #[must_use]
+    pub fn board(&self) -> Arc<LastSeenBoard> {
+        Arc::clone(&self.core.board)
+    }
+
+    /// Arms a fresh synchrony monitor for `instance` (or a disarmed
+    /// one when no Δ is configured) and returns it. Late frames of
+    /// *other* instances never touch it, so one slow instance cannot
+    /// degrade its successor.
+    #[must_use]
+    pub fn begin_instance(&self, instance: u64) -> Arc<SynchronyMonitor> {
+        let fresh = match self.core.delta {
+            Some(delta) => SynchronyMonitor::armed(delta, self.core.degrade),
+            None => SynchronyMonitor::disarmed(),
+        };
+        self.core.guarded_instance.store(instance, Ordering::SeqCst);
+        *self.core.monitor.lock() = Arc::clone(&fresh);
+        fresh
+    }
+
+    /// The current instance's synchrony monitor.
+    #[must_use]
+    pub fn monitor(&self) -> Arc<SynchronyMonitor> {
+        self.core.monitor()
+    }
+
+    /// Queues a round message to `dst`; the peer's supervisor assigns
+    /// the wire sequence number, stamps the send time, and owns
+    /// retransmission until acked.
+    pub fn send(&self, dst: ProcessId, instance: u64, round: Round, payload: Vec<u8>) {
+        self.core.inflight[dst.index()].fetch_add(1, Ordering::SeqCst);
+        let _ = self.core.sups[dst.index()].send(SupCmd::Data {
+            instance,
+            round: round.get(),
+            payload,
+        });
+    }
+
+    /// Waits for the next delivered (deduplicated) data frame.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when nothing arrived in time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<SocketMsg, RecvTimeoutError> {
+        self.inbox_rx.recv_timeout(timeout)
+    }
+
+    /// Broadcasts an abort of `instance` to every peer (best effort —
+    /// an aborting node is halting, peers that miss the frame fall
+    /// back to their round timeout).
+    pub fn abort(&self, instance: u64) {
+        for (j, sup) in self.core.sups.iter().enumerate() {
+            if j != self.core.me.index() {
+                let _ = sup.send(SupCmd::Abort { instance });
+            }
+        }
+    }
+
+    /// The lowest instance any peer reported aborting, if any.
+    #[must_use]
+    pub fn remote_abort(&self) -> Option<u64> {
+        match self.core.remote_abort.load(Ordering::SeqCst) {
+            NO_ABORT => None,
+            k => Some(k),
+        }
+    }
+
+    /// A snapshot of the transport counters.
+    #[must_use]
+    pub fn stats(&self) -> TransportStats {
+        self.core.stats.snapshot()
+    }
+
+    /// Flushes the in-flight windows, then signals every thread and
+    /// joins the acceptor and supervisors. Reader threads (one per
+    /// inbound connection) notice the flag at their next read poll and
+    /// exit on their own.
+    ///
+    /// The flush is the reliable-delivery tail: a node whose own
+    /// rounds have closed may still hold the *last* relay some peer is
+    /// waiting for, queued or unacked; exiting immediately would lose
+    /// it with the process and manufacture a false suspicion at the
+    /// survivor. Peers that have gone silent past [`FLUSH_STALE_CUT`]
+    /// are excluded — a dead peer can never ack — and the whole flush
+    /// is bounded by [`FLUSH_TIMEOUT`].
+    pub fn shutdown(mut self) -> TransportStats {
+        let deadline = Instant::now() + FLUSH_TIMEOUT;
+        while Instant::now() < deadline {
+            let blocked = (0..self.core.inflight.len()).any(|j| {
+                j != self.core.me.index()
+                    && self.core.inflight[j].load(Ordering::SeqCst) > 0
+                    && self.core.board.staleness(ProcessId::new(j)) < FLUSH_STALE_CUT
+            });
+            if !blocked {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.core.stats.snapshot()
+    }
+}
+
+impl Drop for SocketNet {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Sleeps `d` in small slices, returning early on shutdown.
+fn sleep_interruptibly(core: &Core, d: Duration) {
+    let until = Instant::now() + d;
+    while !core.shutdown.load(Ordering::SeqCst) {
+        let left = until.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(25)));
+    }
+}
+
+fn acceptor(core: &Arc<Core>, listener: &TcpListener) {
+    while !core.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(READ_POLL));
+                let _ = stream.set_nonblocking(false);
+                let reader_core = Arc::clone(core);
+                let _ = std::thread::Builder::new()
+                    .name(format!("ssp-read-{}", core.me.index()))
+                    .spawn(move || reader(&reader_core, stream));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Incremental frame parser over a socket with a read timeout: partial
+/// frames survive timeouts (used only to poll the shutdown flag), so a
+/// slow sender is never mistaken for a corrupt one.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> Self {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn next(&mut self, core: &Core) -> Result<Frame, TransportError> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len > MAX_FRAME_LEN {
+                    return Err(TransportError::FrameCorrupt(format!(
+                        "frame length {len} exceeds cap"
+                    )));
+                }
+                if self.buf.len() >= 4 + len {
+                    let frame = Frame::decode_body(&self.buf[4..4 + len])?;
+                    self.buf.drain(..4 + len);
+                    return Ok(frame);
+                }
+            }
+            if core.shutdown.load(Ordering::SeqCst) {
+                return Err(TransportError::Reset);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Reset),
+                Ok(got) => self.buf.extend_from_slice(&chunk[..got]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(TransportError::from_io(&e)),
+            }
+        }
+    }
+}
+
+/// Handles one inbound connection: epoch handshake, then a frame loop
+/// that marks the last-seen board, acks and dedups data, measures
+/// one-way delays against Δ, and routes acks/aborts. Connection death
+/// in any form simply ends the thread — the peer's supervisor owns
+/// reconnection, and *nothing here touches the failure detector*.
+fn reader(core: &Arc<Core>, stream: TcpStream) {
+    let mut fr = FrameReader::new(stream);
+    let src = match fr.next(core) {
+        Ok(Frame::Hello { src, epoch }) => {
+            if src.index() >= core.epochs.len() || src == core.me {
+                core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let cell = &core.epochs[src.index()];
+            let mut latest = cell.load(Ordering::SeqCst);
+            loop {
+                if epoch < latest {
+                    // A predecessor incarnation: TransportError::StaleEpoch.
+                    core.stats.stale_epoch_drops.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                match cell.compare_exchange(latest, epoch, Ordering::SeqCst, Ordering::SeqCst) {
+                    Ok(_) => break,
+                    Err(cur) => latest = cur,
+                }
+            }
+            src
+        }
+        Ok(_) => {
+            core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Err(TransportError::FrameCorrupt(_)) => {
+            core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Err(_) => return,
+    };
+    core.board.mark(src);
+    loop {
+        match fr.next(core) {
+            Ok(Frame::Data {
+                instance,
+                round,
+                seq,
+                attempt: _,
+                sent_micros,
+                payload,
+            }) => {
+                core.board.mark(src);
+                if round == 0 {
+                    // Rounds are one-based; a zero round is a corrupt
+                    // frame that happened to parse.
+                    core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                // Ack every copy — a lost ack cannot strand the sender.
+                let _ = core.sups[src.index()].send(SupCmd::SendAck { seq });
+                let fresh = core.seen[src.index()].lock().insert(seq);
+                if !fresh {
+                    core.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let latency = Duration::from_micros(unix_micros().saturating_sub(sent_micros));
+                if instance == core.guarded_instance.load(Ordering::SeqCst) {
+                    if let Some(delta) = core.delta {
+                        if latency > delta {
+                            core.stats.late_frames.fetch_add(1, Ordering::Relaxed);
+                            core.monitor().record(SynchronyEvent::LateDelivery {
+                                src,
+                                dst: core.me,
+                                latency,
+                            });
+                        }
+                    }
+                }
+                core.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                let _ = core.inbox_tx.send(SocketMsg {
+                    src,
+                    instance,
+                    round: Round::new(round),
+                    payload,
+                });
+            }
+            Ok(Frame::Heartbeat { .. }) => core.board.mark(src),
+            Ok(Frame::Ack { seq }) => {
+                let _ = core.sups[src.index()].send(SupCmd::Acked { seq });
+            }
+            Ok(Frame::Abort { instance }) => {
+                core.board.mark(src);
+                let _ = core.remote_abort.fetch_min(instance, Ordering::SeqCst);
+            }
+            Ok(Frame::Hello { .. }) => {}
+            Err(TransportError::FrameCorrupt(_)) => {
+                core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// An unacked data frame owned by a supervisor.
+struct Pending {
+    instance: u64,
+    round: u32,
+    sent_micros: u64,
+    payload: Vec<u8>,
+    attempt: u32,
+    last_sent: Instant,
+}
+
+/// Writes one frame; `Err` means the connection must be considered
+/// dead.
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), TransportError> {
+    frame
+        .write_to(stream)
+        .map_err(|e| TransportError::from_io(&e))
+}
+
+/// Owns the outgoing connection to `peer`: dial + handshake +
+/// backoff, sends and retransmits until acked, heartbeats, and
+/// resends the unacked window after every reconnect.
+#[allow(clippy::too_many_lines)]
+fn supervisor(core: &Arc<Core>, peer: ProcessId, addr: &str, rx: &Receiver<SupCmd>) {
+    let mut stream: Option<TcpStream> = None;
+    let mut unacked: BTreeMap<u64, Pending> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    let mut dial_attempt = 0u32;
+    let mut ever_connected = false;
+    let mut last_heartbeat = Instant::now();
+    while !core.shutdown.load(Ordering::SeqCst) {
+        if stream.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(mut s) => {
+                    let _ = s.set_nodelay(true);
+                    let hello = Frame::Hello {
+                        src: core.me,
+                        epoch: core.epoch,
+                    };
+                    if write_frame(&mut s, &hello).is_err() {
+                        // Treat as a failed dial.
+                        let wait = backoff_delay(core.seed, core.me, peer, dial_attempt);
+                        core.stats
+                            .backoff_micros
+                            .fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
+                        dial_attempt += 1;
+                        sleep_interruptibly(core, wait);
+                        continue;
+                    }
+                    if ever_connected {
+                        core.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ever_connected = true;
+                    dial_attempt = 0;
+                    // Resend the whole unacked window: the peer dedups
+                    // by seq, so over-delivery is safe and
+                    // under-delivery is impossible.
+                    let mut dead = false;
+                    for (seq, p) in &mut unacked {
+                        p.attempt += 1;
+                        p.last_sent = Instant::now();
+                        core.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                        let f = Frame::Data {
+                            instance: p.instance,
+                            round: p.round,
+                            seq: *seq,
+                            attempt: p.attempt,
+                            sent_micros: p.sent_micros,
+                            payload: p.payload.clone(),
+                        };
+                        if write_frame(&mut s, &f).is_err() {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    if !dead {
+                        stream = Some(s);
+                    }
+                }
+                Err(_refused_or_unreachable) => {
+                    // TransportError::Refused (or any dial failure):
+                    // back off deterministically and retry.
+                    let wait = backoff_delay(core.seed, core.me, peer, dial_attempt);
+                    core.stats
+                        .backoff_micros
+                        .fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
+                    dial_attempt += 1;
+                    sleep_interruptibly(core, wait);
+                    continue;
+                }
+            }
+        }
+        let mut broken = false;
+        match rx.recv_timeout(SUP_TICK) {
+            Ok(SupCmd::Data {
+                instance,
+                round,
+                payload,
+            }) => {
+                let seq = next_seq;
+                next_seq += 1;
+                let p = Pending {
+                    instance,
+                    round,
+                    sent_micros: unix_micros(),
+                    payload,
+                    attempt: 0,
+                    last_sent: Instant::now(),
+                };
+                let f = Frame::Data {
+                    instance,
+                    round,
+                    seq,
+                    attempt: 0,
+                    sent_micros: p.sent_micros,
+                    payload: p.payload.clone(),
+                };
+                unacked.insert(seq, p);
+                if let Some(s) = stream.as_mut() {
+                    broken = write_frame(s, &f).is_err();
+                }
+            }
+            Ok(SupCmd::SendAck { seq }) => {
+                if let Some(s) = stream.as_mut() {
+                    broken = write_frame(s, &Frame::Ack { seq }).is_err();
+                }
+                // Disconnected: drop the ack. The peer retransmits and
+                // a later copy gets acked on the next connection.
+            }
+            Ok(SupCmd::Acked { seq }) => {
+                if unacked.remove(&seq).is_some() {
+                    core.inflight[peer.index()].fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Ok(SupCmd::Abort { instance }) => {
+                if let Some(s) = stream.as_mut() {
+                    broken = write_frame(s, &Frame::Abort { instance }).is_err();
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if let Some(s) = stream.as_mut() {
+            if !broken && last_heartbeat.elapsed() >= core.heartbeat {
+                broken = write_frame(
+                    s,
+                    &Frame::Heartbeat {
+                        sent_micros: unix_micros(),
+                    },
+                )
+                .is_err();
+                last_heartbeat = Instant::now();
+            }
+            if !broken {
+                for (seq, p) in &mut unacked {
+                    if p.last_sent.elapsed() < SOCKET_RTO {
+                        continue;
+                    }
+                    p.attempt += 1;
+                    p.last_sent = Instant::now();
+                    core.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                    let f = Frame::Data {
+                        instance: p.instance,
+                        round: p.round,
+                        seq: *seq,
+                        attempt: p.attempt,
+                        sent_micros: p.sent_micros,
+                        payload: p.payload.clone(),
+                    };
+                    if write_frame(s, &f).is_err() {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if broken {
+            // TransportError::Reset: reconnect (with backoff if the
+            // peer is really gone) and resend the unacked window.
+            stream = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn pair() -> (SocketNet, SocketNet) {
+        // Bind both listeners first so the peer addresses are known.
+        let a_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let b_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a_addr = a_listener.local_addr().unwrap().to_string();
+        let b_addr = b_listener.local_addr().unwrap().to_string();
+        drop(a_listener);
+        drop(b_listener);
+        let peers = vec![a_addr.clone(), b_addr.clone()];
+        let a = SocketNet::spawn(SocketConfig::local(p(0), 2, a_addr, peers.clone())).unwrap();
+        let b = SocketNet::spawn(SocketConfig::local(p(1), 2, b_addr, peers)).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn loopback_pair_exchanges_round_messages() {
+        let (a, b) = pair();
+        a.send(p(1), 0, Round::FIRST, vec![1, 2, 3]);
+        let got = b.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(got.src, p(0));
+        assert_eq!(got.instance, 0);
+        assert_eq!(got.round, Round::FIRST);
+        assert_eq!(got.payload, vec![1, 2, 3]);
+        b.send(p(0), 0, Round::FIRST, vec![9]);
+        let got = a.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(got.src, p(1));
+        assert_eq!(got.payload, vec![9]);
+        let stats = a.shutdown();
+        assert!(stats.delivered >= 1);
+        drop(b);
+    }
+
+    #[test]
+    fn heartbeats_keep_staleness_fresh() {
+        use crate::fd::{FdModule, StalenessFd};
+        let (a, b) = pair();
+        let fd = StalenessFd::new(a.board(), Duration::from_millis(500), p(0));
+        // Wait long enough that only heartbeats can be keeping b fresh.
+        std::thread::sleep(Duration::from_millis(700));
+        assert!(
+            fd.suspects().is_empty(),
+            "a heartbeating peer is never suspected"
+        );
+        drop(b);
+        // With b gone, silence accumulates past the timeout.
+        std::thread::sleep(Duration::from_millis(900));
+        assert!(fd.suspects().contains(p(1)), "a dead peer is suspected");
+        drop(a);
+    }
+}

@@ -11,20 +11,27 @@
 //! ssp runtime-fuzz [<algo> <rs|rws>] [--seed-range A..B] [-n N] [-t T] [--backend virtual|real]
 //! ssp trace-dump [<algo> <rs|rws>] [--seed S] [--backend virtual|real] [--out F] | --diff F1 F2
 //! ssp serve     <algo> [rs|rws] [--clients K] [--instances I] [--seed S] [--backend virtual|real] [--chaos ...]
+//! ssp serve     a1 rs --node I --listen ADDR --peers A0,A1,.. [--report F] [--fd-timeout-ms MS] [--delta-ms MS]
+//! ssp serve-cluster [-n N] [--instances I] [--seed S] [--kill9 NODE] [--kill-at K] [--proxy-delay-ms MS] [--degrade M]
 //! ssp explore   [<algo> <rs|rws>] [--n N] [--t T] [--inputs v1,v2,..] [--sym off|full] [--limit K]
 //! ```
 //!
 //! Algorithms: `floodset`, `floodset-ws`, `c-opt`, `c-opt-ws`, `f-opt`,
 //! `f-opt-ws`, `a1`, `ct`, `early`, `early-ws`.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ssp::algos::{
     COptFloodSet, COptFloodSetWs, CtRounds, EarlyDeciding, EarlyDecidingWs, FOptFloodSet,
     FOptFloodSetWs, FloodSet, FloodSetWs, A1,
 };
 use ssp::commit::{commit_rate_experiment, CommitWorkload};
-use ssp::engine::{serve, EngineConfig, FaultMode, Workload, WorkloadConfig};
+use ssp::engine::{
+    run_cluster, serve, serve_node, serve_node_to_file, ClusterConfig, EngineConfig, FaultMode,
+    KillSpec, NodeConfig, ProxySpec, Workload, WorkloadConfig,
+};
 use ssp::explore::Explorer;
 use ssp::fd::classify;
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
@@ -762,6 +769,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                          [--failure-free] [--chaos] [--loss P] [--dup P] [--reorder P] \
                          [--degrade=rws|abort|off] [--backend virtual|real] [--drain MS] \
                          [--stats-out FILE] [--logs-out FILE]";
+    if flags.is_set("node") {
+        return cmd_serve_node(flags);
+    }
     let algo_name = flags.positional.get(1).ok_or(USAGE)?.as_str();
     let model = match flags.positional.get(2).map_or("rs", String::as_str) {
         "rs" => PlanModel::Rs,
@@ -816,6 +826,192 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             "audit failed: {} spec violations, {} divergences over {} audited instances",
             stats.audit_violations, stats.audit_divergences, stats.audit_checked
         ));
+    }
+    Ok(())
+}
+
+/// Reads a `--<key>-ms` millisecond flag with a default.
+fn ms_or(flags: &Flags, key: &str, default_ms: u64) -> Result<Duration, String> {
+    Ok(Duration::from_millis(flags.u64_or(key, default_ms)?))
+}
+
+/// Fills a [`NodeConfig`]'s shared knobs (sizes, timing, guard) from
+/// the flags — used identically by `serve --node` and `serve-cluster`
+/// so a node launched by hand matches one launched by the parent.
+fn node_config_from_flags(
+    flags: &Flags,
+    me: usize,
+    n: usize,
+    listen: String,
+    peers: Vec<String>,
+) -> Result<NodeConfig, String> {
+    let mut cfg = NodeConfig::new(me, n, listen, peers, flags.u64_or("seed", 1)?);
+    cfg.instances = flags.u64_or("instances", 8)?;
+    cfg.batch_max = flags.usize_or("batch", 4)?;
+    cfg.clients = flags.usize_or("clients", 8)?;
+    cfg.epoch = flags.u64_or("epoch", 1)?;
+    cfg.heartbeat = ms_or(flags, "hb-ms", 25)?;
+    cfg.fd_timeout = ms_or(flags, "fd-timeout-ms", 2000)?;
+    cfg.drain = ms_or(flags, "drain", 150)?;
+    cfg.round_timeout = ms_or(flags, "round-timeout-ms", 10_000)?;
+    cfg.instance_gap = ms_or(flags, "gap-ms", 0)?;
+    if flags.is_set("delta-ms") {
+        cfg.delta = Some(ms_or(flags, "delta-ms", 0)?);
+        cfg.degrade = parse_degrade(flags)?;
+    }
+    Ok(cfg)
+}
+
+/// `ssp serve --node I`: one cluster node as one OS process, speaking
+/// the socket transport to its peers and appending its observation
+/// report to `--report` (or stdout). Suspicion comes exclusively from
+/// the PFD staleness timeout — losing a TCP connection alone never
+/// suspects anyone.
+fn cmd_serve_node(flags: &Flags) -> Result<(), String> {
+    const USAGE: &str = "usage: ssp serve a1 rs --node I --listen ADDR --peers A0,A1,.. \
+                         [--report FILE] [-n N] [--instances I] [--seed S] [--batch B] \
+                         [--clients K] [--epoch E] [--hb-ms MS] [--fd-timeout-ms MS] \
+                         [--delta-ms MS] [--degrade=rws|abort|off] [--drain MS] \
+                         [--round-timeout-ms MS]";
+    let algo = flags.positional.get(1).map_or("a1", String::as_str);
+    let model = flags.positional.get(2).map_or("rs", String::as_str);
+    if algo != "a1" || model != "rs" {
+        return Err(format!(
+            "multi-process serving is wired for `a1 rs` only, got {algo:?} {model:?}\n{USAGE}"
+        ));
+    }
+    let me = flags.usize_or("node", 0)?;
+    let listen = flags.get("listen").ok_or(USAGE)?.to_string();
+    let peers: Vec<String> = flags
+        .get("peers")
+        .ok_or(USAGE)?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let n = flags.usize_or("n", peers.len())?;
+    if n != peers.len() || me >= n {
+        return Err(format!(
+            "need --node < n and one peer address per process, got node {me}, n {n}, {} peers",
+            peers.len()
+        ));
+    }
+    let cfg = node_config_from_flags(flags, me, n, listen, peers)?;
+    match flags.get("report") {
+        Some(path) => {
+            serve_node_to_file(&cfg, Path::new(path)).map_err(|e| format!("node {me}: {e}"))
+        }
+        None => {
+            let stdout = std::io::stdout();
+            serve_node(&cfg, &mut stdout.lock()).map_err(|e| format!("node {me}: {e}"))
+        }
+    }
+}
+
+/// `ssp serve-cluster`: spawn one `ssp serve --node` OS process per
+/// consensus process on loopback, optionally route every link through
+/// the deterministic [`ChaosProxy`](ssp::runtime::ChaosProxy) and/or
+/// `kill -9` one node mid-run, then merge the node reports, replay the
+/// deterministic workload and certify every instance with the same
+/// audit pipeline as in-process runs. Exits nonzero only on a spec
+/// violation or model divergence — a `SynchronyViolation` or `aborted`
+/// verdict under a scripted Δ violation is a demonstrated outcome, not
+/// an error.
+fn cmd_serve_cluster(flags: &Flags) -> Result<(), String> {
+    const USAGE: &str = "usage: ssp serve-cluster [-n N] [--instances I] [--seed S] [--batch B] \
+                         [--clients K] [--kill9 NODE] [--kill-at K] [--delta-ms MS] \
+                         [--degrade=rws|abort|off] [--proxy-delay-ms MS] [--proxy-delay-rate P] \
+                         [--proxy-drop-rate P] [--proxy-reset-after K] [--proxy-seed S] \
+                         [--hb-ms MS] [--fd-timeout-ms MS] [--drain MS] [--round-timeout-ms MS] \
+                         [--dir DIR] [--stats-out FILE] [--logs-out FILE]";
+    let _ = USAGE;
+    let n = flags.usize_or("n", 4)?;
+    if n < 2 {
+        return Err(format!("need n ≥ 2, got {n}"));
+    }
+    let node = node_config_from_flags(flags, 0, n, String::new(), Vec::new())?;
+    let kill = if flags.is_set("kill9") {
+        let victim = flags.usize_or("kill9", 0)?;
+        if victim >= n {
+            return Err(format!("--kill9: node {victim} out of range (n={n})"));
+        }
+        Some(KillSpec {
+            node: victim,
+            after_instance: flags.u64_or("kill-at", 1)?,
+        })
+    } else {
+        None
+    };
+    let proxy = if flags.is_set("proxy-delay-ms")
+        || flags.is_set("proxy-drop-rate")
+        || flags.is_set("proxy-reset-after")
+    {
+        let reset_after = match flags.get("proxy-reset-after") {
+            None => None,
+            Some(_) => Some(flags.u64_or("proxy-reset-after", 0)?),
+        };
+        Some(ProxySpec {
+            seed: flags.u64_or("proxy-seed", flags.u64_or("seed", 1)?)?,
+            delay_pm: u32::from(flags.rate_pm_or("proxy-delay-rate", 1000)?),
+            delay: ms_or(flags, "proxy-delay-ms", 0)?,
+            drop_pm: u32::from(flags.rate_pm_or("proxy-drop-rate", 0)?),
+            reset_after,
+        })
+    } else {
+        None
+    };
+    let bin = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = flags.get("dir").map_or_else(
+        || std::env::temp_dir().join(format!("ssp-cluster-{}-{}", std::process::id(), node.seed)),
+        PathBuf::from,
+    );
+    let cluster = ClusterConfig { node, kill, proxy };
+    let report = run_cluster(&bin, &cluster, &dir).map_err(|e| e.to_string())?;
+    println!("{}", report.stats);
+    let verdicts: Vec<String> = report
+        .audits
+        .iter()
+        .map(|a| a.verdict.to_string())
+        .collect();
+    println!("verdicts: {}", verdicts.join(", "));
+    if report.crashed_nodes.is_empty() {
+        println!("suspected: none");
+    } else {
+        let list: Vec<String> = report
+            .crashed_nodes
+            .iter()
+            .map(|(p, k)| format!("p{p} (crashed in instance {k})"))
+            .collect();
+        println!("suspected: {}", list.join(", "));
+    }
+    println!("digest: {:#018x}", report.stats.kv_digest);
+    if let Some(path) = flags.get("stats-out") {
+        std::fs::write(path, report.stats.to_json())
+            .map_err(|e| format!("--stats-out {path}: {e}"))?;
+    }
+    if let Some(path) = flags.get("logs-out") {
+        let mut logs = String::new();
+        for log in &report.logs {
+            logs.push_str(&log.to_jsonl());
+        }
+        std::fs::write(path, logs).map_err(|e| format!("--logs-out {path}: {e}"))?;
+    }
+    if report.stats.audit_violations > 0 || report.stats.audit_divergences > 0 {
+        let mut msg = format!(
+            "audit failed: {} spec violations, {} divergences over {} audited instances",
+            report.stats.audit_violations,
+            report.stats.audit_divergences,
+            report.stats.audit_checked
+        );
+        for audit in report.audits.iter().filter(|a| !a.is_clean()) {
+            msg.push_str(&format!("\n  instance {}:", audit.instance));
+            if let Some(v) = &audit.violation {
+                msg.push_str(&format!(" violation: {v}"));
+            }
+            if let Some(d) = &audit.divergence {
+                msg.push_str(&format!(" divergence: {d}"));
+            }
+        }
+        return Err(msg);
     }
     Ok(())
 }
@@ -964,6 +1160,23 @@ commands:
              every instance audited against the round models in the
              background (exit 1 on any violation); deterministic stats JSON
              via --stats-out, per-instance run logs via --logs-out
+  serve      a1 rs --node I --listen ADDR --peers A0,A1,.. [--report FILE]
+             [--instances I] [--seed S] [--hb-ms MS] [--fd-timeout-ms MS]
+             [--delta-ms MS] [--degrade=rws|abort|off] [--drain MS]
+             one cluster node as one OS process over real TCP sockets:
+             length-prefixed frames, reconnect with capped backoff,
+             retransmit + dedup, PFD suspicion only via staleness
+             timeout (never from connection loss), online Δ guard
+  serve-cluster [-n N] [--instances I] [--seed S] [--kill9 NODE] [--kill-at K]
+             [--delta-ms MS] [--degrade=rws|abort|off] [--proxy-delay-ms MS]
+             [--proxy-delay-rate P] [--proxy-drop-rate P] [--proxy-reset-after K]
+             [--proxy-seed S] [--dir DIR] [--stats-out FILE] [--logs-out FILE]
+             spawn a loopback cluster of `serve --node` processes
+             (optionally through the deterministic socket-level chaos
+             proxy, optionally kill -9'ing one node mid-run), merge the
+             node reports and certify every instance with the same
+             audit pipeline as in-process serving (exit 1 only on a
+             spec violation or divergence)
   explore    [<algo> <rs|rws>] [--n N] [--t T] [--inputs v1,v2,..] [--sym off|full]
              [--limit K] [--backend virtual]
              systematically enumerate EVERY adversary of one small
@@ -989,6 +1202,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("runtime-fuzz") => cmd_runtime_fuzz(&flags),
         Some("trace-dump") => cmd_trace_dump(&flags),
         Some("serve") => cmd_serve(&flags),
+        Some("serve-cluster") => cmd_serve_cluster(&flags),
         Some("explore") => cmd_explore(&flags),
         Some("help") | None => {
             println!("{USAGE}");

@@ -1,0 +1,330 @@
+//! End-to-end certification of multi-process serving: `ssp
+//! serve-cluster` spawns one OS process per consensus process over
+//! real loopback sockets, and every claim the in-process engine makes
+//! must survive the move to a real network — clean audits across
+//! seeds, byte-level agreement with the in-process oracle on the
+//! deterministic core, `kill -9` surfacing only through the PFD
+//! timeout, and the Δ-violation trichotomy on live sockets.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ssp(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_ssp");
+    let out = Command::new(exe).args(args).output().expect("spawn ssp");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssp-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Strips the one legitimately different field from the deterministic
+/// stats core: the in-process engine takes the early-retire fast path,
+/// the socket cluster always plays both rounds.
+fn without_retired(json: &str) -> String {
+    let mut out = String::new();
+    for part in json
+        .trim_end()
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .split(',')
+    {
+        if part.starts_with("\"retired_instances\"") {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(part);
+    }
+    out
+}
+
+/// 20 seeds of failure-free serving over real sockets: every instance
+/// audited clean, every verdict `RS`, and the deterministic core
+/// byte-identical to the in-process engine run with the same seed.
+#[test]
+fn loopback_conformance_across_twenty_seeds() {
+    let dir = scratch("conf");
+    for seed in 1..=20u64 {
+        let seed_s = seed.to_string();
+        let sock_json = dir.join(format!("sock-{seed}.json"));
+        let run_dir = dir.join(format!("run-{seed}"));
+        let (ok, stdout, stderr) = ssp(&[
+            "serve-cluster",
+            "-n",
+            "3",
+            "--instances",
+            "3",
+            "--seed",
+            &seed_s,
+            "--fd-timeout-ms",
+            "8000",
+            "--stats-out",
+            sock_json.to_str().unwrap(),
+            "--dir",
+            run_dir.to_str().unwrap(),
+        ]);
+        assert!(ok, "seed {seed}: cluster failed\n{stdout}\n{stderr}");
+        assert!(
+            stdout.contains("verdicts: RS, RS, RS"),
+            "seed {seed}: non-RS verdict\n{stdout}"
+        );
+        assert!(
+            stdout.contains("suspected: none"),
+            "seed {seed}: phantom suspicion\n{stdout}"
+        );
+
+        let oracle_json = dir.join(format!("oracle-{seed}.json"));
+        let (ok, stdout, stderr) = ssp(&[
+            "serve",
+            "a1",
+            "rs",
+            "-n",
+            "3",
+            "--instances",
+            "3",
+            "--seed",
+            &seed_s,
+            "--batch",
+            "4",
+            "--clients",
+            "8",
+            "--failure-free",
+            "--stats-out",
+            oracle_json.to_str().unwrap(),
+        ]);
+        assert!(
+            ok,
+            "seed {seed}: in-process oracle failed\n{stdout}\n{stderr}"
+        );
+        let sock = std::fs::read_to_string(&sock_json).unwrap();
+        let oracle = std::fs::read_to_string(&oracle_json).unwrap();
+        assert_eq!(
+            without_retired(&sock),
+            without_retired(&oracle),
+            "seed {seed}: socket run diverged from the in-process oracle"
+        );
+    }
+}
+
+/// Delivery-projected log diff for a failure-free seed: projected to
+/// each instance's decision round, the socket transport must deliver
+/// exactly the wires the in-process transport delivers — same
+/// payloads, same order.
+#[test]
+fn socket_run_log_matches_in_process_delivery_projection() {
+    let dir = scratch("logdiff");
+    let sock_log = dir.join("sock.jsonl");
+    let oracle_log = dir.join("oracle.jsonl");
+    let (ok, stdout, stderr) = ssp(&[
+        "serve-cluster",
+        "-n",
+        "3",
+        "--instances",
+        "4",
+        "--seed",
+        "11",
+        "--fd-timeout-ms",
+        "8000",
+        "--logs-out",
+        sock_log.to_str().unwrap(),
+        "--dir",
+        dir.join("run").to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    let (ok, stdout, stderr) = ssp(&[
+        "serve",
+        "a1",
+        "rs",
+        "-n",
+        "3",
+        "--instances",
+        "4",
+        "--seed",
+        "11",
+        "--batch",
+        "4",
+        "--clients",
+        "8",
+        "--failure-free",
+        "--logs-out",
+        oracle_log.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+
+    // Project both logs to decision-relevant delivery: instance
+    // headers plus round-1 deliver events (failure-free A1 decides in
+    // round 1; round 2 is the relay round the early-retire fast path
+    // skips in-process).
+    let project = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| {
+                l.contains("\"instance\"")
+                    || (l.contains("\"ev\":\"deliver\"") && l.contains("\"round\":1"))
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    let sock = project(&std::fs::read_to_string(&sock_log).unwrap());
+    let oracle = project(&std::fs::read_to_string(&oracle_log).unwrap());
+    assert!(!sock.is_empty(), "socket log projection must not be empty");
+    assert_eq!(
+        sock, oracle,
+        "delivery-projected run logs diverge between socket and in-process transports"
+    );
+}
+
+/// `kill -9` tolerance: a SIGKILL'd node surfaces as suspicion of
+/// exactly that node, every decided instance still audits clean, and
+/// the surviving replicas agree on the store.
+#[test]
+fn kill_nine_surfaces_as_suspicion_of_exactly_the_victim() {
+    let dir = scratch("kill");
+    let (ok, stdout, stderr) = ssp(&[
+        "serve-cluster",
+        "-n",
+        "4",
+        "--instances",
+        "6",
+        "--seed",
+        "7",
+        "--kill9",
+        "3",
+        "--kill-at",
+        "1",
+        "--gap-ms",
+        "60",
+        "--fd-timeout-ms",
+        "1500",
+        "--dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "cluster with kill -9 failed\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("suspected: p3 "),
+        "exactly the killed node must be suspected\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("p0") && !stdout.contains("p1") && !stdout.contains("p2"),
+        "no survivor may be suspected\n{stdout}"
+    );
+    assert!(
+        stdout.contains("0 violations, 0 divergences"),
+        "every decided instance must audit clean\n{stdout}"
+    );
+    assert!(
+        stdout.contains("6 decided"),
+        "survivors must keep deciding after the kill\n{stdout}"
+    );
+}
+
+/// The §3-caveat trichotomy on live sockets: the same scripted proxy
+/// delay (Δ < delay < PFD timeout) flagged, degraded, or aborted
+/// purely by the configured mode.
+#[test]
+fn proxy_delta_violation_reproduces_the_trichotomy() {
+    let dir = scratch("tri");
+    let run = |mode: &str, tag: &str| -> String {
+        let (ok, stdout, stderr) = ssp(&[
+            "serve-cluster",
+            "-n",
+            "3",
+            "--instances",
+            "2",
+            "--seed",
+            "5",
+            "--delta-ms",
+            "50",
+            "--degrade",
+            mode,
+            "--proxy-delay-ms",
+            "200",
+            "--proxy-delay-rate",
+            "1",
+            "--proxy-seed",
+            "9",
+            "--fd-timeout-ms",
+            "8000",
+            "--round-timeout-ms",
+            "15000",
+            "--dir",
+            dir.join(tag).to_str().unwrap(),
+        ]);
+        assert!(ok, "mode {mode}: cluster errored\n{stdout}\n{stderr}");
+        stdout
+    };
+    let off = run("off", "off");
+    assert!(
+        off.contains("verdicts: SynchronyViolation"),
+        "off mode must flag, not certify\n{off}"
+    );
+    let rws = run("rws", "rws");
+    assert!(
+        rws.contains("RWS (degraded at"),
+        "rws mode must downgrade mid-run and stay certified\n{rws}"
+    );
+    assert!(
+        rws.contains("2 decided"),
+        "degraded runs still decide\n{rws}"
+    );
+    let abort = run("abort", "abort");
+    assert!(
+        abort.contains("verdicts: aborted"),
+        "abort mode must halt the run\n{abort}"
+    );
+    assert!(
+        abort.contains("0 decided"),
+        "aborted instances must decide nothing\n{abort}"
+    );
+}
+
+/// Bit-determinism of the certified outcome: two runs of the same
+/// seeded cluster produce byte-identical deterministic stats JSON and
+/// identical verdict lines.
+#[test]
+fn double_run_is_bit_deterministic() {
+    let dir = scratch("det");
+    let mut outputs = Vec::new();
+    for tag in ["a", "b"] {
+        let json = dir.join(format!("{tag}.json"));
+        let (ok, stdout, stderr) = ssp(&[
+            "serve-cluster",
+            "-n",
+            "3",
+            "--instances",
+            "4",
+            "--seed",
+            "11",
+            "--fd-timeout-ms",
+            "8000",
+            "--stats-out",
+            json.to_str().unwrap(),
+            "--dir",
+            dir.join(tag).to_str().unwrap(),
+        ]);
+        assert!(ok, "{stdout}\n{stderr}");
+        let verdicts = stdout
+            .lines()
+            .filter(|l| l.starts_with("verdicts:") || l.starts_with("digest:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        outputs.push((std::fs::read_to_string(&json).unwrap(), verdicts));
+    }
+    assert_eq!(
+        outputs[0].0, outputs[1].0,
+        "stats JSON must be byte-identical"
+    );
+    assert_eq!(
+        outputs[0].1, outputs[1].1,
+        "verdicts and digest must repeat"
+    );
+}
