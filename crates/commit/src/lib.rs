@@ -10,16 +10,21 @@
 //!   abort whenever the adversary makes votes pending;
 //! * [`workload`] — randomized scenarios measuring the resulting
 //!   commit-rate gap (experiment E10): the quantitative content of
-//!   "synchronous commit decides Commit more often".
+//!   "synchronous commit decides Commit more often";
+//! * [`live`] — the serving-path driver: callers holding *live* votes
+//!   (the sharded engine's shard groups) run one audited vote-flood
+//!   exchange and get a typed [`CommitOutcome`] back.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod live;
 pub mod spec;
 pub mod vote_flood;
 pub mod workload;
 
+pub use live::{run_live_nbac, CommitOutcome, LiveNbacRun, NbacFaults, NbacModel};
 pub use spec::{check_nbac, NbacViolation, NonTriviality};
 pub use vote_flood::{votes_all_survive, VoteFlood, VoteFloodProcess, VoteFloodWs, VoteMap};
 pub use workload::{

@@ -157,6 +157,10 @@ fn put_batch(out: &mut Vec<u8>, batch: &Batch) {
                 out.push(2);
                 put_u32(out, key);
             }
+            Op::Prepare { tx } => {
+                out.push(3);
+                put_u32(out, tx);
+            }
         }
     }
 }
@@ -177,6 +181,7 @@ fn take_batch(buf: &mut &[u8]) -> Option<Batch> {
             2 => Op::Delete {
                 key: take_u32(buf)?,
             },
+            3 => Op::Prepare { tx: take_u32(buf)? },
             _ => return None,
         };
         cmds.push(Command {

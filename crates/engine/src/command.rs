@@ -44,6 +44,18 @@ pub enum Op {
         /// The key removed.
         key: u32,
     },
+    /// Control marker of a cross-shard transaction: deciding a batch
+    /// that contains `Prepare { tx }` is the owning group's `Yes` vote
+    /// for transaction `tx` in the subsequent NBAC exchange. Prepare
+    /// markers ride through consensus like any other command but are
+    /// **never applied** to the store — the transaction's real
+    /// operations are applied (or cleanly discarded) only once the
+    /// commit outcome is known.
+    Prepare {
+        /// Dense index of the transaction in the sharded engine's
+        /// transaction table.
+        tx: u32,
+    },
 }
 
 /// One client command: an identified state-machine operation.
@@ -53,6 +65,30 @@ pub struct Command {
     pub id: CommandId,
     /// What it does to the store.
     pub op: Op,
+}
+
+/// A multi-key transaction: one client submission whose operations
+/// span at least two shard groups, committed atomically (all groups
+/// apply) or aborted cleanly (no group applies) via non-blocking
+/// atomic commit across the owning groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Who submitted it, and in what order — the same identity space
+    /// as single-key commands (closed loop: one outstanding per
+    /// client, acknowledged at commit *or* abort).
+    pub id: CommandId,
+    /// The transaction's operations, in application order.
+    pub ops: Vec<Op>,
+}
+
+/// What a shard-aware client hands the engine per submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// A single-key command, routed to its owning group unchanged.
+    Single(Command),
+    /// A multi-key transaction, prepared in every owning group and
+    /// resolved by cross-shard NBAC.
+    Cross(Transaction),
 }
 
 /// The unit of agreement: an ordered batch of commands. Proposals are
@@ -93,6 +129,13 @@ pub struct KvStore {
 
 impl KvStore {
     /// Applies one operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Op::Prepare`]: prepare markers are consensus-level
+    /// control traffic and must be intercepted before state-machine
+    /// application — reaching the store would break the exactly-once
+    /// accounting the digest witnesses.
     pub fn apply(&mut self, op: &Op) {
         match *op {
             Op::Put { key, value } => {
@@ -100,6 +143,9 @@ impl KvStore {
             }
             Op::Delete { key } => {
                 self.map.remove(&key);
+            }
+            Op::Prepare { tx } => {
+                panic!("prepare marker for tx {tx} reached the state machine")
             }
         }
         self.applied += 1;
@@ -174,6 +220,13 @@ mod tests {
         kv.apply(&Op::Delete { key: 7 });
         assert!(kv.is_empty());
         assert_eq!(kv.applied(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "prepare marker")]
+    fn prepare_markers_never_reach_the_store() {
+        let mut kv = KvStore::default();
+        kv.apply(&Op::Prepare { tx: 3 });
     }
 
     #[test]

@@ -6,14 +6,24 @@
 //! enqueues new client commands, (2) builds staggered per-process
 //! proposals from the pending queue, (3) derives the instance's fault
 //! plan from `(engine seed, instance index)` and executes the
-//! algorithm through [`RuntimeBuilder`] — a clean network spawn and
-//! shutdown per instance, on the configured clock backend — with the
-//! early-retire fast path enabled, (4) commits the decided batch
-//! exactly once and
-//! acknowledges its clients, and (5) ships the full
-//! [`ThreadedOutcome`] to a background audit thread that overlaps
-//! certification ([`audit_instance`]) with the *next* instance's
-//! execution — the pipelining that keeps auditing off the decide path.
+//! algorithm through
+//! [`RuntimeBuilder`](ssp_runtime::RuntimeBuilder) — a clean network
+//! spawn and shutdown per instance, on the configured clock backend —
+//! with the early-retire fast path enabled, (4) commits the decided
+//! batch exactly once and acknowledges its clients, and (5) ships the
+//! full [`ThreadedOutcome`](ssp_runtime::ThreadedOutcome) to a
+//! background audit thread that overlaps certification
+//! ([`ssp_lab::audit_instance`]) with the *next* instance's execution
+//! — the pipelining that keeps auditing off the decide path.
+//!
+//! Since the sharded refactor this loop lives in
+//! [`shard`](crate::shard) as the **per-group pipeline** of
+//! [`serve_sharded`](crate::serve_sharded): [`serve`] *is* the
+//! one-group sharded engine, byte-identical in deterministic stats and
+//! run logs to what the standalone loop produced. This module keeps
+//! the per-group vocabulary — [`EngineConfig`], [`EngineCrash`],
+//! [`FaultMode`], [`EngineReport`] — plus the seed/fault-plan
+//! derivations both layers share.
 //!
 //! Crashed processes are crashed *for that instance only*: the next
 //! instance restarts all `n` workers, which is how a replicated
@@ -21,19 +31,18 @@
 //! bound `t`. Batches orphaned by a mid-instance crash simply stay
 //! pending and are re-proposed.
 
-use std::sync::mpsc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use ssp_lab::{audit_instance, InstanceAudit, ValidityMode};
-use ssp_model::{InitialConfig, TaggedRunLog};
+use ssp_lab::{InstanceAudit, ValidityMode};
+use ssp_model::TaggedRunLog;
 use ssp_rounds::{RoundAlgorithm, RoundProcess};
 use ssp_runtime::{
-    Backend, ChaosConfig, ConfigError, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder,
-    RuntimeConfig, SyncPolicy, ThreadCrash, ThreadedOutcome,
+    Backend, ChaosConfig, ConfigError, DegradeMode, FaultPlan, PlanModel, RuntimeConfig,
+    SyncPolicy, ThreadCrash,
 };
 
 use crate::command::{Batch, KvStore};
-use crate::proposer::Proposer;
+use crate::shard::{serve_sharded, ShardedConfig};
 use crate::stats::EngineStats;
 use crate::workload::Workload;
 
@@ -153,7 +162,7 @@ pub fn instance_seed(seed: u64, instance: u64) -> u64 {
 }
 
 /// Builds instance `i`'s runtime configuration from the engine config.
-fn instance_runtime(cfg: &EngineConfig, instance: u64, horizon: u32) -> RuntimeConfig {
+pub(crate) fn instance_runtime(cfg: &EngineConfig, instance: u64, horizon: u32) -> RuntimeConfig {
     let mut plan = FaultPlan::from_seed(
         instance_seed(cfg.seed, instance),
         cfg.n,
@@ -186,6 +195,13 @@ fn instance_runtime(cfg: &EngineConfig, instance: u64, horizon: u32) -> RuntimeC
 /// Runs the replicated state-machine service: repeated consensus over
 /// the threaded runtime, with background auditing.
 ///
+/// This is the one-group special case of
+/// [`serve_sharded`](crate::serve_sharded): the identity
+/// [`GroupRouter`](crate::GroupRouter) sends every command to group 0,
+/// whose seed stream is the engine seed verbatim — so the instance
+/// sequence, deterministic stats, and tagged run logs are exactly what
+/// the standalone loop produced before the sharded refactor.
+///
 /// # Errors
 ///
 /// Returns the typed [`ConfigError`] if any instance's runtime
@@ -198,7 +214,7 @@ fn instance_runtime(cfg: &EngineConfig, instance: u64, horizon: u32) -> RuntimeC
 /// Panics if a decided batch violates exactly-once commitment (a
 /// safety breach the audit would also flag), or if a worker or the
 /// audit thread panics.
-#[allow(clippy::missing_panics_doc, clippy::too_many_lines)]
+#[allow(clippy::missing_panics_doc)]
 pub fn serve<A>(
     algo: &A,
     cfg: &EngineConfig,
@@ -209,135 +225,13 @@ where
     A::Process: Send + 'static,
     <A::Process as RoundProcess>::Msg: Clone + Send + 'static,
 {
-    struct AuditJob<M> {
-        instance: u64,
-        config: InitialConfig<Batch>,
-        result: ThreadedOutcome<Batch, M>,
-    }
-
-    let horizon = algo.round_horizon(cfg.n, cfg.t);
-    let mut proposer = Proposer::new();
-    let mut kv = KvStore::default();
-    let mut stats = EngineStats {
-        algo: RoundAlgorithm::<Batch>::name(algo).to_string(),
-        model: match cfg.model {
-            PlanModel::Rs => "rs".to_string(),
-            PlanModel::Rws => "rws".to_string(),
-        },
-        n: cfg.n,
-        t: cfg.t,
-        seed: cfg.seed,
-        ..EngineStats::default()
-    };
-
-    let started = Instant::now();
-    let (audit_tx, audit_rx) = mpsc::channel::<AuditJob<_>>();
-    let (outcome, audits, logs) = std::thread::scope(|scope| {
-        let auditor = scope.spawn(move || {
-            let mut audits = Vec::new();
-            let mut logs = Vec::new();
-            for job in audit_rx {
-                audits.push(audit_instance(
-                    algo,
-                    &job.config,
-                    cfg.t,
-                    &job.result,
-                    cfg.validity,
-                    job.instance,
-                ));
-                logs.push(TaggedRunLog {
-                    instance: job.instance,
-                    log: job.result.trace.run_log(),
-                });
-            }
-            (audits, logs)
-        });
-
-        let mut drive = || -> Result<(), ConfigError> {
-            let mut instance = 0u64;
-            while instance < cfg.instances {
-                if cfg.run_to_drain && workload.drained() && proposer.pending_len() == 0 {
-                    break;
-                }
-                for cmd in workload.poll() {
-                    proposer.submit(cmd);
-                }
-                let proposals = proposer.proposals(cfg.n, cfg.batch_max, instance);
-                let config = InitialConfig::new(proposals);
-                let runtime = instance_runtime(cfg, instance, horizon);
-                let result = RuntimeBuilder::new(algo, &config)
-                    .t(cfg.t)
-                    .runtime(runtime)
-                    .backend(cfg.backend)
-                    .run()?;
-                stats.instance_wall.push(result.elapsed);
-
-                match result.outcome.iter().find_map(|(_, o)| o.decision.clone()) {
-                    Some((batch, _)) => {
-                        let committed = proposer
-                            .commit(&batch)
-                            .unwrap_or_else(|e| panic!("instance {instance}: {e}"));
-                        for cmd in &committed {
-                            kv.apply(&cmd.op);
-                            workload.acknowledge(cmd.id);
-                        }
-                        stats.decided_instances += 1;
-                        stats.commands_decided += committed.len() as u64;
-                        if let Some(rounds) = result.outcome.latency_degree() {
-                            stats.decide_rounds.push(rounds);
-                        }
-                    }
-                    None => stats.undecided_instances += 1,
-                }
-                if result.trace.crashes.iter().any(Option::is_some) {
-                    stats.crashed_instances += 1;
-                }
-                if result.trace.retired.iter().any(Option::is_some) {
-                    stats.retired_instances += 1;
-                }
-                if result.trace.degraded_at.is_some() {
-                    stats.degraded_instances += 1;
-                }
-                audit_tx
-                    .send(AuditJob {
-                        instance,
-                        config,
-                        result,
-                    })
-                    .expect("audit thread lives until the sender drops");
-                instance += 1;
-            }
-            stats.instances = instance;
-            Ok(())
-        };
-        let outcome = drive();
-        drop(audit_tx);
-        let (audits, logs) = auditor.join().expect("audit thread panicked");
-        (outcome, audits, logs)
-    });
-    outcome?;
-
-    // Under the virtual backend "elapsed" is simulated time: the sum
-    // of the instances' discrete-event timelines, not the (far
-    // smaller) wall time the sweep took.
-    stats.elapsed = match cfg.backend {
-        Backend::Virtual => stats.instance_wall.iter().sum(),
-        Backend::Real => started.elapsed(),
-    };
-    stats.commands_submitted = workload.submitted();
-    stats.pending_at_shutdown = proposer.pending_len() as u64;
-    stats.reproposed = proposer.reproposed();
-    stats.kv_digest = kv.digest();
-    stats.audit_checked = audits.len() as u64;
-    stats.audit_violations = audits.iter().filter(|a| a.violation.is_some()).count() as u64;
-    stats.audit_divergences = audits.iter().filter(|a| a.divergence.is_some()).count() as u64;
-
-    Ok(EngineReport {
-        stats,
-        audits,
-        logs,
-        kv,
-    })
+    let sharded = ShardedConfig::new(cfg.clone(), 1);
+    let report = serve_sharded(algo, &sharded, workload)?;
+    Ok(report
+        .groups
+        .into_iter()
+        .next()
+        .expect("a one-group sharded run reports exactly one group"))
 }
 
 #[cfg(test)]

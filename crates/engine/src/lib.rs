@@ -35,6 +35,11 @@
 //!   pipelined behind execution.
 //! - [`EngineStats`]: deterministic JSON core (byte-identical per
 //!   seed) plus human wall-clock report.
+//! - [`serve_sharded`]: the same pipeline as one group of G — a
+//!   key-hash [`GroupRouter`] partitions the key space over
+//!   independent consensus groups, and cross-shard transactions
+//!   resolve through `ssp-commit`'s non-blocking atomic commit
+//!   ([`serve`] *is* the one-group special case, byte for byte).
 //!
 //! Faults compose the same way they do in `ssp runtime-fuzz`: seeded
 //! [`FaultPlan`](ssp_runtime::FaultPlan) crashes, scripted
@@ -50,6 +55,7 @@ pub mod cluster;
 pub mod command;
 pub mod engine;
 pub mod proposer;
+pub mod shard;
 pub mod stats;
 pub mod workload;
 
@@ -57,8 +63,14 @@ pub use cluster::{
     decode_wire, encode_wire, merge_reports, run_cluster, serve_node, serve_node_to_file,
     ClusterConfig, ClusterReport, KillSpec, NodeConfig, ProxySpec,
 };
-pub use command::{Batch, Command, CommandId, KvStore, Op};
+pub use command::{Batch, ClientRequest, Command, CommandId, KvStore, Op, Transaction};
 pub use engine::{instance_seed, serve, EngineConfig, EngineCrash, EngineReport, FaultMode};
 pub use proposer::{CommitError, Proposer};
-pub use stats::EngineStats;
+pub use shard::{group_seed, rate_pm, serve_sharded, GroupRouter, ShardedConfig, ShardedReport};
+pub use stats::{CrossShardStats, EngineStats, ShardedStats};
 pub use workload::{Workload, WorkloadConfig};
+
+// Cross-shard exchanges are audited against the NBAC specification;
+// a violation is part of the engine's audit error surface, so the
+// checker's verdict type and the typed outcome are re-exported here.
+pub use ssp_commit::{CommitOutcome, NbacViolation};

@@ -174,6 +174,257 @@ impl EngineStats {
     }
 }
 
+impl EngineStats {
+    /// Order-invariant fold of per-group deterministic cores into one
+    /// service-wide core: counters sum, decide latencies merge sorted,
+    /// and the KV digests XOR (each group owns a disjoint key
+    /// partition, so the fold is a digest of the union).
+    ///
+    /// Identity on a single group up to `decide_rounds` ordering —
+    /// which the JSON core never observes, since it serializes only
+    /// order-insensitive reductions (total, p50, p99). The aggregate of
+    /// a one-group run therefore serializes byte-identically to the
+    /// group itself. Shape metadata (`algo`, `model`, `n`, `t`, `seed`)
+    /// comes from the first group: group 0 carries the engine seed
+    /// verbatim.
+    ///
+    /// Wall-clock fields are deliberately left at their defaults —
+    /// group timelines are concurrent, so summing them would be
+    /// fiction; the sharded elapsed time lives in
+    /// [`ShardedStats::elapsed`].
+    #[must_use]
+    pub fn aggregate(groups: &[EngineStats]) -> EngineStats {
+        let mut agg = EngineStats::default();
+        if let Some(first) = groups.first() {
+            agg.algo.clone_from(&first.algo);
+            agg.model.clone_from(&first.model);
+            agg.n = first.n;
+            agg.t = first.t;
+            agg.seed = first.seed;
+        }
+        for g in groups {
+            agg.instances += g.instances;
+            agg.decided_instances += g.decided_instances;
+            agg.undecided_instances += g.undecided_instances;
+            agg.commands_submitted += g.commands_submitted;
+            agg.commands_decided += g.commands_decided;
+            agg.pending_at_shutdown += g.pending_at_shutdown;
+            agg.reproposed += g.reproposed;
+            agg.crashed_instances += g.crashed_instances;
+            agg.retired_instances += g.retired_instances;
+            agg.degraded_instances += g.degraded_instances;
+            agg.kv_digest ^= g.kv_digest;
+            agg.decide_rounds.extend_from_slice(&g.decide_rounds);
+            agg.audit_checked += g.audit_checked;
+            agg.audit_violations += g.audit_violations;
+            agg.audit_divergences += g.audit_divergences;
+        }
+        agg.decide_rounds.sort_unstable();
+        agg
+    }
+}
+
+/// Cross-shard transaction counters of one sharded run — all
+/// deterministic per seeded configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossShardStats {
+    /// Cross-shard transactions registered (each counts once, like a
+    /// single-key command).
+    pub submitted: u64,
+    /// Transactions the NBAC exchange decided `Commit` — every
+    /// operation applied in its owning group.
+    pub committed: u64,
+    /// Transactions the exchange decided `Abort` — no operation
+    /// applied anywhere.
+    pub aborted: u64,
+    /// Prepare markers decided by their group in time (on-time `Yes`
+    /// votes).
+    pub prepares_decided: u64,
+    /// Prepare markers decided *after* their transaction resolved —
+    /// harmless no-ops, counted for visibility.
+    pub late_prepares: u64,
+    /// `No` votes recorded because a group failed to decide the
+    /// prepare within the patience window.
+    pub timeout_no_votes: u64,
+    /// Exchanges whose every vote reached a surviving participant (the
+    /// SDD-boosted non-triviality premise held).
+    pub votes_survived: u64,
+    /// Exchanges the NBAC spec checker flagged — must be zero on a
+    /// clean run; the CLI exits nonzero otherwise.
+    pub nbac_violations: u64,
+}
+
+impl CrossShardStats {
+    /// Fraction of resolved transactions that committed.
+    #[must_use]
+    pub fn commit_rate(&self) -> f64 {
+        let resolved = self.committed + self.aborted;
+        if resolved == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.committed as f64 / resolved as f64
+        }
+    }
+
+    /// The counters as a fixed-shape JSON fragment (no trailing
+    /// newline; embedded by [`ShardedStats::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\":{},\"committed\":{},\"aborted\":{},\"prepares_decided\":{},\
+             \"late_prepares\":{},\"timeout_no_votes\":{},\"votes_survived\":{},\
+             \"nbac_violations\":{}}}",
+            self.submitted,
+            self.committed,
+            self.aborted,
+            self.prepares_decided,
+            self.late_prepares,
+            self.timeout_no_votes,
+            self.votes_survived,
+            self.nbac_violations,
+        )
+    }
+}
+
+/// Statistics of one sharded engine run: the per-group deterministic
+/// cores, their order-invariant aggregate, and the cross-shard commit
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// Number of consensus groups.
+    pub shards: usize,
+    /// Lock-step ticks the sharded loop executed (each tick runs at
+    /// most one instance per group).
+    pub ticks: u64,
+    /// Cross-shard transaction counters.
+    pub cross: CrossShardStats,
+    /// Per-group deterministic cores, group order.
+    pub groups: Vec<EngineStats>,
+    /// Elapsed time of the sharded run (human report only). Under the
+    /// virtual backend this is **concurrent** simulated time: the sum
+    /// over ticks of the slowest group's instance time — `G` groups
+    /// deciding in parallel pay one group's latency per tick, which is
+    /// exactly the throughput-scaling claim the bench measures. Under
+    /// the real backend it is plain wall clock (groups execute
+    /// sequentially in-process).
+    pub elapsed: Duration,
+}
+
+impl ShardedStats {
+    /// The order-invariant aggregate of the per-group cores.
+    #[must_use]
+    pub fn aggregate(&self) -> EngineStats {
+        EngineStats::aggregate(&self.groups)
+    }
+
+    /// Client commands resolved exactly once: single-key commands
+    /// decided by their group plus committed cross-shard transactions
+    /// (each counting once, matching the workload's submission
+    /// accounting).
+    #[must_use]
+    pub fn commands_resolved(&self) -> u64 {
+        self.groups.iter().map(|g| g.commands_decided).sum::<u64>() + self.cross.committed
+    }
+
+    /// Resolved commands per elapsed second — per *simulated* second
+    /// under the virtual backend (see [`ShardedStats::elapsed`]).
+    #[must_use]
+    pub fn commands_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.commands_resolved() as f64 / secs
+            }
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the deterministic core: shard count, tick count,
+    /// cross-shard counters, the aggregate core, and every per-group
+    /// core, fixed key order. Byte-identical across runs of the same
+    /// seeded configuration; wall clock is excluded.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"shards\":{},\"ticks\":{},\"cross\":{},\"aggregate\":{},\"groups\":[",
+            self.shards,
+            self.ticks,
+            self.cross.to_json(),
+            self.aggregate().to_json().trim_end(),
+        );
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(g.to_json().trim_end());
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+impl fmt::Display for ShardedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let agg = self.aggregate();
+        writeln!(
+            f,
+            "{} shard groups, {} ticks: {} instances, {} decided, {} undecided; \
+             {:.1} commands/s over {:.2} s",
+            self.shards,
+            self.ticks,
+            agg.instances,
+            agg.decided_instances,
+            agg.undecided_instances,
+            self.commands_per_sec(),
+            self.elapsed.as_secs_f64(),
+        )?;
+        writeln!(
+            f,
+            "  cross-shard: {} submitted, {} committed, {} aborted ({:.0}% commit), \
+             {} on-time prepares, {} late, {} timeout No votes, {} NBAC violations",
+            self.cross.submitted,
+            self.cross.committed,
+            self.cross.aborted,
+            self.cross.commit_rate() * 100.0,
+            self.cross.prepares_decided,
+            self.cross.late_prepares,
+            self.cross.timeout_no_votes,
+            self.cross.nbac_violations,
+        )?;
+        write!(
+            f,
+            "  aggregate: {} submitted, {} decided exactly once, {} pending at shutdown; \
+             audit {} checked, {} violations, {} divergences; kv digest {:#018x}",
+            agg.commands_submitted,
+            agg.commands_decided,
+            agg.pending_at_shutdown,
+            agg.audit_checked,
+            agg.audit_violations,
+            agg.audit_divergences,
+            agg.kv_digest,
+        )?;
+        for (g, stats) in self.groups.iter().enumerate() {
+            write!(
+                f,
+                "\n  group {g} (seed {}): {} instances, {} decided, {} commands, \
+                 p50 {} / p99 {} rounds, kv digest {:#018x}",
+                stats.seed,
+                stats.instances,
+                stats.decided_instances,
+                stats.commands_decided,
+                stats.decide_rounds_p50(),
+                stats.decide_rounds_p99(),
+                stats.kv_digest,
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut wall = self.instance_wall.clone();
@@ -274,6 +525,63 @@ mod tests {
         assert!(a.starts_with("{\"algo\":\"A1\",\"model\":\"rs\""));
         assert!(a.contains("\"decide_rounds_p50\":1"));
         assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn aggregate_is_order_invariant_and_identity_on_one_group() {
+        let group = |seed: u64, digest: u64, rounds: Vec<u32>| EngineStats {
+            algo: "A1".into(),
+            model: "rs".into(),
+            n: 3,
+            t: 1,
+            seed,
+            instances: 4,
+            decided_instances: 4,
+            commands_decided: 9,
+            kv_digest: digest,
+            decide_rounds: rounds,
+            ..EngineStats::default()
+        };
+        let a = group(7, 0xaaaa, vec![2, 1]);
+        let b = group(8, 0xbbbb, vec![1, 3]);
+        let ab = EngineStats::aggregate(&[a.clone(), b.clone()]);
+        let ba = EngineStats::aggregate(&[b.clone(), a.clone()]);
+        assert_eq!(ab.kv_digest, ba.kv_digest, "XOR fold commutes");
+        assert_eq!(ab.decide_rounds, ba.decide_rounds, "sorted merge commutes");
+        assert_eq!(ab.commands_decided, 18);
+        assert_eq!(ab.instances, 8);
+        let solo = EngineStats::aggregate(std::slice::from_ref(&a));
+        assert_eq!(
+            solo.to_json(),
+            a.to_json(),
+            "one-group aggregate serializes identically to the group"
+        );
+    }
+
+    #[test]
+    fn sharded_json_is_fixed_shape_without_wall_clock() {
+        let mut s = ShardedStats {
+            shards: 2,
+            ticks: 5,
+            cross: CrossShardStats {
+                submitted: 3,
+                committed: 2,
+                aborted: 1,
+                ..CrossShardStats::default()
+            },
+            groups: vec![EngineStats::default(), EngineStats::default()],
+            elapsed: Duration::from_secs(1),
+        };
+        let a = s.to_json();
+        s.elapsed = Duration::from_secs(9);
+        let b = s.to_json();
+        assert_eq!(a, b, "elapsed must not leak into the sharded JSON");
+        assert!(a.starts_with("{\"shards\":2,\"ticks\":5,\"cross\":{\"submitted\":3"));
+        assert!(a.contains("\"aggregate\":{\"algo\":"));
+        assert!(a.contains("\"groups\":[{"));
+        assert!(a.ends_with("]}\n"));
+        assert!((s.cross.commit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(format!("{s}").contains("cross-shard: 3 submitted"));
     }
 
     #[test]

@@ -17,7 +17,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::command::{Command, CommandId, Op};
+use crate::command::{ClientRequest, Command, CommandId, Op, Transaction};
+use crate::shard::GroupRouter;
 
 /// Sizing knobs of a [`Workload`].
 #[derive(Debug, Clone, Copy)]
@@ -33,10 +34,20 @@ pub struct WorkloadConfig {
     pub delete_prob: f64,
     /// Per-client command budget; `None` runs the workload open-ended.
     pub commands_per_client: Option<u32>,
+    /// Number of shard groups the key space is partitioned over.
+    /// Shapes only *cross-shard* generation — single-key commands are
+    /// identical for every `shards` value.
+    pub shards: usize,
+    /// Fraction of submissions that are multi-key cross-shard
+    /// transactions. With the default `0.0` the generator draws
+    /// nothing extra from the RNG, keeping the command stream
+    /// byte-identical to a shard-oblivious workload on the same seed.
+    pub cross_shard_rate: f64,
 }
 
 impl WorkloadConfig {
-    /// A small default mix: skewed puts with occasional deletes.
+    /// A small default mix: skewed puts with occasional deletes,
+    /// single-group, no cross-shard traffic.
     #[must_use]
     pub fn new(clients: usize) -> Self {
         WorkloadConfig {
@@ -45,7 +56,15 @@ impl WorkloadConfig {
             skew: 1.0,
             delete_prob: 0.1,
             commands_per_client: None,
+            shards: 1,
+            cross_shard_rate: 0.0,
         }
+    }
+
+    /// Whether this workload ever emits cross-shard transactions.
+    #[must_use]
+    pub fn cross_shard(&self) -> bool {
+        self.cross_shard_rate > 0.0 && self.shards > 1
     }
 }
 
@@ -56,9 +75,11 @@ pub struct Workload {
     rng: StdRng,
     /// Cumulative fixed-point Zipf weights over the key space.
     cumulative: Vec<u64>,
+    router: GroupRouter,
     next_seq: Vec<u32>,
     in_flight: Vec<bool>,
     submitted: u64,
+    cross_submitted: u64,
 }
 
 /// Fixed-point scale for the Zipf weights.
@@ -69,11 +90,29 @@ impl Workload {
     ///
     /// # Panics
     ///
-    /// Panics if `clients` or `keys` is zero.
+    /// Panics if `clients` or `keys` is zero, if `cross_shard_rate` is
+    /// not a probability, or if cross-shard traffic is requested over
+    /// a key space that does not span at least two groups.
     #[must_use]
     pub fn new(seed: u64, cfg: WorkloadConfig) -> Self {
         assert!(cfg.clients > 0, "need at least one client");
         assert!(cfg.keys > 0, "need a non-empty key space");
+        assert!(
+            (0.0..=1.0).contains(&cfg.cross_shard_rate),
+            "cross-shard rate must be a probability, got {}",
+            cfg.cross_shard_rate
+        );
+        let router = GroupRouter::new(cfg.shards.max(1));
+        if cfg.cross_shard() {
+            let first = router.group_of(0);
+            assert!(
+                (1..cfg.keys).any(|k| router.group_of(k) != first),
+                "cross-shard workload needs keys in at least two groups \
+                 (keys={}, shards={})",
+                cfg.keys,
+                cfg.shards
+            );
+        }
         let mut cumulative = Vec::with_capacity(cfg.keys as usize);
         let mut total = 0u64;
         for k in 0..cfg.keys {
@@ -85,9 +124,11 @@ impl Workload {
         Workload {
             rng: StdRng::seed_from_u64(seed ^ 0x5ee0_57a7_c11e_2075_u64),
             cumulative,
+            router,
             next_seq: vec![0; cfg.clients],
             in_flight: vec![false; cfg.clients],
             submitted: 0,
+            cross_submitted: 0,
             cfg,
         }
     }
@@ -102,9 +143,14 @@ impl Workload {
     }
 
     /// Closed-loop tick: every client with no command in flight (and
-    /// budget remaining) submits its next command. Returns the newly
-    /// submitted commands, client order.
-    pub fn poll(&mut self) -> Vec<Command> {
+    /// budget remaining) submits its next request, client order.
+    ///
+    /// The cross-shard coin is drawn *only* when
+    /// [`WorkloadConfig::cross_shard`] holds — with the default rate of
+    /// `0.0` the RNG draw sequence (Zipf key → delete coin → value) is
+    /// exactly the shard-oblivious one, so the command stream stays
+    /// byte-identical across `shards` values on the same seed.
+    pub fn poll_requests(&mut self) -> Vec<ClientRequest> {
         let mut out = Vec::new();
         for client in 0..self.cfg.clients {
             if self.in_flight[client] {
@@ -121,21 +167,87 @@ impl Workload {
                 seq: self.next_seq[client],
             };
             self.next_seq[client] += 1;
-            let key = self.zipf_key();
-            let delete = self.rng.gen_bool(self.cfg.delete_prob);
-            let op = if delete {
-                Op::Delete { key }
-            } else {
-                Op::Put {
-                    key,
-                    value: self.rng.gen_range(0..u64::from(u32::MAX)),
-                }
-            };
+            let cross = self.cfg.cross_shard() && self.rng.gen_bool(self.cfg.cross_shard_rate);
             self.in_flight[client] = true;
             self.submitted += 1;
-            out.push(Command { id, op });
+            if cross {
+                self.cross_submitted += 1;
+                out.push(ClientRequest::Cross(self.cross_transaction(id)));
+            } else {
+                let key = self.zipf_key();
+                let delete = self.rng.gen_bool(self.cfg.delete_prob);
+                let op = if delete {
+                    Op::Delete { key }
+                } else {
+                    Op::Put {
+                        key,
+                        value: self.rng.gen_range(0..u64::from(u32::MAX)),
+                    }
+                };
+                out.push(ClientRequest::Single(Command { id, op }));
+            }
         }
         out
+    }
+
+    /// Draws one two-key transaction spanning two distinct groups: the
+    /// first key is a plain Zipf draw; the second retries the Zipf
+    /// sampler a bounded number of times for a key in a *different*
+    /// group and falls back to a deterministic key-space scan, so the
+    /// draw count — hence the downstream stream — stays bounded and
+    /// seed-deterministic.
+    fn cross_transaction(&mut self, id: CommandId) -> Transaction {
+        let key_a = self.zipf_key();
+        let home = self.router.group_of(key_a);
+        let mut key_b = None;
+        for _ in 0..16 {
+            let candidate = self.zipf_key();
+            if self.router.group_of(candidate) != home {
+                key_b = Some(candidate);
+                break;
+            }
+        }
+        let key_b = key_b.unwrap_or_else(|| {
+            (0..self.cfg.keys)
+                .find(|&k| self.router.group_of(k) != home)
+                .expect("checked at construction: key space spans two groups")
+        });
+        let value_a = self.rng.gen_range(0..u64::from(u32::MAX));
+        let value_b = self.rng.gen_range(0..u64::from(u32::MAX));
+        Transaction {
+            id,
+            ops: vec![
+                Op::Put {
+                    key: key_a,
+                    value: value_a,
+                },
+                Op::Put {
+                    key: key_b,
+                    value: value_b,
+                },
+            ],
+        }
+    }
+
+    /// Single-group compatibility tick: like
+    /// [`poll_requests`](Workload::poll_requests) but returns plain
+    /// commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload generated a cross-shard transaction —
+    /// callers of this path must keep `cross_shard_rate` at `0.0`.
+    pub fn poll(&mut self) -> Vec<Command> {
+        self.poll_requests()
+            .into_iter()
+            .map(|req| match req {
+                ClientRequest::Single(cmd) => cmd,
+                ClientRequest::Cross(tx) => panic!(
+                    "cross-shard transaction {} polled through the single-group path",
+                    tx.id
+                ),
+            })
+            .collect()
     }
 
     /// Acknowledges a decided command: its client may submit again on
@@ -146,10 +258,16 @@ impl Workload {
         }
     }
 
-    /// Commands submitted so far.
+    /// Commands submitted so far (cross-shard transactions count once).
     #[must_use]
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// Cross-shard transactions submitted so far.
+    #[must_use]
+    pub fn cross_submitted(&self) -> u64 {
+        self.cross_submitted
     }
 
     /// Whether a budgeted workload has both exhausted every client's

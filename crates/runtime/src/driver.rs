@@ -237,6 +237,22 @@ pub enum ConfigError {
         /// Number of processes (`n`).
         n: usize,
     },
+    /// A sharded service was configured with zero shard groups; the
+    /// key space has nowhere to live.
+    ShardCountZero,
+    /// The cross-shard fraction is not a probability. The rate is
+    /// carried in per-mille so the error stays `Eq`-comparable.
+    CrossShardRateOutOfRange {
+        /// The offending rate, in per-mille of submissions.
+        rate_pm: i64,
+    },
+    /// A cross-shard rate was explicitly requested on a single-group
+    /// service: with `G = 1` every key has the same owner, so there is
+    /// no second group for a transaction to span.
+    CrossShardRateWithoutShards {
+        /// The requested rate, in per-mille of submissions.
+        rate_pm: i64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -276,6 +292,21 @@ impl fmt::Display for ConfigError {
             } => write!(
                 f,
                 "crash script for {process} sends to {receiver}, outside the {n}-process ring"
+            ),
+            ConfigError::ShardCountZero => write!(
+                f,
+                "shard count must be at least 1: zero consensus groups cannot own a key space"
+            ),
+            ConfigError::CrossShardRateOutOfRange { rate_pm } => write!(
+                f,
+                "cross-shard rate {}\u{2030} is not a probability (need 0 \u{2264} rate \u{2264} 1)",
+                rate_pm
+            ),
+            ConfigError::CrossShardRateWithoutShards { rate_pm } => write!(
+                f,
+                "cross-shard rate {}\u{2030} requested on a single-group service: \
+                 transactions need --shards \u{2265} 2 to span groups",
+                rate_pm
             ),
         }
     }
@@ -1073,6 +1104,18 @@ mod tests {
             .runtime(runtime)
             .run()
             .unwrap()
+    }
+
+    #[test]
+    fn sharding_config_errors_render_their_diagnosis() {
+        assert!(ConfigError::ShardCountZero
+            .to_string()
+            .contains("at least 1"));
+        let oob = ConfigError::CrossShardRateOutOfRange { rate_pm: 1500 };
+        assert!(oob.to_string().contains("1500"), "{oob}");
+        let single = ConfigError::CrossShardRateWithoutShards { rate_pm: 100 };
+        assert!(single.to_string().contains("--shards"), "{single}");
+        assert_ne!(oob, single.clone());
     }
 
     #[test]

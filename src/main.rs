@@ -29,8 +29,9 @@ use ssp::algos::{
 };
 use ssp::commit::{commit_rate_experiment, CommitWorkload};
 use ssp::engine::{
-    run_cluster, serve, serve_node, serve_node_to_file, ClusterConfig, EngineConfig, FaultMode,
-    KillSpec, NodeConfig, ProxySpec, Workload, WorkloadConfig,
+    rate_pm, run_cluster, serve, serve_node, serve_node_to_file, serve_sharded, ClusterConfig,
+    EngineConfig, EngineCrash, FaultMode, KillSpec, NodeConfig, ProxySpec, ShardedConfig, Workload,
+    WorkloadConfig,
 };
 use ssp::explore::Explorer;
 use ssp::fd::classify;
@@ -43,7 +44,8 @@ use ssp::lab::{
 use ssp::model::{InitialConfig, RunLog};
 use ssp::rounds::{cumulative_round_budget, RoundAlgorithm};
 use ssp::runtime::{
-    Backend, ChaosConfig, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder, SECTION_5_3_SEED,
+    Backend, ChaosConfig, ConfigError, DegradeMode, FaultPlan, PlanModel, RuntimeBuilder,
+    ThreadCrash, SECTION_5_3_SEED,
 };
 
 /// Flags that take no value: their presence means `true`.
@@ -768,7 +770,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                          [--instances I] [--seed S] [--batch B] [--keys K] [--skew Z] \
                          [--failure-free] [--chaos] [--loss P] [--dup P] [--reorder P] \
                          [--degrade=rws|abort|off] [--backend virtual|real] [--drain MS] \
-                         [--stats-out FILE] [--logs-out FILE]";
+                         [--shards G] [--cross-shard-rate P] [--prepare-patience T] \
+                         [--crash-group G --crash-instance I --crash-process P \
+                         --crash-round R] [--stats-out FILE] [--logs-out FILE]";
     if flags.is_set("node") {
         return cmd_serve_node(flags);
     }
@@ -802,6 +806,22 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     wcfg.keys =
         u32::try_from(flags.u64_or("keys", 64)?).map_err(|_| "--keys: too large".to_string())?;
     wcfg.skew = flags.f64_or("skew", 1.0)?;
+    // An explicit cross-shard rate is meaningless without `--shards`:
+    // a single group leaves no second group for a transaction to span.
+    // The default (flag absent) is not an error — `--shards` alone is
+    // a plain sharded run with no cross-shard traffic.
+    if flags.is_set("cross-shard-rate") && !flags.is_set("shards") {
+        let rate = flags.f64_or("cross-shard-rate", 0.0)?;
+        return Err(format!(
+            "invalid runtime configuration: {}",
+            ConfigError::CrossShardRateWithoutShards {
+                rate_pm: rate_pm(rate)
+            }
+        ));
+    }
+    if flags.is_set("shards") {
+        return cmd_serve_sharded(flags, algo_name, &cfg, wcfg);
+    }
     let mut workload = Workload::new(cfg.seed, wcfg);
     // The report's log type depends on the algorithm's message type, so
     // render everything inside the monomorphized body.
@@ -825,6 +845,75 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         return Err(format!(
             "audit failed: {} spec violations, {} divergences over {} audited instances",
             stats.audit_violations, stats.audit_divergences, stats.audit_checked
+        ));
+    }
+    Ok(())
+}
+
+/// `ssp serve --shards G`: the sharded multi-group service — `G`
+/// independent consensus groups over a key-hash partition, cross-shard
+/// transactions resolved by audited non-blocking atomic commit. Exits
+/// nonzero if any group's consensus audit or any cross-shard NBAC
+/// audit fails.
+fn cmd_serve_sharded(
+    flags: &Flags,
+    algo_name: &str,
+    engine: &EngineConfig,
+    mut wcfg: WorkloadConfig,
+) -> Result<(), String> {
+    let mut cfg = ShardedConfig::new(engine.clone(), flags.usize_or("shards", 1)?);
+    cfg.cross_shard_rate = flags.f64_or("cross-shard-rate", 0.0)?;
+    cfg.prepare_patience = flags.u64_or("prepare-patience", 8)?;
+    if flags.is_set("crash-group") {
+        // One scripted group-local crash: the named process dies in
+        // the named instance of the named group (prefix mode, dying
+        // after its first send of the round).
+        let round = u32::try_from(flags.u64_or("crash-round", 1)?)
+            .map_err(|_| "--crash-round: too large".to_string())?;
+        cfg.group_crashes.push((
+            flags.usize_or("crash-group", 0)?,
+            EngineCrash {
+                instance: flags.u64_or("crash-instance", 0)?,
+                process: flags.usize_or("crash-process", 0)?,
+                crash: ThreadCrash::prefix(round, flags.usize_or("crash-after-sends", 1)?),
+            },
+        ));
+    }
+    cfg.validate()
+        .map_err(|e| format!("invalid runtime configuration: {e}"))?;
+    wcfg.shards = cfg.shards;
+    wcfg.cross_shard_rate = cfg.cross_shard_rate;
+    let mut workload = Workload::new(cfg.engine.seed, wcfg);
+    let (stats, logs_jsonl, cross_violation) = with_algo!(algo_name, algo => {
+        let report = serve_sharded(&algo, &cfg, &mut workload)
+            .map_err(|e| format!("invalid runtime configuration: {e}"))?;
+        let mut logs = String::new();
+        for group in &report.groups {
+            for log in &group.logs {
+                logs.push_str(&log.to_jsonl());
+            }
+        }
+        (report.stats, logs, report.cross_violation)
+    })?;
+    println!("{stats}");
+    if let Some(path) = flags.get("stats-out") {
+        std::fs::write(path, stats.to_json()).map_err(|e| format!("--stats-out {path}: {e}"))?;
+    }
+    if let Some(path) = flags.get("logs-out") {
+        std::fs::write(path, logs_jsonl).map_err(|e| format!("--logs-out {path}: {e}"))?;
+    }
+    let agg = stats.aggregate();
+    if agg.audit_violations > 0 || agg.audit_divergences > 0 {
+        return Err(format!(
+            "audit failed: {} spec violations, {} divergences over {} audited instances",
+            agg.audit_violations, agg.audit_divergences, agg.audit_checked
+        ));
+    }
+    if let Some(violation) = cross_violation {
+        return Err(format!(
+            "cross-shard NBAC audit failed: {violation} ({} violations over {} exchanges)",
+            stats.cross.nbac_violations,
+            stats.cross.committed + stats.cross.aborted,
         ));
     }
     Ok(())

@@ -259,3 +259,73 @@ fn chaos_rate_out_of_range_fails() {
     assert!(!ok);
     assert!(stderr.contains("loss"), "{stderr}");
 }
+
+#[test]
+fn shard_count_zero_is_rejected() {
+    let (ok, _, stderr) = ssp(&["serve", "a1", "rs", "--shards", "0"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("shard count must be at least 1"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn cross_shard_rate_without_shards_is_rejected() {
+    // An explicit rate on the default single-group service is a typed
+    // configuration error, even when the rate itself is in range.
+    let (ok, _, stderr) = ssp(&["serve", "a1", "rs", "--cross-shard-rate", "0.2"]);
+    assert!(!ok);
+    assert!(stderr.contains("--shards ≥ 2"), "{stderr}");
+
+    let (ok, _, stderr) = ssp(&[
+        "serve",
+        "a1",
+        "rs",
+        "--shards",
+        "1",
+        "--cross-shard-rate",
+        "0.3",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("single-group service"), "{stderr}");
+}
+
+#[test]
+fn cross_shard_rate_out_of_range_is_rejected() {
+    let (ok, _, stderr) = ssp(&[
+        "serve",
+        "a1",
+        "rs",
+        "--shards",
+        "4",
+        "--cross-shard-rate",
+        "1.5",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("not a probability"), "{stderr}");
+}
+
+#[test]
+fn sharded_serve_reports_groups_and_cross_shard_commits() {
+    let (ok, stdout, stderr) = ssp(&[
+        "serve",
+        "a1",
+        "rs",
+        "--shards",
+        "2",
+        "--cross-shard-rate",
+        "0.5",
+        "--clients",
+        "4",
+        "--instances",
+        "6",
+        "--seed",
+        "42",
+        "--failure-free",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("shard groups"), "{stdout}");
+    assert!(stdout.contains("cross-shard:"), "{stdout}");
+    assert!(stdout.contains("0 NBAC violations"), "{stdout}");
+}
