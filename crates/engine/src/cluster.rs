@@ -36,12 +36,12 @@ use ssp_lab::{audit_instance, InstanceAudit, ValidityMode};
 use ssp_model::{ConsensusOutcome, InitialConfig, ProcessId, ProcessOutcome, Round, TaggedRunLog};
 use ssp_rounds::{RoundAlgorithm, RoundProcess};
 use ssp_runtime::{
-    ChaosProxy, ChaosProxyConfig, DegradeMode, FdModule, LinkSpec, NetStats, RoundObs, RunTrace,
-    SocketConfig, SocketNet, StalenessFd, SynchronyEvent, SynchronyReport, ThreadedOutcome,
-    TransportStats,
+    ChaosProxy, ChaosProxyConfig, DegradeMode, FdModule, GatewayListener, GatewayStats, LinkSpec,
+    NetStats, RoundObs, RunTrace, SocketConfig, SocketNet, StalenessFd, SynchronyEvent,
+    SynchronyReport, ThreadedOutcome, TransportStats,
 };
 
-use crate::command::{Batch, Command, CommandId, KvStore, Op};
+use crate::command::{decode_external_ops, Batch, Command, CommandId, KvStore, Op, EXTERNAL_BIT};
 use crate::proposer::Proposer;
 use crate::stats::EngineStats;
 use crate::workload::{Workload, WorkloadConfig};
@@ -114,6 +114,37 @@ impl NodeConfig {
             drain: Duration::from_millis(150),
             round_timeout: Duration::from_secs(10),
             instance_gap: Duration::ZERO,
+        }
+    }
+}
+
+/// Client-facing gateway knobs of one cluster node. The node admits
+/// external submissions only while it is the *accepting* node — the
+/// lowest index its own failure detector does not suspect, which is
+/// exactly `A1`'s effective proposer, so admitted commands ride
+/// proposals that can actually win their instance.
+#[derive(Debug, Clone)]
+pub struct GatewayNodeConfig {
+    /// Client-facing listen address.
+    pub listen: String,
+    /// Bounded admission queue: submissions beyond this get a typed
+    /// `Busy` rejection instead of unbounded buffering.
+    pub queue_cap: usize,
+    /// Backpressure hint carried in `Busy` rejections.
+    pub retry_after: Duration,
+    /// Largest external tail appended to a proposal per instance.
+    pub tail_max: usize,
+}
+
+impl GatewayNodeConfig {
+    /// Conventional gateway knobs on `listen`.
+    #[must_use]
+    pub fn new(listen: impl Into<String>) -> Self {
+        GatewayNodeConfig {
+            listen: listen.into(),
+            queue_cap: 64,
+            retry_after: Duration::from_millis(25),
+            tail_max: 8,
         }
     }
 }
@@ -268,6 +299,8 @@ fn cell_to_str(cell: &Option<Vec<u8>>) -> String {
 /// hex-encoded wire payloads):
 ///
 /// ```text
+/// X k hexbatch           external tail this node appended to its own
+///                        proposal of instance k (gateway runs only)
 /// S k r c0 .. c(n-1)     sent row (recorded before the wires leave)
 /// R k r c0 .. c(n-1)     received row at round close
 /// G k r                  round r never closed (give-up; node halts)
@@ -276,14 +309,42 @@ fn cell_to_str(cell: &Option<Vec<u8>>) -> String {
 /// Y k d v a p            instance summary: degraded round (or -),
 ///                        violated 0/1, aborted 0/1, pending count
 /// T r rt b d du l s c    final transport counters
+/// W ad de bu re          gateway counters: admitted, deduped,
+///                        busy-rejected, redirects (gateway runs only;
+///                        re-written each instance, last line wins, so
+///                        a kill -9 keeps the victim's counts up to
+///                        its last flushed instance)
 /// K digest applied       final KV digest and applied-op count
 /// ```
 ///
 /// # Errors
 ///
 /// Propagates socket-spawn and report-write failures.
-#[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
 pub fn serve_node(cfg: &NodeConfig, out: &mut dyn Write) -> io::Result<()> {
+    serve_node_with(cfg, None, out)
+}
+
+/// [`serve_node`] with an optional client-facing gateway attached:
+/// the node accepts external submissions over a [`GatewayListener`],
+/// dedups them by `(client, req)` against the proposer's decided-id
+/// ledger (a resubmission of an already-decided command re-acks with
+/// the original `(instance, round)` instead of applying twice), rides
+/// admitted commands as a tail on its own proposal — recorded as an
+/// `X` report line so the parent merge can reconstruct the proposal —
+/// and acks each decided command back to the client's latest session.
+///
+/// While this node is not the accepting node, drained submissions are
+/// answered with `Redirect` toward the accepting node's index.
+///
+/// # Errors
+///
+/// Propagates socket/gateway-spawn and report-write failures.
+#[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+pub fn serve_node_with(
+    cfg: &NodeConfig,
+    gateway: Option<&GatewayNodeConfig>,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     let me = ProcessId::new(cfg.me);
     let n = cfg.n;
     let net = SocketNet::spawn(SocketConfig {
@@ -304,6 +365,16 @@ pub fn serve_node(cfg: &NodeConfig, out: &mut dyn Write) -> io::Result<()> {
     // Early arrivals from rounds/instances we have not reached yet.
     let mut future: Vec<(u64, u32, ProcessId, Option<A1Msg<Batch>>)> = Vec::new();
     let mut halted = false;
+    let listener = match gateway {
+        Some(gw) => Some(GatewayListener::spawn(
+            &gw.listen,
+            gw.queue_cap,
+            gw.retry_after,
+        )?),
+        None => None,
+    };
+    let mut gw_admitted = 0u64;
+    let mut gw_deduped = 0u64;
 
     'instances: for k in 0..cfg.instances {
         if k > 0 && !cfg.instance_gap.is_zero() {
@@ -312,7 +383,57 @@ pub fn serve_node(cfg: &NodeConfig, out: &mut dyn Write) -> io::Result<()> {
         for cmd in workload.poll() {
             proposer.submit(cmd);
         }
-        let proposals = proposer.proposals(n, cfg.batch_max, k);
+
+        // Gateway admission for this instance. The accepting node is
+        // the lowest index the local PFD does not suspect — exactly
+        // A1's effective proposer, so admitted commands decide in the
+        // failure-free single round. Everyone else redirects.
+        let mut gw_tail = Batch::default();
+        if let (Some(listener), Some(gw)) = (&listener, gateway) {
+            let suspects = fd.suspects();
+            let accepting_node = (0..n)
+                .find(|&q| q == cfg.me || !suspects.contains(ProcessId::new(q)))
+                .unwrap_or(cfg.me);
+            listener.set_accepting(accepting_node == cfg.me, accepting_node as u32);
+            for sub in listener.drain(gw.queue_cap) {
+                if sub.client >= u64::from(EXTERNAL_BIT) || u32::try_from(sub.req).is_err() {
+                    continue; // identity outside the wire bounds
+                }
+                let id = CommandId::external(sub.client, sub.req);
+                if let Some((at, round)) = proposer.decided_at(id) {
+                    // Resubmission of something already decided:
+                    // re-ack with the original coordinates.
+                    gw_deduped += 1;
+                    listener.ack(sub.client, sub.req, at, round);
+                    continue;
+                }
+                if accepting_node != cfg.me {
+                    listener.redirect(sub.client, sub.req, accepting_node as u32);
+                    continue;
+                }
+                let Some(ops) = decode_external_ops(&sub.payload) else {
+                    continue; // malformed payload
+                };
+                let [op] = ops[..] else {
+                    continue; // the cluster is one consensus group
+                };
+                if proposer.submit_external(Command { id, op }) {
+                    gw_admitted += 1;
+                } else {
+                    gw_deduped += 1;
+                }
+            }
+            gw_tail = Batch(proposer.external_tail(gw.tail_max));
+            if !gw_tail.0.is_empty() {
+                let mut bytes = Vec::new();
+                put_batch(&mut bytes, &gw_tail);
+                writeln!(out, "X {k} {}", to_hex(&bytes))?;
+                out.flush()?;
+            }
+        }
+
+        let mut proposals = proposer.proposals(n, cfg.batch_max, k);
+        proposals[cfg.me].0.extend(gw_tail.0.iter().copied());
         let mut proc_ = A1.spawn(me, n, 1, proposals[cfg.me].clone());
         let monitor = net.begin_instance(k);
         let mut pending_seen = 0u64;
@@ -443,13 +564,24 @@ pub fn serve_node(cfg: &NodeConfig, out: &mut dyn Write) -> io::Result<()> {
         // Commit whatever this instance decided; abort/give-up leave
         // the batch pending.
         if !aborted && !gave_up {
-            if let Some((batch, _)) = proc_.decision() {
+            if let Some((batch, round)) = proc_.decision() {
                 let committed = proposer
-                    .commit(&batch)
+                    .commit(&batch, k, round.get())
                     .map_err(|e| io::Error::other(format!("instance {k}: {e}")))?;
                 for cmd in &committed {
                     kv.apply(&cmd.op);
-                    workload.acknowledge(cmd.id);
+                    if cmd.id.is_external() {
+                        if let Some(listener) = &listener {
+                            listener.ack(
+                                u64::from(cmd.id.client & !EXTERNAL_BIT),
+                                u64::from(cmd.id.seq),
+                                k,
+                                round.get(),
+                            );
+                        }
+                    } else {
+                        workload.acknowledge(cmd.id);
+                    }
                 }
             }
         }
@@ -463,6 +595,17 @@ pub fn serve_node(cfg: &NodeConfig, out: &mut dyn Write) -> io::Result<()> {
             u8::from(report.violated),
             u8::from(report.aborted),
         )?;
+        // Gateway counters are re-written every instance (parse keeps
+        // the last line) so a `kill -9` loses at most the counts of the
+        // instance in flight, not the whole node's ledger view.
+        if let Some(listener) = &listener {
+            let gw_stats = listener.stats();
+            writeln!(
+                out,
+                "W {gw_admitted} {gw_deduped} {} {}",
+                gw_stats.busy_rejected, gw_stats.redirects,
+            )?;
+        }
         out.flush()?;
         if aborted || gave_up {
             // Continuing with a state that diverged from the peers
@@ -485,6 +628,15 @@ pub fn serve_node(cfg: &NodeConfig, out: &mut dyn Write) -> io::Result<()> {
         t.stale_epoch_drops,
         t.corrupt_drops,
     )?;
+    if let Some(listener) = listener {
+        let gw_stats = listener.stats();
+        writeln!(
+            out,
+            "W {gw_admitted} {gw_deduped} {} {}",
+            gw_stats.busy_rejected, gw_stats.redirects,
+        )?;
+        listener.shutdown();
+    }
     writeln!(out, "K {} {}", kv.digest(), kv.applied())?;
     out.flush()?;
     net.shutdown();
@@ -518,6 +670,10 @@ struct NodeLog {
     gave_up: BTreeMap<u64, u32>,
     transport: TransportStats,
     digest: Option<(u64, u64)>,
+    /// `instance` → external tail the node appended to its own
+    /// proposal (gateway runs only).
+    ext: BTreeMap<u64, Batch>,
+    gateway: Option<GatewayStats>,
 }
 
 fn parse_cells(parts: &[&str], n: usize) -> Option<Vec<Option<Vec<u8>>>> {
@@ -614,6 +770,28 @@ fn parse_node_report(text: &str, n: usize) -> NodeLog {
                     };
                 }
             }
+            "X" => {
+                let (Some(k), Some(hex)) = (num(1), parts.get(2)) else {
+                    continue;
+                };
+                let Some(bytes) = from_hex(hex) else { continue };
+                let mut buf = bytes.as_slice();
+                let Some(batch) = take_batch(&mut buf) else {
+                    continue;
+                };
+                log.ext.insert(k, batch);
+            }
+            "W" => {
+                let vals: Vec<u64> = (1..=4).filter_map(num).collect();
+                if let [ad, de, bu, re] = vals[..] {
+                    log.gateway = Some(GatewayStats {
+                        admitted: ad,
+                        deduped: de,
+                        busy_rejected: bu,
+                        redirects: re,
+                    });
+                }
+            }
             "K" => {
                 if let (Some(d), Some(a)) = (num(1), num(2)) {
                     log.digest = Some((d, a));
@@ -698,7 +876,15 @@ pub fn merge_reports(cfg: &NodeConfig, reports: &[String]) -> io::Result<Cluster
         for cmd in workload.poll() {
             proposer.submit(cmd);
         }
-        let proposals = proposer.proposals(n, cfg.batch_max, k);
+        let mut proposals = proposer.proposals(n, cfg.batch_max, k);
+        // Re-append each node's reported external tail to its own
+        // proposal, so the validity audit sees what was actually
+        // proposed (gateway runs only; the map is empty otherwise).
+        for (i, nl) in nodes.iter().enumerate() {
+            if let Some(tail) = nl.ext.get(&k) {
+                proposals[i].0.extend(tail.0.iter().copied());
+            }
+        }
 
         // Agreement across every node that decided this instance.
         let mut decision: Option<(u32, Batch)> = None;
@@ -848,13 +1034,15 @@ pub fn merge_reports(cfg: &NodeConfig, reports: &[String]) -> io::Result<Cluster
         });
 
         match decision {
-            Some((_, batch)) => {
+            Some((r, batch)) => {
                 let committed = proposer
-                    .commit(&batch)
+                    .commit(&batch, k, r)
                     .map_err(|e| io::Error::other(format!("instance {k}: {e}")))?;
                 for cmd in &committed {
                     kv.apply(&cmd.op);
-                    workload.acknowledge(cmd.id);
+                    if !cmd.id.is_external() {
+                        workload.acknowledge(cmd.id);
+                    }
                 }
                 stats.decided_instances += 1;
                 stats.commands_decided += committed.len() as u64;
@@ -893,6 +1081,10 @@ pub fn merge_reports(cfg: &NodeConfig, reports: &[String]) -> io::Result<Cluster
             corrupt_drops: acc.corrupt_drops + t.corrupt_drops,
         }
     }));
+    stats.gateway = nodes
+        .iter()
+        .filter_map(|nl| nl.gateway)
+        .reduce(GatewayStats::merged);
 
     // Cross-replica agreement: every surviving node's replayed store
     // must equal the parent's replay.
@@ -954,6 +1146,18 @@ pub struct ProxySpec {
     pub reset_after: Option<u64>,
 }
 
+/// Client-facing gateway for a whole cluster: node `i` listens for
+/// external submissions on `127.0.0.1:(base_port + i)` — deterministic
+/// addresses, so load generators and scripts can compute them without
+/// any discovery step.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewaySpec {
+    /// Gateway port of node 0; node `i` uses `base_port + i`.
+    pub base_port: u16,
+    /// Per-node bounded admission queue (`Busy` beyond it).
+    pub queue_cap: usize,
+}
+
 /// Parent-side configuration of `ssp serve-cluster`.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -964,6 +1168,8 @@ pub struct ClusterConfig {
     pub kill: Option<KillSpec>,
     /// Optional socket-level chaos on every link.
     pub proxy: Option<ProxySpec>,
+    /// Optional per-node client gateway.
+    pub gateway: Option<GatewaySpec>,
 }
 
 fn free_loopback_addr() -> io::Result<String> {
@@ -1065,6 +1271,14 @@ pub fn run_cluster(bin: &Path, cfg: &ClusterConfig, dir: &Path) -> io::Result<Cl
                 DegradeMode::Abort => "abort",
             });
         }
+        if let Some(gw) = &cfg.gateway {
+            #[allow(clippy::cast_possible_truncation)]
+            let port = gw.base_port + i as u16;
+            cmd.arg("--gateway-listen")
+                .arg(format!("127.0.0.1:{port}"))
+                .arg("--gateway-queue")
+                .arg(gw.queue_cap.to_string());
+        }
         children.push(cmd.spawn()?);
     }
 
@@ -1101,15 +1315,20 @@ pub fn run_cluster(bin: &Path, cfg: &ClusterConfig, dir: &Path) -> io::Result<Cl
     merge_reports(&cfg.node, &reports)
 }
 
-/// Convenience wrapper: run one node writing its report to `path`.
+/// Convenience wrapper: run one node writing its report to `path`,
+/// optionally with a client gateway attached.
 ///
 /// # Errors
 ///
-/// Propagates [`serve_node`] failures.
-pub fn serve_node_to_file(cfg: &NodeConfig, path: &Path) -> io::Result<()> {
+/// Propagates [`serve_node_with`] failures.
+pub fn serve_node_to_file(
+    cfg: &NodeConfig,
+    gateway: Option<&GatewayNodeConfig>,
+    path: &Path,
+) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut out = BufWriter::new(file);
-    serve_node(cfg, &mut out)?;
+    serve_node_with(cfg, gateway, &mut out)?;
     out.flush()
 }
 

@@ -29,6 +29,42 @@ impl fmt::Display for CommandId {
     }
 }
 
+/// High bit of [`CommandId::client`], reserved for externally submitted
+/// commands (gateway clients). Workload clients are dense small
+/// indices; external clients map into the upper half of the id space,
+/// so the two populations can never collide.
+pub const EXTERNAL_BIT: u32 = 1 << 31;
+
+impl CommandId {
+    /// The command identity of an external gateway submission
+    /// `(client, req)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` or `req` exceed the wire-protocol bounds
+    /// (`client < 2^31`, `req < 2^32`) — the gateway rejects such
+    /// sessions before a command is ever formed.
+    #[must_use]
+    pub fn external(client: u64, req: u64) -> CommandId {
+        assert!(client < u64::from(EXTERNAL_BIT), "client id out of range");
+        let seq = u32::try_from(req).expect("request id out of range");
+        CommandId {
+            client: EXTERNAL_BIT | u32::try_from(client).expect("checked above"),
+            seq,
+        }
+    }
+
+    /// Whether this command was submitted by an external gateway
+    /// client (as opposed to the seed-deterministic workload). Prepare
+    /// markers use a reserved client id with the high bit set but are
+    /// control traffic, not external commands — callers that can see
+    /// prepares must test for them first.
+    #[must_use]
+    pub fn is_external(&self) -> bool {
+        self.client & EXTERNAL_BIT != 0
+    }
+}
+
 /// A state-machine operation over the replicated key-value store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Op {
@@ -89,6 +125,76 @@ pub enum ClientRequest {
     /// A multi-key transaction, prepared in every owning group and
     /// resolved by cross-shard NBAC.
     Cross(Transaction),
+}
+
+/// Encodes the operations of one external submission as an opaque
+/// gateway payload: `u8 count ‖ ops`, each op `tag ‖ LE fields`
+/// (1 = Put `key,value`, 2 = Delete `key`). One op is a single-key
+/// command; two or more form a cross-shard transaction. Prepare
+/// markers are engine-internal and cannot be encoded.
+///
+/// # Panics
+///
+/// Panics on [`Op::Prepare`] or more than 255 operations.
+#[must_use]
+pub fn encode_external_ops(ops: &[Op]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + ops.len() * 13);
+    out.push(u8::try_from(ops.len()).expect("at most 255 ops per submission"));
+    for op in ops {
+        match *op {
+            Op::Put { key, value } => {
+                out.push(1);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Op::Delete { key } => {
+                out.push(2);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            Op::Prepare { tx } => panic!("prepare marker for tx {tx} is not a client operation"),
+        }
+    }
+    out
+}
+
+/// Decodes an external submission payload. `None` means the bytes are
+/// corrupt (unknown tag, truncation, trailing garbage, or zero ops).
+#[must_use]
+pub fn decode_external_ops(bytes: &[u8]) -> Option<Vec<Op>> {
+    let (&count, mut buf) = bytes.split_first()?;
+    if count == 0 {
+        return None;
+    }
+    let mut ops = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (&tag, rest) = buf.split_first()?;
+        buf = rest;
+        let op = match tag {
+            1 => {
+                let (key, rest) = buf.split_first_chunk::<4>()?;
+                let (value, rest) = rest.split_first_chunk::<8>()?;
+                buf = rest;
+                Op::Put {
+                    key: u32::from_le_bytes(*key),
+                    value: u64::from_le_bytes(*value),
+                }
+            }
+            2 => {
+                let (key, rest) = buf.split_first_chunk::<4>()?;
+                buf = rest;
+                Op::Delete {
+                    key: u32::from_le_bytes(*key),
+                }
+            }
+            _ => return None,
+        };
+        ops.push(op);
+    }
+    if buf.is_empty() {
+        Some(ops)
+    } else {
+        None
+    }
 }
 
 /// The unit of agreement: an ordered batch of commands. Proposals are
@@ -227,6 +333,44 @@ mod tests {
     fn prepare_markers_never_reach_the_store() {
         let mut kv = KvStore::default();
         kv.apply(&Op::Prepare { tx: 3 });
+    }
+
+    #[test]
+    fn external_ids_partition_the_client_space() {
+        let id = CommandId::external(7, 3);
+        assert!(id.is_external());
+        assert_eq!(id.seq, 3);
+        assert_eq!(id.client & !EXTERNAL_BIT, 7);
+        let seed = CommandId { client: 7, seq: 3 };
+        assert!(!seed.is_external());
+        assert_ne!(id, seed);
+    }
+
+    #[test]
+    fn external_op_codec_roundtrips_and_rejects_corruption() {
+        for ops in [
+            vec![Op::Put { key: 4, value: 99 }],
+            vec![Op::Delete { key: 0 }],
+            vec![
+                Op::Put { key: 1, value: 2 },
+                Op::Put {
+                    key: 3,
+                    value: u64::MAX,
+                },
+            ],
+        ] {
+            let bytes = encode_external_ops(&ops);
+            assert_eq!(decode_external_ops(&bytes), Some(ops));
+        }
+        assert_eq!(decode_external_ops(&[]), None, "empty");
+        assert_eq!(decode_external_ops(&[0]), None, "zero ops");
+        assert_eq!(decode_external_ops(&[1, 9]), None, "unknown tag");
+        let mut bytes = encode_external_ops(&[Op::Put { key: 1, value: 2 }]);
+        bytes.push(0);
+        assert_eq!(decode_external_ops(&bytes), None, "trailing byte");
+        bytes.pop();
+        bytes.pop();
+        assert_eq!(decode_external_ops(&bytes), None, "truncated");
     }
 
     #[test]

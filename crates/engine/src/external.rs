@@ -1,0 +1,55 @@
+//! The engine-side contract for external command sources.
+//!
+//! The seed-deterministic [`Workload`](crate::Workload) is one client
+//! population; a gateway accepting real TCP submissions is another.
+//! [`ExternalSource`] is the seam between them and the serving loops:
+//! the serving layer drains admitted submissions, rides them as a
+//! *tail* on every proposal (so the seed-replayed proposal prefixes
+//! stay byte-identical across replicas), and acknowledges each decided
+//! command back through the source with the `(instance, round)` it was
+//! decided at — the client-observed latency ledger for Theorem 5.2.
+//!
+//! The engine never sees sockets: an adapter (the `ssp` binary's
+//! gateway glue) decodes wire payloads into [`ClientRequest`]s and
+//! routes acks back to sessions. Scripted sources drive the same seam
+//! in tests, which is how exactly-once-under-resubmission is checked
+//! for both round models without a network.
+
+use ssp_runtime::GatewayStats;
+
+use crate::command::{ClientRequest, CommandId};
+
+/// A pluggable source of externally submitted commands.
+///
+/// Implementations must be idempotent per `(client, req)`: draining
+/// never yields the same identity twice unless the earlier admission
+/// was already acknowledged (the serving layer's proposer-level dedup
+/// silently skips such re-decisions either way).
+pub trait ExternalSource {
+    /// Drains up to `max` admitted submissions, admission order.
+    fn drain(&mut self, max: usize) -> Vec<ClientRequest>;
+
+    /// Acknowledges a decided external command: it was applied (or,
+    /// for a cross-shard transaction, resolved) by consensus instance
+    /// `instance` in round `round`.
+    fn acknowledge(&mut self, id: CommandId, instance: u64, round: u32);
+
+    /// Whether the source will never produce another submission. A
+    /// live network gateway answers `false` (clients may still
+    /// connect); scripted sources answer `true` once their script is
+    /// spent, letting a draining serve loop stop immediately instead
+    /// of waiting out its idle timeout.
+    fn exhausted(&self) -> bool {
+        false
+    }
+
+    /// Admission counters so far.
+    fn stats(&self) -> GatewayStats;
+
+    /// Leadership hint from the serving layer: whether this node
+    /// currently admits submissions, and where refused clients should
+    /// be redirected. Single-node sources may ignore it.
+    fn set_accepting(&mut self, accepting: bool, redirect_to: u32) {
+        let _ = (accepting, redirect_to);
+    }
+}

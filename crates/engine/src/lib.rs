@@ -54,6 +54,7 @@
 pub mod cluster;
 pub mod command;
 pub mod engine;
+pub mod external;
 pub mod proposer;
 pub mod shard;
 pub mod stats;
@@ -61,12 +62,20 @@ pub mod workload;
 
 pub use cluster::{
     decode_wire, encode_wire, merge_reports, run_cluster, serve_node, serve_node_to_file,
-    ClusterConfig, ClusterReport, KillSpec, NodeConfig, ProxySpec,
+    serve_node_with, ClusterConfig, ClusterReport, GatewayNodeConfig, GatewaySpec, KillSpec,
+    NodeConfig, ProxySpec,
 };
-pub use command::{Batch, ClientRequest, Command, CommandId, KvStore, Op, Transaction};
+pub use command::{
+    decode_external_ops, encode_external_ops, Batch, ClientRequest, Command, CommandId, KvStore,
+    Op, Transaction, EXTERNAL_BIT,
+};
 pub use engine::{instance_seed, serve, EngineConfig, EngineCrash, EngineReport, FaultMode};
+pub use external::ExternalSource;
 pub use proposer::{CommitError, Proposer};
-pub use shard::{group_seed, rate_pm, serve_sharded, GroupRouter, ShardedConfig, ShardedReport};
+pub use shard::{
+    group_seed, rate_pm, serve_sharded, serve_sharded_with, GroupRouter, ShardedConfig,
+    ShardedReport,
+};
 pub use stats::{CrossShardStats, EngineStats, ShardedStats};
 pub use workload::{Workload, WorkloadConfig};
 

@@ -46,6 +46,7 @@ use ssp_runtime::{Backend, ConfigError, PlanModel, RuntimeBuilder, ThreadedOutco
 
 use crate::command::{KvStore, Op, Transaction};
 use crate::engine::{instance_runtime, instance_seed, EngineConfig, EngineCrash, EngineReport};
+use crate::external::ExternalSource;
 use crate::proposer::Proposer;
 use crate::stats::{CrossShardStats, EngineStats, ShardedStats};
 use crate::workload::Workload;
@@ -171,6 +172,12 @@ pub struct ShardedConfig {
     pub prepare_patience: u64,
     /// Scripted crashes pinned to one group: `(group, crash)`.
     pub group_crashes: Vec<(usize, EngineCrash)>,
+    /// With an [`ExternalSource`] attached: how long the engine idles
+    /// (seed workload quiet, proposers empty, transactions resolved,
+    /// no admissions arriving) before it stops serving. Real time —
+    /// external clients live on the wall clock even when the instances
+    /// run on the virtual one.
+    pub external_idle_timeout: Duration,
 }
 
 impl ShardedConfig {
@@ -184,6 +191,7 @@ impl ShardedConfig {
             cross_shard_rate: 0.0,
             prepare_patience: 8,
             group_crashes: Vec::new(),
+            external_idle_timeout: Duration::from_millis(2000),
         }
     }
 
@@ -286,6 +294,7 @@ fn resolve_txs(
     groups: &mut [Group],
     txs: &mut [TxState],
     workload: &mut Workload,
+    source: &mut dyn ExternalSource,
     cross: &mut CrossShardStats,
     first_violation: &mut Option<NbacViolation>,
 ) {
@@ -335,8 +344,78 @@ fn resolve_txs(
             CommitOutcome::Abort => cross.aborted += 1,
         }
         workload.acknowledge(state.tx.id);
+        if state.tx.id.is_external() {
+            // External transactions ack with resolution ticks in the
+            // round slot — the cross-shard client-latency analogue of
+            // a single command's decision round.
+            #[allow(clippy::cast_possible_truncation)]
+            source.acknowledge(
+                state.tx.id,
+                tick,
+                tick.saturating_sub(state.registered_tick) as u32,
+            );
+        }
         state.resolved = true;
     }
+}
+
+/// Drains the external source once and routes every admitted
+/// submission: single-key commands to the owning group's external
+/// queue (ids already decided anywhere re-ack instead of re-admit —
+/// the exactly-once guarantee a resubmission after reconnect relies
+/// on), multi-group submissions into the cross-shard transaction
+/// table. Returns whether anything arrived.
+fn drain_external(
+    source: &mut dyn ExternalSource,
+    router: GroupRouter,
+    groups: &mut [Group],
+    txs: &mut Vec<TxState>,
+    cross: &mut CrossShardStats,
+    batch_max: usize,
+    tick: u64,
+) -> bool {
+    let requests = source.drain(batch_max.max(1) * groups.len().max(1));
+    if requests.is_empty() {
+        return false;
+    }
+    for request in requests {
+        match request {
+            crate::command::ClientRequest::Single(cmd) => {
+                let g = router.group_of(op_key(&cmd.op));
+                if let Some((instance, round)) = groups[g].proposer.decided_at(cmd.id) {
+                    source.acknowledge(cmd.id, instance, round);
+                } else {
+                    groups[g].proposer.submit_external(cmd);
+                }
+            }
+            crate::command::ClientRequest::Cross(tx) => {
+                if txs.iter().any(|s| s.tx.id == tx.id) {
+                    continue;
+                }
+                let owners = router.owners(&tx);
+                #[allow(clippy::cast_possible_truncation)]
+                let index = txs.len() as u32;
+                for &g in &owners {
+                    groups[g].proposer.submit(crate::command::Command {
+                        id: crate::command::CommandId {
+                            client: PREPARE_CLIENT,
+                            seq: index,
+                        },
+                        op: Op::Prepare { tx: index },
+                    });
+                }
+                cross.submitted += 1;
+                txs.push(TxState {
+                    votes: vec![None; owners.len()],
+                    owners,
+                    tx,
+                    registered_tick: tick,
+                    resolved: false,
+                });
+            }
+        }
+    }
+    true
 }
 
 /// Runs the sharded replicated state-machine service: `G` independent
@@ -362,7 +441,7 @@ fn resolve_txs(
 /// cross-shard workload was built with a different shard count than
 /// the engine (the routers must agree), or if a worker or the audit
 /// thread panics.
-#[allow(clippy::missing_panics_doc, clippy::too_many_lines)]
+#[allow(clippy::missing_panics_doc)]
 pub fn serve_sharded<A>(
     algo: &A,
     cfg: &ShardedConfig,
@@ -373,7 +452,81 @@ where
     A::Process: Send + 'static,
     <A::Process as RoundProcess>::Msg: Clone + Send + 'static,
 {
+    serve_sharded_inner(algo, cfg, workload, None)
+}
+
+/// [`serve_sharded`] with an [`ExternalSource`] attached: each tick the
+/// loop drains admitted client submissions, routes single-key commands
+/// to the owning group's proposer ([`Proposer::submit_external`] dedup
+/// makes resubmission idempotent) and multi-group submissions through
+/// the [`GroupRouter`] as cross-shard transactions, rides undecided
+/// externals as a *tail* appended to every proposal — the
+/// seed-replayed proposal prefixes stay byte-identical — and
+/// acknowledges each decided command back through the source with its
+/// `(instance, round)` decision coordinates.
+///
+/// With an inert source this is exactly [`serve_sharded`]; a draining
+/// run whose source is not [`exhausted`](ExternalSource::exhausted)
+/// idles up to [`ShardedConfig::external_idle_timeout`] for more
+/// admissions before stopping.
+///
+/// # Errors
+///
+/// Same as [`serve_sharded`].
+#[allow(clippy::missing_panics_doc)]
+pub fn serve_sharded_with<A>(
+    algo: &A,
+    cfg: &ShardedConfig,
+    workload: &mut Workload,
+    source: &mut dyn ExternalSource,
+) -> Result<ShardedReport<<A::Process as RoundProcess>::Msg>, ConfigError>
+where
+    A: RoundAlgorithm<crate::command::Batch> + Sync,
+    A::Process: Send + 'static,
+    <A::Process as RoundProcess>::Msg: Clone + Send + 'static,
+{
+    serve_sharded_inner(algo, cfg, workload, Some(source))
+}
+
+/// The inert source behind [`serve_sharded`]: nothing to drain,
+/// exhausted from the start, so the serving loop never idles for it.
+struct NullSource;
+
+impl ExternalSource for NullSource {
+    fn drain(&mut self, _max: usize) -> Vec<crate::command::ClientRequest> {
+        Vec::new()
+    }
+
+    fn acknowledge(&mut self, _id: crate::command::CommandId, _instance: u64, _round: u32) {}
+
+    fn exhausted(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> ssp_runtime::GatewayStats {
+        ssp_runtime::GatewayStats::default()
+    }
+}
+
+#[allow(clippy::missing_panics_doc, clippy::too_many_lines)]
+fn serve_sharded_inner<A>(
+    algo: &A,
+    cfg: &ShardedConfig,
+    workload: &mut Workload,
+    source: Option<&mut dyn ExternalSource>,
+) -> Result<ShardedReport<<A::Process as RoundProcess>::Msg>, ConfigError>
+where
+    A: RoundAlgorithm<crate::command::Batch> + Sync,
+    A::Process: Send + 'static,
+    <A::Process as RoundProcess>::Msg: Clone + Send + 'static,
+{
     cfg.validate()?;
+    let mut null = NullSource;
+    let attached = source.is_some();
+    let source: &mut dyn ExternalSource = match source {
+        Some(src) => src,
+        None => &mut null,
+    };
     let shards = cfg.shards;
     let router = GroupRouter::new(shards);
     let horizon = algo.round_horizon(cfg.engine.n, cfg.engine.t);
@@ -450,16 +603,19 @@ where
             certified
         });
 
+        let mut idle_since: Option<Instant> = None;
         let mut drive = || -> Result<(), ConfigError> {
             loop {
                 if groups.iter().all(|g| g.instance >= g.cfg.instances) {
                     break;
                 }
-                if cfg.engine.run_to_drain
+                let quiescent = cfg.engine.run_to_drain
                     && workload.drained()
-                    && groups.iter().all(|g| g.proposer.pending_len() == 0)
-                    && txs.iter().all(|t| t.resolved)
-                {
+                    && groups
+                        .iter()
+                        .all(|g| g.proposer.pending_len() == 0 && g.proposer.external_len() == 0)
+                    && txs.iter().all(|t| t.resolved);
+                if quiescent && source.exhausted() {
                     break;
                 }
                 for request in workload.poll_requests() {
@@ -499,6 +655,31 @@ where
                         }
                     }
                 }
+                let admitted = drain_external(
+                    source,
+                    router,
+                    &mut groups,
+                    &mut txs,
+                    &mut cross,
+                    cfg.engine.batch_max,
+                    ticks,
+                );
+                if admitted {
+                    idle_since = None;
+                } else if quiescent {
+                    // Drained, nothing queued, source still live: wait
+                    // (real time — clients are on the wall clock) for
+                    // the next admission instead of burning instance
+                    // budget, up to the idle timeout. `ticks` does not
+                    // advance here, so the deterministic tick count is
+                    // untouched by wall-clock idling.
+                    let since = *idle_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= cfg.external_idle_timeout {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
                 let mut tick_elapsed = Duration::ZERO;
                 for (g, group) in groups.iter_mut().enumerate() {
                     if group.instance >= group.cfg.instances {
@@ -507,13 +688,25 @@ where
                     if cfg.engine.run_to_drain
                         && workload.drained()
                         && group.proposer.pending_len() == 0
+                        && group.proposer.external_len() == 0
                     {
                         continue;
                     }
-                    let proposals =
+                    let mut proposals =
                         group
                             .proposer
                             .proposals(group.cfg.n, group.cfg.batch_max, group.instance);
+                    let tail = group.proposer.external_tail(group.cfg.batch_max.max(1));
+                    if !tail.is_empty() {
+                        // Externals ride as the same tail on every
+                        // proposal: whichever staggered seed prefix
+                        // wins, the decided batch carries them, and
+                        // validity still holds (the decision is one of
+                        // the proposals).
+                        for proposal in &mut proposals {
+                            proposal.0.extend(tail.iter().copied());
+                        }
+                    }
                     let config = InitialConfig::new(proposals);
                     let runtime = instance_runtime(&group.cfg, group.instance, horizon);
                     let result = RuntimeBuilder::new(algo, &config)
@@ -525,14 +718,21 @@ where
                     tick_elapsed = tick_elapsed.max(result.elapsed);
 
                     match result.outcome.iter().find_map(|(_, o)| o.decision.clone()) {
-                        Some((batch, _)) => {
-                            let committed = group.proposer.commit(&batch).unwrap_or_else(|e| {
-                                panic!("group {g} instance {}: {e}", group.instance)
-                            });
+                        Some((batch, round)) => {
+                            let committed = group
+                                .proposer
+                                .commit(&batch, group.instance, round.get())
+                                .unwrap_or_else(|e| {
+                                    panic!("group {g} instance {}: {e}", group.instance)
+                                });
                             let mut applied = 0u64;
                             for cmd in &committed {
                                 if let Op::Prepare { tx } = cmd.op {
                                     record_prepare(&mut txs, &mut cross, g, tx);
+                                } else if cmd.id.is_external() {
+                                    group.kv.apply(&cmd.op);
+                                    source.acknowledge(cmd.id, group.instance, round.get());
+                                    applied += 1;
                                 } else {
                                     group.kv.apply(&cmd.op);
                                     workload.acknowledge(cmd.id);
@@ -577,6 +777,7 @@ where
                     &mut groups,
                     &mut txs,
                     workload,
+                    source,
                     &mut cross,
                     &mut first_violation,
                 );
@@ -593,6 +794,7 @@ where
                 &mut groups,
                 &mut txs,
                 workload,
+                source,
                 &mut cross,
                 &mut first_violation,
             );
@@ -641,6 +843,7 @@ where
             Backend::Virtual => sim_elapsed,
             Backend::Real => wall,
         },
+        gateway: if attached { Some(source.stats()) } else { None },
     };
 
     Ok(ShardedReport {

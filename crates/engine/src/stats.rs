@@ -17,7 +17,7 @@
 use core::fmt;
 use std::time::Duration;
 
-use ssp_runtime::TransportStats;
+use ssp_runtime::{GatewayStats, TransportStats};
 
 /// Cumulative statistics of one engine run.
 #[derive(Debug, Clone, Default)]
@@ -76,6 +76,12 @@ pub struct EngineStats {
     /// backoff are timing races, so they live with the wall-clock
     /// metrics, never in the deterministic JSON core.
     pub transport: Option<TransportStats>,
+    /// Gateway admission counters for runs serving external clients
+    /// (human report only, `None` otherwise): how many submissions
+    /// arrived, deduped, bounced `Busy` or got redirected depends on
+    /// client and network timing, so the counters stay out of the
+    /// deterministic JSON core just like [`TransportStats`].
+    pub gateway: Option<GatewayStats>,
 }
 
 fn percentile(sorted: &[u32], pct: u32) -> u32 {
@@ -310,6 +316,11 @@ pub struct ShardedStats {
     /// the real backend it is plain wall clock (groups execute
     /// sequentially in-process).
     pub elapsed: Duration,
+    /// Gateway admission counters when an external source was attached
+    /// (human report only, `None` otherwise) — excluded from the
+    /// deterministic JSON core for the same reason as
+    /// [`EngineStats::gateway`].
+    pub gateway: Option<GatewayStats>,
 }
 
 impl ShardedStats {
@@ -407,6 +418,13 @@ impl fmt::Display for ShardedStats {
             agg.audit_divergences,
             agg.kv_digest,
         )?;
+        if let Some(g) = &self.gateway {
+            write!(
+                f,
+                "\n  gateway: {} admitted, {} deduped, {} busy-rejected, {} redirects",
+                g.admitted, g.deduped, g.busy_rejected, g.redirects,
+            )?;
+        }
         for (g, stats) in self.groups.iter().enumerate() {
             write!(
                 f,
@@ -483,6 +501,13 @@ impl fmt::Display for EngineStats {
                 t.corrupt_drops,
             )?;
         }
+        if let Some(g) = &self.gateway {
+            write!(
+                f,
+                "\n  gateway: {} admitted, {} deduped, {} busy-rejected, {} redirects",
+                g.admitted, g.deduped, g.busy_rejected, g.redirects,
+            )?;
+        }
         Ok(())
     }
 }
@@ -513,14 +538,24 @@ mod tests {
             retransmits: 9,
             ..TransportStats::default()
         });
+        s.gateway = Some(GatewayStats {
+            admitted: 12,
+            deduped: 2,
+            busy_rejected: 1,
+            redirects: 4,
+        });
         let b = s.to_json();
         assert_eq!(
             a, b,
-            "wall clock and transport jitter must not leak into the JSON"
+            "wall clock, transport and gateway jitter must not leak into the JSON"
         );
         assert!(
             format!("{s}").contains("transport: "),
             "transport counters belong in the human report"
+        );
+        assert!(
+            format!("{s}").contains("gateway: 12 admitted, 2 deduped"),
+            "gateway counters belong in the human report"
         );
         assert!(a.starts_with("{\"algo\":\"A1\",\"model\":\"rs\""));
         assert!(a.contains("\"decide_rounds_p50\":1"));
@@ -571,11 +606,20 @@ mod tests {
             },
             groups: vec![EngineStats::default(), EngineStats::default()],
             elapsed: Duration::from_secs(1),
+            gateway: None,
         };
         let a = s.to_json();
         s.elapsed = Duration::from_secs(9);
+        s.gateway = Some(GatewayStats {
+            admitted: 7,
+            ..GatewayStats::default()
+        });
         let b = s.to_json();
-        assert_eq!(a, b, "elapsed must not leak into the sharded JSON");
+        assert_eq!(
+            a, b,
+            "elapsed and gateway counters must not leak into the sharded JSON"
+        );
+        assert!(format!("{s}").contains("gateway: 7 admitted"));
         assert!(a.starts_with("{\"shards\":2,\"ticks\":5,\"cross\":{\"submitted\":3"));
         assert!(a.contains("\"aggregate\":{\"algo\":"));
         assert!(a.contains("\"groups\":[{"));

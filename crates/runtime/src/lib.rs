@@ -77,9 +77,12 @@ pub use net::{
     NetHandle, NetReceiver, NetSender, NetStats, ShutdownTimeout, MAX_SEND_ATTEMPTS, RTO_INITIAL,
 };
 pub use plan::{FaultPlan, PlanModel, DELTA_VIOLATION_SEED, SECTION_5_3_SEED};
-pub use socket::{SocketConfig, SocketMsg, SocketNet, FLUSH_STALE_CUT, FLUSH_TIMEOUT};
+pub use socket::{
+    FrameReader, GatewayListener, GatewaySubmission, SocketConfig, SocketMsg, SocketNet,
+    FLUSH_STALE_CUT, FLUSH_TIMEOUT,
+};
 pub use trace::{RoundObs, RunTrace, RunTraceError};
 pub use transport::{
-    backoff_delay, Frame, TransportError, TransportStats, BACKOFF_BASE, BACKOFF_CAP,
+    backoff_delay, Frame, GatewayStats, TransportError, TransportStats, BACKOFF_BASE, BACKOFF_CAP,
     BACKOFF_JITTER_MAX, MAX_FRAME_LEN,
 };

@@ -46,7 +46,9 @@ use parking_lot::Mutex;
 use ssp_model::{ProcessId, Round};
 
 use crate::fd::{DegradeMode, LastSeenBoard, SynchronyEvent, SynchronyMonitor};
-use crate::transport::{backoff_delay, Frame, TransportError, TransportStats, MAX_FRAME_LEN};
+use crate::transport::{
+    backoff_delay, Frame, GatewayStats, TransportError, TransportStats, MAX_FRAME_LEN,
+};
 
 /// Supervisor command-poll granularity; bounds shutdown latency and
 /// RTO/heartbeat timer resolution.
@@ -472,21 +474,33 @@ fn acceptor(core: &Arc<Core>, listener: &TcpListener) {
 
 /// Incremental frame parser over a socket with a read timeout: partial
 /// frames survive timeouts (used only to poll the shutdown flag), so a
-/// slow sender is never mistaken for a corrupt one.
-struct FrameReader {
+/// slow sender is never mistaken for a corrupt one. Public so the
+/// gateway's client-session readers can share the parsing discipline.
+#[derive(Debug)]
+pub struct FrameReader {
     stream: TcpStream,
     buf: Vec<u8>,
 }
 
 impl FrameReader {
-    fn new(stream: TcpStream) -> Self {
+    /// Wraps a stream; the caller should have set a read timeout so
+    /// [`next`](FrameReader::next) can poll the shutdown flag.
+    #[must_use]
+    pub fn new(stream: TcpStream) -> Self {
         FrameReader {
             stream,
             buf: Vec::new(),
         }
     }
 
-    fn next(&mut self, core: &Core) -> Result<Frame, TransportError> {
+    /// Blocks until one full frame is parsed, the stream dies, or
+    /// `shutdown` is raised (reported as [`TransportError::Reset`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Reset`] on EOF/shutdown/IO failure,
+    /// [`TransportError::FrameCorrupt`] on an unparseable stream.
+    pub fn next(&mut self, shutdown: &AtomicBool) -> Result<Frame, TransportError> {
         loop {
             if self.buf.len() >= 4 {
                 let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
@@ -502,7 +516,7 @@ impl FrameReader {
                     return Ok(frame);
                 }
             }
-            if core.shutdown.load(Ordering::SeqCst) {
+            if shutdown.load(Ordering::SeqCst) {
                 return Err(TransportError::Reset);
             }
             let mut chunk = [0u8; 4096];
@@ -525,7 +539,7 @@ impl FrameReader {
 /// reconnection, and *nothing here touches the failure detector*.
 fn reader(core: &Arc<Core>, stream: TcpStream) {
     let mut fr = FrameReader::new(stream);
-    let src = match fr.next(core) {
+    let src = match fr.next(&core.shutdown) {
         Ok(Frame::Hello { src, epoch }) => {
             if src.index() >= core.epochs.len() || src == core.me {
                 core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
@@ -558,7 +572,7 @@ fn reader(core: &Arc<Core>, stream: TcpStream) {
     };
     core.board.mark(src);
     loop {
-        match fr.next(core) {
+        match fr.next(&core.shutdown) {
             Ok(Frame::Data {
                 instance,
                 round,
@@ -611,6 +625,17 @@ fn reader(core: &Arc<Core>, stream: TcpStream) {
                 let _ = core.remote_abort.fetch_min(instance, Ordering::SeqCst);
             }
             Ok(Frame::Hello { .. }) => {}
+            Ok(
+                Frame::Submit { .. }
+                | Frame::ClientAck { .. }
+                | Frame::Redirect { .. }
+                | Frame::Busy { .. },
+            ) => {
+                // Client-protocol frames belong on the gateway port,
+                // not the peer port: treat them as corruption.
+                core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             Err(TransportError::FrameCorrupt(_)) => {
                 core.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -799,6 +824,269 @@ fn supervisor(core: &Arc<Core>, peer: ProcessId, addr: &str, rx: &Receiver<SupCm
             // TransportError::Reset: reconnect (with backoff if the
             // peer is really gone) and resend the unacked window.
             stream = None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gateway: the client-facing acceptor
+// ---------------------------------------------------------------------------
+
+/// One client submission admitted through the gateway's bounded queue,
+/// awaiting the serving layer's drain. The payload is opaque here —
+/// the engine-side glue decodes it into operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewaySubmission {
+    /// Client identity (stable across reconnects).
+    pub client: u64,
+    /// Client-chosen request number; `(client, req)` is the
+    /// exactly-once identity.
+    pub req: u64,
+    /// Encoded operations.
+    pub payload: Vec<u8>,
+}
+
+/// State shared between the gateway acceptor, its per-session reader
+/// threads, and the serving layer.
+struct GatewayShared {
+    shutdown: AtomicBool,
+    /// Whether this node currently admits submissions; flipped by the
+    /// serving layer as its failure detector moves the accepting role.
+    accepting: AtomicBool,
+    /// Where refused clients are pointed (node index) while not
+    /// accepting.
+    redirect_to: AtomicU64,
+    /// Backpressure hint carried in `Busy` rejections.
+    retry_after_ms: u32,
+    busy_rejected: AtomicU64,
+    redirects: AtomicU64,
+    /// Ack route per client: the write half of the client's *latest*
+    /// connection (a reconnect simply overwrites the entry).
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<TcpStream>>>>,
+    queue_tx: Sender<GatewaySubmission>,
+}
+
+impl GatewayShared {
+    /// Writes one frame to the client's registered session, dropping
+    /// the route when the connection is dead (the client will
+    /// reconnect and resubmit; dedup makes that idempotent).
+    fn reply(&self, client: u64, frame: &Frame) {
+        let writer = self.sessions.lock().get(&client).cloned();
+        if let Some(writer) = writer {
+            if write_frame(&mut writer.lock(), frame).is_err() {
+                self.sessions.lock().remove(&client);
+            }
+        }
+    }
+}
+
+/// The per-node client-facing acceptor: listens for client
+/// connections, parses [`Frame::Submit`]s with the same length-prefix
+/// discipline as the peer transport, applies bounded-queue
+/// backpressure (typed [`Frame::Busy`] rejection, never silent drops)
+/// and leadership redirects ([`Frame::Redirect`]), and routes
+/// [`Frame::ClientAck`]s back to each client's latest connection.
+///
+/// Admission-level dedup lives with the serving layer (it owns the
+/// proposer's decided-id ledger); this type owns everything socket.
+#[derive(Debug)]
+pub struct GatewayListener {
+    shared: Arc<GatewayShared>,
+    queue_rx: Receiver<GatewaySubmission>,
+    local: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GatewayShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayShared")
+            .field("accepting", &self.accepting.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl GatewayListener {
+    /// Binds `listen` and starts accepting client sessions. At most
+    /// `queue_cap` submissions sit admitted-but-undrained; beyond
+    /// that, clients get `Busy { retry_after }`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(listen: &str, queue_cap: usize, retry_after: Duration) -> io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let (queue_tx, queue_rx) = crossbeam::channel::bounded(queue_cap.max(1));
+        #[allow(clippy::cast_possible_truncation)]
+        let shared = Arc::new(GatewayShared {
+            shutdown: AtomicBool::new(false),
+            accepting: AtomicBool::new(true),
+            redirect_to: AtomicU64::new(0),
+            retry_after_ms: retry_after.as_millis().min(u128::from(u32::MAX)) as u32,
+            busy_rejected: AtomicU64::new(0),
+            redirects: AtomicU64::new(0),
+            sessions: Mutex::new(BTreeMap::new()),
+            queue_tx,
+        });
+        let acc = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("ssp-gateway".to_string())
+            .spawn(move || gateway_acceptor(&acc, &listener))?;
+        Ok(GatewayListener {
+            shared,
+            queue_rx,
+            local,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with `listen = "127.0.0.1:0"`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Drains up to `max` queued submissions without blocking.
+    #[must_use]
+    pub fn drain(&self, max: usize) -> Vec<GatewaySubmission> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.queue_rx.try_recv() {
+                Ok(sub) => out.push(sub),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Updates the leadership hint: while not accepting, sessions
+    /// answer every submission with `Redirect { group: redirect_to }`
+    /// instead of queueing it.
+    pub fn set_accepting(&self, accepting: bool, redirect_to: u32) {
+        self.shared
+            .redirect_to
+            .store(u64::from(redirect_to), Ordering::SeqCst);
+        self.shared.accepting.store(accepting, Ordering::SeqCst);
+    }
+
+    /// Acks `(client, req)` as decided by consensus instance `seq` in
+    /// `round`, over the client's latest session.
+    pub fn ack(&self, client: u64, req: u64, seq: u64, round: u32) {
+        self.shared
+            .reply(client, &Frame::ClientAck { req, seq, round });
+    }
+
+    /// Redirects a drained-but-refused submission (the accepting role
+    /// moved between enqueue and drain).
+    pub fn redirect(&self, client: u64, req: u64, group: u32) {
+        self.shared.redirects.fetch_add(1, Ordering::Relaxed);
+        self.shared.reply(client, &Frame::Redirect { req, group });
+    }
+
+    /// Socket-level admission counters (`busy_rejected`, `redirects`;
+    /// `admitted`/`deduped` belong to the serving layer's glue).
+    #[must_use]
+    pub fn stats(&self) -> GatewayStats {
+        GatewayStats {
+            admitted: 0,
+            deduped: 0,
+            busy_rejected: self.shared.busy_rejected.load(Ordering::Relaxed),
+            redirects: self.shared.redirects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, wakes every session reader, and joins the
+    /// acceptor.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.shared.sessions.lock().clear();
+    }
+}
+
+impl Drop for GatewayListener {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn gateway_acceptor(shared: &Arc<GatewayShared>, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let session_shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("ssp-gateway-session".to_string())
+                    .spawn(move || gateway_session(&session_shared, stream));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One client session: a [`FrameReader`] loop over `Submit` frames.
+/// Anything other than a well-formed `Submit` ends the session — the
+/// client protocol has exactly one request frame.
+fn gateway_session(shared: &Arc<GatewayShared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut fr = FrameReader::new(stream);
+    loop {
+        match fr.next(&shared.shutdown) {
+            Ok(Frame::Submit {
+                client,
+                req,
+                payload,
+            }) => {
+                // Latest connection wins the ack route for this
+                // client: a resubmission after reconnect must be
+                // answered on the new socket, not the dead one.
+                shared.sessions.lock().insert(client, Arc::clone(&writer));
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let group = shared.redirect_to.load(Ordering::SeqCst) as u32;
+                    shared.redirects.fetch_add(1, Ordering::Relaxed);
+                    if write_frame(&mut writer.lock(), &Frame::Redirect { req, group }).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                match shared.queue_tx.try_send(GatewaySubmission {
+                    client,
+                    req,
+                    payload,
+                }) {
+                    Ok(()) => {}
+                    Err(crossbeam::channel::TrySendError::Full(_)) => {
+                        shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                        let busy = Frame::Busy {
+                            req,
+                            retry_after_ms: shared.retry_after_ms,
+                        };
+                        if write_frame(&mut writer.lock(), &busy).is_err() {
+                            return;
+                        }
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Ok(_) | Err(_) => return,
         }
     }
 }

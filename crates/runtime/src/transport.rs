@@ -154,6 +154,46 @@ pub enum Frame {
         /// The instance being abandoned.
         instance: u64,
     },
+    /// An external client submits one command for replication. The
+    /// `(client, req)` pair is the idempotency key: a gateway that has
+    /// already decided it re-acks instead of re-admitting, so a client
+    /// may resubmit across reconnects without double-applying.
+    Submit {
+        /// Client identity (client-chosen, stable across reconnects).
+        client: u64,
+        /// Client-local request number, monotone per client.
+        req: u64,
+        /// Opaque command bytes (caller-encoded, like [`Frame::Data`]).
+        payload: Vec<u8>,
+    },
+    /// Gateway → client: the submission identified by `req` was decided
+    /// by some consensus instance and applied to the store. `seq` is
+    /// the deciding instance and `round` the round it decided in —
+    /// the client-observed latency ledger for Theorem 5.2.
+    ClientAck {
+        /// The acknowledged [`Frame::Submit`] request number.
+        req: u64,
+        /// Consensus instance that decided the command.
+        seq: u64,
+        /// Round within that instance where the decision fell.
+        round: u32,
+    },
+    /// Gateway → client: this node is not the current proposer (or does
+    /// not own the command's shard group); retry against `group`.
+    Redirect {
+        /// The refused [`Frame::Submit`] request number.
+        req: u64,
+        /// Index of the node/group the client should target instead.
+        group: u32,
+    },
+    /// Gateway → client: the admission queue is full. Back off for at
+    /// least `retry_after_ms` before resubmitting.
+    Busy {
+        /// The refused [`Frame::Submit`] request number.
+        req: u64,
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -161,6 +201,10 @@ const TAG_DATA: u8 = 2;
 const TAG_ACK: u8 = 3;
 const TAG_HEARTBEAT: u8 = 4;
 const TAG_ABORT: u8 = 5;
+const TAG_SUBMIT: u8 = 6;
+const TAG_CLIENT_ACK: u8 = 7;
+const TAG_REDIRECT: u8 = 8;
+const TAG_BUSY: u8 = 9;
 
 fn take<const N: usize>(buf: &[u8], at: &mut usize) -> Result<[u8; N], TransportError> {
     let end = at
@@ -221,6 +265,36 @@ impl Frame {
                 b.push(TAG_ABORT);
                 b.extend_from_slice(&instance.to_le_bytes());
             }
+            Frame::Submit {
+                client,
+                req,
+                payload,
+            } => {
+                b.push(TAG_SUBMIT);
+                b.extend_from_slice(&client.to_le_bytes());
+                b.extend_from_slice(&req.to_le_bytes());
+                b.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                b.extend_from_slice(payload);
+            }
+            Frame::ClientAck { req, seq, round } => {
+                b.push(TAG_CLIENT_ACK);
+                b.extend_from_slice(&req.to_le_bytes());
+                b.extend_from_slice(&seq.to_le_bytes());
+                b.extend_from_slice(&round.to_le_bytes());
+            }
+            Frame::Redirect { req, group } => {
+                b.push(TAG_REDIRECT);
+                b.extend_from_slice(&req.to_le_bytes());
+                b.extend_from_slice(&group.to_le_bytes());
+            }
+            Frame::Busy {
+                req,
+                retry_after_ms,
+            } => {
+                b.push(TAG_BUSY);
+                b.extend_from_slice(&req.to_le_bytes());
+                b.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
         }
         b
     }
@@ -274,6 +348,40 @@ impl Frame {
             },
             TAG_ABORT => Frame::Abort {
                 instance: take_u64(buf, &mut at)?,
+            },
+            TAG_SUBMIT => {
+                let client = take_u64(buf, &mut at)?;
+                let req = take_u64(buf, &mut at)?;
+                let len = take_u32(buf, &mut at)? as usize;
+                if len > MAX_FRAME_LEN {
+                    return Err(TransportError::FrameCorrupt(format!(
+                        "payload length {len} exceeds cap"
+                    )));
+                }
+                let end = at
+                    .checked_add(len)
+                    .filter(|&e| e <= buf.len())
+                    .ok_or_else(|| TransportError::FrameCorrupt("truncated payload".into()))?;
+                let payload = buf[at..end].to_vec();
+                at = end;
+                Frame::Submit {
+                    client,
+                    req,
+                    payload,
+                }
+            }
+            TAG_CLIENT_ACK => Frame::ClientAck {
+                req: take_u64(buf, &mut at)?,
+                seq: take_u64(buf, &mut at)?,
+                round: take_u32(buf, &mut at)?,
+            },
+            TAG_REDIRECT => Frame::Redirect {
+                req: take_u64(buf, &mut at)?,
+                group: take_u32(buf, &mut at)?,
+            },
+            TAG_BUSY => Frame::Busy {
+                req: take_u64(buf, &mut at)?,
+                retry_after_ms: take_u32(buf, &mut at)?,
             },
             other => {
                 return Err(TransportError::FrameCorrupt(format!(
@@ -372,6 +480,37 @@ pub struct TransportStats {
     pub corrupt_drops: u64,
 }
 
+/// Gateway admission counters. Like [`TransportStats`], these depend
+/// on real client timing (reconnects, queue pressure), so the engine
+/// reports them in the non-deterministic section of its stats, never
+/// in the deterministic core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Submissions admitted into the external proposal queue.
+    pub admitted: u64,
+    /// Submissions recognized as duplicates of an already-admitted or
+    /// already-decided `(client, req)` and re-acked instead.
+    pub deduped: u64,
+    /// Submissions refused with [`Frame::Busy`] (queue full).
+    pub busy_rejected: u64,
+    /// Submissions refused with [`Frame::Redirect`] (wrong node or
+    /// shard group).
+    pub redirects: u64,
+}
+
+impl GatewayStats {
+    /// Component-wise sum, for aggregating per-node counters.
+    #[must_use]
+    pub fn merged(self, other: GatewayStats) -> GatewayStats {
+        GatewayStats {
+            admitted: self.admitted + other.admitted,
+            deduped: self.deduped + other.deduped,
+            busy_rejected: self.busy_rejected + other.busy_rejected,
+            redirects: self.redirects + other.redirects,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +547,26 @@ mod tests {
                 sent_micros: 99_000,
             },
             Frame::Abort { instance: 12 },
+            Frame::Submit {
+                client: 7,
+                req: 3,
+                payload: vec![9, 8, 7],
+            },
+            Frame::Submit {
+                client: u64::MAX,
+                req: 0,
+                payload: Vec::new(),
+            },
+            Frame::ClientAck {
+                req: 3,
+                seq: 12,
+                round: 2,
+            },
+            Frame::Redirect { req: 4, group: 1 },
+            Frame::Busy {
+                req: 5,
+                retry_after_ms: 40,
+            },
         ];
         for f in frames {
             let mut wire = Vec::new();
@@ -428,6 +587,37 @@ mod tests {
         // Trailing garbage.
         let mut body = Frame::Ack { seq: 1 }.encode_body();
         body.push(0);
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert!(matches!(err, TransportError::FrameCorrupt(_)), "{err}");
+        // Truncated client frames are corrupt, not panics.
+        for f in [
+            Frame::Submit {
+                client: 1,
+                req: 2,
+                payload: vec![3, 4],
+            },
+            Frame::ClientAck {
+                req: 1,
+                seq: 2,
+                round: 3,
+            },
+            Frame::Redirect { req: 1, group: 0 },
+            Frame::Busy {
+                req: 1,
+                retry_after_ms: 10,
+            },
+        ] {
+            let mut body = f.encode_body();
+            body.truncate(body.len() - 1);
+            let err = Frame::decode_body(&body).unwrap_err();
+            assert!(matches!(err, TransportError::FrameCorrupt(_)), "{err}");
+        }
+        // A Submit whose payload length field exceeds the cap fails
+        // before allocating.
+        let mut body = vec![TAG_SUBMIT];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = Frame::decode_body(&body).unwrap_err();
         assert!(matches!(err, TransportError::FrameCorrupt(_)), "{err}");
         // Oversized length prefix fails before allocating.
@@ -483,6 +673,27 @@ mod tests {
             (0..8).any(|a| backoff_delay(1, p(0), p(1), a) != backoff_delay(1, p(0), p(2), a)),
             "link identity must reach the jitter"
         );
+    }
+
+    #[test]
+    fn gateway_stats_merge_component_wise() {
+        let a = GatewayStats {
+            admitted: 3,
+            deduped: 1,
+            busy_rejected: 0,
+            redirects: 2,
+        };
+        let b = GatewayStats {
+            admitted: 4,
+            deduped: 0,
+            busy_rejected: 5,
+            redirects: 1,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.admitted, 7);
+        assert_eq!(m.deduped, 1);
+        assert_eq!(m.busy_rejected, 5);
+        assert_eq!(m.redirects, 3);
     }
 
     #[test]

@@ -237,3 +237,90 @@ if [ "$RS_VIOL" != "0" ] || [ "$RWS_VIOL" != "0" ] || [ "$RS_COM" = "0" ] || [ "
     echo "error: cross-shard NBAC lane unhealthy under chaos" >&2
     exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# External clients: the gateway subsystem serving real submissions over
+# loopback sockets. BENCH_PR10.json records (a) external-client
+# throughput (acked requests per wall-clock second through `ssp load`
+# against a gateway-fronted cluster) next to the in-process numbers of
+# BENCH_PR5, and (b) the client-observed Theorem 5.2 gap: the p50
+# ack-round ratio between A1/RS and CtRounds/RWS under the scripted
+# in-process load — deterministic per seed, expected exactly 2.0.
+
+GATEWAY_OUT=BENCH_PR10.json
+GW_PORT=7610
+GW_REQUESTS=96
+
+echo "== external-client load (release CLI) =="
+
+./target/release/ssp serve-cluster -n 3 --instances 400 --gap-ms 5 \
+    --fd-timeout-ms 2500 --drain 120 --seed 11 \
+    --gateway-base-port "$GW_PORT" > gateway-cluster.log 2>&1 &
+CLUSTER_PID=$!
+
+LOAD_JSON=$(./target/release/ssp load \
+    --targets "127.0.0.1:$GW_PORT,127.0.0.1:$((GW_PORT + 1)),127.0.0.1:$((GW_PORT + 2))" \
+    --concurrency 8 --requests $GW_REQUESTS --seed 9 --deadline-ms 30000)
+wait "$CLUSTER_PID"
+rm -f gateway-cluster.log
+
+EXT_ACKED=$(printf '%s' "$LOAD_JSON" | grep -o '"acked":[0-9]*' | head -n1 | grep -o '[0-9]*$')
+EXT_TPUT=$(printf '%s' "$LOAD_JSON" | grep -o '"throughput":[0-9.]*' | grep -o '[0-9.]*$')
+EXT_P50=$(printf '%s' "$LOAD_JSON" | grep -o '"p50_ms":[0-9.]*' | head -n1 | grep -o '[0-9.]*$')
+EXT_P99=$(printf '%s' "$LOAD_JSON" | grep -o '"p99_ms":[0-9.]*' | head -n1 | grep -o '[0-9.]*$')
+
+if [ "$EXT_ACKED" != "$GW_REQUESTS" ]; then
+    echo "error: gateway load acked $EXT_ACKED of $GW_REQUESTS requests" >&2
+    exit 1
+fi
+
+# Client-observed Theorem 5.2: deterministic p50 ack rounds per model.
+inproc_p50() { # algo model
+    ./target/release/ssp load --inproc "$1" "$2" --shards 2 --cross-rate 0.2 \
+        --clients 4 --requests-per-client 8 --seed 7 \
+        | grep -o '"p50_rounds":[0-9]*' | head -n1 | grep -o '[0-9]*$'
+}
+RS_P50_ROUNDS=$(inproc_p50 a1 rs)
+RWS_P50_ROUNDS=$(inproc_p50 ct rws)
+ROUND_RATIO=$(awk "BEGIN { printf \"%.1f\", $RWS_P50_ROUNDS / $RS_P50_ROUNDS }")
+
+# In-process comparison point: commands/s of the unsharded failure-free
+# engine on the same wall clock budget (BENCH_PR5 measures instances/s
+# in simulated time; this is the apples-to-apples wall-clock number).
+now_ms() { date +%s%3N; }
+T0=$(now_ms)
+./target/release/ssp serve a1 rs --clients 8 --instances 100 --seed 7 --failure-free > /dev/null
+T1=$(now_ms)
+INPROC_MS=$((T1 - T0))
+INPROC_IPS=$(awk "BEGIN { printf \"%d\", 100 * 1000 / $INPROC_MS }")
+
+cat > "$GATEWAY_OUT" <<JSON
+{
+  "pr": 10,
+  "claim": "external clients drive the socket cluster end-to-end with every request acked, and the client-observed p50 ack-round ratio between A1/RS and CtRounds/RWS is the deterministic Theorem 5.2 gap",
+  "measured": {
+    "external_load": {
+      "requests": $GW_REQUESTS,
+      "acked": $EXT_ACKED,
+      "throughput_req_per_sec": $EXT_TPUT,
+      "client_p50_ms": $EXT_P50,
+      "client_p99_ms": $EXT_P99
+    },
+    "inproc_reference": {
+      "bench_pr5": "BENCH_PR5.json (simulated-time instances/s)",
+      "serve_a1_rs_wall_instances_per_sec": $INPROC_IPS
+    },
+    "client_observed_rounds": {
+      "a1_rs_p50": $RS_P50_ROUNDS,
+      "ct_rws_p50": $RWS_P50_ROUNDS
+    }
+  },
+  "rws_over_rs_p50_round_ratio": $ROUND_RATIO
+}
+JSON
+
+echo "== wrote $GATEWAY_OUT (external $EXT_TPUT req/s, p50 ${EXT_P50}ms; round ratio $ROUND_RATIO) =="
+if [ "$ROUND_RATIO" != "2.0" ]; then
+    echo "error: client-observed p50 round ratio was $ROUND_RATIO, expected 2.0" >&2
+    exit 1
+fi

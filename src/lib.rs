@@ -55,6 +55,7 @@ pub use ssp_commit as commit;
 pub use ssp_engine as engine;
 pub use ssp_explore as explore;
 pub use ssp_fd as fd;
+pub use ssp_gateway as gateway;
 pub use ssp_lab as lab;
 pub use ssp_model as model;
 pub use ssp_rounds as rounds;

@@ -29,12 +29,13 @@ use ssp::algos::{
 };
 use ssp::commit::{commit_rate_experiment, CommitWorkload};
 use ssp::engine::{
-    rate_pm, run_cluster, serve, serve_node, serve_node_to_file, serve_sharded, ClusterConfig,
-    EngineConfig, EngineCrash, FaultMode, KillSpec, NodeConfig, ProxySpec, ShardedConfig, Workload,
-    WorkloadConfig,
+    rate_pm, run_cluster, serve, serve_node_to_file, serve_node_with, serve_sharded, ClusterConfig,
+    EngineConfig, EngineCrash, FaultMode, GatewayNodeConfig, GatewaySpec, KillSpec, NodeConfig,
+    ProxySpec, ShardedConfig, Workload, WorkloadConfig,
 };
 use ssp::explore::Explorer;
 use ssp::fd::classify;
+use ssp::gateway::{run_inproc_load, run_load, InprocLoadConfig, LoadConfig, LoadMode};
 use ssp::lab::impossibility::candidates::{PatientWait, WaitOrSuspect};
 use ssp::lab::report::Table;
 use ssp::lab::{
@@ -49,7 +50,7 @@ use ssp::runtime::{
 };
 
 /// Flags that take no value: their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["chaos", "delta-violation", "failure-free"];
+const BOOLEAN_FLAGS: &[&str] = &["chaos", "delta-violation", "failure-free", "inproc"];
 
 /// Minimal flag parser: `--key value` / `--key=value` / `-k value`
 /// pairs after the positional arguments, plus valueless boolean flags
@@ -961,7 +962,8 @@ fn cmd_serve_node(flags: &Flags) -> Result<(), String> {
                          [--report FILE] [-n N] [--instances I] [--seed S] [--batch B] \
                          [--clients K] [--epoch E] [--hb-ms MS] [--fd-timeout-ms MS] \
                          [--delta-ms MS] [--degrade=rws|abort|off] [--drain MS] \
-                         [--round-timeout-ms MS]";
+                         [--round-timeout-ms MS] [--gateway-listen ADDR] \
+                         [--gateway-queue N]";
     let algo = flags.positional.get(1).map_or("a1", String::as_str);
     let model = flags.positional.get(2).map_or("rs", String::as_str);
     if algo != "a1" || model != "rs" {
@@ -985,13 +987,21 @@ fn cmd_serve_node(flags: &Flags) -> Result<(), String> {
         ));
     }
     let cfg = node_config_from_flags(flags, me, n, listen, peers)?;
-    match flags.get("report") {
-        Some(path) => {
-            serve_node_to_file(&cfg, Path::new(path)).map_err(|e| format!("node {me}: {e}"))
+    let gateway = match flags.get("gateway-listen") {
+        Some(addr) => {
+            let mut gw = GatewayNodeConfig::new(addr.to_string());
+            gw.queue_cap = flags.usize_or("gateway-queue", gw.queue_cap)?;
+            Some(gw)
         }
+        None => None,
+    };
+    match flags.get("report") {
+        Some(path) => serve_node_to_file(&cfg, gateway.as_ref(), Path::new(path))
+            .map_err(|e| format!("node {me}: {e}")),
         None => {
             let stdout = std::io::stdout();
-            serve_node(&cfg, &mut stdout.lock()).map_err(|e| format!("node {me}: {e}"))
+            serve_node_with(&cfg, gateway.as_ref(), &mut stdout.lock())
+                .map_err(|e| format!("node {me}: {e}"))
         }
     }
 }
@@ -1011,6 +1021,7 @@ fn cmd_serve_cluster(flags: &Flags) -> Result<(), String> {
                          [--degrade=rws|abort|off] [--proxy-delay-ms MS] [--proxy-delay-rate P] \
                          [--proxy-drop-rate P] [--proxy-reset-after K] [--proxy-seed S] \
                          [--hb-ms MS] [--fd-timeout-ms MS] [--drain MS] [--round-timeout-ms MS] \
+                         [--gateway-base-port P] [--gateway-queue N] \
                          [--dir DIR] [--stats-out FILE] [--logs-out FILE]";
     let _ = USAGE;
     let n = flags.usize_or("n", 4)?;
@@ -1048,12 +1059,27 @@ fn cmd_serve_cluster(flags: &Flags) -> Result<(), String> {
     } else {
         None
     };
+    let gateway = if flags.is_set("gateway-base-port") {
+        let base_port = u16::try_from(flags.u64_or("gateway-base-port", 0)?)
+            .map_err(|_| "--gateway-base-port: not a port".to_string())?;
+        Some(GatewaySpec {
+            base_port,
+            queue_cap: flags.usize_or("gateway-queue", 64)?,
+        })
+    } else {
+        None
+    };
     let bin = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let dir = flags.get("dir").map_or_else(
         || std::env::temp_dir().join(format!("ssp-cluster-{}-{}", std::process::id(), node.seed)),
         PathBuf::from,
     );
-    let cluster = ClusterConfig { node, kill, proxy };
+    let cluster = ClusterConfig {
+        node,
+        kill,
+        proxy,
+        gateway,
+    };
     let report = run_cluster(&bin, &cluster, &dir).map_err(|e| e.to_string())?;
     println!("{}", report.stats);
     let verdicts: Vec<String> = report
@@ -1101,6 +1127,106 @@ fn cmd_serve_cluster(flags: &Flags) -> Result<(), String> {
             }
         }
         return Err(msg);
+    }
+    Ok(())
+}
+
+/// `ssp load`: drive a gateway-fronted cluster with the
+/// seed-deterministic external client population — closed loop
+/// (`--concurrency` clients, one request in flight each) or open loop
+/// (`--rate` scheduled arrivals/second) — and print the
+/// client-observed report (acks, retries, p50/p99/max latency) as one
+/// JSON object. With `--inproc`, the same client population drives
+/// the sharded engine directly as a scripted external source, so the
+/// per-class ack-*round* histograms are deterministic per seed: the
+/// client-observed face of Theorem 5.2.
+fn cmd_load(flags: &Flags) -> Result<(), String> {
+    const USAGE: &str = "usage: ssp load --targets A0,A1,.. [--requests R] [--seed S] \
+                         [--concurrency C | --rate R] [--deadline-ms MS] [--json FILE]\n\
+                         usage: ssp load --inproc [<algo> <rs|rws>] [--shards G] [--clients C] \
+                         [--requests-per-client R] [--cross-rate P] [-n N] [-t T] \
+                         [--instances I] [--seed S] [--json FILE]";
+    if flags.is_set("rate") && flags.is_set("concurrency") {
+        return Err(
+            "--rate (open loop) and --concurrency (closed loop) are mutually exclusive".to_string(),
+        );
+    }
+    if flags.is_set("inproc") {
+        return cmd_load_inproc(flags);
+    }
+    let targets: Vec<String> = flags
+        .get("targets")
+        .ok_or(USAGE)?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let mut cfg = LoadConfig::new(targets, flags.u64_or("seed", 1)?);
+    cfg.requests = flags.u64_or("requests", 32)?;
+    cfg.deadline = ms_or(flags, "deadline-ms", 10_000)?;
+    if flags.is_set("rate") {
+        cfg.mode = LoadMode::Open {
+            rate: flags.f64_or("rate", 0.0)?,
+        };
+    } else {
+        cfg.mode = LoadMode::Closed {
+            concurrency: flags.usize_or("concurrency", 4)?,
+        };
+    }
+    let report = run_load(&cfg)?;
+    println!("{}", report.to_json());
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("--json {path}: {e}"))?;
+    }
+    if report.gave_up > 0 {
+        return Err(format!(
+            "{} of {} requests gave up at the {} ms deadline",
+            report.gave_up,
+            report.requests,
+            cfg.deadline.as_millis()
+        ));
+    }
+    Ok(())
+}
+
+/// `ssp load --inproc`: scripted external clients against the sharded
+/// engine, no sockets — every ack carries its decision round, and the
+/// round histograms are byte-identical per seed.
+fn cmd_load_inproc(flags: &Flags) -> Result<(), String> {
+    let algo_name = flags.positional.get(1).map_or("a1", String::as_str);
+    let model = match flags.positional.get(2).map_or("rs", String::as_str) {
+        "rs" => PlanModel::Rs,
+        "rws" => PlanModel::Rws,
+        other => return Err(format!("unknown model {other:?} (rs or rws)")),
+    };
+    let n = flags.usize_or("n", 3)?;
+    let t = flags.usize_or("t", 1)?;
+    if n == 0 || t >= n {
+        return Err(format!("need 0 ≤ t < n, got n={n}, t={t}"));
+    }
+    let mut engine = EngineConfig::new(n, t, model);
+    engine.instances = flags.u64_or("instances", 64)?;
+    engine.seed = flags.u64_or("seed", 1)?;
+    engine.batch_max = flags.usize_or("batch", 8)?;
+    let mut cfg = ShardedConfig::new(engine, flags.usize_or("shards", 1)?);
+    cfg.cross_shard_rate = 0.0;
+    cfg.validate()
+        .map_err(|e| format!("invalid runtime configuration: {e}"))?;
+    let mut load = InprocLoadConfig::new(flags.u64_or("seed", 1)?);
+    load.clients = flags.usize_or("clients", 4)?;
+    load.requests_per_client = u32::try_from(flags.u64_or("requests-per-client", 8)?)
+        .map_err(|_| "--requests-per-client: too large".to_string())?;
+    load.cross_rate = flags.f64_or("cross-rate", 0.0)?;
+    if load.cross_rate > 0.0 && cfg.shards < 2 {
+        return Err("--cross-rate needs --shards ≥ 2 (a single group leaves no \
+                    second group for a transaction to span)"
+            .to_string());
+    }
+    let report = with_algo!(algo_name, algo => {
+        run_inproc_load(&algo, &cfg, &load)?
+    })?;
+    println!("{}", report.to_json());
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("--json {path}: {e}"))?;
     }
     Ok(())
 }
@@ -1266,6 +1392,20 @@ commands:
              node reports and certify every instance with the same
              audit pipeline as in-process serving (exit 1 only on a
              spec violation or divergence)
+  load       --targets A0,A1,.. [--requests R] [--seed S] [--concurrency C | --rate R]
+             [--deadline-ms MS] [--json FILE]
+             seed-deterministic external-client load against a
+             gateway-fronted cluster (start one with `serve-cluster
+             --gateway-base-port P`): closed loop (--concurrency) or
+             open loop (--rate, coordinated-omission-corrected), with
+             idempotent capped-backoff resubmission and client-observed
+             p50/p99/max latency; exit 1 if any request gave up
+  load       --inproc [<algo> <rs|rws>] [--shards G] [--clients C]
+             [--requests-per-client R] [--cross-rate P] [--seed S] [--json FILE]
+             the same client population as a scripted external source
+             driving the sharded engine in-process: ack-round
+             histograms (single vs cross-shard) deterministic per seed
+             — the client-observed face of Theorem 5.2
   explore    [<algo> <rs|rws>] [--n N] [--t T] [--inputs v1,v2,..] [--sym off|full]
              [--limit K] [--backend virtual]
              systematically enumerate EVERY adversary of one small
@@ -1292,6 +1432,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("trace-dump") => cmd_trace_dump(&flags),
         Some("serve") => cmd_serve(&flags),
         Some("serve-cluster") => cmd_serve_cluster(&flags),
+        Some("load") => cmd_load(&flags),
         Some("explore") => cmd_explore(&flags),
         Some("help") | None => {
             println!("{USAGE}");

@@ -329,3 +329,89 @@ fn sharded_serve_reports_groups_and_cross_shard_commits() {
     assert!(stdout.contains("cross-shard:"), "{stdout}");
     assert!(stdout.contains("0 NBAC violations"), "{stdout}");
 }
+
+#[test]
+fn load_rejects_open_and_closed_loop_together() {
+    let (ok, _, stderr) = ssp(&[
+        "load",
+        "--targets",
+        "127.0.0.1:1",
+        "--rate",
+        "50",
+        "--concurrency",
+        "2",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn load_rejects_a_non_numeric_rate() {
+    let (ok, _, stderr) = ssp(&["load", "--targets", "127.0.0.1:1", "--rate", "abc"]);
+    assert!(!ok);
+    assert!(stderr.contains("rate"), "{stderr}");
+}
+
+#[test]
+fn load_rejects_a_non_positive_rate() {
+    for bad in ["0", "-3"] {
+        let (ok, _, stderr) = ssp(&["load", "--targets", "127.0.0.1:1", "--rate", bad]);
+        assert!(!ok, "--rate {bad} must be rejected");
+        assert!(
+            stderr.contains("--rate must be a positive number"),
+            "--rate {bad}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn load_rejects_zero_concurrency() {
+    let (ok, _, stderr) = ssp(&["load", "--targets", "127.0.0.1:1", "--concurrency", "0"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--concurrency must be at least 1"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn load_without_targets_prints_usage() {
+    let (ok, _, stderr) = ssp(&["load"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: ssp load"), "{stderr}");
+}
+
+#[test]
+fn load_inproc_rejects_cross_rate_without_enough_shards() {
+    let (ok, _, stderr) = ssp(&["load", "--inproc", "a1", "rs", "--cross-rate", "0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("--cross-rate needs --shards"), "{stderr}");
+}
+
+#[test]
+fn load_inproc_reports_the_client_observed_round_gap() {
+    let (ok, rs_out, stderr) = ssp(&[
+        "load",
+        "--inproc",
+        "a1",
+        "rs",
+        "--clients",
+        "2",
+        "--requests-per-client",
+        "4",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(rs_out.contains("\"p50_rounds\":1"), "{rs_out}");
+    let (ok, rws_out, stderr) = ssp(&[
+        "load",
+        "--inproc",
+        "ct",
+        "rws",
+        "--clients",
+        "2",
+        "--requests-per-client",
+        "4",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(rws_out.contains("\"p50_rounds\":2"), "{rws_out}");
+}
